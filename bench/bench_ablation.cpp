@@ -1,0 +1,172 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+//
+// 1. Algorithm 5's proof-of-work gate (Lemma 4). Roots only activate when
+//    alpha-2t active processors attest that someone in the subtree is still
+//    uninformed. Remove the gate and a single faulty active "spammer" can
+//    activate every subtree at every level, blowing the message count up
+//    from O(n + t^2) toward O(alpha * n + n log n) — while agreement still
+//    holds, the whole point of the algorithm (its message bound) is gone.
+//
+// 2. Dolev-Strong's relay-set size. The message-thrifty variant routes new
+//    values through k designated relays; k = t+1 guarantees a correct relay
+//    under t faults. With k <= t relays, k silent relays plus an
+//    equivocating transmitter (k+1 <= t faults total) split the correct
+//    processors: each side only ever sees one value.
+#include "ba/algorithm5.h"
+#include "ba/valid_message.h"
+#include "ba/dolev_strong.h"
+#include "ba/tree.h"
+#include "bench_util.h"
+
+namespace dr::bench {
+namespace {
+
+/// A faulty *active* processor that tries to activate every subtree at
+/// every block, without any proof of work. It first adopts a valid message
+/// (it cannot forge one: that needs t+1 active signatures), then spams.
+class SpammingActive final : public sim::Process {
+ public:
+  SpammingActive(std::size_t n, std::size_t t, std::size_t s)
+      : forest_(ba::Forest::build(n, t, s)),
+        schedule_{t, forest_.max_depth()} {}
+
+  void on_phase(sim::Context& ctx) override {
+    if (!valid_.has_value()) {
+      for (const sim::Envelope& env : ctx.inbox()) {
+        const auto msg = ba::decode_alg5(env.payload);
+        if (msg && ba::is_valid_message(msg->first, ctx.verifier(),
+                                        forest_.alpha, 0)) {
+          valid_ = msg->first;
+          break;
+        }
+      }
+    }
+    if (!valid_.has_value() || schedule_.top < 1) return;
+    for (std::size_t x = schedule_.top; x >= 1; --x) {
+      if (ctx.phase() != schedule_.block_start(x)) continue;
+      const Bytes payload = ba::encode_alg5(*valid_, {});
+      for (const ba::PassiveTree& tree : forest_.trees) {
+        for (std::size_t node : tree.subtree_roots_at_depth(x)) {
+          ctx.send(tree.id_of(node), payload, 0);
+        }
+      }
+    }
+  }
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+ private:
+  ba::Forest forest_;
+  ba::Alg5Schedule schedule_;
+  std::optional<ba::SignedValue> valid_;
+};
+
+void print_pow_ablation() {
+  print_header(
+      "Ablation 1: Algorithm 5 with vs without the proof-of-work gate",
+      "Lemma 4 bounds activations at 2b(C)+1 per tree; without the gate a "
+      "single spamming faulty active triggers every subtree chain");
+  std::printf("%6s %4s %4s | %12s %12s | %8s | %3s %3s\n", "n", "t", "s",
+              "gated", "ungated", "blowup", "agr", "agr");
+  for (const auto& [n, t, s] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{100, 2, 3},
+        {200, 2, 3},
+        {400, 4, 7},
+        {800, 4, 7}}) {
+    const BAConfig config{n, t, 0, 1};
+    std::vector<ScenarioFault> faults;
+    // The spammer is the last active processor.
+    faults.push_back(ScenarioFault{
+        static_cast<ProcId>(ba::alpha_for(t) - 1),
+        [n = n, t = t, s = s](ProcId, const BAConfig&) {
+          return std::make_unique<SpammingActive>(n, t, s);
+        }});
+    const auto gated = measure(ba::make_alg5_protocol(s), config, faults);
+    const auto ungated =
+        measure(ba::make_alg5_ungated_protocol(s), config, faults);
+    std::printf("%6zu %4zu %4zu | %12zu %12zu | %7.1fx | %3s %3s\n", n, t, s,
+                gated.messages, ungated.messages,
+                static_cast<double>(ungated.messages) /
+                    static_cast<double>(gated.messages),
+                gated.agreement && gated.validity ? "ok" : "FAIL",
+                ungated.agreement && ungated.validity ? "ok" : "FAIL");
+  }
+}
+
+void print_relay_ablation() {
+  print_header(
+      "Ablation 2: Dolev-Strong relay-set size k",
+      "k = t+1 is the smallest relay set with a guaranteed correct relay; "
+      "with k <= t, k silent relays + an equivocating transmitter "
+      "(<= t faults) destroy agreement");
+  const std::size_t n = 13;
+  const std::size_t t = 4;
+  std::printf("%4s %7s | %10s | %10s\n", "k", "faults", "messages",
+              "agreement");
+  for (std::size_t k = 1; k <= t + 1; ++k) {
+    const BAConfig config{n, t, 0, 0};
+    sim::Runner runner(sim::RunConfig{.n = n, .t = t, .transmitter = 0,
+                                      .value = 0, .seed = 1});
+    // Faults: the transmitter equivocates; min(k, t-1) relays are silent.
+    const std::size_t silent_relays = std::min(k, t - 1);
+    runner.mark_faulty(0);
+    for (std::size_t i = 0; i < silent_relays; ++i) {
+      runner.mark_faulty(static_cast<ProcId>(1 + i));
+    }
+    std::set<ProcId> ones;
+    for (ProcId q = 1; q < n; q += 2) ones.insert(q);
+    runner.install(0, std::make_unique<adversary::EquivocatingTransmitter>(
+                          ones, n));
+    for (ProcId p = 1; p < n; ++p) {
+      if (runner.is_faulty(p)) {
+        runner.install(p, std::make_unique<adversary::SilentProcess>());
+      } else {
+        runner.install(p,
+                       std::make_unique<ba::DolevStrongRelay>(p, config, k));
+      }
+    }
+    const auto result = runner.run(ba::DolevStrongRelay::steps(config));
+    const auto check = sim::check_byzantine_agreement(result, 0, 0);
+    std::printf("%4zu %7zu | %10zu | %10s%s\n", k, silent_relays + 1,
+                result.metrics.messages_by_correct(),
+                check.agreement ? "holds" : "BROKEN",
+                k <= silent_relays ? "  (all relays faulty)" : "");
+  }
+  std::printf("(k = t+1 = %zu keeps a correct relay even under t faults)\n",
+              t + 1);
+}
+
+void register_timings() {
+  register_timing("ablation/alg5_gated/n=400", [] {
+    std::vector<ScenarioFault> faults;
+    faults.push_back(ScenarioFault{
+        static_cast<ProcId>(ba::alpha_for(4) - 1),
+        [](ProcId, const BAConfig&) {
+          return std::make_unique<SpammingActive>(400, 4, 7);
+        }});
+    benchmark::DoNotOptimize(
+        measure(ba::make_alg5_protocol(7), BAConfig{400, 4, 0, 1}, faults));
+  });
+  register_timing("ablation/alg5_ungated/n=400", [] {
+    std::vector<ScenarioFault> faults;
+    faults.push_back(ScenarioFault{
+        static_cast<ProcId>(ba::alpha_for(4) - 1),
+        [](ProcId, const BAConfig&) {
+          return std::make_unique<SpammingActive>(400, 4, 7);
+        }});
+    benchmark::DoNotOptimize(measure(ba::make_alg5_ungated_protocol(7),
+                                     BAConfig{400, 4, 0, 1}, faults));
+  });
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::print_pow_ablation();
+  dr::bench::print_relay_ablation();
+  dr::bench::register_timings();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

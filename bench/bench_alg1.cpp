@@ -1,0 +1,67 @@
+// Experiment E4 (Theorem 3): Algorithm 1 for n = 2t+1 reaches BA in t+2
+// phases with at most 2t^2 + 2t messages. The worst case is the
+// failure-free value-1 history (everyone relays once); value 0 costs only
+// the transmitter's 2t messages.
+#include "bench_util.h"
+#include "bounds/formulas.h"
+
+namespace dr::bench {
+namespace {
+
+void print_tables() {
+  print_header("Algorithm 1 (n = 2t+1)",
+               "<= 2t^2+2t messages within t+2 phases (Theorem 3)");
+  std::printf("%6s %6s %4s | %10s %10s | %8s %8s | %3s %3s\n", "t", "n",
+              "v", "messages", "bound", "phases", "bound", "agr", "val");
+  for (std::size_t t : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (Value v : {Value{1}, Value{0}}) {
+      const BAConfig config{2 * t + 1, t, 0, v};
+      const auto m = measure(*ba::find_protocol("alg1"), config);
+      std::printf("%6zu %6zu %4llu | %10zu %10zu | %8zu %8zu | %3s %3s\n", t,
+                  config.n, static_cast<unsigned long long>(v), m.messages,
+                  bounds::alg1_message_upper_bound(t), m.phases,
+                  bounds::alg1_phase_bound(t), m.agreement ? "ok" : "FAIL",
+                  m.validity ? "ok" : "FAIL");
+    }
+  }
+
+  print_header("Algorithm 1 under an equivocating transmitter",
+               "agreement must still hold; messages stay within the bound");
+  std::printf("%6s | %10s %10s | %3s\n", "t", "messages", "bound", "agr");
+  for (std::size_t t : {2u, 4u, 8u, 16u}) {
+    const std::size_t n = 2 * t + 1;
+    std::set<ProcId> ones;
+    for (ProcId q = 1; q < n; q += 2) ones.insert(q);
+    const ScenarioFault fault{
+        0, [ones](ProcId, const BAConfig& c) {
+          return std::make_unique<adversary::EquivocatingTransmitter>(ones,
+                                                                      c.n);
+        }};
+    const auto m = measure(*ba::find_protocol("alg1"), BAConfig{n, t, 0, 0},
+                           {fault});
+    std::printf("%6zu | %10zu %10zu | %3s\n", t, m.messages,
+                bounds::alg1_message_upper_bound(t),
+                m.agreement ? "ok" : "FAIL");
+  }
+}
+
+void register_timings() {
+  for (std::size_t t : {4u, 16u, 64u}) {
+    register_timing("alg1/worst_case/t=" + std::to_string(t), [t] {
+      benchmark::DoNotOptimize(
+          measure(*ba::find_protocol("alg1"), BAConfig{2 * t + 1, t, 0, 1}));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::print_tables();
+  dr::bench::register_timings();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment E6 (Lemma 1 / Theorem 5): Algorithm 3 sends at most
+// 2n + 4tn/s + 3t^2 s messages within t+2s+3 phases; s = 4t minimises the
+// bound at O(n + t^3). Worst case is t silent set-roots, which trigger the
+// final repair phase.
+#include "ba/algorithm3.h"
+#include "bench_util.h"
+#include "bounds/formulas.h"
+
+namespace dr::bench {
+namespace {
+
+std::vector<ScenarioFault> silent_roots(std::size_t n, std::size_t t,
+                                        std::size_t s) {
+  const ba::Alg3Layout layout{n, t, s};
+  std::vector<ScenarioFault> faults;
+  for (std::size_t set = 0; set < layout.set_count() && faults.size() < t;
+       ++set) {
+    faults.push_back(silent(layout.root_of(set)));
+  }
+  return faults;
+}
+
+void print_tables() {
+  print_header("Algorithm 3, failure-free vs worst case (t silent roots)",
+               "<= 2n + 4tn/s + 3t^2*s messages within t+2s+3 phases "
+               "(Lemma 1); s = 4t gives O(n + t^3) (Theorem 5)");
+  std::printf("%6s %4s %4s | %9s %10s %10s | %7s %7s\n", "n", "t", "s",
+              "clean", "worst", "bound", "phases", "bound");
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{100, 2},
+                             {100, 4},
+                             {400, 4},
+                             {1000, 4},
+                             {1000, 8},
+                             {4000, 8}}) {
+    for (std::size_t s : {t, 2 * t, 4 * t, 8 * t}) {
+      const BAConfig config{n, t, 0, 1};
+      const auto protocol = ba::make_alg3_protocol(s);
+      const auto clean = measure(protocol, config);
+      const auto worst = measure(protocol, config, silent_roots(n, t, s));
+      std::printf("%6zu %4zu %4zu | %9zu %10zu %10.0f | %7zu %7zu %s%s\n", n,
+                  t, s, clean.messages, worst.messages,
+                  bounds::alg3_message_upper_bound(n, t, s), worst.phases,
+                  bounds::alg3_phase_bound(t, s),
+                  clean.agreement && worst.agreement ? "" : " AGREEMENT-FAIL",
+                  clean.validity && worst.validity ? "" : " VALIDITY-FAIL");
+    }
+  }
+
+  print_header("Theorem 5 check: s = 4t keeps messages O(n + t^3)",
+               "measured / (n + t^3) should stay bounded as n, t grow");
+  std::printf("%6s %4s | %10s %12s %8s\n", "n", "t", "worst", "n + t^3",
+              "ratio");
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{200, 2},
+                             {800, 4},
+                             {1600, 8},
+                             {3200, 8}}) {
+    const std::size_t s = 4 * t;
+    const auto protocol = ba::make_alg3_protocol(s);
+    const auto worst =
+        measure(protocol, BAConfig{n, t, 0, 1}, silent_roots(n, t, s));
+    const double denom = static_cast<double>(n + t * t * t);
+    std::printf("%6zu %4zu | %10zu %12.0f %8.2f\n", n, t, worst.messages,
+                denom, static_cast<double>(worst.messages) / denom);
+  }
+}
+
+void register_timings() {
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{400, 4},
+                             {1000, 8}}) {
+    register_timing(
+        "alg3/worst/n=" + std::to_string(n) + "/t=" + std::to_string(t),
+        [n = n, t = t] {
+          const std::size_t s = 4 * t;
+          benchmark::DoNotOptimize(measure(ba::make_alg3_protocol(s),
+                                           BAConfig{n, t, 0, 1},
+                                           silent_roots(n, t, s)));
+        });
+  }
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::print_tables();
+  dr::bench::register_timings();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Experiment E8 (Lemma 2 / Theorem 6): the 3-phase grid exchange sends at
+// most 3(m-1)m^2 = O(N^1.5) messages and guarantees >= N-2t non-isolated
+// processors exchange values — against the one-phase N(N-1) baseline and
+// the two-phase (N-1)(t+1) + (N-t-1)(t+1) relay baseline.
+#include "ba/exchange.h"
+#include "bench_util.h"
+#include "bounds/formulas.h"
+#include "codec/codec.h"
+
+namespace dr::bench {
+namespace {
+
+struct ExchangeOutcome {
+  std::size_t messages = 0;
+  std::size_t non_isolated = 0;
+  bool mutual_ok = true;
+};
+
+ExchangeOutcome run_grid(std::size_t m, const std::vector<ProcId>& faulty) {
+  const std::size_t n = m * m;
+  sim::Runner runner(sim::RunConfig{.n = n, .t = faulty.size(), .seed = 1});
+  for (ProcId f : faulty) runner.mark_faulty(f);
+  std::vector<ba::GridExchangeProcess*> procs(n, nullptr);
+  for (ProcId p = 0; p < n; ++p) {
+    if (runner.is_faulty(p)) {
+      runner.install(p, std::make_unique<adversary::SilentProcess>());
+    } else {
+      auto proc = std::make_unique<ba::GridExchangeProcess>(
+          p, m, encode_u64(1000 + p));
+      procs[p] = proc.get();
+      runner.install(p, std::move(proc));
+    }
+  }
+  const auto result = runner.run(ba::GridExchangeProcess::steps(m));
+
+  ExchangeOutcome out;
+  out.messages = result.metrics.messages_by_correct();
+  for (ProcId p = 0; p < n; ++p) {
+    if (ba::non_isolated(p, m, result.faulty)) ++out.non_isolated;
+  }
+  for (ProcId p = 0; p < n && out.mutual_ok; ++p) {
+    if (!ba::non_isolated(p, m, result.faulty)) continue;
+    for (ProcId q = 0; q < n; ++q) {
+      if (!ba::non_isolated(q, m, result.faulty)) continue;
+      if (!procs[p]->known().contains(q)) {
+        out.mutual_ok = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void print_tables() {
+  print_header("Algorithm 4: N = m^2 mutual exchange, failure-free",
+               "<= 3(m-1)m^2 messages in 3 phases (Theorem 6); baselines "
+               "N(N-1) (naive) and ~2N(t+1) (relay, t = m)");
+  std::printf("%4s %6s | %10s %10s | %12s %12s\n", "m", "N", "grid",
+              "bound", "naive", "relay(t=m)");
+  for (std::size_t m : {3u, 4u, 6u, 8u, 12u, 16u}) {
+    const std::size_t n = m * m;
+    const auto grid = run_grid(m, {});
+    std::printf("%4zu %6zu | %10zu %10zu | %12zu %12zu\n", m, n,
+                grid.messages, bounds::alg4_message_upper_bound(m),
+                bounds::naive_exchange_messages(n),
+                bounds::relay_exchange_messages(n, m));
+  }
+
+  print_header("Algorithm 4 under faults (Lemma 2)",
+               ">= N-2t non-isolated processors mutually exchange");
+  std::printf("%4s %6s %4s %-12s | %10s | %12s %8s %6s\n", "m", "N", "t",
+              "placement", "messages", "non-isolated", ">=N-2t", "mutual");
+  struct Placement {
+    const char* name;
+    std::function<std::vector<ProcId>(std::size_t, std::size_t)> make;
+  };
+  const Placement placements[] = {
+      {"diagonal",
+       [](std::size_t m, std::size_t t) {
+         std::vector<ProcId> f;
+         for (std::size_t i = 0; i < t; ++i) {
+           f.push_back(static_cast<ProcId>((i % m) * m + (i % m)));
+         }
+         std::sort(f.begin(), f.end());
+         f.erase(std::unique(f.begin(), f.end()), f.end());
+         return f;
+       }},
+      {"row-packed",
+       [](std::size_t /*m*/, std::size_t t) {
+         std::vector<ProcId> f;
+         for (std::size_t i = 0; i < t; ++i) {
+           f.push_back(static_cast<ProcId>(i));  // fills row 0 first
+         }
+         return f;
+       }},
+      {"column",
+       [](std::size_t m, std::size_t t) {
+         std::vector<ProcId> f;
+         for (std::size_t i = 0; i < t && i < m; ++i) {
+           f.push_back(static_cast<ProcId>(i * m));
+         }
+         return f;
+       }},
+  };
+  for (std::size_t m : {4u, 8u, 12u}) {
+    const std::size_t n = m * m;
+    const std::size_t t = m;
+    for (const auto& placement : placements) {
+      const auto faulty = placement.make(m, t);
+      const auto grid = run_grid(m, faulty);
+      std::printf("%4zu %6zu %4zu %-12s | %10zu | %12zu %8zu %6s\n", m, n,
+                  faulty.size(), placement.name, grid.messages,
+                  grid.non_isolated, n - 2 * faulty.size(),
+                  grid.mutual_ok ? "ok" : "FAIL");
+    }
+  }
+}
+
+void register_timings() {
+  for (std::size_t m : {8u, 16u}) {
+    register_timing("alg4/grid/m=" + std::to_string(m), [m] {
+      benchmark::DoNotOptimize(run_grid(m, {}));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::print_tables();
+  dr::bench::register_timings();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Experiment E9 (Lemma 5 / Theorem 7): Algorithm 5 sends O(t^2 + nt/s)
+// messages; with s = t this is O(n + t^2), matching the Theorem 2 lower
+// bound for every ratio of n to t. Worst case: silent tree roots force
+// proof-of-work subtree activations.
+#include "ba/algorithm5.h"
+#include "ba/tree.h"
+#include "bench_util.h"
+#include "bounds/formulas.h"
+
+namespace dr::bench {
+namespace {
+
+/// Silent faults on the first `count` tree roots.
+std::vector<ScenarioFault> silent_tree_roots(std::size_t n, std::size_t t,
+                                             std::size_t s,
+                                             std::size_t count) {
+  std::vector<ScenarioFault> faults;
+  if (n < ba::alpha_for(t)) return faults;
+  const ba::Forest forest = ba::Forest::build(n, t, s);
+  for (std::size_t i = 0; i < forest.trees.size() && faults.size() < count;
+       ++i) {
+    faults.push_back(silent(forest.trees[i].first_id));
+  }
+  return faults;
+}
+
+void print_tables() {
+  print_header("Algorithm 5 (s = t): message growth in n at fixed t",
+               "O(n + t^2) messages (Theorem 7); the per-n slope must "
+               "flatten while Dolev-Strong grows like n*t");
+  std::printf("%6s %4s %4s | %10s %10s | %9s %12s | %7s\n", "n", "t", "s",
+              "clean", "worst", "msg/(n+t^2)", "ds-relay", "phases");
+  for (std::size_t t : {2u, 4u, 8u, 16u}) {
+    for (std::size_t n :
+         {std::size_t{200}, std::size_t{400}, std::size_t{800},
+          std::size_t{1600}}) {
+      // The paper's s is of the form 2^lambda - 1; pick the largest such
+      // value <= max(t, 3) so trees are non-degenerate.
+      std::size_t s = 3;
+      while (2 * s + 1 <= std::max<std::size_t>(t, 3)) s = 2 * s + 1;
+      const auto protocol = ba::make_alg5_protocol(s);
+      const BAConfig config{n, t, 0, 1};
+      const auto clean = measure(protocol, config);
+      const auto worst =
+          measure(protocol, config, silent_tree_roots(n, t, s, t));
+      const auto relay =
+          measure(*ba::find_protocol("dolev-strong-relay"), config);
+      const double denom = static_cast<double>(n + t * t);
+      std::printf("%6zu %4zu %4zu | %10zu %10zu | %11.2f %12zu | %7zu %s\n",
+                  n, t, s, clean.messages, worst.messages,
+                  static_cast<double>(worst.messages) / denom,
+                  relay.messages, worst.phases,
+                  clean.agreement && worst.agreement ? "" : "AGREEMENT-FAIL");
+    }
+  }
+
+  print_header("Algorithm 5: the s trade-off (Lemma 5)",
+               "O(t^2 + nt/s) messages vs 3t+4s+2 phases");
+  std::printf("%6s %4s %4s | %10s %8s | %8s %10s\n", "n", "t", "s", "worst",
+              "phases", "ph-bound", "t^2+nt/s");
+  const std::size_t n = 800;
+  const std::size_t t = 8;
+  for (std::size_t s : {1u, 3u, 7u, 15u, 31u}) {
+    const auto protocol = ba::make_alg5_protocol(s);
+    const auto worst = measure(protocol, BAConfig{n, t, 0, 1},
+                               silent_tree_roots(n, t, s, t));
+    std::printf("%6zu %4zu %4zu | %10zu %8zu | %8zu %10.0f\n", n, t, s,
+                worst.messages, worst.phases, bounds::alg5_phase_bound(t, s),
+                static_cast<double>(t * t) +
+                    static_cast<double>(n * t) / static_cast<double>(s));
+  }
+
+  print_header("Algorithm 5 vs the Theorem 2 lower bound",
+               "measured messages vs max{(n-1)/2, (1+t/2)^2}: the gap is "
+               "the constant factor, not the growth rate");
+  std::printf("%6s %4s | %10s %12s %8s\n", "n", "t", "worst", "lower-bound",
+              "ratio");
+  for (const auto& [nn, tt] : {std::pair<std::size_t, std::size_t>{200, 2},
+                               {400, 4},
+                               {800, 8},
+                               {1600, 16}}) {
+    std::size_t ss = 3;
+    while (2 * ss + 1 <= std::max<std::size_t>(tt, 3)) ss = 2 * ss + 1;
+    const auto worst = measure(ba::make_alg5_protocol(ss),
+                               BAConfig{nn, tt, 0, 1},
+                               silent_tree_roots(nn, tt, ss, tt));
+    const double lb = bounds::theorem2_message_lower_bound(nn, tt);
+    std::printf("%6zu %4zu | %10zu %12.0f %8.1f\n", nn, tt, worst.messages,
+                lb, static_cast<double>(worst.messages) / lb);
+  }
+}
+
+void print_phase_profile() {
+  print_header("Algorithm 5 phase profile (n = 200, t = 4, s = 3)",
+               "the block structure is visible: Algorithm 2 burst, then per-"
+               "block activation / chain / report / exchange waves");
+  const std::size_t n = 200;
+  const std::size_t t = 4;
+  const std::size_t s = 3;
+  const auto result = ba::run_scenario(ba::make_alg5_protocol(s),
+                                       BAConfig{n, t, 0, 1}, 1,
+                                       silent_tree_roots(n, t, s, t));
+  const auto& profile = result.metrics.per_phase();
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (profile[i] == 0) continue;
+    std::printf("phase %3zu | %6zu ", i + 1, profile[i]);
+    for (std::size_t b = 0; b < profile[i] / 8 && b < 60; ++b) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+}
+
+void register_timings() {
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{400, 4},
+                             {1600, 8}}) {
+    register_timing(
+        "alg5/worst/n=" + std::to_string(n) + "/t=" + std::to_string(t),
+        [n = n, t = t] {
+          benchmark::DoNotOptimize(measure(ba::make_alg5_protocol(t),
+                                           BAConfig{n, t, 0, 1},
+                                           silent_tree_roots(n, t, t, t)));
+        });
+  }
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::print_tables();
+  dr::bench::print_phase_profile();
+  dr::bench::register_timings();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

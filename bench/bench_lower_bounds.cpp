@@ -1,0 +1,149 @@
+// Experiments E1-E3 (Theorems 1, 2 and Corollary 1): the lower bounds,
+// measured against every algorithm, plus the executable attack from the
+// Theorem 1 proof.
+#include "bench_util.h"
+#include "bounds/formulas.h"
+#include "bounds/theorem1.h"
+#include "bounds/theorem2.h"
+
+namespace dr::bench {
+namespace {
+
+void print_tables() {
+  print_header(
+      "Theorem 1: signatures sent by correct processors, failure-free",
+      ">= n(t+1)/4 signatures in the worse of the two failure-free "
+      "histories for any authenticated algorithm");
+  std::printf("%-20s %6s %4s | %12s %12s | %10s\n", "algorithm", "n", "t",
+              "signatures", "n(t+1)/4", "|A(p)|min");
+  struct Row {
+    std::string name;
+    std::size_t n;
+    std::size_t t;
+  };
+  for (const Row& row :
+       {Row{"dolev-strong", 10, 3}, Row{"dolev-strong-relay", 14, 3},
+        Row{"alg1", 9, 4}, Row{"alg1", 17, 8}, Row{"alg2", 9, 4},
+        Row{"alg2", 17, 8}}) {
+    const auto& protocol = *ba::find_protocol(row.name);
+    std::size_t worst_signatures = 0;
+    for (Value v : {Value{0}, Value{1}}) {
+      const auto m = measure(protocol, BAConfig{row.n, row.t, 0, v});
+      worst_signatures = std::max(worst_signatures, m.signatures);
+    }
+    const std::size_t partners = bounds::min_partner_set_size(
+        protocol, BAConfig{row.n, row.t, 0, 0}, 1);
+    std::printf("%-20s %6zu %4zu | %12zu %12.0f | %10zu\n", row.name.c_str(),
+                row.n, row.t, worst_signatures,
+                bounds::theorem1_signature_lower_bound(row.n, row.t),
+                partners);
+  }
+
+  print_header("Corollary 1: unauthenticated messages",
+               ">= n(t+1)/4 messages failure-free without authentication "
+               "(EIG at toy sizes; polynomial phase-king at scale)");
+  std::printf("%-12s %6s %4s | %10s %12s\n", "algorithm", "n", "t",
+              "messages", "n(t+1)/4");
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{4, 1},
+                             {7, 2},
+                             {10, 3}}) {
+    const auto m = measure(*ba::find_protocol("eig"), BAConfig{n, t, 0, 1});
+    std::printf("%-12s %6zu %4zu | %10zu %12.0f\n", "eig", n, t, m.messages,
+                bounds::theorem1_signature_lower_bound(n, t));
+  }
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{21, 5},
+                             {85, 21},
+                             {201, 50}}) {
+    const auto m = measure(*ba::find_protocol("phase-king"),
+                           BAConfig{n, t, 0, 1});
+    std::printf("%-12s %6zu %4zu | %10zu %12.0f\n", "phase-king", n, t,
+                m.messages, bounds::theorem1_signature_lower_bound(n, t));
+  }
+
+  print_header("Theorem 1 attack on a thrifty (broken) protocol",
+               "a processor with |A(p)| <= t can be split from the rest by "
+               "a two-faced coalition");
+  std::printf("%6s %4s | %10s | %9s %7s %7s\n", "n", "t", "|A(obs)|",
+              "violated", "obs", "rest");
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{9, 2},
+                             {11, 3},
+                             {13, 4},
+                             {21, 8}}) {
+    const auto attack = bounds::run_theorem1_attack(n, t, 1);
+    std::printf("%6zu %4zu | %10zu | %9s %7llu %7llu\n", n, t,
+                attack.partner_set_size,
+                attack.agreement_violated ? "YES" : "no",
+                static_cast<unsigned long long>(
+                    attack.observer_decision.value_or(999)),
+                static_cast<unsigned long long>(
+                    attack.others_decision.value_or(999)));
+  }
+
+  print_header("Theorem 2 attack on a thrifty (broken) protocol",
+               "a one-shot broadcast spends n-1 messages < the bound; "
+               "withholding the victim's message splits it from the rest");
+  std::printf("%6s %4s | %9s %8s %7s\n", "n", "t", "violated", "victim",
+              "rest");
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{5, 1},
+                             {9, 2},
+                             {13, 4}}) {
+    const auto attack = bounds::run_theorem2_attack(n, t, 1);
+    std::printf("%6zu %4zu | %9s %8llu %7llu\n", n, t,
+                attack.agreement_violated ? "YES" : "no",
+                static_cast<unsigned long long>(
+                    attack.starved_decision.value_or(999)),
+                static_cast<unsigned long long>(
+                    attack.others_decision.value_or(999)));
+  }
+
+  print_header("Theorem 2: the ignore-first-ceil(t/2) coalition B",
+               "every b in B must receive >= ceil(1+t/2) messages from "
+               "correct processors; totals >= max{(n-1)/2, (1+t/2)^2}");
+  std::printf("%-20s %6s %4s | %9s %7s | %10s %12s | %3s\n", "algorithm",
+              "n", "t", "min-recv", "bound", "messages", "lower-bound",
+              "agr");
+  struct Probe {
+    std::string name;
+    std::size_t n;
+    std::size_t t;
+    std::size_t s;
+  };
+  for (const Probe& probe :
+       {Probe{"dolev-strong", 13, 4, 0}, Probe{"alg1", 9, 4, 0},
+        Probe{"alg1", 17, 8, 0}, Probe{"alg2", 13, 6, 0},
+        Probe{"alg3", 60, 4, 0}, Probe{"eig", 10, 3, 0}}) {
+    const ba::Protocol protocol =
+        probe.name == "alg3" ? ba::make_alg3_protocol(2 * probe.t)
+                             : *ba::find_protocol(probe.name);
+    const auto result = bounds::run_theorem2_probe(
+        protocol, BAConfig{probe.n, probe.t, 0, 1}, 1);
+    std::printf("%-20s %6zu %4zu | %9zu %7zu | %10zu %12.0f | %3s\n",
+                protocol.name.c_str(), probe.n, probe.t,
+                result.min_received_by_b, result.per_member_bound,
+                result.messages_sent_by_correct,
+                bounds::theorem2_message_lower_bound(probe.n, probe.t),
+                result.agreement && result.validity ? "ok" : "FAIL");
+  }
+}
+
+void register_timings() {
+  register_timing("theorem1/attack/n=13/t=4", [] {
+    benchmark::DoNotOptimize(bounds::run_theorem1_attack(13, 4, 1));
+  });
+  register_timing("theorem2/probe/alg1/t=8", [] {
+    benchmark::DoNotOptimize(bounds::run_theorem2_probe(
+        *ba::find_protocol("alg1"), BAConfig{17, 8, 0, 1}, 1));
+  });
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::print_tables();
+  dr::bench::register_timings();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

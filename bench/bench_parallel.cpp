@@ -1,0 +1,76 @@
+// The deterministic parallel runner: wall-clock scaling of identical runs
+// across worker-thread counts. Results are bit-identical by construction
+// (see parallel_test); this table shows what the parallelism buys on the
+// heavier workloads.
+#include <chrono>
+
+#include "bench_util.h"
+
+namespace dr::bench {
+namespace {
+
+double time_once(const Protocol& protocol, const BAConfig& config,
+                 std::size_t threads) {
+  ba::ScenarioOptions options;
+  options.threads = threads;
+  const auto begin = std::chrono::steady_clock::now();
+  const auto result = ba::run_scenario(protocol, config, options);
+  const auto end = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(result.metrics.messages_by_correct());
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+void print_tables() {
+  print_header("Parallel phase execution (bit-identical to serial)",
+               "processes within a phase are independent; sends commit in "
+               "processor order afterwards (speedup bounded by host cores "
+               "and the serial commit/delivery fraction)");
+  std::printf("%-22s %6s %4s | %9s %9s %9s | %8s\n", "protocol", "n", "t",
+              "1 thread", "2", "4", "speedup");
+  struct Job {
+    std::string label;
+    Protocol protocol;
+    std::size_t n;
+    std::size_t t;
+  };
+  std::vector<Job> jobs;
+  jobs.push_back({"dolev-strong", *ba::find_protocol("dolev-strong"),
+                  400, 4});
+  jobs.push_back({"phase-king", *ba::find_protocol("phase-king"), 201, 50});
+  jobs.push_back({"alg3[s=16]", ba::make_alg3_protocol(16), 2000, 8});
+  jobs.push_back({"alg5[s=7]", ba::make_alg5_protocol(7), 800, 8});
+  for (const Job& job : jobs) {
+    const BAConfig config{job.n, job.t, 0, 1};
+    const double t1 = time_once(job.protocol, config, 1);
+    const double t2 = time_once(job.protocol, config, 2);
+    const double t4 = time_once(job.protocol, config, 4);
+    std::printf("%-22s %6zu %4zu | %8.1f %8.1f %8.1f | %7.2fx\n",
+                job.label.c_str(), job.n, job.t, t1, t2, t4,
+                t1 / std::min(t2, t4));
+  }
+}
+
+void register_timings() {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    register_timing("parallel/alg3/threads=" + std::to_string(threads),
+                    [threads] {
+                      ba::ScenarioOptions options;
+                      options.threads = threads;
+                      benchmark::DoNotOptimize(ba::run_scenario(
+                          ba::make_alg3_protocol(16),
+                          BAConfig{2000, 8, 0, 1}, options));
+                    });
+  }
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::print_tables();
+  dr::bench::register_timings();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Experiment E7: the paper's message/phase trade-off — "t+3+t/alpha phases
+// and O(alpha*n) messages for 1 <= alpha <= t" — realised by sweeping the
+// set size s of Algorithm 3 (alpha ~ t/s) and the tree size s of
+// Algorithm 5.
+#include "ba/algorithm3.h"
+#include "bench_util.h"
+#include "bounds/formulas.h"
+
+namespace dr::bench {
+namespace {
+
+std::vector<ScenarioFault> silent_roots(std::size_t n, std::size_t t,
+                                        std::size_t s) {
+  const ba::Alg3Layout layout{n, t, s};
+  std::vector<ScenarioFault> faults;
+  for (std::size_t set = 0; set < layout.set_count() && faults.size() < t;
+       ++set) {
+    faults.push_back(silent(layout.root_of(set)));
+  }
+  return faults;
+}
+
+void print_tables() {
+  const std::size_t n = 2000;
+  const std::size_t t = 16;
+  print_header(
+      "Message/phase trade-off (Algorithm 3, n = 2000, t = 16)",
+      "sweeping s trades phases (t+2s+3) against messages (2n+4tn/s+3t^2 s) "
+      "— the paper's 't+3+t/alpha phases, O(alpha n) messages' frontier");
+  std::printf("%4s | %8s %8s | %10s %10s | %3s\n", "s", "phases", "bound",
+              "messages", "bound", "agr");
+  for (std::size_t s = 1; s <= 4 * t; s *= 2) {
+    const auto protocol = ba::make_alg3_protocol(s);
+    const auto worst = measure(protocol, BAConfig{n, t, 0, 1},
+                               silent_roots(n, t, s));
+    std::printf("%4zu | %8zu %8zu | %10zu %10.0f | %3s\n", s, worst.phases,
+                bounds::alg3_phase_bound(t, s), worst.messages,
+                bounds::alg3_message_upper_bound(n, t, s),
+                worst.agreement && worst.validity ? "ok" : "FAIL");
+  }
+
+  print_header(
+      "The same frontier at small alpha (few messages, many phases)",
+      "s near 4t minimises messages; s = 1 nearly minimises phases");
+  std::printf("%4s | %8s | %10s | %14s\n", "s", "phases", "messages",
+              "msg*phases");
+  for (std::size_t s : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto protocol = ba::make_alg3_protocol(s);
+    const auto worst = measure(protocol, BAConfig{n, t, 0, 1},
+                               silent_roots(n, t, s));
+    std::printf("%4zu | %8zu | %10zu | %14zu\n", s, worst.phases,
+                worst.messages, worst.phases * worst.messages);
+  }
+}
+
+void register_timings() {
+  for (std::size_t s : {4u, 32u}) {
+    register_timing("tradeoff/alg3/s=" + std::to_string(s), [s] {
+      benchmark::DoNotOptimize(measure(ba::make_alg3_protocol(s),
+                                       BAConfig{2000, 16, 0, 1},
+                                       silent_roots(2000, 16, s)));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::print_tables();
+  dr::bench::register_timings();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared helpers for the benchmark binaries. Each binary regenerates one of
+// the paper's quantitative claims (see EXPERIMENTS.md): it prints a
+// deterministic measurement table (message/signature/phase counts vs. the
+// paper's bound) and then runs google-benchmark timings for the same
+// configurations.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "adversary/strategies.h"
+#include "ba/registry.h"
+
+namespace dr::bench {
+
+using ba::BAConfig;
+using ba::ProcId;
+using ba::Protocol;
+using ba::ScenarioFault;
+using ba::Value;
+
+inline ScenarioFault silent(ProcId id) {
+  return ScenarioFault{id, [](ProcId, const BAConfig&) {
+                         return std::make_unique<adversary::SilentProcess>();
+                       }};
+}
+
+struct Measurement {
+  std::size_t messages = 0;
+  std::size_t signatures = 0;
+  std::size_t phases = 0;
+  bool agreement = false;
+  bool validity = false;
+};
+
+inline Measurement measure(const Protocol& protocol, const BAConfig& config,
+                           const std::vector<ScenarioFault>& faults = {},
+                           std::uint64_t seed = 1) {
+  const auto result = ba::run_scenario(protocol, config, seed, faults);
+  const auto check =
+      sim::check_byzantine_agreement(result, config.transmitter,
+                                     config.value);
+  return Measurement{result.metrics.messages_by_correct(),
+                     result.metrics.signatures_by_correct(),
+                     result.metrics.last_active_phase(), check.agreement,
+                     check.validity};
+}
+
+/// Registers a wall-clock benchmark closure under `name`.
+template <typename Fn>
+void register_timing(const std::string& name, Fn fn) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [fn](benchmark::State& state) {
+                                 for (auto _ : state) fn();
+                               })
+      ->Unit(benchmark::kMillisecond);
+}
+
+inline void print_header(const char* title, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// Standard main: print the tables (fn), then run timings.
+#define DR82_BENCH_MAIN(print_tables)                       \
+  int main(int argc, char** argv) {                         \
+    print_tables();                                         \
+    ::benchmark::Initialize(&argc, argv);                   \
+    ::benchmark::RunSpecifiedBenchmarks();                  \
+    ::benchmark::Shutdown();                                \
+    return 0;                                               \
+  }
+
+}  // namespace dr::bench

@@ -1,0 +1,79 @@
+// The paper's headline result in action: Algorithm 5 reaches Byzantine
+// Agreement with O(n + t^2) messages. This example scales n with t fixed
+// and shows the per-processor message cost flattening while Dolev-Strong's
+// keeps its factor-t slope — including under faults placed to hurt
+// Algorithm 5 most (silent tree roots).
+//
+//   ./message_optimal [t]
+#include <cstdio>
+#include <cstdlib>
+
+#include "adversary/strategies.h"
+#include "ba/registry.h"
+#include "ba/tree.h"
+#include "bounds/formulas.h"
+
+using namespace dr;
+
+namespace {
+
+std::vector<ba::ScenarioFault> silent_tree_roots(std::size_t n,
+                                                 std::size_t t,
+                                                 std::size_t s) {
+  std::vector<ba::ScenarioFault> faults;
+  if (n < ba::alpha_for(t)) return faults;
+  const ba::Forest forest = ba::Forest::build(n, t, s);
+  for (std::size_t i = 0; i < forest.trees.size() && faults.size() < t;
+       ++i) {
+    faults.push_back(ba::ScenarioFault{
+        forest.trees[i].first_id, [](ba::ProcId, const ba::BAConfig&) {
+          return std::make_unique<adversary::SilentProcess>();
+        }});
+  }
+  return faults;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t t = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  std::size_t s = 3;  // largest 2^lambda - 1 <= max(t, 3)
+  while (2 * s + 1 <= std::max<std::size_t>(t, 3)) s = 2 * s + 1;
+
+  std::printf("Algorithm 5 (tree size s=%zu) vs Dolev-Strong relay "
+              "variant, t=%zu, worst-case faults\n\n", s, t);
+  std::printf("%6s | %12s %10s | %12s %10s\n", "n", "alg5 msgs", "per proc",
+              "ds-relay", "per proc");
+
+  const auto alg5 = ba::make_alg5_protocol(s);
+  const auto& relay = *ba::find_protocol("dolev-strong-relay");
+  for (std::size_t n = 200; n <= 3200; n *= 2) {
+    const ba::BAConfig config{n, t, 0, 1};
+    const auto faults = silent_tree_roots(n, t, s);
+    const auto a = ba::run_scenario(alg5, config, 1, faults);
+    const auto d = ba::run_scenario(relay, config, 1, faults);
+    const auto ca = sim::check_byzantine_agreement(a, 0, 1);
+    const auto cd = sim::check_byzantine_agreement(d, 0, 1);
+    if (!ca.agreement || !ca.validity || !cd.agreement || !cd.validity) {
+      std::printf("agreement failure at n=%zu!\n", n);
+      return 1;
+    }
+    std::printf("%6zu | %12zu %10.1f | %12zu %10.1f\n", n,
+                a.metrics.messages_by_correct(),
+                static_cast<double>(a.metrics.messages_by_correct()) /
+                    static_cast<double>(n),
+                d.metrics.messages_by_correct(),
+                static_cast<double>(d.metrics.messages_by_correct()) /
+                    static_cast<double>(n));
+  }
+
+  std::printf("\nTheorem 2 says no algorithm can beat "
+              "max{(n-1)/2, (1+t/2)^2}; at n=3200, t=%zu that is %.0f "
+              "messages.\n", t,
+              bounds::theorem2_message_lower_bound(3200, t));
+  std::printf("Algorithm 5's price: ~%zu phases instead of Dolev-Strong's "
+              "t+2 = %zu.\n",
+              static_cast<std::size_t>(bounds::alg5_phase_bound(t, s)),
+              t + 2);
+  return 0;
+}

@@ -1,0 +1,244 @@
+// General-purpose simulation driver: pick a protocol, size, adversary mix
+// and scheme from the command line; get agreement verdicts and
+// information-exchange metrics (optionally as a CSV row for scripted
+// sweeps).
+//
+// Usage:
+//   ./simulate [options]
+//     --protocol NAME   dolev-strong | dolev-strong-relay | eig | alg1 |
+//                       alg1-mv | alg2 | alg3 | alg5 | alg5-ungated
+//                       (default: alg5)
+//     --n N             processors (default 100)
+//     --t T             fault budget (default 2)
+//     --s S             set/tree size for alg3/alg5 (default max(t,3))
+//     --value V         transmitter input (default 1)
+//     --seed S          master seed (default 1)
+//     --faults SPEC     comma list of id:kind with kind in
+//                       silent | chaos | crash (e.g. "7:silent,9:chaos")
+//     --equivocate      make the transmitter two-faced (counts as a fault)
+//     --rushing         rushing adversary semantics
+//     --merkle          Lamport+Merkle signatures instead of HMAC (small n!)
+//     --wots            W-OTS+Merkle signatures instead of HMAC (small n!)
+//     --threads K       parallel phase execution with K worker threads
+//     --trace           print the full message history (text timeline)
+//     --dot             print the full message history as Graphviz DOT
+//     --csv             one CSV row instead of the report
+//
+// Examples:
+//   ./simulate --protocol alg3 --n 400 --t 4 --s 16 --faults 25:silent
+//   ./simulate --protocol dolev-strong --n 9 --t 2 --equivocate --csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "adversary/strategies.h"
+#include "ba/registry.h"
+#include "ba/signed_value.h"
+#include "hist/export.h"
+
+using namespace dr;
+
+namespace {
+
+struct Args {
+  std::string protocol = "alg5";
+  std::size_t n = 100;
+  std::size_t t = 2;
+  std::size_t s = 0;
+  ba::Value value = 1;
+  std::uint64_t seed = 1;
+  std::string faults;
+  bool equivocate = false;
+  bool rushing = false;
+  bool merkle = false;
+  bool wots = false;
+  bool csv = false;
+  bool trace = false;
+  bool dot = false;
+  std::size_t threads = 1;
+};
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr, "error: %s (run with --help)\n", message);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing argument value");
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      args.protocol = next();
+    } else if (arg == "--n") {
+      args.n = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--t") {
+      args.t = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--s") {
+      args.s = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--value") {
+      args.value = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      args.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--faults") {
+      args.faults = next();
+    } else if (arg == "--equivocate") {
+      args.equivocate = true;
+    } else if (arg == "--rushing") {
+      args.rushing = true;
+    } else if (arg == "--merkle") {
+      args.merkle = true;
+    } else if (arg == "--wots") {
+      args.wots = true;
+    } else if (arg == "--threads") {
+      args.threads = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--trace") {
+      args.trace = true;
+    } else if (arg == "--dot") {
+      args.dot = true;
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--help") {
+      std::printf("see the header of examples/simulate.cpp for usage\n");
+      std::exit(0);
+    } else {
+      usage_error("unknown option");
+    }
+  }
+  if (args.s == 0) args.s = std::max<std::size_t>(args.t, 3);
+  return args;
+}
+
+ba::Protocol resolve_protocol(const Args& args) {
+  if (args.protocol == "alg3") return ba::make_alg3_protocol(args.s);
+  if (args.protocol == "alg5") return ba::make_alg5_protocol(args.s);
+  if (args.protocol == "alg5-ungated") {
+    return ba::make_alg5_ungated_protocol(args.s);
+  }
+  const ba::Protocol* fixed = ba::find_protocol(args.protocol);
+  if (fixed == nullptr) usage_error("unknown protocol");
+  return *fixed;
+}
+
+std::vector<ba::ScenarioFault> parse_faults(const Args& args,
+                                            const ba::Protocol& protocol) {
+  std::vector<ba::ScenarioFault> faults;
+  if (args.equivocate) {
+    std::set<ba::ProcId> ones;
+    for (ba::ProcId q = 1; q < args.n; q += 2) ones.insert(q);
+    faults.push_back(ba::ScenarioFault{
+        0, [ones](ba::ProcId, const ba::BAConfig& c) {
+          return std::make_unique<adversary::EquivocatingTransmitter>(ones,
+                                                                      c.n);
+        }});
+  }
+  std::string spec = args.faults;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    const std::string item = spec.substr(0, comma);
+    spec = comma == std::string::npos ? "" : spec.substr(comma + 1);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) usage_error("fault spec needs id:kind");
+    const auto id =
+        static_cast<ba::ProcId>(std::strtoul(item.c_str(), nullptr, 10));
+    const std::string kind = item.substr(colon + 1);
+    if (id >= args.n) usage_error("fault id out of range");
+    if (kind == "silent") {
+      faults.push_back(ba::ScenarioFault{
+          id, [](ba::ProcId, const ba::BAConfig&) {
+            return std::make_unique<adversary::SilentProcess>();
+          }});
+    } else if (kind == "chaos") {
+      faults.push_back(ba::ScenarioFault{
+          id, [seed = args.seed](ba::ProcId p, const ba::BAConfig&) {
+            return std::make_unique<adversary::RandomByzantine>(seed ^ p,
+                                                                0.3);
+          }});
+    } else if (kind == "crash") {
+      faults.push_back(ba::ScenarioFault{
+          id, [&protocol](ba::ProcId p, const ba::BAConfig& c) {
+            return std::make_unique<adversary::CrashProcess>(
+                protocol.make(p, c), protocol.steps(c) / 2);
+          }});
+    } else {
+      usage_error("unknown fault kind");
+    }
+  }
+  return faults;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  const ba::Protocol protocol = resolve_protocol(args);
+  const ba::BAConfig config{args.n, args.t, 0, args.value};
+  if (!protocol.supports(config)) {
+    usage_error("protocol does not support this (n, t, value)");
+  }
+  const auto faults = parse_faults(args, protocol);
+  if (faults.size() > args.t) usage_error("more faults than t");
+
+  ba::ScenarioOptions options;
+  options.seed = args.seed;
+  options.rushing = args.rushing;
+  if (args.merkle) {
+    options.scheme = sim::SchemeKind::kMerkle;
+    options.merkle_height = 8;
+  }
+  if (args.wots) {
+    options.scheme = sim::SchemeKind::kWots;
+    options.merkle_height = 8;
+  }
+  options.threads = std::max<std::size_t>(args.threads, 1);
+  options.record_history = args.trace || args.dot;
+
+  const auto result = ba::run_scenario(protocol, config, options, faults);
+  if (args.dot) {
+    std::fputs(hist::to_dot(result.history,
+                            ba::chain_label_printer()).c_str(), stdout);
+    return 0;
+  }
+  if (args.trace) {
+    std::fputs(hist::to_text(result.history,
+                             ba::chain_label_printer()).c_str(), stdout);
+  }
+  const auto check = sim::check_byzantine_agreement(result, 0, args.value);
+
+  if (args.csv) {
+    std::printf("protocol,n,t,faults,rushing,agreement,validity,messages,"
+                "signatures,phases\n");
+    std::printf("%s,%zu,%zu,%zu,%d,%d,%d,%zu,%zu,%u\n",
+                protocol.name.c_str(), args.n, args.t, faults.size(),
+                args.rushing ? 1 : 0, check.agreement ? 1 : 0,
+                check.validity ? 1 : 0,
+                result.metrics.messages_by_correct(),
+                result.metrics.signatures_by_correct(),
+                result.metrics.last_active_phase());
+    return check.agreement && check.validity ? 0 : 1;
+  }
+
+  std::printf("protocol:   %s\n", protocol.name.c_str());
+  std::printf("n=%zu t=%zu value=%llu seed=%llu faults=%zu%s%s\n", args.n,
+              args.t, static_cast<unsigned long long>(args.value),
+              static_cast<unsigned long long>(args.seed), faults.size(),
+              args.rushing ? " rushing" : "",
+              args.merkle ? " merkle" : (args.wots ? " wots" : ""));
+  std::printf("agreement:  %s\n", check.agreement ? "yes" : "NO");
+  std::printf("validity:   %s\n", check.validity ? "yes" : "NO");
+  if (check.agreed_value.has_value()) {
+    std::printf("common value: %llu\n",
+                static_cast<unsigned long long>(*check.agreed_value));
+  }
+  std::printf("messages (correct senders):   %zu\n",
+              result.metrics.messages_by_correct());
+  std::printf("signatures (correct senders): %zu\n",
+              result.metrics.signatures_by_correct());
+  std::printf("phases with traffic:          %u\n",
+              result.metrics.last_active_phase());
+  return check.agreement && check.validity ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Explore the paper's message/phase trade-off (Section 5): Algorithm 3
+// parameterised by its set size s spans the frontier from "few phases, many
+// messages" (s small) to "many phases, few messages" (s near 4t). The
+// paper phrases this as t+3+t/alpha phases against O(alpha*n) messages.
+//
+//   ./tradeoff_explorer [n] [t]
+//
+// Prints the measured frontier under the worst fault placement (t silent
+// set roots) and marks the message-optimal and phase-optimal corners.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "adversary/strategies.h"
+#include "ba/algorithm3.h"
+#include "ba/registry.h"
+#include "bounds/formulas.h"
+
+using namespace dr;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1000;
+  const std::size_t t = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  if (n < 2 * t + 2) {
+    std::fprintf(stderr, "need n >= 2t+2\n");
+    return 1;
+  }
+
+  struct Point {
+    std::size_t s;
+    std::size_t phases;
+    std::size_t messages;
+  };
+  std::vector<Point> frontier;
+
+  std::printf("Algorithm 3 trade-off frontier, n=%zu, t=%zu "
+              "(worst case: t silent roots)\n\n", n, t);
+  std::printf("%5s | %7s %8s | %9s %10s | %s\n", "s", "phases", "(bound)",
+              "messages", "(bound)", "frontier");
+
+  for (std::size_t s = 1; s <= 8 * t; s *= 2) {
+    const ba::Alg3Layout layout{n, t, s};
+    std::vector<ba::ScenarioFault> faults;
+    for (std::size_t set = 0; set < layout.set_count() && faults.size() < t;
+         ++set) {
+      faults.push_back(ba::ScenarioFault{
+          layout.root_of(set), [](ba::ProcId, const ba::BAConfig&) {
+            return std::make_unique<adversary::SilentProcess>();
+          }});
+    }
+    const auto result = ba::run_scenario(ba::make_alg3_protocol(s),
+                                         ba::BAConfig{n, t, 0, 1}, 1,
+                                         faults);
+    const auto check = sim::check_byzantine_agreement(result, 0, 1);
+    if (!check.agreement || !check.validity) {
+      std::printf("agreement failure at s=%zu!\n", s);
+      return 1;
+    }
+    frontier.push_back(Point{s, result.metrics.last_active_phase(),
+                             result.metrics.messages_by_correct()});
+    // A simple bar visualising message cost (one '#' per n messages).
+    const std::size_t bars = result.metrics.messages_by_correct() / n;
+    std::printf("%5zu | %7u %8zu | %9zu %10.0f | ", s,
+                result.metrics.last_active_phase(),
+                bounds::alg3_phase_bound(t, s),
+                result.metrics.messages_by_correct(),
+                bounds::alg3_message_upper_bound(n, t, s));
+    for (std::size_t b = 0; b < bars && b < 48; ++b) std::printf("#");
+    std::printf("\n");
+  }
+
+  const auto min_msg = std::min_element(
+      frontier.begin(), frontier.end(),
+      [](const Point& a, const Point& b) { return a.messages < b.messages; });
+  const auto min_ph = std::min_element(
+      frontier.begin(), frontier.end(),
+      [](const Point& a, const Point& b) { return a.phases < b.phases; });
+  std::printf("\nmessage-optimal: s=%zu (%zu messages in %zu phases)\n",
+              min_msg->s, min_msg->messages, min_msg->phases);
+  std::printf("phase-optimal:   s=%zu (%zu phases at %zu messages)\n",
+              min_ph->s, min_ph->phases, min_ph->messages);
+  std::printf("\nThe paper's Theorem 5 point sits at s = 4t = %zu: "
+              "O(n + t^3) messages.\n", 4 * t);
+  return 0;
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Rebuild, run the whole test suite and regenerate every experiment table.
+# Usage: scripts/reproduce.sh [build-dir]
+set -eu
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && "$b"
+done

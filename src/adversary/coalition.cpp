@@ -1,0 +1,11 @@
+#include "adversary/coalition.h"
+
+#include <algorithm>
+
+namespace dr::adversary {
+
+bool Coalition::contains(sim::ProcId p) const {
+  return std::find(members.begin(), members.end(), p) != members.end();
+}
+
+}  // namespace dr::adversary

@@ -1,0 +1,28 @@
+// Shared state for colluding faulty processors.
+//
+// The paper's adversary model: "We allow faulty processors to collude for
+// cheating. Therefore every message that contains only signatures of faulty
+// processors can be produced by them." The Runner already pools the faulty
+// keys into one Signer; this blackboard gives scripted attacks a place to
+// coordinate beyond what the network would allow correct processors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/envelope.h"
+#include "util/bytes.h"
+
+namespace dr::adversary {
+
+struct Coalition {
+  std::vector<sim::ProcId> members;
+  /// Free-form shared notes, keyed by attack-defined strings.
+  std::map<std::string, Bytes> notes;
+
+  bool contains(sim::ProcId p) const;
+};
+
+}  // namespace dr::adversary

@@ -1,0 +1,147 @@
+#include "adversary/strategies.h"
+
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace dr::adversary {
+
+CrashProcess::CrashProcess(std::unique_ptr<Process> inner,
+                           PhaseNum crash_phase)
+    : inner_(std::move(inner)), crash_phase_(crash_phase) {
+  DR_EXPECTS(inner_ != nullptr);
+}
+
+void CrashProcess::on_phase(Context& ctx) {
+  if (ctx.phase() >= crash_phase_) return;
+  inner_->on_phase(ctx);
+}
+
+EquivocatingTransmitter::EquivocatingTransmitter(std::set<ProcId> ones,
+                                                 std::size_t n)
+    : ones_(std::move(ones)), n_(n) {}
+
+void EquivocatingTransmitter::on_phase(Context& ctx) {
+  if (ctx.phase() != 1) return;
+  for (ProcId q = 0; q < n_; ++q) {
+    if (q == ctx.self()) continue;
+    const Value v = ones_.contains(q) ? 1 : 0;
+    const ba::SignedValue sv = ba::make_signed(v, ctx.signer(), ctx.self());
+    ctx.send(q, encode(sv), 1);
+  }
+}
+
+ValueMapTransmitter::ValueMapTransmitter(std::map<ProcId, Value> values)
+    : values_(std::move(values)) {}
+
+void ValueMapTransmitter::on_phase(Context& ctx) {
+  if (ctx.phase() != 1) return;
+  for (const auto& [to, value] : values_) {
+    if (to == ctx.self()) continue;
+    const ba::SignedValue sv = ba::make_signed(value, ctx.signer(),
+                                               ctx.self());
+    ctx.send(to, encode(sv), 1);
+  }
+}
+
+IgnoreFirstK::IgnoreFirstK(std::unique_ptr<Process> inner,
+                           std::size_t ignore_count, std::set<ProcId> peers)
+    : inner_(std::move(inner)), to_ignore_(ignore_count),
+      peers_(std::move(peers)) {
+  DR_EXPECTS(inner_ != nullptr);
+}
+
+void IgnoreFirstK::on_phase(Context& ctx) {
+  std::vector<Envelope> filtered;
+  filtered.reserve(ctx.inbox().size());
+  for (const Envelope& env : ctx.inbox()) {
+    if (!peers_.contains(env.from) && ignored_ < to_ignore_) {
+      ++ignored_;
+      continue;
+    }
+    filtered.push_back(env);
+  }
+
+  Context inner_ctx(ctx.self(), ctx.phase(), ctx.n(), ctx.t(), &filtered,
+                    &ctx.signer(), &ctx.verifier());
+  inner_->on_phase(inner_ctx);
+  for (auto& out : inner_ctx.outgoing()) {
+    if (peers_.contains(out.to)) continue;  // never talk to the other B's
+    ctx.send(out.to, std::move(out.payload), out.signatures);
+  }
+}
+
+TwoFacedReplay::TwoFacedReplay(Trace trace_a, std::set<ProcId> face_a_targets,
+                               Trace trace_b)
+    : trace_a_(std::move(trace_a)),
+      face_a_targets_(std::move(face_a_targets)),
+      trace_b_(std::move(trace_b)) {}
+
+void TwoFacedReplay::on_phase(Context& ctx) {
+  if (const auto it = trace_a_.find(ctx.phase()); it != trace_a_.end()) {
+    for (const auto& [to, payload] : it->second) {
+      if (face_a_targets_.contains(to)) ctx.send(to, payload, 0);
+    }
+  }
+  if (const auto it = trace_b_.find(ctx.phase()); it != trace_b_.end()) {
+    for (const auto& [to, payload] : it->second) {
+      if (!face_a_targets_.contains(to)) ctx.send(to, payload, 0);
+    }
+  }
+}
+
+DelayedEcho::DelayedEcho(PhaseNum delay) : delay_(delay) {}
+
+void DelayedEcho::on_phase(Context& ctx) {
+  for (const Envelope& env : ctx.inbox()) {
+    buffered_[ctx.phase() + delay_].push_back(env.payload);
+  }
+  const auto it = buffered_.find(ctx.phase());
+  if (it == buffered_.end()) return;
+  for (const Bytes& payload : it->second) {
+    for (ProcId q = 0; q < ctx.n(); ++q) {
+      if (q != ctx.self()) ctx.send(q, payload, 0);
+    }
+  }
+  buffered_.erase(it);
+}
+
+RandomByzantine::RandomByzantine(std::uint64_t seed, double send_prob)
+    : rng_(seed), send_prob_(send_prob) {}
+
+void RandomByzantine::on_phase(Context& ctx) {
+  for (const Envelope& env : ctx.inbox()) {
+    if (seen_.size() < 256) seen_.push_back(env.payload);
+  }
+  for (ProcId q = 0; q < ctx.n(); ++q) {
+    if (q == ctx.self() || !rng_.chance(send_prob_)) continue;
+    Bytes payload;
+    if (!seen_.empty() && rng_.chance(0.5)) {
+      payload = seen_[rng_.below(seen_.size())];
+      if (!payload.empty() && rng_.chance(0.75)) {
+        // Mutate: flip a byte or truncate.
+        if (rng_.chance(0.5)) {
+          payload[rng_.below(payload.size())] ^=
+              static_cast<std::uint8_t>(rng_.range(1, 255));
+        } else {
+          payload.resize(rng_.below(payload.size() + 1));
+        }
+      }
+    } else {
+      payload = rng_.bytes(rng_.below(65));
+    }
+    ctx.send(q, std::move(payload), 0);
+  }
+}
+
+TwoFacedReplay::Trace trace_of(const hist::History& history, ProcId p) {
+  TwoFacedReplay::Trace trace;
+  for (PhaseNum k = 1; k <= history.phases(); ++k) {
+    for (const hist::Edge& e : history.phase(k).out_edges(p)) {
+      trace[k].emplace_back(e.to, e.label);
+    }
+  }
+  return trace;
+}
+
+}  // namespace dr::adversary

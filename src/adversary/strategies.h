@@ -1,0 +1,160 @@
+// Byzantine behaviours used across tests, benchmarks and the executable
+// lower-bound experiments. Each is a sim::Process; the Runner gives faulty
+// instances the pooled coalition Signer automatically.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ba/signed_value.h"
+#include "hist/history.h"
+#include "sim/process.h"
+#include "util/rng.h"
+
+namespace dr::adversary {
+
+using sim::Context;
+using sim::Envelope;
+using sim::PhaseNum;
+using sim::ProcId;
+using sim::Process;
+using sim::Value;
+
+/// Sends nothing, ever. The cheapest fault; also the worst case for the
+/// correction phases of Algorithms 3 and 5 (silent roots force the active
+/// processors to contact subtree members directly).
+class SilentProcess final : public Process {
+ public:
+  void on_phase(Context&) override {}
+  std::optional<Value> decision() const override { return std::nullopt; }
+};
+
+/// Runs the wrapped (correct) implementation until `crash_phase`, then goes
+/// silent forever — the classic crash/omission fault expressed as a special
+/// case of Byzantine behaviour.
+class CrashProcess final : public Process {
+ public:
+  CrashProcess(std::unique_ptr<Process> inner, PhaseNum crash_phase);
+
+  void on_phase(Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  PhaseNum crash_phase_;
+};
+
+/// A faulty transmitter that signs and sends value 1 to receivers in `ones`
+/// and value 0 to everybody else in phase 1, then stays silent. This is the
+/// canonical equivocation that the signature chains of Algorithms 1/2 and
+/// Dolev-Strong must neutralise.
+class EquivocatingTransmitter final : public Process {
+ public:
+  EquivocatingTransmitter(std::set<ProcId> ones, std::size_t n);
+
+  void on_phase(Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+ private:
+  std::set<ProcId> ones_;
+  std::size_t n_;
+};
+
+/// A faulty transmitter for the multi-valued setting: sends each receiver
+/// the signed value chosen for it (receivers missing from the map get
+/// nothing), phase 1 only.
+class ValueMapTransmitter final : public Process {
+ public:
+  explicit ValueMapTransmitter(std::map<ProcId, Value> values);
+
+  void on_phase(Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+ private:
+  std::map<ProcId, Value> values_;
+};
+
+/// Wraps a correct implementation but (a) ignores the first `ignore_count`
+/// messages received from processors outside `peers` and (b) never sends to
+/// processors in `peers`. With peers = B and ignore_count = ceil(t/2), this
+/// is exactly the faulty behaviour of the set B in the proof of Theorem 2:
+/// "it behaves like a correct processor with one exception — it ignores the
+/// first ceil(t/2) messages received from processors in A" and "never sends
+/// a message to other processors in B".
+class IgnoreFirstK final : public Process {
+ public:
+  IgnoreFirstK(std::unique_ptr<Process> inner, std::size_t ignore_count,
+               std::set<ProcId> peers);
+
+  void on_phase(Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+  std::size_t ignored_so_far() const { return ignored_; }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  std::size_t to_ignore_;
+  std::size_t ignored_ = 0;
+  std::set<ProcId> peers_;
+};
+
+/// Replays prerecorded sends, routing by receiver: messages to processors in
+/// `face_a_targets` follow `trace_a`; everyone else gets `trace_b`. This is
+/// the two-faced coalition member from the proof of Theorem 1 (behave toward
+/// p as in history H, toward the rest as in history G).
+class TwoFacedReplay final : public Process {
+ public:
+  /// trace maps phase -> list of (receiver, payload).
+  using Trace = std::map<PhaseNum, std::vector<std::pair<ProcId, Bytes>>>;
+
+  TwoFacedReplay(Trace trace_a, std::set<ProcId> face_a_targets,
+                 Trace trace_b);
+
+  void on_phase(Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+ private:
+  Trace trace_a_;
+  std::set<ProcId> face_a_targets_;
+  Trace trace_b_;
+};
+
+/// Buffers everything it receives and echoes it verbatim to every
+/// processor `delay` phases later — stresses protocols' phase-labelled
+/// acceptance rules (stale chains must be rejected, not re-accepted).
+class DelayedEcho final : public Process {
+ public:
+  explicit DelayedEcho(PhaseNum delay);
+
+  void on_phase(Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+ private:
+  PhaseNum delay_;
+  std::map<PhaseNum, std::vector<Bytes>> buffered_;  // release phase -> payloads
+};
+
+/// Fuzzing adversary: each phase, with probability `send_prob` per receiver,
+/// sends either random bytes or a randomly mutated copy of a message it
+/// received. Exercises every decoder and validity check in the protocols.
+class RandomByzantine final : public Process {
+ public:
+  RandomByzantine(std::uint64_t seed, double send_prob);
+
+  void on_phase(Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+ private:
+  Xoshiro256 rng_;
+  double send_prob_;
+  std::vector<Bytes> seen_;
+};
+
+/// Extracts a trace (phase -> sends) for processor `p` from a recorded
+/// history; used to script TwoFacedReplay from failure-free reference runs.
+TwoFacedReplay::Trace trace_of(const hist::History& history, ProcId p);
+
+}  // namespace dr::adversary

@@ -1,0 +1,160 @@
+#include "ba/algorithm1.h"
+
+#include <set>
+
+#include "util/contracts.h"
+
+namespace dr::ba {
+
+Side side_of(ProcId p, std::size_t t) {
+  if (p == 0) return Side::kTransmitter;
+  return p <= t ? Side::kA : Side::kB;
+}
+
+bool is_correct_one_message(const SignedValue& sv, PhaseNum sent_phase,
+                            ProcId receiver, std::size_t t,
+                            const crypto::Verifier& verifier) {
+  return sv.value == 1 &&
+         is_correct_value_message(sv, sent_phase, receiver, t, verifier);
+}
+
+bool is_correct_value_message(const SignedValue& sv, PhaseNum sent_phase,
+                              ProcId receiver, std::size_t t,
+                              const crypto::Verifier& verifier) {
+  if (sv.value == kDefaultValue) return false;
+  if (sv.chain.size() != sent_phase) return false;
+  if (sv.chain.empty() || sv.chain.front().signer != 0) return false;
+
+  // The signers plus the receiver must form a simple path in G starting at
+  // the transmitter: after the transmitter, sides must alternate.
+  std::set<ProcId> seen;
+  const std::size_t n = 2 * t + 1;
+  Side prev = Side::kTransmitter;
+  for (std::size_t i = 0; i < sv.chain.size(); ++i) {
+    const ProcId signer = sv.chain[i].signer;
+    if (signer >= n || !seen.insert(signer).second) return false;
+    const Side side = side_of(signer, t);
+    if (i == 0) {
+      if (side != Side::kTransmitter) return false;
+    } else {
+      if (side == Side::kTransmitter) return false;
+      if (prev != Side::kTransmitter && side == prev) return false;
+    }
+    prev = side;
+  }
+  // Receiver extends the path: distinct from all signers and on the opposite
+  // side of the last signer (any side if the transmitter is the only signer).
+  if (seen.contains(receiver)) return false;
+  const Side mine = side_of(receiver, t);
+  if (mine == Side::kTransmitter) return false;
+  if (prev != Side::kTransmitter && mine == prev) return false;
+
+  return verify_chain(sv, verifier);
+}
+
+Algorithm1::Algorithm1(ProcId self, const BAConfig& config)
+    : self_(self), config_(config) {
+  DR_EXPECTS(supports(config));
+}
+
+void Algorithm1::on_phase(sim::Context& ctx) {
+  const std::size_t t = config_.t;
+  const PhaseNum phase = ctx.phase();
+
+  if (self_ == 0) {
+    // Phase 1: the transmitter signs and sends its value to every processor.
+    if (phase == 1) {
+      const SignedValue sv = make_signed(config_.value, ctx.signer(), 0);
+      for (ProcId q = 1; q < config_.n; ++q) {
+        ctx.send(q, encode(sv), sv.chain.size());
+      }
+    }
+    return;
+  }
+
+  if (committed_one_) return;  // only the *first* correct 1-message matters
+
+  for (const sim::Envelope& env : ctx.inbox()) {
+    // Only messages sent by phase t+2 count for the decision.
+    if (env.sent_phase > t + 2) continue;
+    const auto sv = decode_signed_value(env.payload);
+    if (!sv ||
+        !is_correct_one_message(*sv, env.sent_phase, self_, t,
+                                ctx.verifier())) {
+      continue;
+    }
+    committed_one_ = true;
+    // Sign and forward to the whole opposite side, if a relay phase remains.
+    if (phase <= t + 2) {
+      const SignedValue ext = extend(*sv, ctx.signer(), self_);
+      const bool in_a = side_of(self_, t) == Side::kA;
+      const ProcId lo = in_a ? static_cast<ProcId>(t + 1) : 1;
+      const ProcId hi =
+          in_a ? static_cast<ProcId>(2 * t) : static_cast<ProcId>(t);
+      for (ProcId q = lo; q <= hi; ++q) {
+        ctx.send(q, encode(ext), ext.chain.size());
+      }
+    }
+    break;
+  }
+}
+
+std::optional<Value> Algorithm1::decision() const {
+  if (self_ == 0) return config_.value;
+  return committed_one_ ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm1MV
+
+Algorithm1MV::Algorithm1MV(ProcId self, const BAConfig& config)
+    : self_(self), config_(config) {
+  DR_EXPECTS(supports(config));
+}
+
+void Algorithm1MV::on_phase(sim::Context& ctx) {
+  const std::size_t t = config_.t;
+  const PhaseNum phase = ctx.phase();
+
+  if (self_ == 0) {
+    if (phase == 1) {
+      const SignedValue sv = make_signed(config_.value, ctx.signer(), 0);
+      for (ProcId q = 1; q < config_.n; ++q) {
+        ctx.send(q, encode(sv), sv.chain.size());
+      }
+    }
+    return;
+  }
+
+  for (const sim::Envelope& env : ctx.inbox()) {
+    if (env.sent_phase > t + 2) continue;
+    const auto sv = decode_signed_value(env.payload);
+    if (!sv ||
+        !is_correct_value_message(*sv, env.sent_phase, self_, t,
+                                  ctx.verifier())) {
+      continue;
+    }
+    if (committed_.contains(sv->value)) continue;
+    committed_.insert(sv->value);
+    // Relay the first message of each of the first two distinct values.
+    if (relayed_ < 2 && phase <= t + 2) {
+      ++relayed_;
+      const SignedValue ext = extend(*sv, ctx.signer(), self_);
+      const bool in_a = side_of(self_, t) == Side::kA;
+      const ProcId lo = in_a ? static_cast<ProcId>(t + 1) : 1;
+      const ProcId hi =
+          in_a ? static_cast<ProcId>(2 * t) : static_cast<ProcId>(t);
+      for (ProcId q = lo; q <= hi; ++q) {
+        ctx.send(q, encode(ext), ext.chain.size());
+      }
+    }
+  }
+}
+
+std::optional<Value> Algorithm1MV::decision() const {
+  if (self_ == 0) return config_.value;
+  if (committed_.size() == 1) return *committed_.begin();
+  return kDefaultValue;
+}
+
+}  // namespace dr::ba

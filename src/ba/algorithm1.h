@@ -1,0 +1,96 @@
+// Algorithm 1 (Section 5, Theorem 3): Byzantine Agreement for n = 2t+1 in
+// t+2 phases with at most 2t^2 + 2t messages.
+//
+// The transmitter is processor 0; the remaining 2t processors are split into
+// A = {1..t} and B = {t+1..2t}. Relay graph G: the complete bipartite graph
+// on (A, B) plus edges from the transmitter to everybody. A *correct
+// 1-message* received at phase k consists of value 1 with a chain of k
+// signatures whose signers, together with the receiver, form a simple path
+// of length k from the transmitter through alternating sides of G.
+//
+// Protocol: the transmitter signs and sends its value (phase 1); whenever a
+// processor in A (resp. B) gets a correct 1-message for the first time, it
+// signs and forwards it to all of B (resp. A). Decide 1 iff a correct
+// 1-message arrived by phase t+2.
+#pragma once
+
+#include <set>
+
+#include "ba/config.h"
+#include "ba/signed_value.h"
+#include "sim/process.h"
+
+namespace dr::ba {
+
+/// Which side of the bipartite graph id `p` is on (n = 2t+1, transmitter 0).
+enum class Side { kTransmitter, kA, kB };
+Side side_of(ProcId p, std::size_t t);
+
+/// The generalised "correct v-message" predicate for any non-default value
+/// (the paper's multi-value remark: "If the transmitter can send more than
+/// two values, one has to modify the algorithms slightly"). `sent_phase` is
+/// the phase the message was sent in (stamped by the network); the
+/// signature path must have exactly that length and must extend to
+/// `receiver` as a simple path in G.
+bool is_correct_value_message(const SignedValue& sv, PhaseNum sent_phase,
+                              ProcId receiver, std::size_t t,
+                              const crypto::Verifier& verifier);
+
+/// The paper's original binary predicate: a correct v-message with v = 1.
+bool is_correct_one_message(const SignedValue& sv, PhaseNum sent_phase,
+                            ProcId receiver, std::size_t t,
+                            const crypto::Verifier& verifier);
+
+class Algorithm1 final : public sim::Process {
+ public:
+  Algorithm1(ProcId self, const BAConfig& config);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  /// t+2 communication phases plus one processing-only step.
+  static PhaseNum steps(const BAConfig& config) {
+    return static_cast<PhaseNum>(config.t + 3);
+  }
+  static bool supports(const BAConfig& config) {
+    return config.n == 2 * config.t + 1 && config.transmitter == 0 &&
+           config.t >= 1 && (config.value == 0 || config.value == 1);
+  }
+
+  bool committed_one() const { return committed_one_; }
+
+ private:
+  ProcId self_;
+  BAConfig config_;
+  bool committed_one_ = false;
+};
+
+/// Multi-valued Algorithm 1: the transmitter may send any 64-bit value.
+/// Every non-default value propagates through its own relay cascade; a
+/// processor relays the first message of each of the first two distinct
+/// values it commits to (two conflicting values already force the common
+/// default everywhere). Decide: the unique committed value, or the default
+/// 0 if none or several. At most 2 * (2t^2 + 2t) messages.
+class Algorithm1MV final : public sim::Process {
+ public:
+  Algorithm1MV(ProcId self, const BAConfig& config);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  static PhaseNum steps(const BAConfig& config) {
+    return static_cast<PhaseNum>(config.t + 3);
+  }
+  static bool supports(const BAConfig& config) {
+    return config.n == 2 * config.t + 1 && config.transmitter == 0 &&
+           config.t >= 1;
+  }
+
+ private:
+  ProcId self_;
+  BAConfig config_;
+  std::set<Value> committed_;
+  std::size_t relayed_ = 0;  // distinct values relayed (max 2)
+};
+
+}  // namespace dr::ba

@@ -1,0 +1,99 @@
+#include "ba/algorithm2.h"
+
+#include "ba/valid_message.h"
+#include "util/contracts.h"
+
+namespace dr::ba {
+
+bool is_increasing_message(const SignedValue& sv, ProcId self,
+                           Value committed,
+                           const crypto::Verifier& verifier) {
+  if (sv.value != committed) return false;
+  std::optional<ProcId> prev;
+  for (const auto& sig : sv.chain) {
+    if (sig.signer >= self) return false;  // labels below the receiver only
+    if (prev.has_value() && sig.signer <= *prev) return false;  // increasing
+    prev = sig.signer;
+  }
+  return verify_chain(sv, verifier);
+}
+
+Algorithm2::Algorithm2(ProcId self, const BAConfig& config,
+                       bool multi_valued)
+    : self_(self), config_(config) {
+  if (multi_valued) {
+    DR_EXPECTS(supports_mv(config));
+    inner_ = std::make_unique<Algorithm1MV>(self, config);
+  } else {
+    DR_EXPECTS(supports(config));
+    inner_ = std::make_unique<Algorithm1>(self, config);
+  }
+}
+
+Value Algorithm2::committed() const {
+  return inner_->decision().value_or(kDefaultValue);
+}
+
+void Algorithm2::consider_proof(const SignedValue& sv,
+                                const crypto::Verifier& verifier) {
+  if (proof_.has_value()) return;
+  if (sv.value == committed() && is_possession_proof(sv, verifier, self_,
+                                                     config_.t)) {
+    proof_ = sv;
+  }
+}
+
+void Algorithm2::on_phase(sim::Context& ctx) {
+  const std::size_t t = config_.t;
+  const PhaseNum phase = ctx.phase();
+
+  // Phases 1..t+2 (+1 processing step): Algorithm 1 decides the value.
+  if (phase <= t + 3) inner_->on_phase(ctx);
+  if (phase <= t + 2) return;
+
+  // Proof-building: collect increasing messages and possession proofs.
+  // (Commitments are final from step t+3 on: the last Algorithm-1 message
+  // was sent at phase t+2.)
+  for (const sim::Envelope& env : ctx.inbox()) {
+    if (env.sent_phase <= t + 2) continue;  // an Algorithm-1 leftover
+    const auto sv = decode_signed_value(env.payload);
+    if (!sv) continue;
+    consider_proof(*sv, ctx.verifier());
+    if (is_increasing_message(*sv, self_, committed(), ctx.verifier())) {
+      if (!best_increasing_ ||
+          sv->chain.size() > best_increasing_->chain.size()) {
+        best_increasing_ = *sv;
+      }
+    }
+  }
+
+  // Our send slot: paper phase t+2+j for label j = self+1, i.e. step
+  // t+3+self in simulator numbering... paper phases match simulator sends
+  // directly: p(j) sends at phase t+2+j.
+  const PhaseNum my_slot = static_cast<PhaseNum>(t + 2 + (self_ + 1));
+  if (phase != my_slot) return;
+
+  SignedValue m = best_increasing_.value_or(SignedValue{committed(), {}});
+  const bool wide = m.chain.size() >= t;  // before appending our signature
+  const SignedValue signed_m = extend(m, ctx.signer(), self_);
+  consider_proof(signed_m, ctx.verifier());
+
+  if (wide) {
+    for (ProcId q = 0; q < config_.n; ++q) {
+      if (q != self_) ctx.send(q, encode(signed_m), signed_m.chain.size());
+    }
+  } else {
+    // Labels j+1 .. j+t+1, clipped to the last label 2t+1: ids self+1 ..
+    // self+t+1, clipped to 2t.
+    const ProcId last = static_cast<ProcId>(2 * t);
+    for (ProcId q = self_ + 1; q <= last && q <= self_ + t + 1; ++q) {
+      ctx.send(q, encode(signed_m), signed_m.chain.size());
+    }
+  }
+}
+
+std::optional<Value> Algorithm2::decision() const {
+  return inner_->decision();
+}
+
+}  // namespace dr::ba

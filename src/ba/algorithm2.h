@@ -1,0 +1,72 @@
+// Algorithm 2 (Section 5, Theorem 4): Algorithm 1 followed by 2t+1
+// proof-building phases. After 3t+3 phases every correct processor holds a
+// one-message proof of the common value — the value with at least t
+// signatures of *other* processors appended — and no processor (faulty or
+// not) can hold such a proof for any other value. At most 5t^2 + 5t
+// messages.
+//
+// Paper labels p(1)..p(2t+1) map to our ids 0..2t (label j = id j-1).
+// In phase t+2+j processor p(j) picks m(j), an *increasing* message it has
+// received with the maximum number of signatures (an increasing message for
+// p(j) carries p(j)'s committed value signed by processors with labels < j
+// in increasing label order), signs it, and sends it to everybody if it
+// already carried at least t signatures, otherwise only to the next t+1
+// processors by label.
+#pragma once
+
+#include <memory>
+
+#include "ba/algorithm1.h"
+#include "ba/config.h"
+#include "ba/signed_value.h"
+#include "sim/process.h"
+
+namespace dr::ba {
+
+/// Is `sv` an increasing message for the processor with id `self`
+/// committed to `committed`? (Signers strictly below self's label, strictly
+/// increasing, value matches, chain verifies.)
+bool is_increasing_message(const SignedValue& sv, ProcId self,
+                           Value committed, const crypto::Verifier& verifier);
+
+class Algorithm2 final : public sim::Process {
+ public:
+  /// `multi_valued` swaps the inner Algorithm 1 for its multi-valued
+  /// variant (the paper's remark that the algorithms extend to |V| > 2
+  /// with slight modification); the proof-building phases are value-
+  /// agnostic and unchanged.
+  Algorithm2(ProcId self, const BAConfig& config, bool multi_valued = false);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  /// Alg 1's t+2 phases, then sends at steps t+2+j (j = 1..2t+1), then one
+  /// processing-only step.
+  static PhaseNum steps(const BAConfig& config) {
+    return static_cast<PhaseNum>(3 * config.t + 4);
+  }
+  static bool supports(const BAConfig& config) {
+    return Algorithm1::supports(config);
+  }
+  static bool supports_mv(const BAConfig& config) {
+    return Algorithm1MV::supports(config);
+  }
+
+  /// The possession proof (Theorem 4), once acquired: committed value with
+  /// at least t signatures of other processors.
+  const std::optional<SignedValue>& proof() const { return proof_; }
+
+ private:
+  Value committed() const;
+  void consider_proof(const SignedValue& sv,
+                      const crypto::Verifier& verifier);
+
+  ProcId self_;
+  BAConfig config_;
+  std::unique_ptr<sim::Process> inner_;  // Algorithm1 or Algorithm1MV
+  /// Best increasing message received so far (most signatures).
+  std::optional<SignedValue> best_increasing_;
+  std::optional<SignedValue> proof_;
+};
+
+}  // namespace dr::ba

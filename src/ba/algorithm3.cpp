@@ -1,0 +1,231 @@
+#include "ba/algorithm3.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/contracts.h"
+
+namespace dr::ba {
+
+Algorithm3::Algorithm3(ProcId self, const BAConfig& config, std::size_t s,
+                       bool multi_valued)
+    : self_(self), config_(config),
+      layout_{config.n, config.t, s},
+      is_active_(layout_.is_active(self)) {
+  DR_EXPECTS(supports(config, s, multi_valued));
+  // Only active processors participate in the inner agreement; passives
+  // get a (never-invoked) dummy instance to keep the invariants simple.
+  const ProcId inner_id = is_active_ ? self : 0;
+  const BAConfig inner_config{2 * config.t + 1, config.t, 0, config.value};
+  if (multi_valued) {
+    inner_ = std::make_unique<Algorithm1MV>(inner_id, inner_config);
+  } else {
+    inner_ = std::make_unique<Algorithm1>(inner_id, inner_config);
+  }
+}
+
+bool Algorithm3::well_formed_report(const SignedValue& sv, std::size_t set,
+                                    const crypto::Verifier& verifier) const {
+  if (sv.chain.empty()) return false;
+  if (!layout_.is_active(sv.chain.front().signer)) return false;
+  ProcId prev = 0;
+  for (std::size_t i = 1; i < sv.chain.size(); ++i) {
+    const ProcId signer = sv.chain[i].signer;
+    if (signer >= config_.n || layout_.is_active(signer)) return false;
+    if (layout_.set_of(signer) != set) return false;
+    if (layout_.index_in_set(signer) < 2) return false;  // not the root
+    if (i > 1 && signer <= prev) return false;           // increasing, distinct
+    prev = signer;
+  }
+  return verify_chain(sv, verifier);
+}
+
+void Algorithm3::active_phase(sim::Context& ctx) {
+  const std::size_t t = config_.t;
+  const PhaseNum phase = ctx.phase();
+
+  // Algorithm 1 among the first 2t+1 processors (steps 1..t+3).
+  if (phase <= t + 3) inner_->on_phase(ctx);
+
+  const Value v = inner_->decision().value_or(kDefaultValue);
+
+  if (phase == t + 3) {
+    // Send the agreed value, signed, to every root.
+    const SignedValue sv = make_signed(v, ctx.signer(), self_);
+    for (std::size_t set = 0; set < layout_.set_count(); ++set) {
+      ctx.send(layout_.root_of(set), encode(sv), sv.chain.size());
+    }
+    return;
+  }
+
+  if (phase == t + 2 * layout_.s + 3) {
+    // Last phase: repair members whose signature the root failed to show.
+    // covered[set] = members of `set` proven informed by some root report.
+    std::map<std::size_t, std::set<ProcId>> covered;
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (layout_.is_active(env.from)) continue;
+      if (layout_.index_in_set(env.from) != 1) continue;  // roots only
+      const std::size_t set = layout_.set_of(env.from);
+      const auto sv = decode_signed_value(env.payload);
+      if (!sv || sv->value != v || !well_formed_report(*sv, set,
+                                                       ctx.verifier())) {
+        continue;
+      }
+      for (const auto& sig : sv->chain) {
+        if (!layout_.is_active(sig.signer)) covered[set].insert(sig.signer);
+      }
+    }
+    const SignedValue direct = make_signed(v, ctx.signer(), self_);
+    const Bytes encoded = encode(direct);
+    for (std::size_t set = 0; set < layout_.set_count(); ++set) {
+      const auto it = covered.find(set);
+      for (std::size_t j = 2; j <= layout_.set_size(set); ++j) {
+        const ProcId member = layout_.member(set, j);
+        if (it != covered.end() && it->second.contains(member)) continue;
+        ctx.send(member, encoded, direct.chain.size());
+      }
+    }
+  }
+}
+
+void Algorithm3::root_phase(sim::Context& ctx) {
+  const std::size_t t = config_.t;
+  const PhaseNum phase = ctx.phase();
+  const std::size_t set = layout_.set_of(self_);
+  const std::size_t size = layout_.set_size(set);
+
+  // Define m(1) from the active broadcast (sent t+3, delivered t+4).
+  if (phase == t + 4) {
+    std::map<Value, std::set<ProcId>> support;
+    std::map<Value, SignedValue> sample;
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (!layout_.is_active(env.from) || env.sent_phase != t + 3) continue;
+      const auto sv = decode_signed_value(env.payload);
+      if (!sv || sv->chain.size() != 1 || sv->chain.front().signer != env.from)
+        continue;
+      if (!verify_chain(*sv, ctx.verifier())) continue;
+      support[sv->value].insert(env.from);
+      sample.try_emplace(sv->value, *sv);
+    }
+    for (const auto& [value, senders] : support) {
+      if (senders.size() >= t + 1) {
+        m_ = sample.at(value);
+        break;  // at most one value can have t+1 correct supporters
+      }
+    }
+  }
+
+  // Process a countersignature returned by c(j-1) (sent at t+2(j-1)+1,
+  // delivered at t+2j). Accept only our current m extended by exactly the
+  // expected member's signature.
+  if (m_.has_value() && phase >= t + 6) {
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (env.sent_phase + 1 != phase) continue;
+      if (env.sent_phase < t + 5 || env.sent_phase % 2 != (t + 5) % 2)
+        continue;
+      const std::size_t j = (env.sent_phase - t - 1) / 2;  // echo of c(j)
+      if (j < 2 || j > size || env.from != layout_.member(set, j)) continue;
+      const auto sv = decode_signed_value(env.payload);
+      if (!sv || sv->value != m_->value) continue;
+      if (sv->chain.size() != m_->chain.size() + 1) continue;
+      if (!std::equal(m_->chain.begin(), m_->chain.end(), sv->chain.begin()))
+        continue;
+      if (sv->chain.back().signer != env.from) continue;
+      if (!verify_chain(*sv, ctx.verifier())) continue;
+      m_ = *sv;
+    }
+  }
+
+  if (!m_.has_value()) return;
+
+  // Send m(j-1) to c(j) at phase t+2j.
+  if (phase >= t + 4 && phase % 2 == (t + 4) % 2) {
+    const std::size_t j = (phase - t) / 2;
+    if (j >= 2 && j <= size) {
+      ctx.send(layout_.member(set, j), encode(*m_), m_->chain.size());
+    }
+  }
+
+  // Report to every active at phase t+2s+2.
+  if (phase == t + 2 * layout_.s + 2) {
+    const Bytes encoded = encode(*m_);
+    for (ProcId p = 0; p < layout_.active_count(); ++p) {
+      ctx.send(p, encoded, m_->chain.size());
+    }
+  }
+}
+
+void Algorithm3::member_phase(sim::Context& ctx) {
+  const std::size_t t = config_.t;
+  const PhaseNum phase = ctx.phase();
+  const std::size_t set = layout_.set_of(self_);
+  const std::size_t j = layout_.index_in_set(self_);
+  const ProcId root = layout_.root_of(set);
+
+  // Countersign slot: phase t+2j+1, acting on what the root sent at t+2j.
+  if (phase == t + 2 * j + 1) {
+    std::optional<SignedValue> unique;
+    bool ambiguous = false;
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (env.from != root || env.sent_phase + 1 != phase) continue;
+      const auto sv = decode_signed_value(env.payload);
+      if (!sv || !well_formed_report(*sv, set, ctx.verifier())) continue;
+      // Only signatures of earlier members may be present.
+      bool ok = true;
+      for (std::size_t i = 1; i < sv->chain.size(); ++i) {
+        if (sv->chain[i].signer >= self_) ok = false;
+      }
+      if (!ok) continue;
+      if (unique.has_value() && !(unique->value == sv->value)) {
+        ambiguous = true;
+      }
+      if (!unique.has_value()) unique = *sv;
+    }
+    if (unique.has_value() && !ambiguous) {
+      root_shown_value_ = unique->value;
+      const SignedValue echo = extend(*unique, ctx.signer(), self_);
+      ctx.send(root, encode(echo), echo.chain.size());
+    }
+  }
+
+  // Final step: count direct repairs from actives (sent at t+2s+3).
+  if (phase == t + 2 * layout_.s + 4) {
+    std::map<Value, std::set<ProcId>> support;
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (!layout_.is_active(env.from)) continue;
+      const auto sv = decode_signed_value(env.payload);
+      if (!sv || sv->chain.size() != 1 || sv->chain.front().signer != env.from)
+        continue;
+      if (!verify_chain(*sv, ctx.verifier())) continue;
+      support[sv->value].insert(env.from);
+    }
+    for (const auto& [value, senders] : support) {
+      if (senders.size() >= t + 1) {
+        direct_value_ = value;
+        break;
+      }
+    }
+  }
+}
+
+void Algorithm3::on_phase(sim::Context& ctx) {
+  if (is_active_) {
+    active_phase(ctx);
+  } else if (layout_.index_in_set(self_) == 1) {
+    root_phase(ctx);
+  } else {
+    member_phase(ctx);
+  }
+}
+
+std::optional<Value> Algorithm3::decision() const {
+  if (is_active_) return inner_->decision();
+  if (layout_.index_in_set(self_) == 1) {
+    if (m_.has_value()) return m_->value;
+    return kDefaultValue;
+  }
+  if (direct_value_.has_value()) return *direct_value_;
+  return root_shown_value_.value_or(kDefaultValue);
+}
+
+}  // namespace dr::ba

@@ -1,0 +1,119 @@
+// Algorithm 3 (Section 5, Lemma 1 / Theorem 5): Byzantine Agreement for
+// general n in t+2s+3 phases with at most 2n + 4tn/s + 3t^2*s messages.
+// Choosing s = 4t gives the O(n + t^3) bound of Theorem 5; sweeping s yields
+// the paper's message/phase trade-off (~t/alpha extra phases vs O(alpha*n)
+// messages).
+//
+// Roles: the first 2t+1 processors ("active", including transmitter 0) run
+// Algorithm 1 among themselves. The remaining m = n-(2t+1) processors
+// ("passive") are split into r = ceil(m/s) sets of size <= s; the first
+// member of each set is its *root*.
+//
+// Dissemination per set C = {c(1)=root, c(2), ..., c(k)}:
+//   phase t+3        every active signs and sends the agreed value to every
+//                    root; a root adopts the value supported by >= t+1
+//                    actives as m(1);
+//   phase t+2j       the root sends m(j-1) to c(j)          (j = 2..k)
+//   phase t+2j+1     c(j) signs and returns it if well-formed; the root
+//                    takes the countersigned copy as m(j), else m(j)=m(j-1);
+//   phase t+2s+2     the root sends m(k) to every active;
+//   phase t+2s+3     each active sends the agreed value directly to every
+//                    c(j) whose signature is missing from the root's report
+//                    (at most t faulty roots each cause <= s-1 such repairs).
+//
+// Decisions: actives by Algorithm 1; a root by m(1); a member by >= t+1
+// identical direct active messages in the last phase, falling back to the
+// value its root showed it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "ba/algorithm1.h"
+#include "ba/config.h"
+#include "ba/signed_value.h"
+#include "sim/process.h"
+
+namespace dr::ba {
+
+/// Static role/indexing arithmetic shared by the processes, tests and
+/// benchmarks.
+struct Alg3Layout {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  std::size_t s = 0;
+
+  std::size_t active_count() const { return 2 * t + 1; }
+  std::size_t passive_count() const { return n - active_count(); }
+  /// Number of passive sets, r = ceil(m/s).
+  std::size_t set_count() const {
+    return (passive_count() + s - 1) / s;
+  }
+  bool is_active(ProcId p) const { return p < active_count(); }
+  /// Set index of a passive processor.
+  std::size_t set_of(ProcId p) const {
+    return (p - active_count()) / s;
+  }
+  /// Position within its set, 1-based like the paper's c(j).
+  std::size_t index_in_set(ProcId p) const {
+    return (p - active_count()) % s + 1;
+  }
+  ProcId root_of(std::size_t set) const {
+    return static_cast<ProcId>(active_count() + set * s);
+  }
+  std::size_t set_size(std::size_t set) const {
+    const std::size_t begin = set * s;
+    const std::size_t end = std::min(begin + s, passive_count());
+    return end - begin;
+  }
+  /// Id of c(j) (1-based j) in `set`.
+  ProcId member(std::size_t set, std::size_t j) const {
+    return static_cast<ProcId>(active_count() + set * s + (j - 1));
+  }
+};
+
+class Algorithm3 final : public sim::Process {
+ public:
+  Algorithm3(ProcId self, const BAConfig& config, std::size_t s,
+             bool multi_valued = false);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  /// t+2s+3 paper phases plus one processing-only step.
+  static PhaseNum steps(const BAConfig& config, std::size_t s) {
+    return static_cast<PhaseNum>(config.t + 2 * s + 4);
+  }
+  static bool supports(const BAConfig& config, std::size_t s,
+                       bool multi_valued = false) {
+    return s >= 1 && config.n >= 2 * config.t + 2 && config.t >= 1 &&
+           config.transmitter == 0 &&
+           (multi_valued || config.value == 0 || config.value == 1);
+  }
+
+ private:
+  void active_phase(sim::Context& ctx);
+  void root_phase(sim::Context& ctx);
+  void member_phase(sim::Context& ctx);
+
+  /// A chain an active accepts as a root's report / a member accepts for
+  /// countersigning: one active signature first, then member signatures of
+  /// the given set (distinct, in-set), cryptographically valid.
+  bool well_formed_report(const SignedValue& sv, std::size_t set,
+                          const crypto::Verifier& verifier) const;
+
+  ProcId self_;
+  BAConfig config_;
+  Alg3Layout layout_;
+  std::unique_ptr<sim::Process> inner_;  // actives' Algorithm 1 (or MV)
+
+  bool is_active_;
+  // --- root state ---
+  std::optional<SignedValue> m_;  // m(j) as it grows
+  // --- member state ---
+  std::optional<Value> root_shown_value_;   // value the root showed us
+  std::optional<Value> direct_value_;       // >= t+1 actives in last phase
+};
+
+}  // namespace dr::ba

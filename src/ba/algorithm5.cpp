@@ -1,0 +1,461 @@
+#include "ba/algorithm5.h"
+
+#include <algorithm>
+
+#include "ba/valid_message.h"
+#include "util/contracts.h"
+
+namespace dr::ba {
+
+// ---------------------------------------------------------------------------
+// Schedule
+
+PhaseNum Alg5Schedule::block_start(std::size_t x) const {
+  PhaseNum step = first_block_step();
+  for (std::size_t y = top; y > x; --y) {
+    step += static_cast<PhaseNum>(2 * tree_size(y) + 3);
+  }
+  return step;
+}
+
+PhaseNum Alg5Schedule::exchange_start(std::size_t x) const {
+  return block_start(x) + static_cast<PhaseNum>(2 * tree_size(x));
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+
+Bytes encode_alg5(const SignedValue& sv, const std::vector<Attested>& proof) {
+  Writer w;
+  w.bytes(encode(sv));
+  w.seq(proof.size());
+  for (const Attested& a : proof) encode(w, a);
+  return std::move(w).take();
+}
+
+std::optional<std::pair<SignedValue, std::vector<Attested>>> decode_alg5(
+    ByteView data) {
+  Reader r(data);
+  const Bytes sv_bytes = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  const auto sv = decode_signed_value(sv_bytes);
+  if (!sv) return std::nullopt;
+  const std::size_t count = r.seq();
+  std::vector<Attested> proof;
+  proof.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto a = decode_attested(r);
+    if (!a) return std::nullopt;
+    proof.push_back(std::move(*a));
+  }
+  if (!r.done()) return std::nullopt;
+  return std::make_pair(*sv, std::move(proof));
+}
+
+std::optional<SignedValue> valid_from_proof(const Algorithm2& alg2,
+                                            ProcId self,
+                                            const crypto::Signer& signer) {
+  if (!alg2.proof().has_value()) return std::nullopt;
+  SignedValue sv = *alg2.proof();
+  if (!contains_signer(sv, self)) sv = extend(sv, signer, self);
+  return sv;
+}
+
+// ---------------------------------------------------------------------------
+// Active
+
+Algorithm5Active::Algorithm5Active(ProcId self, const BAConfig& config,
+                                   const Forest& forest,
+                                   const Alg5Options& options)
+    : self_(self), config_(config), forest_(forest),
+      schedule_{config.t, forest.max_depth()},
+      grid_m_(1) {
+  DR_EXPECTS(forest_.is_active(self));
+  while (grid_m_ * grid_m_ < forest_.alpha) ++grid_m_;
+  DR_ASSERT(grid_m_ * grid_m_ == forest_.alpha);
+  if (self_ < 2 * config_.t + 1) {
+    inner_ = std::make_unique<Algorithm2>(
+        self_, BAConfig{2 * config_.t + 1, config_.t, 0, config_.value},
+        options.multi_valued);
+  }
+}
+
+void Algorithm5Active::adopt_valid_messages(sim::Context& ctx) {
+  if (valid_.has_value()) return;
+  for (const sim::Envelope& env : ctx.inbox()) {
+    const auto msg = decode_alg5(env.payload);
+    if (!msg) continue;
+    if (is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
+                         config_.t)) {
+      valid_ = msg->first;
+      return;
+    }
+  }
+}
+
+void Algorithm5Active::mark_informed(sim::Context& ctx) {
+  for (const sim::Envelope& env : ctx.inbox()) {
+    if (!forest_.is_passive(env.from)) continue;
+    const auto msg = decode_alg5(env.payload);
+    if (!msg) continue;
+    if (!is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
+                          config_.t)) {
+      continue;
+    }
+    // The sender demonstrably holds a valid message, and every passive
+    // signer of one countersigned it after seeing it.
+    informed_.insert(env.from);
+    for (const auto& sig : msg->first.chain) {
+      if (forest_.is_passive(sig.signer)) informed_.insert(sig.signer);
+    }
+  }
+}
+
+void Algorithm5Active::send_activations(sim::Context& ctx, std::size_t x) {
+  if (!valid_.has_value()) return;
+  for (const PassiveTree& tree : forest_.trees) {
+    if (tree.depth == x) {
+      // An original tree root: unconditional, empty proof of work.
+      ctx.send(tree.first_id, encode_alg5(*valid_, {}),
+               valid_->chain.size());
+      contacted_.insert(tree.first_id);
+    } else if (tree.depth > x && evidence_.has_value() &&
+               evidence_->index() == x) {
+      for (std::size_t node : tree.subtree_roots_at_depth(x)) {
+        const auto proof = build_proof_of_work(*evidence_, tree, node, x,
+                                               forest_.alpha, config_.t);
+        if (!proof) continue;
+        const ProcId root = tree.id_of(node);
+        ctx.send(root, encode_alg5(*valid_, *proof),
+                 valid_->chain.size() + proof->size());
+        contacted_.insert(root);
+      }
+    }
+  }
+}
+
+void Algorithm5Active::start_exchange(sim::Context& ctx, std::size_t x) {
+  pending_f_.clear();
+  const auto considered = [&](ProcId q) {
+    return !informed_.contains(q) && !contacted_.contains(q);
+  };
+  if (current_b_.has_value()) {
+    for (ProcId q : *current_b_) {
+      if (considered(q)) pending_f_.push_back(q);
+    }
+  } else {
+    // B(p, top) is the set of all passive processors.
+    for (ProcId q = static_cast<ProcId>(forest_.alpha); q < config_.n; ++q) {
+      if (considered(q)) pending_f_.push_back(q);
+    }
+  }
+  next_index_ = static_cast<std::uint32_t>(x - 1);
+  core_.emplace(self_, grid_m_, schedule_.exchange_start(x));
+  core_->set_body(encode_missing(MissingString{next_index_, pending_f_}));
+  core_->on_phase(ctx);
+}
+
+void Algorithm5Active::finish_exchange(sim::Context& ctx) {
+  evidence_.emplace(next_index_, forest_.alpha);
+  for (const auto& [signer, attested] : core_->known()) {
+    evidence_->add(attested, ctx.verifier());
+  }
+  std::set<ProcId> b;
+  const std::size_t threshold = forest_.alpha - 2 * config_.t;
+  for (ProcId q : pending_f_) {
+    if (evidence_->pi(q) >= threshold) b.insert(q);
+  }
+  current_b_ = std::move(b);
+  core_.reset();
+}
+
+void Algorithm5Active::send_directs(sim::Context& ctx) {
+  if (!valid_.has_value() || !current_b_.has_value()) return;
+  const Bytes payload = encode_alg5(*valid_, {});
+  for (ProcId q : *current_b_) {
+    ctx.send(q, payload, valid_->chain.size());
+  }
+}
+
+void Algorithm5Active::on_phase(sim::Context& ctx) {
+  const PhaseNum phase = ctx.phase();
+  const std::size_t t = config_.t;
+
+  if (inner_ && phase <= 3 * t + 4) inner_->on_phase(ctx);
+  if (inner_ && phase == 3 * t + 4) {
+    valid_ = valid_from_proof(*inner_, self_, ctx.signer());
+    if (self_ <= t && valid_.has_value()) {
+      const Bytes payload = encode_alg5(*valid_, {});
+      for (ProcId q = static_cast<ProcId>(2 * t + 1); q < forest_.alpha;
+           ++q) {
+        ctx.send(q, payload, valid_->chain.size());
+      }
+    }
+  }
+
+  adopt_valid_messages(ctx);
+  mark_informed(ctx);
+
+  if (core_.has_value()) {
+    core_->on_phase(ctx);
+    if (phase == core_->start() + 3) finish_exchange(ctx);
+  }
+
+  if (schedule_.top >= 1 && phase >= schedule_.first_block_step()) {
+    for (std::size_t x = schedule_.top; x >= 1; --x) {
+      if (phase == schedule_.block_start(x)) send_activations(ctx, x);
+      if (phase == schedule_.exchange_start(x)) start_exchange(ctx, x);
+    }
+    if (phase == schedule_.block_start(0)) send_directs(ctx);
+  }
+}
+
+std::optional<Value> Algorithm5Active::decision() const {
+  if (inner_) return inner_->decision();
+  if (valid_.has_value()) return valid_->value;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Passive
+
+Algorithm5Passive::Algorithm5Passive(ProcId self, const BAConfig& config,
+                                     const Forest& forest,
+                                     const Alg5Options& options)
+    : self_(self), config_(config), forest_(forest),
+      schedule_{config.t, forest.max_depth()},
+      tree_(forest_.tree_of(self)),
+      node_(tree_ != nullptr ? tree_->node_of(self) : 0),
+      own_depth_(tree_ != nullptr ? tree_->subtree_depth(node_) : 0),
+      options_(options) {
+  DR_EXPECTS(tree_ != nullptr);
+}
+
+void Algorithm5Passive::scan_for_decision(sim::Context& ctx) {
+  if (decided_.has_value()) return;
+  for (const sim::Envelope& env : ctx.inbox()) {
+    const auto msg = decode_alg5(env.payload);
+    if (!msg) continue;
+    if (is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
+                         config_.t)) {
+      decided_ = msg->first;
+      return;
+    }
+  }
+}
+
+void Algorithm5Passive::root_role(sim::Context& ctx) {
+  const PhaseNum phase = ctx.phase();
+  const PhaseNum b = schedule_.block_start(own_depth_);
+  const std::size_t l = tree_size(own_depth_);
+  const std::vector<std::size_t> members = tree_->subtree_nodes(node_);
+
+  if (phase == b + 1) {
+    // Activation: a valid message plus a proof of work for our subtree.
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (!forest_.is_active(env.from) || env.sent_phase != b) continue;
+      const auto msg = decode_alg5(env.payload);
+      if (!msg) continue;
+      if (!is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
+                            config_.t)) {
+        continue;
+      }
+      if (node_ != 1 && options_.require_proof_of_work) {
+        MissingEvidence evidence(static_cast<std::uint32_t>(own_depth_),
+                                 forest_.alpha);
+        for (const Attested& a : msg->second) evidence.add(a, ctx.verifier());
+        if (!has_proof_of_work(evidence, *tree_, node_, own_depth_,
+                               forest_.alpha, config_.t)) {
+          continue;
+        }
+      }
+      activated_ = true;
+      m_ = msg->first;
+      if (!decided_.has_value()) decided_ = msg->first;
+      break;
+    }
+    if (activated_) {
+      if (l == 1) {
+        // Degenerate subtree: report immediately.
+        const Bytes payload = encode_alg5(*m_, {});
+        for (ProcId p = 0; p < forest_.alpha; ++p) {
+          ctx.send(p, payload, m_->chain.size());
+        }
+      } else {
+        ctx.send(tree_->id_of(members[1]), encode_alg5(*m_, {}),
+                 m_->chain.size());
+      }
+    }
+    return;
+  }
+
+  if (!activated_ || l < 2) return;
+  if (phase <= b + 1 || phase > b + 2 * l - 1) return;
+  const std::size_t offset = phase - b;
+  if (offset % 2 == 0) return;  // echo slots belong to the members
+
+  // offset = 2j-3 is the send slot for c(j); the echo of c(j-1) arrives now.
+  const std::size_t j_send = (offset + 3) / 2;
+  const std::size_t j_prev = j_send - 1;
+  if (j_prev >= 2) {
+    const ProcId expected = tree_->id_of(members[j_prev - 1]);
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (env.from != expected || env.sent_phase + 1 != phase) continue;
+      const auto msg = decode_alg5(env.payload);
+      if (!msg) continue;
+      const SignedValue& echo = msg->first;
+      if (echo.value != m_->value) continue;
+      if (echo.chain.size() != m_->chain.size() + 1) continue;
+      if (!std::equal(m_->chain.begin(), m_->chain.end(),
+                      echo.chain.begin())) {
+        continue;
+      }
+      if (echo.chain.back().signer != expected) continue;
+      if (!verify_chain(echo, ctx.verifier())) continue;
+      m_ = echo;
+      break;
+    }
+  }
+
+  if (j_send <= l) {
+    ctx.send(tree_->id_of(members[j_send - 1]), encode_alg5(*m_, {}),
+             m_->chain.size());
+  }
+  if (offset == 2 * l - 1) {
+    const Bytes payload = encode_alg5(*m_, {});
+    for (ProcId p = 0; p < forest_.alpha; ++p) {
+      ctx.send(p, payload, m_->chain.size());
+    }
+  }
+}
+
+void Algorithm5Passive::member_role(sim::Context& ctx) {
+  const PhaseNum phase = ctx.phase();
+  const std::size_t d = tree_->depth;
+  const std::size_t my_level = PassiveTree::level(node_);
+
+  for (std::size_t x = own_depth_ + 1; x <= d; ++x) {
+    const std::size_t u =
+        PassiveTree::ancestor_at_level(node_, d - x + 1);
+    const std::size_t lev = my_level - PassiveTree::level(u);
+    const std::size_t j = (std::size_t{1} << lev) + (node_ - (u << lev));
+    const PhaseNum slot = schedule_.block_start(x) +
+                          static_cast<PhaseNum>(2 * j - 2);
+    if (phase != slot) continue;
+
+    const ProcId root = tree_->id_of(u);
+    std::vector<SignedValue> valid;
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (env.from != root || env.sent_phase + 1 != phase) continue;
+      const auto msg = decode_alg5(env.payload);
+      if (!msg) continue;
+      if (!is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
+                            config_.t)) {
+        continue;
+      }
+      if (std::find(valid.begin(), valid.end(), msg->first) == valid.end()) {
+        valid.push_back(msg->first);
+      }
+    }
+    // "If at the previous phase processor c(j) has received exactly one
+    // valid message from the root of the depth x subtree it belongs to,
+    // then it signs this message and sends it back."
+    if (valid.size() == 1) {
+      if (!decided_.has_value()) decided_ = valid.front();
+      const SignedValue echo = extend(valid.front(), ctx.signer(), self_);
+      ctx.send(root, encode_alg5(echo, {}), echo.chain.size());
+    }
+  }
+}
+
+void Algorithm5Passive::on_phase(sim::Context& ctx) {
+  scan_for_decision(ctx);
+  root_role(ctx);
+  member_role(ctx);
+}
+
+std::optional<Value> Algorithm5Passive::decision() const {
+  if (decided_.has_value()) return decided_->value;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm2Ext
+
+Algorithm2Ext::Algorithm2Ext(ProcId self, const BAConfig& config,
+                             bool multi_valued)
+    : self_(self), config_(config) {
+  DR_EXPECTS(config.n >= 2 * config.t + 1);
+  if (self_ < 2 * config_.t + 1) {
+    inner_ = std::make_unique<Algorithm2>(
+        self_, BAConfig{2 * config_.t + 1, config_.t, 0, config_.value},
+        multi_valued);
+  }
+}
+
+void Algorithm2Ext::on_phase(sim::Context& ctx) {
+  const std::size_t t = config_.t;
+  const PhaseNum phase = ctx.phase();
+  if (inner_) {
+    if (phase <= 3 * t + 4) inner_->on_phase(ctx);
+    if (phase == 3 * t + 4 && self_ <= t) {
+      const auto valid = valid_from_proof(*inner_, self_, ctx.signer());
+      if (valid.has_value()) {
+        const Bytes payload = encode_alg5(*valid, {});
+        for (ProcId q = static_cast<ProcId>(2 * t + 1); q < config_.n; ++q) {
+          ctx.send(q, payload, valid->chain.size());
+        }
+      }
+    }
+    return;
+  }
+  if (adopted_.has_value()) return;
+  for (const sim::Envelope& env : ctx.inbox()) {
+    const auto msg = decode_alg5(env.payload);
+    if (!msg) continue;
+    if (is_valid_message(msg->first, ctx.verifier(), 2 * t + 1, t)) {
+      adopted_ = msg->first;
+      return;
+    }
+  }
+}
+
+std::optional<Value> Algorithm2Ext::decision() const {
+  if (inner_) return inner_->decision();
+  if (adopted_.has_value()) return adopted_->value;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Family factory
+
+bool algorithm5_supports(const BAConfig& config, std::size_t s,
+                         bool multi_valued) {
+  return s >= 1 && config.t >= 1 && config.transmitter == 0 &&
+         config.n >= 2 * config.t + 1 &&
+         (multi_valued || config.value == 0 || config.value == 1);
+}
+
+PhaseNum algorithm5_steps(const BAConfig& config, std::size_t s) {
+  if (config.n < alpha_for(config.t)) return Algorithm2Ext::steps(config);
+  const Forest forest = Forest::build(config.n, config.t, s);
+  return Alg5Schedule{config.t, forest.max_depth()}.steps();
+}
+
+std::unique_ptr<sim::Process> make_algorithm5(ProcId self,
+                                              const BAConfig& config,
+                                              std::size_t s,
+                                              const Alg5Options& options) {
+  DR_EXPECTS(algorithm5_supports(config, s, options.multi_valued));
+  if (config.n < alpha_for(config.t)) {
+    return std::make_unique<Algorithm2Ext>(self, config,
+                                           options.multi_valued);
+  }
+  const Forest forest = Forest::build(config.n, config.t, s);
+  if (forest.is_active(self)) {
+    return std::make_unique<Algorithm5Active>(self, config, forest, options);
+  }
+  return std::make_unique<Algorithm5Passive>(self, config, forest, options);
+}
+
+}  // namespace dr::ba

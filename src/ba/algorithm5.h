@@ -1,0 +1,183 @@
+// Algorithm 5 (Section 6, Lemma 5 / Theorem 7): Byzantine Agreement with
+// O(t^2 + nt/s) messages in ~3t+4s phases; s = t gives the O(n + t^2) bound
+// that matches the Theorem 2 lower bound for every ratio of n to t.
+//
+// Structure (alpha = smallest square > 6t, actives = ids 0..alpha-1):
+//   phases 1..3t+3    the first 2t+1 actives run Algorithm 2; every correct
+//                     one ends with a transferable *valid message* (the
+//                     value + >= t+1 active signatures);
+//   phase 3t+4        the first t+1 actives forward a valid message to the
+//                     remaining alpha-2t-1 actives;
+//   blocks x = top..1 every active sends a valid message plus a *proof of
+//                     work* to the roots of the depth-x subtrees it believes
+//                     need service (original tree roots need no proof). An
+//                     activated root chains the message through its subtree
+//                     collecting countersignatures (as in Algorithm 3) and
+//                     reports to every active. The actives then exchange
+//                     their updated missing lists with Algorithm 4 and use
+//                     the resulting pi counts both to shrink the confirmed-
+//                     missing sets B(p, x-1) and as proofs of work for the
+//                     next block;
+//   block 0           actives send the valid message directly to every
+//                     confirmed-missing processor.
+//
+// Every processor decides on the value of the first valid message it
+// receives (actives: their Algorithm 2 decision / adopted valid message).
+//
+// When n < alpha the paper extends Algorithm 1 by one phase instead; we
+// implement that as Algorithm2Ext and make_algorithm5() selects it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ba/algorithm2.h"
+#include "ba/config.h"
+#include "ba/exchange.h"
+#include "ba/proof_of_work.h"
+#include "ba/tree.h"
+#include "sim/process.h"
+
+namespace dr::ba {
+
+/// Phase calendar shared by every participant. All steps are absolute
+/// simulator phases.
+struct Alg5Schedule {
+  std::size_t t = 0;
+  std::size_t top = 0;  // deepest tree in the forest (0 = no passives)
+
+  /// Step at which block `top` sends its activations.
+  PhaseNum first_block_step() const {
+    return static_cast<PhaseNum>(3 * t + 5);
+  }
+  /// Activation step of block x (x in [0..top]); block 0 is the direct-send
+  /// step.
+  PhaseNum block_start(std::size_t x) const;
+  /// Step at which the active processors evaluate block x's reports and
+  /// start the Algorithm-4 exchange: block_start(x) + 2*l(x).
+  PhaseNum exchange_start(std::size_t x) const;
+  /// Total simulator steps (last step is processing-only).
+  PhaseNum steps() const { return block_start(0) + 1; }
+};
+
+/// The uniform wire format of Algorithm 5: a signed value plus a (possibly
+/// empty) proof of work.
+Bytes encode_alg5(const SignedValue& sv, const std::vector<Attested>& proof);
+std::optional<std::pair<SignedValue, std::vector<Attested>>> decode_alg5(
+    ByteView data);
+
+/// Ablation knobs (see bench_ablation): the proof-of-work gate is what
+/// bounds activations (Lemma 4); switching it off keeps the algorithm
+/// correct but lets a single faulty active processor trigger arbitrarily
+/// many subtree chains.
+struct Alg5Options {
+  bool require_proof_of_work = true;
+  /// Run the inner Algorithm 2 over the multi-valued Algorithm 1 so the
+  /// transmitter may send any 64-bit value.
+  bool multi_valued = false;
+};
+
+class Algorithm5Active final : public sim::Process {
+ public:
+  Algorithm5Active(ProcId self, const BAConfig& config, const Forest& forest,
+                   const Alg5Options& options = {});
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+ private:
+  void adopt_valid_messages(sim::Context& ctx);
+  void mark_informed(sim::Context& ctx);
+  void send_activations(sim::Context& ctx, std::size_t x);
+  void start_exchange(sim::Context& ctx, std::size_t x);
+  void finish_exchange(sim::Context& ctx);
+  void send_directs(sim::Context& ctx);
+
+  ProcId self_;
+  BAConfig config_;
+  Forest forest_;
+  Alg5Schedule schedule_;
+  std::size_t grid_m_;
+
+  std::unique_ptr<Algorithm2> inner_;  // only for ids 0..2t
+  std::optional<SignedValue> valid_;
+  std::set<ProcId> informed_;
+  std::set<ProcId> contacted_;
+  /// Confirmed-missing set B(p, x); starts as "all passives" implicitly.
+  std::optional<std::set<ProcId>> current_b_;
+  std::vector<ProcId> pending_f_;
+  std::uint32_t next_index_ = 0;  // block level the running exchange is for
+  std::optional<GridExchangeCore> core_;
+  std::optional<MissingEvidence> evidence_;  // index = next block level
+};
+
+class Algorithm5Passive final : public sim::Process {
+ public:
+  Algorithm5Passive(ProcId self, const BAConfig& config, const Forest& forest,
+                    const Alg5Options& options = {});
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  bool activated() const { return activated_; }
+
+ private:
+  void scan_for_decision(sim::Context& ctx);
+  void root_role(sim::Context& ctx);
+  void member_role(sim::Context& ctx);
+
+  ProcId self_;
+  BAConfig config_;
+  Forest forest_;
+  Alg5Schedule schedule_;
+  const PassiveTree* tree_;  // points into forest_
+  std::size_t node_;         // heap index in *tree_
+  std::size_t own_depth_;    // depth of the subtree this node roots
+
+  Alg5Options options_;
+  std::optional<SignedValue> decided_;
+  bool activated_ = false;
+  std::optional<SignedValue> m_;  // the growing chained message (root role)
+};
+
+/// The paper's small-n extension: Algorithm 2 among the first 2t+1, then
+/// the first t+1 forward a valid message to everybody else
+/// ((t+1)(n-2t-1) extra messages, one extra phase).
+class Algorithm2Ext final : public sim::Process {
+ public:
+  Algorithm2Ext(ProcId self, const BAConfig& config,
+                bool multi_valued = false);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  static PhaseNum steps(const BAConfig& config) {
+    return static_cast<PhaseNum>(3 * config.t + 5);
+  }
+
+ private:
+  ProcId self_;
+  BAConfig config_;
+  std::unique_ptr<Algorithm2> inner_;  // ids 0..2t
+  std::optional<SignedValue> adopted_;
+};
+
+/// Builds `sv` into a valid message for an Algorithm-2 participant: its
+/// possession proof, extended with its own signature when absent.
+std::optional<SignedValue> valid_from_proof(const Algorithm2& alg2,
+                                            ProcId self,
+                                            const crypto::Signer& signer);
+
+/// Factory for the whole family: Algorithm 5 when n >= alpha, otherwise the
+/// Algorithm2Ext fallback (n >= 2t+1 still required).
+std::unique_ptr<sim::Process> make_algorithm5(ProcId self,
+                                              const BAConfig& config,
+                                              std::size_t s,
+                                              const Alg5Options& options = {});
+PhaseNum algorithm5_steps(const BAConfig& config, std::size_t s);
+bool algorithm5_supports(const BAConfig& config, std::size_t s,
+                         bool multi_valued = false);
+
+}  // namespace dr::ba

@@ -1,0 +1,29 @@
+// Shared configuration for all Byzantine Agreement protocol implementations.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/envelope.h"
+
+namespace dr::ba {
+
+using sim::PhaseNum;
+using sim::ProcId;
+using sim::Value;
+
+/// The paper's standing assumptions: n processors, at most t faulty, one
+/// designated transmitter with a private input value. The algorithms in
+/// Sections 5-6 fix transmitter = 0 and V = {0, 1}; Dolev-Strong and EIG
+/// accept arbitrary 64-bit values.
+struct BAConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  ProcId transmitter = 0;
+  Value value = 0;  // consumed only by the transmitter's own instance
+};
+
+/// The value a correct processor falls back to when the transmitter is
+/// exposed as faulty (the paper's convention: "otherwise it agrees on 0").
+inline constexpr Value kDefaultValue = 0;
+
+}  // namespace dr::ba

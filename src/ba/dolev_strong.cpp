@@ -1,0 +1,131 @@
+#include "ba/dolev_strong.h"
+
+#include <algorithm>
+
+namespace dr::ba {
+
+namespace {
+
+/// Common acceptance core for Dolev-Strong chains: cryptographically valid,
+/// distinct signers, initiated by the transmitter, not yet signed by the
+/// receiver, and exactly as many signatures as the phase in which the
+/// message was sent (a correct sender at phase j always sends chains of
+/// length j; the network stamps sent_phase, so a faulty sender cannot lie
+/// about it).
+bool chain_ok(const SignedValue& sv, const sim::Envelope& env,
+              const sim::Context& ctx, ProcId transmitter) {
+  if (sv.chain.empty()) return false;
+  if (sv.chain.size() != env.sent_phase) return false;
+  if (sv.chain.front().signer != transmitter) return false;
+  if (contains_signer(sv, ctx.self())) return false;
+  if (!distinct_signers(sv)) return false;
+  return verify_chain(sv, ctx.verifier());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DolevStrongBroadcast
+
+DolevStrongBroadcast::DolevStrongBroadcast(ProcId self, const BAConfig& config)
+    : self_(self), config_(config) {}
+
+void DolevStrongBroadcast::on_phase(sim::Context& ctx) {
+  if (self_ == config_.transmitter) {
+    if (ctx.phase() == 1) {
+      const SignedValue sv =
+          make_signed(config_.value, ctx.signer(), self_);
+      extracted_.insert(config_.value);
+      for (ProcId q = 0; q < config_.n; ++q) {
+        if (q != self_) ctx.send(q, encode(sv), sv.chain.size());
+      }
+    }
+    return;  // the transmitter never extracts other values
+  }
+
+  for (const sim::Envelope& env : ctx.inbox()) {
+    const auto sv = decode_signed_value(env.payload);
+    if (!sv || !chain_ok(*sv, env, ctx, config_.transmitter)) continue;
+    if (extracted_.contains(sv->value)) continue;
+    extracted_.insert(sv->value);
+    // Relay each of the first two extracted values once; chains that would
+    // arrive after the last processing step are pointless to send.
+    if (relayed_ < 2 && ctx.phase() + 1 <= steps(config_)) {
+      ++relayed_;
+      const SignedValue ext = extend(*sv, ctx.signer(), self_);
+      for (ProcId q = 0; q < config_.n; ++q) {
+        if (q != self_) ctx.send(q, encode(ext), ext.chain.size());
+      }
+    }
+  }
+}
+
+std::optional<Value> DolevStrongBroadcast::decision() const {
+  if (extracted_.size() == 1) return *extracted_.begin();
+  return kDefaultValue;
+}
+
+// ---------------------------------------------------------------------------
+// DolevStrongRelay
+
+DolevStrongRelay::DolevStrongRelay(ProcId self, const BAConfig& config,
+                                   std::size_t relay_count)
+    : self_(self), config_(config),
+      relay_count_(relay_count == 0 ? config.t + 1 : relay_count) {}
+
+bool DolevStrongRelay::is_relay(ProcId p) const {
+  // Relays are the `relay_count_` lowest ids other than the transmitter.
+  if (p == config_.transmitter) return false;
+  const std::size_t shift = config_.transmitter < relay_count_ ? 1 : 0;
+  return p < relay_count_ + shift;
+}
+
+void DolevStrongRelay::extract(const SignedValue& sv, sim::Context& ctx) {
+  if (extracted_.contains(sv.value)) return;
+  extracted_.insert(sv.value);
+  const bool can_send = ctx.phase() + 1 <= steps(config_);
+  if (!can_send) return;
+  const SignedValue ext = extend(sv, ctx.signer(), self_);
+  if (is_relay(self_)) {
+    if (broadcast_ < 2) {
+      ++broadcast_;
+      for (ProcId q = 0; q < config_.n; ++q) {
+        if (q != self_) ctx.send(q, encode(ext), ext.chain.size());
+      }
+    }
+  } else if (reported_ < 2) {
+    ++reported_;
+    for (ProcId q = 0; q < config_.n; ++q) {
+      if (q != self_ && is_relay(q)) {
+        ctx.send(q, encode(ext), ext.chain.size());
+      }
+    }
+  }
+}
+
+void DolevStrongRelay::on_phase(sim::Context& ctx) {
+  if (self_ == config_.transmitter) {
+    if (ctx.phase() == 1) {
+      const SignedValue sv =
+          make_signed(config_.value, ctx.signer(), self_);
+      extracted_.insert(config_.value);
+      for (ProcId q = 0; q < config_.n; ++q) {
+        if (q != self_) ctx.send(q, encode(sv), sv.chain.size());
+      }
+    }
+    return;
+  }
+
+  for (const sim::Envelope& env : ctx.inbox()) {
+    const auto sv = decode_signed_value(env.payload);
+    if (!sv || !chain_ok(*sv, env, ctx, config_.transmitter)) continue;
+    extract(*sv, ctx);
+  }
+}
+
+std::optional<Value> DolevStrongRelay::decision() const {
+  if (extracted_.size() == 1) return *extracted_.begin();
+  return kDefaultValue;
+}
+
+}  // namespace dr::ba

@@ -1,0 +1,79 @@
+// The authenticated baseline the paper compares against (its reference [9],
+// Dolev & Strong, "Authenticated algorithms for Byzantine Agreement").
+//
+// Two variants:
+//  * DolevStrongBroadcast — the textbook t+1-phase algorithm: every correct
+//    processor relays each newly extracted value (at most two) to everybody,
+//    Theta(n^2) messages in the worst case.
+//  * DolevStrongRelay — the message-thrifty variant the paper's introduction
+//    attributes to [9] ("O(nt + t^2) messages ... by a slight modification
+//    and one additional phase"): processors report newly extracted values
+//    only to t+1 designated relay processors, which re-broadcast, giving
+//    O(nt) messages at the cost of two extra phases.
+//
+// Both decide: if exactly one value was extracted, that value; otherwise the
+// default value 0 (the transmitter is then exposed as faulty).
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "ba/config.h"
+#include "ba/signed_value.h"
+#include "sim/process.h"
+
+namespace dr::ba {
+
+class DolevStrongBroadcast final : public sim::Process {
+ public:
+  DolevStrongBroadcast(ProcId self, const BAConfig& config);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  /// Simulator steps needed: t+1 communication phases plus one final
+  /// processing-only step to consume chains of length t+1.
+  static PhaseNum steps(const BAConfig& config) {
+    return static_cast<PhaseNum>(config.t + 2);
+  }
+
+  const std::set<Value>& extracted() const { return extracted_; }
+
+ private:
+  ProcId self_;
+  BAConfig config_;
+  std::set<Value> extracted_;
+  std::size_t relayed_ = 0;  // values this processor has relayed (max 2)
+};
+
+class DolevStrongRelay final : public sim::Process {
+ public:
+  /// `relay_count` overrides the number of designated relays (default and
+  /// correctness requirement: t+1 — at least one correct relay). Smaller
+  /// values exist for the ablation benchmark, which demonstrates how k <= t
+  /// relays lose agreement under an equivocating transmitter with k silent
+  /// relays.
+  DolevStrongRelay(ProcId self, const BAConfig& config,
+                   std::size_t relay_count = 0);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  /// t+3 communication phases plus a final processing-only step.
+  static PhaseNum steps(const BAConfig& config) {
+    return static_cast<PhaseNum>(config.t + 4);
+  }
+
+ private:
+  bool is_relay(ProcId p) const;
+  void extract(const SignedValue& sv, sim::Context& ctx);
+
+  ProcId self_;
+  BAConfig config_;
+  std::size_t relay_count_;
+  std::set<Value> extracted_;
+  std::size_t reported_ = 0;   // values sent to the relay set (max 2)
+  std::size_t broadcast_ = 0;  // values broadcast when acting as relay (max 2)
+};
+
+}  // namespace dr::ba

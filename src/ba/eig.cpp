@@ -1,0 +1,137 @@
+#include "ba/eig.h"
+
+#include <algorithm>
+
+#include "codec/codec.h"
+
+namespace dr::ba {
+
+namespace {
+
+/// One relay bundle: a sequence of (path, value) pairs.
+Bytes encode_bundle(
+    const std::vector<std::pair<std::vector<ProcId>, Value>>& pairs) {
+  Writer w;
+  w.seq(pairs.size());
+  for (const auto& [path, value] : pairs) {
+    w.seq(path.size());
+    for (ProcId p : path) w.u32(p);
+    w.u64(value);
+  }
+  return std::move(w).take();
+}
+
+std::optional<std::vector<std::pair<std::vector<ProcId>, Value>>>
+decode_bundle(ByteView data) {
+  Reader r(data);
+  std::vector<std::pair<std::vector<ProcId>, Value>> pairs;
+  const std::size_t count = r.seq();
+  for (std::size_t i = 0; i < count && r.ok(); ++i) {
+    std::vector<ProcId> path(r.seq());
+    for (auto& p : path) p = r.u32();
+    const Value v = r.u64();
+    pairs.emplace_back(std::move(path), v);
+  }
+  if (!r.done()) return std::nullopt;
+  return pairs;
+}
+
+bool distinct_ids(const std::vector<ProcId>& path) {
+  std::vector<ProcId> sorted = path;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+}  // namespace
+
+Eig::Eig(ProcId self, const BAConfig& config) : self_(self), config_(config) {}
+
+bool Eig::valid_pair(const Path& path, ProcId from,
+                     PhaseNum sent_phase) const {
+  if (path.empty() || path.size() != sent_phase) return false;
+  if (path.front() != config_.transmitter) return false;
+  if (path.back() != from) return false;
+  // Note: paths containing the receiver ARE stored — the receiver needs the
+  // whole level for its majority resolution, including subtrees under its
+  // own label.
+  if (!distinct_ids(path)) return false;
+  for (ProcId p : path) {
+    if (p >= config_.n) return false;
+  }
+  return true;
+}
+
+void Eig::on_phase(sim::Context& ctx) {
+  const PhaseNum phase = ctx.phase();
+
+  // Store everything delivered this phase (sent in round phase-1).
+  for (const sim::Envelope& env : ctx.inbox()) {
+    const auto pairs = decode_bundle(env.payload);
+    if (!pairs) continue;
+    for (const auto& [path, value] : *pairs) {
+      if (!valid_pair(path, env.from, env.sent_phase)) continue;
+      tree_.try_emplace(path, value);  // first report wins
+    }
+  }
+
+  // Send this round's relays.
+  if (phase == 1) {
+    if (self_ == config_.transmitter) {
+      const Path root{self_};
+      tree_.try_emplace(root, config_.value);
+      const Bytes bundle = encode_bundle({{root, config_.value}});
+      for (ProcId q = 0; q < config_.n; ++q) {
+        if (q != self_) ctx.send(q, bundle, 0);
+      }
+    }
+    return;
+  }
+  if (phase > config_.t + 1) return;  // rounds are 1..t+1
+
+  std::vector<std::pair<Path, Value>> relays;
+  for (const auto& [path, value] : tree_) {
+    if (path.size() != phase - 1) continue;
+    if (std::find(path.begin(), path.end(), self_) != path.end()) continue;
+    Path extended = path;
+    extended.push_back(self_);
+    relays.emplace_back(std::move(extended), value);
+  }
+  if (relays.empty()) return;
+  // A relay conceptually goes to every processor including the sender;
+  // store our own copies directly.
+  for (const auto& [path, value] : relays) {
+    tree_.try_emplace(path, value);
+  }
+  const Bytes bundle = encode_bundle(relays);
+  for (ProcId q = 0; q < config_.n; ++q) {
+    if (q != self_) ctx.send(q, bundle, 0);
+  }
+}
+
+Value Eig::resolve(const Path& path) const {
+  if (path.size() == config_.t + 1) {
+    const auto it = tree_.find(path);
+    return it == tree_.end() ? kDefaultValue : it->second;
+  }
+  // Strict majority over children; default on a tie or no majority.
+  std::map<Value, std::size_t> votes;
+  std::size_t children = 0;
+  for (ProcId q = 0; q < config_.n; ++q) {
+    if (std::find(path.begin(), path.end(), q) != path.end()) continue;
+    Path child = path;
+    child.push_back(q);
+    ++children;
+    ++votes[resolve(child)];
+  }
+  for (const auto& [value, count] : votes) {
+    if (2 * count > children) return value;
+  }
+  return kDefaultValue;
+}
+
+std::optional<Value> Eig::decision() const {
+  if (self_ == config_.transmitter) return config_.value;
+  return resolve(Path{config_.transmitter});
+}
+
+}  // namespace dr::ba

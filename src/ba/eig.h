@@ -1,0 +1,55 @@
+// Unauthenticated baseline: Exponential Information Gathering, the classic
+// oral-messages algorithm of Pease, Shostak & Lamport (the paper's reference
+// [15]) in its EIG-tree formulation. Requires n > 3t.
+//
+// The paper uses unauthenticated algorithms as comparison points for
+// Corollary 1 (at least n(t+1)/4 messages without authentication). EIG's
+// failure-free message count comfortably exhibits the Omega(nt) behaviour;
+// its worst case is exponential, which is why it is only run at small n, t.
+//
+// Round structure: in round 1 the transmitter broadcasts its value; in round
+// k each processor relays every path of length k-1 it stored that does not
+// contain itself, with its own id appended. After round t+1 each processor
+// resolves the EIG tree bottom-up by strict majority (default value on
+// ties/missing) and decides the resolved root.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ba/config.h"
+#include "sim/process.h"
+
+namespace dr::ba {
+
+class Eig final : public sim::Process {
+ public:
+  Eig(ProcId self, const BAConfig& config);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  static PhaseNum steps(const BAConfig& config) {
+    return static_cast<PhaseNum>(config.t + 2);
+  }
+  static bool supports(const BAConfig& config) {
+    return config.n > 3 * config.t;
+  }
+
+  using Path = std::vector<ProcId>;
+
+  /// The stored EIG tree (path -> reported value); exposed for tests.
+  const std::map<Path, Value>& tree() const { return tree_; }
+
+ private:
+  /// Validates a relayed (path, value) pair against the sender and phase.
+  bool valid_pair(const Path& path, ProcId from, PhaseNum sent_phase) const;
+
+  Value resolve(const Path& path) const;
+
+  ProcId self_;
+  BAConfig config_;
+  std::map<Path, Value> tree_;
+};
+
+}  // namespace dr::ba

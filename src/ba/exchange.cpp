@@ -1,0 +1,257 @@
+#include "ba/exchange.h"
+
+#include "util/contracts.h"
+
+namespace dr::ba {
+
+namespace {
+
+Bytes attest_domain(ProcId signer, ByteView body) {
+  Writer w;
+  w.str("dr82.attest");
+  w.u32(signer);
+  w.bytes(body);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Attested attest(ByteView body, const crypto::Signer& signer, ProcId as) {
+  Attested a;
+  a.signer = as;
+  a.body.assign(body.begin(), body.end());
+  a.sig = signer.sign(as, attest_domain(as, body));
+  return a;
+}
+
+bool verify_attested(const Attested& a, const crypto::Verifier& verifier) {
+  return verifier.verify(a.signer, attest_domain(a.signer, a.body), a.sig);
+}
+
+void encode(Writer& w, const Attested& a) {
+  w.u32(a.signer);
+  w.bytes(a.body);
+  crypto::encode(w, a.sig);
+}
+
+std::optional<Attested> decode_attested(Reader& r) {
+  Attested a;
+  a.signer = r.u32();
+  a.body = r.bytes();
+  const auto sig = crypto::decode_signature(r);
+  if (!r.ok() || !sig) return std::nullopt;
+  a.sig = *sig;
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// GridExchangeCore
+
+GridExchangeCore::GridExchangeCore(ProcId self, std::size_t m,
+                                   sim::PhaseNum start)
+    : self_(self), m_(m), start_(start) {
+  DR_EXPECTS(m >= 1);
+  DR_EXPECTS(self < m * m);
+}
+
+void GridExchangeCore::remember(const Attested& a,
+                                const crypto::Verifier& verifier) {
+  if (a.signer >= m_ * m_) return;
+  if (known_.contains(a.signer)) return;  // first report wins
+  if (!verify_attested(a, verifier)) return;
+  known_.emplace(a.signer, a);
+}
+
+Bytes GridExchangeCore::bundle(const std::vector<Attested>& items) {
+  Writer w;
+  w.seq(items.size());
+  for (const Attested& a : items) encode(w, a);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<Attested>> GridExchangeCore::unbundle(
+    ByteView data) {
+  Reader r(data);
+  const std::size_t count = r.seq();
+  std::vector<Attested> items;
+  items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto a = decode_attested(r);
+    if (!a) return std::nullopt;
+    items.push_back(std::move(*a));
+  }
+  if (!r.done()) return std::nullopt;
+  return items;
+}
+
+void GridExchangeCore::on_phase(sim::Context& ctx) {
+  const sim::PhaseNum phase = ctx.phase();
+  if (phase < start_ || phase > start_ + 3) return;
+  const std::size_t i = row(self_);
+  const std::size_t j = col(self_);
+
+  // --- Receive side -------------------------------------------------------
+  if (phase == start_ + 1) {
+    // Phase-1 messages from row mates: single attested values.
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (env.sent_phase != start_ || row(env.from) != i) continue;
+      const auto items = unbundle(env.payload);
+      if (!items || items->size() != 1) continue;
+      const Attested& a = items->front();
+      // The paper's correct format: a value signed by p(i,k) itself.
+      if (a.signer != env.from) continue;
+      remember(a, ctx.verifier());
+      row_collected_.push_back(a);
+    }
+  } else if (phase == start_ + 2) {
+    // Phase-2 messages from column mates: row bundles signed by row(from).
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (env.sent_phase != start_ + 1 || col(env.from) != j) continue;
+      const auto items = unbundle(env.payload);
+      if (!items || items->size() > m_) continue;
+      bool format_ok = true;
+      for (const Attested& a : *items) {
+        if (row(a.signer) != row(env.from)) format_ok = false;
+      }
+      if (!format_ok) continue;  // M2(i,j,l) := empty string
+      for (const Attested& a : *items) {
+        remember(a, ctx.verifier());
+        col_collected_.push_back(a);
+      }
+    }
+  } else if (phase == start_ + 3) {
+    // Phase-3 messages from row mates: anything validly attested counts.
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (env.sent_phase != start_ + 2 || row(env.from) != i) continue;
+      const auto items = unbundle(env.payload);
+      if (!items) continue;
+      for (const Attested& a : *items) remember(a, ctx.verifier());
+    }
+  }
+
+  // --- Send side ----------------------------------------------------------
+  if (phase == start_) {
+    const Attested own = attest(body_, ctx.signer(), self_);
+    remember(own, ctx.verifier());
+    row_collected_.push_back(own);
+    const Bytes payload = bundle({own});
+    for (std::size_t k = 0; k < m_; ++k) {
+      if (id(i, k) != self_) ctx.send(id(i, k), payload, 1);
+    }
+  } else if (phase == start_ + 1) {
+    const Bytes payload = bundle(row_collected_);
+    col_collected_.insert(col_collected_.end(), row_collected_.begin(),
+                          row_collected_.end());
+    for (std::size_t l = 0; l < m_; ++l) {
+      if (id(l, j) != self_) {
+        ctx.send(id(l, j), payload, row_collected_.size());
+      }
+    }
+  } else if (phase == start_ + 2) {
+    const Bytes payload = bundle(col_collected_);
+    for (std::size_t k = 0; k < m_; ++k) {
+      if (id(i, k) != self_) {
+        ctx.send(id(i, k), payload, col_collected_.size());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wrappers
+
+GridExchangeProcess::GridExchangeProcess(ProcId self, std::size_t m,
+                                         Bytes body)
+    : core_(self, m, 1) {
+  core_.set_body(std::move(body));
+}
+
+void GridExchangeProcess::on_phase(sim::Context& ctx) { core_.on_phase(ctx); }
+
+NaiveExchangeProcess::NaiveExchangeProcess(ProcId self, std::size_t n,
+                                           Bytes body)
+    : self_(self), n_(n), body_(std::move(body)) {}
+
+void NaiveExchangeProcess::on_phase(sim::Context& ctx) {
+  if (ctx.phase() == 1) {
+    const Attested own = attest(body_, ctx.signer(), self_);
+    known_.emplace(self_, own);
+    Writer w;
+    encode(w, own);
+    const Bytes payload = std::move(w).take();
+    for (ProcId q = 0; q < n_; ++q) {
+      if (q != self_) ctx.send(q, payload, 1);
+    }
+  } else if (ctx.phase() == 2) {
+    for (const sim::Envelope& env : ctx.inbox()) {
+      Reader r(env.payload);
+      const auto a = decode_attested(r);
+      if (!a || !r.done() || a->signer != env.from) continue;
+      if (!verify_attested(*a, ctx.verifier())) continue;
+      known_.emplace(a->signer, *a);
+    }
+  }
+}
+
+RelayExchangeProcess::RelayExchangeProcess(ProcId self, std::size_t n,
+                                           std::size_t t, Bytes body)
+    : self_(self), n_(n), t_(t), body_(std::move(body)) {}
+
+void RelayExchangeProcess::on_phase(sim::Context& ctx) {
+  const bool relay = self_ <= t_;
+  if (ctx.phase() == 1) {
+    const Attested own = attest(body_, ctx.signer(), self_);
+    known_.emplace(self_, own);
+    if (relay) collected_.push_back(own);
+    Writer w;
+    w.seq(1);
+    encode(w, own);
+    const Bytes payload = std::move(w).take();
+    for (ProcId q = 0; q <= t_; ++q) {
+      if (q != self_) ctx.send(q, payload, 1);
+    }
+  } else if (ctx.phase() == 2) {
+    if (!relay) return;
+    for (const sim::Envelope& env : ctx.inbox()) {
+      Reader r(env.payload);
+      const std::size_t count = r.seq();
+      if (count != 1) continue;
+      const auto a = decode_attested(r);
+      if (!a || !r.done() || a->signer != env.from) continue;
+      if (!verify_attested(*a, ctx.verifier())) continue;
+      known_.emplace(a->signer, *a);
+      collected_.push_back(*a);
+    }
+    Writer w;
+    w.seq(collected_.size());
+    for (const Attested& a : collected_) encode(w, a);
+    const Bytes payload = std::move(w).take();
+    for (ProcId q = static_cast<ProcId>(t_ + 1); q < n_; ++q) {
+      if (q != self_) ctx.send(q, payload, collected_.size());
+    }
+  } else if (ctx.phase() == 3) {
+    if (relay) return;
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (env.from > t_) continue;
+      Reader r(env.payload);
+      const std::size_t count = r.seq();
+      for (std::size_t k = 0; k < count && r.ok(); ++k) {
+        const auto a = decode_attested(r);
+        if (!a) break;
+        if (verify_attested(*a, ctx.verifier())) known_.emplace(a->signer, *a);
+      }
+    }
+  }
+}
+
+bool non_isolated(ProcId p, std::size_t m, const std::vector<bool>& faulty) {
+  if (faulty[p]) return false;
+  const std::size_t row = p / m;
+  std::size_t bad = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    if (faulty[row * m + k]) ++bad;
+  }
+  return 2 * bad < m;
+}
+
+}  // namespace dr::ba

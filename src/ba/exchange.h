@@ -1,0 +1,152 @@
+// Algorithm 4 (Section 6, Lemma 2 / Theorem 6): N = m^2 processors mutually
+// exchange signed values in 3 phases and at most 3(m-1)m^2 = O(N^1.5)
+// messages, such that a core of at least N-2t *non-isolated* correct
+// processors all learn each other's values.
+//
+// Layout: processor p(i,j) has id (i-1)*m + (j-1). Phase 1 broadcasts the
+// own value along the row; phase 2 sends the row bundle along the column;
+// phase 3 sends the column-of-row bundles along the row again.
+//
+// The exchanged unit is an arbitrary byte string ("body") with a single
+// signature — Algorithm 5 uses this to exchange its missing-processor lists,
+// and the standalone benchmark uses 8-byte values.
+//
+// Also here: the two baselines the paper mentions for the mutual-exchange
+// problem — the obvious one-phase N(N-1) algorithm and the two-phase relay
+// algorithm with (N-1)(t+1) + (N-t-1)(t+1) messages.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ba/config.h"
+#include "codec/codec.h"
+#include "crypto/signature.h"
+#include "sim/process.h"
+
+namespace dr::ba {
+
+/// A byte string signed by one processor. The signature covers
+/// ("dr82.attest" || signer || body), so it cannot be confused with the
+/// SignedValue chains used elsewhere.
+struct Attested {
+  ProcId signer = 0;
+  Bytes body;
+  crypto::Signature sig;
+
+  friend bool operator==(const Attested&, const Attested&) = default;
+};
+
+Attested attest(ByteView body, const crypto::Signer& signer, ProcId as);
+bool verify_attested(const Attested& a, const crypto::Verifier& verifier);
+void encode(Writer& w, const Attested& a);
+std::optional<Attested> decode_attested(Reader& r);
+
+/// Reusable 3-phase grid-exchange state machine; `start` is the simulator
+/// step at which phase 1 of the exchange runs. Drive it by calling on_phase
+/// for steps start .. start+3 (the last is processing-only); afterwards
+/// known() holds every attested body seen, keyed by signer.
+class GridExchangeCore {
+ public:
+  /// `self` must be < m*m; ids 0..m*m-1 form the grid.
+  GridExchangeCore(ProcId self, std::size_t m, sim::PhaseNum start);
+
+  void set_body(Bytes body) { body_ = std::move(body); }
+
+  void on_phase(sim::Context& ctx);
+
+  bool done(sim::PhaseNum phase) const { return phase > start_ + 3; }
+  const std::map<ProcId, Attested>& known() const { return known_; }
+  sim::PhaseNum start() const { return start_; }
+
+ private:
+  std::size_t row(ProcId p) const { return p / m_; }
+  std::size_t col(ProcId p) const { return p % m_; }
+  ProcId id(std::size_t i, std::size_t j) const {
+    return static_cast<ProcId>(i * m_ + j);
+  }
+
+  void remember(const Attested& a, const crypto::Verifier& verifier);
+  /// Bundles a set of attested strings into one payload.
+  static Bytes bundle(const std::vector<Attested>& items);
+  /// Strict decode: all entries must parse (a malformed bundle is ignored
+  /// entirely, matching the paper's "ignore messages that do not have a
+  /// correct format").
+  static std::optional<std::vector<Attested>> unbundle(ByteView data);
+
+  ProcId self_;
+  std::size_t m_;
+  sim::PhaseNum start_;
+  Bytes body_;
+  std::map<ProcId, Attested> known_;
+  // Bundles to forward: M1 (row collections) and M2 (column collections).
+  std::vector<Attested> row_collected_;
+  std::vector<Attested> col_collected_;
+};
+
+/// Standalone Algorithm-4 process for tests/benchmarks.
+class GridExchangeProcess final : public sim::Process {
+ public:
+  GridExchangeProcess(ProcId self, std::size_t m, Bytes body);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+  static PhaseNum steps(std::size_t /*m*/) { return 4; }
+
+  const std::map<ProcId, Attested>& known() const { return core_.known(); }
+
+ private:
+  GridExchangeCore core_;
+};
+
+/// Baseline: everybody signs and sends to everybody, one phase, N(N-1)
+/// messages.
+class NaiveExchangeProcess final : public sim::Process {
+ public:
+  NaiveExchangeProcess(ProcId self, std::size_t n, Bytes body);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+  static PhaseNum steps() { return 2; }
+
+  const std::map<ProcId, Attested>& known() const { return known_; }
+
+ private:
+  ProcId self_;
+  std::size_t n_;
+  Bytes body_;
+  std::map<ProcId, Attested> known_;
+};
+
+/// Baseline: t+1 relay processors (ids 0..t); phase 1 everybody sends to
+/// every relay, phase 2 relays broadcast the combined bundle:
+/// (N-1)(t+1) + (N-t-1)(t+1) messages, every correct pair exchanges.
+class RelayExchangeProcess final : public sim::Process {
+ public:
+  RelayExchangeProcess(ProcId self, std::size_t n, std::size_t t, Bytes body);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+  static PhaseNum steps() { return 3; }
+
+  const std::map<ProcId, Attested>& known() const { return known_; }
+
+ private:
+  ProcId self_;
+  std::size_t n_;
+  std::size_t t_;
+  Bytes body_;
+  std::map<ProcId, Attested> known_;
+  std::vector<Attested> collected_;
+};
+
+/// Lemma 2's non-isolated predicate: a correct processor whose row contains
+/// fewer than m/2 faulty processors (strictly less). The lemma guarantees
+/// every pair of non-isolated processors exchanged values.
+bool non_isolated(ProcId p, std::size_t m, const std::vector<bool>& faulty);
+
+}  // namespace dr::ba

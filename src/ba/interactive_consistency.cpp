@@ -1,0 +1,111 @@
+#include "ba/interactive_consistency.h"
+
+#include "codec/codec.h"
+#include "util/contracts.h"
+
+namespace dr::ba {
+
+namespace {
+
+Bytes tag(std::uint32_t instance, ByteView inner) {
+  Writer w;
+  w.u32(instance);
+  w.bytes(inner);
+  return std::move(w).take();
+}
+
+std::optional<std::pair<std::uint32_t, Bytes>> untag(ByteView payload) {
+  Reader r(payload);
+  const std::uint32_t instance = r.u32();
+  Bytes inner = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return std::make_pair(instance, std::move(inner));
+}
+
+}  // namespace
+
+bool InteractiveConsistency::supports(const Protocol& base, std::size_t n,
+                                      std::size_t t) {
+  for (ProcId i = 0; i < n; ++i) {
+    if (!base.supports(BAConfig{n, t, i, 0})) return false;
+  }
+  return true;
+}
+
+InteractiveConsistency::InteractiveConsistency(ProcId self,
+                                               const Protocol& base,
+                                               std::size_t n, std::size_t t,
+                                               Value own_value)
+    : self_(self), n_(n) {
+  DR_EXPECTS(supports(base, n, t));
+  instances_.reserve(n);
+  for (ProcId i = 0; i < n; ++i) {
+    // Only instance `self` carries our private value; the config value of
+    // other instances is irrelevant to us (we are not their transmitter).
+    instances_.push_back(
+        base.make(self, BAConfig{n, t, i, i == self ? own_value : 0}));
+  }
+}
+
+void InteractiveConsistency::on_phase(sim::Context& ctx) {
+  // Demultiplex the inbox per instance.
+  std::vector<std::vector<sim::Envelope>> inboxes(n_);
+  for (const sim::Envelope& env : ctx.inbox()) {
+    auto tagged = untag(env.payload);
+    if (!tagged || tagged->first >= n_) continue;
+    inboxes[tagged->first].push_back(sim::Envelope{
+        env.from, env.to, env.sent_phase, std::move(tagged->second)});
+  }
+
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    sim::Context sub(ctx.self(), ctx.phase(), ctx.n(), ctx.t(), &inboxes[i],
+                     &ctx.signer(), &ctx.verifier());
+    instances_[i]->on_phase(sub);
+    for (auto& out : sub.outgoing()) {
+      ctx.send(out.to, tag(i, out.payload), out.signatures);
+    }
+  }
+}
+
+std::vector<std::optional<Value>> InteractiveConsistency::vector() const {
+  std::vector<std::optional<Value>> out;
+  out.reserve(n_);
+  for (const auto& instance : instances_) {
+    out.push_back(instance->decision());
+  }
+  return out;
+}
+
+ICResult run_interactive_consistency(const Protocol& base,
+                                     const std::vector<Value>& values,
+                                     std::size_t t, std::uint64_t seed,
+                                     const std::vector<ScenarioFault>&
+                                         faults) {
+  const std::size_t n = values.size();
+  DR_EXPECTS(faults.size() <= t);
+  sim::Runner runner(sim::RunConfig{.n = n, .t = t, .seed = seed});
+  for (const ScenarioFault& fault : faults) runner.mark_faulty(fault.id);
+
+  std::vector<InteractiveConsistency*> procs(n, nullptr);
+  for (ProcId p = 0; p < n; ++p) {
+    if (runner.is_faulty(p)) continue;
+    auto proc = std::make_unique<InteractiveConsistency>(p, base, n, t,
+                                                         values[p]);
+    procs[p] = proc.get();
+    runner.install(p, std::move(proc));
+  }
+  for (const ScenarioFault& fault : faults) {
+    runner.install(fault.id, fault.make(fault.id, BAConfig{n, t, 0, 0}));
+  }
+
+  ICResult result{.vectors = {},
+                  .run = runner.run(
+                      InteractiveConsistency::steps(base, n, t))};
+  result.vectors.resize(n);
+  for (ProcId p = 0; p < n; ++p) {
+    if (procs[p] != nullptr) result.vectors[p] = procs[p]->vector();
+  }
+  return result;
+}
+
+}  // namespace dr::ba

@@ -1,0 +1,64 @@
+// Interactive consistency (Pease-Shostak-Lamport, the paper's reference
+// [15]): every processor holds a private value and all correct processors
+// must agree on the full n-vector, with correct processors' entries equal
+// to their actual values.
+//
+// Implemented the canonical way: n parallel Byzantine Agreement instances —
+// instance i has transmitter i — multiplexed over the same synchronous
+// network by tagging every payload with its instance id. Any registered BA
+// protocol that supports arbitrary transmitters (dolev-strong,
+// dolev-strong-relay, eig) can serve as the base; total cost is n times the
+// base protocol's, which is where the paper's per-broadcast message bounds
+// start to matter.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ba/registry.h"
+#include "sim/process.h"
+
+namespace dr::ba {
+
+class InteractiveConsistency final : public sim::Process {
+ public:
+  /// `own_value` is this processor's private input (it is the transmitter
+  /// of instance `self`).
+  InteractiveConsistency(ProcId self, const Protocol& base,
+                         std::size_t n, std::size_t t, Value own_value);
+
+  void on_phase(sim::Context& ctx) override;
+  /// Not meaningful for a vector decision; always nullopt. Use vector().
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+  /// The decided vector: entry i is instance i's decision.
+  std::vector<std::optional<Value>> vector() const;
+
+  static PhaseNum steps(const Protocol& base, std::size_t n, std::size_t t) {
+    return base.steps(BAConfig{n, t, 0, 0});
+  }
+  static bool supports(const Protocol& base, std::size_t n, std::size_t t);
+
+ private:
+  ProcId self_;
+  std::size_t n_;
+  std::vector<std::unique_ptr<sim::Process>> instances_;  // size n
+};
+
+/// Convenience harness mirroring run_scenario: runs interactive consistency
+/// over `base` with `values[i]` as processor i's input; faulty ids get the
+/// adversarial processes from `faults` instead.
+struct ICResult {
+  /// vectors[p][i] = processor p's decision for instance i (only correct
+  /// processors' rows are meaningful).
+  std::vector<std::vector<std::optional<Value>>> vectors;
+  sim::RunResult run;
+};
+
+ICResult run_interactive_consistency(const Protocol& base,
+                                     const std::vector<Value>& values,
+                                     std::size_t t, std::uint64_t seed,
+                                     const std::vector<ScenarioFault>&
+                                         faults = {});
+
+}  // namespace dr::ba

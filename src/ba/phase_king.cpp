@@ -1,0 +1,103 @@
+#include "ba/phase_king.h"
+
+#include <map>
+#include <set>
+
+#include "codec/codec.h"
+#include "util/contracts.h"
+
+namespace dr::ba {
+
+// Schedule (simulator steps):
+//   step 1            transmitter broadcasts its value
+//   step 2k           (k = 1..t+1) round A of phase k: process the previous
+//                     king's verdict (or the transmitter's value when k=1),
+//                     then broadcast the current value
+//   step 2k+1         round B of phase k: tally round-A values into
+//                     (majority, multiplicity); the phase's king broadcasts
+//                     its majority
+//   step 2t+4         final processing-only step (last king's verdict)
+
+PhaseKing::PhaseKing(ProcId self, const BAConfig& config)
+    : self_(self), config_(config) {
+  DR_EXPECTS(supports(config));
+}
+
+ProcId PhaseKing::king_of(std::size_t k) const {
+  // Kings are the t+1 lowest ids other than the transmitter.
+  ProcId id = static_cast<ProcId>(k - 1);
+  if (id >= config_.transmitter) id = static_cast<ProcId>(id + 1);
+  return id;
+}
+
+void PhaseKing::broadcast_value(sim::Context& ctx, Value v) {
+  const Bytes payload = encode_u64(v);
+  for (ProcId q = 0; q < config_.n; ++q) {
+    if (q != self_) ctx.send(q, payload, 0);
+  }
+}
+
+void PhaseKing::on_phase(sim::Context& ctx) {
+  const std::size_t t = config_.t;
+  const PhaseNum step = ctx.phase();
+
+  if (step == 1) {
+    if (self_ == config_.transmitter) {
+      value_ = config_.value;
+      broadcast_value(ctx, value_);
+    }
+    return;
+  }
+
+  // First value per sender this step (a faulty sender may spam).
+  std::map<ProcId, Value> received;
+  for (const sim::Envelope& env : ctx.inbox()) {
+    const auto v = decode_u64(env.payload);
+    if (v.has_value()) received.try_emplace(env.from, *v);
+  }
+
+  if (step % 2 == 0) {
+    // Round A of phase k = step/2 - ... process the pending verdict.
+    const std::size_t k = step / 2;  // phase index 1..t+1
+    if (k == 1) {
+      // Adopt the transmitter's value (default on silence/garbage).
+      if (self_ != config_.transmitter) {
+        const auto it = received.find(config_.transmitter);
+        value_ = it != received.end() ? it->second : kDefaultValue;
+      }
+    } else {
+      // The previous phase's king verdict: keep our majority when it had
+      // overwhelming support, otherwise follow the king.
+      const double threshold =
+          static_cast<double>(config_.n) / 2.0 + static_cast<double>(t);
+      if (static_cast<double>(majority_votes_) > threshold) {
+        value_ = majority_;
+      } else {
+        const auto it = received.find(king_of(k - 1));
+        value_ = it != received.end() ? it->second : majority_;
+      }
+    }
+    if (k <= t + 1) broadcast_value(ctx, value_);
+    return;
+  }
+
+  // Odd step >= 3: round B of phase k = (step-1)/2. Tally round-A values.
+  const std::size_t k = (step - 1) / 2;
+  if (k > t + 1) return;
+  std::map<Value, std::size_t> counts;
+  for (const auto& [from, v] : received) ++counts[v];
+  ++counts[value_];  // our own value participates
+  majority_ = kDefaultValue;
+  majority_votes_ = 0;
+  for (const auto& [v, c] : counts) {
+    if (c > majority_votes_) {
+      majority_ = v;
+      majority_votes_ = c;
+    }
+  }
+  if (self_ == king_of(k)) broadcast_value(ctx, majority_);
+}
+
+std::optional<Value> PhaseKing::decision() const { return value_; }
+
+}  // namespace dr::ba

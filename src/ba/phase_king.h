@@ -1,0 +1,65 @@
+// Phase-king Byzantine Agreement (Berman-Garay-Perry) — a second
+// *unauthenticated* baseline next to EIG.
+//
+// Why it is here: Corollary 1's Ω(nt) message bound concerns algorithms
+// without authentication. The classic oral-messages EIG baseline is
+// exponential in t, so it can only be run at toy sizes; phase-king is
+// polynomial — Θ(n²·t) messages, 2(t+1)+1 rounds, n > 4t — which lets the
+// benchmarks exhibit the unauthenticated message behaviour at realistic
+// sizes. (The paper's own reference [10] achieves O(nt + t³); it is a
+// separate paper's contribution, see DESIGN.md.)
+//
+// Structure (broadcast variant): round 0, the transmitter broadcasts its
+// value and everybody adopts it (default on silence). Then t+1 phases of
+// two rounds each, phase k chaired by king p_k:
+//   round A: everybody broadcasts its current value; everyone tallies a
+//            (majority, multiplicity) pair;
+//   round B: the king broadcasts its majority; a processor keeps its own
+//            majority if its multiplicity exceeded n/2 + t, otherwise it
+//            adopts the king's value.
+// This is the simple n > 4t variant of phase-king (the 3-round n > 3t
+// refinement buys resilience, not a different message-count shape, which
+// is all Corollary 1 needs). Some phase has a correct king; if any correct
+// processor keeps value m there, every correct processor saw m as a strict
+// majority, so the correct king broadcast m too — after that phase all
+// correct processors agree, and unanimity persists (counts >= n-t >
+// n/2 + t). Works for arbitrary values, not just binary.
+#pragma once
+
+#include "ba/config.h"
+#include "sim/process.h"
+
+namespace dr::ba {
+
+class PhaseKing final : public sim::Process {
+ public:
+  PhaseKing(ProcId self, const BAConfig& config);
+
+  void on_phase(sim::Context& ctx) override;
+  std::optional<Value> decision() const override;
+
+  /// 1 transmitter round + 2 rounds per phase * (t+1) phases, plus a final
+  /// processing-only step.
+  static PhaseNum steps(const BAConfig& config) {
+    return static_cast<PhaseNum>(2 * config.t + 4);
+  }
+  static bool supports(const BAConfig& config) {
+    return config.n > 4 * config.t && config.transmitter < config.n &&
+           config.n >= config.t + 2;
+  }
+
+ private:
+  /// The king chairing phase k (ids 1..t+1, never the transmitter).
+  ProcId king_of(std::size_t k) const;
+
+  void broadcast_value(sim::Context& ctx, Value v);
+
+  ProcId self_;
+  BAConfig config_;
+  Value value_ = kDefaultValue;
+  // Scratch between rounds of one phase:
+  Value majority_ = kDefaultValue;
+  std::size_t majority_votes_ = 0;  // matching round-B votes
+};
+
+}  // namespace dr::ba

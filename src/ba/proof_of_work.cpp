@@ -1,0 +1,113 @@
+#include "ba/proof_of_work.h"
+
+#include <algorithm>
+
+namespace dr::ba {
+
+Bytes encode_missing(const MissingString& s) {
+  Writer w;
+  w.str("miss");
+  w.u32(s.index);
+  w.seq(s.missing.size());
+  for (ProcId p : s.missing) w.u32(p);
+  return std::move(w).take();
+}
+
+std::optional<MissingString> decode_missing(ByteView data) {
+  Reader r(data);
+  if (r.str() != "miss") return std::nullopt;
+  MissingString s;
+  s.index = r.u32();
+  const std::size_t count = r.seq();
+  s.missing.resize(count);
+  for (auto& p : s.missing) p = r.u32();
+  if (!r.done()) return std::nullopt;
+  return s;
+}
+
+MissingEvidence::MissingEvidence(std::uint32_t index, std::size_t alpha)
+    : index_(index), alpha_(alpha) {}
+
+void MissingEvidence::add(const Attested& a,
+                          const crypto::Verifier& verifier) {
+  if (a.signer >= alpha_) return;
+  if (strings_.contains(a.signer)) return;
+  const auto decoded = decode_missing(a.body);
+  if (!decoded || decoded->index != index_) return;
+  if (!verify_attested(a, verifier)) return;
+  strings_.emplace(a.signer, std::make_pair(a, *decoded));
+}
+
+std::size_t MissingEvidence::pi(ProcId q) const {
+  std::size_t count = 0;
+  for (const auto& [signer, entry] : strings_) {
+    const auto& missing = entry.second.missing;
+    if (std::find(missing.begin(), missing.end(), q) != missing.end()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<Attested> MissingEvidence::strings_listing(
+    std::span<const ProcId> witnesses) const {
+  std::vector<Attested> out;
+  for (const auto& [signer, entry] : strings_) {
+    const auto& missing = entry.second.missing;
+    for (ProcId w : witnesses) {
+      if (std::find(missing.begin(), missing.end(), w) != missing.end()) {
+        out.push_back(entry.first);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Finds a processor in the subtree of `node` with pi >= threshold.
+std::optional<ProcId> find_witness(const MissingEvidence& evidence,
+                                   const PassiveTree& tree, std::size_t node,
+                                   std::size_t threshold) {
+  for (std::size_t k : tree.subtree_nodes(node)) {
+    const ProcId q = tree.id_of(k);
+    if (evidence.pi(q) >= threshold) return q;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool has_proof_of_work(const MissingEvidence& evidence,
+                       const PassiveTree& tree, std::size_t node,
+                       std::size_t x, std::size_t alpha, std::size_t t) {
+  if (tree.subtree_depth(node) != x) return false;
+  if (node == 1) return true;  // original tree root: empty proof
+  const std::size_t threshold = alpha - 2 * t;
+  if (evidence.pi(tree.id_of(node)) >= threshold) return true;
+  if (x < 2) return false;
+  return find_witness(evidence, tree, 2 * node, threshold).has_value() &&
+         find_witness(evidence, tree, 2 * node + 1, threshold).has_value();
+}
+
+std::optional<std::vector<Attested>> build_proof_of_work(
+    const MissingEvidence& evidence, const PassiveTree& tree,
+    std::size_t node, std::size_t x, std::size_t alpha, std::size_t t) {
+  if (tree.subtree_depth(node) != x) return std::nullopt;
+  if (node == 1) return std::vector<Attested>{};
+  const std::size_t threshold = alpha - 2 * t;
+  const ProcId root_id = tree.id_of(node);
+  if (evidence.pi(root_id) >= threshold) {
+    const ProcId witnesses[] = {root_id};
+    return evidence.strings_listing(witnesses);
+  }
+  if (x < 2) return std::nullopt;
+  const auto left = find_witness(evidence, tree, 2 * node, threshold);
+  const auto right = find_witness(evidence, tree, 2 * node + 1, threshold);
+  if (!left || !right) return std::nullopt;
+  const ProcId witnesses[] = {*left, *right};
+  return evidence.strings_listing(witnesses);
+}
+
+}  // namespace dr::ba

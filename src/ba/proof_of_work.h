@@ -1,0 +1,81 @@
+// "Strings" and proofs of work for Algorithm 5 (Section 6).
+//
+// After each block x+1, the active processors use Algorithm 4 to exchange
+// *strings*: an index (the next block level x) followed by the list of
+// passive processors the sender believes have not yet received the value,
+// signed by that one active processor.
+//
+// A message M (a set of strings) is a *proof of work* for a subtree C of
+// depth x if either
+//   (i)  C is an original tree root (the paper's x = lambda case; for our
+//        remainder trees, the tree's own depth) — the empty proof suffices;
+//   (ii) pi(M, c, x) >= alpha - 2t for C's root c, or there are processors
+//        q in the left and q' in the right depth-(x-1) subtree of C with
+//        pi(M, q, x) >= alpha - 2t and pi(M, q', x) >= alpha - 2t,
+// where pi(M, q, x) counts the distinct active signers whose index-x string
+// lists q. Because at most 2t of the alpha active processors can be faulty
+// or isolated, a threshold of alpha - 2t guarantees at least alpha - 3t > 0
+// correct signers — a root cannot be tricked into activating for free, which
+// is what bounds the message count (Lemma 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ba/exchange.h"
+#include "ba/tree.h"
+
+namespace dr::ba {
+
+struct MissingString {
+  std::uint32_t index = 0;       // block level the list refers to
+  std::vector<ProcId> missing;   // passive processors believed uninformed
+};
+
+Bytes encode_missing(const MissingString& s);
+std::optional<MissingString> decode_missing(ByteView data);
+
+/// A verified collection of index-`x` strings, keyed by (active) signer.
+class MissingEvidence {
+ public:
+  MissingEvidence(std::uint32_t index, std::size_t alpha);
+
+  /// Verifies and adds one attested string; ignores non-active signers,
+  /// wrong indices, duplicate signers and bad signatures.
+  void add(const Attested& a, const crypto::Verifier& verifier);
+
+  /// pi(M, q, index): distinct active signers listing q.
+  std::size_t pi(ProcId q) const;
+
+  std::uint32_t index() const { return index_; }
+
+  std::size_t string_count() const { return strings_.size(); }
+
+  /// All strings that list any of `witnesses` (deduplicated by signer) —
+  /// the minimal proof payload for those witnesses.
+  std::vector<Attested> strings_listing(std::span<const ProcId> witnesses)
+      const;
+
+ private:
+  std::uint32_t index_;
+  std::size_t alpha_;
+  std::map<ProcId, std::pair<Attested, MissingString>> strings_;
+};
+
+/// Does `evidence` (index x strings) prove work for the subtree of heap node
+/// `node` in `tree` at block x? Original tree roots need no evidence.
+bool has_proof_of_work(const MissingEvidence& evidence,
+                       const PassiveTree& tree, std::size_t node,
+                       std::size_t x, std::size_t alpha, std::size_t t);
+
+/// The witness-selecting counterpart: the subset of strings a correct active
+/// sends to the subtree root as its proof of work. nullopt when no proof
+/// exists. Original tree roots get an (existing) empty proof.
+std::optional<std::vector<Attested>> build_proof_of_work(
+    const MissingEvidence& evidence, const PassiveTree& tree,
+    std::size_t node, std::size_t x, std::size_t alpha, std::size_t t);
+
+}  // namespace dr::ba

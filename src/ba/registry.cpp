@@ -1,0 +1,175 @@
+#include "ba/registry.h"
+
+#include "ba/algorithm1.h"
+#include "ba/algorithm2.h"
+#include "ba/algorithm3.h"
+#include "ba/algorithm5.h"
+#include "ba/dolev_strong.h"
+#include "ba/eig.h"
+#include "ba/phase_king.h"
+#include "util/contracts.h"
+
+namespace dr::ba {
+
+namespace {
+
+template <typename P>
+Protocol fixed_protocol(std::string name, bool authenticated) {
+  Protocol p;
+  p.name = std::move(name);
+  p.authenticated = authenticated;
+  if constexpr (requires(const BAConfig& c) { P::supports(c); }) {
+    p.supports = [](const BAConfig& c) { return P::supports(c); };
+  } else {
+    p.supports = [](const BAConfig& c) { return c.n >= 2 && c.t < c.n; };
+  }
+  p.steps = [](const BAConfig& c) { return P::steps(c); };
+  p.make = [](ProcId id, const BAConfig& c) {
+    return std::make_unique<P>(id, c);
+  };
+  return p;
+}
+
+}  // namespace
+
+const std::vector<Protocol>& protocols() {
+  static const std::vector<Protocol> kAll = [] {
+    std::vector<Protocol> all;
+    all.push_back(fixed_protocol<DolevStrongBroadcast>("dolev-strong", true));
+    all.push_back(
+        fixed_protocol<DolevStrongRelay>("dolev-strong-relay", true));
+    all.push_back(fixed_protocol<Eig>("eig", false));
+    all.push_back(fixed_protocol<PhaseKing>("phase-king", false));
+    all.push_back(fixed_protocol<Algorithm1>("alg1", true));
+    all.push_back(fixed_protocol<Algorithm1MV>("alg1-mv", true));
+    all.push_back(fixed_protocol<Algorithm2>("alg2", true));
+    {
+      Protocol p;
+      p.name = "alg2-mv";
+      p.authenticated = true;
+      p.supports = [](const BAConfig& c) { return Algorithm2::supports_mv(c); };
+      p.steps = [](const BAConfig& c) { return Algorithm2::steps(c); };
+      p.make = [](ProcId id, const BAConfig& c) {
+        return std::make_unique<Algorithm2>(id, c, /*multi_valued=*/true);
+      };
+      all.push_back(std::move(p));
+    }
+    return all;
+  }();
+  return kAll;
+}
+
+const Protocol* find_protocol(std::string_view name) {
+  for (const Protocol& p : protocols()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Protocol make_alg3_protocol(std::size_t s) {
+  Protocol p;
+  p.name = "alg3[s=" + std::to_string(s) + "]";
+  p.authenticated = true;
+  p.supports = [s](const BAConfig& c) { return Algorithm3::supports(c, s); };
+  p.steps = [s](const BAConfig& c) { return Algorithm3::steps(c, s); };
+  p.make = [s](ProcId id, const BAConfig& c) {
+    return std::make_unique<Algorithm3>(id, c, s);
+  };
+  return p;
+}
+
+Protocol make_alg3_mv_protocol(std::size_t s) {
+  Protocol p;
+  p.name = "alg3-mv[s=" + std::to_string(s) + "]";
+  p.authenticated = true;
+  p.supports = [s](const BAConfig& c) {
+    return Algorithm3::supports(c, s, /*multi_valued=*/true);
+  };
+  p.steps = [s](const BAConfig& c) { return Algorithm3::steps(c, s); };
+  p.make = [s](ProcId id, const BAConfig& c) {
+    return std::make_unique<Algorithm3>(id, c, s, /*multi_valued=*/true);
+  };
+  return p;
+}
+
+Protocol make_alg5_mv_protocol(std::size_t s) {
+  Protocol p;
+  p.name = "alg5-mv[s=" + std::to_string(s) + "]";
+  p.authenticated = true;
+  p.supports = [s](const BAConfig& c) {
+    return algorithm5_supports(c, s, /*multi_valued=*/true);
+  };
+  p.steps = [s](const BAConfig& c) { return algorithm5_steps(c, s); };
+  p.make = [s](ProcId id, const BAConfig& c) {
+    return make_algorithm5(id, c, s, Alg5Options{.multi_valued = true});
+  };
+  return p;
+}
+
+Protocol make_alg5_protocol(std::size_t s) {
+  Protocol p;
+  p.name = "alg5[s=" + std::to_string(s) + "]";
+  p.authenticated = true;
+  p.supports = [s](const BAConfig& c) { return algorithm5_supports(c, s); };
+  p.steps = [s](const BAConfig& c) { return algorithm5_steps(c, s); };
+  p.make = [s](ProcId id, const BAConfig& c) {
+    return make_algorithm5(id, c, s);
+  };
+  return p;
+}
+
+Protocol make_alg5_ungated_protocol(std::size_t s) {
+  Protocol p;
+  p.name = "alg5-ungated[s=" + std::to_string(s) + "]";
+  p.authenticated = true;
+  p.supports = [s](const BAConfig& c) { return algorithm5_supports(c, s); };
+  p.steps = [s](const BAConfig& c) { return algorithm5_steps(c, s); };
+  p.make = [s](ProcId id, const BAConfig& c) {
+    return make_algorithm5(id, c, s,
+                           Alg5Options{.require_proof_of_work = false});
+  };
+  return p;
+}
+
+sim::RunResult run_scenario(const Protocol& protocol, const BAConfig& config,
+                            std::uint64_t seed,
+                            const std::vector<ScenarioFault>& faults,
+                            bool record_history) {
+  ScenarioOptions options;
+  options.seed = seed;
+  options.record_history = record_history;
+  return run_scenario(protocol, config, options, faults);
+}
+
+sim::RunResult run_scenario(const Protocol& protocol, const BAConfig& config,
+                            const ScenarioOptions& options,
+                            const std::vector<ScenarioFault>& faults) {
+  DR_EXPECTS(protocol.supports(config));
+  DR_EXPECTS(faults.size() <= config.t);
+
+  sim::RunConfig run_config{.n = config.n,
+                            .t = config.t,
+                            .transmitter = config.transmitter,
+                            .value = config.value,
+                            .seed = options.seed,
+                            .record_history = options.record_history,
+                            .scheme = options.scheme,
+                            .merkle_height = options.merkle_height,
+                            .rushing = options.rushing,
+                            .threads = options.threads};
+  sim::Runner runner(run_config);
+  for (const ScenarioFault& fault : faults) {
+    runner.mark_faulty(fault.id);
+  }
+  for (ProcId p = 0; p < config.n; ++p) {
+    if (!runner.is_faulty(p)) {
+      runner.install(p, protocol.make(p, config));
+    }
+  }
+  for (const ScenarioFault& fault : faults) {
+    runner.install(fault.id, fault.make(fault.id, config));
+  }
+  return runner.run(protocol.steps(config));
+}
+
+}  // namespace dr::ba

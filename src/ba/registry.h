@@ -1,0 +1,74 @@
+// Name -> protocol registry plus a one-call scenario harness. Examples,
+// tests and benchmarks all drive the algorithms through this.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ba/config.h"
+#include "sim/runner.h"
+
+namespace dr::ba {
+
+struct Protocol {
+  std::string name;
+  bool authenticated = true;
+  /// Parameter constraints (n/t/transmitter/value restrictions).
+  std::function<bool(const BAConfig&)> supports;
+  /// Simulator steps required (communication phases + trailing processing).
+  std::function<PhaseNum(const BAConfig&)> steps;
+  /// Correct-process factory.
+  std::function<std::unique_ptr<sim::Process>(ProcId, const BAConfig&)> make;
+};
+
+/// All fixed protocols: "dolev-strong", "dolev-strong-relay", "eig",
+/// "alg1", "alg2". The parameterised ones are built by the helpers below.
+const std::vector<Protocol>& protocols();
+const Protocol* find_protocol(std::string_view name);
+
+/// Algorithm 3 with chain length s ("alg3[s=<s>]").
+Protocol make_alg3_protocol(std::size_t s);
+/// Multi-valued Algorithm 3 ("alg3-mv[s=<s>]").
+Protocol make_alg3_mv_protocol(std::size_t s);
+/// Algorithm 5 family with tree size target s ("alg5[s=<s>]").
+Protocol make_alg5_protocol(std::size_t s);
+/// Multi-valued Algorithm 5 ("alg5-mv[s=<s>]").
+Protocol make_alg5_mv_protocol(std::size_t s);
+/// Ablation variant without the proof-of-work activation gate
+/// ("alg5-ungated[s=<s>]"); still correct, but unbounded activations.
+Protocol make_alg5_ungated_protocol(std::size_t s);
+
+/// A faulty processor in a scenario: its id and the factory producing its
+/// (Byzantine) behaviour. The factory may capture the protocol to wrap the
+/// correct implementation (crash faults, ignore faults, ...).
+struct ScenarioFault {
+  ProcId id = 0;
+  std::function<std::unique_ptr<sim::Process>(ProcId, const BAConfig&)> make;
+};
+
+/// Extra knobs for run_scenario beyond the common (seed, faults) pair.
+struct ScenarioOptions {
+  std::uint64_t seed = 1;
+  bool record_history = false;
+  bool rushing = false;
+  sim::SchemeKind scheme = sim::SchemeKind::kHmac;
+  std::size_t merkle_height = 6;
+  std::size_t threads = 1;
+};
+
+/// Builds a runner, installs correct processes everywhere except the listed
+/// faults, runs protocol.steps(config) phases.
+sim::RunResult run_scenario(const Protocol& protocol, const BAConfig& config,
+                            std::uint64_t seed,
+                            const std::vector<ScenarioFault>& faults = {},
+                            bool record_history = false);
+
+/// Same, with the full option set.
+sim::RunResult run_scenario(const Protocol& protocol, const BAConfig& config,
+                            const ScenarioOptions& options,
+                            const std::vector<ScenarioFault>& faults = {});
+
+}  // namespace dr::ba

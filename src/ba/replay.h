@@ -1,0 +1,47 @@
+// Executable version of Section 2's correctness predicate.
+//
+// "A processor p is said to be *correct at phase k* of history H if each
+// edge from p in phase k has a label as specified by the correctness rule
+// for p applied to the individual subhistory of H for p consisting of the
+// previous k-1 phases."
+//
+// Protocols in this library are deterministic functions of their inbox
+// sequence, so the correctness rule R_p is simply "what a fresh instance of
+// the protocol would send". validate_correctness replays each allegedly
+// correct processor against its individual subhistory and reports every
+// phase where the recorded out-edges differ — which is exactly how the
+// paper's indistinguishability arguments are allowed to treat recorded
+// histories.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ba/registry.h"
+#include "hist/history.h"
+
+namespace dr::ba {
+
+struct ReplayViolation {
+  ProcId processor = 0;
+  PhaseNum phase = 0;
+  std::string what;
+};
+
+struct ReplayReport {
+  bool conforming = true;
+  std::vector<ReplayViolation> violations;
+};
+
+/// Replays every processor not marked faulty through `protocol` against its
+/// individual subhistory of `history` and checks that its sends match the
+/// recorded edges. `seed` must be the seed the history was recorded with
+/// (signatures are deterministic per seed). Checks min(history length,
+/// protocol.steps(config)) phases.
+ReplayReport validate_correctness(const hist::History& history,
+                                  const Protocol& protocol,
+                                  const BAConfig& config,
+                                  const std::vector<bool>& faulty,
+                                  std::uint64_t seed);
+
+}  // namespace dr::ba

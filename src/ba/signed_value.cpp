@@ -1,0 +1,99 @@
+#include "ba/signed_value.h"
+
+#include <algorithm>
+
+namespace dr::ba {
+
+namespace {
+
+/// Bytes covered by the signature at position `upto` (exclusive): the value
+/// plus all earlier signatures. Must match encode()'s layout so that
+/// receivers can recompute it from a decoded message.
+Bytes chain_prefix(const SignedValue& sv, std::size_t upto) {
+  Writer w;
+  w.u64(sv.value);
+  w.seq(upto);
+  for (std::size_t i = 0; i < upto; ++i) {
+    crypto::encode(w, sv.chain[i]);
+  }
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Bytes encode(const SignedValue& sv) { return chain_prefix(sv, sv.chain.size()); }
+
+std::optional<SignedValue> decode_signed_value(ByteView data) {
+  Reader r(data);
+  SignedValue sv;
+  sv.value = r.u64();
+  const std::size_t count = r.seq();
+  sv.chain.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto sig = crypto::decode_signature(r);
+    if (!sig) return std::nullopt;
+    sv.chain.push_back(*sig);
+  }
+  if (!r.done()) return std::nullopt;
+  return sv;
+}
+
+SignedValue make_signed(Value value, const crypto::Signer& signer,
+                        ProcId as) {
+  SignedValue sv{value, {}};
+  return extend(sv, signer, as);
+}
+
+SignedValue extend(const SignedValue& sv, const crypto::Signer& signer,
+                   ProcId as) {
+  SignedValue out = sv;
+  const Bytes covered = chain_prefix(out, out.chain.size());
+  out.chain.push_back(signer.sign(as, covered));
+  return out;
+}
+
+bool verify_chain(const SignedValue& sv, const crypto::Verifier& verifier) {
+  for (std::size_t i = 0; i < sv.chain.size(); ++i) {
+    const Bytes covered = chain_prefix(sv, i);
+    if (!verifier.verify(sv.chain[i].signer, covered, sv.chain[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ProcId> chain_signers(const SignedValue& sv) {
+  std::vector<ProcId> out;
+  out.reserve(sv.chain.size());
+  for (const auto& sig : sv.chain) out.push_back(sig.signer);
+  return out;
+}
+
+bool distinct_signers(const SignedValue& sv) {
+  std::vector<ProcId> ids = chain_signers(sv);
+  std::sort(ids.begin(), ids.end());
+  return std::adjacent_find(ids.begin(), ids.end()) == ids.end();
+}
+
+bool contains_signer(const SignedValue& sv, ProcId p) {
+  return std::any_of(sv.chain.begin(), sv.chain.end(),
+                     [p](const crypto::Signature& s) { return s.signer == p; });
+}
+
+hist::LabelPrinter chain_label_printer() {
+  return [](const Bytes& label) {
+    const auto sv = decode_signed_value(label);
+    if (!sv.has_value()) return hist::default_label_printer()(label);
+    std::string out = "v=" + std::to_string(sv->value) + " sig[";
+    bool first = true;
+    for (const auto& sig : sv->chain) {
+      if (!first) out += ",";
+      out += std::to_string(sig.signer);
+      first = false;
+    }
+    out += "]";
+    return out;
+  };
+}
+
+}  // namespace dr::ba

@@ -1,0 +1,58 @@
+// A value carrying a chain of signatures — the information unit of every
+// authenticated algorithm in the paper.
+//
+// Chain semantics: signature i covers the value together with signatures
+// 0..i-1 (in order). This makes a chain transferable and non-malleable: a
+// receiver can verify who signed, in which order, and nobody can truncate an
+// inner signature or splice chains without detection (any tampering breaks
+// at least one MAC).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ba/config.h"
+#include "codec/codec.h"
+#include "crypto/signature.h"
+#include "hist/export.h"
+
+namespace dr::ba {
+
+struct SignedValue {
+  Value value = 0;
+  std::vector<crypto::Signature> chain;
+
+  friend bool operator==(const SignedValue&, const SignedValue&) = default;
+};
+
+/// Wire encoding (deterministic; signatures are computed over prefixes of
+/// this very encoding).
+Bytes encode(const SignedValue& sv);
+std::optional<SignedValue> decode_signed_value(ByteView data);
+
+/// Creates a one-signature chain: `as` signs `value`.
+SignedValue make_signed(Value value, const crypto::Signer& signer,
+                        ProcId as);
+
+/// Returns sv with one more signature (by `as`) appended.
+SignedValue extend(const SignedValue& sv, const crypto::Signer& signer,
+                   ProcId as);
+
+/// Verifies every signature in the chain against the prefix it covers.
+/// An empty chain verifies trivially.
+bool verify_chain(const SignedValue& sv, const crypto::Verifier& verifier);
+
+/// The signer ids in chain order.
+std::vector<ProcId> chain_signers(const SignedValue& sv);
+
+/// True when no processor signed twice.
+bool distinct_signers(const SignedValue& sv);
+
+/// True when `p` appears among the signers.
+bool contains_signer(const SignedValue& sv, ProcId p);
+
+/// Label printer for hist::to_dot / hist::to_text that decodes signature
+/// chains ("v=1 sig[0,2]"), falling back to a byte count.
+hist::LabelPrinter chain_label_printer();
+
+}  // namespace dr::ba

@@ -1,0 +1,100 @@
+#include "ba/tree.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace dr::ba {
+
+std::size_t alpha_for(std::size_t t) {
+  std::size_t root = 1;
+  while (root * root <= 6 * t) ++root;
+  return root * root;
+}
+
+std::size_t PassiveTree::level(std::size_t node) {
+  DR_EXPECTS(node >= 1);
+  std::size_t lvl = 0;
+  while (node > 0) {
+    node >>= 1;
+    ++lvl;
+  }
+  return lvl;
+}
+
+std::vector<std::size_t> PassiveTree::subtree_nodes(std::size_t node) const {
+  const std::size_t x = subtree_depth(node);
+  std::vector<std::size_t> out;
+  out.reserve(tree_size(x));
+  for (std::size_t lev = 0; lev < x; ++lev) {
+    const std::size_t begin = node << lev;
+    const std::size_t count = std::size_t{1} << lev;
+    for (std::size_t k = 0; k < count; ++k) out.push_back(begin + k);
+  }
+  return out;
+}
+
+std::size_t PassiveTree::ancestor_at_level(std::size_t node,
+                                           std::size_t lvl) {
+  const std::size_t node_lvl = level(node);
+  DR_EXPECTS(lvl >= 1 && lvl <= node_lvl);
+  return node >> (node_lvl - lvl);
+}
+
+std::vector<std::size_t> PassiveTree::subtree_roots_at_depth(
+    std::size_t x) const {
+  std::vector<std::size_t> out;
+  if (x < 1 || x > depth) return out;
+  const std::size_t lvl = depth - x + 1;  // roots live at this level
+  const std::size_t begin = std::size_t{1} << (lvl - 1);
+  const std::size_t count = std::size_t{1} << (lvl - 1);
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) out.push_back(begin + k);
+  return out;
+}
+
+Forest Forest::build(std::size_t n, std::size_t t, std::size_t s_target) {
+  Forest f;
+  f.n = n;
+  f.t = t;
+  f.alpha = alpha_for(t);
+  DR_EXPECTS(n >= f.alpha);
+
+  std::size_t lambda = 1;
+  while (tree_size(lambda + 1) <= s_target) ++lambda;
+  f.lambda = lambda;
+
+  std::size_t remaining = n - f.alpha;
+  ProcId next = static_cast<ProcId>(f.alpha);
+  while (remaining > 0) {
+    std::size_t depth = std::min(lambda, std::size_t{63});
+    while (depth > 1 && tree_size(depth) > remaining) --depth;
+    const std::size_t size = std::min(tree_size(depth), remaining);
+    // tree_size(1) == 1 always fits, so `size` is exactly tree_size(depth).
+    DR_ASSERT(size == tree_size(depth));
+    f.trees.push_back(PassiveTree{next, depth});
+    next += static_cast<ProcId>(size);
+    remaining -= size;
+  }
+  return f;
+}
+
+const PassiveTree* Forest::tree_of(ProcId p) const {
+  if (!is_passive(p)) return nullptr;
+  // Trees are stored in increasing id order; binary search the last tree
+  // whose first_id <= p.
+  const auto it = std::upper_bound(
+      trees.begin(), trees.end(), p,
+      [](ProcId id, const PassiveTree& tree) { return id < tree.first_id; });
+  if (it == trees.begin()) return nullptr;
+  const PassiveTree& tree = *(it - 1);
+  return tree.contains(p) ? &tree : nullptr;
+}
+
+std::size_t Forest::max_depth() const {
+  std::size_t d = 0;
+  for (const PassiveTree& tree : trees) d = std::max(d, tree.depth);
+  return d;
+}
+
+}  // namespace dr::ba

@@ -1,0 +1,81 @@
+// Passive-processor forest for Algorithm 5 (Section 6).
+//
+// Active processors are ids 0..alpha-1, where alpha is the smallest perfect
+// square greater than 6t. Passive processors are organised into complete
+// binary trees of depth lambda (size s = 2^lambda - 1); a remainder that
+// does not fill a whole tree is decomposed greedily into smaller complete
+// trees (the paper assumes s divides the passive count; the decomposition
+// preserves completeness, which the subtree arithmetic below relies on).
+//
+// Within a tree, nodes are numbered in heap order (node k's children are 2k
+// and 2k+1, 1-based), mapped to consecutive processor ids. The only
+// subtrees the algorithm ever considers are "subtrees whose leaves are
+// leaves of the original tree": the subtree of node k in a depth-D tree has
+// depth x(k) = D - level(k) + 1 and consists of k's descendants.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ba/config.h"
+
+namespace dr::ba {
+
+/// Smallest perfect square strictly greater than 6t (the paper's alpha).
+std::size_t alpha_for(std::size_t t);
+
+/// Number of nodes in a complete binary tree of depth x: l(x) = 2^x - 1.
+constexpr std::size_t tree_size(std::size_t depth) {
+  return (std::size_t{1} << depth) - 1;
+}
+
+struct PassiveTree {
+  ProcId first_id = 0;   // nodes occupy ids first_id .. first_id+size-1
+  std::size_t depth = 0; // >= 1
+
+  std::size_t size() const { return tree_size(depth); }
+  bool contains(ProcId p) const {
+    return p >= first_id && p < first_id + size();
+  }
+  /// Heap index (1-based) of processor p in this tree.
+  std::size_t node_of(ProcId p) const { return p - first_id + 1; }
+  ProcId id_of(std::size_t node) const {
+    return static_cast<ProcId>(first_id + node - 1);
+  }
+  /// Level of heap node k (root = level 1).
+  static std::size_t level(std::size_t node);
+  /// Depth of the subtree rooted at heap node k.
+  std::size_t subtree_depth(std::size_t node) const {
+    return depth - level(node) + 1;
+  }
+  /// Heap indices of the subtree of `node`, in BFS order (c(1) = node).
+  std::vector<std::size_t> subtree_nodes(std::size_t node) const;
+  /// The ancestor of `node` at tree level `lvl` (lvl <= level(node)).
+  static std::size_t ancestor_at_level(std::size_t node, std::size_t lvl);
+  /// Roots of all depth-x subtrees of this tree (heap indices).
+  std::vector<std::size_t> subtree_roots_at_depth(std::size_t x) const;
+};
+
+struct Forest {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  std::size_t alpha = 0;
+  std::size_t lambda = 0;  // depth of the full-size trees
+  std::vector<PassiveTree> trees;
+
+  /// Builds the forest for n processors, t faults and target tree size
+  /// `s_target` (lambda = floor(log2(s_target + 1)), clamped to >= 1).
+  /// Precondition: n >= alpha_for(t).
+  static Forest build(std::size_t n, std::size_t t, std::size_t s_target);
+
+  std::size_t passive_count() const { return n - alpha; }
+  bool is_active(ProcId p) const { return p < alpha; }
+  bool is_passive(ProcId p) const { return p >= alpha && p < n; }
+  /// Tree containing passive id p (nullptr if p is active/out of range).
+  const PassiveTree* tree_of(ProcId p) const;
+  /// Highest tree depth present (= lambda when any full tree exists).
+  std::size_t max_depth() const;
+};
+
+}  // namespace dr::ba

@@ -1,0 +1,34 @@
+#include "ba/valid_message.h"
+
+#include <algorithm>
+
+namespace dr::ba {
+
+bool is_valid_message(const SignedValue& sv, const crypto::Verifier& verifier,
+                      std::size_t active_count, std::size_t t) {
+  if (!verify_chain(sv, verifier)) return false;
+  std::vector<ProcId> active_signers;
+  for (const auto& sig : sv.chain) {
+    if (sig.signer < active_count) active_signers.push_back(sig.signer);
+  }
+  std::sort(active_signers.begin(), active_signers.end());
+  active_signers.erase(
+      std::unique(active_signers.begin(), active_signers.end()),
+      active_signers.end());
+  return active_signers.size() >= t + 1;
+}
+
+bool is_possession_proof(const SignedValue& sv,
+                         const crypto::Verifier& verifier, ProcId holder,
+                         std::size_t t) {
+  if (!verify_chain(sv, verifier)) return false;
+  std::vector<ProcId> others;
+  for (const auto& sig : sv.chain) {
+    if (sig.signer != holder) others.push_back(sig.signer);
+  }
+  std::sort(others.begin(), others.end());
+  others.erase(std::unique(others.begin(), others.end()), others.end());
+  return others.size() >= t;
+}
+
+}  // namespace dr::ba

@@ -1,0 +1,27 @@
+// Message-validity predicates shared by Algorithms 2, 3 and 5.
+#pragma once
+
+#include "ba/signed_value.h"
+
+namespace dr::ba {
+
+/// Section 6: "a message is *valid* if it consists of an element in W (a
+/// value) followed by at least t+1 signatures of active processors and
+/// possibly some of passive ones" — i.e. at least one correct active
+/// processor vouches for the value. Active processors are ids
+/// 0..active_count-1 by convention.
+///
+/// We additionally require the chain to verify cryptographically and the
+/// active signers to be distinct (t+1 copies of one signature prove
+/// nothing); both are implicit in the paper's signature model.
+bool is_valid_message(const SignedValue& sv, const crypto::Verifier& verifier,
+                      std::size_t active_count, std::size_t t);
+
+/// Theorem 4's possession proof: the common value with at least t signatures
+/// of processors other than `holder` appended (all distinct, all
+/// verifiable).
+bool is_possession_proof(const SignedValue& sv,
+                         const crypto::Verifier& verifier, ProcId holder,
+                         std::size_t t);
+
+}  // namespace dr::ba

@@ -1,0 +1,67 @@
+#include "bounds/formulas.h"
+
+#include <algorithm>
+
+namespace dr::bounds {
+
+double theorem1_signature_lower_bound(std::size_t n, std::size_t t) {
+  return static_cast<double>(n) * static_cast<double>(t + 1) / 4.0;
+}
+
+double theorem2_message_lower_bound(std::size_t n, std::size_t t) {
+  const double first = static_cast<double>(n - 1) / 2.0;
+  const double half_t = 1.0 + static_cast<double>(t) / 2.0;
+  return std::max(first, half_t * half_t);
+}
+
+std::size_t theorem2_per_faulty_lower_bound(std::size_t t) {
+  return 1 + (t + 1) / 2;  // ceil(1 + t/2)
+}
+
+std::size_t alg1_message_upper_bound(std::size_t t) {
+  return 2 * t * t + 2 * t;
+}
+
+std::size_t alg1_phase_bound(std::size_t t) { return t + 2; }
+
+std::size_t alg2_message_upper_bound(std::size_t t) {
+  return 5 * t * t + 5 * t;
+}
+
+std::size_t alg2_phase_bound(std::size_t t) { return 3 * t + 3; }
+
+double alg3_message_upper_bound(std::size_t n, std::size_t t, std::size_t s) {
+  return 2.0 * static_cast<double>(n) +
+         4.0 * static_cast<double>(t) * static_cast<double>(n) /
+             static_cast<double>(s) +
+         3.0 * static_cast<double>(t) * static_cast<double>(t) *
+             static_cast<double>(s);
+}
+
+std::size_t alg3_phase_bound(std::size_t t, std::size_t s) {
+  return t + 2 * s + 3;
+}
+
+std::size_t alg4_message_upper_bound(std::size_t m) {
+  return 3 * (m - 1) * m * m;
+}
+
+std::size_t naive_exchange_messages(std::size_t n) { return n * (n - 1); }
+
+std::size_t relay_exchange_messages(std::size_t n, std::size_t t) {
+  return (n - 1) * (t + 1) + (n - t - 1) * (t + 1);
+}
+
+std::size_t alg5_phase_bound(std::size_t t, std::size_t s) {
+  return 3 * t + 4 * s + 2;
+}
+
+std::size_t dolev_strong_relay_message_bound(std::size_t n, std::size_t t) {
+  return (n - 1) + 2 * n * (t + 1) + 2 * (t + 1) * (n - 1);
+}
+
+std::size_t dolev_strong_broadcast_message_bound(std::size_t n) {
+  return (n - 1) + 2 * (n - 1) * (n - 1);
+}
+
+}  // namespace dr::bounds

@@ -1,0 +1,219 @@
+#include "bounds/theorem1.h"
+
+#include <algorithm>
+#include <map>
+
+#include "adversary/strategies.h"
+#include "ba/dolev_strong.h"
+#include "ba/exchange.h"
+#include "ba/signed_value.h"
+#include "util/contracts.h"
+
+namespace dr::bounds {
+
+namespace {
+
+/// Signers visible in a payload: a chain's signers, an attested blob's
+/// signer, or (fallback) just the transport-level sender.
+std::vector<ProcId> visible_signers(const Bytes& payload, ProcId sender) {
+  if (const auto sv = ba::decode_signed_value(payload); sv.has_value()) {
+    return ba::chain_signers(*sv);
+  }
+  Reader r(payload);
+  if (const auto a = ba::decode_attested(r); a.has_value() && r.done()) {
+    return {a->signer};
+  }
+  return {sender};
+}
+
+}  // namespace
+
+std::set<ProcId> signature_partners(const hist::History& history, ProcId p) {
+  std::set<ProcId> partners;
+  for (hist::PhaseNum k = 1; k <= history.phases(); ++k) {
+    for (const hist::Edge& e : history.phase(k).edges()) {
+      const std::vector<ProcId> signers = visible_signers(e.label, e.from);
+      if (e.to == p) {
+        // p receives these signatures.
+        for (ProcId s : signers) {
+          if (s != p) partners.insert(s);
+        }
+      } else if (std::find(signers.begin(), signers.end(), p) !=
+                 signers.end()) {
+        // p's signature reaches e.to.
+        partners.insert(e.to);
+      }
+    }
+  }
+  partners.erase(p);
+  return partners;
+}
+
+std::size_t min_partner_set_size(const ba::Protocol& protocol,
+                                 const BAConfig& config, std::uint64_t seed) {
+  BAConfig zero = config;
+  zero.value = 0;
+  BAConfig one = config;
+  one.value = 1;
+  const auto h = ba::run_scenario(protocol, zero, seed, {}, true);
+  const auto g = ba::run_scenario(protocol, one, seed, {}, true);
+
+  std::size_t min_size = config.n;
+  for (ProcId p = 0; p < config.n; ++p) {
+    std::set<ProcId> a = signature_partners(h.history, p);
+    const std::set<ProcId> a_g = signature_partners(g.history, p);
+    a.insert(a_g.begin(), a_g.end());
+    min_size = std::min(min_size, a.size());
+  }
+  return min_size;
+}
+
+// ---------------------------------------------------------------------------
+// The thrifty protocol: Dolev-Strong among 0..n-2, observer n-1 fed by t
+// reporters.
+
+namespace {
+
+class SparseObserver final : public sim::Process {
+ public:
+  SparseObserver(ProcId self, const BAConfig& config)
+      : self_(self), config_(config) {
+    DR_EXPECTS(config.n >= 2 * config.t + 3);
+    DR_EXPECTS(config.transmitter == 0);
+    if (self_ + 1 < config.n) {
+      inner_ = std::make_unique<ba::DolevStrongBroadcast>(self_, core());
+    }
+  }
+
+  static sim::PhaseNum steps(const BAConfig& config) {
+    return static_cast<sim::PhaseNum>(config.t + 4);
+  }
+  static bool supports(const BAConfig& config) {
+    return config.n >= 2 * config.t + 3 && config.transmitter == 0 &&
+           config.t >= 1;
+  }
+
+  void on_phase(sim::Context& ctx) override {
+    const std::size_t t = config_.t;
+    const ProcId observer = static_cast<ProcId>(config_.n - 1);
+    const sim::PhaseNum report_step = static_cast<sim::PhaseNum>(t + 3);
+
+    if (inner_) {
+      if (ctx.phase() <= t + 2) inner_->on_phase(ctx);
+      // Reporters (ids 1..t) send their freshly-signed decision to the
+      // observer. Crucially they strip the chain: the observer only ever
+      // sees reporter signatures, so A(observer) = {reporters}, size t.
+      if (ctx.phase() == report_step && self_ >= 1 && self_ <= t) {
+        const Value decided = inner_->decision().value_or(0);
+        const ba::Attested a =
+            ba::attest(encode_u64(decided), ctx.signer(), self_);
+        Writer w;
+        ba::encode(w, a);
+        ctx.send(observer, std::move(w).take(), 1);
+      }
+      return;
+    }
+
+    // The observer: majority of valid reporter attestations.
+    if (ctx.phase() == report_step + 1) {
+      std::map<Value, std::size_t> votes;
+      for (const sim::Envelope& env : ctx.inbox()) {
+        if (env.from < 1 || env.from > t) continue;
+        Reader r(env.payload);
+        const auto a = ba::decode_attested(r);
+        if (!a || !r.done() || a->signer != env.from) continue;
+        if (!ba::verify_attested(*a, ctx.verifier())) continue;
+        const auto v = decode_u64(a->body);
+        if (v.has_value()) ++votes[*v];
+      }
+      Value best = 0;
+      std::size_t best_count = 0;
+      for (const auto& [value, count] : votes) {
+        if (count > best_count) {
+          best = value;
+          best_count = count;
+        }
+      }
+      decision_ = best;
+    }
+  }
+
+  std::optional<Value> decision() const override {
+    if (inner_) return inner_->decision();
+    return decision_;
+  }
+
+ private:
+  BAConfig core() const {
+    return BAConfig{config_.n - 1, config_.t, 0, config_.value};
+  }
+
+  ProcId self_;
+  BAConfig config_;
+  std::unique_ptr<ba::DolevStrongBroadcast> inner_;  // null for the observer
+  std::optional<Value> decision_;
+};
+
+}  // namespace
+
+ba::Protocol make_sparse_observer_protocol() {
+  ba::Protocol p;
+  p.name = "sparse-observer(broken)";
+  p.authenticated = true;
+  p.supports = [](const BAConfig& c) { return SparseObserver::supports(c); };
+  p.steps = [](const BAConfig& c) { return SparseObserver::steps(c); };
+  p.make = [](ProcId id, const BAConfig& c) {
+    return std::make_unique<SparseObserver>(id, c);
+  };
+  return p;
+}
+
+Theorem1Attack run_theorem1_attack(std::size_t n, std::size_t t,
+                                   std::uint64_t seed) {
+  const ba::Protocol protocol = make_sparse_observer_protocol();
+  const ProcId observer = static_cast<ProcId>(n - 1);
+
+  // Reference histories H (value 0) and G (value 1), both failure-free.
+  BAConfig zero{n, t, 0, 0};
+  BAConfig one{n, t, 0, 1};
+  const auto h = ba::run_scenario(protocol, zero, seed, {}, true);
+  const auto g = ba::run_scenario(protocol, one, seed, {}, true);
+
+  Theorem1Attack attack;
+  {
+    std::set<ProcId> a = signature_partners(h.history, observer);
+    const auto a_g = signature_partners(g.history, observer);
+    a.insert(a_g.begin(), a_g.end());
+    attack.partner_set_size = a.size();
+  }
+
+  // H': the reporters A = {1..t} are faulty; toward the observer they
+  // replay H, toward everyone else they replay G. The correct world runs
+  // with value 1 (so that every correct processor other than the observer
+  // sees exactly its G subhistory).
+  std::vector<ba::ScenarioFault> faults;
+  for (ProcId a = 1; a <= t; ++a) {
+    faults.push_back(ba::ScenarioFault{
+        a, [&, a](ProcId, const BAConfig&) {
+          return std::make_unique<adversary::TwoFacedReplay>(
+              adversary::trace_of(h.history, a), std::set<ProcId>{observer},
+              adversary::trace_of(g.history, a));
+        }});
+  }
+  const auto h_prime = ba::run_scenario(protocol, one, seed, faults, false);
+
+  attack.observer_decision = h_prime.decisions[observer];
+  // Every correct processor other than the observer.
+  for (ProcId q = 0; q < n - 1; ++q) {
+    if (h_prime.faulty[q]) continue;
+    attack.others_decision = h_prime.decisions[q];
+    break;
+  }
+  attack.agreement_violated =
+      attack.observer_decision.has_value() &&
+      attack.others_decision.has_value() &&
+      *attack.observer_decision != *attack.others_decision;
+  return attack;
+}
+
+}  // namespace dr::bounds

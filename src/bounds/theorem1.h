@@ -1,0 +1,61 @@
+// Executable version of Theorem 1's proof.
+//
+// The theorem: a correct authenticated BA algorithm cannot let any processor
+// p exchange signatures with fewer than t+1 other processors across the two
+// failure-free histories H (value 0) and G (value 1); otherwise the set
+// A(p) of p's signature partners, made faulty, can show p the H-world and
+// everybody else the G-world, and the two sides decide differently.
+//
+// Two artefacts:
+//  1. signature_partners / min_partner_set_size — measure A(p) for real
+//     algorithms on recorded histories and confirm |A(p)| >= t+1 for all p.
+//  2. run_theorem1_attack — a deliberately thrifty (broken) protocol in
+//     which a designated observer processor talks only to t "reporters",
+//     plus the two-faced replay coalition from the proof; the attack makes
+//     the observer decide 0 while everyone else decides 1.
+#pragma once
+
+#include <set>
+
+#include "ba/registry.h"
+#include "hist/history.h"
+
+namespace dr::bounds {
+
+using ba::BAConfig;
+using ba::ProcId;
+using ba::Value;
+
+/// The set A(p) for a recorded history: every q != p such that q's
+/// signature reached p or p's signature reached q. Message payloads are
+/// decoded as signature chains / attested blobs; undecodable payloads fall
+/// back to the technical assumption that a message carries at least its
+/// sender's signature.
+std::set<ProcId> signature_partners(const hist::History& history, ProcId p);
+
+/// min over p of |A(p)| where A(p) is accumulated over the two failure-free
+/// histories (value 0 and value 1) of `protocol`. Theorem 1 says this is
+/// > t for any correct algorithm.
+std::size_t min_partner_set_size(const ba::Protocol& protocol,
+                                 const BAConfig& config, std::uint64_t seed);
+
+struct Theorem1Attack {
+  bool agreement_violated = false;
+  std::optional<Value> observer_decision;
+  std::optional<Value> others_decision;
+  std::size_t partner_set_size = 0;  // |A(p)| of the observer, <= t
+};
+
+/// The thrifty protocol under attack: processors 0..n-2 run Dolev-Strong
+/// among themselves; the observer n-1 listens to t reporters (ids 1..t) and
+/// decides their majority report. Returns the attack outcome; a correct
+/// algorithm could not be attacked this way, this one always is.
+Theorem1Attack run_theorem1_attack(std::size_t n, std::size_t t,
+                                   std::uint64_t seed);
+
+/// The thrifty protocol itself, exposed so tests can also confirm that it
+/// *does* reach agreement in failure-free runs (it fails only against the
+/// coalition, which is the whole point of the bound).
+ba::Protocol make_sparse_observer_protocol();
+
+}  // namespace dr::bounds

@@ -1,0 +1,174 @@
+#include "bounds/theorem2.h"
+
+#include <algorithm>
+
+#include "adversary/strategies.h"
+#include "ba/signed_value.h"
+#include "bounds/formulas.h"
+#include "util/contracts.h"
+
+namespace dr::bounds {
+
+Theorem2Probe run_theorem2_probe(const ba::Protocol& protocol,
+                                 const ba::BAConfig& config,
+                                 std::uint64_t seed) {
+  DR_EXPECTS(protocol.supports(config));
+  const std::size_t t = config.t;
+  const std::size_t b_size = 1 + t / 2;  // floor(1 + t/2) <= t for t >= 1
+  DR_EXPECTS(b_size <= t);
+  DR_EXPECTS(config.n > b_size);
+
+  // B: the highest-numbered processors, never the transmitter.
+  std::set<ba::ProcId> b;
+  for (ba::ProcId p = static_cast<ba::ProcId>(config.n - 1);
+       b.size() < b_size; --p) {
+    if (p != config.transmitter) b.insert(p);
+  }
+
+  const std::size_t ignore = (t + 1) / 2;  // ceil(t/2)
+  std::vector<ba::ScenarioFault> faults;
+  for (ba::ProcId member : b) {
+    faults.push_back(ba::ScenarioFault{
+        member, [&protocol, &b, ignore](ba::ProcId id,
+                                        const ba::BAConfig& c) {
+          return std::make_unique<adversary::IgnoreFirstK>(
+              protocol.make(id, c), ignore, b);
+        }});
+  }
+
+  const auto result = ba::run_scenario(protocol, config, seed, faults);
+  const auto check =
+      sim::check_byzantine_agreement(result, config.transmitter,
+                                     config.value);
+
+  Theorem2Probe probe;
+  probe.agreement = check.agreement;
+  probe.validity = check.validity;
+  probe.per_member_bound = theorem2_per_faulty_lower_bound(t);
+  probe.messages_sent_by_correct = result.metrics.messages_by_correct();
+  probe.min_received_by_b = static_cast<std::size_t>(-1);
+  for (ba::ProcId member : b) {
+    probe.min_received_by_b = std::min(
+        probe.min_received_by_b,
+        result.metrics.received_from_correct(member));
+    probe.b_members.push_back(member);
+  }
+  return probe;
+}
+
+namespace {
+
+/// One-shot broadcast: phase 1 the transmitter sends its value to everyone;
+/// receivers decide what they received (default on nothing). Failure-free
+/// this is a perfectly fine agreement "algorithm" — and it sends only n-1
+/// messages, far below Theorem 2's bound, which is exactly why the history
+/// swap breaks it.
+class OneShotBroadcast final : public sim::Process {
+ public:
+  OneShotBroadcast(ba::ProcId self, const ba::BAConfig& config)
+      : self_(self), config_(config) {}
+
+  static sim::PhaseNum steps(const ba::BAConfig&) { return 2; }
+  static bool supports(const ba::BAConfig& config) {
+    return config.n >= 2 && config.transmitter == 0;
+  }
+
+  void on_phase(sim::Context& ctx) override {
+    if (self_ == 0) {
+      if (ctx.phase() == 1) {
+        const ba::SignedValue sv =
+            ba::make_signed(config_.value, ctx.signer(), 0);
+        for (ba::ProcId q = 1; q < config_.n; ++q) {
+          ctx.send(q, encode(sv), 1);
+        }
+      }
+      return;
+    }
+    if (decided_.has_value()) return;
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (env.from != 0) continue;
+      const auto sv = ba::decode_signed_value(env.payload);
+      if (!sv || sv->chain.size() != 1 || sv->chain[0].signer != 0) continue;
+      if (!verify_chain(*sv, ctx.verifier())) continue;
+      decided_ = sv->value;
+      break;
+    }
+  }
+
+  std::optional<ba::Value> decision() const override {
+    if (self_ == 0) return config_.value;
+    return decided_.value_or(ba::kDefaultValue);
+  }
+
+ private:
+  ba::ProcId self_;
+  ba::BAConfig config_;
+  std::optional<ba::Value> decided_;
+};
+
+/// A transmitter that behaves correctly except it never sends to `victim`
+/// — the A(p) coalition of the H'' history (here A(p) = {transmitter}).
+class WithholdingTransmitter final : public sim::Process {
+ public:
+  WithholdingTransmitter(ba::ProcId victim, ba::Value value, std::size_t n)
+      : victim_(victim), value_(value), n_(n) {}
+
+  void on_phase(sim::Context& ctx) override {
+    if (ctx.phase() != 1) return;
+    for (ba::ProcId q = 1; q < n_; ++q) {
+      if (q == victim_) continue;
+      const ba::SignedValue sv = ba::make_signed(value_, ctx.signer(), 0);
+      ctx.send(q, encode(sv), 1);
+    }
+  }
+  std::optional<ba::Value> decision() const override { return std::nullopt; }
+
+ private:
+  ba::ProcId victim_;
+  ba::Value value_;
+  std::size_t n_;
+};
+
+}  // namespace
+
+ba::Protocol make_one_shot_protocol() {
+  ba::Protocol p;
+  p.name = "one-shot(broken)";
+  p.authenticated = true;
+  p.supports = [](const ba::BAConfig& c) {
+    return OneShotBroadcast::supports(c);
+  };
+  p.steps = [](const ba::BAConfig& c) { return OneShotBroadcast::steps(c); };
+  p.make = [](ba::ProcId id, const ba::BAConfig& c) {
+    return std::make_unique<OneShotBroadcast>(id, c);
+  };
+  return p;
+}
+
+Theorem2Attack run_theorem2_attack(std::size_t n, std::size_t t,
+                                   std::uint64_t seed) {
+  DR_EXPECTS(t >= 1 && n >= 3);
+  const ba::ProcId victim = static_cast<ba::ProcId>(n - 1);
+  std::vector<ba::ScenarioFault> faults;
+  faults.push_back(ba::ScenarioFault{
+      0, [victim](ba::ProcId, const ba::BAConfig& c) {
+        return std::make_unique<WithholdingTransmitter>(victim, c.value,
+                                                        c.n);
+      }});
+  const auto result = ba::run_scenario(make_one_shot_protocol(),
+                                       ba::BAConfig{n, t, 0, 1}, seed,
+                                       faults);
+  Theorem2Attack attack;
+  attack.starved_decision = result.decisions[victim];
+  for (ba::ProcId q = 1; q < n - 1; ++q) {
+    attack.others_decision = result.decisions[q];
+    break;
+  }
+  attack.agreement_violated =
+      attack.starved_decision.has_value() &&
+      attack.others_decision.has_value() &&
+      *attack.starved_decision != *attack.others_decision;
+  return attack;
+}
+
+}  // namespace dr::bounds

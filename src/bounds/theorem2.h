@@ -1,0 +1,64 @@
+// Executable version of Theorem 2's proof apparatus.
+//
+// The proof puts a set B of floor(1 + t/2) faulty processors in play; each
+// behaves like a correct processor except that it ignores the first
+// ceil(t/2) messages from outside B and never talks to B. If some faulty
+// b in B could get away with receiving at most ceil(t/2) messages, histories
+// could be swapped (H' vs H'') so that a correct processor receives nothing
+// at all and cannot decide the transmitter's value.
+//
+// For a *correct* algorithm the consequence is measurable: every member of
+// B must receive at least ceil(1 + t/2) messages from correct processors.
+// run_theorem2_probe runs exactly this adversary against a protocol and
+// reports the minimum any B member received, together with the failure-free
+// total-message measurement the theorem's first max{} term bounds.
+#pragma once
+
+#include <vector>
+
+#include "ba/registry.h"
+
+namespace dr::bounds {
+
+struct Theorem2Probe {
+  bool agreement = false;  // the run must still satisfy both BA conditions
+  bool validity = false;
+  /// Minimum over b in B of messages b received from correct processors.
+  std::size_t min_received_by_b = 0;
+  /// ceil(1 + t/2), the per-member bound the proof establishes.
+  std::size_t per_member_bound = 0;
+  /// Messages sent by correct processors in this (t-faulty) run.
+  std::size_t messages_sent_by_correct = 0;
+  std::vector<ba::ProcId> b_members;
+};
+
+/// Runs `protocol` with transmitter value 1 and the ignore-first-k coalition
+/// B (the floor(1+t/2) highest non-transmitter ids). `protocol` must
+/// support the given config.
+Theorem2Probe run_theorem2_probe(const ba::Protocol& protocol,
+                                 const ba::BAConfig& config,
+                                 std::uint64_t seed);
+
+struct Theorem2Attack {
+  bool agreement_violated = false;
+  std::optional<ba::Value> starved_decision;  // the message-starved victim
+  std::optional<ba::Value> others_decision;
+};
+
+/// The proof's H' -> H'' swap, executable. The thrifty (broken) protocol
+/// under attack is a one-shot broadcast: the transmitter sends once and
+/// receivers decide whatever (if anything) they got — so a processor that
+/// receives no messages at all cannot decide the transmitter's value. In
+/// H'' the faulty set A(p) (here: just the transmitter) simply withholds
+/// p's messages: p, perfectly correct, sees the empty subhistory, decides
+/// the default, and disagrees with everybody else. A correct algorithm
+/// escapes only by making sure every processor in the proof's set Q is
+/// *sent* enough messages — which is Theorem 2's count.
+Theorem2Attack run_theorem2_attack(std::size_t n, std::size_t t,
+                                   std::uint64_t seed);
+
+/// The thrifty protocol itself (reaches BA failure-free; fails under one
+/// omissive fault).
+ba::Protocol make_one_shot_protocol();
+
+}  // namespace dr::bounds

@@ -1,0 +1,110 @@
+#include "codec/codec.h"
+
+namespace dr {
+
+namespace {
+
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { out_.push_back(v); }
+
+void Writer::u32(std::uint32_t v) { put_varint(out_, v); }
+
+void Writer::u64(std::uint64_t v) { put_varint(out_, v); }
+
+void Writer::bytes(ByteView data) {
+  put_varint(out_, data.size());
+  append(out_, data);
+}
+
+void Writer::str(std::string_view s) { bytes(as_bytes(s)); }
+
+void Writer::seq(std::size_t count) { put_varint(out_, count); }
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (!ok_ || pos_ >= data_.size() || shift >= 64) {
+      fail();
+      return 0;
+    }
+    const std::uint8_t b = data_[pos_++];
+    // Reject bits that would overflow 64-bit.
+    if (shift == 63 && (b & 0x7e) != 0) {
+      fail();
+      return 0;
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::uint8_t Reader::u8() {
+  if (!ok_ || pos_ >= data_.size()) {
+    fail();
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint32_t Reader::u32() {
+  const std::uint64_t v = varint();
+  if (v > 0xffffffffULL) {
+    fail();
+    return 0;
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t Reader::u64() { return varint(); }
+
+Bytes Reader::bytes() {
+  const std::uint64_t len = varint();
+  if (!ok_ || len > remaining()) {
+    fail();
+    return {};
+  }
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string Reader::str() {
+  const Bytes raw = bytes();
+  return std::string(raw.begin(), raw.end());
+}
+
+std::size_t Reader::seq() {
+  const std::uint64_t count = varint();
+  if (!ok_ || count > remaining()) {
+    fail();
+    return 0;
+  }
+  return static_cast<std::size_t>(count);
+}
+
+Bytes encode_u64(std::uint64_t v) {
+  Writer w;
+  w.u64(v);
+  return std::move(w).take();
+}
+
+std::optional<std::uint64_t> decode_u64(ByteView data) {
+  Reader r(data);
+  const std::uint64_t v = r.u64();
+  if (!r.done()) return std::nullopt;
+  return v;
+}
+
+}  // namespace dr

@@ -1,0 +1,80 @@
+// Binary serialization used for every wire message in the simulator.
+//
+// Design goals:
+//  * deterministic encoding (identical input -> identical bytes), because
+//    signatures are computed over encoded bytes;
+//  * robust decoding — a Byzantine processor controls the payload bytes of
+//    everything it sends, so Reader never trusts lengths and never throws on
+//    malformed input; each read reports failure through its `ok()` state.
+//
+// Encoding: LEB128-style varints for integers; length-prefixed byte strings;
+// length-prefixed sequences.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace dr {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Varint-encoded length followed by raw bytes.
+  void bytes(ByteView data);
+  void str(std::string_view s);
+  /// Sequence length prefix; caller then writes `count` elements.
+  void seq(std::size_t count);
+
+  const Bytes& out() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  /// All reads return a value; on failure the value is zero/empty and ok()
+  /// flips to false and stays false ("poisoned"), so callers may decode a
+  /// whole structure and check ok() once at the end.
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes bytes();
+  std::string str();
+  /// Reads a sequence length; additionally fails if the claimed count
+  /// exceeds the number of remaining input bytes (cheap DoS guard — every
+  /// element costs at least one byte).
+  std::size_t seq();
+
+  bool ok() const { return ok_; }
+  /// True when the whole input has been consumed and no error occurred.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::uint64_t varint();
+  void fail() { ok_ = false; }
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Convenience: encode a u64 as a standalone byte string.
+Bytes encode_u64(std::uint64_t v);
+/// Decode a standalone u64; nullopt on malformed or trailing bytes.
+std::optional<std::uint64_t> decode_u64(ByteView data);
+
+}  // namespace dr

@@ -1,0 +1,39 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace dr::crypto {
+
+Digest hmac_sha256(ByteView key, ByteView message) {
+  std::uint8_t key_block[kSha256BlockSize] = {0};
+  if (key.size() > kSha256BlockSize) {
+    const Digest kd = sha256(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    if (!key.empty()) std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kSha256BlockSize];
+  std::uint8_t opad[kSha256BlockSize];
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ByteView{ipad, kSha256BlockSize});
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(ByteView{opad, kSha256BlockSize});
+  outer.update(ByteView{inner_digest.data(), inner_digest.size()});
+  return outer.finish();
+}
+
+Bytes derive_key(ByteView seed, ByteView label) {
+  const Digest d = hmac_sha256(seed, label);
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace dr::crypto

@@ -1,0 +1,17 @@
+// HMAC-SHA-256 per RFC 2104 / FIPS 198-1.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace dr::crypto {
+
+/// Computes HMAC-SHA-256(key, message).
+Digest hmac_sha256(ByteView key, ByteView message);
+
+/// HKDF-style key derivation used to give each processor an independent
+/// signing key from a master seed: derive(seed, label) =
+/// HMAC(seed, label). Deterministic so simulations are reproducible.
+Bytes derive_key(ByteView seed, ByteView label);
+
+}  // namespace dr::crypto

@@ -1,0 +1,41 @@
+#include "crypto/key_registry.h"
+
+#include "codec/codec.h"
+#include "util/contracts.h"
+
+namespace dr::crypto {
+
+KeyRegistry::KeyRegistry(std::size_t n, std::uint64_t master_seed) {
+  keys_.reserve(n);
+  const Bytes seed = encode_u64(master_seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Writer label;
+    label.str("dr82.key");
+    label.u64(i);
+    keys_.push_back(derive_key(seed, std::move(label).take()));
+  }
+}
+
+Digest KeyRegistry::mac(ProcId signer, ByteView data) const {
+  DR_EXPECTS(signer < keys_.size());
+  // Domain-separate by signer id so a key reused across ids (impossible
+  // here, but cheap insurance) cannot transfer signatures.
+  Writer w;
+  w.u32(signer);
+  w.bytes(data);
+  return hmac_sha256(keys_[signer], std::move(w).take());
+}
+
+Bytes KeyRegistry::sign(ProcId signer, ByteView data) {
+  const Digest d = mac(signer, data);
+  return Bytes(d.begin(), d.end());
+}
+
+bool KeyRegistry::verify(ProcId signer, ByteView data,
+                         ByteView signature) const {
+  if (signer >= keys_.size()) return false;
+  const Digest expected = mac(signer, data);
+  return ct_equal(ByteView{expected.data(), expected.size()}, signature);
+}
+
+}  // namespace dr::crypto

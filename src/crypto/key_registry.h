@@ -1,0 +1,51 @@
+// HMAC-based signature scheme modelling the paper's signature
+// infrastructure via a key registry.
+//
+// The paper assumes a signature scheme ([Diffie-Hellman 76], [RSA 78]) with
+// two properties used by the proofs:
+//   1. unforgeability — no processor can produce another processor's
+//      signature on a message it never signed;
+//   2. collusion — faulty processors may pool their keys, so "every message
+//      that contains only signatures of faulty processors can be produced by
+//      them".
+//
+// We model the PKI with per-processor HMAC keys held in a registry. The
+// registry plays the role of the public-key directory: anyone may *verify*,
+// but a processor can only *sign* through a Signer capability that the
+// simulator hands out (one id for correct processors, the whole faulty set
+// for the adversary coalition). Unforgeability then holds unconditionally
+// within the simulation: the only path to a valid MAC is through a Signer.
+//
+// For a scheme without any trusted verification path see crypto/merkle.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/scheme.h"
+#include "util/bytes.h"
+
+namespace dr::crypto {
+
+class KeyRegistry final : public SignatureScheme {
+ public:
+  /// Creates keys for processors 0..n-1, derived deterministically from
+  /// `master_seed` so whole simulations are reproducible.
+  KeyRegistry(std::size_t n, std::uint64_t master_seed);
+
+  std::size_t size() const override { return keys_.size(); }
+
+  /// MAC over (signer-id || data) with signer's key.
+  Bytes sign(ProcId signer, ByteView data) override;
+
+  bool verify(ProcId signer, ByteView data,
+              ByteView signature) const override;
+
+ private:
+  Digest mac(ProcId signer, ByteView data) const;
+
+  std::vector<Bytes> keys_;
+};
+
+}  // namespace dr::crypto

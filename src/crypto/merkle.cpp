@@ -1,0 +1,222 @@
+#include "crypto/merkle.h"
+
+#include "codec/codec.h"
+#include "crypto/hmac.h"
+#include "util/contracts.h"
+
+namespace dr::crypto {
+
+Digest merkle_hash_pair(const Digest& left, const Digest& right) {
+  Sha256 h;
+  h.update(as_bytes("dr82.node"));
+  h.update(ByteView{left.data(), left.size()});
+  h.update(ByteView{right.data(), right.size()});
+  return h.finish();
+}
+
+namespace {
+
+bool digest_bit(const Digest& digest, std::uint32_t chunk) {
+  return (digest[chunk / 8] >> (chunk % 8)) & 1;
+}
+
+}  // namespace
+
+Digest OtsPublicKey::leaf_hash() const {
+  Sha256 h;
+  h.update(as_bytes("dr82.leaf"));
+  for (const Digest& d : hashes) h.update(ByteView{d.data(), d.size()});
+  return h.finish();
+}
+
+Digest ots_secret(ByteView seed, std::uint32_t leaf, std::uint32_t chunk,
+                  std::uint32_t bit) {
+  Writer label;
+  label.str("dr82.ots");
+  label.u32(leaf);
+  label.u32(chunk);
+  label.u32(bit);
+  const Bytes material = std::move(label).take();
+  return hmac_sha256(seed, material);
+}
+
+OtsPublicKey ots_public_key(ByteView seed, std::uint32_t leaf) {
+  OtsPublicKey pk;
+  pk.hashes.reserve(2 * kOtsChunks);
+  for (std::uint32_t chunk = 0; chunk < kOtsChunks; ++chunk) {
+    for (std::uint32_t bit = 0; bit < 2; ++bit) {
+      const Digest secret = ots_secret(seed, leaf, chunk, bit);
+      pk.hashes.push_back(sha256(ByteView{secret.data(), secret.size()}));
+    }
+  }
+  return pk;
+}
+
+OtsSignature ots_sign(ByteView seed, std::uint32_t leaf,
+                      const Digest& digest) {
+  OtsSignature sig;
+  sig.revealed.reserve(kOtsChunks);
+  for (std::uint32_t chunk = 0; chunk < kOtsChunks; ++chunk) {
+    const std::uint32_t bit = digest_bit(digest, chunk) ? 1 : 0;
+    sig.revealed.push_back(ots_secret(seed, leaf, chunk, bit));
+  }
+  sig.public_key = ots_public_key(seed, leaf);
+  return sig;
+}
+
+std::optional<Digest> ots_verify(const OtsSignature& sig,
+                                 const Digest& digest) {
+  if (sig.revealed.size() != kOtsChunks) return std::nullopt;
+  if (sig.public_key.hashes.size() != 2 * kOtsChunks) return std::nullopt;
+  for (std::uint32_t chunk = 0; chunk < kOtsChunks; ++chunk) {
+    const std::uint32_t bit = digest_bit(digest, chunk) ? 1 : 0;
+    const Digest hashed = sha256(ByteView{sig.revealed[chunk].data(),
+                                          sig.revealed[chunk].size()});
+    if (hashed != sig.public_key.hashes[2 * chunk + bit]) {
+      return std::nullopt;
+    }
+  }
+  return sig.public_key.leaf_hash();
+}
+
+MerklePrivateKey::MerklePrivateKey(Bytes seed, std::size_t height)
+    : seed_(std::move(seed)), height_(height) {
+  DR_EXPECTS(height >= 1 && height <= 20);
+  const std::size_t leaves = std::size_t{1} << height;
+  leaf_hashes_.reserve(leaves);
+  for (std::uint32_t leaf = 0; leaf < leaves; ++leaf) {
+    leaf_hashes_.push_back(ots_public_key(seed_, leaf).leaf_hash());
+  }
+  tree_.push_back(leaf_hashes_);
+  while (tree_.back().size() > 1) {
+    const auto& below = tree_.back();
+    std::vector<Digest> level;
+    level.reserve(below.size() / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      level.push_back(merkle_hash_pair(below[i], below[i + 1]));
+    }
+    tree_.push_back(std::move(level));
+  }
+  root_ = tree_.back().front();
+}
+
+MerklePrivateKey::FullSignature MerklePrivateKey::sign(
+    const Digest& digest) {
+  DR_EXPECTS(remaining() > 0);
+  FullSignature out;
+  out.leaf = static_cast<std::uint32_t>(next_leaf_++);
+  out.ots = ots_sign(seed_, out.leaf, digest);
+  std::size_t index = out.leaf;
+  for (std::size_t level = 0; level < height_; ++level) {
+    out.auth_path.push_back(tree_[level][index ^ 1]);
+    index >>= 1;
+  }
+  return out;
+}
+
+Digest merkle_root_from_path(const Digest& leaf_hash, std::uint32_t leaf,
+                             const std::vector<Digest>& auth_path) {
+  Digest node = leaf_hash;
+  std::size_t index = leaf;
+  for (const Digest& sibling : auth_path) {
+    node = (index & 1) ? merkle_hash_pair(sibling, node)
+                       : merkle_hash_pair(node, sibling);
+    index >>= 1;
+  }
+  return node;
+}
+
+Bytes encode_merkle_signature(const MerklePrivateKey::FullSignature& sig) {
+  Writer w;
+  w.u32(sig.leaf);
+  w.seq(sig.ots.revealed.size());
+  for (const Digest& d : sig.ots.revealed) {
+    w.bytes(ByteView{d.data(), d.size()});
+  }
+  w.seq(sig.ots.public_key.hashes.size());
+  for (const Digest& d : sig.ots.public_key.hashes) {
+    w.bytes(ByteView{d.data(), d.size()});
+  }
+  w.seq(sig.auth_path.size());
+  for (const Digest& d : sig.auth_path) {
+    w.bytes(ByteView{d.data(), d.size()});
+  }
+  return std::move(w).take();
+}
+
+namespace {
+
+bool read_digests(Reader& r, std::size_t count, std::vector<Digest>& out) {
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Bytes raw = r.bytes();
+    if (!r.ok() || raw.size() != kSha256DigestSize) return false;
+    Digest d;
+    std::copy(raw.begin(), raw.end(), d.begin());
+    out.push_back(d);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<MerklePrivateKey::FullSignature> decode_merkle_signature(
+    ByteView data) {
+  Reader r(data);
+  MerklePrivateKey::FullSignature sig;
+  sig.leaf = r.u32();
+  if (!read_digests(r, r.seq(), sig.ots.revealed)) return std::nullopt;
+  if (!read_digests(r, r.seq(), sig.ots.public_key.hashes)) {
+    return std::nullopt;
+  }
+  const std::size_t path_len = r.seq();
+  if (path_len > 24) return std::nullopt;
+  if (!read_digests(r, path_len, sig.auth_path)) return std::nullopt;
+  if (!r.done()) return std::nullopt;
+  return sig;
+}
+
+MerkleScheme::MerkleScheme(std::size_t n, std::uint64_t master_seed,
+                           std::size_t height) {
+  const Bytes seed = encode_u64(master_seed);
+  keys_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Writer label;
+    label.str("dr82.mss");
+    label.u64(i);
+    keys_.emplace_back(derive_key(seed, std::move(label).take()), height);
+  }
+}
+
+Digest MerkleScheme::message_digest(ProcId signer, ByteView data) {
+  Sha256 h;
+  h.update(as_bytes("dr82.msg"));
+  Writer w;
+  w.u32(signer);
+  w.bytes(data);
+  const Bytes framed = std::move(w).take();
+  h.update(framed);
+  return h.finish();
+}
+
+Bytes MerkleScheme::sign(ProcId signer, ByteView data) {
+  DR_EXPECTS(signer < keys_.size());
+  return encode_merkle_signature(
+      keys_[signer].sign(message_digest(signer, data)));
+}
+
+bool MerkleScheme::verify(ProcId signer, ByteView data,
+                          ByteView signature) const {
+  if (signer >= keys_.size()) return false;
+  const auto sig = decode_merkle_signature(signature);
+  if (!sig) return false;
+  if (sig->auth_path.size() != keys_[signer].height()) return false;
+  if (sig->leaf >= keys_[signer].capacity()) return false;
+  const auto leaf_hash = ots_verify(sig->ots,
+                                    message_digest(signer, data));
+  if (!leaf_hash) return false;
+  return merkle_root_from_path(*leaf_hash, sig->leaf, sig->auth_path) ==
+         keys_[signer].root();
+}
+
+}  // namespace dr::crypto

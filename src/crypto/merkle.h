@@ -1,0 +1,133 @@
+// Hash-based public-key signatures: Lamport one-time signatures under a
+// Merkle tree (the classic Merkle signature scheme).
+//
+// Why this exists: the default KeyRegistry models the paper's signature
+// assumption with HMAC and a trusted key directory. That is a *model* of a
+// PKI. This module provides the real thing built from nothing but SHA-256:
+// a signer publishes one 32-byte root; every signature is verifiable by
+// anyone holding that root, with no shared secrets and no oracle. Running
+// the agreement algorithms over this scheme (see crypto tests and
+// merkle_signatures example) demonstrates that nothing in the reproduction
+// depends on the HMAC shortcut.
+//
+// Construction
+//   * Lamport OTS: secret key = 256 pairs of 32-byte preimages; public key
+//     = their hashes; signing a 256-bit digest reveals one preimage per
+//     bit.
+//   * Merkle tree: 2^h OTS public keys are hashed into leaves; the root is
+//     the long-term public key. A signature carries the leaf index, the
+//     revealed preimages, the full OTS public key and the authentication
+//     path. Each leaf must be used at most once (the scheme is stateful).
+//
+// Sizes: a signature is 256*32 (revealed) + 2*256*32 (public key) +
+// 32*h (path) + small framing ~ 24.6 KiB for h = 6. Verification costs
+// ~770 hash evaluations. Use in small-n simulations only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/scheme.h"
+#include "crypto/sha256.h"
+
+namespace dr::crypto {
+
+inline constexpr std::size_t kOtsChunks = 256;  // one per digest bit
+
+/// A Lamport one-time public key: for each digest bit, the hashes of the
+/// two secret preimages.
+struct OtsPublicKey {
+  // [chunk][bit] flattened: entry(i, b) = hashes[2*i + b].
+  std::vector<Digest> hashes;  // size 2 * kOtsChunks
+
+  /// The leaf hash committing to this public key.
+  Digest leaf_hash() const;
+};
+
+/// One-time signature: the revealed preimage per digest bit, plus the full
+/// public key (so the verifier can recompute the leaf hash).
+struct OtsSignature {
+  std::vector<Digest> revealed;  // size kOtsChunks
+  OtsPublicKey public_key;
+};
+
+/// Derives the OTS secret preimage for (seed, leaf, chunk, bit).
+Digest ots_secret(ByteView seed, std::uint32_t leaf, std::uint32_t chunk,
+                  std::uint32_t bit);
+
+/// Derives the full OTS public key for a leaf.
+OtsPublicKey ots_public_key(ByteView seed, std::uint32_t leaf);
+
+/// Signs a 32-byte digest with leaf's one-time key.
+OtsSignature ots_sign(ByteView seed, std::uint32_t leaf,
+                      const Digest& digest);
+
+/// Verifies an OTS signature against a digest; returns the leaf hash the
+/// signature commits to (nullopt if invalid).
+std::optional<Digest> ots_verify(const OtsSignature& sig,
+                                 const Digest& digest);
+
+/// A stateful Merkle signing key: 2^height one-time leaves over one root.
+class MerklePrivateKey {
+ public:
+  MerklePrivateKey(Bytes seed, std::size_t height);
+
+  const Digest& root() const { return root_; }
+  std::size_t height() const { return height_; }
+  std::size_t capacity() const { return leaf_hashes_.size(); }
+  std::size_t remaining() const { return capacity() - next_leaf_; }
+
+  struct FullSignature {
+    std::uint32_t leaf = 0;
+    OtsSignature ots;
+    std::vector<Digest> auth_path;  // sibling hashes, leaf level upward
+  };
+
+  /// Signs `digest` with the next unused leaf. Precondition: remaining()>0.
+  FullSignature sign(const Digest& digest);
+
+ private:
+  Bytes seed_;
+  std::size_t height_;
+  std::size_t next_leaf_ = 0;
+  std::vector<Digest> leaf_hashes_;
+  // tree_[level][index]; level 0 = leaves, level height_ = root.
+  std::vector<std::vector<Digest>> tree_;
+  Digest root_{};
+};
+
+/// Recomputes the root from a leaf hash and its authentication path.
+Digest merkle_root_from_path(const Digest& leaf_hash, std::uint32_t leaf,
+                             const std::vector<Digest>& auth_path);
+
+/// The Merkle-node combiner shared by both hash-based schemes.
+Digest merkle_hash_pair(const Digest& left, const Digest& right);
+
+Bytes encode_merkle_signature(const MerklePrivateKey::FullSignature& sig);
+std::optional<MerklePrivateKey::FullSignature> decode_merkle_signature(
+    ByteView data);
+
+/// SignatureScheme over per-processor Merkle keys. Deterministic from the
+/// master seed. Verification uses only the public roots.
+class MerkleScheme final : public SignatureScheme {
+ public:
+  MerkleScheme(std::size_t n, std::uint64_t master_seed,
+               std::size_t height = 6);
+
+  std::size_t size() const override { return keys_.size(); }
+  Bytes sign(ProcId signer, ByteView data) override;
+  bool verify(ProcId signer, ByteView data,
+              ByteView signature) const override;
+
+  const Digest& public_root(ProcId p) const { return keys_[p].root(); }
+  std::size_t remaining(ProcId p) const { return keys_[p].remaining(); }
+
+ private:
+  static Digest message_digest(ProcId signer, ByteView data);
+
+  std::vector<MerklePrivateKey> keys_;
+};
+
+}  // namespace dr::crypto

@@ -1,0 +1,41 @@
+// The signature-scheme interface the simulator runs on.
+//
+// The paper assumes an abstract unforgeable signature scheme ([2] Diffie-
+// Hellman, [16] RSA). Two implementations are provided:
+//   * KeyRegistry (crypto/key_registry.h) — HMAC-SHA-256 with a trusted key
+//     directory modelling a PKI; fast, used by default;
+//   * MerkleScheme (crypto/merkle.h) — genuine hash-based public-key
+//     signatures (Lamport one-time signatures under a Merkle tree), where
+//     verification needs only the signer's public root. Slower and
+//     signature-count-limited, but closes the gap to a real deployment:
+//     nothing in the simulation depends on a trusted verification oracle.
+//
+// sign() is non-const because hash-based schemes are stateful (each leaf
+// key must be used exactly once).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace dr::crypto {
+
+using ProcId = std::uint32_t;
+
+class SignatureScheme {
+ public:
+  virtual ~SignatureScheme() = default;
+
+  /// Produces a signature by `signer` over `data`. Callers must hold the
+  /// signing capability (enforced by crypto::Signer, not here).
+  virtual Bytes sign(ProcId signer, ByteView data) = 0;
+
+  /// Public verification.
+  virtual bool verify(ProcId signer, ByteView data,
+                      ByteView signature) const = 0;
+
+  /// Number of processors the scheme has keys for.
+  virtual std::size_t size() const = 0;
+};
+
+}  // namespace dr::crypto

@@ -1,0 +1,43 @@
+// SHA-256 per FIPS 180-4, implemented from scratch (no external crypto
+// dependency is available offline). Streaming interface plus one-shot helper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace dr::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// further use.
+  Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kSha256BlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot digest.
+Digest sha256(ByteView data);
+
+/// Digest as a Bytes value (convenient for codecs).
+Bytes sha256_bytes(ByteView data);
+
+}  // namespace dr::crypto

@@ -1,0 +1,54 @@
+#include "crypto/signature.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace dr::crypto {
+
+namespace {
+
+/// Byzantine senders control signature bytes; cap what we accept so a
+/// malicious chain cannot make receivers allocate unbounded memory. The
+/// Merkle scheme's signatures are the largest legitimate ones (~20 KiB).
+constexpr std::size_t kMaxSignatureSize = 64 * 1024;
+
+}  // namespace
+
+void encode(Writer& w, const Signature& sig) {
+  w.u32(sig.signer);
+  w.bytes(sig.sig);
+}
+
+std::optional<Signature> decode_signature(Reader& r) {
+  Signature sig;
+  sig.signer = r.u32();
+  sig.sig = r.bytes();
+  if (!r.ok() || sig.sig.empty() || sig.sig.size() > kMaxSignatureSize) {
+    return std::nullopt;
+  }
+  return sig;
+}
+
+Signer::Signer(SignatureScheme* scheme, std::vector<ProcId> ids)
+    : scheme_(scheme), ids_(std::move(ids)) {
+  DR_EXPECTS(scheme_ != nullptr);
+  std::sort(ids_.begin(), ids_.end());
+}
+
+Signature Signer::sign(ProcId as, ByteView data) const {
+  DR_EXPECTS(holds(as));
+  return Signature{as, scheme_->sign(as, data)};
+}
+
+bool Signer::holds(ProcId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool Verifier::verify(ProcId signer, ByteView data,
+                      const Signature& sig) const {
+  if (sig.signer != signer) return false;
+  return scheme_->verify(signer, data, sig.sig);
+}
+
+}  // namespace dr::crypto

@@ -1,0 +1,56 @@
+// Signature values and the Signer capability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/codec.h"
+#include "crypto/scheme.h"
+
+namespace dr::crypto {
+
+/// A signature value: who signed plus the scheme-specific signature bytes
+/// (32 for HMAC, a few KB for the Merkle scheme). Serialized inside
+/// messages.
+struct Signature {
+  ProcId signer = 0;
+  Bytes sig;
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+void encode(Writer& w, const Signature& sig);
+std::optional<Signature> decode_signature(Reader& r);
+
+/// Signing capability. The simulator constructs one per correct processor
+/// (singleton id set) and one per adversary coalition (all faulty ids). A
+/// Signer refuses to sign for ids it does not hold — this is the mechanism
+/// that makes forgery impossible in the simulation.
+class Signer {
+ public:
+  Signer(SignatureScheme* scheme, std::vector<ProcId> ids);
+
+  /// Signs `data` as `as`. Precondition: holds(as).
+  Signature sign(ProcId as, ByteView data) const;
+
+  bool holds(ProcId id) const;
+  const std::vector<ProcId>& ids() const { return ids_; }
+
+ private:
+  SignatureScheme* scheme_;  // non-owning; outlives the Signer
+  std::vector<ProcId> ids_;
+};
+
+/// Public verification, available to everyone.
+class Verifier {
+ public:
+  explicit Verifier(const SignatureScheme* scheme) : scheme_(scheme) {}
+
+  bool verify(ProcId signer, ByteView data, const Signature& sig) const;
+
+ private:
+  const SignatureScheme* scheme_;
+};
+
+}  // namespace dr::crypto

@@ -1,0 +1,210 @@
+#include "crypto/wots.h"
+
+#include "codec/codec.h"
+#include "crypto/hmac.h"
+#include "util/contracts.h"
+
+namespace dr::crypto {
+
+std::vector<std::uint32_t> wots_digits(const Digest& digest) {
+  std::vector<std::uint32_t> digits;
+  digits.reserve(kWotsLen);
+  for (std::uint8_t byte : digest) {
+    digits.push_back(byte >> 4);
+    digits.push_back(byte & 0x0f);
+  }
+  DR_ASSERT(digits.size() == kWotsLen1);
+  // Checksum: sum of (w-1-d_i) in base w, little-endian, kWotsLen2 digits.
+  std::uint32_t checksum = 0;
+  for (std::uint32_t d : digits) checksum += kWotsW - 1 - d;
+  for (std::size_t i = 0; i < kWotsLen2; ++i) {
+    digits.push_back(checksum % kWotsW);
+    checksum /= kWotsW;
+  }
+  DR_ASSERT(checksum == 0);  // 64 * 15 = 960 < 16^3
+  return digits;
+}
+
+Digest wots_chain(const Digest& start, std::uint32_t chain_index,
+                  std::uint32_t from, std::uint32_t steps) {
+  Digest value = start;
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    Sha256 h;
+    h.update(as_bytes("dr82.wots"));
+    Writer w;
+    w.u32(chain_index);
+    w.u32(from + i);
+    h.update(std::move(w).take());
+    h.update(ByteView{value.data(), value.size()});
+    value = h.finish();
+  }
+  return value;
+}
+
+Digest wots_secret(ByteView seed, std::uint32_t leaf, std::uint32_t chain) {
+  Writer label;
+  label.str("dr82.wots.sk");
+  label.u32(leaf);
+  label.u32(chain);
+  return hmac_sha256(seed, std::move(label).take());
+}
+
+Digest wots_leaf_hash(ByteView seed, std::uint32_t leaf) {
+  Sha256 h;
+  h.update(as_bytes("dr82.wots.leaf"));
+  for (std::uint32_t chain = 0; chain < kWotsLen; ++chain) {
+    const Digest end =
+        wots_chain(wots_secret(seed, leaf, chain), chain, 0, kWotsW - 1);
+    h.update(ByteView{end.data(), end.size()});
+  }
+  return h.finish();
+}
+
+WotsSignature wots_sign(ByteView seed, std::uint32_t leaf,
+                        const Digest& digest) {
+  const std::vector<std::uint32_t> digits = wots_digits(digest);
+  WotsSignature sig;
+  sig.chains.reserve(kWotsLen);
+  for (std::uint32_t chain = 0; chain < kWotsLen; ++chain) {
+    sig.chains.push_back(wots_chain(wots_secret(seed, leaf, chain), chain, 0,
+                                    digits[chain]));
+  }
+  return sig;
+}
+
+std::optional<Digest> wots_verify(const WotsSignature& sig,
+                                  const Digest& digest) {
+  if (sig.chains.size() != kWotsLen) return std::nullopt;
+  const std::vector<std::uint32_t> digits = wots_digits(digest);
+  Sha256 h;
+  h.update(as_bytes("dr82.wots.leaf"));
+  for (std::uint32_t chain = 0; chain < kWotsLen; ++chain) {
+    const Digest end = wots_chain(sig.chains[chain], chain, digits[chain],
+                                  kWotsW - 1 - digits[chain]);
+    h.update(ByteView{end.data(), end.size()});
+  }
+  return h.finish();
+}
+
+WotsPrivateKey::WotsPrivateKey(Bytes seed, std::size_t height)
+    : seed_(std::move(seed)), height_(height) {
+  DR_EXPECTS(height >= 1 && height <= 20);
+  const std::size_t leaves = std::size_t{1} << height;
+  leaf_hashes_.reserve(leaves);
+  for (std::uint32_t leaf = 0; leaf < leaves; ++leaf) {
+    leaf_hashes_.push_back(wots_leaf_hash(seed_, leaf));
+  }
+  tree_.push_back(leaf_hashes_);
+  while (tree_.back().size() > 1) {
+    const auto& below = tree_.back();
+    std::vector<Digest> level;
+    level.reserve(below.size() / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      level.push_back(merkle_hash_pair(below[i], below[i + 1]));
+    }
+    tree_.push_back(std::move(level));
+  }
+  root_ = tree_.back().front();
+}
+
+WotsPrivateKey::FullSignature WotsPrivateKey::sign(const Digest& digest) {
+  DR_EXPECTS(remaining() > 0);
+  FullSignature out;
+  out.leaf = static_cast<std::uint32_t>(next_leaf_++);
+  out.wots = wots_sign(seed_, out.leaf, digest);
+  std::size_t index = out.leaf;
+  for (std::size_t level = 0; level < height_; ++level) {
+    out.auth_path.push_back(tree_[level][index ^ 1]);
+    index >>= 1;
+  }
+  return out;
+}
+
+Bytes encode_wots_signature(const WotsPrivateKey::FullSignature& sig) {
+  Writer w;
+  w.u32(sig.leaf);
+  w.seq(sig.wots.chains.size());
+  for (const Digest& d : sig.wots.chains) {
+    w.bytes(ByteView{d.data(), d.size()});
+  }
+  w.seq(sig.auth_path.size());
+  for (const Digest& d : sig.auth_path) {
+    w.bytes(ByteView{d.data(), d.size()});
+  }
+  return std::move(w).take();
+}
+
+namespace {
+
+bool read_digests(Reader& r, std::size_t count, std::vector<Digest>& out) {
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Bytes raw = r.bytes();
+    if (!r.ok() || raw.size() != kSha256DigestSize) return false;
+    Digest d;
+    std::copy(raw.begin(), raw.end(), d.begin());
+    out.push_back(d);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<WotsPrivateKey::FullSignature> decode_wots_signature(
+    ByteView data) {
+  Reader r(data);
+  WotsPrivateKey::FullSignature sig;
+  sig.leaf = r.u32();
+  const std::size_t chains = r.seq();
+  if (chains != kWotsLen) return std::nullopt;
+  if (!read_digests(r, chains, sig.wots.chains)) return std::nullopt;
+  const std::size_t path_len = r.seq();
+  if (path_len > 24) return std::nullopt;
+  if (!read_digests(r, path_len, sig.auth_path)) return std::nullopt;
+  if (!r.done()) return std::nullopt;
+  return sig;
+}
+
+WotsScheme::WotsScheme(std::size_t n, std::uint64_t master_seed,
+                       std::size_t height) {
+  const Bytes seed = encode_u64(master_seed);
+  keys_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Writer label;
+    label.str("dr82.wotskey");
+    label.u64(i);
+    keys_.emplace_back(derive_key(seed, std::move(label).take()), height);
+  }
+}
+
+Digest WotsScheme::message_digest(ProcId signer, ByteView data) {
+  Sha256 h;
+  h.update(as_bytes("dr82.wots.msg"));
+  Writer w;
+  w.u32(signer);
+  w.bytes(data);
+  h.update(std::move(w).take());
+  return h.finish();
+}
+
+Bytes WotsScheme::sign(ProcId signer, ByteView data) {
+  DR_EXPECTS(signer < keys_.size());
+  return encode_wots_signature(
+      keys_[signer].sign(message_digest(signer, data)));
+}
+
+bool WotsScheme::verify(ProcId signer, ByteView data,
+                        ByteView signature) const {
+  if (signer >= keys_.size()) return false;
+  const auto sig = decode_wots_signature(signature);
+  if (!sig) return false;
+  if (sig->auth_path.size() != keys_[signer].height()) return false;
+  if (sig->leaf >= keys_[signer].capacity()) return false;
+  const auto leaf_hash = wots_verify(sig->wots,
+                                     message_digest(signer, data));
+  if (!leaf_hash) return false;
+  return merkle_root_from_path(*leaf_hash, sig->leaf, sig->auth_path) ==
+         keys_[signer].root();
+}
+
+}  // namespace dr::crypto

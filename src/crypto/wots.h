@@ -1,0 +1,109 @@
+// Winternitz one-time signatures (W-OTS) under a Merkle tree: the compact
+// sibling of the Lamport scheme in crypto/merkle.h.
+//
+// With w = 16 the 256-bit message digest splits into 64 base-16 digits plus
+// 3 checksum digits; the secret key is 67 seeds, each hashed forward up to
+// 15 times. A signature reveals the d_i-th chain element per digit, and the
+// verifier finishes each chain (w-1-d_i more hashes) to recompute the
+// public leaf hash — so signatures carry no public key at all:
+// 67 * 32 B ~ 2.1 KiB against Lamport's ~24 KiB. The checksum digits make
+// "hash further forward" forgeries impossible: increasing any message digit
+// strictly decreases a checksum digit.
+//
+// WotsMerkleScheme mirrors MerkleScheme: 2^height one-time leaves per
+// processor, the Merkle root is the long-term public key, signing is
+// stateful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "crypto/scheme.h"
+#include "crypto/sha256.h"
+
+namespace dr::crypto {
+
+inline constexpr std::uint32_t kWotsW = 16;       // chain length base
+inline constexpr std::size_t kWotsLen1 = 64;      // digest digits
+inline constexpr std::size_t kWotsLen2 = 3;       // checksum digits
+inline constexpr std::size_t kWotsLen = kWotsLen1 + kWotsLen2;
+
+/// The w-ary digit decomposition of a digest plus its checksum digits.
+std::vector<std::uint32_t> wots_digits(const Digest& digest);
+
+/// H^steps(start), domain-separated per chain position.
+Digest wots_chain(const Digest& start, std::uint32_t chain_index,
+                  std::uint32_t from, std::uint32_t steps);
+
+/// Secret chain start for (seed, leaf, chain).
+Digest wots_secret(ByteView seed, std::uint32_t leaf, std::uint32_t chain);
+
+/// The leaf hash committing to the full W-OTS public key of `leaf`.
+Digest wots_leaf_hash(ByteView seed, std::uint32_t leaf);
+
+struct WotsSignature {
+  std::vector<Digest> chains;  // kWotsLen partially-advanced chain values
+};
+
+WotsSignature wots_sign(ByteView seed, std::uint32_t leaf,
+                        const Digest& digest);
+
+/// Completes the chains and returns the leaf hash the signature commits to
+/// (to be checked against a Merkle path); nullopt on malformed input.
+std::optional<Digest> wots_verify(const WotsSignature& sig,
+                                  const Digest& digest);
+
+/// Stateful W-OTS + Merkle signing key (2^height leaves).
+class WotsPrivateKey {
+ public:
+  WotsPrivateKey(Bytes seed, std::size_t height);
+
+  const Digest& root() const { return root_; }
+  std::size_t height() const { return height_; }
+  std::size_t capacity() const { return leaf_hashes_.size(); }
+  std::size_t remaining() const { return capacity() - next_leaf_; }
+
+  struct FullSignature {
+    std::uint32_t leaf = 0;
+    WotsSignature wots;
+    std::vector<Digest> auth_path;
+  };
+
+  FullSignature sign(const Digest& digest);
+
+ private:
+  Bytes seed_;
+  std::size_t height_;
+  std::size_t next_leaf_ = 0;
+  std::vector<Digest> leaf_hashes_;
+  std::vector<std::vector<Digest>> tree_;
+  Digest root_{};
+};
+
+Bytes encode_wots_signature(const WotsPrivateKey::FullSignature& sig);
+std::optional<WotsPrivateKey::FullSignature> decode_wots_signature(
+    ByteView data);
+
+/// SignatureScheme over per-processor W-OTS Merkle keys.
+class WotsScheme final : public SignatureScheme {
+ public:
+  WotsScheme(std::size_t n, std::uint64_t master_seed,
+             std::size_t height = 6);
+
+  std::size_t size() const override { return keys_.size(); }
+  Bytes sign(ProcId signer, ByteView data) override;
+  bool verify(ProcId signer, ByteView data,
+              ByteView signature) const override;
+
+  const Digest& public_root(ProcId p) const { return keys_[p].root(); }
+  std::size_t remaining(ProcId p) const { return keys_[p].remaining(); }
+
+ private:
+  static Digest message_digest(ProcId signer, ByteView data);
+
+  std::vector<WotsPrivateKey> keys_;
+};
+
+}  // namespace dr::crypto

@@ -1,0 +1,72 @@
+#include "hist/export.h"
+
+#include <set>
+#include <sstream>
+
+namespace dr::hist {
+
+LabelPrinter default_label_printer() {
+  return [](const Bytes& label) {
+    std::ostringstream out;
+    out << "<" << label.size() << " bytes>";
+    return out.str();
+  };
+}
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const History& history, const LabelPrinter& printer) {
+  std::ostringstream out;
+  out << "digraph history {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (PhaseNum k = 1; k <= history.phases(); ++k) {
+    out << "  subgraph cluster_phase" << k << " {\n"
+        << "    label=\"phase " << k << "\";\n";
+    // Declare the sender column of this phase.
+    std::set<ProcId> senders;
+    for (const Edge& e : history.phase(k).edges()) senders.insert(e.from);
+    for (ProcId p : senders) {
+      out << "    \"p" << p << "@" << k << "\" [label=\"p" << p << "\"];\n";
+    }
+    out << "  }\n";
+  }
+  for (PhaseNum k = 1; k <= history.phases(); ++k) {
+    for (const Edge& e : history.phase(k).edges()) {
+      out << "  \"p" << e.from << "@" << k << "\" -> \"p" << e.to << "@"
+          << (k + 1) << "\" [label=\"" << escape(printer(e.label))
+          << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_text(const History& history, const LabelPrinter& printer) {
+  std::ostringstream out;
+  if (history.initial_value().has_value()) {
+    out << "phase 0: -> p" << history.transmitter() << " (input)\n";
+  }
+  for (PhaseNum k = 1; k <= history.phases(); ++k) {
+    const auto& edges = history.phase(k).edges();
+    if (edges.empty()) continue;
+    out << "phase " << k << ":\n";
+    for (const Edge& e : edges) {
+      out << "  p" << e.from << " -> p" << e.to << "  "
+          << printer(e.label) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dr::hist

@@ -1,0 +1,30 @@
+// Rendering recorded histories for humans: Graphviz DOT (one cluster per
+// phase, edges annotated with decoded chain summaries) and a compact text
+// timeline. Debugging aid for protocol work and the lower-bound
+// experiments — a spliced history is much easier to reason about when you
+// can see it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "hist/history.h"
+
+namespace dr::hist {
+
+/// Summarises an edge label for display. The default prints "<k bytes>";
+/// ba::chain_label_printer() decodes signature chains ("v=1 sig[0,2]").
+using LabelPrinter = std::function<std::string(const Bytes&)>;
+
+LabelPrinter default_label_printer();
+
+/// Graphviz DOT: one subgraph per phase, nodes "p<id>@<phase>", edges
+/// between consecutive phase columns.
+std::string to_dot(const History& history,
+                   const LabelPrinter& printer = default_label_printer());
+
+/// Plain-text timeline: one line per edge, grouped by phase.
+std::string to_text(const History& history,
+                    const LabelPrinter& printer = default_label_printer());
+
+}  // namespace dr::hist

@@ -1,0 +1,112 @@
+#include "hist/history.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/contracts.h"
+
+namespace dr::hist {
+
+namespace {
+
+bool edge_less(const Edge& a, const Edge& b) {
+  return std::tie(a.from, a.to, a.label) < std::tie(b.from, b.to, b.label);
+}
+
+const PhaseGraph& empty_graph() {
+  static const PhaseGraph kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+void PhaseGraph::add(Edge edge) {
+  if (!edges_.empty() && edge_less(edge, edges_.back())) sorted_ = false;
+  edges_.push_back(std::move(edge));
+}
+
+void PhaseGraph::normalize() const {
+  if (sorted_) return;
+  std::sort(edges_.begin(), edges_.end(), edge_less);
+  sorted_ = true;
+}
+
+bool operator==(const PhaseGraph& a, const PhaseGraph& b) {
+  a.normalize();
+  b.normalize();
+  return a.edges_ == b.edges_;
+}
+
+std::vector<Edge> PhaseGraph::in_edges(ProcId p) const {
+  normalize();
+  std::vector<Edge> out;
+  for (const Edge& e : edges_) {
+    if (e.to == p) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), edge_less);
+  return out;
+}
+
+std::vector<Edge> PhaseGraph::out_edges(ProcId p) const {
+  std::vector<Edge> out;
+  for (const Edge& e : edges_) {
+    if (e.from == p) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), edge_less);
+  return out;
+}
+
+void History::set_initial(ProcId transmitter, Bytes value_label) {
+  transmitter_ = transmitter;
+  initial_value_ = std::move(value_label);
+}
+
+void History::record(PhaseNum k, Edge edge) {
+  DR_EXPECTS(k >= 1);
+  if (k > phase_graphs_.size()) phase_graphs_.resize(k);
+  phase_graphs_[k - 1].add(std::move(edge));
+}
+
+const PhaseGraph& History::phase(PhaseNum k) const {
+  DR_EXPECTS(k >= 1);
+  if (k > phase_graphs_.size()) return empty_graph();
+  return phase_graphs_[k - 1];
+}
+
+History History::individual(ProcId p) const {
+  History out;
+  if (p == transmitter_ && initial_value_.has_value()) {
+    out.set_initial(transmitter_, *initial_value_);
+  }
+  out.phase_graphs_.resize(phase_graphs_.size());
+  for (std::size_t k = 0; k < phase_graphs_.size(); ++k) {
+    for (Edge e : phase_graphs_[k].in_edges(p)) {
+      out.phase_graphs_[k].add(std::move(e));
+    }
+  }
+  return out;
+}
+
+History History::prefix(PhaseNum k) const {
+  History out;
+  out.transmitter_ = transmitter_;
+  out.initial_value_ = initial_value_;
+  const std::size_t keep = std::min<std::size_t>(k, phase_graphs_.size());
+  out.phase_graphs_.assign(phase_graphs_.begin(),
+                           phase_graphs_.begin() +
+                               static_cast<std::ptrdiff_t>(keep));
+  return out;
+}
+
+std::size_t History::count_edges(
+    const std::function<bool(const Edge&)>& pred) const {
+  std::size_t total = 0;
+  for (const PhaseGraph& g : phase_graphs_) {
+    for (const Edge& e : g.edges()) {
+      if (pred(e)) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace dr::hist

@@ -1,0 +1,92 @@
+// Executable version of the paper's Section-2 formal model.
+//
+// A *phase* is a directed graph over the processors; a label on edge (p, q)
+// is the information sent from p to q during that phase. A *history* is a
+// finite sequence of phases, preceded by the special phase 0 that carries
+// only the transmitter's input value. The *individual subhistory* pH of a
+// history H for processor p consists of only those edges with target p —
+// it is everything p ever observes, and the object the paper's
+// indistinguishability arguments compare.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace dr::hist {
+
+using ProcId = std::uint32_t;
+using PhaseNum = std::uint32_t;
+
+struct Edge {
+  ProcId from = 0;
+  ProcId to = 0;
+  Bytes label;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// One phase: the labelled digraph of messages sent during it. Edges are
+/// kept sorted by (from, to, label) so graph equality is set equality.
+class PhaseGraph {
+ public:
+  void add(Edge edge);
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edges with target `p`, in canonical order.
+  std::vector<Edge> in_edges(ProcId p) const;
+  /// Edges with source `p`, in canonical order.
+  std::vector<Edge> out_edges(ProcId p) const;
+
+  /// Set equality: insertion order does not matter.
+  friend bool operator==(const PhaseGraph& a, const PhaseGraph& b);
+
+ private:
+  mutable bool sorted_ = true;
+  mutable std::vector<Edge> edges_;
+  void normalize() const;
+};
+
+class History {
+ public:
+  History() = default;
+
+  /// Sets the phase-0 in-edge at the transmitter (its private value).
+  void set_initial(ProcId transmitter, Bytes value_label);
+  ProcId transmitter() const { return transmitter_; }
+  const std::optional<Bytes>& initial_value() const { return initial_value_; }
+
+  /// Records an edge in phase `k` (k >= 1). Phases may be recorded out of
+  /// order; missing phases are empty graphs.
+  void record(PhaseNum k, Edge edge);
+
+  /// Number of phases (excluding phase 0).
+  PhaseNum phases() const {
+    return static_cast<PhaseNum>(phase_graphs_.size());
+  }
+  const PhaseGraph& phase(PhaseNum k) const;
+
+  /// The individual subhistory pH: same length, only edges with target p.
+  /// Phase 0 survives only when p is the transmitter.
+  History individual(ProcId p) const;
+
+  /// The subhistory consisting of the first `k` phases.
+  History prefix(PhaseNum k) const;
+
+  /// Total number of edges whose source satisfies `pred` (used to count
+  /// messages sent by correct processors).
+  std::size_t count_edges(
+      const std::function<bool(const Edge&)>& pred) const;
+
+  friend bool operator==(const History&, const History&) = default;
+
+ private:
+  ProcId transmitter_ = 0;
+  std::optional<Bytes> initial_value_;
+  std::vector<PhaseGraph> phase_graphs_;  // phase_graphs_[k-1] is phase k
+};
+
+}  // namespace dr::hist

@@ -1,0 +1,25 @@
+// The wire unit of the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace dr::sim {
+
+using ProcId = std::uint32_t;
+using PhaseNum = std::uint32_t;
+using Value = std::uint64_t;
+
+/// A message in flight. `from` is set by the network, never by the sender:
+/// this implements the paper's assumption that "for each labeled edge,
+/// processor p knows the source of that edge" — no processor can claim to be
+/// somebody else at the transport level.
+struct Envelope {
+  ProcId from = 0;
+  ProcId to = 0;
+  PhaseNum sent_phase = 0;
+  Bytes payload;
+};
+
+}  // namespace dr::sim

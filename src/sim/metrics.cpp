@@ -1,0 +1,32 @@
+#include "sim/metrics.h"
+
+#include "util/contracts.h"
+
+namespace dr::sim {
+
+Metrics::Metrics(std::size_t n)
+    : sent_by_(n, 0), received_from_correct_(n, 0),
+      signatures_exchanged_(n, 0) {}
+
+void Metrics::on_send(ProcId from, ProcId to, PhaseNum phase,
+                      bool sender_correct, std::size_t signatures,
+                      std::size_t payload_bytes) {
+  DR_EXPECTS(from < sent_by_.size() && to < sent_by_.size());
+  ++messages_total_;
+  if (phase > last_active_phase_) last_active_phase_ = phase;
+  ++sent_by_[from];
+  if (!sender_correct) return;
+  ++messages_by_correct_;
+  bytes_by_correct_ += payload_bytes;
+  if (payload_bytes > max_payload_by_correct_) {
+    max_payload_by_correct_ = payload_bytes;
+  }
+  if (per_phase_.size() < phase) per_phase_.resize(phase, 0);
+  ++per_phase_[phase - 1];
+  signatures_by_correct_ += signatures;
+  ++received_from_correct_[to];
+  signatures_exchanged_[from] += signatures;
+  signatures_exchanged_[to] += signatures;
+}
+
+}  // namespace dr::sim

@@ -1,0 +1,36 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace dr::sim {
+
+Network::Network(std::size_t n, bool record_history)
+    : record_history_(record_history), inboxes_(n), in_flight_(n) {}
+
+void Network::submit(ProcId from, ProcId to, PhaseNum phase, Bytes payload,
+                     bool sender_correct, std::size_t signatures,
+                     Metrics& metrics) {
+  DR_EXPECTS(from < n() && to < n());
+  metrics.on_send(from, to, phase, sender_correct, signatures,
+                  payload.size());
+  if (record_history_) {
+    history_.record(phase, hist::Edge{from, to, payload});
+  }
+  in_flight_[to].push_back(Envelope{from, to, phase, std::move(payload)});
+}
+
+void Network::deliver_next_phase() {
+  for (std::size_t p = 0; p < inboxes_.size(); ++p) {
+    inboxes_[p] = std::move(in_flight_[p]);
+    in_flight_[p].clear();
+    // Deterministic delivery order: by sender, then submission order.
+    std::stable_sort(inboxes_[p].begin(), inboxes_[p].end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       return a.from < b.from;
+                     });
+  }
+}
+
+}  // namespace dr::sim

@@ -1,0 +1,43 @@
+// Synchronous, fully connected, reliable network with optional full history
+// recording. Messages sent in phase k are delivered at phase k+1; within a
+// phase, delivery order at each receiver is by sender id (deterministic).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hist/history.h"
+#include "sim/envelope.h"
+#include "sim/metrics.h"
+
+namespace dr::sim {
+
+class Network {
+ public:
+  Network(std::size_t n, bool record_history);
+
+  /// Accepts a message sent by `from` during `phase`.
+  void submit(ProcId from, ProcId to, PhaseNum phase, Bytes payload,
+              bool sender_correct, std::size_t signatures, Metrics& metrics);
+
+  /// Makes everything submitted since the last flip available for delivery
+  /// and clears the old inboxes. Call once per phase boundary.
+  void deliver_next_phase();
+
+  /// Inbox for processor `p` in the current phase.
+  const std::vector<Envelope>& inbox(ProcId p) const { return inboxes_[p]; }
+
+  const hist::History& history() const { return history_; }
+  hist::History& mutable_history() { return history_; }
+  bool recording() const { return record_history_; }
+
+  std::size_t n() const { return inboxes_.size(); }
+
+ private:
+  bool record_history_;
+  std::vector<std::vector<Envelope>> inboxes_;   // delivered this phase
+  std::vector<std::vector<Envelope>> in_flight_; // sent this phase
+  hist::History history_;
+};
+
+}  // namespace dr::sim

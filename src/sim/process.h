@@ -1,0 +1,92 @@
+// The process interface every protocol participant (correct or Byzantine)
+// implements, and the per-phase context through which it interacts with the
+// synchronous network.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "sim/envelope.h"
+
+namespace dr::sim {
+
+/// Per-phase view handed to a process. Messages sent during phase k are
+/// delivered at the beginning of phase k+1 — exactly the paper's model in
+/// which a processor entering phase k has only its individual subhistory of
+/// the first k-1 phases to work with.
+class Context {
+ public:
+  Context(ProcId self, PhaseNum phase, std::size_t n, std::size_t t,
+          const std::vector<Envelope>* inbox, const crypto::Signer* signer,
+          const crypto::Verifier* verifier);
+
+  ProcId self() const { return self_; }
+  PhaseNum phase() const { return phase_; }
+  std::size_t n() const { return n_; }
+  std::size_t t() const { return t_; }
+
+  /// Messages delivered this phase (sent in the previous phase).
+  const std::vector<Envelope>& inbox() const { return *inbox_; }
+
+  /// Queues `payload` for delivery to `to` at the next phase.
+  /// `signatures` is the number of signatures the payload carries; it feeds
+  /// the signature accounting of Theorem 1 and must be accurate for correct
+  /// processes (it is irrelevant for faulty senders — the paper only counts
+  /// information sent by correct processors).
+  void send(ProcId to, Bytes payload, std::size_t signatures = 0);
+
+  /// Signing capability of this process (a coalition Signer for faulty
+  /// processes) and the public verifier.
+  const crypto::Signer& signer() const { return *signer_; }
+  const crypto::Verifier& verifier() const { return *verifier_; }
+
+  struct Outgoing {
+    ProcId to;
+    Bytes payload;
+    std::size_t signatures;
+  };
+  /// Drained by the runner after on_phase returns.
+  std::vector<Outgoing>& outgoing() { return outgoing_; }
+
+ private:
+  ProcId self_;
+  PhaseNum phase_;
+  std::size_t n_;
+  std::size_t t_;
+  const std::vector<Envelope>* inbox_;
+  const crypto::Signer* signer_;
+  const crypto::Verifier* verifier_;
+  std::vector<Outgoing> outgoing_;
+};
+
+/// A participant. One instance per processor per run. The runner calls
+/// on_phase once per phase, in increasing phase order, then reads the
+/// decision. Implementations must be deterministic functions of the inbox
+/// sequence (plus construction parameters); Byzantine implementations may
+/// additionally read/write their coalition's shared state.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual void on_phase(Context& ctx) = 0;
+
+  /// The decided value, if any. The runner queries this after the final
+  /// phase. The paper's decision function F_p; nullopt models a non-singleton
+  /// decision set (no decision).
+  virtual std::optional<Value> decision() const = 0;
+};
+
+inline Context::Context(ProcId self, PhaseNum phase, std::size_t n,
+                        std::size_t t, const std::vector<Envelope>* inbox,
+                        const crypto::Signer* signer,
+                        const crypto::Verifier* verifier)
+    : self_(self), phase_(phase), n_(n), t_(t), inbox_(inbox),
+      signer_(signer), verifier_(verifier) {}
+
+inline void Context::send(ProcId to, Bytes payload, std::size_t signatures) {
+  outgoing_.push_back(Outgoing{to, std::move(payload), signatures});
+}
+
+}  // namespace dr::sim

@@ -1,0 +1,226 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "codec/codec.h"
+#include "util/contracts.h"
+
+namespace dr::sim {
+
+AgreementCheck check_byzantine_agreement(const RunResult& result,
+                                         ProcId transmitter, Value sent) {
+  AgreementCheck check;
+  check.agreement = true;
+  bool first = true;
+  for (std::size_t p = 0; p < result.decisions.size(); ++p) {
+    if (result.faulty[p]) continue;
+    const auto& d = result.decisions[p];
+    if (!d.has_value()) {
+      check.agreement = false;
+      continue;
+    }
+    if (first) {
+      check.agreed_value = d;
+      first = false;
+    } else if (check.agreed_value != d) {
+      check.agreement = false;
+    }
+  }
+  if (first) check.agreement = false;  // nobody decided
+
+  const bool transmitter_correct = !result.faulty[transmitter];
+  if (!transmitter_correct) {
+    check.validity = true;  // condition (ii) is vacuous
+  } else {
+    check.validity =
+        check.agreement && check.agreed_value.has_value() &&
+        *check.agreed_value == sent;
+  }
+  return check;
+}
+
+namespace {
+
+std::unique_ptr<crypto::SignatureScheme> make_scheme(const RunConfig& c) {
+  switch (c.scheme) {
+    case SchemeKind::kMerkle:
+      return std::make_unique<crypto::MerkleScheme>(c.n, c.seed,
+                                                    c.merkle_height);
+    case SchemeKind::kWots:
+      return std::make_unique<crypto::WotsScheme>(c.n, c.seed,
+                                                  c.merkle_height);
+    case SchemeKind::kHmac:
+      break;
+  }
+  return std::make_unique<crypto::KeyRegistry>(c.n, c.seed);
+}
+
+}  // namespace
+
+Runner::Runner(const RunConfig& config)
+    : config_(config),
+      scheme_(make_scheme(config)),
+      verifier_(scheme_.get()),
+      faulty_(config.n, false),
+      processes_(config.n) {
+  DR_EXPECTS(config.n >= 1);
+  DR_EXPECTS(config.transmitter < config.n);
+}
+
+void Runner::mark_faulty(ProcId p) {
+  DR_EXPECTS(p < config_.n);
+  DR_EXPECTS(!signers_built_);
+  faulty_[p] = true;
+}
+
+std::size_t Runner::faulty_count() const {
+  return static_cast<std::size_t>(
+      std::count(faulty_.begin(), faulty_.end(), true));
+}
+
+void Runner::build_signers() {
+  if (signers_built_) return;
+  signers_built_ = true;
+  own_signers_.resize(config_.n);
+  std::vector<crypto::ProcId> coalition;
+  for (ProcId p = 0; p < config_.n; ++p) {
+    if (faulty_[p]) {
+      coalition.push_back(p);
+    } else {
+      own_signers_[p] =
+          std::make_unique<crypto::Signer>(scheme_.get(), std::vector{p});
+    }
+  }
+  coalition_signer_ =
+      std::make_unique<crypto::Signer>(scheme_.get(), std::move(coalition));
+}
+
+const crypto::Signer& Runner::signer_for(ProcId p) {
+  DR_EXPECTS(p < config_.n);
+  build_signers();
+  if (faulty_[p]) return *coalition_signer_;
+  return *own_signers_[p];
+}
+
+void Runner::install(ProcId p, std::unique_ptr<Process> process) {
+  DR_EXPECTS(p < config_.n);
+  DR_EXPECTS(process != nullptr);
+  processes_[p] = std::move(process);
+}
+
+RunResult Runner::run(PhaseNum phases) {
+  for (ProcId p = 0; p < config_.n; ++p) {
+    DR_EXPECTS(processes_[p] != nullptr);
+  }
+  build_signers();
+
+  Network network(config_.n, config_.record_history);
+  Metrics metrics(config_.n);
+  if (config_.record_history) {
+    network.mutable_history().set_initial(config_.transmitter,
+                                          encode_u64(config_.value));
+  }
+
+  const bool parallel = config_.threads > 1 && !config_.rushing &&
+                        config_.scheme == SchemeKind::kHmac;
+
+  for (PhaseNum phase = 1; phase <= phases; ++phase) {
+    network.deliver_next_phase();
+    if (!config_.rushing) {
+      if (!parallel) {
+        for (ProcId p = 0; p < config_.n; ++p) {
+          Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
+                      &signer_for(p), &verifier_);
+          processes_[p]->on_phase(ctx);
+          for (auto& out : ctx.outgoing()) {
+            network.submit(p, out.to, phase, std::move(out.payload),
+                           !faulty_[p], out.signatures, metrics);
+          }
+        }
+        continue;
+      }
+      // Parallel stepping: processes are pure functions of their inbox
+      // within a phase, so chunks can run concurrently; committing the
+      // sends serially in processor order keeps runs bit-identical.
+      std::vector<std::vector<Context::Outgoing>> pending(config_.n);
+      const std::size_t workers =
+          std::min<std::size_t>(config_.threads, config_.n);
+      const std::size_t chunk = (config_.n + workers - 1) / workers;
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        const ProcId begin = static_cast<ProcId>(w * chunk);
+        const ProcId end = static_cast<ProcId>(
+            std::min<std::size_t>(config_.n, (w + 1) * chunk));
+        if (begin >= end) break;
+        pool.emplace_back([this, phase, begin, end, &network, &pending] {
+          for (ProcId p = begin; p < end; ++p) {
+            Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
+                        &signer_for(p), &verifier_);
+            processes_[p]->on_phase(ctx);
+            pending[p] = std::move(ctx.outgoing());
+          }
+        });
+      }
+      for (std::thread& worker : pool) worker.join();
+      for (ProcId p = 0; p < config_.n; ++p) {
+        for (auto& out : pending[p]) {
+          network.submit(p, out.to, phase, std::move(out.payload),
+                         !faulty_[p], out.signatures, metrics);
+        }
+      }
+      continue;
+    }
+
+    // Rushing: correct processors move first; faulty ones additionally see
+    // this phase's correct traffic addressed to them before sending.
+    std::vector<std::vector<Context::Outgoing>> pending(config_.n);
+    std::vector<std::vector<Envelope>> rushed(config_.n);
+    for (ProcId p = 0; p < config_.n; ++p) {
+      if (faulty_[p]) continue;
+      Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
+                  &signer_for(p), &verifier_);
+      processes_[p]->on_phase(ctx);
+      for (const auto& out : ctx.outgoing()) {
+        if (faulty_[out.to]) {
+          rushed[out.to].push_back(Envelope{p, out.to, phase, out.payload});
+        }
+      }
+      pending[p] = std::move(ctx.outgoing());
+    }
+    for (ProcId p = 0; p < config_.n; ++p) {
+      if (!faulty_[p]) continue;
+      std::vector<Envelope> augmented = network.inbox(p);
+      augmented.insert(augmented.end(),
+                       std::make_move_iterator(rushed[p].begin()),
+                       std::make_move_iterator(rushed[p].end()));
+      Context ctx(p, phase, config_.n, config_.t, &augmented,
+                  &signer_for(p), &verifier_);
+      processes_[p]->on_phase(ctx);
+      for (auto& out : ctx.outgoing()) {
+        network.submit(p, out.to, phase, std::move(out.payload),
+                       /*sender_correct=*/false, out.signatures, metrics);
+      }
+    }
+    for (ProcId p = 0; p < config_.n; ++p) {
+      for (auto& out : pending[p]) {
+        network.submit(p, out.to, phase, std::move(out.payload),
+                       /*sender_correct=*/true, out.signatures, metrics);
+      }
+    }
+  }
+
+  RunResult result{.decisions = {},
+                   .faulty = faulty_,
+                   .metrics = std::move(metrics),
+                   .history = network.history(),
+                   .phases_run = phases};
+  result.decisions.reserve(config_.n);
+  for (ProcId p = 0; p < config_.n; ++p) {
+    result.decisions.push_back(processes_[p]->decision());
+  }
+  return result;
+}
+
+}  // namespace dr::sim

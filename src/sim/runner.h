@@ -1,0 +1,108 @@
+// Orchestrates one synchronous execution: constructs the key registry,
+// hands out signing capabilities (pooled for the faulty coalition), steps the
+// processes phase by phase, and collects metrics, decisions and (optionally)
+// the full history.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/key_registry.h"
+#include "crypto/merkle.h"
+#include "crypto/scheme.h"
+#include "crypto/wots.h"
+#include "crypto/signature.h"
+#include "hist/history.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/process.h"
+
+namespace dr::sim {
+
+/// Which signature scheme backs the run. kHmac is the fast PKI model;
+/// kMerkle is the genuine hash-based public-key scheme (small n only, and
+/// each processor can produce at most 2^merkle_height signatures).
+enum class SchemeKind { kHmac, kMerkle, kWots };
+
+struct RunConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  ProcId transmitter = 0;
+  Value value = 0;            // the transmitter's phase-0 input
+  std::uint64_t seed = 1;     // master seed (keys, randomized adversaries)
+  bool record_history = false;
+  SchemeKind scheme = SchemeKind::kHmac;
+  std::size_t merkle_height = 6;
+  /// Rushing adversary: within each phase, faulty processors observe the
+  /// messages correct processors send *in that phase* (to them) before
+  /// choosing their own. The paper's lower-bound constructions don't need
+  /// this extra power, but the algorithms must tolerate it — in a
+  /// synchronous round nothing guarantees the adversary speaks first.
+  bool rushing = false;
+  /// Worker threads for stepping processes within a phase. Results are
+  /// bit-identical to the serial run: processes are independent inside a
+  /// phase and sends are committed in processor order afterwards. Only the
+  /// HMAC scheme is thread-safe to sign with; other schemes (and rushing
+  /// mode, whose two passes are cheap anyway) fall back to serial.
+  std::size_t threads = 1;
+};
+
+struct RunResult {
+  std::vector<std::optional<Value>> decisions;  // indexed by processor
+  std::vector<bool> faulty;
+  Metrics metrics;
+  hist::History history;  // empty unless record_history was set
+  PhaseNum phases_run = 0;
+};
+
+/// Agreement verdict per the paper's two conditions.
+struct AgreementCheck {
+  bool agreement = false;  // (i) all correct processors decided identically
+  bool validity = false;   // (ii) if the transmitter is correct, on its value
+  std::optional<Value> agreed_value;
+};
+
+AgreementCheck check_byzantine_agreement(const RunResult& result,
+                                         ProcId transmitter, Value sent);
+
+class Runner {
+ public:
+  explicit Runner(const RunConfig& config);
+
+  const RunConfig& config() const { return config_; }
+  const crypto::SignatureScheme& scheme() const { return *scheme_; }
+  const crypto::Verifier& verifier() const { return verifier_; }
+
+  /// Marks `p` faulty. All faulty processors share one coalition Signer
+  /// (the paper allows faulty processors to collude and pool signatures).
+  /// Must be called before install()/run().
+  void mark_faulty(ProcId p);
+  bool is_faulty(ProcId p) const { return faulty_[p]; }
+  const std::vector<bool>& faulty() const { return faulty_; }
+  std::size_t faulty_count() const;
+
+  /// Signer for processor `p`: its own key, or the coalition signer if
+  /// faulty. Valid for the lifetime of the Runner.
+  const crypto::Signer& signer_for(ProcId p);
+
+  /// Installs the process implementation for `p`.
+  void install(ProcId p, std::unique_ptr<Process> process);
+
+  /// Runs phases 1..`phases` and returns decisions + accounting.
+  RunResult run(PhaseNum phases);
+
+ private:
+  void build_signers();
+
+  RunConfig config_;
+  std::unique_ptr<crypto::SignatureScheme> scheme_;
+  crypto::Verifier verifier_;
+  std::vector<bool> faulty_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<crypto::Signer>> own_signers_;
+  std::unique_ptr<crypto::Signer> coalition_signer_;
+  bool signers_built_ = false;
+};
+
+}  // namespace dr::sim

@@ -1,0 +1,80 @@
+#include "util/bytes.h"
+
+#include <cstring>
+
+namespace dr {
+
+void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void append(Bytes& dst, std::string_view src) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(src.data());
+  dst.insert(dst.end(), p, p + src.size());
+}
+
+Bytes concat(ByteView a, ByteView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  append(out, a);
+  append(out, b);
+  return out;
+}
+
+std::string to_hex(ByteView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Bytes from_hex(std::string_view hex, bool& ok) {
+  ok = false;
+  if (hex.size() % 2 != 0) return {};
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  ok = true;
+  return out;
+}
+
+bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+ByteView as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+Bytes to_bytes(std::string_view s) {
+  Bytes out;
+  append(out, s);
+  return out;
+}
+
+}  // namespace dr

@@ -1,0 +1,41 @@
+// Byte-buffer helpers shared by the codec and crypto layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dr {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+/// Appends the raw bytes of a string literal/view (no terminator).
+void append(Bytes& dst, std::string_view src);
+
+/// Returns `a || b`.
+Bytes concat(ByteView a, ByteView b);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string to_hex(ByteView data);
+
+/// Inverse of to_hex. Returns empty vector for odd-length or non-hex input
+/// together with `ok=false`.
+Bytes from_hex(std::string_view hex, bool& ok);
+
+/// Constant-time equality; length mismatch returns false (in constant time
+/// with respect to the contents, not the lengths).
+bool ct_equal(ByteView a, ByteView b);
+
+/// View over a string's bytes.
+ByteView as_bytes(std::string_view s);
+
+/// Bytes from a string.
+Bytes to_bytes(std::string_view s);
+
+}  // namespace dr

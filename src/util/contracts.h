@@ -1,0 +1,38 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations are programming errors, not
+// recoverable conditions, so they terminate after printing a diagnostic.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dr::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace dr::detail
+
+#define DR_EXPECTS(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::dr::detail::contract_failure("Precondition", #cond, __FILE__,     \
+                                     __LINE__);                           \
+  } while (0)
+
+#define DR_ENSURES(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::dr::detail::contract_failure("Postcondition", #cond, __FILE__,    \
+                                     __LINE__);                           \
+  } while (0)
+
+#define DR_ASSERT(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::dr::detail::contract_failure("Invariant", #cond, __FILE__,        \
+                                     __LINE__);                           \
+  } while (0)

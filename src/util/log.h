@@ -1,0 +1,24 @@
+// Minimal leveled logger. The simulator is deterministic and single-threaded,
+// so this is intentionally simple: a global level and printf-style sinks.
+#pragma once
+
+#include <cstdarg>
+
+namespace dr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log level. Messages below the level are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Appends a newline.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define DR_LOG_DEBUG(...) ::dr::logf(::dr::LogLevel::kDebug, __VA_ARGS__)
+#define DR_LOG_INFO(...) ::dr::logf(::dr::LogLevel::kInfo, __VA_ARGS__)
+#define DR_LOG_WARN(...) ::dr::logf(::dr::LogLevel::kWarn, __VA_ARGS__)
+#define DR_LOG_ERROR(...) ::dr::logf(::dr::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dr

@@ -1,0 +1,81 @@
+#include "util/rng.h"
+
+#include "util/contracts.h"
+
+namespace dr {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  DR_EXPECTS(bound > 0);
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  while (true) {
+    const std::uint64_t x = next();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const auto lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::uint64_t Xoshiro256::range(std::uint64_t lo, std::uint64_t hi) {
+  DR_EXPECTS(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return next();
+  return lo + below(span + 1);
+}
+
+bool Xoshiro256::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // 53-bit mantissa comparison keeps the draw exactly representable.
+  const double draw =
+      static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  return draw < p;
+}
+
+Bytes Xoshiro256::bytes(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::uint64_t x = next();
+    for (int i = 0; i < 8 && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(x & 0xff));
+      x >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace dr

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random generators for reproducible simulations.
+//
+// SplitMix64 seeds Xoshiro256**; both follow the published reference
+// algorithms (Blackman & Vigna). Satisfies std::uniform_random_bit_generator
+// so it plugs into <random> distributions, but the helpers below are the
+// intended interface: they are stable across standard-library versions,
+// which <random> distributions are not.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/bytes.h"
+
+namespace dr {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses Lemire rejection.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// `n` random bytes.
+  Bytes bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dr

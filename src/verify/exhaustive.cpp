@@ -1,0 +1,180 @@
+#include "verify/exhaustive.h"
+
+#include <algorithm>
+
+#include "ba/signed_value.h"
+#include "util/contracts.h"
+
+namespace dr::verify {
+
+namespace {
+
+using ba::BAConfig;
+using ba::ProcId;
+using ba::SignedValue;
+using sim::PhaseNum;
+
+/// Shared between the enumerator and the adversary instance of one run:
+/// the script of choices, consumed left to right, and the arity observed at
+/// each decision point (needed to increment the script afterwards).
+struct ScriptState {
+  std::vector<std::uint32_t> script;
+  std::vector<std::uint32_t> arity;
+  std::size_t cursor = 0;
+
+  /// Returns the chosen index at the current decision point with
+  /// `options` alternatives, extending the script with 0 when exploring a
+  /// fresh branch.
+  std::uint32_t decide(std::uint32_t options) {
+    DR_EXPECTS(options >= 1);
+    if (cursor == script.size()) script.push_back(0);
+    if (cursor == arity.size()) {
+      arity.push_back(options);
+    } else {
+      arity[cursor] = options;
+    }
+    const std::uint32_t choice = script[cursor];
+    ++cursor;
+    DR_ASSERT(choice < options);
+    return choice;
+  }
+
+  /// Mixed-radix increment over the consumed prefix. Returns false when the
+  /// whole space is exhausted.
+  bool advance() {
+    script.resize(cursor);
+    arity.resize(cursor);
+    while (!script.empty()) {
+      if (script.back() + 1 < arity.back()) {
+        ++script.back();
+        return true;
+      }
+      script.pop_back();
+      arity.pop_back();
+    }
+    return false;
+  }
+
+  void rewind() { cursor = 0; }
+};
+
+/// The enumerated Byzantine processor. Option pool per decision point:
+///   0: send nothing
+///   1: fresh self-signed value 0
+///   2: fresh self-signed value 1
+///   3 + 2k:     replay observed payload k
+///   3 + 2k + 1: observed payload k, chain-extended by our signature
+class ScriptedAdversary final : public sim::Process {
+ public:
+  ScriptedAdversary(ScriptState* state, const ExhaustiveOptions& options,
+                    PhaseNum last_send_phase)
+      : state_(state), options_(options),
+        last_send_phase_(last_send_phase) {}
+
+  void on_phase(sim::Context& ctx) override {
+    for (const sim::Envelope& env : ctx.inbox()) {
+      if (observed_.size() >= options_.max_pool) break;
+      if (std::find(observed_.begin(), observed_.end(), env.payload) ==
+          observed_.end()) {
+        observed_.push_back(env.payload);
+      }
+    }
+    if (ctx.phase() > last_send_phase_) return;
+
+    const auto option_count =
+        static_cast<std::uint32_t>(3 + 2 * observed_.size());
+    for (ProcId q = 0; q < ctx.n(); ++q) {
+      if (q == ctx.self()) continue;
+      const std::uint32_t choice = state_->decide(option_count);
+      if (choice == 0) continue;
+      if (choice == 1 || choice == 2) {
+        const SignedValue sv =
+            ba::make_signed(choice == 1 ? 0 : 1, ctx.signer(), ctx.self());
+        ctx.send(q, encode(sv), 0);
+        continue;
+      }
+      const std::size_t k = (choice - 3) / 2;
+      const bool extend_it = (choice - 3) % 2 == 1;
+      if (!extend_it) {
+        ctx.send(q, observed_[k], 0);
+        continue;
+      }
+      const auto sv = ba::decode_signed_value(observed_[k]);
+      if (!sv.has_value()) {
+        // Not a chain: extension degenerates to a replay.
+        ctx.send(q, observed_[k], 0);
+        continue;
+      }
+      const SignedValue ext = ba::extend(*sv, ctx.signer(), ctx.self());
+      ctx.send(q, encode(ext), 0);
+    }
+  }
+
+  std::optional<ba::Value> decision() const override { return std::nullopt; }
+
+ private:
+  ScriptState* state_;
+  const ExhaustiveOptions& options_;
+  PhaseNum last_send_phase_;
+  std::vector<Bytes> observed_;
+};
+
+}  // namespace
+
+ExhaustiveResult exhaust(const ba::Protocol& protocol,
+                         const ba::BAConfig& config, ba::ProcId faulty_id,
+                         const ExhaustiveOptions& options) {
+  DR_EXPECTS(protocol.supports(config));
+  DR_EXPECTS(config.t >= 1);
+  DR_EXPECTS(faulty_id < config.n);
+
+  const PhaseNum steps = protocol.steps(config);
+  const PhaseNum last_send = options.last_send_phase != 0
+                                 ? options.last_send_phase
+                                 : (steps > 1 ? steps - 1 : steps);
+
+  ExhaustiveResult result;
+  ScriptState state;
+  while (true) {
+    state.rewind();
+    sim::Runner runner(sim::RunConfig{.n = config.n,
+                                      .t = config.t,
+                                      .transmitter = config.transmitter,
+                                      .value = config.value,
+                                      .seed = 1,
+                                      .rushing = options.rushing});
+    runner.mark_faulty(faulty_id);
+    for (ProcId p = 0; p < config.n; ++p) {
+      if (p == faulty_id) {
+        runner.install(p, std::make_unique<ScriptedAdversary>(
+                              &state, options, last_send));
+      } else {
+        runner.install(p, protocol.make(p, config));
+      }
+    }
+    const auto run = runner.run(steps);
+    ++result.executions;
+
+    const auto check = sim::check_byzantine_agreement(
+        run, config.transmitter, config.value);
+    const bool ok = check.agreement &&
+                    (faulty_id == config.transmitter || check.validity);
+    if (!ok) {
+      ++result.violations;
+      if (result.first_violation.empty()) {
+        result.first_violation = state.script;
+        if (result.first_violation.empty()) {
+          result.first_violation.push_back(0);  // mark "empty script" runs
+        }
+      }
+    }
+
+    if (result.executions >= options.max_runs) {
+      result.truncated = true;
+      return result;
+    }
+    if (!state.advance()) return result;
+  }
+}
+
+}  // namespace dr::verify

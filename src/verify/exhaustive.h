@@ -1,0 +1,60 @@
+// Exhaustive small-model checking of Byzantine Agreement protocols.
+//
+// Sampled adversaries (fuzzers, scripted attacks) can miss corner cases;
+// for tiny configurations we can do better and enumerate EVERY strategy of
+// a single Byzantine processor, up to the following sound abstraction:
+//
+//   Unforgeability closes the adversary's useful message space. Whatever a
+//   faulty processor sends is either (a) nothing, (b) a fresh chain it can
+//   sign itself (value 0 or 1 under its own signature), (c) a replay of a
+//   payload it has observed, or (d) an observed chain extended by its own
+//   signature. Arbitrary other byte strings are rejected uniformly by every
+//   decoder (they carry no verifiable signature), so they are behaviourally
+//   equivalent to (a) — the protocols never branch on undecodable content.
+//
+// Under that abstraction the faulty processor's strategy is a finite tree:
+// at each phase, for each receiver, pick one option from the pool derived
+// from its observations so far. exhaust() walks the whole tree (mixed-radix
+// backtracking over a script of choices, re-simulating per leaf) and checks
+// the Byzantine Agreement conditions in every single execution.
+//
+// This is how the repository "proves" (model-checks) e.g. Algorithm 1 at
+// n = 3, t = 1 against every adversary, not just the ones we thought of.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ba/registry.h"
+
+namespace dr::verify {
+
+struct ExhaustiveResult {
+  std::size_t executions = 0;
+  std::size_t violations = 0;      // runs violating agreement or validity
+  bool truncated = false;          // hit max_runs before finishing
+  /// The choice script of the first violating execution (for replay).
+  std::vector<std::uint32_t> first_violation;
+};
+
+struct ExhaustiveOptions {
+  /// Stop after this many executions (safety valve; `truncated` reports it).
+  std::size_t max_runs = 5'000'000;
+  /// Cap on distinct observed payloads fed into the option pool.
+  std::size_t max_pool = 12;
+  /// Faulty senders stop making choices after this phase (sends in the last
+  /// simulator step are never delivered anyway). 0 = steps(config) - 1.
+  sim::PhaseNum last_send_phase = 0;
+  /// Enumerate under rushing semantics (the adversary observes the current
+  /// phase's correct traffic before choosing — larger option pools).
+  bool rushing = false;
+};
+
+/// Exhaustively checks `protocol` at `config` with exactly one faulty
+/// processor `faulty_id`. Validity is asserted when faulty_id is not the
+/// transmitter; agreement always.
+ExhaustiveResult exhaust(const ba::Protocol& protocol,
+                         const ba::BAConfig& config, ba::ProcId faulty_id,
+                         const ExhaustiveOptions& options = {});
+
+}  // namespace dr::verify

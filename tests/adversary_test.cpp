@@ -1,0 +1,182 @@
+#include "adversary/strategies.h"
+
+#include "adversary/coalition.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+#include "util/bytes.h"
+
+namespace dr::adversary {
+namespace {
+
+using sim::Context;
+using sim::Envelope;
+using sim::Process;
+using sim::RunConfig;
+using sim::Runner;
+
+/// Broadcasts "hello <phase>" every phase and records everything received.
+class ChattyProcess final : public Process {
+ public:
+  void on_phase(Context& ctx) override {
+    for (const Envelope& env : ctx.inbox()) received_.push_back(env);
+    for (sim::ProcId q = 0; q < ctx.n(); ++q) {
+      if (q != ctx.self()) {
+        Writer w;
+        w.u64(ctx.phase());
+        ctx.send(q, std::move(w).take(), 0);
+      }
+    }
+  }
+  std::optional<sim::Value> decision() const override { return std::nullopt; }
+  const std::vector<Envelope>& received() const { return received_; }
+
+ private:
+  std::vector<Envelope> received_;
+};
+
+TEST(Coalition, MembershipLookup) {
+  Coalition coalition;
+  coalition.members = {2, 5, 9};
+  EXPECT_TRUE(coalition.contains(5));
+  EXPECT_FALSE(coalition.contains(3));
+  coalition.notes["plan"] = to_bytes("equivocate");
+  EXPECT_EQ(coalition.notes.at("plan"), to_bytes("equivocate"));
+}
+
+TEST(Silent, SendsNothing) {
+  Runner runner(RunConfig{.n = 2, .t = 1});
+  runner.mark_faulty(1);
+  runner.install(0, std::make_unique<ChattyProcess>());
+  runner.install(1, std::make_unique<SilentProcess>());
+  const auto result = runner.run(3);
+  EXPECT_EQ(result.metrics.sent_by(1), 0u);
+  EXPECT_GT(result.metrics.sent_by(0), 0u);
+}
+
+TEST(Crash, StopsAtCrashPhase) {
+  Runner runner(RunConfig{.n = 2, .t = 1});
+  runner.mark_faulty(0);
+  runner.install(0, std::make_unique<CrashProcess>(
+                        std::make_unique<ChattyProcess>(), 3));
+  runner.install(1, std::make_unique<ChattyProcess>());
+  const auto result = runner.run(5);
+  // Phases 1 and 2 only.
+  EXPECT_EQ(result.metrics.sent_by(0), 2u);
+  EXPECT_EQ(result.metrics.sent_by(1), 5u);
+}
+
+TEST(IgnoreFirstK, DropsExactlyKFromOutsidePeers) {
+  auto inner = std::make_unique<ChattyProcess>();
+  auto* inner_raw = inner.get();
+  Runner runner(RunConfig{.n = 3, .t = 1});
+  runner.mark_faulty(2);
+  runner.install(0, std::make_unique<ChattyProcess>());
+  runner.install(1, std::make_unique<ChattyProcess>());
+  runner.install(2, std::make_unique<IgnoreFirstK>(std::move(inner), 3,
+                                                   std::set<sim::ProcId>{}));
+  runner.run(4);
+  // Processor 2 receives 2 messages per phase from phases 2..4 = 6 total;
+  // the first 3 must have been hidden from the inner process.
+  EXPECT_EQ(inner_raw->received().size(), 3u);
+}
+
+TEST(IgnoreFirstK, PeersAreNeverIgnoredAndNeverContacted) {
+  auto inner = std::make_unique<ChattyProcess>();
+  auto* inner_raw = inner.get();
+  Runner runner(RunConfig{.n = 3, .t = 1});
+  runner.mark_faulty(2);
+  runner.install(0, std::make_unique<ChattyProcess>());
+  runner.install(1, std::make_unique<ChattyProcess>());
+  // Peer set {0}: messages from 0 pass through; 2 never sends to 0.
+  runner.install(2, std::make_unique<IgnoreFirstK>(
+                        std::move(inner), 100, std::set<sim::ProcId>{0}));
+  const auto result = runner.run(3);
+  std::size_t from_zero = 0;
+  for (const Envelope& env : inner_raw->received()) {
+    if (env.from == 0) ++from_zero;
+  }
+  EXPECT_EQ(from_zero, 2u);  // phases 2 and 3
+  EXPECT_EQ(inner_raw->received().size(), 2u);  // everything from 1 ignored
+  // All of 2's sends went to 1 only.
+  EXPECT_EQ(result.metrics.sent_by(2), 3u);
+  EXPECT_EQ(result.metrics.received_from_correct(0), 3u);  // only from 1
+}
+
+TEST(Equivocator, SendsZeroAndOneByTarget) {
+  Runner runner(RunConfig{.n = 3, .t = 1, .transmitter = 0, .value = 0,
+                          .record_history = true});
+  runner.mark_faulty(0);
+  runner.install(0, std::make_unique<EquivocatingTransmitter>(
+                        std::set<sim::ProcId>{1}, 3));
+  runner.install(1, std::make_unique<ChattyProcess>());
+  runner.install(2, std::make_unique<ChattyProcess>());
+  const auto result = runner.run(1);
+  const auto edges = result.history.phase(1).out_edges(0);
+  ASSERT_EQ(edges.size(), 2u);
+  const auto sv1 = ba::decode_signed_value(
+      edges[0].to == 1 ? edges[0].label : edges[1].label);
+  const auto sv2 = ba::decode_signed_value(
+      edges[0].to == 2 ? edges[0].label : edges[1].label);
+  ASSERT_TRUE(sv1.has_value());
+  ASSERT_TRUE(sv2.has_value());
+  EXPECT_EQ(sv1->value, 1u);
+  EXPECT_EQ(sv2->value, 0u);
+}
+
+TEST(TwoFacedReplay, RoutesByReceiver) {
+  TwoFacedReplay::Trace to_special;
+  to_special[1].emplace_back(1, to_bytes("H"));
+  to_special[1].emplace_back(2, to_bytes("H2"));  // filtered: 2 not special
+  TwoFacedReplay::Trace to_rest;
+  to_rest[1].emplace_back(1, to_bytes("G"));  // filtered: 1 is special
+  to_rest[2].emplace_back(2, to_bytes("G2"));
+
+  Runner runner(RunConfig{.n = 3, .t = 1, .record_history = true});
+  runner.mark_faulty(0);
+  runner.install(0, std::make_unique<TwoFacedReplay>(
+                        to_special, std::set<sim::ProcId>{1}, to_rest));
+  runner.install(1, std::make_unique<SilentProcess>());
+  runner.install(2, std::make_unique<SilentProcess>());
+  const auto result = runner.run(2);
+  const auto p1 = result.history.phase(1).out_edges(0);
+  ASSERT_EQ(p1.size(), 1u);
+  EXPECT_EQ(p1[0].to, 1u);
+  EXPECT_EQ(p1[0].label, to_bytes("H"));
+  const auto p2 = result.history.phase(2).out_edges(0);
+  ASSERT_EQ(p2.size(), 1u);
+  EXPECT_EQ(p2[0].to, 2u);
+  EXPECT_EQ(p2[0].label, to_bytes("G2"));
+}
+
+TEST(TraceOf, ExtractsPerSenderSends) {
+  hist::History h;
+  h.record(1, hist::Edge{0, 1, to_bytes("a")});
+  h.record(1, hist::Edge{2, 1, to_bytes("other")});
+  h.record(3, hist::Edge{0, 2, to_bytes("b")});
+  const auto trace = trace_of(h, 0);
+  ASSERT_EQ(trace.size(), 2u);
+  ASSERT_EQ(trace.at(1).size(), 1u);
+  EXPECT_EQ(trace.at(1)[0].first, 1u);
+  EXPECT_EQ(trace.at(1)[0].second, to_bytes("a"));
+  ASSERT_EQ(trace.at(3).size(), 1u);
+  EXPECT_EQ(trace.at(3)[0].first, 2u);
+}
+
+TEST(RandomByzantine, IsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Runner runner(RunConfig{.n = 3, .t = 1, .seed = 7,
+                            .record_history = true});
+    runner.mark_faulty(0);
+    runner.install(0, std::make_unique<RandomByzantine>(seed, 0.8));
+    runner.install(1, std::make_unique<ChattyProcess>());
+    runner.install(2, std::make_unique<ChattyProcess>());
+    return runner.run(5).history;
+  };
+  EXPECT_EQ(run_once(1), run_once(1));
+  EXPECT_FALSE(run_once(1) == run_once(2));
+}
+
+}  // namespace
+}  // namespace dr::adversary

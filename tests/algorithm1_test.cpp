@@ -1,0 +1,321 @@
+#include "ba/algorithm1.h"
+
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "crypto/key_registry.h"
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::equivocator;
+using test::expect_agreement;
+using test::silent;
+
+TEST(SideOf, PartitionsCorrectly) {
+  const std::size_t t = 3;  // n = 7: A = 1..3, B = 4..6
+  EXPECT_EQ(side_of(0, t), Side::kTransmitter);
+  EXPECT_EQ(side_of(1, t), Side::kA);
+  EXPECT_EQ(side_of(3, t), Side::kA);
+  EXPECT_EQ(side_of(4, t), Side::kB);
+  EXPECT_EQ(side_of(6, t), Side::kB);
+}
+
+class OneMessageTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kT = 2;  // n = 5; A = {1,2}, B = {3,4}
+  crypto::KeyRegistry registry_{5, 1};
+  crypto::Verifier verifier_{&registry_};
+
+  SignedValue chain(Value v, std::initializer_list<ProcId> signers) {
+    SignedValue sv{v, {}};
+    for (ProcId id : signers) {
+      crypto::Signer s(&registry_, {id});
+      sv = extend(sv, s, id);
+    }
+    return sv;
+  }
+};
+
+TEST_F(OneMessageTest, DirectFromTransmitter) {
+  EXPECT_TRUE(is_correct_one_message(chain(1, {0}), 1, 1, kT, verifier_));
+  EXPECT_TRUE(is_correct_one_message(chain(1, {0}), 1, 4, kT, verifier_));
+}
+
+TEST_F(OneMessageTest, ValueZeroNeverQualifies) {
+  EXPECT_FALSE(is_correct_one_message(chain(0, {0}), 1, 1, kT, verifier_));
+}
+
+TEST_F(OneMessageTest, LengthMustMatchPhase) {
+  EXPECT_FALSE(is_correct_one_message(chain(1, {0}), 2, 1, kT, verifier_));
+  EXPECT_TRUE(
+      is_correct_one_message(chain(1, {0, 1}), 2, 3, kT, verifier_));
+}
+
+TEST_F(OneMessageTest, MustStartAtTransmitter) {
+  EXPECT_FALSE(is_correct_one_message(chain(1, {1}), 1, 3, kT, verifier_));
+}
+
+TEST_F(OneMessageTest, SidesMustAlternate) {
+  // 1 and 2 are both in A: not a path in the bipartite graph.
+  EXPECT_FALSE(
+      is_correct_one_message(chain(1, {0, 1, 2}), 3, 3, kT, verifier_));
+  // 1 (A) then 3 (B) alternates; receiver 2 is in A: fine.
+  EXPECT_TRUE(
+      is_correct_one_message(chain(1, {0, 1, 3}), 3, 2, kT, verifier_));
+  // ...but receiver 4 is in B, same side as last signer 3: not an edge.
+  EXPECT_FALSE(
+      is_correct_one_message(chain(1, {0, 1, 3}), 3, 4, kT, verifier_));
+}
+
+TEST_F(OneMessageTest, ReceiverMustBeFresh) {
+  EXPECT_FALSE(
+      is_correct_one_message(chain(1, {0, 1, 3}), 3, 1, kT, verifier_));
+}
+
+TEST_F(OneMessageTest, RepeatedSignerRejected) {
+  EXPECT_FALSE(is_correct_one_message(chain(1, {0, 1, 3, 1}), 4, 4, kT,
+                                      verifier_));
+}
+
+TEST_F(OneMessageTest, TransmitterCannotReappear) {
+  EXPECT_FALSE(
+      is_correct_one_message(chain(1, {0, 1, 0}), 3, 3, kT, verifier_));
+}
+
+TEST_F(OneMessageTest, BrokenSignatureRejected) {
+  SignedValue sv = chain(1, {0, 1});
+  sv.chain[1].sig[5] ^= 1;
+  EXPECT_FALSE(is_correct_one_message(sv, 2, 3, kT, verifier_));
+}
+
+class Algorithm1Sweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Value>> {};
+
+TEST_P(Algorithm1Sweep, FailureFree) {
+  const auto& [t, value] = GetParam();
+  expect_agreement(*find_protocol("alg1"), BAConfig{2 * t + 1, t, 0, value},
+                   1);
+}
+
+TEST_P(Algorithm1Sweep, MessageAndPhaseBounds) {
+  const auto& [t, value] = GetParam();
+  const auto result = expect_agreement(*find_protocol("alg1"),
+                                       BAConfig{2 * t + 1, t, 0, value}, 1);
+  EXPECT_LE(result.metrics.messages_by_correct(),
+            bounds::alg1_message_upper_bound(t));
+  EXPECT_LE(result.metrics.last_active_phase(),
+            bounds::alg1_phase_bound(t));
+}
+
+TEST_P(Algorithm1Sweep, MaxFaultsAmongRelays) {
+  const auto& [t, value] = GetParam();
+  const std::size_t n = 2 * t + 1;
+  // All of side B faulty and silent: the transmitter is correct, so
+  // validity must still hold via direct messages.
+  std::vector<ScenarioFault> faults;
+  for (ProcId b = static_cast<ProcId>(t + 1); b < n; ++b) {
+    faults.push_back(silent(b));
+  }
+  expect_agreement(*find_protocol("alg1"), BAConfig{n, t, 0, value}, 1,
+                   faults);
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<Algorithm1Sweep::ParamType>& info) {
+  return "t" + std::to_string(std::get<0>(info.param)) + "_v" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Algorithm1Sweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5,
+                                                              8),
+                                            ::testing::Values(Value{0},
+                                                              Value{1})),
+                         sweep_name);
+
+TEST(Algorithm1, WorstCaseValueOneMeetsExactBound) {
+  // Failure-free with value 1: the transmitter sends 2t messages and every
+  // other processor relays exactly once to t targets: 2t^2 + 2t total.
+  for (std::size_t t : {1u, 2u, 4u, 8u}) {
+    const auto result = expect_agreement(*find_protocol("alg1"),
+                                         BAConfig{2 * t + 1, t, 0, 1}, 1);
+    EXPECT_EQ(result.metrics.messages_by_correct(),
+              bounds::alg1_message_upper_bound(t));
+  }
+}
+
+TEST(Algorithm1, ValueZeroIsNearlyFree) {
+  // With value 0 nobody can ever produce a correct 1-message: only the
+  // transmitter's 2t initial messages are sent.
+  const std::size_t t = 4;
+  const auto result = expect_agreement(*find_protocol("alg1"),
+                                       BAConfig{2 * t + 1, t, 0, 0}, 1);
+  EXPECT_EQ(result.metrics.messages_by_correct(), 2 * t);
+}
+
+TEST(Algorithm1, EquivocatingTransmitterAgreement) {
+  for (std::size_t t : {1u, 2u, 3u}) {
+    const std::size_t n = 2 * t + 1;
+    for (std::uint64_t split = 0; split < 3; ++split) {
+      std::set<ProcId> ones;
+      for (ProcId q = 1; q < n; ++q) {
+        if ((q + split) % 2 == 0) ones.insert(q);
+      }
+      const auto result = ba::run_scenario(*find_protocol("alg1"),
+                                           BAConfig{n, t, 0, 0}, 1,
+                                           {equivocator(ones)});
+      EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement)
+          << "t=" << t << " split=" << split;
+    }
+  }
+}
+
+TEST(Algorithm1, LateReleaseCoalition) {
+  // A coalition {0, 1, 4} fabricates a fully-faulty signature path
+  // 0 -> 1 -> 4 and releases it to the correct side-A processors only at
+  // phase 3, forcing a late relay cascade. The correct processors must
+  // still reach agreement among themselves (the transmitter is faulty, so
+  // any common value is acceptable) within the t+2 phase budget.
+  const std::size_t t = 3;
+  const std::size_t n = 2 * t + 1;
+  const Protocol& protocol = *find_protocol("alg1");
+
+  struct LateReleaser final : sim::Process {
+    explicit LateReleaser(std::size_t t) : t_(t) {}
+    void on_phase(sim::Context& ctx) override {
+      if (ctx.phase() != 3) return;
+      // The coalition signer holds the keys of 0, 1 and 4, so this chain is
+      // exactly a simple path of length 3 in G, sent in phase 3.
+      SignedValue sv{1, {}};
+      sv = extend(sv, ctx.signer(), 0);
+      sv = extend(sv, ctx.signer(), 1);
+      sv = extend(sv, ctx.signer(), 4);
+      for (ProcId q = 2; q <= t_; ++q) {  // correct members of A
+        ctx.send(q, encode(sv), sv.chain.size());
+      }
+    }
+    std::optional<Value> decision() const override { return std::nullopt; }
+    std::size_t t_;
+  };
+
+  std::vector<ScenarioFault> faults;
+  faults.push_back(silent(0));
+  faults.push_back(silent(1));
+  faults.push_back(ScenarioFault{4, [t](ProcId, const BAConfig&) {
+                                   return std::make_unique<LateReleaser>(t);
+                                 }});
+  const auto result =
+      ba::run_scenario(protocol, BAConfig{n, t, 0, 0}, 1, faults);
+  const auto check = sim::check_byzantine_agreement(result, 0, 0);
+  EXPECT_TRUE(check.agreement);
+  // The release happened early enough that the relay cascade completes:
+  // everyone must have decided 1.
+  EXPECT_EQ(check.agreed_value, Value{1});
+}
+
+class Algorithm1MVSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Value>> {};
+
+TEST_P(Algorithm1MVSweep, FailureFreeArbitraryValues) {
+  const auto& [t, value] = GetParam();
+  expect_agreement(*find_protocol("alg1-mv"),
+                   BAConfig{2 * t + 1, t, 0, value}, 1);
+}
+
+TEST_P(Algorithm1MVSweep, MessageBoundIsTwiceAlg1) {
+  const auto& [t, value] = GetParam();
+  const auto result = expect_agreement(*find_protocol("alg1-mv"),
+                                       BAConfig{2 * t + 1, t, 0, value}, 1);
+  EXPECT_LE(result.metrics.messages_by_correct(),
+            2 * bounds::alg1_message_upper_bound(t));
+  EXPECT_LE(result.metrics.last_active_phase(),
+            bounds::alg1_phase_bound(t));
+}
+
+TEST_P(Algorithm1MVSweep, SilentFaults) {
+  const auto& [t, value] = GetParam();
+  const std::size_t n = 2 * t + 1;
+  std::vector<ScenarioFault> faults;
+  for (std::size_t i = 0; i < t; ++i) {
+    faults.push_back(silent(static_cast<ProcId>(2 + 2 * i)));
+  }
+  expect_agreement(*find_protocol("alg1-mv"), BAConfig{n, t, 0, value}, 1,
+                   faults);
+}
+
+std::string mv_sweep_name(
+    const ::testing::TestParamInfo<Algorithm1MVSweep::ParamType>& info) {
+  return "t" + std::to_string(std::get<0>(info.param)) + "_v" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Algorithm1MVSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(Value{0}, Value{1}, Value{5},
+                                         Value{0xdeadbeefULL})),
+    mv_sweep_name);
+
+TEST(Algorithm1MV, ThreeWayEquivocationForcesCommonDecision) {
+  // A faulty transmitter sends three different values to three groups.
+  // Everyone must still agree — on one of the values or the default.
+  const std::size_t t = 3;
+  const std::size_t n = 2 * t + 1;
+  std::map<ProcId, Value> split;
+  for (ProcId q = 1; q < n; ++q) split[q] = 10 + q % 3;
+  std::vector<ScenarioFault> faults;
+  faults.push_back(ScenarioFault{
+      0, [split](ProcId, const BAConfig&) {
+        return std::make_unique<adversary::ValueMapTransmitter>(split);
+      }});
+  const auto result = ba::run_scenario(*find_protocol("alg1-mv"),
+                                       BAConfig{n, t, 0, 0}, 1, faults);
+  const auto check = sim::check_byzantine_agreement(result, 0, 0);
+  EXPECT_TRUE(check.agreement);
+  // Three values circulate, so every correct processor commits to at least
+  // two and falls back to the default.
+  EXPECT_EQ(check.agreed_value, Value{kDefaultValue});
+}
+
+TEST(Algorithm1MV, PartialEquivocationWithColluder) {
+  // Transmitter sends a real value to half and nothing to the rest; a
+  // colluding relay stays silent. Agreement must hold.
+  const std::size_t t = 2;
+  const std::size_t n = 2 * t + 1;
+  std::map<ProcId, Value> split{{1, 7}, {3, 7}};
+  std::vector<ScenarioFault> faults;
+  faults.push_back(ScenarioFault{
+      0, [split](ProcId, const BAConfig&) {
+        return std::make_unique<adversary::ValueMapTransmitter>(split);
+      }});
+  faults.push_back(silent(4));
+  const auto result = ba::run_scenario(*find_protocol("alg1-mv"),
+                                       BAConfig{n, t, 0, 0}, 1, faults);
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement);
+}
+
+TEST(Algorithm1MV, MatchesBinaryAlg1OnBinaryInputs) {
+  for (std::size_t t : {1u, 2u, 4u}) {
+    for (Value v : {Value{0}, Value{1}}) {
+      const auto mv = expect_agreement(*find_protocol("alg1-mv"),
+                                       BAConfig{2 * t + 1, t, 0, v}, 1);
+      const auto bin = expect_agreement(*find_protocol("alg1"),
+                                        BAConfig{2 * t + 1, t, 0, v}, 1);
+      EXPECT_EQ(mv.decisions, bin.decisions);
+    }
+  }
+}
+
+TEST(Algorithm1, SupportsOnlyExactConfiguration) {
+  EXPECT_TRUE(Algorithm1::supports(BAConfig{5, 2, 0, 1}));
+  EXPECT_FALSE(Algorithm1::supports(BAConfig{6, 2, 0, 1}));  // n != 2t+1
+  EXPECT_FALSE(Algorithm1::supports(BAConfig{5, 2, 1, 1}));  // transmitter
+  EXPECT_FALSE(Algorithm1::supports(BAConfig{5, 2, 0, 3}));  // non-binary
+  EXPECT_FALSE(Algorithm1::supports(BAConfig{1, 0, 0, 1}));  // t = 0
+}
+
+}  // namespace
+}  // namespace dr::ba

@@ -1,0 +1,189 @@
+#include "ba/algorithm2.h"
+
+#include <gtest/gtest.h>
+
+#include "ba/valid_message.h"
+#include "bounds/formulas.h"
+#include "crypto/key_registry.h"
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::equivocator;
+using test::expect_agreement;
+using test::silent;
+
+TEST(IsIncreasingMessage, Basics) {
+  crypto::KeyRegistry registry(6, 1);
+  crypto::Verifier verifier(&registry);
+  auto chain = [&](Value v, std::initializer_list<ProcId> signers) {
+    SignedValue sv{v, {}};
+    for (ProcId id : signers) {
+      crypto::Signer s(&registry, {id});
+      sv = extend(sv, s, id);
+    }
+    return sv;
+  };
+
+  // Bare value: trivially increasing.
+  EXPECT_TRUE(is_increasing_message(SignedValue{1, {}}, 3, 1, verifier));
+  // Value mismatch.
+  EXPECT_FALSE(is_increasing_message(SignedValue{0, {}}, 3, 1, verifier));
+  // Ascending signers below self.
+  EXPECT_TRUE(is_increasing_message(chain(1, {0, 1, 2}), 3, 1, verifier));
+  // Signer == self not allowed.
+  EXPECT_FALSE(is_increasing_message(chain(1, {0, 3}), 3, 1, verifier));
+  // Signer above self not allowed.
+  EXPECT_FALSE(is_increasing_message(chain(1, {0, 4}), 3, 1, verifier));
+  // Non-ascending order.
+  EXPECT_FALSE(is_increasing_message(chain(1, {2, 0}), 3, 1, verifier));
+  // Duplicates.
+  EXPECT_FALSE(is_increasing_message(chain(1, {0, 0}), 3, 1, verifier));
+  // Broken signature.
+  SignedValue bad = chain(1, {0, 1});
+  bad.chain[0].sig[0] ^= 1;
+  EXPECT_FALSE(is_increasing_message(bad, 3, 1, verifier));
+}
+
+/// Runs alg2 and returns the run plus direct access to each correct
+/// processor's proof (via a fresh scenario using the registry protocol).
+class Algorithm2Proofs : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Algorithm2Proofs, EveryCorrectProcessorHoldsAProofFailureFree) {
+  const std::size_t t = GetParam();
+  const std::size_t n = 2 * t + 1;
+  for (Value v : {Value{0}, Value{1}}) {
+    // Run manually so we can inspect the Algorithm2 objects afterwards.
+    const BAConfig config{n, t, 0, v};
+    sim::Runner runner(sim::RunConfig{.n = n, .t = t, .transmitter = 0,
+                                      .value = v, .seed = 1});
+    std::vector<Algorithm2*> procs(n);
+    for (ProcId p = 0; p < n; ++p) {
+      auto proc = std::make_unique<Algorithm2>(p, config);
+      procs[p] = proc.get();
+      runner.install(p, std::move(proc));
+    }
+    const auto result = runner.run(Algorithm2::steps(config));
+    const auto check = sim::check_byzantine_agreement(result, 0, v);
+    EXPECT_TRUE(check.agreement);
+    EXPECT_TRUE(check.validity);
+
+    crypto::Verifier verifier(&runner.scheme());
+    for (ProcId p = 0; p < n; ++p) {
+      ASSERT_TRUE(procs[p]->proof().has_value())
+          << "processor " << p << " lacks a proof (t=" << t << ")";
+      const SignedValue& proof = *procs[p]->proof();
+      EXPECT_EQ(proof.value, v);
+      EXPECT_TRUE(is_possession_proof(proof, verifier, p, t));
+    }
+  }
+}
+
+TEST_P(Algorithm2Proofs, ProofsSurviveMaxSilentFaults) {
+  const std::size_t t = GetParam();
+  const std::size_t n = 2 * t + 1;
+  const Value v = 1;
+  const BAConfig config{n, t, 0, v};
+  sim::Runner runner(sim::RunConfig{.n = n, .t = t, .transmitter = 0,
+                                    .value = v, .seed = 3});
+  // Faulty: every second non-transmitter processor, up to t of them.
+  std::vector<ProcId> faulty_ids;
+  for (ProcId p = 2; p < n && faulty_ids.size() < t; p += 2) {
+    faulty_ids.push_back(p);
+    runner.mark_faulty(p);
+  }
+  std::vector<Algorithm2*> procs(n, nullptr);
+  for (ProcId p = 0; p < n; ++p) {
+    if (runner.is_faulty(p)) {
+      runner.install(p, std::make_unique<adversary::SilentProcess>());
+    } else {
+      auto proc = std::make_unique<Algorithm2>(p, config);
+      procs[p] = proc.get();
+      runner.install(p, std::move(proc));
+    }
+  }
+  const auto result = runner.run(Algorithm2::steps(config));
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, v).agreement);
+
+  crypto::Verifier verifier(&runner.scheme());
+  for (ProcId p = 0; p < n; ++p) {
+    if (procs[p] == nullptr) continue;
+    ASSERT_TRUE(procs[p]->proof().has_value()) << "processor " << p;
+    EXPECT_TRUE(is_possession_proof(*procs[p]->proof(), verifier, p, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Algorithm2Proofs,
+                         ::testing::Values(1, 2, 3, 4, 6),
+                         [](const auto& param_info) {
+                           return "t" + std::to_string(param_info.param);
+                         });
+
+TEST(Algorithm2, MessageAndPhaseBounds) {
+  for (std::size_t t : {1u, 2u, 3u, 5u}) {
+    const auto result = expect_agreement(*find_protocol("alg2"),
+                                         BAConfig{2 * t + 1, t, 0, 1}, 1);
+    EXPECT_LE(result.metrics.messages_by_correct(),
+              bounds::alg2_message_upper_bound(t))
+        << "t=" << t;
+    EXPECT_LE(result.metrics.last_active_phase(),
+              bounds::alg2_phase_bound(t))
+        << "t=" << t;
+  }
+}
+
+TEST(Algorithm2, NoProofOfWrongValueExists) {
+  // Theorem 4: "No processor can have such a message with a value different
+  // from the common value." We verify constructively: with a correct
+  // transmitter sending 1, the coalition (t processors) cannot assemble
+  // t+1 distinct signatures on 0, because correct processors only ever sign
+  // their committed value. We check that no correct processor's history
+  // ever contains a 0-valued chain with more than t distinct signers.
+  const std::size_t t = 2;
+  const std::size_t n = 2 * t + 1;
+  const Value v = 1;
+  const auto result = ba::run_scenario(
+      *find_protocol("alg2"), BAConfig{n, t, 0, v}, 1,
+      {chaos(3, 11, 0.6), chaos(4, 12, 0.6)}, /*record_history=*/true);
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, v).agreement);
+  for (hist::PhaseNum k = 1; k <= result.history.phases(); ++k) {
+    for (const hist::Edge& e : result.history.phase(k).edges()) {
+      const auto sv = decode_signed_value(e.label);
+      if (!sv || sv->value == v) continue;
+      std::set<ProcId> signers(chain_signers(*sv).begin(),
+                               chain_signers(*sv).end());
+      EXPECT_LE(signers.size(), t)
+          << "a wrong-value message with more than t signatures circulated";
+    }
+  }
+}
+
+TEST(Algorithm2, EquivocatingTransmitterStillProducesConsistentProofs) {
+  const std::size_t t = 2;
+  const std::size_t n = 2 * t + 1;
+  const BAConfig config{n, t, 0, 0};
+  sim::Runner runner(sim::RunConfig{.n = n, .t = t, .transmitter = 0,
+                                    .value = 0, .seed = 5});
+  runner.mark_faulty(0);
+  runner.install(0, std::make_unique<adversary::EquivocatingTransmitter>(
+                        std::set<ProcId>{1, 3}, n));
+  std::vector<Algorithm2*> procs(n, nullptr);
+  for (ProcId p = 1; p < n; ++p) {
+    auto proc = std::make_unique<Algorithm2>(p, config);
+    procs[p] = proc.get();
+    runner.install(p, std::move(proc));
+  }
+  const auto result = runner.run(Algorithm2::steps(config));
+  const auto check = sim::check_byzantine_agreement(result, 0, 0);
+  EXPECT_TRUE(check.agreement);
+  // All correct proofs must carry the common value.
+  for (ProcId p = 1; p < n; ++p) {
+    ASSERT_TRUE(procs[p]->proof().has_value()) << p;
+    EXPECT_EQ(procs[p]->proof()->value, *check.agreed_value);
+  }
+}
+
+}  // namespace
+}  // namespace dr::ba

@@ -1,0 +1,236 @@
+#include "ba/algorithm3.h"
+
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::equivocator;
+using test::expect_agreement;
+using test::silent;
+
+TEST(Alg3Layout, Arithmetic) {
+  // n = 20, t = 2 (actives 0..4), s = 3: passives 5..19 in 5 sets.
+  const Alg3Layout layout{20, 2, 3};
+  EXPECT_EQ(layout.active_count(), 5u);
+  EXPECT_EQ(layout.passive_count(), 15u);
+  EXPECT_EQ(layout.set_count(), 5u);
+  EXPECT_TRUE(layout.is_active(4));
+  EXPECT_FALSE(layout.is_active(5));
+  EXPECT_EQ(layout.set_of(5), 0u);
+  EXPECT_EQ(layout.set_of(7), 0u);
+  EXPECT_EQ(layout.set_of(8), 1u);
+  EXPECT_EQ(layout.index_in_set(5), 1u);  // root
+  EXPECT_EQ(layout.index_in_set(7), 3u);
+  EXPECT_EQ(layout.root_of(0), 5u);
+  EXPECT_EQ(layout.root_of(4), 17u);
+  EXPECT_EQ(layout.member(1, 2), 9u);
+  EXPECT_EQ(layout.set_size(4), 3u);
+}
+
+TEST(Alg3Layout, RaggedLastSet) {
+  // 16 passives in sets of 5: sizes 5, 5, 5, 1.
+  const Alg3Layout layout{21, 2, 5};
+  EXPECT_EQ(layout.passive_count(), 16u);
+  EXPECT_EQ(layout.set_count(), 4u);
+  EXPECT_EQ(layout.set_size(0), 5u);
+  EXPECT_EQ(layout.set_size(3), 1u);
+  EXPECT_EQ(layout.root_of(3), 20u);
+  EXPECT_EQ(layout.index_in_set(20), 1u);
+}
+
+class Algorithm3Sweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, Value>> {};
+
+TEST_P(Algorithm3Sweep, FailureFree) {
+  const auto& [n, t, s, value] = GetParam();
+  expect_agreement(make_alg3_protocol(s), BAConfig{n, t, 0, value}, 1);
+}
+
+TEST_P(Algorithm3Sweep, MessageAndPhaseBounds) {
+  const auto& [n, t, s, value] = GetParam();
+  const auto result =
+      expect_agreement(make_alg3_protocol(s), BAConfig{n, t, 0, value}, 1);
+  EXPECT_LE(static_cast<double>(result.metrics.messages_by_correct()),
+            bounds::alg3_message_upper_bound(n, t, s));
+  EXPECT_LE(result.metrics.last_active_phase(),
+            bounds::alg3_phase_bound(t, s));
+}
+
+TEST_P(Algorithm3Sweep, SilentRootsWorstCase) {
+  const auto& [n, t, s, value] = GetParam();
+  const Alg3Layout layout{n, t, s};
+  // Make up to t roots silent: the repair phase has to kick in.
+  std::vector<ScenarioFault> faults;
+  for (std::size_t set = 0; set < layout.set_count() && faults.size() < t;
+       ++set) {
+    faults.push_back(silent(layout.root_of(set)));
+  }
+  const auto result = expect_agreement(make_alg3_protocol(s),
+                                       BAConfig{n, t, 0, value}, 1, faults);
+  EXPECT_LE(static_cast<double>(result.metrics.messages_by_correct()),
+            bounds::alg3_message_upper_bound(n, t, s));
+}
+
+TEST_P(Algorithm3Sweep, SilentMembersStillAgree) {
+  const auto& [n, t, s, value] = GetParam();
+  const Alg3Layout layout{n, t, s};
+  std::vector<ScenarioFault> faults;
+  // Silence the second member of each set (if it exists) up to t faults.
+  for (std::size_t set = 0; set < layout.set_count() && faults.size() < t;
+       ++set) {
+    if (layout.set_size(set) >= 2) {
+      faults.push_back(silent(layout.member(set, 2)));
+    }
+  }
+  expect_agreement(make_alg3_protocol(s), BAConfig{n, t, 0, value}, 1,
+                   faults);
+}
+
+TEST_P(Algorithm3Sweep, RandomByzantineMix) {
+  const auto& [n, t, s, value] = GetParam();
+  const Alg3Layout layout{n, t, s};
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    std::vector<ScenarioFault> faults;
+    // Mix: one faulty active (not the transmitter), rest passives.
+    faults.push_back(chaos(1, seed * 31));
+    for (std::size_t i = 1; i < t; ++i) {
+      faults.push_back(chaos(
+          static_cast<ProcId>(layout.active_count() + 2 * i), seed * 37 + i));
+    }
+    expect_agreement(make_alg3_protocol(s), BAConfig{n, t, 0, value}, seed,
+                     faults);
+  }
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<Algorithm3Sweep::ParamType>& info) {
+  return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+         std::to_string(std::get<1>(info.param)) + "_s" +
+         std::to_string(std::get<2>(info.param)) + "_v" +
+         std::to_string(std::get<3>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Algorithm3Sweep,
+    ::testing::Values(
+        std::tuple{8u, 1u, 2u, Value{1}}, std::tuple{8u, 1u, 2u, Value{0}},
+        std::tuple{12u, 2u, 3u, Value{1}}, std::tuple{20u, 2u, 3u, Value{1}},
+        std::tuple{20u, 2u, 5u, Value{0}}, std::tuple{30u, 3u, 4u, Value{1}},
+        std::tuple{30u, 3u, 12u, Value{1}}, std::tuple{40u, 2u, 1u, Value{1}},
+        std::tuple{64u, 4u, 16u, Value{1}}),
+    sweep_name);
+
+TEST(Algorithm3, FaultyRootShowingWrongValueIsOverridden) {
+  // A root that forwards a fabricated 0-chain to its members: members must
+  // still decide the transmitter's value 1 via the repair phase.
+  const std::size_t n = 14;
+  const std::size_t t = 2;
+  const std::size_t s = 3;
+  const Alg3Layout layout{n, t, s};
+  const ProcId root = layout.root_of(0);
+
+  struct LyingRoot final : sim::Process {
+    LyingRoot(std::size_t t, const Alg3Layout& layout)
+        : t_(t), layout_(layout) {}
+    void on_phase(sim::Context& ctx) override {
+      // At each chain slot, send members a coalition-signed wrong value.
+      const sim::PhaseNum phase = ctx.phase();
+      const std::size_t set = layout_.set_of(ctx.self());
+      if (phase >= t_ + 4 && phase % 2 == (t_ + 4) % 2) {
+        const std::size_t j = (phase - t_) / 2;
+        if (j >= 2 && j <= layout_.set_size(set)) {
+          // Sign value 0 pretending to be an active supporter (we hold only
+          // our own key, so fabricate with it; members should reject chains
+          // whose first signer is not active, or sign and get repaired).
+          SignedValue sv{0, {}};
+          sv = extend(sv, ctx.signer(), ctx.self());
+          ctx.send(layout_.member(set, j), encode(sv), sv.chain.size());
+        }
+      }
+    }
+    std::optional<Value> decision() const override { return std::nullopt; }
+    std::size_t t_;
+    Alg3Layout layout_;
+  };
+
+  std::vector<ScenarioFault> faults;
+  faults.push_back(ScenarioFault{
+      root, [t, layout](ProcId, const BAConfig&) {
+        return std::make_unique<LyingRoot>(t, layout);
+      }});
+  const auto result = expect_agreement(make_alg3_protocol(s),
+                                       BAConfig{n, t, 0, 1}, 1, faults);
+  (void)result;
+}
+
+TEST(Algorithm3, WorstCaseSilentRootsCostMoreThanFailureFree) {
+  const std::size_t n = 40;
+  const std::size_t t = 3;
+  const std::size_t s = 4;
+  const Alg3Layout layout{n, t, s};
+  const auto clean =
+      expect_agreement(make_alg3_protocol(s), BAConfig{n, t, 0, 1}, 1);
+  std::vector<ScenarioFault> faults;
+  for (std::size_t set = 0; set < t; ++set) {
+    faults.push_back(silent(layout.root_of(set)));
+  }
+  const auto dirty = expect_agreement(make_alg3_protocol(s),
+                                      BAConfig{n, t, 0, 1}, 1, faults);
+  EXPECT_GT(dirty.metrics.messages_by_correct() + 3 * (2 * t + 1),
+            clean.metrics.messages_by_correct());
+}
+
+TEST(Algorithm3, Lemma1FactReportCompleteness) {
+  // The Fact inside Lemma 1's proof: if the root of a set C is correct,
+  // m(s) contains the signature of each correct member of C (except the
+  // root) and reaches every active processor at phase t+2s+2.
+  const std::size_t n = 20;
+  const std::size_t t = 2;
+  const std::size_t s = 4;
+  const Alg3Layout layout{n, t, s};
+  // Silence one *member* (not a root) so the chain has to skip it.
+  const ProcId silent_member = layout.member(0, 3);
+  const auto result = ba::run_scenario(
+      make_alg3_protocol(s), BAConfig{n, t, 0, 1}, 1,
+      {silent(silent_member)}, /*record_history=*/true);
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 1).validity);
+
+  const sim::PhaseNum report_phase =
+      static_cast<sim::PhaseNum>(t + 2 * s + 2);
+  for (std::size_t set = 0; set < layout.set_count(); ++set) {
+    const ProcId root = layout.root_of(set);
+    const auto reports = result.history.phase(report_phase).out_edges(root);
+    // Every active receives the report...
+    EXPECT_EQ(reports.size(), layout.active_count()) << "set " << set;
+    if (reports.empty()) continue;
+    const auto sv = decode_signed_value(reports.front().label);
+    ASSERT_TRUE(sv.has_value());
+    // ...containing every correct member's signature.
+    for (std::size_t j = 2; j <= layout.set_size(set); ++j) {
+      const ProcId member = layout.member(set, j);
+      if (member == silent_member) {
+        EXPECT_FALSE(contains_signer(*sv, member));
+      } else {
+        EXPECT_TRUE(contains_signer(*sv, member))
+            << "set " << set << " member " << member;
+      }
+    }
+  }
+}
+
+TEST(Algorithm3, Supports) {
+  EXPECT_TRUE(Algorithm3::supports(BAConfig{8, 1, 0, 1}, 2));
+  EXPECT_FALSE(Algorithm3::supports(BAConfig{5, 2, 0, 1}, 2));  // no passives
+  EXPECT_FALSE(Algorithm3::supports(BAConfig{8, 1, 0, 1}, 0));  // s = 0
+  EXPECT_FALSE(Algorithm3::supports(BAConfig{8, 1, 1, 1}, 2));
+  EXPECT_FALSE(Algorithm3::supports(BAConfig{8, 1, 0, 7}, 2));
+}
+
+}  // namespace
+}  // namespace dr::ba

@@ -1,0 +1,325 @@
+#include "ba/algorithm5.h"
+
+#include "ba/valid_message.h"
+
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::expect_agreement;
+using test::silent;
+
+TEST(Alg5Schedule, BlockStartsAreContiguous) {
+  // t = 1, top = 3: blocks 3, 2, 1 then block 0.
+  const Alg5Schedule s{1, 3};
+  EXPECT_EQ(s.first_block_step(), 8u);  // 3t+5
+  EXPECT_EQ(s.block_start(3), 8u);
+  // block 3: 2*7+3 = 17 steps.
+  EXPECT_EQ(s.block_start(2), 25u);
+  // block 2: 2*3+3 = 9.
+  EXPECT_EQ(s.block_start(1), 34u);
+  // block 1: 2*1+3 = 5.
+  EXPECT_EQ(s.block_start(0), 39u);
+  EXPECT_EQ(s.steps(), 40u);
+  EXPECT_EQ(s.exchange_start(3), 8u + 14u);
+  EXPECT_EQ(s.exchange_start(1), 34u + 2u);
+}
+
+TEST(Alg5Schedule, NoPassives) {
+  const Alg5Schedule s{2, 0};
+  EXPECT_EQ(s.block_start(0), 11u);  // 3t+5
+  EXPECT_EQ(s.steps(), 12u);
+}
+
+TEST(EncodeAlg5, RoundTrip) {
+  crypto::KeyRegistry registry(4, 1);
+  crypto::Signer signer(&registry, {0});
+  const SignedValue sv = make_signed(1, signer, 0);
+  const Attested a = attest(to_bytes("proof"), signer, 0);
+  const auto decoded = decode_alg5(encode_alg5(sv, {a, a}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, sv);
+  ASSERT_EQ(decoded->second.size(), 2u);
+  EXPECT_EQ(decoded->second[0], a);
+  EXPECT_EQ(decode_alg5(to_bytes("garbage")), std::nullopt);
+}
+
+class Algorithm5Sweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, Value>> {};
+
+TEST_P(Algorithm5Sweep, FailureFree) {
+  const auto& [n, t, s, value] = GetParam();
+  expect_agreement(make_alg5_protocol(s), BAConfig{n, t, 0, value}, 1);
+}
+
+TEST_P(Algorithm5Sweep, SilentPassiveFaults) {
+  const auto& [n, t, s, value] = GetParam();
+  const std::size_t alpha = alpha_for(t);
+  if (n <= alpha + 2) GTEST_SKIP() << "not enough passives";
+  std::vector<ScenarioFault> faults;
+  // Spread silent faults over the first passive tree's root and low nodes.
+  for (std::size_t i = 0; i < t; ++i) {
+    faults.push_back(silent(static_cast<ProcId>(alpha + 2 * i)));
+  }
+  expect_agreement(make_alg5_protocol(s), BAConfig{n, t, 0, value}, 1,
+                   faults);
+}
+
+TEST_P(Algorithm5Sweep, SilentActiveFaults) {
+  const auto& [n, t, s, value] = GetParam();
+  std::vector<ScenarioFault> faults;
+  for (std::size_t i = 0; i < t; ++i) {
+    faults.push_back(silent(static_cast<ProcId>(1 + i)));  // Alg2 members
+  }
+  expect_agreement(make_alg5_protocol(s), BAConfig{n, t, 0, value}, 1,
+                   faults);
+}
+
+TEST_P(Algorithm5Sweep, MixedChaosFaults) {
+  const auto& [n, t, s, value] = GetParam();
+  const std::size_t alpha = alpha_for(t);
+  std::vector<ScenarioFault> faults;
+  faults.push_back(chaos(2, 101, 0.2));
+  if (t >= 2 && n > alpha + 1) {
+    faults.push_back(chaos(static_cast<ProcId>(alpha), 202, 0.2));
+  }
+  expect_agreement(make_alg5_protocol(s), BAConfig{n, t, 0, value}, 1,
+                   faults);
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<Algorithm5Sweep::ParamType>& info) {
+  return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+         std::to_string(std::get<1>(info.param)) + "_s" +
+         std::to_string(std::get<2>(info.param)) + "_v" +
+         std::to_string(std::get<3>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Algorithm5Sweep,
+    ::testing::Values(
+        // n < alpha: the Algorithm2Ext fallback.
+        std::tuple{5u, 2u, 3u, Value{1}}, std::tuple{12u, 2u, 3u, Value{0}},
+        // n == alpha: no passives at all.
+        std::tuple{9u, 1u, 1u, Value{1}},
+        // Single full tree plus remainder.
+        std::tuple{20u, 1u, 3u, Value{1}}, std::tuple{20u, 1u, 3u, Value{0}},
+        // Several trees, several depths.
+        std::tuple{40u, 1u, 7u, Value{1}}, std::tuple{40u, 2u, 3u, Value{1}},
+        std::tuple{60u, 2u, 7u, Value{0}}, std::tuple{80u, 3u, 7u, Value{1}},
+        std::tuple{64u, 4u, 3u, Value{1}}),
+    sweep_name);
+
+TEST(Algorithm5, SilentTreeRootForcesSubtreeActivations) {
+  // One tree of depth 3 with a silent root: its subtrees must be activated
+  // via proofs of work and everyone still agrees.
+  const std::size_t t = 1;
+  const std::size_t n = 9 + 7;  // alpha = 9, one full tree
+  const ProcId tree_root = 9;
+  const auto result = expect_agreement(make_alg5_protocol(7),
+                                       BAConfig{n, t, 0, 1}, 1,
+                                       {silent(tree_root)});
+  (void)result;
+}
+
+TEST(Algorithm5, SilentMidLevelNodeIsBypassed) {
+  const std::size_t t = 1;
+  const std::size_t n = 9 + 7;
+  const ProcId mid = 10;  // node 2, roots the left depth-2 subtree
+  expect_agreement(make_alg5_protocol(7), BAConfig{n, t, 0, 1}, 1,
+                   {silent(mid)});
+}
+
+TEST(Algorithm5, MessageCountScalesGentlyWithN) {
+  // The whole point of Algorithm 5: for fixed t the message count grows
+  // linearly in n, unlike Dolev-Strong's n*t with big constants. Check the
+  // per-processor average stays bounded as n doubles.
+  const std::size_t t = 2;
+  const std::size_t s = 3;
+  std::vector<double> per_node;
+  for (std::size_t n : {32u, 64u, 128u}) {
+    const auto result =
+        expect_agreement(make_alg5_protocol(s), BAConfig{n, t, 0, 1}, 1);
+    per_node.push_back(
+        static_cast<double>(result.metrics.messages_by_correct()) /
+        static_cast<double>(n));
+  }
+  // Linear growth => roughly constant per-node cost; allow generous slack.
+  EXPECT_LT(per_node[2], per_node[0] * 2.0);
+}
+
+TEST(Algorithm5, ActivationCountRespectsLemma4) {
+  // Lemma 4: in a tree with b(C) faulty processors, at most 2 b(C) + 1
+  // processors are activated or faulty. Count activated passives with one
+  // silent faulty node per tree.
+  const std::size_t t = 2;
+  const std::size_t n = 16 + 2 * 7;  // alpha = 16, two depth-3 trees
+  const BAConfig config{n, t, 0, 1};
+  const Forest forest = Forest::build(n, t, 7);
+  ASSERT_EQ(forest.trees.size(), 2u);
+
+  sim::Runner runner(sim::RunConfig{.n = n, .t = t, .transmitter = 0,
+                                    .value = 1, .seed = 1});
+  // One silent fault in each tree: the roots themselves.
+  const ProcId f1 = forest.trees[0].first_id;
+  const ProcId f2 = forest.trees[1].first_id;
+  runner.mark_faulty(f1);
+  runner.mark_faulty(f2);
+  std::vector<Algorithm5Passive*> passives(n, nullptr);
+  for (ProcId p = 0; p < n; ++p) {
+    if (runner.is_faulty(p)) {
+      runner.install(p, std::make_unique<adversary::SilentProcess>());
+    } else if (forest.is_active(p)) {
+      runner.install(p, std::make_unique<Algorithm5Active>(p, config,
+                                                           forest));
+    } else {
+      auto proc = std::make_unique<Algorithm5Passive>(p, config, forest);
+      passives[p] = proc.get();
+      runner.install(p, std::move(proc));
+    }
+  }
+  const auto result =
+      runner.run(Alg5Schedule{t, forest.max_depth()}.steps());
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 1).agreement);
+
+  for (const PassiveTree& tree : forest.trees) {
+    std::size_t activated_or_faulty = 0;
+    std::size_t faulty_in_tree = 0;
+    for (std::size_t node = 1; node <= tree.size(); ++node) {
+      const ProcId id = tree.id_of(node);
+      if (result.faulty[id]) {
+        ++activated_or_faulty;
+        ++faulty_in_tree;
+      } else if (passives[id] != nullptr && passives[id]->activated()) {
+        ++activated_or_faulty;
+      }
+    }
+    EXPECT_LE(activated_or_faulty, 2 * faulty_in_tree + 1)
+        << "tree at " << tree.first_id;
+  }
+}
+
+TEST(Algorithm5, FallbackMatchesPaperForSmallN) {
+  // n < alpha: Algorithm2Ext runs; message count is Alg2's plus
+  // (t+1)(n-2t-1).
+  const std::size_t t = 2;  // alpha = 16
+  const std::size_t n = 12;
+  const auto result =
+      expect_agreement(make_alg5_protocol(3), BAConfig{n, t, 0, 1}, 1);
+  EXPECT_LE(result.metrics.messages_by_correct(),
+            bounds::alg2_message_upper_bound(t) + (t + 1) * (n - 2 * t - 1));
+}
+
+TEST(Algorithm5, FaultsInLeftoverTreesAreHandled) {
+  // n = 9 + 12 passives with s = 7: forest is one depth-3 tree (7) plus a
+  // depth-2 tree (3) plus two singletons. Put the faults in the leftover
+  // trees specifically.
+  const std::size_t t = 1;
+  const std::size_t n = 21;
+  const Forest forest = Forest::build(n, t, 7);
+  ASSERT_GE(forest.trees.size(), 3u);
+  const ProcId leftover_root = forest.trees[1].first_id;
+  expect_agreement(make_alg5_protocol(7), BAConfig{n, t, 0, 1}, 1,
+                   {silent(leftover_root)});
+  const ProcId singleton = forest.trees[2].first_id;
+  expect_agreement(make_alg5_protocol(7), BAConfig{n, t, 0, 0}, 2,
+                   {silent(singleton)});
+}
+
+TEST(Algorithm5, RowIsolatingActiveFaultsStillAgree) {
+  // Pack all t faults into one row of the active grid (alpha = 16, m = 4):
+  // the worst placement for the Algorithm-4 exchanges inside Algorithm 5.
+  const std::size_t t = 2;
+  const std::size_t n = 40;
+  std::vector<ScenarioFault> faults;
+  faults.push_back(silent(12));  // row 3 of the 4x4 grid
+  faults.push_back(silent(13));
+  expect_agreement(make_alg5_protocol(3), BAConfig{n, t, 0, 1}, 1, faults);
+}
+
+TEST(Algorithm5, DeepTreeWithChainedFaults) {
+  // One deep tree (s = 15, depth 4) with faults on a root-to-leaf path:
+  // every block in between must recover via proofs of work.
+  const std::size_t t = 2;
+  const std::size_t n = 16 + 15;
+  const Forest forest = Forest::build(n, t, 15);
+  ASSERT_EQ(forest.trees.size(), 1u);
+  const PassiveTree& tree = forest.trees[0];
+  std::vector<ScenarioFault> faults;
+  faults.push_back(silent(tree.id_of(1)));  // root
+  faults.push_back(silent(tree.id_of(2)));  // its left child
+  expect_agreement(make_alg5_protocol(15), BAConfig{n, t, 0, 1}, 1, faults);
+}
+
+TEST(Algorithm5, ProofOfWorkGateBoundsSpamDamage) {
+  // Without the Lemma-4 gate, a spamming faulty active triggers every
+  // subtree chain; with it, the spam is rejected. Both stay correct — the
+  // gate protects the message bound, not safety.
+  const std::size_t n = 100;
+  const std::size_t t = 2;
+  const std::size_t s = 3;
+  const Forest forest = Forest::build(n, t, s);
+  const Alg5Schedule schedule{t, forest.max_depth()};
+
+  struct Spammer final : sim::Process {
+    Spammer(const Forest& f, const Alg5Schedule& sch)
+        : forest(f), sched(sch) {}
+    void on_phase(sim::Context& ctx) override {
+      if (!valid.has_value()) {
+        for (const sim::Envelope& env : ctx.inbox()) {
+          const auto msg = decode_alg5(env.payload);
+          if (msg && is_valid_message(msg->first, ctx.verifier(),
+                                      forest.alpha, 0)) {
+            valid = msg->first;
+            break;
+          }
+        }
+      }
+      if (!valid.has_value()) return;
+      for (std::size_t x = sched.top; x >= 1; --x) {
+        if (ctx.phase() != sched.block_start(x)) continue;
+        for (const PassiveTree& tree : forest.trees) {
+          for (std::size_t node : tree.subtree_roots_at_depth(x)) {
+            ctx.send(tree.id_of(node), encode_alg5(*valid, {}), 0);
+          }
+        }
+      }
+    }
+    std::optional<Value> decision() const override { return std::nullopt; }
+    const Forest& forest;
+    const Alg5Schedule& sched;
+    std::optional<SignedValue> valid;
+  };
+
+  std::vector<ScenarioFault> faults;
+  faults.push_back(ScenarioFault{
+      static_cast<ProcId>(forest.alpha - 1),
+      [&forest, &schedule](ProcId, const BAConfig&) {
+        return std::make_unique<Spammer>(forest, schedule);
+      }});
+  const auto gated = expect_agreement(make_alg5_protocol(s),
+                                      BAConfig{n, t, 0, 1}, 1, faults);
+  const auto ungated = expect_agreement(make_alg5_ungated_protocol(s),
+                                        BAConfig{n, t, 0, 1}, 1, faults);
+  EXPECT_GT(ungated.metrics.messages_by_correct(),
+            gated.metrics.messages_by_correct() * 3 / 2);
+}
+
+TEST(Algorithm5, Supports) {
+  EXPECT_TRUE(algorithm5_supports(BAConfig{100, 2, 0, 1}, 3));
+  EXPECT_TRUE(algorithm5_supports(BAConfig{5, 2, 0, 1}, 3));
+  EXPECT_FALSE(algorithm5_supports(BAConfig{4, 2, 0, 1}, 3));  // n < 2t+1
+  EXPECT_FALSE(algorithm5_supports(BAConfig{100, 0, 0, 1}, 3));
+  EXPECT_FALSE(algorithm5_supports(BAConfig{100, 2, 0, 7}, 3));
+  EXPECT_FALSE(algorithm5_supports(BAConfig{100, 2, 1, 1}, 3));
+  EXPECT_FALSE(algorithm5_supports(BAConfig{100, 2, 0, 1}, 0));
+}
+
+}  // namespace
+}  // namespace dr::ba

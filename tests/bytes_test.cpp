@@ -1,0 +1,74 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace dr {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data{0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(data), "0001deadbeefff");
+  bool ok = false;
+  EXPECT_EQ(from_hex("0001deadbeefff", ok), data);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  bool ok = false;
+  EXPECT_TRUE(from_hex("", ok).empty());
+  EXPECT_TRUE(ok);
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  bool ok = false;
+  EXPECT_EQ(from_hex("DEADBEEF", ok), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_TRUE(ok);
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  bool ok = true;
+  from_hex("abc", ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Bytes, HexRejectsNonHexChars) {
+  bool ok = true;
+  from_hex("zz", ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a{1, 2};
+  const Bytes b{3};
+  EXPECT_EQ(concat(a, b), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat({}, b), b);
+  EXPECT_EQ(concat(a, {}), a);
+}
+
+TEST(Bytes, AppendStringView) {
+  Bytes out{0x41};
+  append(out, std::string_view("BC"));
+  EXPECT_EQ(out, (Bytes{0x41, 0x42, 0x43}));
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3};
+  const Bytes c{1, 2, 4};
+  const Bytes d{1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, AsBytesAndToBytes) {
+  const auto view = as_bytes("hi");
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0], 'h');
+  EXPECT_EQ(to_bytes("hi"), (Bytes{'h', 'i'}));
+}
+
+}  // namespace
+}  // namespace dr

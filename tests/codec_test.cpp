@@ -1,0 +1,146 @@
+#include "codec/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dr {
+namespace {
+
+TEST(Codec, U64RoundTrip) {
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{300}, std::uint64_t{16384},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    Writer w;
+    w.u64(v);
+    Reader r(w.out());
+    EXPECT_EQ(r.u64(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Codec, U32RoundTrip) {
+  for (std::uint32_t v : {0u, 1u, 255u, 65536u, 4294967295u}) {
+    Writer w;
+    w.u32(v);
+    Reader r(w.out());
+    EXPECT_EQ(r.u32(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Codec, U32RejectsOversizedVarint) {
+  Writer w;
+  w.u64(1ULL << 40);
+  Reader r(w.out());
+  r.u32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, MixedRoundTrip) {
+  Writer w;
+  w.u8(7);
+  w.u64(1234567);
+  w.str("hello");
+  w.bytes(Bytes{1, 2, 3});
+  Reader r(w.out());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u64(), 1234567u);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, EmptyStringAndBytes) {
+  Writer w;
+  w.str("");
+  w.bytes({});
+  Reader r(w.out());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, ReadPastEndFails) {
+  Reader r(ByteView{});
+  r.u8();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, TruncatedVarintFails) {
+  const Bytes data{0x80, 0x80};  // continuation bits with no terminator
+  Reader r(data);
+  r.u64();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, OverlongVarintFails) {
+  const Bytes data{0xff, 0xff, 0xff, 0xff, 0xff,
+                   0xff, 0xff, 0xff, 0xff, 0xff, 0x01};  // 71 bits
+  Reader r(data);
+  r.u64();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, BytesLengthBeyondInputFails) {
+  Writer w;
+  w.u64(1000);  // claimed length
+  Reader r(w.out());
+  r.bytes();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, SeqCountGuard) {
+  // A sequence claiming more elements than remaining bytes must fail
+  // instead of causing a huge allocation.
+  Writer w;
+  w.u64(1ULL << 32);
+  Reader r(w.out());
+  r.seq();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, PoisoningIsSticky) {
+  const Bytes data{0x01};
+  Reader r(data);
+  EXPECT_EQ(r.u8(), 1);
+  r.u8();  // past end -> poison
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // still poisoned, returns zero
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Codec, DoneRequiresFullConsumption) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.out());
+  r.u8();
+  EXPECT_FALSE(r.done());
+  r.u8();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, EncodeDecodeU64Helpers) {
+  EXPECT_EQ(decode_u64(encode_u64(0)), 0u);
+  EXPECT_EQ(decode_u64(encode_u64(987654321)), 987654321u);
+  // Trailing garbage is rejected.
+  Bytes enc = encode_u64(5);
+  enc.push_back(0);
+  EXPECT_EQ(decode_u64(enc), std::nullopt);
+  EXPECT_EQ(decode_u64(Bytes{}), std::nullopt);
+}
+
+TEST(Codec, DeterministicEncoding) {
+  Writer a;
+  a.u64(42);
+  a.str("x");
+  Writer b;
+  b.u64(42);
+  b.str("x");
+  EXPECT_EQ(a.out(), b.out());
+}
+
+}  // namespace
+}  // namespace dr

@@ -1,0 +1,190 @@
+#include "ba/dolev_strong.h"
+
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::crash;
+using test::equivocator;
+using test::expect_agreement;
+using test::silent;
+
+class DolevStrongSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t,
+                                                 std::size_t, Value>> {};
+
+TEST_P(DolevStrongSweep, FailureFreeAgreement) {
+  const auto& [name, n, t, value] = GetParam();
+  const Protocol& protocol = *find_protocol(name);
+  expect_agreement(protocol, BAConfig{n, t, 0, value}, 1);
+}
+
+TEST_P(DolevStrongSweep, SilentFaultsAgreement) {
+  const auto& [name, n, t, value] = GetParam();
+  if (t == 0) GTEST_SKIP();
+  const Protocol& protocol = *find_protocol(name);
+  std::vector<ScenarioFault> faults;
+  for (std::size_t i = 0; i < t; ++i) {
+    faults.push_back(silent(static_cast<ProcId>(n - 1 - i)));
+  }
+  expect_agreement(protocol, BAConfig{n, t, 0, value}, 1, faults);
+}
+
+TEST_P(DolevStrongSweep, CrashingTransmitterStillAgrees) {
+  const auto& [name, n, t, value] = GetParam();
+  if (t == 0) GTEST_SKIP();
+  const Protocol& protocol = *find_protocol(name);
+  const BAConfig config{n, t, 0, value};
+  // Crash right after the first phase: some processors got the value, the
+  // agreement property (not validity toward a faulty transmitter) must hold.
+  const auto result =
+      ba::run_scenario(protocol, config, 1, {crash(protocol, 0, 2)});
+  const auto check = sim::check_byzantine_agreement(result, 0, value);
+  EXPECT_TRUE(check.agreement) << name << " n=" << n << " t=" << t;
+}
+
+TEST_P(DolevStrongSweep, RandomByzantineAgreement) {
+  const auto& [name, n, t, value] = GetParam();
+  if (t == 0) GTEST_SKIP();
+  const Protocol& protocol = *find_protocol(name);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    std::vector<ScenarioFault> faults;
+    for (std::size_t i = 0; i < t; ++i) {
+      faults.push_back(
+          chaos(static_cast<ProcId>(n - 1 - i), seed * 1000 + i));
+    }
+    expect_agreement(protocol, BAConfig{n, t, 0, value}, seed, faults);
+  }
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<DolevStrongSweep::ParamType>& info) {
+  std::string tag = std::get<0>(info.param) + "_n" +
+                    std::to_string(std::get<1>(info.param)) + "_t" +
+                    std::to_string(std::get<2>(info.param)) + "_v" +
+                    std::to_string(std::get<3>(info.param));
+  for (char& c : tag) {
+    if (c == '-') c = '_';
+  }
+  return tag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DolevStrongSweep,
+    ::testing::Combine(::testing::Values("dolev-strong",
+                                         "dolev-strong-relay"),
+                       ::testing::Values(4, 7, 10),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(Value{0}, Value{1}, Value{42})),
+    sweep_name);
+
+TEST(DolevStrong, EquivocatingTransmitterForcesCommonDefault) {
+  const Protocol& protocol = *find_protocol("dolev-strong");
+  const BAConfig config{7, 2, 0, 0};
+  for (const auto& ones : {std::set<ProcId>{1}, std::set<ProcId>{1, 2, 3},
+                           std::set<ProcId>{1, 2, 3, 4, 5}}) {
+    const auto result =
+        ba::run_scenario(protocol, config, 1, {equivocator(ones)});
+    const auto check = sim::check_byzantine_agreement(result, 0, 0);
+    EXPECT_TRUE(check.agreement);
+    // With a two-faced transmitter every correct processor must extract
+    // both values and fall back to the default.
+    EXPECT_EQ(check.agreed_value, Value{kDefaultValue});
+  }
+}
+
+TEST(DolevStrong, EquivocationWithColludingRelayHolds) {
+  // The transmitter equivocates and a colluding processor stays silent to
+  // starve propagation; agreement must still hold.
+  const Protocol& protocol = *find_protocol("dolev-strong");
+  const BAConfig config{7, 2, 0, 0};
+  const auto result = ba::run_scenario(
+      protocol, config, 1, {equivocator({1, 2}), silent(6)});
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement);
+}
+
+TEST(DolevStrong, BroadcastMessageCountWithinBound) {
+  for (std::size_t t : {1u, 2u, 3u}) {
+    const std::size_t n = 3 * t + 1;
+    const Protocol& protocol = *find_protocol("dolev-strong");
+    const auto result =
+        expect_agreement(protocol, BAConfig{n, t, 0, 1}, 1);
+    EXPECT_LE(result.metrics.messages_by_correct(),
+              bounds::dolev_strong_broadcast_message_bound(n));
+  }
+}
+
+TEST(DolevStrong, RelayVariantUsesFewerMessagesAtLargeN) {
+  const std::size_t n = 60;
+  const std::size_t t = 2;
+  const auto broadcast = expect_agreement(
+      *find_protocol("dolev-strong"), BAConfig{n, t, 0, 1}, 1);
+  const auto relay = expect_agreement(
+      *find_protocol("dolev-strong-relay"), BAConfig{n, t, 0, 1}, 1);
+  EXPECT_LT(relay.metrics.messages_by_correct(),
+            broadcast.metrics.messages_by_correct());
+  EXPECT_LE(relay.metrics.messages_by_correct(),
+            bounds::dolev_strong_relay_message_bound(n, t));
+}
+
+TEST(DolevStrong, PhaseCountMatchesTheory) {
+  const std::size_t n = 7;
+  const std::size_t t = 2;
+  const auto result = expect_agreement(*find_protocol("dolev-strong"),
+                                       BAConfig{n, t, 0, 1}, 1);
+  // Failure-free: transmitter phase 1, one relay wave at phase 2.
+  EXPECT_LE(result.metrics.last_active_phase(), t + 1);
+}
+
+TEST(DolevStrongRelayAblation, TooFewRelaysLoseAgreement) {
+  // k <= t relays, all silent, plus an equivocating transmitter: the two
+  // halves never learn each other's value. k = t+1 restores agreement.
+  const std::size_t n = 13;
+  const std::size_t t = 4;
+  auto run_with_relays = [&](std::size_t k, std::size_t silent_relays) {
+    const BAConfig config{n, t, 0, 0};
+    sim::Runner runner(sim::RunConfig{.n = n, .t = t, .transmitter = 0,
+                                      .value = 0, .seed = 1});
+    runner.mark_faulty(0);
+    for (std::size_t i = 0; i < silent_relays; ++i) {
+      runner.mark_faulty(static_cast<ProcId>(1 + i));
+    }
+    std::set<ProcId> ones;
+    for (ProcId q = 1; q < n; q += 2) ones.insert(q);
+    runner.install(0, std::make_unique<adversary::EquivocatingTransmitter>(
+                          ones, n));
+    for (ProcId p = 1; p < n; ++p) {
+      if (runner.is_faulty(p)) {
+        runner.install(p, std::make_unique<adversary::SilentProcess>());
+      } else {
+        runner.install(p,
+                       std::make_unique<DolevStrongRelay>(p, config, k));
+      }
+    }
+    const auto result = runner.run(DolevStrongRelay::steps(config));
+    return sim::check_byzantine_agreement(result, 0, 0).agreement;
+  };
+  EXPECT_FALSE(run_with_relays(2, 2));
+  EXPECT_FALSE(run_with_relays(3, 3));
+  EXPECT_TRUE(run_with_relays(t + 1, 3));
+}
+
+TEST(DolevStrong, TransmitterValuePreservedUnderMaxFaults) {
+  // n = t + 2 is the extreme the paper's t < n - 1 requirement allows.
+  const std::size_t t = 3;
+  const std::size_t n = t + 2;
+  const Protocol& protocol = *find_protocol("dolev-strong");
+  std::vector<ScenarioFault> faults;
+  for (std::size_t i = 0; i < t; ++i) {
+    faults.push_back(silent(static_cast<ProcId>(1 + i)));
+  }
+  expect_agreement(protocol, BAConfig{n, t, 0, 1}, 1, faults);
+}
+
+}  // namespace
+}  // namespace dr::ba

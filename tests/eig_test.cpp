@@ -1,0 +1,118 @@
+#include "ba/eig.h"
+
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::crash;
+using test::equivocator;
+using test::expect_agreement;
+using test::silent;
+
+class EigSweep : public ::testing::TestWithParam<
+                     std::tuple<std::size_t, std::size_t, Value>> {};
+
+TEST_P(EigSweep, FailureFree) {
+  const auto& [n, t, value] = GetParam();
+  expect_agreement(*find_protocol("eig"), BAConfig{n, t, 0, value}, 1);
+}
+
+TEST_P(EigSweep, SilentFaults) {
+  const auto& [n, t, value] = GetParam();
+  if (t == 0) GTEST_SKIP();
+  std::vector<ScenarioFault> faults;
+  for (std::size_t i = 0; i < t; ++i) {
+    faults.push_back(silent(static_cast<ProcId>(n - 1 - i)));
+  }
+  expect_agreement(*find_protocol("eig"), BAConfig{n, t, 0, value}, 1,
+                   faults);
+}
+
+TEST_P(EigSweep, RandomByzantine) {
+  const auto& [n, t, value] = GetParam();
+  if (t == 0) GTEST_SKIP();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    std::vector<ScenarioFault> faults;
+    for (std::size_t i = 0; i < t; ++i) {
+      faults.push_back(chaos(static_cast<ProcId>(1 + i), seed * 77 + i));
+    }
+    expect_agreement(*find_protocol("eig"), BAConfig{n, t, 0, value}, seed,
+                     faults);
+  }
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<EigSweep::ParamType>& info) {
+  return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+         std::to_string(std::get<1>(info.param)) + "_v" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EigSweep,
+    ::testing::Values(std::tuple{4u, 1u, Value{0}},
+                      std::tuple{4u, 1u, Value{1}},
+                      std::tuple{5u, 1u, Value{3}},
+                      std::tuple{7u, 2u, Value{0}},
+                      std::tuple{7u, 2u, Value{1}},
+                      std::tuple{8u, 2u, Value{9}},
+                      std::tuple{10u, 3u, Value{1}}),
+    sweep_name);
+
+TEST(Eig, EquivocatingTransmitterStillAgrees) {
+  const BAConfig config{7, 2, 0, 0};
+  const auto result = ba::run_scenario(*find_protocol("eig"), config, 1,
+                                       {equivocator({1, 2, 3})});
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement);
+}
+
+TEST(Eig, TwoFacedLastRoundRelayStillAgrees) {
+  // A faulty relay plus an equivocating transmitter.
+  const BAConfig config{7, 2, 0, 0};
+  const auto result = ba::run_scenario(
+      *find_protocol("eig"), config, 1,
+      {equivocator({1, 2, 3}), chaos(6, 9, 0.5)});
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement);
+}
+
+TEST(Eig, SupportsRequiresNGreaterThan3T) {
+  EXPECT_TRUE(Eig::supports(BAConfig{4, 1, 0, 0}));
+  EXPECT_FALSE(Eig::supports(BAConfig{3, 1, 0, 0}));
+  EXPECT_FALSE(Eig::supports(BAConfig{6, 2, 0, 0}));
+  EXPECT_TRUE(Eig::supports(BAConfig{7, 2, 0, 0}));
+}
+
+TEST(Eig, UnauthenticatedMessageCountExceedsCorollary1Bound) {
+  // Corollary 1: any unauthenticated algorithm sends >= n(t+1)/4 messages
+  // in some failure-free history. EIG's failure-free count must respect it.
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{4, 1},
+                             {7, 2},
+                             {10, 3}}) {
+    const auto result = expect_agreement(*find_protocol("eig"),
+                                         BAConfig{n, t, 0, 1}, 1);
+    EXPECT_GE(static_cast<double>(result.metrics.messages_by_correct()),
+              bounds::theorem1_signature_lower_bound(n, t))
+        << "n=" << n << " t=" << t;
+  }
+}
+
+TEST(Eig, CrashFaultMidProtocol) {
+  const Protocol& protocol = *find_protocol("eig");
+  const BAConfig config{7, 2, 0, 5};
+  expect_agreement(protocol, config, 1,
+                   {crash(protocol, 3, 2), crash(protocol, 5, 3)});
+}
+
+TEST(Eig, PhaseCountIsTPlusOne) {
+  const auto result =
+      expect_agreement(*find_protocol("eig"), BAConfig{7, 2, 0, 1}, 1);
+  EXPECT_LE(result.metrics.last_active_phase(), 3u);  // t+1 rounds
+}
+
+}  // namespace
+}  // namespace dr::ba

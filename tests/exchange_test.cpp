@@ -1,0 +1,232 @@
+#include "ba/exchange.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "bounds/formulas.h"
+#include "codec/codec.h"
+#include "sim/runner.h"
+
+namespace dr::ba {
+namespace {
+
+TEST(Attested, RoundTripAndVerify) {
+  crypto::KeyRegistry registry(4, 1);
+  crypto::Verifier verifier(&registry);
+  crypto::Signer signer(&registry, {2});
+  const Attested a = attest(to_bytes("payload"), signer, 2);
+  EXPECT_TRUE(verify_attested(a, verifier));
+
+  Writer w;
+  encode(w, a);
+  Reader r(w.out());
+  const auto decoded = decode_attested(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(*decoded, a);
+  EXPECT_TRUE(verify_attested(*decoded, verifier));
+}
+
+TEST(Attested, TamperDetected) {
+  crypto::KeyRegistry registry(4, 1);
+  crypto::Verifier verifier(&registry);
+  crypto::Signer signer(&registry, {2});
+  Attested a = attest(to_bytes("payload"), signer, 2);
+  a.body.push_back(0x00);
+  EXPECT_FALSE(verify_attested(a, verifier));
+  Attested b = attest(to_bytes("payload"), signer, 2);
+  b.signer = 3;
+  EXPECT_FALSE(verify_attested(b, verifier));
+}
+
+/// Runs an exchange with the given faulty ids (silent) and returns the
+/// installed process pointers for inspection. The runner stays alive in the
+/// returned struct: it owns the processes the pointers refer to.
+template <typename P>
+struct ExchangeRun {
+  std::unique_ptr<sim::Runner> runner;
+  std::vector<P*> procs;
+  sim::RunResult result;
+};
+
+template <typename P, typename MakeFn>
+ExchangeRun<P> run_exchange(std::size_t n,
+                            const std::vector<sim::ProcId>& faulty,
+                            sim::PhaseNum steps, MakeFn make) {
+  ExchangeRun<P> run;
+  run.runner = std::make_unique<sim::Runner>(
+      sim::RunConfig{.n = n, .t = faulty.size(), .seed = 3});
+  for (sim::ProcId f : faulty) run.runner->mark_faulty(f);
+  run.procs.assign(n, nullptr);
+  for (sim::ProcId p = 0; p < n; ++p) {
+    if (run.runner->is_faulty(p)) {
+      run.runner->install(p, std::make_unique<adversary::SilentProcess>());
+    } else {
+      auto proc = make(p);
+      run.procs[p] = proc.get();
+      run.runner->install(p, std::move(proc));
+    }
+  }
+  run.result = run.runner->run(steps);
+  return run;
+}
+
+Bytes body_of(sim::ProcId p) { return encode_u64(1000 + p); }
+
+TEST(GridExchange, FailureFreeEveryoneKnowsEveryone) {
+  const std::size_t m = 3;
+  const std::size_t n = m * m;
+  auto run = run_exchange<GridExchangeProcess>(
+      n, {}, GridExchangeProcess::steps(m), [&](sim::ProcId p) {
+        return std::make_unique<GridExchangeProcess>(p, m, body_of(p));
+      });
+  auto& procs = run.procs;
+  auto& result = run.result;
+  for (sim::ProcId p = 0; p < n; ++p) {
+    ASSERT_EQ(procs[p]->known().size(), n) << "processor " << p;
+    for (sim::ProcId q = 0; q < n; ++q) {
+      ASSERT_TRUE(procs[p]->known().contains(q));
+      EXPECT_EQ(procs[p]->known().at(q).body, body_of(q));
+    }
+  }
+  EXPECT_LE(result.metrics.messages_by_correct(),
+            bounds::alg4_message_upper_bound(m));
+  EXPECT_EQ(result.metrics.messages_by_correct(), 3 * (m - 1) * m * m);
+  EXPECT_LE(result.metrics.last_active_phase(), 3u);
+}
+
+class GridExchangeFaulty
+    : public ::testing::TestWithParam<std::vector<sim::ProcId>> {};
+
+TEST_P(GridExchangeFaulty, Lemma2NonIsolatedMutualKnowledge) {
+  const std::size_t m = 4;
+  const std::size_t n = m * m;
+  const std::vector<sim::ProcId> faulty = GetParam();
+  auto run = run_exchange<GridExchangeProcess>(
+      n, faulty, GridExchangeProcess::steps(m), [&](sim::ProcId p) {
+        return std::make_unique<GridExchangeProcess>(p, m, body_of(p));
+      });
+  auto& procs = run.procs;
+  auto& result = run.result;
+
+  // |P| >= N - 2t.
+  std::size_t non_isolated_count = 0;
+  for (sim::ProcId p = 0; p < n; ++p) {
+    if (non_isolated(p, m, result.faulty)) ++non_isolated_count;
+  }
+  EXPECT_GE(non_isolated_count, n - 2 * faulty.size());
+
+  // Every non-isolated pair exchanged values.
+  for (sim::ProcId p = 0; p < n; ++p) {
+    if (!non_isolated(p, m, result.faulty)) continue;
+    for (sim::ProcId q = 0; q < n; ++q) {
+      if (!non_isolated(q, m, result.faulty)) continue;
+      ASSERT_TRUE(procs[p]->known().contains(q))
+          << p << " does not know " << q;
+      EXPECT_EQ(procs[p]->known().at(q).body, body_of(q));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultPlacements, GridExchangeFaulty,
+    ::testing::Values(std::vector<sim::ProcId>{0},
+                      std::vector<sim::ProcId>{0, 5, 10, 15},  // diagonal
+                      std::vector<sim::ProcId>{0, 1, 2, 3},    // full row
+                      std::vector<sim::ProcId>{0, 4, 8, 12},   // full column
+                      std::vector<sim::ProcId>{1, 6, 7, 11}));
+
+TEST(GridExchange, ByzantineSendersCannotPoisonFormat) {
+  const std::size_t m = 3;
+  const std::size_t n = m * m;
+  sim::Runner runner(sim::RunConfig{.n = n, .t = 2, .seed = 7});
+  runner.mark_faulty(1);
+  runner.mark_faulty(5);
+  std::vector<GridExchangeProcess*> procs(n, nullptr);
+  for (sim::ProcId p = 0; p < n; ++p) {
+    if (runner.is_faulty(p)) {
+      runner.install(p,
+                     std::make_unique<adversary::RandomByzantine>(p, 0.9));
+    } else {
+      auto proc = std::make_unique<GridExchangeProcess>(p, m, body_of(p));
+      procs[p] = proc.get();
+      runner.install(p, std::move(proc));
+    }
+  }
+  const auto result = runner.run(GridExchangeProcess::steps(m));
+  // No correct processor may record a wrong body for a correct sender.
+  for (sim::ProcId p = 0; p < n; ++p) {
+    if (procs[p] == nullptr) continue;
+    for (const auto& [signer, attested] : procs[p]->known()) {
+      if (result.faulty[signer]) continue;
+      EXPECT_EQ(attested.body, body_of(signer));
+    }
+  }
+}
+
+TEST(NaiveExchange, EveryoneKnowsEveryoneAtQuadraticCost) {
+  const std::size_t n = 9;
+  auto run = run_exchange<NaiveExchangeProcess>(
+      n, {}, NaiveExchangeProcess::steps(), [&](sim::ProcId p) {
+        return std::make_unique<NaiveExchangeProcess>(p, n, body_of(p));
+      });
+  auto& procs = run.procs;
+  auto& result = run.result;
+  for (sim::ProcId p = 0; p < n; ++p) {
+    EXPECT_EQ(procs[p]->known().size(), n);
+  }
+  EXPECT_EQ(result.metrics.messages_by_correct(),
+            bounds::naive_exchange_messages(n));
+}
+
+TEST(RelayExchange, CorrectPairsExchangeThroughRelays) {
+  const std::size_t n = 12;
+  const std::size_t t = 2;
+  // Two faulty (silent) processors, one of them a relay.
+  const std::vector<sim::ProcId> faulty{1, 7};
+  auto run = run_exchange<RelayExchangeProcess>(
+      n, faulty, RelayExchangeProcess::steps(), [&](sim::ProcId p) {
+        return std::make_unique<RelayExchangeProcess>(p, n, t, body_of(p));
+      });
+  auto& procs = run.procs;
+  auto& result = run.result;
+  for (sim::ProcId p = 0; p < n; ++p) {
+    if (procs[p] == nullptr) continue;
+    for (sim::ProcId q = 0; q < n; ++q) {
+      if (result.faulty[q]) continue;
+      ASSERT_TRUE(procs[p]->known().contains(q))
+          << p << " missing " << q;
+      EXPECT_EQ(procs[p]->known().at(q).body, body_of(q));
+    }
+  }
+  EXPECT_LE(result.metrics.messages_by_correct(),
+            bounds::relay_exchange_messages(n, t));
+}
+
+TEST(ExchangeCosts, GridBeatsBothBaselinesForLargeNAndT) {
+  // Theorem 6's point: 3(m-1)m^2 beats the Theta(N*t) alternatives once t
+  // is large relative to sqrt(N) (exactly: t+1 > 3(m-1)/2 against the relay
+  // formula, t > 3(m-1) against N*t itself).
+  const std::size_t m = 8;
+  const std::size_t n = m * m;
+  const std::size_t t = 3 * m;
+  EXPECT_LT(bounds::alg4_message_upper_bound(m),
+            bounds::naive_exchange_messages(n));
+  EXPECT_LT(bounds::alg4_message_upper_bound(m),
+            bounds::relay_exchange_messages(n, t));
+  EXPECT_LT(bounds::alg4_message_upper_bound(m), n * t);
+}
+
+TEST(NonIsolated, RowMajorityRule) {
+  const std::size_t m = 4;
+  std::vector<bool> faulty(16, false);
+  faulty[0] = faulty[1] = true;  // half of row 0 faulty
+  EXPECT_FALSE(non_isolated(0, m, faulty));  // faulty itself
+  EXPECT_FALSE(non_isolated(2, m, faulty));  // 2 faults = m/2, not < m/2
+  EXPECT_TRUE(non_isolated(4, m, faulty));   // clean row
+  faulty[1] = false;
+  EXPECT_TRUE(non_isolated(2, m, faulty));  // now 1 fault < 2
+}
+
+}  // namespace
+}  // namespace dr::ba

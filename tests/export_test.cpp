@@ -1,0 +1,73 @@
+#include "hist/export.h"
+
+#include <gtest/gtest.h>
+
+#include "ba/signed_value.h"
+#include "test_util.h"
+
+namespace dr::hist {
+namespace {
+
+History sample_history() {
+  History h;
+  h.set_initial(0, to_bytes("v"));
+  h.record(1, Edge{0, 1, to_bytes("abc")});
+  h.record(1, Edge{0, 2, to_bytes("de")});
+  h.record(2, Edge{1, 2, to_bytes("x")});
+  return h;
+}
+
+TEST(Export, TextContainsEveryEdge) {
+  const std::string text = to_text(sample_history());
+  EXPECT_NE(text.find("phase 0: -> p0 (input)"), std::string::npos);
+  EXPECT_NE(text.find("phase 1:"), std::string::npos);
+  EXPECT_NE(text.find("p0 -> p1  <3 bytes>"), std::string::npos);
+  EXPECT_NE(text.find("p0 -> p2  <2 bytes>"), std::string::npos);
+  EXPECT_NE(text.find("phase 2:"), std::string::npos);
+  EXPECT_NE(text.find("p1 -> p2  <1 bytes>"), std::string::npos);
+}
+
+TEST(Export, DotIsWellFormed) {
+  const std::string dot = to_dot(sample_history());
+  EXPECT_EQ(dot.rfind("digraph history {", 0), 0u);
+  EXPECT_NE(dot.find("subgraph cluster_phase1"), std::string::npos);
+  EXPECT_NE(dot.find("\"p0@1\" -> \"p1@2\""), std::string::npos);
+  EXPECT_NE(dot.find("\"p1@2\" -> \"p2@3\""), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Export, ChainPrinterDecodesRealTraffic) {
+  const auto result = ba::run_scenario(*ba::find_protocol("alg1"),
+                                       ba::BAConfig{5, 2, 0, 1}, 1, {},
+                                       /*record_history=*/true);
+  const std::string text = to_text(result.history,
+                                   ba::chain_label_printer());
+  // Phase 1: the transmitter's single-signature chains.
+  EXPECT_NE(text.find("v=1 sig[0]"), std::string::npos);
+  // Phase 2: relays extend with their own signature.
+  EXPECT_NE(text.find("v=1 sig[0,"), std::string::npos);
+  const std::string dot = to_dot(result.history,
+                                 ba::chain_label_printer());
+  EXPECT_NE(dot.find("v=1 sig[0]"), std::string::npos);
+}
+
+TEST(Export, QuotesAreEscapedInDot) {
+  History h;
+  h.record(1, Edge{0, 1, to_bytes("x")});
+  const std::string dot =
+      to_dot(h, [](const Bytes&) { return std::string("say \"hi\""); });
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(Export, EmptyHistory) {
+  History h;
+  EXPECT_EQ(to_text(h), "");
+  const std::string dot = to_dot(h);
+  EXPECT_NE(dot.find("digraph history"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dr::hist

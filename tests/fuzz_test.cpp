@@ -1,0 +1,138 @@
+// Randomized property campaign: for every protocol, many seeds, random
+// fault placements, kinds and adversary parameters — both Byzantine
+// Agreement conditions must hold in every single run. This is the
+// repository's broadest safety net; any counterexample prints its full
+// recipe (protocol, seed, fault plan) for replay.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dr {
+namespace {
+
+using ba::BAConfig;
+using ba::ProcId;
+using ba::Protocol;
+using ba::ScenarioFault;
+using ba::ScenarioOptions;
+using ba::Value;
+
+struct FuzzTarget {
+  std::string label;
+  Protocol protocol;
+  std::size_t n;
+  std::size_t t;
+  bool binary_only;
+};
+
+std::vector<FuzzTarget> targets() {
+  std::vector<FuzzTarget> out;
+  auto add = [&](const Protocol& p, std::size_t n, std::size_t t,
+                 bool binary) {
+    out.push_back(FuzzTarget{p.name, p, n, t, binary});
+  };
+  add(*ba::find_protocol("dolev-strong"), 8, 2, false);
+  add(*ba::find_protocol("dolev-strong-relay"), 10, 2, false);
+  add(*ba::find_protocol("eig"), 7, 2, false);
+  add(*ba::find_protocol("phase-king"), 13, 3, false);
+  add(*ba::find_protocol("alg1"), 9, 4, true);
+  add(*ba::find_protocol("alg1-mv"), 9, 4, false);
+  add(*ba::find_protocol("alg2"), 9, 4, true);
+  add(ba::make_alg3_protocol(4), 30, 3, true);
+  add(ba::make_alg3_mv_protocol(4), 30, 3, false);
+  add(ba::make_alg5_protocol(3), 40, 2, true);
+  add(ba::make_alg5_mv_protocol(3), 40, 2, false);
+  add(*ba::find_protocol("alg2-mv"), 9, 4, false);
+  return out;
+}
+
+/// Draws a random fault plan: up to t faults at distinct random positions,
+/// each with a random kind.
+std::vector<ScenarioFault> random_faults(const FuzzTarget& target,
+                                         const Protocol& protocol,
+                                         Xoshiro256& rng) {
+  const std::size_t count = rng.below(target.t + 1);
+  std::set<ProcId> positions;
+  while (positions.size() < count) {
+    positions.insert(
+        static_cast<ProcId>(rng.below(target.n)));
+  }
+  std::vector<ScenarioFault> faults;
+  for (ProcId id : positions) {
+    switch (rng.below(4)) {
+      case 0:
+        faults.push_back(test::silent(id));
+        break;
+      case 1:
+        faults.push_back(test::chaos(id, rng.next(),
+                                     0.05 + 0.4 * static_cast<double>(
+                                                      rng.below(10)) / 10.0));
+        break;
+      case 2:
+        faults.push_back(test::crash(
+            protocol, id,
+            static_cast<sim::PhaseNum>(
+                1 + rng.below(protocol.steps(
+                        BAConfig{target.n, target.t, 0, 1})))));
+        break;
+      default:
+        if (id == 0) {
+          std::set<ProcId> ones;
+          for (ProcId q = 1; q < target.n; ++q) {
+            if (rng.chance(0.5)) ones.insert(q);
+          }
+          faults.push_back(test::equivocator(std::move(ones)));
+        } else {
+          faults.push_back(test::chaos(id, rng.next(), 0.5));
+        }
+        break;
+    }
+  }
+  return faults;
+}
+
+class FuzzCampaign : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzCampaign, EveryProtocolEveryRandomAdversary) {
+  const std::uint64_t campaign_seed = GetParam();
+  for (const FuzzTarget& target : targets()) {
+    Xoshiro256 rng(campaign_seed * 1000003 +
+                   std::hash<std::string>{}(target.label));
+    const Value value = target.binary_only
+                            ? Value{rng.below(2)}
+                            : Value{rng.below(100)};
+    const BAConfig config{target.n, target.t, 0, value};
+    ASSERT_TRUE(target.protocol.supports(config)) << target.label;
+    const auto faults = random_faults(target, target.protocol, rng);
+    const bool transmitter_faulty =
+        !faults.empty() && std::any_of(faults.begin(), faults.end(),
+                                       [](const ScenarioFault& f) {
+                                         return f.id == 0;
+                                       });
+    ScenarioOptions options;
+    options.seed = campaign_seed;
+    options.rushing = rng.chance(0.5);
+    const auto result =
+        ba::run_scenario(target.protocol, config, options, faults);
+    const auto check = sim::check_byzantine_agreement(result, 0, value);
+    EXPECT_TRUE(check.agreement)
+        << target.label << " campaign=" << campaign_seed
+        << " faults=" << faults.size() << " value=" << value
+        << " rushing=" << options.rushing;
+    if (!transmitter_faulty) {
+      EXPECT_TRUE(check.validity)
+          << target.label << " campaign=" << campaign_seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCampaign,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{201}),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace dr

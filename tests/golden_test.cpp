@@ -1,0 +1,96 @@
+// Golden regression suite: every run in this repository is a deterministic
+// function of (protocol, config, seed, faults), so exact information-
+// exchange counts can be pinned. A change to any of these numbers means a
+// protocol's behaviour changed — either an intentional improvement (update
+// the table and explain in the commit) or an accidental regression.
+//
+// All rows: failure-free, transmitter 0, seed 1, HMAC scheme.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dr {
+namespace {
+
+using ba::BAConfig;
+using ba::Value;
+
+struct Golden {
+  ba::Protocol protocol;
+  std::size_t n;
+  std::size_t t;
+  Value value;
+  std::size_t messages;
+  std::size_t signatures;
+  std::size_t bytes;
+  sim::PhaseNum last_phase;
+};
+
+class GoldenCounts : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenCounts, ExactInformationExchange) {
+  const Golden& g = GetParam();
+  const BAConfig config{g.n, g.t, 0, g.value};
+  ASSERT_TRUE(g.protocol.supports(config));
+  const auto result = ba::run_scenario(g.protocol, config, 1);
+  const auto check = sim::check_byzantine_agreement(result, 0, g.value);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_TRUE(check.validity);
+  EXPECT_EQ(result.metrics.messages_by_correct(), g.messages);
+  EXPECT_EQ(result.metrics.signatures_by_correct(), g.signatures);
+  EXPECT_EQ(result.metrics.bytes_by_correct(), g.bytes);
+  EXPECT_EQ(result.metrics.last_active_phase(), g.last_phase);
+}
+
+std::vector<Golden> golden_rows() {
+  return {
+      {*ba::find_protocol("dolev-strong"), 7, 2, 1,
+       42, 78, 2736, 2},
+      {*ba::find_protocol("dolev-strong-relay"), 12, 2, 1,
+       68, 125, 4386, 2},
+      {*ba::find_protocol("eig"), 7, 2, 1,
+       78, 0, 1140, 3},
+      {*ba::find_protocol("phase-king"), 13, 3, 1,
+       684, 0, 684, 9},
+      {*ba::find_protocol("alg1"), 9, 4, 1,
+       40, 72, 2528, 2},
+      {*ba::find_protocol("alg1-mv"), 9, 4, 7,
+       40, 72, 2528, 2},
+      {*ba::find_protocol("alg2"), 9, 4, 1,
+       100, 402, 13868, 15},
+      {ba::make_alg3_protocol(4), 40, 3, 1,
+       198, 456, 15900, 13},
+      {ba::make_alg5_protocol(3), 48, 2, 1,
+       775, 3824, 152542, 24},
+      {ba::make_alg5_protocol(7), 70, 2, 0,
+       895, 5368, 219232, 41},
+  };
+}
+
+std::string row_name(const ::testing::TestParamInfo<Golden>& info) {
+  std::string tag = info.param.protocol.name + "_n" +
+                    std::to_string(info.param.n);
+  for (char& c : tag) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return tag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pinned, GoldenCounts,
+                         ::testing::ValuesIn(golden_rows()), row_name);
+
+TEST(GoldenCounts, CrossSeedStabilityOfCounts) {
+  // Counts are seed-independent failure-free (only signatures' bytes
+  // change with keys, and signature *sizes* are fixed for HMAC).
+  const BAConfig config{9, 4, 0, 1};
+  const auto a = ba::run_scenario(*ba::find_protocol("alg2"), config, 1);
+  const auto b = ba::run_scenario(*ba::find_protocol("alg2"), config, 999);
+  EXPECT_EQ(a.metrics.messages_by_correct(),
+            b.metrics.messages_by_correct());
+  EXPECT_EQ(a.metrics.signatures_by_correct(),
+            b.metrics.signatures_by_correct());
+  EXPECT_EQ(a.metrics.bytes_by_correct(), b.metrics.bytes_by_correct());
+}
+
+}  // namespace
+}  // namespace dr

@@ -1,0 +1,127 @@
+#include "hist/history.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace dr::hist {
+namespace {
+
+Edge edge(ProcId from, ProcId to, std::string_view label) {
+  return Edge{from, to, to_bytes(label)};
+}
+
+TEST(PhaseGraph, InEdgesAndOutEdges) {
+  PhaseGraph g;
+  g.add(edge(0, 1, "a"));
+  g.add(edge(2, 1, "b"));
+  g.add(edge(1, 0, "c"));
+  const auto in1 = g.in_edges(1);
+  ASSERT_EQ(in1.size(), 2u);
+  EXPECT_EQ(in1[0].from, 0u);
+  EXPECT_EQ(in1[1].from, 2u);
+  const auto out1 = g.out_edges(1);
+  ASSERT_EQ(out1.size(), 1u);
+  EXPECT_EQ(out1[0].to, 0u);
+}
+
+TEST(PhaseGraph, EqualityIgnoresInsertionOrder) {
+  PhaseGraph a;
+  a.add(edge(0, 1, "x"));
+  a.add(edge(1, 2, "y"));
+  PhaseGraph b;
+  b.add(edge(1, 2, "y"));
+  b.add(edge(0, 1, "x"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(PhaseGraph, EqualityDetectsLabelDifference) {
+  PhaseGraph a;
+  a.add(edge(0, 1, "x"));
+  PhaseGraph b;
+  b.add(edge(0, 1, "y"));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(History, RecordAndQueryPhases) {
+  History h;
+  h.record(2, edge(0, 1, "late"));
+  h.record(1, edge(1, 0, "early"));
+  EXPECT_EQ(h.phases(), 2u);
+  EXPECT_EQ(h.phase(1).edges().size(), 1u);
+  EXPECT_EQ(h.phase(2).edges().size(), 1u);
+  EXPECT_TRUE(h.phase(3).edges().empty());  // missing phases are empty
+}
+
+TEST(History, InitialValueOnlyVisibleToTransmitter) {
+  History h;
+  h.set_initial(3, to_bytes("v"));
+  h.record(1, edge(3, 0, "m"));
+  const History for_transmitter = h.individual(3);
+  EXPECT_TRUE(for_transmitter.initial_value().has_value());
+  const History for_other = h.individual(0);
+  EXPECT_FALSE(for_other.initial_value().has_value());
+}
+
+TEST(History, IndividualSubhistoryKeepsOnlyInEdges) {
+  History h;
+  h.record(1, edge(0, 1, "to1"));
+  h.record(1, edge(0, 2, "to2"));
+  h.record(2, edge(2, 1, "to1again"));
+  const History p1 = h.individual(1);
+  EXPECT_EQ(p1.phases(), 2u);
+  EXPECT_EQ(p1.phase(1).edges().size(), 1u);
+  EXPECT_EQ(p1.phase(1).edges()[0].to, 1u);
+  EXPECT_EQ(p1.phase(2).edges().size(), 1u);
+  const History p2 = h.individual(2);
+  EXPECT_EQ(p2.phase(1).edges().size(), 1u);
+  EXPECT_TRUE(p2.phase(2).edges().empty());
+}
+
+TEST(History, IndividualSubhistoriesDetectIndistinguishability) {
+  // Two different global histories in which processor 1 sees the same thing.
+  History a;
+  a.record(1, edge(0, 1, "m"));
+  a.record(1, edge(0, 2, "x"));
+  History b;
+  b.record(1, edge(0, 1, "m"));
+  b.record(1, edge(0, 2, "different"));
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.individual(1), b.individual(1));
+  EXPECT_FALSE(a.individual(2) == b.individual(2));
+}
+
+TEST(History, PrefixTruncates) {
+  History h;
+  h.set_initial(0, to_bytes("v"));
+  h.record(1, edge(0, 1, "a"));
+  h.record(2, edge(1, 2, "b"));
+  h.record(3, edge(2, 0, "c"));
+  const History p = h.prefix(2);
+  EXPECT_EQ(p.phases(), 2u);
+  EXPECT_EQ(p.phase(1), h.phase(1));
+  EXPECT_EQ(p.phase(2), h.phase(2));
+  EXPECT_TRUE(p.initial_value().has_value());
+  // Prefix longer than the history is the history itself.
+  EXPECT_EQ(h.prefix(10), h);
+}
+
+TEST(History, CountEdges) {
+  History h;
+  h.record(1, edge(0, 1, "a"));
+  h.record(1, edge(5, 2, "b"));
+  h.record(2, edge(5, 0, "c"));
+  EXPECT_EQ(h.count_edges([](const Edge&) { return true; }), 3u);
+  EXPECT_EQ(h.count_edges([](const Edge& e) { return e.from == 5; }), 2u);
+  EXPECT_EQ(h.count_edges([](const Edge& e) { return e.to == 1; }), 1u);
+}
+
+TEST(History, SelfLoopAllowedButQueryable) {
+  // The model never produces self-edges, but the container handles them.
+  History h;
+  h.record(1, edge(1, 1, "self"));
+  EXPECT_EQ(h.individual(1).phase(1).edges().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dr::hist

@@ -1,0 +1,92 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace dr::crypto {
+namespace {
+
+std::string hmac_hex(ByteView key, ByteView msg) {
+  const Digest d = hmac_sha256(key, msg);
+  return to_hex(ByteView{d.data(), d.size()});
+}
+
+Bytes hexb(std::string_view h) {
+  bool ok = false;
+  Bytes b = from_hex(h, ok);
+  EXPECT_TRUE(ok);
+  return b;
+}
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_hex(key, as_bytes("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      hmac_hex(as_bytes("Jefe"), as_bytes("what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(hmac_hex(key, msg),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case4) {
+  const Bytes key = hexb("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  const Bytes msg(50, 0xcd);
+  EXPECT_EQ(hmac_hex(key, msg),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);  // key longer than the block size gets hashed
+  EXPECT_EQ(hmac_hex(key, as_bytes("Test Using Larger Than Block-Size Key - "
+                                   "Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Rfc4231Case7LongKeyAndData) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hmac_hex(key, as_bytes("This is a test using a larger than "
+                                   "block-size key and a larger than "
+                                   "block-size data. The key needs to be "
+                                   "hashed before being used by the HMAC "
+                                   "algorithm.")),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Hmac, EmptyKeyAndMessageStillWork) {
+  // Not a standard vector; just exercise the degenerate path.
+  EXPECT_EQ(hmac_hex({}, {}),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+}
+
+TEST(Hmac, KeySensitivity) {
+  EXPECT_NE(hmac_hex(as_bytes("key1"), as_bytes("msg")),
+            hmac_hex(as_bytes("key2"), as_bytes("msg")));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  EXPECT_NE(hmac_hex(as_bytes("key"), as_bytes("msg1")),
+            hmac_hex(as_bytes("key"), as_bytes("msg2")));
+}
+
+TEST(DeriveKey, DeterministicAndLabelSeparated) {
+  const Bytes seed = to_bytes("master");
+  EXPECT_EQ(derive_key(seed, as_bytes("a")), derive_key(seed, as_bytes("a")));
+  EXPECT_NE(derive_key(seed, as_bytes("a")), derive_key(seed, as_bytes("b")));
+  EXPECT_NE(derive_key(seed, as_bytes("a")),
+            derive_key(to_bytes("other"), as_bytes("a")));
+  EXPECT_EQ(derive_key(seed, as_bytes("a")).size(), kSha256DigestSize);
+}
+
+}  // namespace
+}  // namespace dr::crypto

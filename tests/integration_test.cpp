@@ -1,0 +1,215 @@
+// Cross-protocol property sweep: every protocol, under every adversary mix
+// we implement, must satisfy both Byzantine Agreement conditions, and its
+// failure-free cost must respect the paper's bounds where a closed form is
+// stated.
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "test_util.h"
+
+namespace dr {
+namespace {
+
+using ba::BAConfig;
+using ba::ProcId;
+using ba::Protocol;
+using ba::ScenarioFault;
+using ba::Value;
+using test::chaos;
+using test::crash;
+using test::equivocator;
+using test::silent;
+
+struct Case {
+  std::string label;
+  Protocol protocol;
+  std::size_t n;
+  std::size_t t;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  auto add = [&](const Protocol& p, std::size_t n, std::size_t t) {
+    cases.push_back(Case{p.name + "_n" + std::to_string(n) + "_t" +
+                             std::to_string(t),
+                         p, n, t});
+  };
+  add(*ba::find_protocol("dolev-strong"), 7, 2);
+  add(*ba::find_protocol("dolev-strong"), 12, 3);
+  add(*ba::find_protocol("dolev-strong-relay"), 12, 2);
+  add(*ba::find_protocol("eig"), 7, 2);
+  add(*ba::find_protocol("eig"), 10, 3);
+  add(*ba::find_protocol("phase-king"), 13, 3);
+  add(*ba::find_protocol("phase-king"), 33, 8);
+  add(*ba::find_protocol("alg1"), 7, 3);
+  add(*ba::find_protocol("alg1"), 11, 5);
+  add(*ba::find_protocol("alg2"), 7, 3);
+  add(ba::make_alg3_protocol(3), 25, 2);
+  add(ba::make_alg3_protocol(6), 40, 3);
+  add(ba::make_alg5_protocol(3), 30, 1);
+  add(ba::make_alg5_protocol(3), 48, 2);
+  add(ba::make_alg5_protocol(7), 70, 2);
+  add(*ba::find_protocol("alg1-mv"), 11, 5);
+  add(*ba::find_protocol("alg2-mv"), 7, 3);
+  add(ba::make_alg3_mv_protocol(3), 25, 2);
+  add(ba::make_alg5_mv_protocol(3), 48, 2);
+  add(ba::make_alg5_ungated_protocol(3), 48, 2);
+  return cases;
+}
+
+class ProtocolProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ProtocolProperty, FailureFreeBothValues) {
+  const Case& c = GetParam();
+  for (Value v : {Value{0}, Value{1}}) {
+    BAConfig config{c.n, c.t, 0, v};
+    if (!c.protocol.supports(config)) continue;
+    test::expect_agreement(c.protocol, config, 1);
+  }
+}
+
+TEST_P(ProtocolProperty, SilentFaultSweepOverPositions) {
+  const Case& c = GetParam();
+  const BAConfig config{c.n, c.t, 0, 1};
+  if (!c.protocol.supports(config)) GTEST_SKIP();
+  // Slide a window of t silent faults across the id space.
+  for (std::size_t start = 1; start + c.t <= c.n; start += (c.n / 5) + 1) {
+    std::vector<ScenarioFault> faults;
+    for (std::size_t i = 0; i < c.t; ++i) {
+      faults.push_back(silent(static_cast<ProcId>(start + i)));
+    }
+    test::expect_agreement(c.protocol, config, 1, faults);
+  }
+}
+
+TEST_P(ProtocolProperty, CrashFaultsAtVariousPhases) {
+  const Case& c = GetParam();
+  const BAConfig config{c.n, c.t, 0, 1};
+  if (!c.protocol.supports(config)) GTEST_SKIP();
+  const sim::PhaseNum total = c.protocol.steps(config);
+  for (sim::PhaseNum when : {sim::PhaseNum{2}, total / 2, total}) {
+    std::vector<ScenarioFault> faults;
+    for (std::size_t i = 0; i < c.t; ++i) {
+      faults.push_back(crash(c.protocol,
+                             static_cast<ProcId>(1 + i * (c.n - 2) / std::max<std::size_t>(c.t, 1)),
+                             when + static_cast<sim::PhaseNum>(i)));
+    }
+    // Deduplicate fault ids (the spread formula can collide for small n).
+    std::set<ProcId> seen;
+    std::vector<ScenarioFault> unique;
+    for (auto& f : faults) {
+      if (seen.insert(f.id).second) unique.push_back(std::move(f));
+    }
+    test::expect_agreement(c.protocol, config, 1, unique);
+  }
+}
+
+TEST_P(ProtocolProperty, RandomByzantineSeeds) {
+  const Case& c = GetParam();
+  const BAConfig config{c.n, c.t, 0, 1};
+  if (!c.protocol.supports(config)) GTEST_SKIP();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    std::vector<ScenarioFault> faults;
+    for (std::size_t i = 0; i < c.t; ++i) {
+      // Mix positions: low ids (actives / relays) and high ids (passives).
+      const ProcId id = (i % 2 == 0)
+                            ? static_cast<ProcId>(1 + i)
+                            : static_cast<ProcId>(c.n - 1 - i);
+      faults.push_back(chaos(id, seed * 997 + i, 0.25));
+    }
+    std::set<ProcId> seen;
+    std::vector<ScenarioFault> unique;
+    for (auto& f : faults) {
+      if (seen.insert(f.id).second) unique.push_back(std::move(f));
+    }
+    test::expect_agreement(c.protocol, config, seed, unique);
+  }
+}
+
+TEST_P(ProtocolProperty, FaultyTransmitterAgreementOnly) {
+  const Case& c = GetParam();
+  const BAConfig config{c.n, c.t, 0, 0};
+  if (!c.protocol.supports(config)) GTEST_SKIP();
+  if (c.t < 1) GTEST_SKIP();
+  // Equivocating transmitter splitting the processors in half.
+  std::set<ProcId> ones;
+  for (ProcId q = 1; q < c.n; q += 2) ones.insert(q);
+  const auto result =
+      ba::run_scenario(c.protocol, config, 1, {equivocator(ones)});
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement)
+      << c.label;
+}
+
+TEST_P(ProtocolProperty, DelayedEchoAdversary) {
+  // Stale replays must bounce off the phase-stamped acceptance rules.
+  const Case& c = GetParam();
+  const BAConfig config{c.n, c.t, 0, 1};
+  if (!c.protocol.supports(config)) GTEST_SKIP();
+  if (c.t < 1) GTEST_SKIP();
+  for (sim::PhaseNum delay : {sim::PhaseNum{1}, sim::PhaseNum{3}}) {
+    test::expect_agreement(c.protocol, config, 1,
+                           {test::delayed_echo(
+                               static_cast<ProcId>(c.n - 1), delay)});
+  }
+}
+
+TEST_P(ProtocolProperty, DeterministicAcrossRuns) {
+  const Case& c = GetParam();
+  const BAConfig config{c.n, c.t, 0, 1};
+  if (!c.protocol.supports(config)) GTEST_SKIP();
+  const auto a = ba::run_scenario(c.protocol, config, 7, {}, true);
+  const auto b = ba::run_scenario(c.protocol, config, 7, {}, true);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_TRUE(a.history == b.history);
+  EXPECT_EQ(a.metrics.messages_by_correct(),
+            b.metrics.messages_by_correct());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolProperty,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& param_info) {
+                           std::string tag = param_info.param.label;
+                           for (char& ch : tag) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           }
+                           return tag;
+                         });
+
+TEST_P(ProtocolProperty, MetricsAgreeWithRecordedHistory) {
+  // Two independent accounting paths — the metrics counters and the
+  // recorded history — must agree on the number of messages sent by
+  // correct processors.
+  const Case& c = GetParam();
+  const BAConfig config{c.n, c.t, 0, 1};
+  if (!c.protocol.supports(config)) GTEST_SKIP();
+  std::vector<ScenarioFault> faults;
+  if (c.t >= 1) faults.push_back(silent(static_cast<ProcId>(c.n - 1)));
+  const auto result = ba::run_scenario(c.protocol, config, 1, faults, true);
+  const auto counted = result.history.count_edges(
+      [&](const hist::Edge& e) { return !result.faulty[e.from]; });
+  EXPECT_EQ(counted, result.metrics.messages_by_correct()) << c.label;
+}
+
+TEST(CrossProtocol, MessageOrderingMatchesTheory) {
+  // At large n and small t the paper's ordering must emerge:
+  // alg5 (O(n+t^2)) < dolev-strong-relay (O(nt)) < dolev-strong (O(n^2)).
+  // The alg5 constants (activation + chain + report per tree, plus the
+  // per-block Algorithm-4 exchanges) put the crossover around n ~ 300 for
+  // t = 2, s = 15.
+  const std::size_t n = 400;
+  const std::size_t t = 2;
+  const auto a5 = test::expect_agreement(ba::make_alg5_protocol(15),
+                                         BAConfig{n, t, 0, 1}, 1);
+  const auto rel = test::expect_agreement(
+      *ba::find_protocol("dolev-strong-relay"), BAConfig{n, t, 0, 1}, 1);
+  const auto bro = test::expect_agreement(*ba::find_protocol("dolev-strong"),
+                                          BAConfig{n, t, 0, 1}, 1);
+  EXPECT_LT(a5.metrics.messages_by_correct(),
+            rel.metrics.messages_by_correct());
+  EXPECT_LT(rel.metrics.messages_by_correct(),
+            bro.metrics.messages_by_correct());
+}
+
+}  // namespace
+}  // namespace dr

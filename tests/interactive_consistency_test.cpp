@@ -1,0 +1,139 @@
+#include "ba/interactive_consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::silent;
+
+/// Asserts the two PSL interactive-consistency conditions over the result:
+/// every pair of correct processors holds the same vector, and entry i of
+/// that vector equals values[i] whenever processor i is correct.
+void expect_interactive_consistency(const ICResult& result,
+                                    const std::vector<Value>& values) {
+  const std::size_t n = values.size();
+  const std::vector<std::optional<Value>>* reference = nullptr;
+  for (ProcId p = 0; p < n; ++p) {
+    if (result.run.faulty[p]) continue;
+    const auto& vec = result.vectors[p];
+    ASSERT_EQ(vec.size(), n) << "processor " << p;
+    if (reference == nullptr) {
+      reference = &result.vectors[p];
+    } else {
+      EXPECT_EQ(vec, *reference) << "vector disagreement at " << p;
+    }
+    for (ProcId i = 0; i < n; ++i) {
+      if (result.run.faulty[i]) continue;
+      ASSERT_TRUE(vec[i].has_value());
+      EXPECT_EQ(*vec[i], values[i])
+          << "processor " << p << " got entry " << i << " wrong";
+    }
+  }
+  ASSERT_NE(reference, nullptr);
+}
+
+std::vector<Value> test_values(std::size_t n) {
+  std::vector<Value> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = 1000 + 7 * i;
+  return values;
+}
+
+class ICBases : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ICBases, FailureFree) {
+  const Protocol& base = *find_protocol(GetParam());
+  const std::size_t t = 2;
+  // phase-king needs n > 4t; the others are fine at n = 7.
+  const std::size_t n =
+      InteractiveConsistency::supports(base, 7, t) ? 7 : 9;
+  ASSERT_TRUE(InteractiveConsistency::supports(base, n, t));
+  const auto values = test_values(n);
+  const auto result = run_interactive_consistency(base, values, t, 1);
+  expect_interactive_consistency(result, values);
+}
+
+TEST_P(ICBases, WithSilentAndChaoticFaults) {
+  const Protocol& base = *find_protocol(GetParam());
+  const std::size_t t = 2;
+  const std::size_t n =
+      InteractiveConsistency::supports(base, 7, t) ? 7 : 9;
+  const auto values = test_values(n);
+  const auto result = run_interactive_consistency(
+      base, values, t, 1, {silent(3), chaos(6, 99, 0.3)});
+  expect_interactive_consistency(result, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, ICBases,
+                         ::testing::Values("dolev-strong",
+                                           "dolev-strong-relay", "eig",
+                                           "phase-king"),
+                         [](const auto& param_info) {
+                           std::string tag = param_info.param;
+                           for (char& c : tag) {
+                             if (c == '-') c = '_';
+                           }
+                           return tag;
+                         });
+
+TEST(InteractiveConsistency, FaultyEntriesStillAgreeAcrossCorrect) {
+  // The faulty processor's entry may be anything, but it must be the SAME
+  // anything at every correct processor (condition 1 of PSL).
+  const Protocol& base = *find_protocol("dolev-strong");
+  const std::size_t n = 7;
+  const std::size_t t = 2;
+  const auto values = test_values(n);
+  const auto result = run_interactive_consistency(base, values, t, 5,
+                                                  {chaos(2, 17, 0.6)});
+  const std::vector<std::optional<Value>>* reference = nullptr;
+  for (ProcId p = 0; p < n; ++p) {
+    if (result.run.faulty[p]) continue;
+    if (reference == nullptr) {
+      reference = &result.vectors[p];
+    } else {
+      EXPECT_EQ(result.vectors[p], *reference);
+    }
+  }
+}
+
+TEST(InteractiveConsistency, CostIsNTimesTheBase) {
+  const Protocol& base = *find_protocol("dolev-strong");
+  const std::size_t n = 7;
+  const std::size_t t = 2;
+  const auto values = test_values(n);
+  const auto ic = run_interactive_consistency(base, values, t, 1);
+  // One plain broadcast for comparison.
+  const auto single = run_scenario(base, BAConfig{n, t, 0, 1}, 1);
+  // n parallel instances: within a factor-of-n envelope (instances with
+  // different transmitters cost slightly different amounts).
+  EXPECT_GE(ic.run.metrics.messages_by_correct(),
+            single.metrics.messages_by_correct() * (n - 1));
+  EXPECT_LE(ic.run.metrics.messages_by_correct(),
+            single.metrics.messages_by_correct() * (n + 1));
+}
+
+TEST(InteractiveConsistency, SupportsRequiresArbitraryTransmitters) {
+  // alg1 fixes the transmitter to 0, so it cannot serve as an IC base.
+  EXPECT_FALSE(
+      InteractiveConsistency::supports(*find_protocol("alg1"), 7, 3));
+  EXPECT_TRUE(
+      InteractiveConsistency::supports(*find_protocol("dolev-strong"), 7,
+                                       2));
+}
+
+TEST(InteractiveConsistency, MalformedTagsAreIgnored) {
+  // A fault that sprays untagged garbage must not break the multiplexer.
+  const Protocol& base = *find_protocol("dolev-strong");
+  const std::size_t n = 5;
+  const std::size_t t = 1;
+  const auto values = test_values(n);
+  const auto result = run_interactive_consistency(base, values, t, 3,
+                                                  {chaos(4, 1234, 0.9)});
+  expect_interactive_consistency(result, values);
+}
+
+}  // namespace
+}  // namespace dr::ba

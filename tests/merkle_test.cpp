@@ -1,0 +1,201 @@
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+#include "ba/registry.h"
+#include "crypto/signature.h"
+#include "test_util.h"
+#include "util/bytes.h"
+
+namespace dr::crypto {
+namespace {
+
+Digest digest_of(std::string_view s) { return sha256(as_bytes(s)); }
+
+TEST(LamportOts, SignVerifyRoundTrip) {
+  const Bytes seed = to_bytes("ots-seed");
+  const Digest d = digest_of("message");
+  const OtsSignature sig = ots_sign(seed, 0, d);
+  const auto leaf = ots_verify(sig, d);
+  ASSERT_TRUE(leaf.has_value());
+  EXPECT_EQ(*leaf, ots_public_key(seed, 0).leaf_hash());
+}
+
+TEST(LamportOts, WrongDigestFails) {
+  const Bytes seed = to_bytes("ots-seed");
+  const OtsSignature sig = ots_sign(seed, 0, digest_of("message"));
+  // A different digest flips at least one bit, whose preimage was never
+  // revealed.
+  EXPECT_EQ(ots_verify(sig, digest_of("other")), std::nullopt);
+}
+
+TEST(LamportOts, TamperedRevealFails) {
+  const Bytes seed = to_bytes("ots-seed");
+  const Digest d = digest_of("message");
+  OtsSignature sig = ots_sign(seed, 0, d);
+  sig.revealed[17][3] ^= 1;
+  EXPECT_EQ(ots_verify(sig, d), std::nullopt);
+}
+
+TEST(LamportOts, SwappedPublicKeyChangesLeafHash) {
+  const Bytes seed = to_bytes("ots-seed");
+  const Digest d = digest_of("message");
+  OtsSignature sig = ots_sign(seed, 0, d);
+  // Substituting a different public key either breaks verification or
+  // changes the leaf hash (so the Merkle root check fails upstream).
+  const OtsPublicKey original = sig.public_key;
+  sig.public_key = ots_public_key(seed, 1);
+  const auto leaf = ots_verify(sig, d);
+  if (leaf.has_value()) {
+    EXPECT_NE(*leaf, original.leaf_hash());
+  }
+}
+
+TEST(LamportOts, DifferentLeavesHaveIndependentKeys) {
+  const Bytes seed = to_bytes("ots-seed");
+  EXPECT_NE(ots_public_key(seed, 0).leaf_hash(),
+            ots_public_key(seed, 1).leaf_hash());
+}
+
+TEST(MerklePrivateKey, RootIsDeterministic) {
+  MerklePrivateKey a(to_bytes("seed"), 3);
+  MerklePrivateKey b(to_bytes("seed"), 3);
+  EXPECT_EQ(a.root(), b.root());
+  MerklePrivateKey c(to_bytes("other"), 3);
+  EXPECT_NE(a.root(), c.root());
+}
+
+TEST(MerklePrivateKey, AuthPathReconstructsRoot) {
+  MerklePrivateKey key(to_bytes("seed"), 3);
+  const Digest d = digest_of("msg");
+  for (int i = 0; i < 8; ++i) {  // exhaust all leaves
+    const auto sig = key.sign(d);
+    const auto leaf_hash = ots_verify(sig.ots, d);
+    ASSERT_TRUE(leaf_hash.has_value());
+    EXPECT_EQ(merkle_root_from_path(*leaf_hash, sig.leaf, sig.auth_path),
+              key.root());
+    EXPECT_EQ(sig.leaf, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(key.remaining(), 0u);
+}
+
+TEST(MerklePrivateKey, WrongLeafIndexBreaksPath) {
+  MerklePrivateKey key(to_bytes("seed"), 3);
+  const Digest d = digest_of("msg");
+  auto sig = key.sign(d);
+  const auto leaf_hash = ots_verify(sig.ots, d);
+  ASSERT_TRUE(leaf_hash.has_value());
+  EXPECT_NE(merkle_root_from_path(*leaf_hash, sig.leaf + 1, sig.auth_path),
+            key.root());
+}
+
+TEST(MerkleSignature, EncodeDecodeRoundTrip) {
+  MerklePrivateKey key(to_bytes("seed"), 2);
+  const auto sig = key.sign(digest_of("msg"));
+  const auto decoded = decode_merkle_signature(encode_merkle_signature(sig));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->leaf, sig.leaf);
+  EXPECT_EQ(decoded->ots.revealed, sig.ots.revealed);
+  EXPECT_EQ(decoded->auth_path, sig.auth_path);
+}
+
+TEST(MerkleSignature, DecodeRejectsGarbage) {
+  EXPECT_EQ(decode_merkle_signature(Bytes{}), std::nullopt);
+  EXPECT_EQ(decode_merkle_signature(to_bytes("junk")), std::nullopt);
+  MerklePrivateKey key(to_bytes("seed"), 2);
+  Bytes enc = encode_merkle_signature(key.sign(digest_of("m")));
+  enc.pop_back();
+  EXPECT_EQ(decode_merkle_signature(enc), std::nullopt);
+}
+
+class MerkleSchemeTest : public ::testing::Test {
+ protected:
+  MerkleScheme scheme_{3, /*master_seed=*/7, /*height=*/3};
+};
+
+TEST_F(MerkleSchemeTest, SignVerify) {
+  const Bytes msg = to_bytes("attack at dawn");
+  const Bytes sig = scheme_.sign(1, msg);
+  EXPECT_TRUE(scheme_.verify(1, msg, sig));
+}
+
+TEST_F(MerkleSchemeTest, CrossSignerFails) {
+  const Bytes msg = to_bytes("m");
+  const Bytes sig = scheme_.sign(1, msg);
+  EXPECT_FALSE(scheme_.verify(2, msg, sig));
+  EXPECT_FALSE(scheme_.verify(0, msg, sig));
+}
+
+TEST_F(MerkleSchemeTest, WrongMessageFails) {
+  const Bytes sig = scheme_.sign(1, to_bytes("m"));
+  EXPECT_FALSE(scheme_.verify(1, to_bytes("m2"), sig));
+}
+
+TEST_F(MerkleSchemeTest, StateAdvancesPerSignature) {
+  EXPECT_EQ(scheme_.remaining(1), 8u);
+  scheme_.sign(1, to_bytes("a"));
+  scheme_.sign(1, to_bytes("b"));
+  EXPECT_EQ(scheme_.remaining(1), 6u);
+  EXPECT_EQ(scheme_.remaining(0), 8u);
+}
+
+TEST_F(MerkleSchemeTest, SignaturesFromDifferentLeavesBothVerify) {
+  const Bytes m1 = to_bytes("first");
+  const Bytes m2 = to_bytes("second");
+  const Bytes s1 = scheme_.sign(0, m1);
+  const Bytes s2 = scheme_.sign(0, m2);
+  EXPECT_TRUE(scheme_.verify(0, m1, s1));
+  EXPECT_TRUE(scheme_.verify(0, m2, s2));
+  EXPECT_NE(s1, s2);
+}
+
+TEST_F(MerkleSchemeTest, WorksThroughSignerVerifierWrappers) {
+  Signer signer(&scheme_, {2});
+  Verifier verifier(&scheme_);
+  const Bytes msg = to_bytes("wrapped");
+  const Signature sig = signer.sign(2, msg);
+  EXPECT_TRUE(verifier.verify(2, msg, sig));
+  Signature relabelled = sig;
+  relabelled.signer = 1;
+  EXPECT_FALSE(verifier.verify(1, msg, relabelled));
+}
+
+// End-to-end: Byzantine Agreement over genuine hash-based signatures. The
+// key budget matters: Dolev-Strong signs at most 1 + 2 chains per
+// processor, well within 2^6 leaves.
+TEST(MerkleIntegration, DolevStrongOverHashBasedSignatures) {
+  const ba::Protocol& protocol = *ba::find_protocol("dolev-strong");
+  const ba::BAConfig config{5, 1, 0, 1};
+  sim::RunConfig run{.n = 5, .t = 1, .transmitter = 0, .value = 1,
+                     .seed = 1, .scheme = sim::SchemeKind::kMerkle,
+                     .merkle_height = 4};
+  sim::Runner runner(run);
+  runner.mark_faulty(4);
+  for (ba::ProcId p = 0; p < 4; ++p) {
+    runner.install(p, protocol.make(p, config));
+  }
+  runner.install(4, std::make_unique<adversary::SilentProcess>());
+  const auto result = runner.run(protocol.steps(config));
+  const auto check = sim::check_byzantine_agreement(result, 0, 1);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_TRUE(check.validity);
+}
+
+TEST(MerkleIntegration, Algorithm1OverHashBasedSignatures) {
+  const ba::Protocol& protocol = *ba::find_protocol("alg1");
+  const ba::BAConfig config{5, 2, 0, 1};
+  sim::RunConfig run{.n = 5, .t = 2, .transmitter = 0, .value = 1,
+                     .seed = 2, .scheme = sim::SchemeKind::kMerkle,
+                     .merkle_height = 3};
+  sim::Runner runner(run);
+  for (ba::ProcId p = 0; p < 5; ++p) {
+    runner.install(p, protocol.make(p, config));
+  }
+  const auto result = runner.run(protocol.steps(config));
+  const auto check = sim::check_byzantine_agreement(result, 0, 1);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_TRUE(check.validity);
+}
+
+}  // namespace
+}  // namespace dr::crypto

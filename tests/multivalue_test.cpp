@@ -1,0 +1,120 @@
+// The multi-valued family (the paper's remark that its algorithms extend
+// beyond V = {0, 1} with slight modification): Algorithms 1, 2, 3 and 5
+// carrying arbitrary 64-bit values.
+#include <gtest/gtest.h>
+
+#include "ba/algorithm2.h"
+#include "ba/valid_message.h"
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::expect_agreement;
+using test::silent;
+
+struct MvCase {
+  std::string label;
+  Protocol protocol;
+  std::size_t n;
+  std::size_t t;
+};
+
+std::vector<MvCase> cases() {
+  std::vector<MvCase> out;
+  auto add = [&](const Protocol& p, std::size_t n, std::size_t t) {
+    out.push_back(MvCase{p.name, p, n, t});
+  };
+  add(*find_protocol("alg1-mv"), 7, 3);
+  add(*find_protocol("alg2-mv"), 7, 3);
+  add(make_alg3_mv_protocol(3), 24, 2);
+  add(make_alg5_mv_protocol(3), 40, 2);
+  return out;
+}
+
+class MultiValueFamily : public ::testing::TestWithParam<MvCase> {};
+
+TEST_P(MultiValueFamily, ArbitraryValuesFailureFree) {
+  const MvCase& c = GetParam();
+  for (Value v : {Value{0}, Value{1}, Value{17},
+                  Value{0xfeedfacecafeULL}}) {
+    const BAConfig config{c.n, c.t, 0, v};
+    ASSERT_TRUE(c.protocol.supports(config)) << c.label;
+    expect_agreement(c.protocol, config, 1);
+  }
+}
+
+TEST_P(MultiValueFamily, ArbitraryValuesUnderFaults) {
+  const MvCase& c = GetParam();
+  const BAConfig config{c.n, c.t, 0, Value{424242}};
+  std::vector<ScenarioFault> faults;
+  faults.push_back(silent(static_cast<ProcId>(c.n - 1)));
+  if (c.t >= 2) faults.push_back(chaos(static_cast<ProcId>(c.n / 2), 5));
+  expect_agreement(c.protocol, config, 1, faults);
+}
+
+TEST_P(MultiValueFamily, MultiWayEquivocationStillAgrees) {
+  const MvCase& c = GetParam();
+  const BAConfig config{c.n, c.t, 0, 0};
+  std::map<ProcId, Value> split;
+  for (ProcId q = 1; q < c.n; ++q) split[q] = 100 + q % 3;
+  std::vector<ScenarioFault> faults;
+  faults.push_back(ScenarioFault{
+      0, [split](ProcId, const BAConfig&) {
+        return std::make_unique<adversary::ValueMapTransmitter>(split);
+      }});
+  const auto result = ba::run_scenario(c.protocol, config, 1, faults);
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement)
+      << c.label;
+}
+
+std::string case_name(const ::testing::TestParamInfo<MvCase>& info) {
+  std::string tag = info.param.label;
+  for (char& ch : tag) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return tag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, MultiValueFamily,
+                         ::testing::ValuesIn(cases()), case_name);
+
+TEST(MultiValueAlg2, ProofsCarryArbitraryValues) {
+  const std::size_t t = 3;
+  const std::size_t n = 2 * t + 1;
+  const Value v = 0xabcdef;
+  const BAConfig config{n, t, 0, v};
+  sim::Runner runner(sim::RunConfig{.n = n, .t = t, .transmitter = 0,
+                                    .value = v, .seed = 1});
+  std::vector<Algorithm2*> procs(n);
+  for (ProcId p = 0; p < n; ++p) {
+    auto proc = std::make_unique<Algorithm2>(p, config, /*multi_valued=*/true);
+    procs[p] = proc.get();
+    runner.install(p, std::move(proc));
+  }
+  const auto result = runner.run(Algorithm2::steps(config));
+  EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, v).validity);
+  crypto::Verifier verifier(&runner.scheme());
+  for (ProcId p = 0; p < n; ++p) {
+    ASSERT_TRUE(procs[p]->proof().has_value()) << p;
+    EXPECT_EQ(procs[p]->proof()->value, v);
+    EXPECT_TRUE(is_possession_proof(*procs[p]->proof(), verifier, p, t));
+  }
+}
+
+TEST(MultiValueFamily, BinaryConfigsMatchBinaryVariants) {
+  // On V = {0,1} inputs the MV variants must make identical decisions to
+  // the binary originals.
+  for (Value v : {Value{0}, Value{1}}) {
+    const BAConfig small{9, 4, 0, v};
+    EXPECT_EQ(ba::run_scenario(*find_protocol("alg1-mv"), small, 1).decisions,
+              ba::run_scenario(*find_protocol("alg1"), small, 1).decisions);
+    const BAConfig mid{24, 2, 0, v};
+    EXPECT_EQ(ba::run_scenario(make_alg3_mv_protocol(3), mid, 1).decisions,
+              ba::run_scenario(make_alg3_protocol(3), mid, 1).decisions);
+  }
+}
+
+}  // namespace
+}  // namespace dr::ba

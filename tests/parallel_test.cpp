@@ -1,0 +1,77 @@
+// The multithreaded runner must be bit-identical to the serial one.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dr {
+namespace {
+
+using ba::BAConfig;
+using ba::ScenarioFault;
+using ba::ScenarioOptions;
+
+struct Case {
+  std::string label;
+  ba::Protocol protocol;
+  std::size_t n;
+  std::size_t t;
+};
+
+class ParallelRunner : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelRunner, MatchesSerialExactly) {
+  const std::size_t threads = GetParam();
+  std::vector<Case> cases;
+  cases.push_back({"ds", *ba::find_protocol("dolev-strong"), 12, 3});
+  cases.push_back({"pk", *ba::find_protocol("phase-king"), 21, 5});
+  cases.push_back({"a3", ba::make_alg3_protocol(4), 40, 3});
+  cases.push_back({"a5", ba::make_alg5_protocol(3), 48, 2});
+  for (const Case& c : cases) {
+    const BAConfig config{c.n, c.t, 0, 1};
+    std::vector<ScenarioFault> faults;
+    faults.push_back(test::silent(static_cast<ba::ProcId>(c.n - 1)));
+    if (c.t >= 2) faults.push_back(test::chaos(2, 77));
+
+    ScenarioOptions serial;
+    serial.record_history = true;
+    ScenarioOptions parallel = serial;
+    parallel.threads = threads;
+
+    const auto a = ba::run_scenario(c.protocol, config, serial, faults);
+    const auto b = ba::run_scenario(c.protocol, config, parallel, faults);
+    EXPECT_EQ(a.decisions, b.decisions) << c.label;
+    EXPECT_TRUE(a.history == b.history) << c.label;
+    EXPECT_EQ(a.metrics.messages_by_correct(),
+              b.metrics.messages_by_correct())
+        << c.label;
+    EXPECT_EQ(a.metrics.signatures_by_correct(),
+              b.metrics.signatures_by_correct())
+        << c.label;
+    EXPECT_EQ(a.metrics.per_phase(), b.metrics.per_phase()) << c.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelRunner,
+                         ::testing::Values(2, 3, 8, 64),
+                         [](const auto& param_info) {
+                           return "threads" +
+                                  std::to_string(param_info.param);
+                         });
+
+TEST(ParallelRunner, StatefulSchemesFallBackToSerial) {
+  // With the Merkle scheme, threads > 1 must silently run serial (signing
+  // is stateful) and still be correct.
+  ScenarioOptions options;
+  options.scheme = sim::SchemeKind::kMerkle;
+  options.merkle_height = 4;
+  options.threads = 8;
+  const auto result = ba::run_scenario(*ba::find_protocol("dolev-strong"),
+                                       BAConfig{5, 1, 0, 1}, options,
+                                       {test::silent(4)});
+  const auto check = sim::check_byzantine_agreement(result, 0, 1);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_TRUE(check.validity);
+}
+
+}  // namespace
+}  // namespace dr

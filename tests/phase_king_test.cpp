@@ -1,0 +1,135 @@
+#include "ba/phase_king.h"
+
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::crash;
+using test::equivocator;
+using test::expect_agreement;
+using test::silent;
+
+class PhaseKingSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, Value>> {};
+
+TEST_P(PhaseKingSweep, FailureFree) {
+  const auto& [n, t, value] = GetParam();
+  expect_agreement(*find_protocol("phase-king"), BAConfig{n, t, 0, value},
+                   1);
+}
+
+TEST_P(PhaseKingSweep, SilentFaults) {
+  const auto& [n, t, value] = GetParam();
+  if (t == 0) GTEST_SKIP();
+  std::vector<ScenarioFault> faults;
+  for (std::size_t i = 0; i < t; ++i) {
+    faults.push_back(silent(static_cast<ProcId>(n - 1 - i)));
+  }
+  expect_agreement(*find_protocol("phase-king"), BAConfig{n, t, 0, value},
+                   1, faults);
+}
+
+TEST_P(PhaseKingSweep, FaultyKingsStillAgree) {
+  const auto& [n, t, value] = GetParam();
+  if (t == 0) GTEST_SKIP();
+  // Make t of the t+1 kings Byzantine: only one honest king phase remains,
+  // which is exactly the algorithm's tolerance.
+  std::vector<ScenarioFault> faults;
+  for (std::size_t i = 0; i < t; ++i) {
+    faults.push_back(chaos(static_cast<ProcId>(1 + i), 31 * i + 5, 0.5));
+  }
+  expect_agreement(*find_protocol("phase-king"), BAConfig{n, t, 0, value},
+                   1, faults);
+}
+
+TEST_P(PhaseKingSweep, RandomByzantine) {
+  const auto& [n, t, value] = GetParam();
+  if (t == 0) GTEST_SKIP();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    std::vector<ScenarioFault> faults;
+    for (std::size_t i = 0; i < t; ++i) {
+      const ProcId id = (i % 2 == 0) ? static_cast<ProcId>(1 + i)
+                                     : static_cast<ProcId>(n - 1 - i);
+      faults.push_back(chaos(id, seed * 101 + i, 0.4));
+    }
+    std::set<ProcId> seen;
+    std::vector<ScenarioFault> unique;
+    for (auto& f : faults) {
+      if (seen.insert(f.id).second) unique.push_back(std::move(f));
+    }
+    expect_agreement(*find_protocol("phase-king"), BAConfig{n, t, 0, value},
+                     seed, unique);
+  }
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<PhaseKingSweep::ParamType>& info) {
+  return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+         std::to_string(std::get<1>(info.param)) + "_v" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PhaseKingSweep,
+    ::testing::Values(std::tuple{5u, 1u, Value{0}},
+                      std::tuple{5u, 1u, Value{1}},
+                      std::tuple{9u, 2u, Value{7}},
+                      std::tuple{13u, 3u, Value{1}},
+                      std::tuple{21u, 5u, Value{0xabcdefULL}},
+                      std::tuple{41u, 10u, Value{1}}),
+    sweep_name);
+
+TEST(PhaseKing, EquivocatingTransmitter) {
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{9, 2},
+                             {21, 5}}) {
+    std::set<ProcId> ones;
+    for (ProcId q = 1; q < n; q += 2) ones.insert(q);
+    const auto result = ba::run_scenario(*find_protocol("phase-king"),
+                                         BAConfig{n, t, 0, 0}, 1,
+                                         {equivocator(ones)});
+    EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement);
+  }
+}
+
+TEST(PhaseKing, UnauthenticatedMessageCountRespectsCorollary1) {
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{21, 5},
+                             {41, 10},
+                             {85, 21}}) {
+    const auto result = expect_agreement(*find_protocol("phase-king"),
+                                         BAConfig{n, t, 0, 1}, 1);
+    EXPECT_GE(static_cast<double>(result.metrics.messages_by_correct()),
+              bounds::theorem1_signature_lower_bound(n, t))
+        << "n=" << n;
+    EXPECT_EQ(result.metrics.signatures_by_correct(), 0u);  // oral messages
+  }
+}
+
+TEST(PhaseKing, PhaseCountIsLinearInT) {
+  const auto result = expect_agreement(*find_protocol("phase-king"),
+                                       BAConfig{21, 5, 0, 1}, 1);
+  EXPECT_LE(result.metrics.last_active_phase(), 2 * 5 + 3);
+}
+
+TEST(PhaseKing, SupportsRequiresNGreaterThan4T) {
+  EXPECT_TRUE(PhaseKing::supports(BAConfig{5, 1, 0, 1}));
+  EXPECT_FALSE(PhaseKing::supports(BAConfig{4, 1, 0, 1}));
+  EXPECT_FALSE(PhaseKing::supports(BAConfig{8, 2, 0, 1}));
+  EXPECT_TRUE(PhaseKing::supports(BAConfig{9, 2, 0, 1}));
+}
+
+TEST(PhaseKing, CrashMidProtocol) {
+  const Protocol& protocol = *find_protocol("phase-king");
+  const BAConfig config{13, 3, 0, 5};
+  expect_agreement(protocol, config, 1,
+                   {crash(protocol, 2, 4), crash(protocol, 7, 7),
+                    crash(protocol, 11, 2)});
+}
+
+}  // namespace
+}  // namespace dr::ba

@@ -1,0 +1,171 @@
+#include "ba/proof_of_work.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/key_registry.h"
+
+namespace dr::ba {
+namespace {
+
+TEST(MissingString, RoundTrip) {
+  const MissingString s{3, {10, 11, 42}};
+  const auto decoded = decode_missing(encode_missing(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->index, 3u);
+  EXPECT_EQ(decoded->missing, s.missing);
+}
+
+TEST(MissingString, EmptyListRoundTrip) {
+  const MissingString s{0, {}};
+  const auto decoded = decode_missing(encode_missing(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->missing.empty());
+}
+
+TEST(MissingString, RejectsGarbage) {
+  EXPECT_EQ(decode_missing(Bytes{}), std::nullopt);
+  EXPECT_EQ(decode_missing(to_bytes("nope")), std::nullopt);
+  Bytes enc = encode_missing(MissingString{1, {2}});
+  enc.push_back(0);
+  EXPECT_EQ(decode_missing(enc), std::nullopt);
+}
+
+class EvidenceTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kAlpha = 9;
+  static constexpr std::size_t kT = 1;
+  // Passive ids from 9; a depth-3 tree at 9..15 (root 9).
+  crypto::KeyRegistry registry_{32, 5};
+  crypto::Verifier verifier_{&registry_};
+  PassiveTree tree_{9, 3};
+
+  Attested make_string(ProcId active, std::uint32_t index,
+                       std::vector<ProcId> missing) {
+    crypto::Signer signer(&registry_, {active});
+    return attest(encode_missing(MissingString{index, std::move(missing)}),
+                  signer, active);
+  }
+
+  /// Evidence where actives 0..count-1 all list `missing` at `index`.
+  MissingEvidence evidence(std::uint32_t index, std::size_t count,
+                           const std::vector<ProcId>& missing) {
+    MissingEvidence e(index, kAlpha);
+    for (ProcId a = 0; a < count; ++a) {
+      e.add(make_string(a, index, missing), verifier_);
+    }
+    return e;
+  }
+};
+
+TEST_F(EvidenceTest, PiCountsDistinctSigners) {
+  MissingEvidence e = evidence(2, 5, {10, 11});
+  EXPECT_EQ(e.pi(10), 5u);
+  EXPECT_EQ(e.pi(11), 5u);
+  EXPECT_EQ(e.pi(12), 0u);
+  EXPECT_EQ(e.string_count(), 5u);
+}
+
+TEST_F(EvidenceTest, DuplicateSignerCountedOnce) {
+  MissingEvidence e(2, kAlpha);
+  e.add(make_string(0, 2, {10}), verifier_);
+  e.add(make_string(0, 2, {10, 11}), verifier_);  // same signer again
+  EXPECT_EQ(e.pi(10), 1u);
+  EXPECT_EQ(e.pi(11), 0u);
+}
+
+TEST_F(EvidenceTest, WrongIndexIgnored) {
+  MissingEvidence e(2, kAlpha);
+  e.add(make_string(0, 3, {10}), verifier_);
+  EXPECT_EQ(e.pi(10), 0u);
+}
+
+TEST_F(EvidenceTest, NonActiveSignerIgnored) {
+  MissingEvidence e(2, kAlpha);
+  crypto::Signer passive_signer(&registry_, {20});
+  e.add(attest(encode_missing(MissingString{2, {10}}), passive_signer, 20),
+        verifier_);
+  EXPECT_EQ(e.pi(10), 0u);
+}
+
+TEST_F(EvidenceTest, ForgedStringIgnored) {
+  MissingEvidence e(2, kAlpha);
+  Attested a = make_string(0, 2, {10});
+  a.body = encode_missing(MissingString{2, {10, 11}});  // body swapped
+  e.add(a, verifier_);
+  EXPECT_EQ(e.pi(11), 0u);
+}
+
+TEST_F(EvidenceTest, StringsListingSelectsMinimalProof) {
+  MissingEvidence e(2, kAlpha);
+  e.add(make_string(0, 2, {10}), verifier_);
+  e.add(make_string(1, 2, {11}), verifier_);
+  e.add(make_string(2, 2, {10, 11}), verifier_);
+  const ProcId witnesses[] = {ProcId{10}};
+  const auto proof = e.strings_listing(witnesses);
+  EXPECT_EQ(proof.size(), 2u);  // strings of signers 0 and 2
+}
+
+TEST_F(EvidenceTest, OriginalRootNeedsNoEvidence) {
+  MissingEvidence empty(3, kAlpha);
+  EXPECT_TRUE(has_proof_of_work(empty, tree_, 1, 3, kAlpha, kT));
+  const auto proof = build_proof_of_work(empty, tree_, 1, 3, kAlpha, kT);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(proof->empty());
+}
+
+TEST_F(EvidenceTest, DirectConditionOnSubtreeRoot) {
+  // Node 2 roots the depth-2 left subtree; its id is 10.
+  const std::size_t threshold = kAlpha - 2 * kT;  // 7
+  MissingEvidence enough = evidence(2, threshold, {10});
+  EXPECT_TRUE(has_proof_of_work(enough, tree_, 2, 2, kAlpha, kT));
+  MissingEvidence short_of = evidence(2, threshold - 1, {10});
+  EXPECT_FALSE(has_proof_of_work(short_of, tree_, 2, 2, kAlpha, kT));
+}
+
+TEST_F(EvidenceTest, ChildWitnessCondition) {
+  // Node 2 (id 10) not directly confirmed, but a node in each child
+  // subtree is: left child 4 (id 12), right child 5 (id 13).
+  const std::size_t threshold = kAlpha - 2 * kT;
+  MissingEvidence e = evidence(2, threshold, {12, 13});
+  EXPECT_TRUE(has_proof_of_work(e, tree_, 2, 2, kAlpha, kT));
+  // Only one side confirmed: no proof.
+  MissingEvidence one_side = evidence(2, threshold, {12});
+  EXPECT_FALSE(has_proof_of_work(one_side, tree_, 2, 2, kAlpha, kT));
+}
+
+TEST_F(EvidenceTest, LeafSubtreeHasNoChildCondition) {
+  // Node 4 roots a depth-1 subtree (a leaf, id 12): only the direct
+  // condition applies.
+  const std::size_t threshold = kAlpha - 2 * kT;
+  MissingEvidence direct = evidence(1, threshold, {12});
+  EXPECT_TRUE(has_proof_of_work(direct, tree_, 4, 1, kAlpha, kT));
+  MissingEvidence none = evidence(1, threshold, {13});
+  EXPECT_FALSE(has_proof_of_work(none, tree_, 4, 1, kAlpha, kT));
+}
+
+TEST_F(EvidenceTest, DepthMismatchRejected) {
+  MissingEvidence e = evidence(2, kAlpha, {10});
+  EXPECT_FALSE(has_proof_of_work(e, tree_, 2, 3, kAlpha, kT));  // node 2 has
+                                                                // depth 2
+}
+
+TEST_F(EvidenceTest, BuildProofVerifiesAtReceiver) {
+  // End-to-end: active builds a proof, a root re-validates it from the
+  // attested strings alone.
+  const std::size_t threshold = kAlpha - 2 * kT;
+  MissingEvidence sender_side = evidence(2, threshold, {12, 13});
+  const auto proof =
+      build_proof_of_work(sender_side, tree_, 2, 2, kAlpha, kT);
+  ASSERT_TRUE(proof.has_value());
+  MissingEvidence receiver_side(2, kAlpha);
+  for (const Attested& a : *proof) receiver_side.add(a, verifier_);
+  EXPECT_TRUE(has_proof_of_work(receiver_side, tree_, 2, 2, kAlpha, kT));
+}
+
+TEST_F(EvidenceTest, BuildProofFailsWithoutWitnesses) {
+  MissingEvidence e = evidence(2, 2, {10});
+  EXPECT_EQ(build_proof_of_work(e, tree_, 2, 2, kAlpha, kT), std::nullopt);
+}
+
+}  // namespace
+}  // namespace dr::ba

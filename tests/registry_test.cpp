@@ -1,0 +1,89 @@
+// The protocol registry: names, parameter constraints and step formulas.
+#include "ba/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "ba/algorithm1.h"
+#include "ba/dolev_strong.h"
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+TEST(Registry, AllFixedProtocolsPresent) {
+  for (const char* name : {"dolev-strong", "dolev-strong-relay", "eig",
+                           "phase-king", "alg1", "alg1-mv", "alg2",
+                           "alg2-mv"}) {
+    EXPECT_NE(find_protocol(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_protocol("nonexistent"), nullptr);
+  EXPECT_EQ(find_protocol(""), nullptr);
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const Protocol& p : protocols()) {
+    EXPECT_TRUE(names.insert(p.name).second) << p.name;
+  }
+}
+
+TEST(Registry, AuthenticationFlags) {
+  EXPECT_TRUE(find_protocol("dolev-strong")->authenticated);
+  EXPECT_TRUE(find_protocol("alg1")->authenticated);
+  EXPECT_FALSE(find_protocol("eig")->authenticated);
+  EXPECT_FALSE(find_protocol("phase-king")->authenticated);
+}
+
+TEST(Registry, ParameterisedFamiliesEmbedTheirParameter) {
+  EXPECT_EQ(make_alg3_protocol(7).name, "alg3[s=7]");
+  EXPECT_EQ(make_alg5_protocol(3).name, "alg5[s=3]");
+  EXPECT_EQ(make_alg3_mv_protocol(2).name, "alg3-mv[s=2]");
+  EXPECT_EQ(make_alg5_mv_protocol(15).name, "alg5-mv[s=15]");
+  EXPECT_EQ(make_alg5_ungated_protocol(1).name, "alg5-ungated[s=1]");
+}
+
+TEST(Registry, StepFormulasMatchTheClasses) {
+  const BAConfig config{9, 4, 0, 1};
+  EXPECT_EQ(find_protocol("dolev-strong")->steps(config),
+            DolevStrongBroadcast::steps(config));
+  EXPECT_EQ(find_protocol("alg1")->steps(config),
+            Algorithm1::steps(config));
+}
+
+TEST(Registry, MakeProducesWorkingProcesses) {
+  // Every fixed protocol instantiates and reaches agreement at a config it
+  // supports.
+  struct Probe {
+    const char* name;
+    std::size_t n;
+    std::size_t t;
+  };
+  for (const Probe& probe :
+       {Probe{"dolev-strong", 5, 1}, Probe{"dolev-strong-relay", 6, 1},
+        Probe{"eig", 4, 1}, Probe{"phase-king", 5, 1}, Probe{"alg1", 3, 1},
+        Probe{"alg1-mv", 3, 1}, Probe{"alg2", 3, 1},
+        Probe{"alg2-mv", 3, 1}}) {
+    const Protocol& protocol = *find_protocol(probe.name);
+    const BAConfig config{probe.n, probe.t, 0, 1};
+    ASSERT_TRUE(protocol.supports(config)) << probe.name;
+    test::expect_agreement(protocol, config, 1);
+  }
+}
+
+TEST(RegistryDeathTest, RunScenarioRejectsUnsupportedConfig) {
+  const Protocol& alg1 = *find_protocol("alg1");
+  EXPECT_DEATH(
+      { ba::run_scenario(alg1, BAConfig{6, 2, 0, 1}, 1); },  // n != 2t+1
+      "Precondition");
+}
+
+TEST(RegistryDeathTest, RunScenarioRejectsTooManyFaults) {
+  const Protocol& ds = *find_protocol("dolev-strong");
+  std::vector<ScenarioFault> faults{test::silent(1), test::silent(2)};
+  EXPECT_DEATH(
+      { ba::run_scenario(ds, BAConfig{5, 1, 0, 1}, 1, faults); },
+      "Precondition");
+}
+
+}  // namespace
+}  // namespace dr::ba

@@ -1,0 +1,133 @@
+#include "ba/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dr::ba {
+namespace {
+
+using test::chaos;
+using test::silent;
+
+class ReplayConformance
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(ReplayConformance, FailureFreeHistoriesConform) {
+  const auto& [name, n, t] = GetParam();
+  const Protocol& protocol = *find_protocol(name);
+  const BAConfig config{n, t, 0, 1};
+  ASSERT_TRUE(protocol.supports(config));
+  const auto result = run_scenario(protocol, config, 5, {}, true);
+  const auto report = validate_correctness(result.history, protocol, config,
+                                           result.faulty, 5);
+  EXPECT_TRUE(report.conforming) << name;
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST_P(ReplayConformance, CorrectProcessorsConformDespiteFaultyPeers) {
+  const auto& [name, n, t] = GetParam();
+  if (t == 0) GTEST_SKIP();
+  const Protocol& protocol = *find_protocol(name);
+  const BAConfig config{n, t, 0, 1};
+  ASSERT_TRUE(protocol.supports(config));
+  std::vector<ScenarioFault> faults{chaos(static_cast<ProcId>(n - 1), 17)};
+  const auto result = run_scenario(protocol, config, 5, faults, true);
+  const auto report = validate_correctness(result.history, protocol, config,
+                                           result.faulty, 5);
+  EXPECT_TRUE(report.conforming) << name;
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<ReplayConformance::ParamType>& info) {
+  std::string tag = std::get<0>(info.param) + "_n" +
+                    std::to_string(std::get<1>(info.param)) + "_t" +
+                    std::to_string(std::get<2>(info.param));
+  for (char& c : tag) {
+    if (c == '-') c = '_';
+  }
+  return tag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, ReplayConformance,
+    ::testing::Values(std::tuple{std::string("dolev-strong"), 7u, 2u},
+                      std::tuple{std::string("dolev-strong-relay"), 9u, 2u},
+                      std::tuple{std::string("eig"), 7u, 2u},
+                      std::tuple{std::string("alg1"), 7u, 3u},
+                      std::tuple{std::string("alg1-mv"), 7u, 3u},
+                      std::tuple{std::string("alg2"), 7u, 3u}),
+    sweep_name);
+
+TEST(Replay, FlagsAFaultyProcessorCheckedAsCorrect) {
+  // Run with a silent fault but *claim* everyone is correct: the validator
+  // must flag the silent processor (it fails to send what the rule says).
+  const Protocol& protocol = *find_protocol("dolev-strong");
+  const BAConfig config{7, 2, 0, 1};
+  const auto result = run_scenario(protocol, config, 5, {silent(3)}, true);
+  std::vector<bool> all_correct(config.n, false);
+  const auto report = validate_correctness(result.history, protocol, config,
+                                           all_correct, 5);
+  EXPECT_FALSE(report.conforming);
+  ASSERT_FALSE(report.violations.empty());
+  bool flagged_3 = false;
+  for (const auto& v : report.violations) {
+    if (v.processor == 3) flagged_3 = true;
+  }
+  EXPECT_TRUE(flagged_3);
+}
+
+TEST(Replay, FlagsTamperedHistory) {
+  const Protocol& protocol = *find_protocol("alg1");
+  const BAConfig config{5, 2, 0, 1};
+  auto result = run_scenario(protocol, config, 5, {}, true);
+  // Tamper: inject an edge the correctness rule never sent.
+  result.history.record(2, hist::Edge{1, 2, to_bytes("forged")});
+  const auto report = validate_correctness(result.history, protocol, config,
+                                           result.faulty, 5);
+  EXPECT_FALSE(report.conforming);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().processor, 1u);
+  EXPECT_EQ(report.violations.front().phase, 2u);
+}
+
+TEST(Replay, FlagsRemovedEdge) {
+  // Rebuild a history minus one correct edge: the sender no longer
+  // conforms (it "failed to send").
+  const Protocol& protocol = *find_protocol("dolev-strong");
+  const BAConfig config{5, 1, 0, 1};
+  const auto result = run_scenario(protocol, config, 5, {}, true);
+  hist::History pruned;
+  pruned.set_initial(result.history.transmitter(),
+                     *result.history.initial_value());
+  bool dropped = false;
+  for (hist::PhaseNum k = 1; k <= result.history.phases(); ++k) {
+    for (const hist::Edge& e : result.history.phase(k).edges()) {
+      if (!dropped && e.from == 0) {
+        dropped = true;  // drop the transmitter's first send
+        continue;
+      }
+      pruned.record(k, e);
+    }
+  }
+  ASSERT_TRUE(dropped);
+  const auto report = validate_correctness(pruned, protocol, config,
+                                           result.faulty, 5);
+  EXPECT_FALSE(report.conforming);
+}
+
+TEST(Replay, WrongSeedBreaksSignatureEquality) {
+  // Replaying under a different master seed produces different signatures,
+  // so conformance must fail — evidence that the validator really compares
+  // bytes, not shapes.
+  const Protocol& protocol = *find_protocol("alg1");
+  const BAConfig config{5, 2, 0, 1};
+  const auto result = run_scenario(protocol, config, 5, {}, true);
+  const auto report = validate_correctness(result.history, protocol, config,
+                                           result.faulty, /*seed=*/6);
+  EXPECT_FALSE(report.conforming);
+}
+
+}  // namespace
+}  // namespace dr::ba

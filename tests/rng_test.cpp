@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dr {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values show up in 500 draws
+}
+
+TEST(Xoshiro256, RangeSingleton) {
+  Xoshiro256 rng(11);
+  EXPECT_EQ(rng.range(42, 42), 42u);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Xoshiro256, ChanceRoughlyCalibrated) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.03);
+}
+
+TEST(Xoshiro256, BytesLength) {
+  Xoshiro256 rng(19);
+  EXPECT_TRUE(rng.bytes(0).empty());
+  EXPECT_EQ(rng.bytes(1).size(), 1u);
+  EXPECT_EQ(rng.bytes(7).size(), 7u);
+  EXPECT_EQ(rng.bytes(64).size(), 64u);
+}
+
+TEST(Xoshiro256, UniformityChiSquaredSmoke) {
+  // 8 buckets, 8000 draws: each bucket should land near 1000.
+  Xoshiro256 rng(23);
+  std::size_t buckets[8] = {};
+  for (int i = 0; i < 8000; ++i) ++buckets[rng.below(8)];
+  for (std::size_t b : buckets) {
+    EXPECT_GT(b, 850u);
+    EXPECT_LT(b, 1150u);
+  }
+}
+
+}  // namespace
+}  // namespace dr

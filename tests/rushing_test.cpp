@@ -1,0 +1,181 @@
+// Tests for the rushing-adversary execution mode: faulty processors observe
+// the current phase's correct traffic (addressed to them) before sending.
+#include <gtest/gtest.h>
+
+#include "ba/signed_value.h"
+#include "test_util.h"
+
+namespace dr {
+namespace {
+
+using ba::BAConfig;
+using ba::ProcId;
+using ba::ScenarioFault;
+using ba::ScenarioOptions;
+using ba::Value;
+
+/// Sends one marker to everyone at phase 1 and records its inbox phases.
+class Marker final : public sim::Process {
+ public:
+  void on_phase(sim::Context& ctx) override {
+    if (ctx.phase() == 1) {
+      for (ProcId q = 0; q < ctx.n(); ++q) {
+        if (q != ctx.self()) ctx.send(q, to_bytes("marker"), 0);
+      }
+    }
+  }
+  std::optional<Value> decision() const override { return std::nullopt; }
+};
+
+/// Records, for each message received, (sent_phase, seen_phase).
+class Recorder final : public sim::Process {
+ public:
+  void on_phase(sim::Context& ctx) override {
+    for (const sim::Envelope& env : ctx.inbox()) {
+      seen_.emplace_back(env.sent_phase, ctx.phase());
+    }
+  }
+  std::optional<Value> decision() const override { return std::nullopt; }
+  const std::vector<std::pair<sim::PhaseNum, sim::PhaseNum>>& seen() const {
+    return seen_;
+  }
+
+ private:
+  std::vector<std::pair<sim::PhaseNum, sim::PhaseNum>> seen_;
+};
+
+TEST(Rushing, FaultySeesCurrentPhaseTraffic) {
+  sim::RunConfig cfg{.n = 2, .t = 1, .rushing = true};
+  sim::Runner runner(cfg);
+  runner.mark_faulty(1);
+  runner.install(0, std::make_unique<Marker>());
+  auto recorder = std::make_unique<Recorder>();
+  auto* rec = recorder.get();
+  runner.install(1, std::move(recorder));
+  runner.run(3);
+  // The faulty recorder sees the phase-1 marker twice: rushed during phase
+  // 1 and delivered normally at phase 2.
+  ASSERT_EQ(rec->seen().size(), 2u);
+  EXPECT_EQ(rec->seen()[0], (std::pair<sim::PhaseNum, sim::PhaseNum>{1, 1}));
+  EXPECT_EQ(rec->seen()[1], (std::pair<sim::PhaseNum, sim::PhaseNum>{1, 2}));
+}
+
+TEST(Rushing, CorrectProcessorsDoNotRush) {
+  sim::RunConfig cfg{.n = 2, .t = 1, .rushing = true};
+  sim::Runner runner(cfg);
+  runner.mark_faulty(0);
+  runner.install(0, std::make_unique<Marker>());  // faulty marker
+  auto recorder = std::make_unique<Recorder>();
+  auto* rec = recorder.get();
+  runner.install(1, std::move(recorder));
+  runner.run(3);
+  // The correct recorder sees the marker exactly once, one phase later.
+  ASSERT_EQ(rec->seen().size(), 1u);
+  EXPECT_EQ(rec->seen()[0], (std::pair<sim::PhaseNum, sim::PhaseNum>{1, 2}));
+}
+
+/// A rushing equivocation attempt: upon seeing the current phase's chains,
+/// immediately replay a mutated copy (flip the value) back into the next
+/// phase, plus echo everything it sees to confuse relays.
+class RushingMirror final : public sim::Process {
+ public:
+  void on_phase(sim::Context& ctx) override {
+    for (const sim::Envelope& env : ctx.inbox()) {
+      auto sv = ba::decode_signed_value(env.payload);
+      if (!sv) continue;
+      sv->value ^= 1;  // breaks every signature, but try anyway
+      const Bytes mutated = ba::encode(*sv);
+      for (ProcId q = 0; q < ctx.n(); ++q) {
+        if (q != ctx.self()) {
+          ctx.send(q, mutated, 0);
+          ctx.send(q, env.payload, 0);  // replay verbatim, late
+        }
+      }
+    }
+  }
+  std::optional<Value> decision() const override { return std::nullopt; }
+};
+
+class RushingProtocolSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(RushingProtocolSweep, AgreementHoldsUnderRushingAdversaries) {
+  const auto& [name, n, t] = GetParam();
+  const ba::Protocol& protocol = *ba::find_protocol(name);
+  const BAConfig config{n, t, 0, 1};
+  ASSERT_TRUE(protocol.supports(config));
+  ScenarioOptions options;
+  options.rushing = true;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    options.seed = seed;
+    std::vector<ScenarioFault> faults;
+    faults.push_back(ScenarioFault{
+        static_cast<ProcId>(n - 1), [](ProcId, const BAConfig&) {
+          return std::make_unique<RushingMirror>();
+        }});
+    for (std::size_t i = 1; i < t; ++i) {
+      faults.push_back(test::chaos(static_cast<ProcId>(n - 1 - i),
+                                   seed * 131 + i));
+    }
+    const auto result = ba::run_scenario(protocol, config, options, faults);
+    const auto check = sim::check_byzantine_agreement(result, 0, 1);
+    EXPECT_TRUE(check.agreement) << name << " seed=" << seed;
+    EXPECT_TRUE(check.validity) << name << " seed=" << seed;
+  }
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<RushingProtocolSweep::ParamType>& info) {
+  std::string tag = std::get<0>(info.param) + "_n" +
+                    std::to_string(std::get<1>(info.param)) + "_t" +
+                    std::to_string(std::get<2>(info.param));
+  for (char& c : tag) {
+    if (c == '-') c = '_';
+  }
+  return tag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, RushingProtocolSweep,
+    ::testing::Values(std::tuple{std::string("dolev-strong"), 7u, 2u},
+                      std::tuple{std::string("dolev-strong-relay"), 9u, 2u},
+                      std::tuple{std::string("eig"), 7u, 2u},
+                      std::tuple{std::string("alg1"), 7u, 3u},
+                      std::tuple{std::string("alg2"), 7u, 3u}),
+    sweep_name);
+
+TEST(Rushing, ParameterisedFamiliesHold) {
+  ScenarioOptions options;
+  options.rushing = true;
+  for (const auto& protocol :
+       {ba::make_alg3_protocol(3), ba::make_alg5_protocol(3)}) {
+    const BAConfig config{30, 2, 0, 1};
+    std::vector<ScenarioFault> faults;
+    faults.push_back(ScenarioFault{29, [](ProcId, const BAConfig&) {
+                                     return std::make_unique<RushingMirror>();
+                                   }});
+    faults.push_back(test::chaos(5, 7));
+    const auto result = ba::run_scenario(protocol, config, options, faults);
+    const auto check = sim::check_byzantine_agreement(result, 0, 1);
+    EXPECT_TRUE(check.agreement) << protocol.name;
+    EXPECT_TRUE(check.validity) << protocol.name;
+  }
+}
+
+TEST(Rushing, EquivalentToNormalWhenNoFaults) {
+  const ba::Protocol& protocol = *ba::find_protocol("dolev-strong");
+  const BAConfig config{6, 1, 0, 1};
+  ScenarioOptions rushing;
+  rushing.rushing = true;
+  rushing.record_history = true;
+  ScenarioOptions normal;
+  normal.record_history = true;
+  const auto a = ba::run_scenario(protocol, config, rushing);
+  const auto b = ba::run_scenario(protocol, config, normal);
+  EXPECT_TRUE(a.history == b.history);
+  EXPECT_EQ(a.decisions, b.decisions);
+}
+
+}  // namespace
+}  // namespace dr

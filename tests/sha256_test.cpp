@@ -1,0 +1,94 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace dr::crypto {
+namespace {
+
+std::string hex_digest(ByteView data) {
+  const Digest d = sha256(data);
+  return to_hex(ByteView{d.data(), d.size()});
+}
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(hex_digest({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_digest(as_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex_digest(as_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: forces the padding into a second block.
+  const std::string s(64, 'a');
+  EXPECT_EQ(hex_digest(as_bytes(s)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes is the longest message fitting padding in one block.
+  EXPECT_EQ(hex_digest(as_bytes(std::string(55, 'a'))),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(hex_digest(as_bytes(std::string(56, 'a'))),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+  const Digest d = h.finish();
+  EXPECT_EQ(to_hex(ByteView{d.data(), d.size()}),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly and at odd "
+      "chunk boundaries.";
+  const Digest once = sha256(as_bytes(msg));
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(as_bytes(std::string_view(msg).substr(0, split)));
+    h.update(as_bytes(std::string_view(msg).substr(split)));
+    EXPECT_EQ(h.finish(), once) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(as_bytes("abc"));
+  const Digest first = h.finish();
+  h.reset();
+  h.update(as_bytes("abc"));
+  EXPECT_EQ(h.finish(), first);
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(sha256(as_bytes("abc")), sha256(as_bytes("abd")));
+  EXPECT_NE(sha256(as_bytes("abc")), sha256(as_bytes("abc ")));
+}
+
+TEST(Sha256, BytesHelperMatches) {
+  const Digest d = sha256(as_bytes("xyz"));
+  const Bytes b = sha256_bytes(as_bytes("xyz"));
+  ASSERT_EQ(b.size(), d.size());
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), d.begin()));
+}
+
+}  // namespace
+}  // namespace dr::crypto

@@ -1,0 +1,126 @@
+#include "crypto/signature.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/key_registry.h"
+#include "util/bytes.h"
+
+namespace dr::crypto {
+namespace {
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  KeyRegistry registry_{5, /*master_seed=*/99};
+  Verifier verifier_{&registry_};
+};
+
+TEST_F(SignatureTest, SignVerifyRoundTrip) {
+  Signer signer(&registry_, {2});
+  const Bytes msg = to_bytes("attack at dawn");
+  const Signature sig = signer.sign(2, msg);
+  EXPECT_EQ(sig.signer, 2u);
+  EXPECT_TRUE(verifier_.verify(2, msg, sig));
+}
+
+TEST_F(SignatureTest, WrongClaimedSignerFails) {
+  Signer signer(&registry_, {2});
+  const Bytes msg = to_bytes("m");
+  const Signature sig = signer.sign(2, msg);
+  EXPECT_FALSE(verifier_.verify(3, msg, sig));
+}
+
+TEST_F(SignatureTest, TamperedMessageFails) {
+  Signer signer(&registry_, {1});
+  const Signature sig = signer.sign(1, to_bytes("original"));
+  EXPECT_FALSE(verifier_.verify(1, to_bytes("originaX"), sig));
+}
+
+TEST_F(SignatureTest, TamperedMacFails) {
+  Signer signer(&registry_, {1});
+  const Bytes msg = to_bytes("m");
+  Signature sig = signer.sign(1, msg);
+  sig.sig[0] ^= 0x01;
+  EXPECT_FALSE(verifier_.verify(1, msg, sig));
+}
+
+TEST_F(SignatureTest, SignatureTransplantedToOtherSignerFails) {
+  // A signature by 1 relabelled as from 2 must not verify: the MAC domain
+  // includes the signer id and the keys differ.
+  Signer s1(&registry_, {1});
+  const Bytes msg = to_bytes("m");
+  Signature sig = s1.sign(1, msg);
+  sig.signer = 2;
+  EXPECT_FALSE(verifier_.verify(2, msg, sig));
+}
+
+TEST_F(SignatureTest, OutOfRangeSignerFails) {
+  Signer signer(&registry_, {0});
+  Signature sig = signer.sign(0, to_bytes("m"));
+  sig.signer = 17;
+  EXPECT_FALSE(verifier_.verify(17, to_bytes("m"), sig));
+}
+
+TEST_F(SignatureTest, CoalitionSignerHoldsAllItsIds) {
+  Signer coalition(&registry_, {1, 3, 4});
+  EXPECT_TRUE(coalition.holds(1));
+  EXPECT_TRUE(coalition.holds(3));
+  EXPECT_TRUE(coalition.holds(4));
+  EXPECT_FALSE(coalition.holds(0));
+  EXPECT_FALSE(coalition.holds(2));
+  const Bytes msg = to_bytes("forged-together");
+  EXPECT_TRUE(verifier_.verify(3, msg, coalition.sign(3, msg)));
+}
+
+TEST_F(SignatureTest, SignaturesAreDeterministicPerKey) {
+  Signer a(&registry_, {0});
+  Signer b(&registry_, {0});
+  const Bytes msg = to_bytes("m");
+  EXPECT_EQ(a.sign(0, msg), b.sign(0, msg));
+}
+
+TEST_F(SignatureTest, RegistriesWithDifferentSeedsDisagree) {
+  KeyRegistry other(5, 100);
+  Signer signer(&registry_, {0});
+  const Bytes msg = to_bytes("m");
+  const Signature sig = signer.sign(0, msg);
+  Verifier other_verifier(&other);
+  EXPECT_FALSE(other_verifier.verify(0, msg, sig));
+}
+
+TEST_F(SignatureTest, EncodeDecodeRoundTrip) {
+  Signer signer(&registry_, {4});
+  const Signature sig = signer.sign(4, to_bytes("wire"));
+  Writer w;
+  encode(w, sig);
+  Reader r(w.out());
+  const auto decoded = decode_signature(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(*decoded, sig);
+}
+
+TEST_F(SignatureTest, DecodeRejectsEmptySignature) {
+  Writer w;
+  w.u32(1);
+  w.bytes(Bytes{});
+  Reader r(w.out());
+  EXPECT_EQ(decode_signature(r), std::nullopt);
+}
+
+TEST_F(SignatureTest, DecodeRejectsOversizedSignature) {
+  Writer w;
+  w.u32(1);
+  w.bytes(Bytes(128 * 1024, 0xab));
+  Reader r(w.out());
+  EXPECT_EQ(decode_signature(r), std::nullopt);
+}
+
+TEST(KeyRegistry, DistinctKeysPerProcessor) {
+  KeyRegistry registry(3, 7);
+  const Bytes msg = to_bytes("m");
+  EXPECT_NE(registry.sign(0, msg), registry.sign(1, msg));
+  EXPECT_NE(registry.sign(1, msg), registry.sign(2, msg));
+}
+
+}  // namespace
+}  // namespace dr::crypto

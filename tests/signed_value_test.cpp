@@ -1,0 +1,148 @@
+#include "ba/signed_value.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/key_registry.h"
+
+namespace dr::ba {
+namespace {
+
+class SignedValueTest : public ::testing::Test {
+ protected:
+  crypto::KeyRegistry registry_{6, 42};
+  crypto::Verifier verifier_{&registry_};
+
+  crypto::Signer signer(ProcId id) { return crypto::Signer(&registry_, {id}); }
+};
+
+TEST_F(SignedValueTest, SingleSignatureChain) {
+  const auto s0 = signer(0);
+  const SignedValue sv = make_signed(1, s0, 0);
+  EXPECT_EQ(sv.value, 1u);
+  ASSERT_EQ(sv.chain.size(), 1u);
+  EXPECT_EQ(sv.chain[0].signer, 0u);
+  EXPECT_TRUE(verify_chain(sv, verifier_));
+}
+
+TEST_F(SignedValueTest, ExtendedChainVerifies) {
+  const auto s0 = signer(0);
+  const auto s1 = signer(1);
+  const auto s2 = signer(2);
+  SignedValue sv = make_signed(0, s0, 0);
+  sv = extend(sv, s1, 1);
+  sv = extend(sv, s2, 2);
+  EXPECT_TRUE(verify_chain(sv, verifier_));
+  EXPECT_EQ(chain_signers(sv), (std::vector<ProcId>{0, 1, 2}));
+  EXPECT_TRUE(distinct_signers(sv));
+  EXPECT_TRUE(contains_signer(sv, 1));
+  EXPECT_FALSE(contains_signer(sv, 3));
+}
+
+TEST_F(SignedValueTest, ValueTamperBreaksEverySignature) {
+  const auto s0 = signer(0);
+  const auto s1 = signer(1);
+  SignedValue sv = extend(make_signed(0, s0, 0), s1, 1);
+  sv.value = 1;
+  EXPECT_FALSE(verify_chain(sv, verifier_));
+}
+
+TEST_F(SignedValueTest, InnerSignatureRemovalDetected) {
+  const auto s0 = signer(0);
+  const auto s1 = signer(1);
+  const auto s2 = signer(2);
+  SignedValue sv = extend(extend(make_signed(0, s0, 0), s1, 1), s2, 2);
+  // Drop the middle signature: the outer signature no longer covers the
+  // remaining prefix.
+  sv.chain.erase(sv.chain.begin() + 1);
+  EXPECT_FALSE(verify_chain(sv, verifier_));
+}
+
+TEST_F(SignedValueTest, ReorderingDetected) {
+  const auto s0 = signer(0);
+  const auto s1 = signer(1);
+  const auto s2 = signer(2);
+  SignedValue sv = extend(extend(make_signed(0, s0, 0), s1, 1), s2, 2);
+  std::swap(sv.chain[1], sv.chain[2]);
+  EXPECT_FALSE(verify_chain(sv, verifier_));
+}
+
+TEST_F(SignedValueTest, ChainSplicingDetected) {
+  // Take the head of one chain and the tail of another over the same value.
+  const auto s0 = signer(0);
+  const auto s1 = signer(1);
+  const auto s2 = signer(2);
+  const SignedValue via1 = extend(make_signed(0, s0, 0), s1, 1);
+  const SignedValue via2 = extend(make_signed(0, s0, 0), s2, 2);
+  SignedValue spliced = via1;
+  spliced.chain.push_back(via2.chain[1]);  // s2's signature covered a
+                                           // different prefix
+  EXPECT_FALSE(verify_chain(spliced, verifier_));
+}
+
+TEST_F(SignedValueTest, TruncationStillVerifiesAsPrefix) {
+  // Prefixes of a valid chain are themselves valid chains (the model allows
+  // anyone to strip *outer* signatures; protocols must not rely on outer
+  // signatures for integrity of inner ones).
+  const auto s0 = signer(0);
+  const auto s1 = signer(1);
+  SignedValue sv = extend(make_signed(0, s0, 0), s1, 1);
+  sv.chain.pop_back();
+  EXPECT_TRUE(verify_chain(sv, verifier_));
+}
+
+TEST_F(SignedValueTest, DuplicateSignersDetected) {
+  const auto s0 = signer(0);
+  SignedValue sv = extend(make_signed(0, s0, 0), s0, 0);
+  EXPECT_TRUE(verify_chain(sv, verifier_));  // cryptographically fine
+  EXPECT_FALSE(distinct_signers(sv));        // but not distinct
+}
+
+TEST_F(SignedValueTest, EncodeDecodeRoundTrip) {
+  const auto s0 = signer(0);
+  const auto s3 = signer(3);
+  const SignedValue sv = extend(make_signed(1, s0, 0), s3, 3);
+  const auto decoded = decode_signed_value(encode(sv));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, sv);
+  EXPECT_TRUE(verify_chain(*decoded, verifier_));
+}
+
+TEST_F(SignedValueTest, DecodeRejectsTrailingGarbage) {
+  const auto s0 = signer(0);
+  Bytes enc = encode(make_signed(1, s0, 0));
+  enc.push_back(0xff);
+  EXPECT_EQ(decode_signed_value(enc), std::nullopt);
+}
+
+TEST_F(SignedValueTest, DecodeRejectsTruncation) {
+  const auto s0 = signer(0);
+  Bytes enc = encode(make_signed(1, s0, 0));
+  enc.resize(enc.size() - 3);
+  EXPECT_EQ(decode_signed_value(enc), std::nullopt);
+}
+
+TEST_F(SignedValueTest, DecodeRejectsEmptyAndGarbage) {
+  EXPECT_EQ(decode_signed_value(Bytes{}), std::nullopt);
+  EXPECT_EQ(decode_signed_value(Bytes{0xde, 0xad}), std::nullopt);
+}
+
+TEST_F(SignedValueTest, EmptyChainVerifiesTrivially) {
+  const SignedValue sv{5, {}};
+  EXPECT_TRUE(verify_chain(sv, verifier_));
+  EXPECT_TRUE(distinct_signers(sv));
+  const auto decoded = decode_signed_value(encode(sv));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, sv);
+}
+
+TEST_F(SignedValueTest, CoalitionCannotForgeCorrectSignature) {
+  // The coalition holds keys 4 and 5; it cannot produce a chain whose
+  // first signature claims to be processor 0.
+  crypto::Signer coalition(&registry_, {4, 5});
+  SignedValue forged = make_signed(1, coalition, 4);
+  forged.chain[0].signer = 0;  // relabel
+  EXPECT_FALSE(verify_chain(forged, verifier_));
+}
+
+}  // namespace
+}  // namespace dr::ba

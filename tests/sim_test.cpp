@@ -1,0 +1,211 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "codec/codec.h"
+#include "util/bytes.h"
+
+namespace dr::sim {
+namespace {
+
+/// Echoes every received payload back to its sender, and records the phase
+/// in which each message arrived.
+class EchoProcess final : public Process {
+ public:
+  void on_phase(Context& ctx) override {
+    for (const Envelope& env : ctx.inbox()) {
+      arrivals_.emplace_back(env.sent_phase, ctx.phase());
+      ctx.send(env.from, env.payload, 0);
+    }
+  }
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+  const std::vector<std::pair<PhaseNum, PhaseNum>>& arrivals() const {
+    return arrivals_;
+  }
+
+ private:
+  std::vector<std::pair<PhaseNum, PhaseNum>> arrivals_;
+};
+
+/// Sends one message to processor `to` in phase 1, then stays quiet.
+class OneShotProcess final : public Process {
+ public:
+  explicit OneShotProcess(ProcId to) : to_(to) {}
+  void on_phase(Context& ctx) override {
+    if (ctx.phase() == 1) ctx.send(to_, to_bytes("ping"), 2);
+  }
+  std::optional<Value> decision() const override { return Value{7}; }
+
+ private:
+  ProcId to_;
+};
+
+TEST(Runner, MessagesArriveExactlyOnePhaseLater) {
+  RunConfig cfg{.n = 2, .t = 0, .transmitter = 0, .value = 0, .seed = 1};
+  Runner runner(cfg);
+  runner.install(0, std::make_unique<OneShotProcess>(1));
+  auto* echo_raw = new EchoProcess();
+  runner.install(1, std::unique_ptr<Process>(echo_raw));
+  runner.run(3);
+  ASSERT_EQ(echo_raw->arrivals().size(), 1u);
+  EXPECT_EQ(echo_raw->arrivals()[0], (std::pair<PhaseNum, PhaseNum>{1, 2}));
+}
+
+TEST(Runner, MetricsCountMessagesAndSignatures) {
+  RunConfig cfg{.n = 3, .t = 1, .transmitter = 0, .value = 0, .seed = 1};
+  Runner runner(cfg);
+  runner.mark_faulty(2);
+  runner.install(0, std::make_unique<OneShotProcess>(1));  // correct, 2 sigs
+  runner.install(1, std::make_unique<OneShotProcess>(2));  // correct
+  runner.install(2, std::make_unique<OneShotProcess>(0));  // faulty
+  const auto result = runner.run(1);
+  EXPECT_EQ(result.metrics.messages_total(), 3u);
+  EXPECT_EQ(result.metrics.messages_by_correct(), 2u);
+  EXPECT_EQ(result.metrics.signatures_by_correct(), 4u);
+  EXPECT_EQ(result.metrics.sent_by(0), 1u);
+  EXPECT_EQ(result.metrics.received_from_correct(1), 1u);
+  EXPECT_EQ(result.metrics.received_from_correct(0), 0u);  // sender faulty
+  // Signature-exchange accounting: 0 sent 2 sigs to 1.
+  EXPECT_EQ(result.metrics.signatures_exchanged(0), 2u);
+  EXPECT_EQ(result.metrics.signatures_exchanged(1), 2u + 2u);  // also sent
+  // Byte accounting: two correct "ping" payloads of 4 bytes each.
+  EXPECT_EQ(result.metrics.bytes_by_correct(), 8u);
+  EXPECT_EQ(result.metrics.max_payload_by_correct(), 4u);
+}
+
+TEST(Runner, HistoryRecordingMatchesTraffic) {
+  RunConfig cfg{.n = 2, .t = 0, .transmitter = 0, .value = 42, .seed = 1,
+                .record_history = true};
+  Runner runner(cfg);
+  runner.install(0, std::make_unique<OneShotProcess>(1));
+  runner.install(1, std::make_unique<EchoProcess>());
+  const auto result = runner.run(3);
+  EXPECT_EQ(result.history.phases(), 2u);  // ping at 1, echo at 2
+  EXPECT_EQ(result.history.phase(1).edges().size(), 1u);
+  EXPECT_EQ(result.history.phase(2).edges().size(), 1u);
+  EXPECT_EQ(result.history.transmitter(), 0u);
+  ASSERT_TRUE(result.history.initial_value().has_value());
+  EXPECT_EQ(decode_u64(*result.history.initial_value()), 42u);
+}
+
+TEST(Runner, HistoryOffByDefault) {
+  RunConfig cfg{.n = 2, .t = 0, .transmitter = 0, .value = 0, .seed = 1};
+  Runner runner(cfg);
+  runner.install(0, std::make_unique<OneShotProcess>(1));
+  runner.install(1, std::make_unique<EchoProcess>());
+  const auto result = runner.run(2);
+  EXPECT_EQ(result.history.phases(), 0u);
+}
+
+TEST(Runner, FaultyShareCoalitionSigner) {
+  RunConfig cfg{.n = 4, .t = 2, .transmitter = 0, .value = 0, .seed = 1};
+  Runner runner(cfg);
+  runner.mark_faulty(1);
+  runner.mark_faulty(3);
+  const crypto::Signer& s1 = runner.signer_for(1);
+  const crypto::Signer& s3 = runner.signer_for(3);
+  EXPECT_EQ(&s1, &s3);
+  EXPECT_TRUE(s1.holds(1));
+  EXPECT_TRUE(s1.holds(3));
+  EXPECT_FALSE(s1.holds(0));
+  const crypto::Signer& s0 = runner.signer_for(0);
+  EXPECT_TRUE(s0.holds(0));
+  EXPECT_FALSE(s0.holds(1));
+}
+
+TEST(Runner, LastActivePhaseTracksSends) {
+  RunConfig cfg{.n = 2, .t = 0, .transmitter = 0, .value = 0, .seed = 1};
+  Runner runner(cfg);
+  runner.install(0, std::make_unique<OneShotProcess>(1));
+  runner.install(1, std::make_unique<EchoProcess>());
+  const auto result = runner.run(5);
+  // Ping at phase 1, echo at phase 2, then silence.
+  EXPECT_EQ(result.metrics.last_active_phase(), 2u);
+}
+
+TEST(RunnerDeathTest, RunWithoutProcessesAborts) {
+  Runner runner(RunConfig{.n = 2, .t = 0});
+  runner.install(0, std::make_unique<EchoProcess>());
+  // Processor 1 has no process installed.
+  EXPECT_DEATH({ runner.run(1); }, "Precondition");
+}
+
+TEST(RunnerDeathTest, MarkFaultyAfterSignersBuiltAborts) {
+  Runner runner(RunConfig{.n = 2, .t = 1});
+  runner.signer_for(0);  // forces signer construction
+  EXPECT_DEATH({ runner.mark_faulty(1); }, "Precondition");
+}
+
+TEST(RunnerDeathTest, OutOfRangeIdsAbort) {
+  Runner runner(RunConfig{.n = 2, .t = 0});
+  EXPECT_DEATH({ runner.install(5, std::make_unique<EchoProcess>()); },
+               "Precondition");
+  EXPECT_DEATH({ runner.mark_faulty(7); }, "Precondition");
+}
+
+class DecideValue final : public Process {
+ public:
+  explicit DecideValue(std::optional<Value> v) : v_(v) {}
+  void on_phase(Context&) override {}
+  std::optional<Value> decision() const override { return v_; }
+
+ private:
+  std::optional<Value> v_;
+};
+
+RunResult make_result(std::vector<std::optional<Value>> decisions,
+                      std::vector<bool> faulty) {
+  RunResult r{.decisions = std::move(decisions),
+              .faulty = std::move(faulty),
+              .metrics = Metrics(2),
+              .history = {},
+              .phases_run = 0};
+  return r;
+}
+
+TEST(AgreementCheck, AllCorrectAgreeOnTransmitterValue) {
+  const auto r = make_result({Value{5}, Value{5}}, {false, false});
+  const auto check = check_byzantine_agreement(r, 0, 5);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_TRUE(check.validity);
+  EXPECT_EQ(check.agreed_value, Value{5});
+}
+
+TEST(AgreementCheck, DisagreementDetected) {
+  const auto r = make_result({Value{5}, Value{6}}, {false, false});
+  const auto check = check_byzantine_agreement(r, 0, 5);
+  EXPECT_FALSE(check.agreement);
+}
+
+TEST(AgreementCheck, WrongValueViolatesValidity) {
+  const auto r = make_result({Value{6}, Value{6}}, {false, false});
+  const auto check = check_byzantine_agreement(r, 0, 5);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_FALSE(check.validity);
+}
+
+TEST(AgreementCheck, FaultyTransmitterMakesValidityVacuous) {
+  const auto r = make_result({std::nullopt, Value{6}}, {true, false});
+  const auto check = check_byzantine_agreement(r, 0, 5);
+  EXPECT_TRUE(check.agreement);  // the single correct processor decided
+  EXPECT_TRUE(check.validity);
+}
+
+TEST(AgreementCheck, UndecidedCorrectProcessorFailsAgreement) {
+  const auto r = make_result({Value{5}, std::nullopt}, {false, false});
+  const auto check = check_byzantine_agreement(r, 0, 5);
+  EXPECT_FALSE(check.agreement);
+}
+
+TEST(AgreementCheck, FaultyDecisionsIgnored) {
+  const auto r = make_result({Value{5}, std::nullopt}, {false, true});
+  const auto check = check_byzantine_agreement(r, 0, 5);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_TRUE(check.validity);
+}
+
+}  // namespace
+}  // namespace dr::sim

@@ -1,0 +1,82 @@
+// Shared helpers for the protocol test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/strategies.h"
+#include "ba/registry.h"
+#include "sim/runner.h"
+
+namespace dr::test {
+
+using ba::BAConfig;
+using ba::Protocol;
+using ba::ProcId;
+using ba::ScenarioFault;
+using ba::Value;
+
+/// A fault that stays completely silent.
+inline ScenarioFault silent(ProcId id) {
+  return ScenarioFault{id, [](ProcId, const BAConfig&) {
+                         return std::make_unique<adversary::SilentProcess>();
+                       }};
+}
+
+/// A fault that runs the correct protocol, then crashes at `phase`.
+inline ScenarioFault crash(const Protocol& protocol, ProcId id,
+                           sim::PhaseNum phase) {
+  return ScenarioFault{
+      id, [&protocol, phase](ProcId p, const BAConfig& c) {
+        return std::make_unique<adversary::CrashProcess>(protocol.make(p, c),
+                                                         phase);
+      }};
+}
+
+/// A randomized Byzantine fault (seeded per id for reproducibility).
+inline ScenarioFault chaos(ProcId id, std::uint64_t seed,
+                           double send_prob = 0.3) {
+  return ScenarioFault{
+      id, [seed, send_prob](ProcId p, const BAConfig&) {
+        return std::make_unique<adversary::RandomByzantine>(seed ^ p,
+                                                            send_prob);
+      }};
+}
+
+/// A transmitter that signs 1 for `ones` and 0 for the rest, phase 1 only.
+inline ScenarioFault equivocator(std::set<ProcId> ones) {
+  return ScenarioFault{
+      0, [ones = std::move(ones)](ProcId, const BAConfig& c) {
+        return std::make_unique<adversary::EquivocatingTransmitter>(ones,
+                                                                    c.n);
+      }};
+}
+
+/// A fault that buffers and rebroadcasts everything `delay` phases late.
+inline ScenarioFault delayed_echo(ProcId id, sim::PhaseNum delay) {
+  return ScenarioFault{id, [delay](ProcId, const BAConfig&) {
+                         return std::make_unique<adversary::DelayedEcho>(
+                             delay);
+                       }};
+}
+
+/// Runs the scenario and asserts both Byzantine Agreement conditions.
+inline sim::RunResult expect_agreement(
+    const Protocol& protocol, const BAConfig& config, std::uint64_t seed,
+    const std::vector<ScenarioFault>& faults = {}) {
+  const auto result = ba::run_scenario(protocol, config, seed, faults);
+  const auto check =
+      sim::check_byzantine_agreement(result, config.transmitter,
+                                     config.value);
+  EXPECT_TRUE(check.agreement)
+      << protocol.name << " n=" << config.n << " t=" << config.t
+      << " v=" << config.value << ": correct processors disagree";
+  EXPECT_TRUE(check.validity)
+      << protocol.name << " n=" << config.n << " t=" << config.t
+      << " v=" << config.value << ": validity violated";
+  return result;
+}
+
+}  // namespace dr::test

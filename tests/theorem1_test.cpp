@@ -1,0 +1,183 @@
+#include "bounds/theorem1.h"
+
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "test_util.h"
+
+namespace dr::bounds {
+namespace {
+
+TEST(SignaturePartners, ReadsChainsNotJustSenders) {
+  // Build a tiny history by hand: 0 signs, 1 relays the 2-chain to 2.
+  crypto::KeyRegistry registry(3, 1);
+  crypto::Signer s0(&registry, {0});
+  crypto::Signer s1(&registry, {1});
+  const ba::SignedValue direct = ba::make_signed(1, s0, 0);
+  const ba::SignedValue relayed = ba::extend(direct, s1, 1);
+
+  hist::History h;
+  h.record(1, hist::Edge{0, 1, encode(direct)});
+  h.record(2, hist::Edge{1, 2, encode(relayed)});
+
+  // Processor 2 receives signatures of both 0 and 1 (via the chain).
+  EXPECT_EQ(signature_partners(h, 2), (std::set<ba::ProcId>{0, 1}));
+  // Processor 0's signature reached 1 and 2.
+  EXPECT_EQ(signature_partners(h, 0), (std::set<ba::ProcId>{1, 2}));
+  // Processor 1 received 0's signature and its own reached 2.
+  EXPECT_EQ(signature_partners(h, 1), (std::set<ba::ProcId>{0, 2}));
+}
+
+TEST(SignaturePartners, FallsBackToSenderForOpaquePayloads) {
+  hist::History h;
+  h.record(1, hist::Edge{0, 1, to_bytes("opaque")});
+  EXPECT_EQ(signature_partners(h, 1), (std::set<ba::ProcId>{0}));
+}
+
+class PartnerBound
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(PartnerBound, CompliantAlgorithmsExchangeAtLeastTPlus1) {
+  const auto& [name, n, t] = GetParam();
+  const ba::Protocol* protocol = ba::find_protocol(name);
+  ASSERT_NE(protocol, nullptr);
+  const ba::BAConfig config{n, t, 0, 0};
+  ASSERT_TRUE(protocol->supports(config));
+  // Theorem 1: in H union G every processor's partner set exceeds t.
+  EXPECT_GE(min_partner_set_size(*protocol, config, 1), t + 1)
+      << name << " n=" << n << " t=" << t;
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<PartnerBound::ParamType>& info) {
+  std::string tag = std::get<0>(info.param) + "_n" +
+                    std::to_string(std::get<1>(info.param)) + "_t" +
+                    std::to_string(std::get<2>(info.param));
+  for (char& c : tag) {
+    if (c == '-') c = '_';
+  }
+  return tag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, PartnerBound,
+    ::testing::Values(std::tuple{std::string("dolev-strong"), 7u, 2u},
+                      std::tuple{std::string("dolev-strong"), 10u, 3u},
+                      std::tuple{std::string("dolev-strong-relay"), 10u, 2u},
+                      std::tuple{std::string("alg1"), 5u, 2u},
+                      std::tuple{std::string("alg1"), 9u, 4u},
+                      std::tuple{std::string("alg2"), 7u, 3u}),
+    sweep_name);
+
+TEST(SignatureLowerBound, FailureFreeTotalsRespectTheorem1) {
+  // The totals the theorem actually bounds: signatures sent by correct
+  // processors in the worse of the two failure-free histories.
+  for (const auto& [name, n, t] :
+       {std::tuple{std::string("alg1"), 9ul, 4ul},
+        std::tuple{std::string("alg2"), 9ul, 4ul},
+        std::tuple{std::string("dolev-strong"), 10ul, 3ul}}) {
+    const ba::Protocol& protocol = *ba::find_protocol(name);
+    std::size_t worst = 0;
+    for (ba::Value v : {ba::Value{0}, ba::Value{1}}) {
+      const auto result =
+          ba::run_scenario(protocol, ba::BAConfig{n, t, 0, v}, 1);
+      worst = std::max(worst, result.metrics.signatures_by_correct());
+    }
+    EXPECT_GE(static_cast<double>(worst),
+              theorem1_signature_lower_bound(n, t) / 2.0)
+        << name;  // /2: the bound counts both H and G together
+  }
+}
+
+TEST(SparseObserver, WorksFailureFree) {
+  // The thrifty protocol does decide correctly when nobody misbehaves —
+  // that is exactly why only the lower-bound argument exposes it.
+  const ba::Protocol protocol = make_sparse_observer_protocol();
+  for (ba::Value v : {ba::Value{0}, ba::Value{1}}) {
+    const auto result =
+        ba::run_scenario(protocol, ba::BAConfig{9, 2, 0, v}, 1);
+    const auto check = sim::check_byzantine_agreement(result, 0, v);
+    EXPECT_TRUE(check.agreement);
+    EXPECT_TRUE(check.validity);
+  }
+}
+
+TEST(SparseObserver, ObserverPartnerSetIsOnlyT) {
+  const std::size_t n = 9;
+  const std::size_t t = 2;
+  const auto attack = run_theorem1_attack(n, t, 1);
+  EXPECT_LE(attack.partner_set_size, t);
+}
+
+TEST(Theorem1Attack, TwoFacedCoalitionBreaksAgreement) {
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{9, 2},
+                             {11, 3},
+                             {13, 4}}) {
+    const auto attack = run_theorem1_attack(n, t, 1);
+    EXPECT_TRUE(attack.agreement_violated) << "n=" << n << " t=" << t;
+    ASSERT_TRUE(attack.observer_decision.has_value());
+    ASSERT_TRUE(attack.others_decision.has_value());
+    EXPECT_EQ(*attack.observer_decision, 0u);  // the H world
+    EXPECT_EQ(*attack.others_decision, 1u);    // the G world
+  }
+}
+
+TEST(Theorem1Attack, CompliantAlgorithmTracesCannotBeReplayedLegitimately) {
+  // Control experiment. The proof's coalition may only show the victim
+  // messages it can actually produce, i.e. messages carrying coalition
+  // signatures exclusively. For the sparse protocol that covers everything
+  // the victim ever sees; for Dolev-Strong it does not — the H-world
+  // messages that would convince the victim carry the (non-faulty)
+  // transmitter's signature on 0, which the coalition cannot forge. This is
+  // exactly why |A(p)| > t protects an algorithm.
+  const std::size_t n = 9;
+  const std::size_t t = 2;
+  const ba::ProcId victim = static_cast<ba::ProcId>(n - 1);
+  const std::set<ba::ProcId> coalition{1, 2};  // |coalition| = t
+
+  // Sparse protocol: every H-message from the coalition to the victim is
+  // self-contained (coalition signatures only) -> replayable.
+  {
+    const auto h = ba::run_scenario(make_sparse_observer_protocol(),
+                                    ba::BAConfig{n, t, 0, 0}, 1, {}, true);
+    for (ba::ProcId a : coalition) {
+      for (const auto& [phase, sends] :
+           adversary::trace_of(h.history, a)) {
+        for (const auto& [to, payload] : sends) {
+          if (to != victim) continue;
+          hist::History tmp;
+          tmp.record(1, hist::Edge{a, to, payload});
+          for (ba::ProcId s : signature_partners(tmp, to)) {
+            EXPECT_TRUE(coalition.contains(s));
+          }
+        }
+      }
+    }
+  }
+
+  // Dolev-Strong: the victim's H-world evidence includes the transmitter's
+  // signature, which is outside the coalition -> not replayable.
+  {
+    const auto h = ba::run_scenario(*ba::find_protocol("dolev-strong"),
+                                    ba::BAConfig{n, t, 0, 0}, 1, {}, true);
+    bool needs_foreign_signature = false;
+    for (ba::ProcId a : coalition) {
+      for (const auto& [phase, sends] :
+           adversary::trace_of(h.history, a)) {
+        for (const auto& [to, payload] : sends) {
+          if (to != victim) continue;
+          hist::History tmp;
+          tmp.record(1, hist::Edge{a, to, payload});
+          for (ba::ProcId s : signature_partners(tmp, to)) {
+            if (!coalition.contains(s)) needs_foreign_signature = true;
+          }
+        }
+      }
+    }
+    EXPECT_TRUE(needs_foreign_signature);
+  }
+}
+
+}  // namespace
+}  // namespace dr::bounds

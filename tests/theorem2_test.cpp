@@ -1,0 +1,153 @@
+#include "bounds/theorem2.h"
+
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "test_util.h"
+
+namespace dr::bounds {
+namespace {
+
+TEST(Formulas, Theorem2LowerBound) {
+  // max{(n-1)/2, (1+t/2)^2}
+  EXPECT_DOUBLE_EQ(theorem2_message_lower_bound(101, 2), 50.0);
+  EXPECT_DOUBLE_EQ(theorem2_message_lower_bound(5, 4), 9.0);
+  EXPECT_DOUBLE_EQ(theorem2_message_lower_bound(9, 4), 9.0);
+  EXPECT_EQ(theorem2_per_faulty_lower_bound(1), 2u);
+  EXPECT_EQ(theorem2_per_faulty_lower_bound(2), 2u);
+  EXPECT_EQ(theorem2_per_faulty_lower_bound(3), 3u);
+  EXPECT_EQ(theorem2_per_faulty_lower_bound(4), 3u);
+  EXPECT_EQ(theorem2_per_faulty_lower_bound(8), 5u);
+}
+
+struct ProbeCase {
+  std::string protocol;
+  std::size_t n;
+  std::size_t t;
+  std::size_t s;  // 0 = fixed protocol by name
+};
+
+class Theorem2Probes : public ::testing::TestWithParam<ProbeCase> {
+ protected:
+  ba::Protocol resolve() const {
+    const ProbeCase& c = GetParam();
+    if (c.protocol == "alg3") return ba::make_alg3_protocol(c.s);
+    if (c.protocol == "alg5") return ba::make_alg5_protocol(c.s);
+    return *ba::find_protocol(c.protocol);
+  }
+};
+
+TEST_P(Theorem2Probes, IgnoringCoalitionStillReceivesEnoughMessages) {
+  const ProbeCase& c = GetParam();
+  const ba::Protocol protocol = resolve();
+  const ba::BAConfig config{c.n, c.t, 0, 1};
+  ASSERT_TRUE(protocol.supports(config));
+  const auto probe = run_theorem2_probe(protocol, config, 1);
+  EXPECT_TRUE(probe.agreement) << protocol.name;
+  EXPECT_TRUE(probe.validity) << protocol.name;
+  // The proof's conclusion: every member of B must be sent at least
+  // ceil(1+t/2) messages by correct processors.
+  EXPECT_GE(probe.min_received_by_b, probe.per_member_bound)
+      << protocol.name << " n=" << c.n << " t=" << c.t;
+}
+
+TEST_P(Theorem2Probes, TotalMessagesRespectTheLowerBound) {
+  const ProbeCase& c = GetParam();
+  const ba::Protocol protocol = resolve();
+  const ba::BAConfig config{c.n, c.t, 0, 1};
+  const auto probe = run_theorem2_probe(protocol, config, 1);
+  EXPECT_GE(static_cast<double>(probe.messages_sent_by_correct),
+            theorem2_message_lower_bound(c.n, c.t))
+      << protocol.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, Theorem2Probes,
+    ::testing::Values(ProbeCase{"dolev-strong", 9, 2, 0},
+                      ProbeCase{"dolev-strong", 13, 4, 0},
+                      ProbeCase{"dolev-strong-relay", 13, 3, 0},
+                      ProbeCase{"alg1", 5, 2, 0}, ProbeCase{"alg1", 9, 4, 0},
+                      ProbeCase{"alg1", 13, 6, 0},
+                      ProbeCase{"alg2", 9, 4, 0},
+                      ProbeCase{"alg3", 20, 2, 3},
+                      ProbeCase{"alg3", 40, 3, 4},
+                      ProbeCase{"phase-king", 13, 3, 0},
+                      ProbeCase{"eig", 7, 2, 0},
+                      ProbeCase{"eig", 10, 3, 0}),
+    [](const auto& param_info) {
+      const ProbeCase& c = param_info.param;
+      std::string tag = c.protocol + "_n" + std::to_string(c.n) + "_t" +
+                        std::to_string(c.t);
+      for (char& ch : tag) {
+        if (ch == '-') ch = '_';
+      }
+      return tag;
+    });
+
+TEST(Theorem2Attack, OneShotProtocolWorksFailureFree) {
+  const auto protocol = make_one_shot_protocol();
+  for (ba::Value v : {ba::Value{0}, ba::Value{1}, ba::Value{9}}) {
+    const auto result =
+        ba::run_scenario(protocol, ba::BAConfig{7, 1, 0, v}, 1);
+    const auto check = sim::check_byzantine_agreement(result, 0, v);
+    EXPECT_TRUE(check.agreement);
+    EXPECT_TRUE(check.validity);
+  }
+  // And it is thrifty: n-1 messages, below the Theorem 2 bound whenever
+  // (1+t/2)^2 > n-1.
+  const auto result =
+      ba::run_scenario(protocol, ba::BAConfig{7, 4, 0, 1}, 1);
+  EXPECT_EQ(result.metrics.messages_by_correct(), 6u);
+  EXPECT_LT(static_cast<double>(result.metrics.messages_by_correct()),
+            theorem2_message_lower_bound(7, 4));
+}
+
+TEST(Theorem2Attack, MessageStarvingBreaksTheThriftyProtocol) {
+  for (const auto& [n, t] : {std::pair<std::size_t, std::size_t>{5, 1},
+                             {9, 2},
+                             {13, 4}}) {
+    const auto attack = run_theorem2_attack(n, t, 1);
+    EXPECT_TRUE(attack.agreement_violated) << "n=" << n;
+    ASSERT_TRUE(attack.starved_decision.has_value());
+    ASSERT_TRUE(attack.others_decision.has_value());
+    EXPECT_EQ(*attack.starved_decision, ba::kDefaultValue);
+    EXPECT_EQ(*attack.others_decision, 1u);
+  }
+}
+
+TEST(Theorem2Attack, RealAlgorithmsSurviveTheSameWithholding) {
+  // Control: a withholding transmitter is a legal (faulty) behaviour every
+  // correct algorithm must survive — the starved processor learns the value
+  // from relays, which is where Theorem 2's extra messages go.
+  for (const char* name : {"dolev-strong", "phase-king"}) {
+    const ba::Protocol& protocol = *ba::find_protocol(name);
+    const std::size_t n = 9;
+    const std::size_t t = 2;
+    std::set<ba::ProcId> ones;
+    for (ba::ProcId q = 1; q + 1 < n; ++q) ones.insert(q);  // skip victim
+    const auto result = ba::run_scenario(
+        protocol, ba::BAConfig{n, t, 0, 0}, 1,
+        {test::equivocator(ones)});
+    EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement)
+        << name;
+  }
+}
+
+TEST(Theorem2, FirstTermDominatesForLargeN) {
+  // For n >> t^2 the (n-1)/2 term governs; check our algorithms' failure-
+  // free runs sit above it (they must: every non-transmitter processor has
+  // to receive something when the value is 1).
+  const std::size_t n = 101;
+  const std::size_t t = 2;
+  for (const auto& protocol :
+       {ba::make_alg3_protocol(4), ba::make_alg5_protocol(3)}) {
+    const auto result = test::expect_agreement(protocol,
+                                               ba::BAConfig{n, t, 0, 1}, 1);
+    EXPECT_GE(static_cast<double>(result.metrics.messages_by_correct()),
+              theorem2_message_lower_bound(n, t))
+        << protocol.name;
+  }
+}
+
+}  // namespace
+}  // namespace dr::bounds

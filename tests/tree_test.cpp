@@ -1,0 +1,127 @@
+#include "ba/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dr::ba {
+namespace {
+
+TEST(AlphaFor, SmallestSquareAboveSixT) {
+  EXPECT_EQ(alpha_for(1), 9u);     // 6*1=6 -> 3^2
+  EXPECT_EQ(alpha_for(2), 16u);    // 12 -> 16
+  EXPECT_EQ(alpha_for(4), 25u);    // 24 -> 25
+  EXPECT_EQ(alpha_for(6), 49u);    // 36 -> 49 (must be strictly greater)
+  EXPECT_EQ(alpha_for(8), 49u);    // 48 -> 49
+  EXPECT_EQ(alpha_for(16), 100u);  // 96 -> 100
+  EXPECT_EQ(alpha_for(32), 196u);  // 192 -> 196
+}
+
+TEST(TreeSize, PowersOfTwoMinusOne) {
+  EXPECT_EQ(tree_size(1), 1u);
+  EXPECT_EQ(tree_size(2), 3u);
+  EXPECT_EQ(tree_size(3), 7u);
+  EXPECT_EQ(tree_size(5), 31u);
+}
+
+TEST(PassiveTree, LevelsAndAncestors) {
+  EXPECT_EQ(PassiveTree::level(1), 1u);
+  EXPECT_EQ(PassiveTree::level(2), 2u);
+  EXPECT_EQ(PassiveTree::level(3), 2u);
+  EXPECT_EQ(PassiveTree::level(4), 3u);
+  EXPECT_EQ(PassiveTree::level(7), 3u);
+  EXPECT_EQ(PassiveTree::ancestor_at_level(7, 1), 1u);
+  EXPECT_EQ(PassiveTree::ancestor_at_level(7, 2), 3u);
+  EXPECT_EQ(PassiveTree::ancestor_at_level(7, 3), 7u);
+  EXPECT_EQ(PassiveTree::ancestor_at_level(5, 2), 2u);
+}
+
+TEST(PassiveTree, SubtreeDepthAndNodes) {
+  const PassiveTree tree{100, 3};  // 7 nodes, ids 100..106
+  EXPECT_EQ(tree.size(), 7u);
+  EXPECT_EQ(tree.subtree_depth(1), 3u);
+  EXPECT_EQ(tree.subtree_depth(2), 2u);
+  EXPECT_EQ(tree.subtree_depth(5), 1u);
+  EXPECT_EQ(tree.subtree_nodes(1),
+            (std::vector<std::size_t>{1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(tree.subtree_nodes(3), (std::vector<std::size_t>{3, 6, 7}));
+  EXPECT_EQ(tree.subtree_nodes(6), (std::vector<std::size_t>{6}));
+  EXPECT_EQ(tree.id_of(3), 102u);
+  EXPECT_EQ(tree.node_of(102), 3u);
+  EXPECT_TRUE(tree.contains(106));
+  EXPECT_FALSE(tree.contains(107));
+}
+
+TEST(PassiveTree, SubtreeRootsAtDepth) {
+  const PassiveTree tree{0, 3};
+  EXPECT_EQ(tree.subtree_roots_at_depth(3), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(tree.subtree_roots_at_depth(2), (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(tree.subtree_roots_at_depth(1),
+            (std::vector<std::size_t>{4, 5, 6, 7}));
+  EXPECT_TRUE(tree.subtree_roots_at_depth(4).empty());
+  EXPECT_TRUE(tree.subtree_roots_at_depth(0).empty());
+}
+
+TEST(Forest, BuildPartitionsAllPassives) {
+  for (const auto& [n, t, s] :
+       {std::tuple{50u, 2u, 7u}, {100u, 4u, 7u}, {33u, 2u, 3u},
+        {200u, 8u, 15u}, {49u, 8u, 7u}, {60u, 2u, 1u}}) {
+    const Forest f = Forest::build(n, t, s);
+    EXPECT_EQ(f.alpha, alpha_for(t));
+    std::size_t covered = 0;
+    ProcId expected_next = static_cast<ProcId>(f.alpha);
+    for (const PassiveTree& tree : f.trees) {
+      EXPECT_EQ(tree.first_id, expected_next);
+      expected_next += static_cast<ProcId>(tree.size());
+      covered += tree.size();
+      EXPECT_GE(tree.depth, 1u);
+      EXPECT_LE(tree.size(), tree_size(f.lambda));
+    }
+    EXPECT_EQ(covered, f.passive_count()) << "n=" << n << " t=" << t;
+    EXPECT_EQ(expected_next, n);
+  }
+}
+
+TEST(Forest, LambdaMatchesTargetSize) {
+  EXPECT_EQ(Forest::build(100, 2, 7).lambda, 3u);
+  EXPECT_EQ(Forest::build(100, 2, 8).lambda, 3u);   // 2^4-1=15 > 8
+  EXPECT_EQ(Forest::build(100, 2, 15).lambda, 4u);
+  EXPECT_EQ(Forest::build(100, 2, 1).lambda, 1u);
+}
+
+TEST(Forest, TreeOfLookup) {
+  const Forest f = Forest::build(40, 2, 7);  // alpha = 16, 24 passives
+  EXPECT_EQ(f.tree_of(0), nullptr);
+  EXPECT_EQ(f.tree_of(15), nullptr);
+  const PassiveTree* first = f.tree_of(16);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->first_id, 16u);
+  EXPECT_EQ(first->depth, 3u);
+  // 24 passives = 7 + 7 + 7 + 3: four trees.
+  ASSERT_EQ(f.trees.size(), 4u);
+  EXPECT_EQ(f.trees[3].depth, 2u);
+  const PassiveTree* last = f.tree_of(39);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last, &f.trees[3]);
+  EXPECT_EQ(f.tree_of(40), nullptr);
+  EXPECT_EQ(f.max_depth(), 3u);
+}
+
+TEST(Forest, RemainderDecomposition) {
+  // 5 passives with lambda = 3: 5 = 3 + 1 + 1.
+  const Forest f = Forest::build(21, 1, 7);  // alpha = 9, 12 passives
+  // 12 = 7 + 3 + 1 + 1
+  std::vector<std::size_t> sizes;
+  for (const auto& tree : f.trees) sizes.push_back(tree.size());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{7, 3, 1, 1}));
+}
+
+TEST(Forest, NoPassives) {
+  const Forest f = Forest::build(9, 1, 7);
+  EXPECT_TRUE(f.trees.empty());
+  EXPECT_EQ(f.max_depth(), 0u);
+  EXPECT_EQ(f.passive_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dr::ba

@@ -1,0 +1,79 @@
+#include "ba/valid_message.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/key_registry.h"
+
+namespace dr::ba {
+namespace {
+
+class ValidMessageTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 12;
+  static constexpr std::size_t kActive = 9;
+  static constexpr std::size_t kT = 2;
+
+  crypto::KeyRegistry registry_{kN, 1};
+  crypto::Verifier verifier_{&registry_};
+
+  SignedValue chain(Value v, std::initializer_list<ProcId> signers) {
+    SignedValue sv{v, {}};
+    for (ProcId id : signers) {
+      crypto::Signer s(&registry_, {id});
+      sv = extend(sv, s, id);
+    }
+    return sv;
+  }
+};
+
+TEST_F(ValidMessageTest, EnoughActiveSignersIsValid) {
+  EXPECT_TRUE(is_valid_message(chain(1, {0, 1, 2}), verifier_, kActive, kT));
+}
+
+TEST_F(ValidMessageTest, TooFewActiveSignersInvalid) {
+  EXPECT_FALSE(is_valid_message(chain(1, {0, 1}), verifier_, kActive, kT));
+}
+
+TEST_F(ValidMessageTest, PassiveSignaturesDoNotCount) {
+  // Signers 9, 10, 11 are passive: only 2 active signatures remain.
+  EXPECT_FALSE(
+      is_valid_message(chain(1, {0, 1, 9, 10, 11}), verifier_, kActive, kT));
+}
+
+TEST_F(ValidMessageTest, PassiveSignaturesOnTopAreFine) {
+  EXPECT_TRUE(
+      is_valid_message(chain(1, {0, 1, 2, 9, 10}), verifier_, kActive, kT));
+}
+
+TEST_F(ValidMessageTest, DuplicateActiveSignerCountsOnce) {
+  EXPECT_FALSE(
+      is_valid_message(chain(1, {0, 1, 0, 1}), verifier_, kActive, kT));
+}
+
+TEST_F(ValidMessageTest, BrokenChainInvalid) {
+  SignedValue sv = chain(1, {0, 1, 2});
+  sv.value = 0;  // breaks all three signatures
+  EXPECT_FALSE(is_valid_message(sv, verifier_, kActive, kT));
+}
+
+TEST_F(ValidMessageTest, PossessionProofCountsOthersOnly) {
+  const SignedValue sv = chain(1, {0, 1, 2});
+  // For holder 5 all three signatures are "others".
+  EXPECT_TRUE(is_possession_proof(sv, verifier_, 5, 3));
+  // For holder 1 only two remain.
+  EXPECT_FALSE(is_possession_proof(sv, verifier_, 1, 3));
+  EXPECT_TRUE(is_possession_proof(sv, verifier_, 1, 2));
+}
+
+TEST_F(ValidMessageTest, PossessionProofRejectsDuplicates) {
+  EXPECT_FALSE(is_possession_proof(chain(1, {0, 0, 0}), verifier_, 5, 2));
+}
+
+TEST_F(ValidMessageTest, PossessionProofRejectsBrokenChain) {
+  SignedValue sv = chain(1, {0, 1});
+  sv.chain[1].sig[0] ^= 1;
+  EXPECT_FALSE(is_possession_proof(sv, verifier_, 5, 2));
+}
+
+}  // namespace
+}  // namespace dr::ba
