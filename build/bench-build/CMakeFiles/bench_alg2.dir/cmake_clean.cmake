@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_alg2"
+  "../bench/bench_alg2.pdb"
+  "CMakeFiles/bench_alg2.dir/bench_alg2.cpp.o"
+  "CMakeFiles/bench_alg2.dir/bench_alg2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_alg3"
+  "../bench/bench_alg3.pdb"
+  "CMakeFiles/bench_alg3.dir/bench_alg3.cpp.o"
+  "CMakeFiles/bench_alg3.dir/bench_alg3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_alg5"
+  "../bench/bench_alg5.pdb"
+  "CMakeFiles/bench_alg5.dir/bench_alg5.cpp.o"
+  "CMakeFiles/bench_alg5.dir/bench_alg5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_exhaustive.cpp" "bench-build/CMakeFiles/bench_exhaustive.dir/bench_exhaustive.cpp.o" "gcc" "bench-build/CMakeFiles/bench_exhaustive.dir/bench_exhaustive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dr82_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_ba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_hist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histories.dir/histories.cpp.o"
+  "CMakeFiles/histories.dir/histories.cpp.o.d"
+  "histories"
+  "histories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

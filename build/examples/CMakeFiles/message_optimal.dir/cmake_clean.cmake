@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_optimal.dir/message_optimal.cpp.o"
+  "CMakeFiles/message_optimal.dir/message_optimal.cpp.o.d"
+  "message_optimal"
+  "message_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

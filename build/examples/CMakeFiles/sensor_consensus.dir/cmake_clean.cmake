@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_consensus.dir/sensor_consensus.cpp.o"
+  "CMakeFiles/sensor_consensus.dir/sensor_consensus.cpp.o.d"
+  "sensor_consensus"
+  "sensor_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

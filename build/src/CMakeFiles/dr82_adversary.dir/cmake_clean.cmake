@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_adversary.dir/adversary/coalition.cpp.o"
+  "CMakeFiles/dr82_adversary.dir/adversary/coalition.cpp.o.d"
+  "CMakeFiles/dr82_adversary.dir/adversary/strategies.cpp.o"
+  "CMakeFiles/dr82_adversary.dir/adversary/strategies.cpp.o.d"
+  "libdr82_adversary.a"
+  "libdr82_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ba/algorithm1.cpp" "src/CMakeFiles/dr82_ba.dir/ba/algorithm1.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/algorithm1.cpp.o.d"
+  "/root/repo/src/ba/algorithm2.cpp" "src/CMakeFiles/dr82_ba.dir/ba/algorithm2.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/algorithm2.cpp.o.d"
+  "/root/repo/src/ba/algorithm3.cpp" "src/CMakeFiles/dr82_ba.dir/ba/algorithm3.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/algorithm3.cpp.o.d"
+  "/root/repo/src/ba/algorithm5.cpp" "src/CMakeFiles/dr82_ba.dir/ba/algorithm5.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/algorithm5.cpp.o.d"
+  "/root/repo/src/ba/dolev_strong.cpp" "src/CMakeFiles/dr82_ba.dir/ba/dolev_strong.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/dolev_strong.cpp.o.d"
+  "/root/repo/src/ba/eig.cpp" "src/CMakeFiles/dr82_ba.dir/ba/eig.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/eig.cpp.o.d"
+  "/root/repo/src/ba/exchange.cpp" "src/CMakeFiles/dr82_ba.dir/ba/exchange.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/exchange.cpp.o.d"
+  "/root/repo/src/ba/interactive_consistency.cpp" "src/CMakeFiles/dr82_ba.dir/ba/interactive_consistency.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/interactive_consistency.cpp.o.d"
+  "/root/repo/src/ba/phase_king.cpp" "src/CMakeFiles/dr82_ba.dir/ba/phase_king.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/phase_king.cpp.o.d"
+  "/root/repo/src/ba/proof_of_work.cpp" "src/CMakeFiles/dr82_ba.dir/ba/proof_of_work.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/proof_of_work.cpp.o.d"
+  "/root/repo/src/ba/registry.cpp" "src/CMakeFiles/dr82_ba.dir/ba/registry.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/registry.cpp.o.d"
+  "/root/repo/src/ba/replay.cpp" "src/CMakeFiles/dr82_ba.dir/ba/replay.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/replay.cpp.o.d"
+  "/root/repo/src/ba/tree.cpp" "src/CMakeFiles/dr82_ba.dir/ba/tree.cpp.o" "gcc" "src/CMakeFiles/dr82_ba.dir/ba/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dr82_ba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

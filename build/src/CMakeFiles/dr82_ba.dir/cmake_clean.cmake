@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_ba.dir/ba/algorithm1.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/algorithm1.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/algorithm2.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/algorithm2.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/algorithm3.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/algorithm3.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/algorithm5.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/algorithm5.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/dolev_strong.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/dolev_strong.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/eig.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/eig.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/exchange.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/exchange.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/interactive_consistency.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/interactive_consistency.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/phase_king.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/phase_king.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/proof_of_work.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/proof_of_work.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/registry.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/registry.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/replay.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/replay.cpp.o.d"
+  "CMakeFiles/dr82_ba.dir/ba/tree.cpp.o"
+  "CMakeFiles/dr82_ba.dir/ba/tree.cpp.o.d"
+  "libdr82_ba.a"
+  "libdr82_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

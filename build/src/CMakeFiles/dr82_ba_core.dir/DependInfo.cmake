@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ba/signed_value.cpp" "src/CMakeFiles/dr82_ba_core.dir/ba/signed_value.cpp.o" "gcc" "src/CMakeFiles/dr82_ba_core.dir/ba/signed_value.cpp.o.d"
+  "/root/repo/src/ba/valid_message.cpp" "src/CMakeFiles/dr82_ba_core.dir/ba/valid_message.cpp.o" "gcc" "src/CMakeFiles/dr82_ba_core.dir/ba/valid_message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dr82_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_ba_core.dir/ba/signed_value.cpp.o"
+  "CMakeFiles/dr82_ba_core.dir/ba/signed_value.cpp.o.d"
+  "CMakeFiles/dr82_ba_core.dir/ba/valid_message.cpp.o"
+  "CMakeFiles/dr82_ba_core.dir/ba/valid_message.cpp.o.d"
+  "libdr82_ba_core.a"
+  "libdr82_ba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_ba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

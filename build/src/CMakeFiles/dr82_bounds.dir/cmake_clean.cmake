@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_bounds.dir/bounds/formulas.cpp.o"
+  "CMakeFiles/dr82_bounds.dir/bounds/formulas.cpp.o.d"
+  "CMakeFiles/dr82_bounds.dir/bounds/theorem1.cpp.o"
+  "CMakeFiles/dr82_bounds.dir/bounds/theorem1.cpp.o.d"
+  "CMakeFiles/dr82_bounds.dir/bounds/theorem2.cpp.o"
+  "CMakeFiles/dr82_bounds.dir/bounds/theorem2.cpp.o.d"
+  "libdr82_bounds.a"
+  "libdr82_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdr82_bounds.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_codec.dir/codec/codec.cpp.o"
+  "CMakeFiles/dr82_codec.dir/codec/codec.cpp.o.d"
+  "libdr82_codec.a"
+  "libdr82_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

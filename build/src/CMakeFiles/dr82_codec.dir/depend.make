@@ -1,0 +1,2 @@
+# Empty dependencies file for dr82_codec.
+# This may be replaced when dependencies are built.

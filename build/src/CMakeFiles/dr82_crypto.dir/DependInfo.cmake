@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/dr82_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/dr82_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/key_registry.cpp" "src/CMakeFiles/dr82_crypto.dir/crypto/key_registry.cpp.o" "gcc" "src/CMakeFiles/dr82_crypto.dir/crypto/key_registry.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/CMakeFiles/dr82_crypto.dir/crypto/merkle.cpp.o" "gcc" "src/CMakeFiles/dr82_crypto.dir/crypto/merkle.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/dr82_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/dr82_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/signature.cpp" "src/CMakeFiles/dr82_crypto.dir/crypto/signature.cpp.o" "gcc" "src/CMakeFiles/dr82_crypto.dir/crypto/signature.cpp.o.d"
+  "/root/repo/src/crypto/wots.cpp" "src/CMakeFiles/dr82_crypto.dir/crypto/wots.cpp.o" "gcc" "src/CMakeFiles/dr82_crypto.dir/crypto/wots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dr82_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dr82_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/dr82_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/dr82_crypto.dir/crypto/key_registry.cpp.o"
+  "CMakeFiles/dr82_crypto.dir/crypto/key_registry.cpp.o.d"
+  "CMakeFiles/dr82_crypto.dir/crypto/merkle.cpp.o"
+  "CMakeFiles/dr82_crypto.dir/crypto/merkle.cpp.o.d"
+  "CMakeFiles/dr82_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/dr82_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/dr82_crypto.dir/crypto/signature.cpp.o"
+  "CMakeFiles/dr82_crypto.dir/crypto/signature.cpp.o.d"
+  "CMakeFiles/dr82_crypto.dir/crypto/wots.cpp.o"
+  "CMakeFiles/dr82_crypto.dir/crypto/wots.cpp.o.d"
+  "libdr82_crypto.a"
+  "libdr82_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

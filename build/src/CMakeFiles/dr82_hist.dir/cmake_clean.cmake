@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_hist.dir/hist/export.cpp.o"
+  "CMakeFiles/dr82_hist.dir/hist/export.cpp.o.d"
+  "CMakeFiles/dr82_hist.dir/hist/history.cpp.o"
+  "CMakeFiles/dr82_hist.dir/hist/history.cpp.o.d"
+  "libdr82_hist.a"
+  "libdr82_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

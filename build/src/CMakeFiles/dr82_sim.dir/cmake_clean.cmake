@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/dr82_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/dr82_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/dr82_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/dr82_sim.dir/sim/runner.cpp.o"
+  "CMakeFiles/dr82_sim.dir/sim/runner.cpp.o.d"
+  "libdr82_sim.a"
+  "libdr82_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

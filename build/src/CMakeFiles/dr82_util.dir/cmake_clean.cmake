@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/dr82_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/dr82_util.dir/util/log.cpp.o"
+  "CMakeFiles/dr82_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/dr82_util.dir/util/rng.cpp.o"
+  "CMakeFiles/dr82_util.dir/util/rng.cpp.o.d"
+  "libdr82_util.a"
+  "libdr82_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

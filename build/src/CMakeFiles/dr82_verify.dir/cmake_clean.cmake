@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr82_verify.dir/verify/exhaustive.cpp.o"
+  "CMakeFiles/dr82_verify.dir/verify/exhaustive.cpp.o.d"
+  "libdr82_verify.a"
+  "libdr82_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr82_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm5_test.dir/algorithm5_test.cpp.o"
+  "CMakeFiles/algorithm5_test.dir/algorithm5_test.cpp.o.d"
+  "algorithm5_test"
+  "algorithm5_test.pdb"
+  "algorithm5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_consistency_test.dir/interactive_consistency_test.cpp.o"
+  "CMakeFiles/interactive_consistency_test.dir/interactive_consistency_test.cpp.o.d"
+  "interactive_consistency_test"
+  "interactive_consistency_test.pdb"
+  "interactive_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_king_test.dir/phase_king_test.cpp.o"
+  "CMakeFiles/phase_king_test.dir/phase_king_test.cpp.o.d"
+  "phase_king_test"
+  "phase_king_test.pdb"
+  "phase_king_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_king_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

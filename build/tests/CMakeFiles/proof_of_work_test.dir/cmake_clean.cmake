@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_of_work_test.dir/proof_of_work_test.cpp.o"
+  "CMakeFiles/proof_of_work_test.dir/proof_of_work_test.cpp.o.d"
+  "proof_of_work_test"
+  "proof_of_work_test.pdb"
+  "proof_of_work_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_of_work_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rushing_test.dir/rushing_test.cpp.o"
+  "CMakeFiles/rushing_test.dir/rushing_test.cpp.o.d"
+  "rushing_test"
+  "rushing_test.pdb"
+  "rushing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rushing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

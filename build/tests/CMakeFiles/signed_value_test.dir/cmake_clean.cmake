@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signed_value_test.dir/signed_value_test.cpp.o"
+  "CMakeFiles/signed_value_test.dir/signed_value_test.cpp.o.d"
+  "signed_value_test"
+  "signed_value_test.pdb"
+  "signed_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signed_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valid_message_test.dir/valid_message_test.cpp.o"
+  "CMakeFiles/valid_message_test.dir/valid_message_test.cpp.o.d"
+  "valid_message_test"
+  "valid_message_test.pdb"
+  "valid_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valid_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wots_test.dir/wots_test.cpp.o"
+  "CMakeFiles/wots_test.dir/wots_test.cpp.o.d"
+  "wots_test"
+  "wots_test.pdb"
+  "wots_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
