@@ -1,0 +1,225 @@
+// Chaos soak driver: sweep seeded random transport-fault plans across the
+// protocol registry, watchdog the paper's invariants, and close the loop
+// on failure minimization + deterministic replay.
+//
+// Usage:
+//   ./chaos soak [--runs N] [--seed S] [--protocols a,b,...]
+//       Run N random scenarios (default 1000). Scenarios whose effective
+//       faulty set stays within t must satisfy agreement, validity and the
+//       Theorem 3 / Theorem 4 / Lemma 1 budgets; any violation is
+//       minimized and printed as a JSON reproducer. Exit 1 if any found.
+//
+//   ./chaos demo [--protocol NAME] [--n N] [--t T] [--seed S]
+//       The deliberate over-budget exercise: hunt for a transport plan
+//       that charges more than t processors AND breaks an invariant,
+//       shrink it to a minimal rule set, print the reproducer, then
+//       re-load the JSON and replay it to confirm the violation is
+//       bit-reproducible. Exit 0 when the whole loop closes.
+//
+//   ./chaos replay FILE.json
+//       Load a reproducer, re-execute it, and report whether the recorded
+//       violations recur. Exit 0 iff they match exactly.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/chaos.h"
+
+using namespace dr;
+
+namespace {
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr, "error: %s (see the header of examples/chaos.cpp)\n",
+               message);
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& spec) {
+  std::vector<std::string> out;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Checks a scenario the way it was found: effective accounting when the
+/// faulty set fits the budget, scripted-only accounting otherwise (the
+/// over-budget demo). Returns the report plus which mask was used.
+chaos::InvariantReport recheck(const chaos::Scenario& scenario,
+                               const chaos::Outcome& outcome) {
+  const chaos::Budgets budgets =
+      chaos::budgets_for(scenario.protocol, scenario.config);
+  const std::vector<bool>& mask =
+      outcome.effective_faulty_count <= scenario.config.t
+          ? outcome.effective_faulty
+          : outcome.scripted_faulty;
+  return chaos::check_invariants(scenario, outcome, mask, budgets);
+}
+
+int run_soak(std::size_t runs, std::uint64_t seed,
+             const std::string& protocols) {
+  chaos::SoakOptions options;
+  options.runs = runs;
+  options.seed = seed;
+  options.protocols = split_csv(protocols);
+
+  const chaos::SoakStats stats = chaos::soak(options);
+  std::printf("chaos soak: %zu runs, seed %llu\n", stats.runs,
+              static_cast<unsigned long long>(seed));
+  std::printf("  within fault budget (checked): %zu\n", stats.checked);
+  std::printf("  over budget (skipped):         %zu\n", stats.over_budget);
+  std::printf("  processors perturbed (total):  %zu\n", stats.rules_fired);
+  std::printf("  invariant violations:          %zu\n",
+              stats.findings.size());
+  for (const chaos::Finding& finding : stats.findings) {
+    std::printf("\nVIOLATION (%s, n=%zu, t=%zu):\n",
+                finding.scenario.protocol.c_str(), finding.scenario.config.n,
+                finding.scenario.config.t);
+    for (const std::string& violation : finding.violations) {
+      std::printf("  - %s\n", violation.c_str());
+    }
+    std::printf("reproducer: %s\n", finding.reproducer_json.c_str());
+  }
+  return stats.findings.empty() ? 0 : 1;
+}
+
+int run_demo(const std::string& protocol, std::size_t n, std::size_t t,
+             std::uint64_t seed) {
+  const ba::BAConfig config{n, t, 0, 1};
+  const auto resolved = chaos::resolve_protocol(protocol);
+  if (!resolved.has_value()) usage_error("unknown protocol");
+  if (!resolved->supports(config)) {
+    usage_error("protocol does not support this (n, t)");
+  }
+  std::printf("hunting an over-budget violation for %s (n=%zu, t=%zu)...\n",
+              protocol.c_str(), n, t);
+  const std::optional<chaos::Finding> finding =
+      chaos::hunt_over_budget(protocol, config, seed);
+  if (!finding.has_value()) {
+    std::fprintf(stderr, "no over-budget violation found; try another seed\n");
+    return 1;
+  }
+  std::printf("minimized to %zu fault rule(s):\n",
+              finding->scenario.rules.size());
+  for (const sim::FaultRule& rule : finding->scenario.rules) {
+    std::printf("  %s\n", sim::to_string(rule).c_str());
+  }
+  for (const std::string& violation : finding->violations) {
+    std::printf("  violation: %s\n", violation.c_str());
+  }
+  std::printf("reproducer: %s\n", finding->reproducer_json.c_str());
+
+  // Close the loop: parse the JSON back and replay it.
+  std::vector<std::string> recorded;
+  std::string error;
+  const std::optional<chaos::Scenario> loaded =
+      chaos::scenario_from_json(finding->reproducer_json, &recorded, &error);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "reproducer failed to parse: %s\n", error.c_str());
+    return 1;
+  }
+  if (*loaded != finding->scenario) {
+    std::fprintf(stderr, "reproducer did not round-trip the scenario\n");
+    return 1;
+  }
+  const chaos::Outcome outcome = chaos::execute(*loaded);
+  const chaos::InvariantReport replayed = recheck(*loaded, outcome);
+  if (replayed.violations != recorded) {
+    std::fprintf(stderr, "replay produced different violations\n");
+    return 1;
+  }
+  std::printf("replay: same %zu violation(s) — deterministic.\n",
+              replayed.violations.size());
+  return 0;
+}
+
+int run_replay(const char* path) {
+  std::ifstream file(path);
+  if (!file) usage_error("cannot open reproducer file");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  std::vector<std::string> recorded;
+  std::string error;
+  const std::optional<chaos::Scenario> scenario =
+      chaos::scenario_from_json(buffer.str(), &recorded, &error);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 2;
+  }
+  const chaos::Outcome outcome = chaos::execute(*scenario);
+  const chaos::InvariantReport report = recheck(*scenario, outcome);
+  std::printf("%s n=%zu t=%zu: effective faulty %zu (budget %zu)\n",
+              scenario->protocol.c_str(), scenario->config.n,
+              scenario->config.t, outcome.effective_faulty_count,
+              scenario->config.t);
+  for (const std::string& violation : report.violations) {
+    std::printf("  violation: %s\n", violation.c_str());
+  }
+  if (report.violations == recorded) {
+    std::printf("matches the recorded violations.\n");
+    return 0;
+  }
+  std::printf("recorded violations differ:\n");
+  for (const std::string& violation : recorded) {
+    std::printf("  recorded: %s\n", violation.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = argc > 1 ? argv[1] : "soak";
+  if (mode == "--help") {
+    std::printf("see the header of examples/chaos.cpp for usage\n");
+    return 0;
+  }
+
+  std::size_t runs = 1000;
+  std::uint64_t seed = 1;
+  std::string protocols;
+  std::string protocol = "dolev-strong";
+  std::size_t n = 5, t = 1;
+  const char* replay_path = nullptr;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing argument value");
+      return argv[++i];
+    };
+    if (arg == "--runs") {
+      runs = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--protocols") {
+      protocols = next();
+    } else if (arg == "--protocol") {
+      protocol = next();
+    } else if (arg == "--n") {
+      n = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--t") {
+      t = std::strtoul(next(), nullptr, 10);
+    } else if (mode == "replay" && replay_path == nullptr &&
+               !arg.empty() && arg[0] != '-') {
+      replay_path = argv[i];
+    } else {
+      usage_error("unknown option");
+    }
+  }
+
+  if (mode == "soak") return run_soak(runs, seed, protocols);
+  if (mode == "demo") return run_demo(protocol, n, t, seed);
+  if (mode == "replay") {
+    if (replay_path == nullptr) usage_error("replay needs a file path");
+    return run_replay(replay_path);
+  }
+  usage_error("unknown mode (soak | demo | replay)");
+}

@@ -6,6 +6,10 @@ BUILD="${1:-build}"
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
+# Fixed-seed chaos soak (~5s): random transport-fault plans across the
+# registry; fails on any invariant violation within the fault budget.
+"$BUILD"/examples/chaos soak --runs 10000 --seed 1
+"$BUILD"/examples/chaos demo --seed 1
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && "$b"
 done

@@ -20,6 +20,8 @@ struct BAConfig {
   std::size_t t = 0;
   ProcId transmitter = 0;
   Value value = 0;  // consumed only by the transmitter's own instance
+
+  friend bool operator==(const BAConfig&, const BAConfig&) = default;
 };
 
 /// The value a correct processor falls back to when the transmitter is

@@ -156,7 +156,8 @@ sim::RunResult run_scenario(const Protocol& protocol, const BAConfig& config,
                             .scheme = options.scheme,
                             .merkle_height = options.merkle_height,
                             .rushing = options.rushing,
-                            .threads = options.threads};
+                            .threads = options.threads,
+                            .fault_plan = options.fault_plan};
   sim::Runner runner(run_config);
   for (const ScenarioFault& fault : faults) {
     runner.mark_faulty(fault.id);

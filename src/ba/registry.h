@@ -57,6 +57,10 @@ struct ScenarioOptions {
   sim::SchemeKind scheme = sim::SchemeKind::kHmac;
   std::size_t merkle_height = 6;
   std::size_t threads = 1;
+  /// Transport fault plan (not owned; must outlive the call). After the
+  /// run, plan->perturbed() reports the processors it made
+  /// Byzantine-in-effect; see sim/faults.h for the accounting rule.
+  sim::FaultPlan* fault_plan = nullptr;
 };
 
 /// Builds a runner, installs correct processes everywhere except the listed

@@ -1,5 +1,6 @@
 #include "hist/export.h"
 
+#include <cstdio>
 #include <set>
 #include <sstream>
 
@@ -49,6 +50,53 @@ std::string to_dot(const History& history, const LabelPrinter& printer) {
     }
   }
   out << "}\n";
+  return out.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const History& history) {
+  std::ostringstream out;
+  out << "{\"transmitter\":" << history.transmitter();
+  if (history.initial_value().has_value()) {
+    out << ",\"initial\":\"" << to_hex(*history.initial_value()) << "\"";
+  }
+  out << ",\"phases\":[";
+  for (PhaseNum k = 1; k <= history.phases(); ++k) {
+    if (k > 1) out << ",";
+    out << "[";
+    bool first = true;
+    for (const Edge& e : history.phase(k).edges()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"from\":" << e.from << ",\"to\":" << e.to << ",\"label\":\""
+          << to_hex(e.label) << "\"}";
+    }
+    out << "]";
+  }
+  out << "]}";
   return out.str();
 }
 

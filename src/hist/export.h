@@ -27,4 +27,15 @@ std::string to_dot(const History& history,
 std::string to_text(const History& history,
                     const LabelPrinter& printer = default_label_printer());
 
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by every JSON emitter in the
+/// repo (chaos reproducers, history dumps).
+std::string json_escape(std::string_view s);
+
+/// Machine-readable history:
+/// {"transmitter":T,"initial":"<hex>","phases":[[{"from":F,"to":T,
+/// "label":"<hex>"},...],...]} — phase k is phases[k-1]; labels are
+/// lower-case hex so arbitrary payload bytes survive the round trip.
+std::string to_json(const History& history);
+
 }  // namespace dr::hist

@@ -1,0 +1,847 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "adversary/strategies.h"
+#include "bounds/formulas.h"
+#include "hist/export.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace dr::chaos {
+
+const char* to_string(ScriptedKind kind) {
+  switch (kind) {
+    case ScriptedKind::kSilent: return "silent";
+    case ScriptedKind::kCrash: return "crash";
+    case ScriptedKind::kChaos: return "chaos";
+  }
+  return "?";
+}
+
+bool scripted_kind_from_string(std::string_view name, ScriptedKind& out) {
+  if (name == "silent") out = ScriptedKind::kSilent;
+  else if (name == "crash") out = ScriptedKind::kCrash;
+  else if (name == "chaos") out = ScriptedKind::kChaos;
+  else return false;
+  return true;
+}
+
+namespace {
+
+/// "alg3[s=4]" -> {"alg3", 4}; names without a parameter get s = 0.
+struct ParsedName {
+  std::string base;
+  std::size_t s = 0;
+};
+
+ParsedName parse_name(std::string_view name) {
+  ParsedName parsed;
+  const std::size_t bracket = name.find('[');
+  if (bracket == std::string_view::npos) {
+    parsed.base = std::string(name);
+    return parsed;
+  }
+  parsed.base = std::string(name.substr(0, bracket));
+  const std::string_view rest = name.substr(bracket);
+  if (rest.size() >= 5 && rest.substr(0, 3) == "[s=" && rest.back() == ']') {
+    parsed.s = static_cast<std::size_t>(
+        std::strtoul(std::string(rest.substr(3, rest.size() - 4)).c_str(),
+                     nullptr, 10));
+  }
+  return parsed;
+}
+
+}  // namespace
+
+std::optional<Protocol> resolve_protocol(std::string_view name) {
+  if (const Protocol* fixed = ba::find_protocol(name)) return *fixed;
+  const ParsedName parsed = parse_name(name);
+  if (parsed.s == 0) return std::nullopt;
+  if (parsed.base == "alg3") return ba::make_alg3_protocol(parsed.s);
+  if (parsed.base == "alg3-mv") return ba::make_alg3_mv_protocol(parsed.s);
+  if (parsed.base == "alg5") return ba::make_alg5_protocol(parsed.s);
+  if (parsed.base == "alg5-mv") return ba::make_alg5_mv_protocol(parsed.s);
+  if (parsed.base == "alg5-ungated") {
+    return ba::make_alg5_ungated_protocol(parsed.s);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+ba::ScenarioFault make_scripted(const Protocol& protocol,
+                                const ScriptedFault& fault) {
+  switch (fault.kind) {
+    case ScriptedKind::kSilent:
+      return ba::ScenarioFault{fault.id, [](ProcId, const BAConfig&) {
+                                 return std::make_unique<
+                                     adversary::SilentProcess>();
+                               }};
+    case ScriptedKind::kCrash:
+      return ba::ScenarioFault{
+          fault.id, [&protocol, phase = fault.crash_phase](
+                        ProcId p, const BAConfig& c) {
+            return std::make_unique<adversary::CrashProcess>(
+                protocol.make(p, c), phase);
+          }};
+    case ScriptedKind::kChaos:
+      break;
+  }
+  return ba::ScenarioFault{
+      fault.id, [seed = fault.seed, prob = fault.send_prob](
+                    ProcId, const BAConfig&) {
+        return std::make_unique<adversary::RandomByzantine>(seed, prob);
+      }};
+}
+
+}  // namespace
+
+Outcome execute(const Scenario& scenario) {
+  const std::optional<Protocol> protocol = resolve_protocol(scenario.protocol);
+  DR_EXPECTS(protocol.has_value());
+  DR_EXPECTS(protocol->supports(scenario.config));
+  DR_EXPECTS(scenario.scripted.size() <= scenario.config.t);
+
+  sim::FaultPlan plan(scenario.rules, scenario.plan_seed);
+  ba::ScenarioOptions options;
+  options.seed = scenario.seed;
+  options.record_history = true;
+  options.fault_plan = &plan;
+  std::vector<ba::ScenarioFault> faults;
+  faults.reserve(scenario.scripted.size());
+  for (const ScriptedFault& fault : scenario.scripted) {
+    faults.push_back(make_scripted(*protocol, fault));
+  }
+
+  Outcome outcome;
+  outcome.result = ba::run_scenario(*protocol, scenario.config, options,
+                                    faults);
+  outcome.scripted_faulty = outcome.result.faulty;
+  outcome.effective_faulty = outcome.scripted_faulty;
+  for (ProcId p : plan.perturbed()) {
+    outcome.effective_faulty[p] = true;
+    outcome.perturbed.push_back(p);
+  }
+  outcome.effective_faulty_count = static_cast<std::size_t>(
+      std::count(outcome.effective_faulty.begin(),
+                 outcome.effective_faulty.end(), true));
+  return outcome;
+}
+
+Budgets budgets_for(std::string_view protocol_name, const BAConfig& config) {
+  Budgets budgets;
+  if (const std::optional<Protocol> protocol =
+          resolve_protocol(protocol_name)) {
+    // Every protocol here runs its communication phases followed by one
+    // processing-only step, so steps - 1 is the paper's phase budget
+    // (t+1 for Dolev-Strong, t+2 for Algorithm 1, 3t+3 for Algorithm 2,
+    // t+2s+3 for Algorithm 3, ...).
+    budgets.phases = protocol->steps(config) - 1;
+  }
+  const ParsedName parsed = parse_name(protocol_name);
+  if (parsed.base == "alg1") {
+    budgets.messages =
+        static_cast<double>(bounds::alg1_message_upper_bound(config.t));
+  } else if (parsed.base == "alg1-mv") {
+    // The multi-valued variant relays the first two distinct committed
+    // values, doubling Theorem 3's cascade budget.
+    budgets.messages =
+        2.0 * static_cast<double>(bounds::alg1_message_upper_bound(config.t));
+  } else if (parsed.base == "alg2") {
+    budgets.messages =
+        static_cast<double>(bounds::alg2_message_upper_bound(config.t));
+  } else if (parsed.base == "alg3") {
+    budgets.messages =
+        bounds::alg3_message_upper_bound(config.n, config.t, parsed.s);
+  } else if (parsed.base == "dolev-strong") {
+    budgets.messages = static_cast<double>(
+        bounds::dolev_strong_broadcast_message_bound(config.n));
+  } else if (parsed.base == "dolev-strong-relay") {
+    budgets.messages = static_cast<double>(
+        bounds::dolev_strong_relay_message_bound(config.n, config.t));
+  }
+  return budgets;
+}
+
+InvariantReport check_invariants(const Scenario& scenario,
+                                 const Outcome& outcome,
+                                 const std::vector<bool>& faulty,
+                                 const Budgets& budgets) {
+  DR_EXPECTS(faulty.size() == scenario.config.n);
+  InvariantReport report;
+  auto fail = [&report](std::string what) {
+    report.ok = false;
+    report.violations.push_back(std::move(what));
+  };
+
+  // (i) agreement and (ii) validity among the complement of `faulty`,
+  // through the existing paper-level check.
+  sim::RunResult probe;
+  probe.decisions = outcome.result.decisions;
+  probe.faulty = faulty;
+  const sim::AgreementCheck check = sim::check_byzantine_agreement(
+      probe, scenario.config.transmitter, scenario.config.value);
+  if (!check.agreement) {
+    fail("agreement: correct processors disagree or failed to decide");
+  }
+  if (!check.validity) {
+    fail("validity: correct transmitter but agreement not on its value");
+  }
+
+  // (iii) message budget, summed over the complement's sends. sent_by()
+  // counts submissions before the transport mangles them, so it is each
+  // processor's true send count even under an active fault plan.
+  if (budgets.messages.has_value()) {
+    std::size_t sent = 0;
+    for (ProcId p = 0; p < scenario.config.n; ++p) {
+      if (!faulty[p]) sent += outcome.result.metrics.sent_by(p);
+    }
+    if (static_cast<double>(sent) > *budgets.messages) {
+      std::ostringstream what;
+      what << "message budget: correct processors sent " << sent
+           << " > bound " << *budgets.messages;
+      fail(what.str());
+    }
+  }
+
+  // (iv) phase budget: the last phase in which a processor from the
+  // complement sent anything, read off the recorded history.
+  if (budgets.phases.has_value()) {
+    const hist::History& history = outcome.result.history;
+    PhaseNum last = 0;
+    for (PhaseNum k = 1; k <= history.phases(); ++k) {
+      for (const hist::Edge& edge : history.phase(k).edges()) {
+        if (!faulty[edge.from]) {
+          last = k;
+          break;
+        }
+      }
+    }
+    if (last > *budgets.phases) {
+      std::ostringstream what;
+      what << "phase budget: correct traffic in phase " << last
+           << " > bound " << *budgets.phases;
+      fail(what.str());
+    }
+  }
+  return report;
+}
+
+namespace {
+
+void append_proc(std::ostringstream& out, const char* key, ProcId value) {
+  out << "\"" << key << "\":";
+  if (value == sim::kAnyProc) out << "\"*\"";
+  else out << value;
+}
+
+void append_phase(std::ostringstream& out, const char* key, PhaseNum value) {
+  out << "\"" << key << "\":";
+  if (value == sim::kAnyPhase) out << "\"*\"";
+  else out << value;
+}
+
+}  // namespace
+
+std::string to_json(const Scenario& scenario,
+                    const std::vector<std::string>& violations) {
+  std::ostringstream out;
+  out << "{\"protocol\":\"" << hist::json_escape(scenario.protocol) << "\","
+      << "\"n\":" << scenario.config.n << ",\"t\":" << scenario.config.t
+      << ",\"transmitter\":" << scenario.config.transmitter
+      << ",\"value\":" << scenario.config.value
+      << ",\"seed\":" << scenario.seed
+      << ",\"plan_seed\":" << scenario.plan_seed << ",\"scripted\":[";
+  for (std::size_t i = 0; i < scenario.scripted.size(); ++i) {
+    const ScriptedFault& fault = scenario.scripted[i];
+    if (i > 0) out << ",";
+    out << "{\"kind\":\"" << to_string(fault.kind)
+        << "\",\"id\":" << fault.id;
+    if (fault.kind == ScriptedKind::kCrash) {
+      out << ",\"phase\":" << fault.crash_phase;
+    } else if (fault.kind == ScriptedKind::kChaos) {
+      out << ",\"seed\":" << fault.seed << ",\"prob\":" << fault.send_prob;
+    }
+    out << "}";
+  }
+  out << "],\"rules\":[";
+  for (std::size_t i = 0; i < scenario.rules.size(); ++i) {
+    const sim::FaultRule& rule = scenario.rules[i];
+    if (i > 0) out << ",";
+    out << "{\"kind\":\"" << sim::to_string(rule.kind) << "\",";
+    append_proc(out, "from", rule.from);
+    out << ",";
+    append_proc(out, "to", rule.to);
+    out << ",";
+    append_phase(out, "phase", rule.phase);
+    out << "}";
+  }
+  out << "],\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << hist::json_escape(violations[i]) << "\"";
+  }
+  out << "]}";
+  return out.str();
+}
+
+// --- A minimal JSON reader for the reproducer format. -----------------
+//
+// Supports objects, arrays, strings (\" \\ \/ \n \r \t \uXXXX), numbers
+// and the three literals. Integers are kept exactly (64-bit) so seeds
+// round-trip; everything the writer above emits parses back losslessly.
+namespace {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::uint64_t integer = 0;
+  bool is_integer = false;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> value = parse_value();
+    skip_ws();
+    if (!value.has_value() || pos_ != text_.size()) {
+      if (error != nullptr) *error = error_.empty() ? "trailing data" : error_;
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> fail(const char* what) {
+    if (error_.empty()) {
+      error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f' || c == 'n') return parse_literal();
+    return parse_number();
+  }
+
+  std::optional<JsonValue> parse_object() {
+    ++pos_;  // '{'
+    JsonValue value;
+    value.kind = JsonValue::kObject;
+    if (consume('}')) return value;
+    while (true) {
+      std::optional<JsonValue> key = parse_string();
+      if (!key.has_value()) return fail("expected object key");
+      if (!consume(':')) return fail("expected ':'");
+      std::optional<JsonValue> member = parse_value();
+      if (!member.has_value()) return std::nullopt;
+      value.object.emplace_back(std::move(key->str), std::move(*member));
+      if (consume(',')) continue;
+      if (consume('}')) return value;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    ++pos_;  // '['
+    JsonValue value;
+    value.kind = JsonValue::kArray;
+    if (consume(']')) return value;
+    while (true) {
+      std::optional<JsonValue> element = parse_value();
+      if (!element.has_value()) return std::nullopt;
+      value.array.push_back(std::move(*element));
+      if (consume(',')) continue;
+      if (consume(']')) return value;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<JsonValue> parse_string() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    JsonValue value;
+    value.kind = JsonValue::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.str.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': value.str.push_back('"'); break;
+        case '\\': value.str.push_back('\\'); break;
+        case '/': value.str.push_back('/'); break;
+        case 'n': value.str.push_back('\n'); break;
+        case 'r': value.str.push_back('\r'); break;
+        case 't': value.str.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // The writer only escapes control characters; anything else is
+          // replaced rather than decoded to UTF-8.
+          value.str.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  std::optional<JsonValue> parse_literal() {
+    JsonValue value;
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      value.kind = JsonValue::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      value.kind = JsonValue::kBool;
+      return value;
+    }
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return value;
+    }
+    return fail("bad literal");
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected number");
+    const std::string token(text_.substr(start, pos_ - start));
+    JsonValue value;
+    value.kind = JsonValue::kNumber;
+    value.number = std::strtod(token.c_str(), nullptr);
+    if (integral && token[0] != '-') {
+      value.integer = std::strtoull(token.c_str(), nullptr, 10);
+      value.is_integer = true;
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Reads a numeric field, or the "*" wildcard mapped to `any`.
+bool read_id(const JsonValue& parent, std::string_view key,
+             std::uint64_t any, std::uint64_t& out) {
+  const JsonValue* value = parent.find(key);
+  if (value == nullptr) return false;
+  if (value->kind == JsonValue::kString && value->str == "*") {
+    out = any;
+    return true;
+  }
+  if (value->kind != JsonValue::kNumber || !value->is_integer) return false;
+  out = value->integer;
+  return true;
+}
+
+bool read_u64(const JsonValue& parent, std::string_view key,
+              std::uint64_t& out) {
+  const JsonValue* value = parent.find(key);
+  if (value == nullptr || value->kind != JsonValue::kNumber ||
+      !value->is_integer) {
+    return false;
+  }
+  out = value->integer;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Scenario> scenario_from_json(
+    std::string_view json, std::vector<std::string>* violations,
+    std::string* error) {
+  auto reject = [error](const char* what) -> std::optional<Scenario> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+
+  JsonReader reader(json);
+  const std::optional<JsonValue> root = reader.parse(error);
+  if (!root.has_value()) return std::nullopt;
+  if (root->kind != JsonValue::kObject) return reject("not a JSON object");
+
+  Scenario scenario;
+  const JsonValue* protocol = root->find("protocol");
+  if (protocol == nullptr || protocol->kind != JsonValue::kString) {
+    return reject("missing protocol");
+  }
+  scenario.protocol = protocol->str;
+
+  std::uint64_t n = 0, t = 0, transmitter = 0, value = 0;
+  if (!read_u64(*root, "n", n) || !read_u64(*root, "t", t) ||
+      !read_u64(*root, "transmitter", transmitter) ||
+      !read_u64(*root, "value", value)) {
+    return reject("missing n/t/transmitter/value");
+  }
+  scenario.config = BAConfig{static_cast<std::size_t>(n),
+                             static_cast<std::size_t>(t),
+                             static_cast<ProcId>(transmitter), value};
+  if (!read_u64(*root, "seed", scenario.seed) ||
+      !read_u64(*root, "plan_seed", scenario.plan_seed)) {
+    return reject("missing seed/plan_seed");
+  }
+
+  if (const JsonValue* scripted = root->find("scripted")) {
+    if (scripted->kind != JsonValue::kArray) return reject("bad scripted");
+    for (const JsonValue& entry : scripted->array) {
+      const JsonValue* kind = entry.find("kind");
+      ScriptedFault fault;
+      if (kind == nullptr || kind->kind != JsonValue::kString ||
+          !scripted_kind_from_string(kind->str, fault.kind)) {
+        return reject("bad scripted kind");
+      }
+      std::uint64_t id = 0;
+      if (!read_u64(entry, "id", id) || id >= scenario.config.n) {
+        return reject("bad scripted id");
+      }
+      fault.id = static_cast<ProcId>(id);
+      if (fault.kind == ScriptedKind::kCrash) {
+        std::uint64_t phase = 0;
+        if (!read_u64(entry, "phase", phase)) return reject("bad crash phase");
+        fault.crash_phase = static_cast<PhaseNum>(phase);
+      } else if (fault.kind == ScriptedKind::kChaos) {
+        const JsonValue* prob = entry.find("prob");
+        if (!read_u64(entry, "seed", fault.seed) || prob == nullptr ||
+            prob->kind != JsonValue::kNumber) {
+          return reject("bad chaos parameters");
+        }
+        fault.send_prob = prob->number;
+      }
+      scenario.scripted.push_back(fault);
+    }
+  }
+  if (scenario.scripted.size() > scenario.config.t) {
+    return reject("more scripted faults than t");
+  }
+
+  if (const JsonValue* rules = root->find("rules")) {
+    if (rules->kind != JsonValue::kArray) return reject("bad rules");
+    for (const JsonValue& entry : rules->array) {
+      const JsonValue* kind = entry.find("kind");
+      sim::FaultRule rule;
+      if (kind == nullptr || kind->kind != JsonValue::kString ||
+          !sim::fault_kind_from_string(kind->str, rule.kind)) {
+        return reject("bad rule kind");
+      }
+      std::uint64_t from = 0, to = 0, phase = 0;
+      if (!read_id(entry, "from", sim::kAnyProc, from) ||
+          !read_id(entry, "to", sim::kAnyProc, to) ||
+          !read_id(entry, "phase", sim::kAnyPhase, phase)) {
+        return reject("bad rule fields");
+      }
+      rule.from = static_cast<ProcId>(from);
+      rule.to = static_cast<ProcId>(to);
+      rule.phase = static_cast<PhaseNum>(phase);
+      scenario.rules.push_back(rule);
+    }
+  }
+
+  if (violations != nullptr) {
+    violations->clear();
+    if (const JsonValue* recorded = root->find("violations")) {
+      if (recorded->kind != JsonValue::kArray) return reject("bad violations");
+      for (const JsonValue& entry : recorded->array) {
+        if (entry.kind != JsonValue::kString) return reject("bad violation");
+        violations->push_back(entry.str);
+      }
+    }
+  }
+
+  const std::optional<Protocol> resolved =
+      resolve_protocol(scenario.protocol);
+  if (!resolved.has_value()) return reject("unknown protocol");
+  if (!resolved->supports(scenario.config)) {
+    return reject("protocol does not support (n, t, value)");
+  }
+  return scenario;
+}
+
+Scenario minimize(const Scenario& scenario,
+                  const std::function<bool(const Scenario&)>& still_fails) {
+  Scenario best = scenario;
+  std::size_t chunk = std::max<std::size_t>(1, best.rules.size() / 2);
+  while (true) {
+    bool progress = false;
+    std::size_t start = 0;
+    while (start < best.rules.size()) {
+      const std::size_t end = std::min(best.rules.size(), start + chunk);
+      Scenario candidate = best;
+      candidate.rules.erase(
+          candidate.rules.begin() + static_cast<std::ptrdiff_t>(start),
+          candidate.rules.begin() + static_cast<std::ptrdiff_t>(end));
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progress = true;  // retry the same position against the remainder
+      } else {
+        start = end;
+      }
+    }
+    if (chunk > 1) {
+      chunk /= 2;
+    } else if (!progress) {
+      break;  // 1-minimal: no single rule can be removed
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Small (n, t) instances per protocol family, sized so a soak run takes
+/// well under a millisecond and a fault budget of t >= 1 is available.
+BAConfig default_config(std::string_view protocol_name) {
+  const ParsedName parsed = parse_name(protocol_name);
+  if (parsed.base == "dolev-strong") return BAConfig{6, 2, 0, 1};
+  if (parsed.base == "dolev-strong-relay") return BAConfig{7, 2, 0, 1};
+  if (parsed.base == "eig") return BAConfig{7, 2, 0, 1};
+  if (parsed.base == "phase-king") return BAConfig{9, 2, 0, 1};
+  if (parsed.base == "alg1" || parsed.base == "alg1-mv" ||
+      parsed.base == "alg2" || parsed.base == "alg2-mv") {
+    return BAConfig{7, 3, 0, 1};
+  }
+  if (parsed.base == "alg3" || parsed.base == "alg3-mv") {
+    return BAConfig{10, 2, 0, 1};
+  }
+  if (parsed.base == "alg5" || parsed.base == "alg5-mv" ||
+      parsed.base == "alg5-ungated") {
+    return BAConfig{30, 1, 0, 1};
+  }
+  return BAConfig{7, 2, 0, 1};
+}
+
+std::vector<std::string> default_pool() {
+  return {"dolev-strong", "dolev-strong-relay", "eig",      "phase-king",
+          "alg1",         "alg2",               "alg3[s=3]", "alg5[s=3]"};
+}
+
+sim::FaultRule random_rule(Xoshiro256& rng, std::size_t n, PhaseNum steps,
+                           double wildcard_probability) {
+  sim::FaultRule rule;
+  rule.kind = static_cast<sim::FaultKind>(rng.below(5));
+  rule.from = rng.chance(wildcard_probability)
+                  ? sim::kAnyProc
+                  : static_cast<ProcId>(rng.below(n));
+  rule.to = rng.chance(wildcard_probability)
+                ? sim::kAnyProc
+                : static_cast<ProcId>(rng.below(n));
+  rule.phase = rng.chance(wildcard_probability)
+                   ? sim::kAnyPhase
+                   : static_cast<PhaseNum>(rng.range(1, steps));
+  return rule;
+}
+
+Scenario random_scenario(Xoshiro256& rng, const SoakOptions& options,
+                         const std::vector<std::string>& pool) {
+  Scenario scenario;
+  scenario.protocol = pool[rng.below(pool.size())];
+  scenario.config = default_config(scenario.protocol);
+  const std::optional<Protocol> protocol =
+      resolve_protocol(scenario.protocol);
+  DR_EXPECTS(protocol.has_value() && protocol->supports(scenario.config));
+  scenario.config.value = rng.below(2);
+  scenario.seed = rng.below(std::uint64_t{1} << 32) + 1;
+  scenario.plan_seed = rng.below(std::uint64_t{1} << 32) + 1;
+  const PhaseNum steps = protocol->steps(scenario.config);
+
+  if (scenario.config.t >= 1 &&
+      rng.chance(options.scripted_probability)) {
+    const std::size_t count = 1 + rng.below(scenario.config.t);
+    std::set<ProcId> used;
+    for (std::size_t i = 0; i < count; ++i) {
+      const ProcId id = static_cast<ProcId>(rng.below(scenario.config.n));
+      if (!used.insert(id).second) continue;
+      ScriptedFault fault;
+      fault.id = id;
+      fault.kind = static_cast<ScriptedKind>(rng.below(3));
+      if (fault.kind == ScriptedKind::kCrash) {
+        fault.crash_phase = static_cast<PhaseNum>(rng.range(1, steps));
+      } else if (fault.kind == ScriptedKind::kChaos) {
+        fault.seed = rng.below(std::uint64_t{1} << 32) + 1;
+        fault.send_prob = 0.25;
+      }
+      scenario.scripted.push_back(fault);
+    }
+  }
+
+  const std::size_t rule_count = rng.below(options.max_rules + 1);
+  for (std::size_t i = 0; i < rule_count; ++i) {
+    scenario.rules.push_back(
+        random_rule(rng, scenario.config.n, steps,
+                    /*wildcard_probability=*/0.1));
+  }
+  return scenario;
+}
+
+}  // namespace
+
+SoakStats soak(const SoakOptions& options) {
+  const std::vector<std::string> pool =
+      options.protocols.empty() ? default_pool() : options.protocols;
+  SoakStats stats;
+  for (std::size_t i = 0; i < options.runs; ++i) {
+    Xoshiro256 rng(SplitMix64(options.seed + i).next());
+    const Scenario scenario = random_scenario(rng, options, pool);
+    const Outcome outcome = execute(scenario);
+    ++stats.runs;
+    stats.rules_fired += outcome.perturbed.size();
+
+    if (outcome.effective_faulty_count > scenario.config.t) {
+      ++stats.over_budget;  // outside the model: nothing to assert
+      continue;
+    }
+    ++stats.checked;
+    const Budgets budgets = budgets_for(scenario.protocol, scenario.config);
+    const InvariantReport report =
+        check_invariants(scenario, outcome, outcome.effective_faulty, budgets);
+    if (report.ok) continue;
+
+    // A genuine within-budget violation: shrink the plan while it keeps
+    // both properties (within budget, still failing), then record it.
+    auto still_fails = [](const Scenario& candidate) {
+      const Outcome probe = execute(candidate);
+      if (probe.effective_faulty_count > candidate.config.t) return false;
+      return !check_invariants(
+                  candidate, probe, probe.effective_faulty,
+                  budgets_for(candidate.protocol, candidate.config))
+                  .ok;
+    };
+    const Scenario minimal = minimize(scenario, still_fails);
+    const Outcome confirm = execute(minimal);
+    const InvariantReport confirmed = check_invariants(
+        minimal, confirm, confirm.effective_faulty,
+        budgets_for(minimal.protocol, minimal.config));
+    stats.findings.push_back(Finding{
+        minimal, confirmed.violations, to_json(minimal, confirmed.violations)});
+  }
+  return stats;
+}
+
+std::optional<Finding> hunt_over_budget(std::string_view protocol_name,
+                                        const BAConfig& config,
+                                        std::uint64_t seed,
+                                        std::size_t attempts) {
+  const std::optional<Protocol> protocol = resolve_protocol(protocol_name);
+  if (!protocol.has_value() || !protocol->supports(config)) {
+    return std::nullopt;
+  }
+  const Budgets budgets = budgets_for(protocol_name, config);
+  const PhaseNum steps = protocol->steps(config);
+
+  // "Broken" means: the plan charges more than t processors (outside the
+  // model, as intended) AND, charging only scripted faults (none here),
+  // an invariant fails — i.e. the transport faults visibly broke the
+  // protocol for processors the model would call correct.
+  auto broken = [&budgets](const Scenario& candidate) {
+    const Outcome probe = execute(candidate);
+    if (probe.effective_faulty_count <= candidate.config.t) return false;
+    return !check_invariants(candidate, probe, probe.scripted_faulty,
+                             budgets)
+                .ok;
+  };
+
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    Xoshiro256 rng(SplitMix64(seed + attempt).next());
+    Scenario scenario;
+    scenario.protocol = std::string(protocol_name);
+    scenario.config = config;
+    scenario.seed = rng.below(std::uint64_t{1} << 32) + 1;
+    scenario.plan_seed = rng.below(std::uint64_t{1} << 32) + 1;
+    const std::size_t rule_count = 8 + rng.below(17);
+    for (std::size_t i = 0; i < rule_count; ++i) {
+      // Wilder than the soak: more wildcards, so whole processors get
+      // isolated and the faulty set overshoots t quickly.
+      scenario.rules.push_back(
+          random_rule(rng, config.n, steps, /*wildcard_probability=*/0.3));
+    }
+    if (!broken(scenario)) continue;
+
+    const Scenario minimal = minimize(scenario, broken);
+    const Outcome confirm = execute(minimal);
+    const InvariantReport report = check_invariants(
+        minimal, confirm, confirm.scripted_faulty, budgets);
+    return Finding{minimal, report.violations,
+                   to_json(minimal, report.violations)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace dr::chaos

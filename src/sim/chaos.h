@@ -1,0 +1,180 @@
+// Chaos soak harness: random transport fault plans x seeds x protocols,
+// an invariant watchdog, and failure minimization.
+//
+// The paper's guarantees are quantified over *every* adversarial schedule
+// with at most t faulty processors. Scripted adversaries
+// (adversary/strategies.h) sample that space by hand; the chaos harness
+// samples it mechanically: each run draws a protocol, a scripted-fault
+// mix and a transport FaultPlan from a seeded generator, executes it, and
+// asserts the paper-level invariants — agreement and validity among the
+// processors that are correct *in effect* (neither scripted-faulty nor
+// perturbed by the transport), the Theorem 3 / Theorem 4 / Lemma 1
+// message budgets, and the phase budgets.
+//
+// Runs whose effective faulty set exceeds t are outside the model's
+// preconditions: nothing is asserted (the sweep counts them), but they
+// are exactly the raw material for the failure minimizer — given a plan
+// whose injected faults break agreement, `minimize` delta-debugs the rule
+// list down to a minimal reproducer, serialized as JSON and replayable
+// deterministically (and auditable with ba::validate_correctness, since
+// unperturbed correct processors' recorded edges match the correctness
+// rule even under transport faults).
+//
+// Everything here is deterministic: a (Scenario) value identifies a run
+// bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ba/registry.h"
+#include "sim/faults.h"
+
+namespace dr::chaos {
+
+using ba::BAConfig;
+using ba::Protocol;
+using sim::PhaseNum;
+using sim::ProcId;
+using sim::Value;
+
+/// Scripted Byzantine behaviours the generator can draw and the JSON
+/// codec can round-trip (a serializable subset of adversary/strategies.h).
+enum class ScriptedKind : std::uint8_t { kSilent, kCrash, kChaos };
+
+const char* to_string(ScriptedKind kind);
+bool scripted_kind_from_string(std::string_view name, ScriptedKind& out);
+
+struct ScriptedFault {
+  ScriptedKind kind = ScriptedKind::kSilent;
+  ProcId id = 0;
+  PhaseNum crash_phase = 1;   // kCrash: runs the protocol, then goes silent
+  std::uint64_t seed = 1;     // kChaos: RandomByzantine seed
+  double send_prob = 0.3;     // kChaos: per-receiver send probability
+
+  friend bool operator==(const ScriptedFault&,
+                         const ScriptedFault&) = default;
+};
+
+/// A fully described chaos run. `protocol` is a registry name, including
+/// the parameterised forms "alg3[s=K]" / "alg5[s=K]" (resolve_protocol).
+struct Scenario {
+  std::string protocol;
+  BAConfig config;
+  std::uint64_t seed = 1;       // master seed (keys)
+  std::uint64_t plan_seed = 1;  // corruption-byte derivation
+  std::vector<ScriptedFault> scripted;
+  std::vector<sim::FaultRule> rules;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Registry lookup extended to the parameterised protocol families.
+std::optional<Protocol> resolve_protocol(std::string_view name);
+
+/// One deterministic execution of `scenario` (history always recorded).
+/// `effective_faulty` = scripted-faulty set union the processors the
+/// transport plan actually perturbed — the set that must stay within t
+/// for the paper's guarantees to apply.
+struct Outcome {
+  sim::RunResult result;
+  std::vector<bool> scripted_faulty;
+  std::vector<bool> effective_faulty;
+  std::size_t effective_faulty_count = 0;
+  /// Processors the transport plan actually perturbed (FaultPlan's
+  /// post-run accounting), in ascending order.
+  std::vector<ProcId> perturbed;
+};
+
+Outcome execute(const Scenario& scenario);
+
+/// Cost ceilings the watchdog enforces. Message budgets exist where the
+/// paper states a closed form (Theorem 3 for alg1, Theorem 4 for alg2,
+/// Lemma 1 for alg3, the Dolev-Strong worst cases); the phase budget
+/// defaults to the protocol's communication-phase count.
+struct Budgets {
+  std::optional<double> messages;  // max messages by effective-correct
+  std::optional<PhaseNum> phases;  // max phase with effective-correct sends
+};
+
+Budgets budgets_for(std::string_view protocol_name, const BAConfig& config);
+
+struct InvariantReport {
+  bool ok = true;
+  std::vector<std::string> violations;  // human-readable, deterministic
+};
+
+/// The invariant watchdog, layered on check_byzantine_agreement: treats
+/// `faulty` as the faulty set and asserts (i) agreement among the
+/// complement, (ii) validity when the transmitter is in the complement,
+/// (iii) the message budget summed over the complement's sends, and
+/// (iv) the phase budget over the complement's traffic. Callers pass the
+/// effective faulty mask for model-conforming runs, or the scripted-only
+/// mask to ask "did the transport faults break the protocol?".
+InvariantReport check_invariants(const Scenario& scenario,
+                                 const Outcome& outcome,
+                                 const std::vector<bool>& faulty,
+                                 const Budgets& budgets);
+
+/// JSON reproducer: every field of `scenario` plus the violation list.
+std::string to_json(const Scenario& scenario,
+                    const std::vector<std::string>& violations);
+
+/// Inverse of to_json. On failure returns nullopt and sets `error`.
+/// `violations`, when non-null, receives the recorded violation list.
+std::optional<Scenario> scenario_from_json(
+    std::string_view json, std::vector<std::string>* violations = nullptr,
+    std::string* error = nullptr);
+
+/// Greedy delta-debugging over Scenario::rules: returns a scenario with a
+/// 1-minimal rule subset (no single rule can be removed) that still
+/// satisfies `still_fails`. Tries chunk removals first so large random
+/// plans collapse quickly. `still_fails(scenario)` must be deterministic
+/// and true for the input scenario.
+Scenario minimize(const Scenario& scenario,
+                  const std::function<bool(const Scenario&)>& still_fails);
+
+/// A finding: the minimized scenario, its violations, and the reproducer.
+struct Finding {
+  Scenario scenario;
+  std::vector<std::string> violations;
+  std::string reproducer_json;
+};
+
+struct SoakOptions {
+  std::uint64_t seed = 1;
+  std::size_t runs = 1000;
+  /// Protocol pool; each entry is paired with a small (n, t) chosen by
+  /// the generator. Defaults to the full registry-backed set.
+  std::vector<std::string> protocols;
+  std::size_t max_rules = 6;       // rules per random plan (uniform 0..max)
+  double scripted_probability = 0.5;  // chance a run also draws scripted faults
+};
+
+struct SoakStats {
+  std::size_t runs = 0;
+  std::size_t checked = 0;       // effective faulty set within t: asserted
+  std::size_t over_budget = 0;   // outside the model: skipped, not a failure
+  std::size_t rules_fired = 0;   // total perturbed processors across runs
+  std::vector<Finding> findings; // minimized invariant violations (bugs)
+};
+
+/// The chaos soak: `runs` seeded random scenarios. Any invariant
+/// violation within the fault budget is minimized and reported.
+SoakStats soak(const SoakOptions& options);
+
+/// The deliberate over-budget exercise: generates random plans against
+/// `protocol_name` until the injected faults (charged beyond t) break an
+/// invariant under scripted-only accounting, then minimizes and returns
+/// the finding. Used by examples/chaos and the chaos tests to prove the
+/// whole loop — inject, detect, shrink, serialize, replay — closes.
+std::optional<Finding> hunt_over_budget(std::string_view protocol_name,
+                                        const BAConfig& config,
+                                        std::uint64_t seed,
+                                        std::size_t attempts = 64);
+
+}  // namespace dr::chaos

@@ -1,0 +1,110 @@
+#include "sim/faults.h"
+
+#include "util/rng.h"
+
+namespace dr::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kOmitReceive: return "omit-receive";
+  }
+  return "?";
+}
+
+bool fault_kind_from_string(std::string_view name, FaultKind& out) {
+  if (name == "drop") out = FaultKind::kDrop;
+  else if (name == "duplicate") out = FaultKind::kDuplicate;
+  else if (name == "corrupt") out = FaultKind::kCorrupt;
+  else if (name == "crash") out = FaultKind::kCrash;
+  else if (name == "omit-receive") out = FaultKind::kOmitReceive;
+  else return false;
+  return true;
+}
+
+namespace {
+
+std::string field(const char* name, std::uint64_t value, std::uint64_t any) {
+  if (value == any) return std::string(name) + "=*";
+  return std::string(name) + "=" + std::to_string(value);
+}
+
+}  // namespace
+
+std::string to_string(const FaultRule& rule) {
+  return std::string(to_string(rule.kind)) + "(" +
+         field("from", rule.from, kAnyProc) + ", " +
+         field("to", rule.to, kAnyProc) + ", " +
+         field("phase", rule.phase, kAnyPhase) + ")";
+}
+
+ProcId charged_processor(const FaultRule& rule, ProcId from, ProcId to) {
+  return rule.kind == FaultKind::kOmitReceive ? to : from;
+}
+
+FaultPlan::FaultPlan(std::vector<FaultRule> rules, std::uint64_t seed)
+    : rules_(std::move(rules)), seed_(seed) {}
+
+bool FaultPlan::matches_link(const FaultRule& rule, ProcId from, ProcId to,
+                             PhaseNum phase) const {
+  if (rule.from != kAnyProc && rule.from != from) return false;
+  if (rule.to != kAnyProc && rule.to != to) return false;
+  if (rule.kind == FaultKind::kCrash) {
+    return rule.phase == kAnyPhase || phase >= rule.phase;
+  }
+  return rule.phase == kAnyPhase || rule.phase == phase;
+}
+
+std::vector<Bytes> FaultPlan::apply(ProcId from, ProcId to, PhaseNum phase,
+                                    Bytes payload) {
+  // Pass 1: drop-class rules win outright. Only they are charged — a
+  // corrupt/duplicate rule on a message that never arrives has no
+  // observable effect and must not inflate the perturbed set.
+  bool dropped = false;
+  for (const FaultRule& rule : rules_) {
+    if (rule.kind != FaultKind::kDrop && rule.kind != FaultKind::kCrash &&
+        rule.kind != FaultKind::kOmitReceive) {
+      continue;
+    }
+    if (!matches_link(rule, from, to, phase)) continue;
+    dropped = true;
+    perturbed_.insert(charged_processor(rule, from, to));
+  }
+  if (dropped) return {};
+
+  // Pass 2: corruption. The mutated byte depends only on the plan seed,
+  // the message coordinates and how many corruptions already hit this
+  // message — never on the rule's position in the list — so removing an
+  // unrelated rule during minimization cannot change what a surviving
+  // corrupt rule does.
+  SplitMix64 stream(seed_ ^ (static_cast<std::uint64_t>(from) << 40) ^
+                    (static_cast<std::uint64_t>(to) << 20) ^ phase);
+  for (const FaultRule& rule : rules_) {
+    if (rule.kind != FaultKind::kCorrupt) continue;
+    if (!matches_link(rule, from, to, phase)) continue;
+    const std::uint64_t r = stream.next();
+    if (payload.empty()) {
+      payload.push_back(static_cast<std::uint8_t>(r | 1));
+    } else {
+      // XOR with an odd byte: guaranteed to change the payload.
+      payload[r % payload.size()] ^=
+          static_cast<std::uint8_t>((r >> 8) | 1);
+    }
+    perturbed_.insert(charged_processor(rule, from, to));
+  }
+
+  std::vector<Bytes> delivered;
+  for (const FaultRule& rule : rules_) {
+    if (rule.kind != FaultKind::kDuplicate) continue;
+    if (!matches_link(rule, from, to, phase)) continue;
+    delivered.push_back(payload);  // one extra copy per firing rule
+    perturbed_.insert(charged_processor(rule, from, to));
+  }
+  delivered.push_back(std::move(payload));
+  return delivered;
+}
+
+}  // namespace dr::sim

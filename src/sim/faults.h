@@ -1,0 +1,106 @@
+// Transport-level fault injection.
+//
+// Every fault the simulator could previously express lived in a *process*
+// (a scripted Byzantine sim::Process). A FaultPlan instead perturbs the
+// network itself: declarative per-link drop/duplicate/corrupt rules keyed
+// by (from, to, phase), plus crash-at-phase and receive-omission schedules.
+// The whole plan is deterministic — corruption bytes are derived from the
+// plan seed and the message coordinates, never from global state — so a
+// (scenario, plan) pair replays bit-identically.
+//
+// Accounting: in the paper's model there are no link faults, only faulty
+// processors. A transport fault on a correct processor's links therefore
+// makes that processor Byzantine-in-effect, and must be charged against
+// the fault budget t. The plan records exactly which processors it
+// actually perturbed (rules that never fire charge nobody): send-side
+// faults (drop, duplicate, corrupt, crash) charge the sender,
+// receive-omission charges the receiver.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/envelope.h"
+
+namespace dr::sim {
+
+/// Wildcards for FaultRule fields: match every processor / phase.
+inline constexpr ProcId kAnyProc = static_cast<ProcId>(-1);
+inline constexpr PhaseNum kAnyPhase = static_cast<PhaseNum>(-1);
+
+enum class FaultKind : std::uint8_t {
+  kDrop,         // the message on (from, to) sent at `phase` is lost
+  kDuplicate,    // delivered twice (charges the sender)
+  kCorrupt,      // payload deterministically mutated (charges the sender)
+  kCrash,        // every send from `from` at phases >= `phase` is lost
+  kOmitReceive,  // every delivery to `to` sent at `phase` is lost
+};
+
+/// "drop", "duplicate", "corrupt", "crash", "omit-receive".
+const char* to_string(FaultKind kind);
+bool fault_kind_from_string(std::string_view name, FaultKind& out);
+
+/// One declarative perturbation. `from`/`to`/`phase` are filters on the
+/// submitted message's coordinates; kAnyProc/kAnyPhase match everything.
+/// `phase` is always the *send* phase (Envelope::sent_phase); a message
+/// sent at phase k is delivered at k+1. For kCrash the phase filter is a
+/// lower bound (crash at `phase` kills that phase's sends onward); for all
+/// other kinds it is an exact match.
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  ProcId from = kAnyProc;
+  ProcId to = kAnyProc;
+  PhaseNum phase = kAnyPhase;
+
+  friend bool operator==(const FaultRule&, const FaultRule&) = default;
+};
+
+/// "drop(from=1, to=2, phase=3)" — for logs and violation reports.
+std::string to_string(const FaultRule& rule);
+
+/// The processor a firing `rule` makes Byzantine-in-effect for a message
+/// with the given coordinates: the receiver for kOmitReceive, the sender
+/// otherwise.
+ProcId charged_processor(const FaultRule& rule, ProcId from, ProcId to);
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultRule> rules, std::uint64_t seed = 1);
+
+  const std::vector<FaultRule>& rules() const { return rules_; }
+  std::uint64_t seed() const { return seed_; }
+  bool empty() const { return rules_.empty(); }
+
+  /// Transport hook, called once per submitted message. Returns the
+  /// payloads the network must actually enqueue: empty when a drop-class
+  /// rule (drop/crash/omit-receive) fires, one (possibly corrupted) entry
+  /// normally, an extra identical entry per firing duplicate rule. Every
+  /// rule that changes the outcome charges its processor to `perturbed()`;
+  /// rules shadowed by a drop (e.g. a corrupt rule on a dropped message)
+  /// charge nobody, which keeps the perturbed set — and hence the fault
+  /// budget accounting — minimal.
+  std::vector<Bytes> apply(ProcId from, ProcId to, PhaseNum phase,
+                           Bytes payload);
+
+  /// Processors perturbed by rules that actually fired since the last
+  /// reset(). The effective faulty set of a run is this set unioned with
+  /// the scripted-faulty set; the harness must keep it within t.
+  const std::set<ProcId>& perturbed() const { return perturbed_; }
+
+  /// Clears the perturbed accounting (not the rules) for a fresh run.
+  void reset() { perturbed_.clear(); }
+
+ private:
+  bool matches_link(const FaultRule& rule, ProcId from, ProcId to,
+                    PhaseNum phase) const;
+
+  std::vector<FaultRule> rules_;
+  std::uint64_t seed_ = 1;
+  std::set<ProcId> perturbed_;
+};
+
+}  // namespace dr::sim

@@ -15,10 +15,21 @@ void Network::submit(ProcId from, ProcId to, PhaseNum phase, Bytes payload,
   DR_EXPECTS(from < n() && to < n());
   metrics.on_send(from, to, phase, sender_correct, signatures,
                   payload.size());
-  if (record_history_) {
-    history_.record(phase, hist::Edge{from, to, payload});
+  if (faults_ == nullptr) {
+    if (record_history_) {
+      history_.record(phase, hist::Edge{from, to, payload});
+    }
+    in_flight_[to].push_back(Envelope{from, to, phase, std::move(payload)});
+    return;
   }
-  in_flight_[to].push_back(Envelope{from, to, phase, std::move(payload)});
+  for (Bytes& delivered : faults_->apply(from, to, phase,
+                                         std::move(payload))) {
+    if (record_history_) {
+      history_.record(phase, hist::Edge{from, to, delivered});
+    }
+    in_flight_[to].push_back(Envelope{from, to, phase,
+                                      std::move(delivered)});
+  }
 }
 
 void Network::deliver_next_phase() {

@@ -8,6 +8,7 @@
 
 #include "hist/history.h"
 #include "sim/envelope.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 
 namespace dr::sim {
@@ -16,7 +17,15 @@ class Network {
  public:
   Network(std::size_t n, bool record_history);
 
-  /// Accepts a message sent by `from` during `phase`.
+  /// Installs a transport fault plan. Every subsequent submit() is routed
+  /// through it; the plan accumulates the perturbed-processor set. The
+  /// plan must outlive the network. nullptr restores reliable delivery.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+  const FaultPlan* fault_plan() const { return faults_; }
+
+  /// Accepts a message sent by `from` during `phase`. Metrics count the
+  /// send as submitted (the sender did send it); the recorded history and
+  /// the inboxes see what the — possibly faulty — transport delivered.
   void submit(ProcId from, ProcId to, PhaseNum phase, Bytes payload,
               bool sender_correct, std::size_t signatures, Metrics& metrics);
 
@@ -38,6 +47,7 @@ class Network {
   std::vector<std::vector<Envelope>> inboxes_;   // delivered this phase
   std::vector<std::vector<Envelope>> in_flight_; // sent this phase
   hist::History history_;
+  FaultPlan* faults_ = nullptr;  // not owned; nullptr = reliable transport
 };
 
 }  // namespace dr::sim

@@ -116,6 +116,10 @@ RunResult Runner::run(PhaseNum phases) {
   build_signers();
 
   Network network(config_.n, config_.record_history);
+  if (config_.fault_plan != nullptr) {
+    config_.fault_plan->reset();
+    network.set_fault_plan(config_.fault_plan);
+  }
   Metrics metrics(config_.n);
   if (config_.record_history) {
     network.mutable_history().set_initial(config_.transmitter,

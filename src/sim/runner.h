@@ -14,6 +14,7 @@
 #include "crypto/wots.h"
 #include "crypto/signature.h"
 #include "hist/history.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
 #include "sim/process.h"
@@ -46,6 +47,13 @@ struct RunConfig {
   /// HMAC scheme is thread-safe to sign with; other schemes (and rushing
   /// mode, whose two passes are cheap anyway) fall back to serial.
   std::size_t threads = 1;
+  /// Transport fault plan (not owned; must outlive the run). When set,
+  /// every submitted message passes through it and the plan accumulates
+  /// the processors it perturbed — the caller is responsible for charging
+  /// those against t. Faults apply at submission time; the rushing
+  /// observation channel (faulty processors peeking at this phase's
+  /// correct traffic) is not filtered.
+  FaultPlan* fault_plan = nullptr;
 };
 
 struct RunResult {

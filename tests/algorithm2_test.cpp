@@ -11,6 +11,8 @@ namespace dr::ba {
 namespace {
 
 using test::chaos;
+using test::crash;
+using test::delayed_echo;
 using test::equivocator;
 using test::expect_agreement;
 using test::silent;
@@ -131,6 +133,44 @@ TEST(Algorithm2, MessageAndPhaseBounds) {
     EXPECT_LE(result.metrics.last_active_phase(),
               bounds::alg2_phase_bound(t))
         << "t=" << t;
+  }
+}
+
+TEST(Algorithm2, MidProtocolCrashesTolerated) {
+  // Crash faults at staggered phases, including one in the cascade's
+  // middle: the remaining t+1 correct processors must still converge on
+  // the transmitter's value.
+  const Protocol& protocol = *find_protocol("alg2");
+  const std::size_t t = 3;
+  const BAConfig config{2 * t + 1, t, 0, 1};
+  expect_agreement(protocol, config, 1,
+                   {crash(protocol, 2, 2), crash(protocol, 4, 4),
+                    crash(protocol, 6, 6)});
+}
+
+TEST(Algorithm2, CrashingTransmitterKeepsAgreement) {
+  // Validity is vacuous once the transmitter is faulty, but the other
+  // processors must still agree — on 1 if the value escaped before the
+  // crash, on the default otherwise.
+  const Protocol& protocol = *find_protocol("alg2");
+  const std::size_t t = 2;
+  const BAConfig config{2 * t + 1, t, 0, 1};
+  for (PhaseNum phase = 1; phase <= 4; ++phase) {
+    const auto result =
+        ba::run_scenario(protocol, config, 1, {crash(protocol, 0, phase)});
+    EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 1).agreement)
+        << "crash phase " << phase;
+  }
+}
+
+TEST(Algorithm2, DelayedEchoFaultsTolerated) {
+  // Replayed chains arrive with too few signatures for their phase, so
+  // the increasing-message rule must reject them.
+  const Protocol& protocol = *find_protocol("alg2");
+  const std::size_t t = 2;
+  for (Value value : {Value{0}, Value{1}}) {
+    expect_agreement(protocol, BAConfig{2 * t + 1, t, 0, value}, 1,
+                     {delayed_echo(2, 1), delayed_echo(4, 2)});
   }
 }
 

@@ -1,0 +1,240 @@
+#include "sim/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include "ba/replay.h"
+#include "bounds/formulas.h"
+
+namespace dr::chaos {
+namespace {
+
+TEST(ChaosResolve, RegistryAndParameterisedNames) {
+  ASSERT_TRUE(resolve_protocol("dolev-strong").has_value());
+  ASSERT_TRUE(resolve_protocol("alg2").has_value());
+
+  const auto alg3 = resolve_protocol("alg3[s=4]");
+  ASSERT_TRUE(alg3.has_value());
+  EXPECT_EQ(alg3->name, "alg3[s=4]");
+
+  const auto alg5 = resolve_protocol("alg5[s=3]");
+  ASSERT_TRUE(alg5.has_value());
+
+  EXPECT_FALSE(resolve_protocol("alg3").has_value());  // needs [s=K]
+  EXPECT_FALSE(resolve_protocol("alg3[s=0]").has_value());
+  EXPECT_FALSE(resolve_protocol("not-a-protocol").has_value());
+}
+
+TEST(ChaosBudgets, MatchTheClosedForms) {
+  const BAConfig alg1_config{7, 3, 0, 1};
+  const Budgets alg1 = budgets_for("alg1", alg1_config);
+  ASSERT_TRUE(alg1.messages.has_value());
+  EXPECT_EQ(*alg1.messages,
+            static_cast<double>(bounds::alg1_message_upper_bound(3)));
+  ASSERT_TRUE(alg1.phases.has_value());
+
+  const BAConfig ds_config{6, 2, 0, 1};
+  const Budgets ds = budgets_for("dolev-strong", ds_config);
+  ASSERT_TRUE(ds.messages.has_value());
+  EXPECT_EQ(*ds.messages,
+            static_cast<double>(
+                bounds::dolev_strong_broadcast_message_bound(6)));
+
+  // No closed form stated for EIG: phase budget only.
+  const Budgets eig = budgets_for("eig", BAConfig{7, 2, 0, 1});
+  EXPECT_FALSE(eig.messages.has_value());
+  EXPECT_TRUE(eig.phases.has_value());
+}
+
+Scenario small_scenario() {
+  Scenario scenario;
+  scenario.protocol = "dolev-strong";
+  scenario.config = BAConfig{5, 1, 0, 1};
+  scenario.seed = 42;
+  scenario.plan_seed = 43;
+  return scenario;
+}
+
+TEST(ChaosExecute, FailureFreeRunPassesTheWatchdog) {
+  const Scenario scenario = small_scenario();
+  const Outcome outcome = execute(scenario);
+  EXPECT_EQ(outcome.effective_faulty_count, 0u);
+  EXPECT_TRUE(outcome.perturbed.empty());
+
+  const Budgets budgets = budgets_for(scenario.protocol, scenario.config);
+  const InvariantReport report =
+      check_invariants(scenario, outcome, outcome.effective_faulty, budgets);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+}
+
+TEST(ChaosExecute, DeterministicAcrossRepeats) {
+  Scenario scenario = small_scenario();
+  scenario.scripted.push_back(
+      ScriptedFault{ScriptedKind::kChaos, 4, 1, /*seed=*/9, 0.4});
+  scenario.rules.push_back(
+      {sim::FaultKind::kCorrupt, 1, 2, sim::kAnyPhase});
+
+  const Outcome a = execute(scenario);
+  const Outcome b = execute(scenario);
+  EXPECT_EQ(a.result.decisions, b.result.decisions);
+  EXPECT_EQ(a.effective_faulty, b.effective_faulty);
+  EXPECT_EQ(a.perturbed, b.perturbed);
+}
+
+TEST(ChaosExecute, PerturbedProcessorsJoinTheEffectiveFaultySet) {
+  Scenario scenario = small_scenario();
+  // Receive omission on 4's inbound links: the transport charges 4.
+  scenario.rules.push_back(
+      {sim::FaultKind::kOmitReceive, sim::kAnyProc, 4, sim::kAnyPhase});
+  const Outcome outcome = execute(scenario);
+  EXPECT_EQ(outcome.perturbed, std::vector<ProcId>{4});
+  EXPECT_EQ(outcome.effective_faulty_count, 1u);
+  EXPECT_FALSE(outcome.scripted_faulty[4]);
+  EXPECT_TRUE(outcome.effective_faulty[4]);
+
+  // Within budget (t=1): invariants hold for the remaining four.
+  const InvariantReport report = check_invariants(
+      scenario, outcome, outcome.effective_faulty,
+      budgets_for(scenario.protocol, scenario.config));
+  EXPECT_TRUE(report.ok);
+}
+
+TEST(ChaosWatchdog, FlagsDisagreementUnderScriptedOnlyAccounting) {
+  Scenario scenario = small_scenario();
+  scenario.rules.push_back(
+      {sim::FaultKind::kOmitReceive, sim::kAnyProc, 4, sim::kAnyPhase});
+  const Outcome outcome = execute(scenario);
+  // Charging nobody, processor 4 (which saw silence and decided the
+  // default 0 against the transmitter's 1) is a visible violation.
+  const InvariantReport report = check_invariants(
+      scenario, outcome, outcome.scripted_faulty,
+      budgets_for(scenario.protocol, scenario.config));
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.violations.empty());
+}
+
+TEST(ChaosWatchdog, CorrectRunsStayWithinReplayableHistory) {
+  // The recorded history of a transport-faulted run must still replay
+  // correctly for the unperturbed processors (their out-edges are
+  // faithful), which is what makes reproducers auditable.
+  Scenario scenario = small_scenario();
+  scenario.rules.push_back(
+      {sim::FaultKind::kDrop, 2, 3, sim::kAnyPhase});
+  const Outcome outcome = execute(scenario);
+  const auto protocol = resolve_protocol(scenario.protocol);
+  ASSERT_TRUE(protocol.has_value());
+  const auto report = ba::validate_correctness(
+      outcome.result.history, *protocol, scenario.config,
+      outcome.effective_faulty, scenario.seed);
+  EXPECT_TRUE(report.conforming);
+}
+
+TEST(ChaosJson, RoundTripsScenariosAndViolations) {
+  Scenario scenario = small_scenario();
+  scenario.scripted.push_back(ScriptedFault{ScriptedKind::kCrash, 3, 2});
+  scenario.rules.push_back(
+      {sim::FaultKind::kDrop, 1, sim::kAnyProc, 2});
+  scenario.rules.push_back(
+      {sim::FaultKind::kCorrupt, sim::kAnyProc, 0, sim::kAnyPhase});
+  const std::vector<std::string> violations{"agreement: \"quoted\"",
+                                            "phase budget: 9 > 8"};
+
+  const std::string json = to_json(scenario, violations);
+  std::vector<std::string> loaded_violations;
+  std::string error;
+  const auto loaded =
+      scenario_from_json(json, &loaded_violations, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, scenario);
+  EXPECT_EQ(loaded_violations, violations);
+}
+
+TEST(ChaosJson, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(scenario_from_json("not json", nullptr, &error).has_value());
+  EXPECT_FALSE(scenario_from_json("{}", nullptr, &error).has_value());
+
+  // Unknown protocol.
+  EXPECT_FALSE(scenario_from_json(
+                   R"({"protocol":"nope","n":5,"t":1,"transmitter":0,)"
+                   R"("value":1,"seed":1,"plan_seed":1})",
+                   nullptr, &error)
+                   .has_value());
+
+  // More scripted faults than t (would trip run_scenario's contract).
+  EXPECT_FALSE(
+      scenario_from_json(
+          R"({"protocol":"dolev-strong","n":5,"t":1,"transmitter":0,)"
+          R"("value":1,"seed":1,"plan_seed":1,"scripted":[)"
+          R"({"kind":"silent","id":1},{"kind":"silent","id":2}]})",
+          nullptr, &error)
+          .has_value());
+
+  // Unsupported (n, t) for the protocol (alg1 needs n == 2t+1).
+  EXPECT_FALSE(scenario_from_json(
+                   R"({"protocol":"alg1","n":9,"t":1,"transmitter":0,)"
+                   R"("value":1,"seed":1,"plan_seed":1})",
+                   nullptr, &error)
+                   .has_value());
+}
+
+TEST(ChaosMinimize, FindsTheOneRuleThatMatters) {
+  Scenario scenario = small_scenario();
+  // Nine irrelevant rules around the one that isolates processor 4.
+  for (ProcId p = 0; p < 3; ++p) {
+    scenario.rules.push_back({sim::FaultKind::kDuplicate, p, p + 1, 1});
+    scenario.rules.push_back({sim::FaultKind::kDrop, p, p + 1, 999});
+    scenario.rules.push_back({sim::FaultKind::kCorrupt, p, p + 1, 998});
+  }
+  const sim::FaultRule key{sim::FaultKind::kOmitReceive, sim::kAnyProc, 4,
+                           sim::kAnyPhase};
+  scenario.rules.insert(scenario.rules.begin() + 4, key);
+
+  auto still_fails = [&key](const Scenario& candidate) {
+    return std::find(candidate.rules.begin(), candidate.rules.end(), key) !=
+           candidate.rules.end();
+  };
+  const Scenario minimal = minimize(scenario, still_fails);
+  ASSERT_EQ(minimal.rules.size(), 1u);
+  EXPECT_EQ(minimal.rules[0], key);
+}
+
+TEST(ChaosSoak, SmallSweepFindsNoViolations) {
+  SoakOptions options;
+  options.runs = 150;
+  options.seed = 2026;
+  const SoakStats stats = soak(options);
+  EXPECT_EQ(stats.runs, 150u);
+  EXPECT_GT(stats.checked, 0u);
+  EXPECT_TRUE(stats.findings.empty())
+      << stats.findings.front().reproducer_json;
+}
+
+TEST(ChaosHunt, OverBudgetFindingMinimizesAndReplays) {
+  const BAConfig config{5, 1, 0, 1};
+  const auto finding = hunt_over_budget("dolev-strong", config, /*seed=*/1);
+  ASSERT_TRUE(finding.has_value());
+  EXPECT_LE(finding->scenario.rules.size(), 5u);
+  ASSERT_FALSE(finding->violations.empty());
+
+  // The reproducer parses back to the identical scenario...
+  std::vector<std::string> recorded;
+  std::string error;
+  const auto loaded =
+      scenario_from_json(finding->reproducer_json, &recorded, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, finding->scenario);
+  EXPECT_EQ(recorded, finding->violations);
+
+  // ...and replays to the same violations under scripted-only accounting.
+  const Outcome outcome = execute(*loaded);
+  EXPECT_GT(outcome.effective_faulty_count, loaded->config.t);
+  const InvariantReport report = check_invariants(
+      *loaded, outcome, outcome.scripted_faulty,
+      budgets_for(loaded->protocol, loaded->config));
+  EXPECT_EQ(report.violations, finding->violations);
+}
+
+}  // namespace
+}  // namespace dr::chaos

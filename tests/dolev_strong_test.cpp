@@ -10,6 +10,7 @@ namespace {
 
 using test::chaos;
 using test::crash;
+using test::delayed_echo;
 using test::equivocator;
 using test::expect_agreement;
 using test::silent;
@@ -106,6 +107,30 @@ TEST(DolevStrong, EquivocationWithColludingRelayHolds) {
   const auto result = ba::run_scenario(
       protocol, config, 1, {equivocator({1, 2}), silent(6)});
   EXPECT_TRUE(sim::check_byzantine_agreement(result, 0, 0).agreement);
+}
+
+TEST(DolevStrong, MidProtocolRelayCrashesTolerated) {
+  // Relays that follow the protocol for a while and then crash are the
+  // benign end of the Byzantine spectrum; both variants must absorb t of
+  // them at staggered phases.
+  for (const char* name : {"dolev-strong", "dolev-strong-relay"}) {
+    const Protocol& protocol = *find_protocol(name);
+    const BAConfig config{7, 2, 0, 1};
+    expect_agreement(protocol, config, 1,
+                     {crash(protocol, 3, 2), crash(protocol, 5, 3)});
+  }
+}
+
+TEST(DolevStrong, DelayedEchoFaultsTolerated) {
+  // Echoing stale chains one or two phases late must not re-open
+  // acceptance: the phase-labelled rule requires |chain| == phase.
+  for (const char* name : {"dolev-strong", "dolev-strong-relay"}) {
+    const Protocol& protocol = *find_protocol(name);
+    for (Value value : {Value{0}, Value{1}}) {
+      expect_agreement(protocol, BAConfig{7, 2, 0, value}, 1,
+                       {delayed_echo(3, 1), delayed_echo(5, 2)});
+    }
+  }
 }
 
 TEST(DolevStrong, BroadcastMessageCountWithinBound) {

@@ -1,0 +1,161 @@
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "ba/registry.h"
+#include "test_util.h"
+
+namespace dr::sim {
+namespace {
+
+Bytes payload(std::initializer_list<std::uint8_t> bytes) {
+  return Bytes(bytes);
+}
+
+TEST(FaultRule, Strings) {
+  EXPECT_EQ(to_string(FaultKind::kDrop), std::string("drop"));
+  FaultKind kind;
+  ASSERT_TRUE(fault_kind_from_string("omit-receive", kind));
+  EXPECT_EQ(kind, FaultKind::kOmitReceive);
+  EXPECT_FALSE(fault_kind_from_string("nope", kind));
+
+  const FaultRule rule{FaultKind::kDrop, 1, kAnyProc, 2};
+  EXPECT_EQ(to_string(rule), "drop(from=1, to=*, phase=2)");
+}
+
+TEST(FaultPlan, DropMatchesExactLinkAndChargesSender) {
+  FaultPlan plan({{FaultKind::kDrop, 1, 2, 3}});
+  // Wrong phase, wrong link: untouched, nothing charged.
+  EXPECT_EQ(plan.apply(1, 2, 2, payload({0xaa})).size(), 1u);
+  EXPECT_EQ(plan.apply(0, 2, 3, payload({0xaa})).size(), 1u);
+  EXPECT_TRUE(plan.perturbed().empty());
+  // Exact match: dropped, sender charged.
+  EXPECT_TRUE(plan.apply(1, 2, 3, payload({0xaa})).empty());
+  EXPECT_EQ(plan.perturbed(), std::set<ProcId>{1});
+}
+
+TEST(FaultPlan, CrashIsALowerBoundOnPhase) {
+  FaultPlan plan({{FaultKind::kCrash, 4, kAnyProc, 3}});
+  EXPECT_EQ(plan.apply(4, 0, 2, payload({1})).size(), 1u);
+  EXPECT_TRUE(plan.apply(4, 0, 3, payload({1})).empty());
+  EXPECT_TRUE(plan.apply(4, 1, 7, payload({1})).empty());
+  EXPECT_EQ(plan.perturbed(), std::set<ProcId>{4});
+}
+
+TEST(FaultPlan, OmitReceiveChargesTheReceiver) {
+  FaultPlan plan({{FaultKind::kOmitReceive, kAnyProc, 5, kAnyPhase}});
+  EXPECT_TRUE(plan.apply(0, 5, 1, payload({1})).empty());
+  EXPECT_TRUE(plan.apply(3, 5, 9, payload({1})).empty());
+  EXPECT_EQ(plan.apply(0, 4, 1, payload({1})).size(), 1u);
+  EXPECT_EQ(plan.perturbed(), std::set<ProcId>{5});
+}
+
+TEST(FaultPlan, DuplicateDeliversExtraCopies) {
+  FaultPlan plan({{FaultKind::kDuplicate, 0, 1, kAnyPhase}});
+  const auto delivered = plan.apply(0, 1, 1, payload({0x42}));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], payload({0x42}));
+  EXPECT_EQ(delivered[1], payload({0x42}));
+  EXPECT_EQ(plan.perturbed(), std::set<ProcId>{0});
+}
+
+TEST(FaultPlan, CorruptionIsDeterministicAndAlwaysChanges) {
+  const std::vector<FaultRule> rules{{FaultKind::kCorrupt, 0, 1, 2}};
+  FaultPlan a(rules, /*seed=*/7);
+  FaultPlan b(rules, /*seed=*/7);
+  FaultPlan c(rules, /*seed=*/8);
+
+  const Bytes original = payload({1, 2, 3, 4});
+  const auto out_a = a.apply(0, 1, 2, original);
+  const auto out_b = b.apply(0, 1, 2, original);
+  ASSERT_EQ(out_a.size(), 1u);
+  EXPECT_NE(out_a[0], original);  // guaranteed mutation
+  EXPECT_EQ(out_a, out_b);        // same seed, same mangling
+
+  const auto out_c = c.apply(0, 1, 2, original);
+  ASSERT_EQ(out_c.size(), 1u);
+  EXPECT_NE(out_c[0], original);
+
+  // Even an empty payload must change (a byte is appended).
+  FaultPlan d(rules, 7);
+  const auto out_d = d.apply(0, 1, 2, Bytes{});
+  ASSERT_EQ(out_d.size(), 1u);
+  EXPECT_FALSE(out_d[0].empty());
+}
+
+TEST(FaultPlan, DropShadowsCorruptAndDuplicate) {
+  // If the message dies anyway, the corrupt/duplicate rules did not
+  // change the outcome and must not charge anyone extra.
+  FaultPlan plan({{FaultKind::kCorrupt, 0, 1, kAnyPhase},
+                  {FaultKind::kDuplicate, 0, 1, kAnyPhase},
+                  {FaultKind::kOmitReceive, kAnyProc, 1, kAnyPhase}});
+  EXPECT_TRUE(plan.apply(0, 1, 1, payload({9})).empty());
+  EXPECT_EQ(plan.perturbed(), std::set<ProcId>{1});
+}
+
+TEST(FaultPlan, ResetClearsTheAccounting) {
+  FaultPlan plan({{FaultKind::kDrop, 2, kAnyProc, kAnyPhase}});
+  EXPECT_TRUE(plan.apply(2, 0, 1, payload({1})).empty());
+  EXPECT_FALSE(plan.perturbed().empty());
+  plan.reset();
+  EXPECT_TRUE(plan.perturbed().empty());
+}
+
+// --- End-to-end: a plan wired through run_scenario. -------------------
+
+TEST(FaultPlanScenario, IsolatedReceiverCountsAgainstTheBudget) {
+  // Kill every link into processor 4. The charged set is {4} (receive
+  // omission charges the receiver), so with t=1 the run still satisfies
+  // agreement/validity among processors 0..3.
+  const ba::Protocol& protocol = *ba::find_protocol("dolev-strong");
+  const ba::BAConfig config{5, 1, 0, 1};
+
+  FaultPlan plan({{FaultKind::kOmitReceive, kAnyProc, 4, kAnyPhase}});
+  ba::ScenarioOptions options;
+  options.fault_plan = &plan;
+  const auto result = ba::run_scenario(protocol, config, options);
+
+  EXPECT_EQ(plan.perturbed(), std::set<ProcId>{4});
+
+  auto probe = result;
+  probe.faulty[4] = true;  // charge the perturbed processor
+  const auto check = sim::check_byzantine_agreement(probe, 0, 1);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_TRUE(check.validity);
+}
+
+TEST(FaultPlanScenario, MetricsCountSubmissionsHistoryRecordsDeliveries) {
+  const ba::Protocol& protocol = *ba::find_protocol("dolev-strong");
+  const ba::BAConfig config{4, 0, 0, 1};
+
+  // Drop everything: senders still did the work (metrics), but nothing
+  // crossed the wire (history).
+  FaultPlan plan({{FaultKind::kDrop, kAnyProc, kAnyProc, kAnyPhase}});
+  ba::ScenarioOptions options;
+  options.record_history = true;
+  options.fault_plan = &plan;
+  const auto result = ba::run_scenario(protocol, config, options);
+
+  EXPECT_GT(result.metrics.sent_by(0), 0u);
+  for (PhaseNum k = 1; k <= result.history.phases(); ++k) {
+    EXPECT_TRUE(result.history.phase(k).edges().empty());
+  }
+}
+
+TEST(FaultPlanScenario, NoMatchingRulesLeaveTheRunUntouched) {
+  const ba::Protocol& protocol = *ba::find_protocol("dolev-strong");
+  const ba::BAConfig config{5, 1, 0, 1};
+
+  const auto baseline = ba::run_scenario(protocol, config, 1);
+
+  FaultPlan plan({{FaultKind::kDrop, 3, 2, 999}});  // phase never reached
+  ba::ScenarioOptions options;
+  options.fault_plan = &plan;
+  const auto faulted = ba::run_scenario(protocol, config, options);
+
+  EXPECT_TRUE(plan.perturbed().empty());
+  EXPECT_EQ(faulted.decisions, baseline.decisions);
+}
+
+}  // namespace
+}  // namespace dr::sim
