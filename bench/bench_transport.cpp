@@ -1,0 +1,102 @@
+// What the real network stack costs: wall-clock and wire overhead of the
+// same agreement runs on the in-memory simulator, the in-process channel
+// transport (threads + frames + phase barriers) and TCP loopback (real
+// sockets). Decisions and message counts are identical by the parity
+// theorem (tests/net_parity_test); this table shows what that identical
+// outcome costs per backend.
+#include <chrono>
+
+#include "bench_util.h"
+#include "net/harness.h"
+
+namespace dr::bench {
+namespace {
+
+struct Timed {
+  double millis = 0;
+  std::size_t messages = 0;
+  std::size_t frames = 0;
+  std::size_t wire_bytes = 0;
+};
+
+Timed time_sim(const Protocol& protocol, const BAConfig& config) {
+  const auto begin = std::chrono::steady_clock::now();
+  const auto result = ba::run_scenario(protocol, config, /*seed=*/1);
+  const auto end = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(result.decisions);
+  return Timed{std::chrono::duration<double, std::milli>(end - begin).count(),
+               result.metrics.messages_by_correct(), 0, 0};
+}
+
+Timed time_net(const Protocol& protocol, const BAConfig& config,
+               net::Backend backend) {
+  const auto begin = std::chrono::steady_clock::now();
+  const auto result = net::run_scenario(protocol, config, backend);
+  const auto end = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(result.run.decisions);
+  return Timed{std::chrono::duration<double, std::milli>(end - begin).count(),
+               result.run.metrics.messages_by_correct(),
+               result.run.metrics.frames_sent(),
+               result.run.metrics.wire_bytes_by_correct()};
+}
+
+void print_tables() {
+  print_header(
+      "Transport backends: identical runs, real costs",
+      "the net runtime reproduces the synchronous model bit-exactly; the "
+      "price is threads, frames (payload + DONE barriers) and wire bytes");
+  std::printf("%-18s %4s %3s | %9s %9s %9s | %8s %8s %10s\n", "protocol",
+              "n", "t", "sim ms", "chan ms", "tcp ms", "msgs", "frames",
+              "wire B");
+  struct Row {
+    std::string label;
+    Protocol protocol;
+    BAConfig config;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"dolev-strong", *ba::find_protocol("dolev-strong"),
+                  {7, 2, 0, 1}});
+  rows.push_back({"alg1", *ba::find_protocol("alg1"), {9, 4, 0, 1}});
+  rows.push_back({"alg2", *ba::find_protocol("alg2"), {9, 4, 0, 1}});
+  rows.push_back({"alg3[s=2]", ba::make_alg3_protocol(2), {12, 3, 0, 1}});
+  rows.push_back({"alg5[s=3]", ba::make_alg5_protocol(3), {21, 2, 0, 1}});
+  for (const Row& row : rows) {
+    const Timed sim = time_sim(row.protocol, row.config);
+    const Timed chan =
+        time_net(row.protocol, row.config, net::Backend::kInProcess);
+    const Timed tcp =
+        time_net(row.protocol, row.config, net::Backend::kTcpLoopback);
+    std::printf("%-18s %4zu %3zu | %8.2f %8.2f %8.2f | %8zu %8zu %10zu\n",
+                row.label.c_str(), row.config.n, row.config.t, sim.millis,
+                chan.millis, tcp.millis, tcp.messages, tcp.frames,
+                tcp.wire_bytes);
+  }
+}
+
+void register_timings() {
+  const BAConfig config{9, 4, 0, 1};
+  register_timing("transport/alg2/sim", [config] {
+    benchmark::DoNotOptimize(
+        ba::run_scenario(*ba::find_protocol("alg2"), config, 1));
+  });
+  register_timing("transport/alg2/inprocess", [config] {
+    benchmark::DoNotOptimize(net::run_scenario(
+        *ba::find_protocol("alg2"), config, net::Backend::kInProcess));
+  });
+  register_timing("transport/alg2/tcp", [config] {
+    benchmark::DoNotOptimize(net::run_scenario(
+        *ba::find_protocol("alg2"), config, net::Backend::kTcpLoopback));
+  });
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::print_tables();
+  dr::bench::register_timings();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -4,10 +4,13 @@
 //
 // Usage:
 //   ./chaos soak [--runs N] [--seed S] [--protocols a,b,...]
+//               [--backend sim|net]
 //       Run N random scenarios (default 1000). Scenarios whose effective
 //       faulty set stays within t must satisfy agreement, validity and the
 //       Theorem 3 / Theorem 4 / Lemma 1 budgets; any violation is
 //       minimized and printed as a JSON reproducer. Exit 1 if any found.
+//       --backend net executes every scenario on the real message-passing
+//       runtime (threads + framed transport) instead of the simulator.
 //
 //   ./chaos demo [--protocol NAME] [--n N] [--t T] [--seed S]
 //       The deliberate over-budget exercise: hunt for a transport plan
@@ -63,15 +66,17 @@ chaos::InvariantReport recheck(const chaos::Scenario& scenario,
 }
 
 int run_soak(std::size_t runs, std::uint64_t seed,
-             const std::string& protocols) {
+             const std::string& protocols, chaos::Backend backend) {
   chaos::SoakOptions options;
   options.runs = runs;
   options.seed = seed;
   options.protocols = split_csv(protocols);
+  options.backend = backend;
 
   const chaos::SoakStats stats = chaos::soak(options);
-  std::printf("chaos soak: %zu runs, seed %llu\n", stats.runs,
-              static_cast<unsigned long long>(seed));
+  std::printf("chaos soak: %zu runs, seed %llu, backend %s\n", stats.runs,
+              static_cast<unsigned long long>(seed),
+              chaos::to_string(backend));
   std::printf("  within fault budget (checked): %zu\n", stats.checked);
   std::printf("  over budget (skipped):         %zu\n", stats.over_budget);
   std::printf("  processors perturbed (total):  %zu\n", stats.rules_fired);
@@ -187,6 +192,7 @@ int main(int argc, char** argv) {
   std::string protocols;
   std::string protocol = "dolev-strong";
   std::size_t n = 5, t = 1;
+  chaos::Backend backend = chaos::Backend::kSim;
   const char* replay_path = nullptr;
 
   for (int i = 2; i < argc; ++i) {
@@ -207,6 +213,10 @@ int main(int argc, char** argv) {
       n = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--t") {
       t = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--backend") {
+      if (!chaos::backend_from_string(next(), backend)) {
+        usage_error("unknown backend (sim | net)");
+      }
     } else if (mode == "replay" && replay_path == nullptr &&
                !arg.empty() && arg[0] != '-') {
       replay_path = argv[i];
@@ -215,7 +225,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (mode == "soak") return run_soak(runs, seed, protocols);
+  if (mode == "soak") return run_soak(runs, seed, protocols, backend);
   if (mode == "demo") return run_demo(protocol, n, t, seed);
   if (mode == "replay") {
     if (replay_path == nullptr) usage_error("replay needs a file path");

@@ -6,10 +6,18 @@ BUILD="${1:-build}"
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
+# The sim-vs-net parity gate on its own: every registry protocol must
+# decide and account identically on the simulator, the in-process
+# transport and TCP loopback.
+ctest --test-dir "$BUILD" -L net -j"$(nproc)" --output-on-failure
 # Fixed-seed chaos soak (~5s): random transport-fault plans across the
 # registry; fails on any invariant violation within the fault budget.
 "$BUILD"/examples/chaos soak --runs 10000 --seed 1
 "$BUILD"/examples/chaos demo --seed 1
+# The same soak on the real message-passing runtime, then agreement over
+# actual TCP sockets with the paper's budgets checked on the wire.
+"$BUILD"/examples/chaos soak --runs 2000 --seed 1 --backend net
+"$BUILD"/examples/netdemo --backend tcp
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && "$b"
 done

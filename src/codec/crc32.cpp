@@ -1,0 +1,57 @@
+#include "codec/crc32.h"
+
+#include <array>
+
+#include "util/contracts.h"
+
+namespace dr {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, ByteView data) {
+  for (std::uint8_t byte : data) {
+    state = kTable[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(ByteView data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFFu));
+}
+
+std::uint32_t get_u32le(ByteView data, std::size_t offset) {
+  DR_EXPECTS(offset + 4 <= data.size());
+  return static_cast<std::uint32_t>(data[offset]) |
+         static_cast<std::uint32_t>(data[offset + 1]) << 8 |
+         static_cast<std::uint32_t>(data[offset + 2]) << 16 |
+         static_cast<std::uint32_t>(data[offset + 3]) << 24;
+}
+
+}  // namespace dr

@@ -1,0 +1,29 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) plus the fixed-width
+// little-endian helpers the frame layer needs. The varint codec in codec.h
+// stays the payload encoding; frames need a fixed-size length prefix so a
+// byte-stream receiver can delimit the next frame before parsing it, and a
+// checksum so line corruption is distinguishable from Byzantine content
+// (which is valid at the frame layer and adjudicated by the protocols).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace dr {
+
+/// CRC of `data` with the standard init/final xor (0xFFFFFFFF).
+std::uint32_t crc32(ByteView data);
+
+/// Incremental form: feed `crc32_init()`, then chunks, then finalize.
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, ByteView data);
+std::uint32_t crc32_final(std::uint32_t state);
+
+/// Appends `v` as 4 little-endian bytes.
+void put_u32le(Bytes& out, std::uint32_t v);
+
+/// Reads 4 little-endian bytes at `offset`. Precondition: in range.
+std::uint32_t get_u32le(ByteView data, std::size_t offset);
+
+}  // namespace dr

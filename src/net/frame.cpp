@@ -1,0 +1,108 @@
+#include "net/frame.h"
+
+#include "codec/codec.h"
+#include "codec/crc32.h"
+
+namespace dr::net {
+
+Bytes encode_frame(const Frame& frame) {
+  Writer w;
+  w.u8(kFrameVersion);
+  w.u8(static_cast<std::uint8_t>(frame.kind));
+  w.u32(frame.from);
+  w.u32(frame.to);
+  w.u32(frame.sent_phase);
+  w.bytes(frame.payload);
+  const Bytes body = std::move(w).take();
+
+  Bytes out;
+  out.reserve(4 + body.size() + 4);
+  put_u32le(out, static_cast<std::uint32_t>(body.size() + 4));
+  append(out, body);
+  put_u32le(out, crc32(body));
+  return out;
+}
+
+void FrameStats::merge(const FrameStats& other) {
+  accepted += other.accepted;
+  bad_version += other.bad_version;
+  bad_crc += other.bad_crc;
+  bad_structure += other.bad_structure;
+  oversized += other.oversized;
+  spoofed_from += other.spoofed_from;
+  misrouted += other.misrouted;
+  poisoned_bytes += other.poisoned_bytes;
+}
+
+void FrameAssembler::feed(ByteView chunk, std::vector<Frame>& out,
+                          FrameStats& stats) {
+  if (poisoned_) {
+    stats.poisoned_bytes += chunk.size();
+    return;
+  }
+  append(pending_, chunk);
+
+  std::size_t pos = 0;
+  while (pending_.size() - pos >= 4) {
+    const ByteView view(pending_.data() + pos, pending_.size() - pos);
+    const std::size_t declared = get_u32le(view, 0);
+    if (declared > kMaxFrameBody) {
+      ++stats.oversized;
+      poisoned_ = true;
+      stats.poisoned_bytes += pending_.size() - pos;
+      pending_.clear();
+      return;
+    }
+    if (view.size() < 4 + declared) break;  // frame not complete yet
+    pos += 4 + declared;
+
+    if (declared < 4) {  // no room for the CRC: garbage, but delimited
+      ++stats.bad_structure;
+      continue;
+    }
+    const ByteView body = view.subspan(4, declared - 4);
+    const std::uint32_t wire_crc = get_u32le(view, 4 + declared - 4);
+    if (crc32(body) != wire_crc) {
+      ++stats.bad_crc;
+      continue;
+    }
+
+    Reader r(body);
+    const std::uint8_t version = r.u8();
+    const std::uint8_t kind = r.u8();
+    Frame frame;
+    frame.from = r.u32();
+    frame.to = r.u32();
+    frame.sent_phase = r.u32();
+    frame.payload = r.bytes();
+    if (!r.done()) {
+      ++stats.bad_structure;
+      continue;
+    }
+    if (version != kFrameVersion) {
+      ++stats.bad_version;
+      continue;
+    }
+    if (kind != static_cast<std::uint8_t>(FrameKind::kPayload) &&
+        kind != static_cast<std::uint8_t>(FrameKind::kDone)) {
+      ++stats.bad_structure;
+      continue;
+    }
+    if (frame.from != link_peer_) {
+      ++stats.spoofed_from;
+      continue;
+    }
+    if (frame.to != self_) {
+      ++stats.misrouted;
+      continue;
+    }
+    frame.kind = static_cast<FrameKind>(kind);
+    frame.from = link_peer_;  // stamped, by construction equal to the header
+    ++stats.accepted;
+    out.push_back(std::move(frame));
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+}  // namespace dr::net

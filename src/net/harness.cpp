@@ -1,0 +1,152 @@
+#include "net/harness.h"
+
+#include <sstream>
+#include <utility>
+
+#include "net/inprocess.h"
+#include "net/tcp.h"
+#include "util/contracts.h"
+
+namespace dr::net {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kInProcess:
+      return "inprocess";
+    case Backend::kTcpLoopback:
+      break;
+  }
+  return "tcp";
+}
+
+bool backend_from_string(std::string_view name, Backend& out) {
+  if (name == "inprocess") {
+    out = Backend::kInProcess;
+    return true;
+  }
+  if (name == "tcp") {
+    out = Backend::kTcpLoopback;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Transport> make_transport(Backend backend, std::size_t n) {
+  if (backend == Backend::kInProcess) {
+    return std::make_unique<InProcessTransport>(n);
+  }
+  return std::make_unique<TcpLoopbackTransport>(n);
+}
+
+NetRunResult run_scenario(const ba::Protocol& protocol,
+                          const ba::BAConfig& config, Backend backend,
+                          const NetScenarioOptions& options,
+                          const std::vector<ba::ScenarioFault>& faults) {
+  DR_EXPECTS(protocol.supports(config));
+  DR_EXPECTS(faults.size() <= config.t);
+
+  const std::unique_ptr<Transport> transport =
+      make_transport(backend, config.n);
+  NetConfig net_config{.n = config.n,
+                       .t = config.t,
+                       .transmitter = config.transmitter,
+                       .value = config.value,
+                       .seed = options.seed,
+                       .scheme = sim::SchemeKind::kHmac,
+                       .merkle_height = 6,
+                       .phase_timeout = options.phase_timeout,
+                       .fault_plan = options.fault_plan};
+  NetRunner runner(net_config, *transport);
+  for (const ba::ScenarioFault& fault : faults) {
+    runner.mark_faulty(fault.id);
+  }
+  for (ProcId p = 0; p < config.n; ++p) {
+    if (!runner.is_faulty(p)) {
+      runner.install(p, protocol.make(p, config));
+    }
+  }
+  for (const ba::ScenarioFault& fault : faults) {
+    runner.install(fault.id, fault.make(fault.id, config));
+  }
+  return runner.run(protocol.steps(config));
+}
+
+namespace {
+
+void compare_runs(const char* backend, const sim::RunResult& want,
+                  const sim::RunResult& got, ParityReport& report) {
+  const auto fail = [&](const std::string& what) {
+    report.ok = false;
+    report.mismatches.push_back(std::string(backend) + ": " + what);
+  };
+  if (got.decisions != want.decisions) fail("decisions differ");
+
+  const sim::Metrics& a = want.metrics;
+  const sim::Metrics& b = got.metrics;
+  const auto check = [&](const char* name, std::size_t lhs, std::size_t rhs) {
+    if (lhs == rhs) return;
+    std::ostringstream os;
+    os << name << " sim=" << lhs << " net=" << rhs;
+    fail(os.str());
+  };
+  check("messages_by_correct", a.messages_by_correct(),
+        b.messages_by_correct());
+  check("signatures_by_correct", a.signatures_by_correct(),
+        b.signatures_by_correct());
+  check("messages_total", a.messages_total(), b.messages_total());
+  check("bytes_by_correct", a.bytes_by_correct(), b.bytes_by_correct());
+  check("max_payload_by_correct", a.max_payload_by_correct(),
+        b.max_payload_by_correct());
+  check("last_active_phase", a.last_active_phase(), b.last_active_phase());
+  if (a.per_phase() != b.per_phase()) fail("per-phase counts differ");
+  for (ProcId p = 0; p < a.n(); ++p) {
+    std::ostringstream os;
+    os << "[p=" << p << "]";
+    const std::string tag = os.str();
+    check(("sent_by" + tag).c_str(), a.sent_by(p), b.sent_by(p));
+    check(("received_from_correct" + tag).c_str(), a.received_from_correct(p),
+          b.received_from_correct(p));
+    check(("signatures_exchanged" + tag).c_str(), a.signatures_exchanged(p),
+          b.signatures_exchanged(p));
+  }
+}
+
+}  // namespace
+
+ParityReport check_parity(const ba::Protocol& protocol,
+                          const ba::BAConfig& config, std::uint64_t seed,
+                          const std::vector<ba::ScenarioFault>& faults,
+                          const std::vector<sim::FaultRule>& rules,
+                          std::uint64_t plan_seed) {
+  ParityReport report;
+
+  sim::FaultPlan sim_plan(rules, plan_seed);
+  ba::ScenarioOptions sim_options;
+  sim_options.seed = seed;
+  sim_options.fault_plan = rules.empty() ? nullptr : &sim_plan;
+  report.sim = ba::run_scenario(protocol, config, sim_options, faults);
+
+  const Backend backends[] = {Backend::kInProcess, Backend::kTcpLoopback};
+  for (const Backend backend : backends) {
+    sim::FaultPlan net_plan(rules, plan_seed);
+    NetScenarioOptions net_options;
+    net_options.seed = seed;
+    net_options.fault_plan = rules.empty() ? nullptr : &net_plan;
+    NetRunResult net_result =
+        run_scenario(protocol, config, backend, net_options, faults);
+    compare_runs(to_string(backend), report.sim, net_result.run, report);
+    if (!rules.empty() && net_plan.perturbed() != sim_plan.perturbed()) {
+      report.ok = false;
+      report.mismatches.push_back(std::string(to_string(backend)) +
+                                  ": perturbed sets differ");
+    }
+    if (backend == Backend::kInProcess) {
+      report.inprocess = std::move(net_result);
+    } else {
+      report.tcp = std::move(net_result);
+    }
+  }
+  return report;
+}
+
+}  // namespace dr::net

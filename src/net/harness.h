@@ -1,0 +1,69 @@
+// Scenario harness for the net runtime, mirroring ba::run_scenario, plus
+// the sim-vs-net parity checker the acceptance tests are built on.
+//
+// The parity claim: for the same (protocol, config, seed, faults), the
+// in-memory simulator, the in-process transport and the TCP-loopback
+// transport produce identical decisions and identical paper-level
+// accounting (messages/signatures/bytes by correct processors, per-phase
+// and per-processor counts). The argument is structural — per-link FIFO
+// plus the synchronizer's sender-sorted release reproduces the Network's
+// delivery order, deterministic processes then produce identical
+// submissions, and the shared route_submission seam maps those to
+// identical accounting — and check_parity verifies it run by run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ba/registry.h"
+#include "net/runner.h"
+#include "net/transport.h"
+
+namespace dr::net {
+
+enum class Backend { kInProcess, kTcpLoopback };
+
+/// "inprocess" / "tcp".
+const char* to_string(Backend backend);
+bool backend_from_string(std::string_view name, Backend& out);
+
+/// Builds a fresh transport connecting `n` endpoints. The TCP backend
+/// opens a full loopback mesh (n*(n-1)/2 socket pairs on 127.0.0.1).
+std::unique_ptr<Transport> make_transport(Backend backend, std::size_t n);
+
+struct NetScenarioOptions {
+  std::uint64_t seed = 1;
+  std::chrono::milliseconds phase_timeout{5000};
+  /// Not owned; must outlive the call. See NetConfig::fault_plan.
+  sim::FaultPlan* fault_plan = nullptr;
+};
+
+/// ba::run_scenario on a real transport: builds the transport and the
+/// NetRunner, installs correct processes everywhere except the listed
+/// faults, runs protocol.steps(config) phases.
+NetRunResult run_scenario(const ba::Protocol& protocol,
+                          const ba::BAConfig& config, Backend backend,
+                          const NetScenarioOptions& options = {},
+                          const std::vector<ba::ScenarioFault>& faults = {});
+
+struct ParityReport {
+  bool ok = true;
+  std::vector<std::string> mismatches;  // human-readable, deterministic
+  sim::RunResult sim;
+  NetRunResult inprocess;
+  NetRunResult tcp;
+};
+
+/// Runs the scenario on all three backends — sim::Runner, in-process,
+/// TCP loopback — and compares decisions and every paper-level metric.
+/// `rules`, when non-empty, becomes a fresh FaultPlan(rules, plan_seed)
+/// per backend (the plan's perturbed accounting is per-run state); the
+/// perturbed sets are compared too.
+ParityReport check_parity(const ba::Protocol& protocol,
+                          const ba::BAConfig& config, std::uint64_t seed,
+                          const std::vector<ba::ScenarioFault>& faults = {},
+                          const std::vector<sim::FaultRule>& rules = {},
+                          std::uint64_t plan_seed = 1);
+
+}  // namespace dr::net

@@ -1,0 +1,50 @@
+#include "net/inprocess.h"
+
+#include "util/contracts.h"
+
+namespace dr::net {
+
+InProcessTransport::InProcessTransport(std::size_t n) {
+  DR_EXPECTS(n >= 1);
+  boxes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void InProcessTransport::send(ProcId from, ProcId to, ByteView bytes) {
+  DR_EXPECTS(from < n() && to < n());
+  Mailbox& box = *boxes_[to];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(RawChunk{from, Bytes(bytes.begin(), bytes.end())});
+  }
+  box.cv.notify_one();
+}
+
+bool InProcessTransport::recv(ProcId self, std::vector<RawChunk>& out,
+                              std::chrono::milliseconds timeout) {
+  DR_EXPECTS(self < n());
+  Mailbox& box = *boxes_[self];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait_for(lock, timeout,
+                  [&] { return !box.queue.empty() || box.down; });
+  if (box.queue.empty()) return false;
+  while (!box.queue.empty()) {
+    out.push_back(std::move(box.queue.front()));
+    box.queue.pop_front();
+  }
+  return true;
+}
+
+void InProcessTransport::shutdown() {
+  for (auto& box : boxes_) {
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->down = true;
+    }
+    box->cv.notify_all();
+  }
+}
+
+}  // namespace dr::net

@@ -1,0 +1,40 @@
+// In-process channel transport: one mailbox (mutex + condvar + deque) per
+// endpoint. Senders append under the receiver's lock; the receiving thread
+// drains its whole mailbox in one recv(). Per-link FIFO follows from the
+// mailbox being append-ordered. This is the fast backend — no syscalls on
+// the send path — and the reference implementation of the Transport
+// contract the TCP backend must match.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "net/transport.h"
+
+namespace dr::net {
+
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(std::size_t n);
+
+  std::size_t n() const override { return boxes_.size(); }
+  void send(ProcId from, ProcId to, ByteView bytes) override;
+  bool recv(ProcId self, std::vector<RawChunk>& out,
+            std::chrono::milliseconds timeout) override;
+  const char* kind() const override { return "inprocess"; }
+  void shutdown() override;
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<RawChunk> queue;
+    bool down = false;
+  };
+  // unique_ptr so the vector is movable despite the mutexes.
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+};
+
+}  // namespace dr::net

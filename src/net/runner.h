@@ -1,0 +1,100 @@
+// The message-passing counterpart of sim::Runner: each installed process
+// runs on its own endpoint thread against a Transport, with the
+// PhaseSynchronizer recovering the paper's lock-step phases. Decisions and
+// Metrics are bit-identical to sim::Runner on the same configuration —
+// tests/net_parity_test.cpp asserts this for every registry protocol.
+//
+// Restrictions relative to sim::Runner (all checked):
+//   * scheme must be kHmac — the only signing scheme whose sign() path is
+//     thread-safe (Merkle/WOTS signers mutate leaf state);
+//   * no rushing — rushing is an intra-phase scheduling power that only the
+//     omniscient simulator can grant;
+//   * no history recording — endpoint threads would need a global ordered
+//     log; use sim::Runner when auditing with ba::validate_correctness.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/synchronizer.h"
+#include "net/transport.h"
+#include "sim/faults.h"
+#include "sim/process.h"
+#include "sim/runner.h"
+
+namespace dr::net {
+
+using sim::Value;
+
+struct NetConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  ProcId transmitter = 0;
+  Value value = 0;  // the transmitter's phase-0 input
+  std::uint64_t seed = 1;
+  sim::SchemeKind scheme = sim::SchemeKind::kHmac;  // kHmac only (see above)
+  std::size_t merkle_height = 6;
+  /// How long each endpoint waits at a phase barrier before declaring the
+  /// missing peers omission-faulty. Generous by default: on a loopback
+  /// transport a barrier resolves in microseconds, and a timeout that fires
+  /// under scheduler noise would silently convert a correct run into one
+  /// with extra (omission) faults.
+  std::chrono::milliseconds phase_timeout{5000};
+  /// Transport fault plan (not owned; must outlive the run). Applied at
+  /// the shared submission seam (sim/delivery.h), payload-level, exactly as
+  /// the in-memory Network applies it — which is what keeps sim-vs-net
+  /// parity intact under fault injection. Guarded by a run-level mutex.
+  sim::FaultPlan* fault_plan = nullptr;
+};
+
+struct NetRunResult {
+  /// Same shape sim::Runner returns (history always empty here), so every
+  /// downstream check — check_byzantine_agreement, budget assertions,
+  /// chaos invariants — runs unchanged against a net execution.
+  sim::RunResult run;
+  /// Merged per-endpoint synchronizer + frame-layer counters.
+  SyncStats sync;
+};
+
+class NetRunner {
+ public:
+  /// `transport` must connect exactly config.n endpoints and outlive run().
+  NetRunner(const NetConfig& config, Transport& transport);
+
+  const NetConfig& config() const { return config_; }
+  const crypto::Verifier& verifier() const { return verifier_; }
+
+  /// Marks `p` faulty (coalition signer, excluded from correct-processor
+  /// accounting). Must precede run().
+  void mark_faulty(ProcId p);
+  bool is_faulty(ProcId p) const { return faulty_[p]; }
+  std::size_t faulty_count() const;
+
+  /// Installs the process implementation for `p`.
+  void install(ProcId p, std::unique_ptr<sim::Process> process);
+
+  /// Runs phases 1..`phases`, one thread per endpoint, and returns
+  /// decisions + accounting. Call at most once.
+  NetRunResult run(PhaseNum phases);
+
+ private:
+  /// The body of endpoint `p`'s thread. Writes only to slot `p` of the
+  /// per-endpoint output arrays; the only cross-thread state it touches is
+  /// the Transport (thread-safe per its contract) and the FaultPlan (under
+  /// fault_mu).
+  void endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
+                     sim::Metrics& metrics, SyncStats& sync);
+
+  NetConfig config_;
+  Transport& transport_;
+  std::unique_ptr<crypto::SignatureScheme> scheme_;
+  crypto::Verifier verifier_;
+  std::vector<bool> faulty_;
+  std::vector<std::unique_ptr<sim::Process>> processes_;
+  std::optional<sim::SignerPool> pool_;
+  bool ran_ = false;
+};
+
+}  // namespace dr::net

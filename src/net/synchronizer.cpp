@@ -1,0 +1,112 @@
+#include "net/synchronizer.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace dr::net {
+
+void SyncStats::merge(const SyncStats& other) {
+  frames.merge(other.frames);
+  stragglers += other.stragglers;
+  stale_frames += other.stale_frames;
+  omission_faulty.insert(omission_faulty.end(),
+                         other.omission_faulty.begin(),
+                         other.omission_faulty.end());
+}
+
+PhaseSynchronizer::PhaseSynchronizer(ProcId self, std::size_t n,
+                                     Transport& transport,
+                                     std::chrono::milliseconds phase_timeout)
+    : self_(self), n_(n), transport_(transport), timeout_(phase_timeout),
+      done_phase_(n, 0), dead_(n, false) {
+  DR_EXPECTS(self < n);
+  assemblers_.reserve(n);
+  for (ProcId q = 0; q < n; ++q) {
+    assemblers_.emplace_back(/*link_peer=*/q, /*self=*/self);
+  }
+}
+
+bool PhaseSynchronizer::barrier_met(PhaseNum phase) const {
+  for (ProcId q = 0; q < n_; ++q) {
+    if (q == self_) continue;
+    if (!dead_[q] && done_phase_[q] < phase) return false;
+  }
+  return true;
+}
+
+void PhaseSynchronizer::pump(std::chrono::milliseconds wait) {
+  std::vector<RawChunk> chunks;
+  transport_.recv(self_, chunks, wait);
+  std::vector<Frame> decoded;
+  for (RawChunk& chunk : chunks) {
+    DR_ASSERT(chunk.from < n_);
+    assemblers_[chunk.from].feed(chunk.bytes, decoded, stats_.frames);
+  }
+  for (Frame& frame : decoded) {
+    if (frame.kind == FrameKind::kDone) {
+      done_phase_[frame.from] =
+          std::max(done_phase_[frame.from], frame.sent_phase);
+      continue;
+    }
+    if (frame.sent_phase <= released_) {
+      // This phase's inbox was already handed out (its sender was a
+      // straggler, or a Byzantine endpoint forged an old phase label).
+      ++stats_.stale_frames;
+      continue;
+    }
+    auto& senders = buffered_[frame.sent_phase];
+    if (senders.empty()) senders.resize(n_);
+    senders[frame.from].push_back(Envelope{frame.from, frame.to,
+                                           frame.sent_phase,
+                                           std::move(frame.payload)});
+  }
+}
+
+std::vector<Envelope> PhaseSynchronizer::advance(PhaseNum phase,
+                                                 bool self_correct,
+                                                 sim::Metrics& metrics) {
+  DR_EXPECTS(phase > released_);
+  for (ProcId q = 0; q < n_; ++q) {
+    if (q == self_) continue;
+    const Bytes frame = encode_frame(
+        Frame{FrameKind::kDone, self_, q, phase, {}});
+    metrics.on_frame(self_correct, frame.size());
+    transport_.send(self_, q, frame);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline = Clock::now() + timeout_;
+  pump(std::chrono::milliseconds(0));  // drain whatever is already in
+  while (!barrier_met(phase)) {
+    const Clock::time_point now = Clock::now();
+    if (now >= deadline) break;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pump(std::min(remaining, std::chrono::milliseconds(50)));
+  }
+
+  for (ProcId q = 0; q < n_; ++q) {
+    if (q == self_ || dead_[q] || done_phase_[q] >= phase) continue;
+    dead_[q] = true;
+    ++stats_.stragglers;
+    stats_.omission_faulty.push_back(q);
+  }
+
+  // Release: everything sent in `phase` becomes the next phase's inbox,
+  // ordered by sender id then send order — the in-memory Network's order.
+  released_ = phase;
+  std::vector<Envelope> inbox;
+  const auto it = buffered_.find(phase);
+  if (it != buffered_.end()) {
+    for (std::vector<Envelope>& from_one : it->second) {
+      inbox.insert(inbox.end(),
+                   std::make_move_iterator(from_one.begin()),
+                   std::make_move_iterator(from_one.end()));
+    }
+  }
+  buffered_.erase(buffered_.begin(), buffered_.upper_bound(phase));
+  return inbox;
+}
+
+}  // namespace dr::net

@@ -1,0 +1,87 @@
+// Recovers the paper's lock-step rounds on top of an asynchronous,
+// threaded Transport.
+//
+// The paper's model delivers a phase-k message at the beginning of phase
+// k+1, for every processor at once. Over real channels nothing arrives "at
+// once", so each endpoint runs a barrier per phase:
+//
+//   * after stepping its process for phase k and sending that phase's
+//     payload frames, the endpoint broadcasts a DONE(k) control frame on
+//     every link;
+//   * per-link FIFO order then makes DONE(k) from peer q a receipt for all
+//     of q's phase-k traffic: once every live peer's DONE(k) is in, the
+//     phase-k inbox is provably complete and is released, sorted by sender
+//     — byte-for-byte the order the in-memory Network delivers;
+//   * frames from peers that are already in a later phase are buffered
+//     until their own release point (a fast peer cannot outrun the barrier
+//     by more than the synchronizer can buffer);
+//   * a peer whose DONE(k) does not arrive within the phase timeout is
+//     treated as omission-faulty from then on: the barrier stops waiting
+//     for it forever, its late frames for already-released phases are
+//     dropped as stale, and the paper's accounting charges it against the
+//     fault budget t exactly like a crashed processor (docs/MODEL.md).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/transport.h"
+#include "sim/envelope.h"
+#include "sim/metrics.h"
+
+namespace dr::net {
+
+using sim::Envelope;
+
+/// Per-endpoint synchronizer counters, merged across endpoints by the
+/// runner after the join.
+struct SyncStats {
+  FrameStats frames;
+  std::size_t stragglers = 0;    // peers this endpoint declared
+                                 // omission-faulty at some barrier
+  std::size_t stale_frames = 0;  // payload frames past their release point
+  std::vector<ProcId> omission_faulty;  // the declared peers, in order
+
+  void merge(const SyncStats& other);
+};
+
+class PhaseSynchronizer {
+ public:
+  PhaseSynchronizer(ProcId self, std::size_t n, Transport& transport,
+                    std::chrono::milliseconds phase_timeout);
+
+  /// Ends `phase`: broadcasts DONE(phase), waits until every live peer's
+  /// DONE(phase) arrived or the timeout expired, marks stragglers
+  /// omission-faulty, and returns the complete inbox for phase+1 (all
+  /// payload frames with sent_phase == phase), sorted by sender with
+  /// per-sender send order preserved. Counts the DONE frames it sends into
+  /// `metrics` (`self_correct` flags whether this endpoint's process is
+  /// scripted-correct).
+  std::vector<Envelope> advance(PhaseNum phase, bool self_correct,
+                                sim::Metrics& metrics);
+
+  const SyncStats& stats() const { return stats_; }
+
+ private:
+  /// Drains the transport once (waiting up to `wait`) and dispatches every
+  /// decoded frame into done-tracking or the phase buffer.
+  void pump(std::chrono::milliseconds wait);
+  bool barrier_met(PhaseNum phase) const;
+
+  ProcId self_;
+  std::size_t n_;
+  Transport& transport_;
+  std::chrono::milliseconds timeout_;
+  std::vector<FrameAssembler> assemblers_;  // indexed by link peer
+  std::vector<PhaseNum> done_phase_;        // highest DONE seen per peer
+  std::vector<bool> dead_;                  // declared omission-faulty
+  PhaseNum released_ = 0;                   // phases <= this are delivered
+  // sent_phase -> per-sender payload envelopes (sender order = arrival
+  // order = send order, by per-link FIFO).
+  std::map<PhaseNum, std::vector<std::vector<Envelope>>> buffered_;
+  SyncStats stats_;
+};
+
+}  // namespace dr::net

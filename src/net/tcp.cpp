@@ -1,0 +1,193 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/contracts.h"
+
+namespace dr::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  DR_ASSERT(flags >= 0);
+  DR_ASSERT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  DR_ASSERT(::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) ==
+            0);
+}
+
+void write_all_blocking(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t k = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (k > 0) {
+      off += static_cast<std::size_t>(k);
+      continue;
+    }
+    DR_ASSERT(k < 0 && (errno == EINTR || errno == EAGAIN ||
+                        errno == EWOULDBLOCK));
+    if (errno == EINTR) continue;
+    struct pollfd pfd {fd, POLLOUT, 0};
+    ::poll(&pfd, 1, /*timeout_ms=*/100);
+  }
+}
+
+void read_all_blocking(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t k = ::read(fd, data + off, size - off);
+    if (k > 0) {
+      off += static_cast<std::size_t>(k);
+      continue;
+    }
+    DR_ASSERT(k < 0 && errno == EINTR);
+  }
+}
+
+}  // namespace
+
+TcpLoopbackTransport::TcpLoopbackTransport(std::size_t n)
+    : fds_(n, std::vector<int>(n, -1)), loopback_(n) {
+  DR_EXPECTS(n >= 1);
+
+  // One listener per endpoint on an ephemeral loopback port.
+  std::vector<int> listeners(n, -1);
+  std::vector<std::uint16_t> ports(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    DR_ASSERT(fd >= 0);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    DR_ASSERT(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0);
+    DR_ASSERT(::listen(fd, static_cast<int>(n)) == 0);
+    socklen_t len = sizeof(addr);
+    DR_ASSERT(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+              0);
+    listeners[p] = fd;
+    ports[p] = ntohs(addr.sin_port);
+  }
+
+  // Dial every pair i < j: i connects to j's listener and announces its id
+  // (the authenticated-channel handshake, performed by the trusted setup,
+  // never by a process).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const int c = ::socket(AF_INET, SOCK_STREAM, 0);
+      DR_ASSERT(c >= 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(ports[j]);
+      DR_ASSERT(::connect(c, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0);
+      std::uint8_t hello[4] = {
+          static_cast<std::uint8_t>(i & 0xFF),
+          static_cast<std::uint8_t>((i >> 8) & 0xFF),
+          static_cast<std::uint8_t>((i >> 16) & 0xFF),
+          static_cast<std::uint8_t>((i >> 24) & 0xFF)};
+      write_all_blocking(c, hello, sizeof(hello));
+
+      const int s = ::accept(listeners[j], nullptr, nullptr);
+      DR_ASSERT(s >= 0);
+      std::uint8_t peer[4];
+      read_all_blocking(s, peer, sizeof(peer));
+      const std::size_t announced = static_cast<std::size_t>(peer[0]) |
+                                    static_cast<std::size_t>(peer[1]) << 8 |
+                                    static_cast<std::size_t>(peer[2]) << 16 |
+                                    static_cast<std::size_t>(peer[3]) << 24;
+      DR_ASSERT(announced == i);
+
+      set_nonblocking(c);
+      set_nodelay(c);
+      set_nonblocking(s);
+      set_nodelay(s);
+      fds_[i][j] = c;
+      fds_[j][i] = s;
+    }
+  }
+  for (const int fd : listeners) ::close(fd);
+}
+
+TcpLoopbackTransport::~TcpLoopbackTransport() { shutdown(); }
+
+void TcpLoopbackTransport::send(ProcId from, ProcId to, ByteView bytes) {
+  DR_EXPECTS(from < n() && to < n());
+  if (from == to) {
+    loopback_[from].emplace_back(bytes.begin(), bytes.end());
+    return;
+  }
+  write_all_blocking(fds_[from][to], bytes.data(), bytes.size());
+}
+
+bool TcpLoopbackTransport::recv(ProcId self, std::vector<RawChunk>& out,
+                                std::chrono::milliseconds timeout) {
+  DR_EXPECTS(self < n());
+  const std::size_t base = out.size();
+  for (Bytes& chunk : loopback_[self]) {
+    out.push_back(RawChunk{self, std::move(chunk)});
+  }
+  loopback_[self].clear();
+
+  std::vector<struct pollfd> pfds;
+  std::vector<ProcId> peer_of;
+  pfds.reserve(n() - 1);
+  for (ProcId q = 0; q < n(); ++q) {
+    if (q == self) continue;
+    pfds.push_back({fds_[self][q], POLLIN, 0});
+    peer_of.push_back(q);
+  }
+  const int wait_ms =
+      out.size() > base ? 0 : static_cast<int>(timeout.count());
+  const int ready = ::poll(pfds.data(),
+                           static_cast<nfds_t>(pfds.size()), wait_ms);
+  if (ready <= 0) return out.size() > base;
+
+  std::uint8_t buf[65536];
+  for (std::size_t k = 0; k < pfds.size(); ++k) {
+    if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    while (true) {
+      const ssize_t got = ::read(pfds[k].fd, buf, sizeof(buf));
+      if (got > 0) {
+        out.push_back(RawChunk{
+            peer_of[k], Bytes(buf, buf + static_cast<std::size_t>(got))});
+        continue;
+      }
+      if (got == 0) break;  // peer end closed (teardown)
+      if (errno == EINTR) continue;
+      DR_ASSERT(errno == EAGAIN || errno == EWOULDBLOCK);
+      break;
+    }
+  }
+  return out.size() > base;
+}
+
+void TcpLoopbackTransport::shutdown() {
+  if (down_) return;
+  down_ = true;
+  for (auto& row : fds_) {
+    for (int& fd : row) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+}  // namespace dr::net

@@ -1,0 +1,50 @@
+// TCP loopback transport: a full mesh of nonblocking stream sockets over
+// 127.0.0.1, one connection per unordered endpoint pair.
+//
+// Link authentication is established at setup time, before any endpoint
+// thread runs: the constructor dials every pair itself and records which
+// descriptor belongs to which peer, modelling the paper's pre-authenticated
+// channels. Nothing a process later writes can change that mapping — a
+// frame claiming another sender is caught by the FrameAssembler against the
+// link identity.
+//
+// Each socket's two ends are owned by the two endpoint threads exclusively
+// (endpoint i reads and writes only fds_[i][*]), so the data path needs no
+// locks. send() loops write(2)/poll(POLLOUT) under backpressure; recv()
+// polls every peer descriptor and drains whatever is readable. Self-sends
+// never touch the wire: they go through a thread-local loopback buffer,
+// exactly like the in-process backend's same-thread delivery.
+#pragma once
+
+#include <vector>
+
+#include "net/transport.h"
+
+namespace dr::net {
+
+class TcpLoopbackTransport final : public Transport {
+ public:
+  /// Builds the n*(n-1)/2 connection mesh; aborts on resource exhaustion
+  /// (contract violation, not a recoverable condition).
+  explicit TcpLoopbackTransport(std::size_t n);
+  ~TcpLoopbackTransport() override;
+
+  TcpLoopbackTransport(const TcpLoopbackTransport&) = delete;
+  TcpLoopbackTransport& operator=(const TcpLoopbackTransport&) = delete;
+
+  std::size_t n() const override { return fds_.size(); }
+  void send(ProcId from, ProcId to, ByteView bytes) override;
+  bool recv(ProcId self, std::vector<RawChunk>& out,
+            std::chrono::milliseconds timeout) override;
+  const char* kind() const override { return "tcp"; }
+  void shutdown() override;
+
+ private:
+  // fds_[i][j] = descriptor endpoint i uses to talk to j (-1 for i == j).
+  std::vector<std::vector<int>> fds_;
+  // Per-endpoint self-loopback buffer; only touched by the owner's thread.
+  std::vector<std::vector<Bytes>> loopback_;
+  bool down_ = false;  // setup/teardown thread only
+};
+
+}  // namespace dr::net

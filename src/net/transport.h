@@ -1,0 +1,60 @@
+// The byte-moving seam under the message-passing runtime.
+//
+// A Transport connects n endpoints with authenticated, ordered,
+// reliable-unless-faulted links: bytes sent on (from, to) arrive at `to`
+// tagged with `from` (the identity of the physical link, never a claim in
+// the data), in FIFO order per link. It moves opaque bytes — framing,
+// phase recovery and fault injection live above it (net/frame.h,
+// net/synchronizer.h, sim/delivery.h), which is what lets the in-process
+// and TCP implementations share every other layer.
+//
+// Threading contract: send(from, ...) and recv(self, ...) are called only
+// from endpoint `from`'s / `self`'s thread; different endpoints run on
+// different threads concurrently. shutdown() must not race in-flight
+// calls — the runner joins every endpoint thread first.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "sim/envelope.h"
+#include "util/bytes.h"
+
+namespace dr::net {
+
+using sim::ProcId;
+
+/// A contiguous run of bytes received on one authenticated link. Chunk
+/// boundaries carry no meaning (TCP may split or merge frames); the
+/// FrameAssembler reconstructs them.
+struct RawChunk {
+  ProcId from = 0;
+  Bytes bytes;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::size_t n() const = 0;
+
+  /// Enqueues `bytes` on the link (from, to). Blocks under backpressure,
+  /// never drops, preserves per-link FIFO order. from == to is a local
+  /// loopback delivered on the next recv().
+  virtual void send(ProcId from, ProcId to, ByteView bytes) = 0;
+
+  /// Appends every chunk currently available to endpoint `self`, waiting
+  /// up to `timeout` for the first one. Returns true if anything was
+  /// appended.
+  virtual bool recv(ProcId self, std::vector<RawChunk>& out,
+                    std::chrono::milliseconds timeout) = 0;
+
+  /// "inprocess" / "tcp" — for logs and benchmark tables.
+  virtual const char* kind() const = 0;
+
+  /// Releases OS resources. Idempotent; only after endpoint threads exit.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace dr::net

@@ -7,6 +7,7 @@
 #include "adversary/strategies.h"
 #include "bounds/formulas.h"
 #include "hist/export.h"
+#include "net/harness.h"
 #include "util/contracts.h"
 #include "util/rng.h"
 
@@ -99,17 +100,24 @@ ba::ScenarioFault make_scripted(const Protocol& protocol,
 
 }  // namespace
 
-Outcome execute(const Scenario& scenario) {
+const char* to_string(Backend backend) {
+  return backend == Backend::kSim ? "sim" : "net";
+}
+
+bool backend_from_string(std::string_view name, Backend& out) {
+  if (name == "sim") out = Backend::kSim;
+  else if (name == "net") out = Backend::kNet;
+  else return false;
+  return true;
+}
+
+Outcome execute(const Scenario& scenario, Backend backend) {
   const std::optional<Protocol> protocol = resolve_protocol(scenario.protocol);
   DR_EXPECTS(protocol.has_value());
   DR_EXPECTS(protocol->supports(scenario.config));
   DR_EXPECTS(scenario.scripted.size() <= scenario.config.t);
 
   sim::FaultPlan plan(scenario.rules, scenario.plan_seed);
-  ba::ScenarioOptions options;
-  options.seed = scenario.seed;
-  options.record_history = true;
-  options.fault_plan = &plan;
   std::vector<ba::ScenarioFault> faults;
   faults.reserve(scenario.scripted.size());
   for (const ScriptedFault& fault : scenario.scripted) {
@@ -117,8 +125,22 @@ Outcome execute(const Scenario& scenario) {
   }
 
   Outcome outcome;
-  outcome.result = ba::run_scenario(*protocol, scenario.config, options,
-                                    faults);
+  if (backend == Backend::kNet) {
+    net::NetScenarioOptions options;
+    options.seed = scenario.seed;
+    options.fault_plan = &plan;
+    outcome.result = net::run_scenario(*protocol, scenario.config,
+                                       net::Backend::kInProcess, options,
+                                       faults)
+                         .run;
+  } else {
+    ba::ScenarioOptions options;
+    options.seed = scenario.seed;
+    options.record_history = true;
+    options.fault_plan = &plan;
+    outcome.result =
+        ba::run_scenario(*protocol, scenario.config, options, faults);
+  }
   outcome.scripted_faulty = outcome.result.faulty;
   outcome.effective_faulty = outcome.scripted_faulty;
   for (ProcId p : plan.perturbed()) {
@@ -760,7 +782,7 @@ SoakStats soak(const SoakOptions& options) {
   for (std::size_t i = 0; i < options.runs; ++i) {
     Xoshiro256 rng(SplitMix64(options.seed + i).next());
     const Scenario scenario = random_scenario(rng, options, pool);
-    const Outcome outcome = execute(scenario);
+    const Outcome outcome = execute(scenario, options.backend);
     ++stats.runs;
     stats.rules_fired += outcome.perturbed.size();
 
@@ -776,8 +798,8 @@ SoakStats soak(const SoakOptions& options) {
 
     // A genuine within-budget violation: shrink the plan while it keeps
     // both properties (within budget, still failing), then record it.
-    auto still_fails = [](const Scenario& candidate) {
-      const Outcome probe = execute(candidate);
+    auto still_fails = [backend = options.backend](const Scenario& candidate) {
+      const Outcome probe = execute(candidate, backend);
       if (probe.effective_faulty_count > candidate.config.t) return false;
       return !check_invariants(
                   candidate, probe, probe.effective_faulty,
@@ -785,7 +807,7 @@ SoakStats soak(const SoakOptions& options) {
                   .ok;
     };
     const Scenario minimal = minimize(scenario, still_fails);
-    const Outcome confirm = execute(minimal);
+    const Outcome confirm = execute(minimal, options.backend);
     const InvariantReport confirmed = check_invariants(
         minimal, confirm, confirm.effective_faulty,
         budgets_for(minimal.protocol, minimal.config));

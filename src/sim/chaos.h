@@ -76,7 +76,18 @@ struct Scenario {
 /// Registry lookup extended to the parameterised protocol families.
 std::optional<Protocol> resolve_protocol(std::string_view name);
 
-/// One deterministic execution of `scenario` (history always recorded).
+/// Which runtime executes a scenario. kSim is the in-memory synchronous
+/// simulator; kNet runs the same processes on endpoint threads over the
+/// in-process transport (src/net), with the FaultPlan applied at the shared
+/// submission seam — decisions and metrics are identical (the parity
+/// theorem), so every invariant below applies unchanged, except the phase
+/// budget, which needs the recorded history only the simulator produces.
+enum class Backend : std::uint8_t { kSim, kNet };
+
+const char* to_string(Backend backend);
+bool backend_from_string(std::string_view name, Backend& out);
+
+/// One deterministic execution of `scenario` (history recorded on kSim).
 /// `effective_faulty` = scripted-faulty set union the processors the
 /// transport plan actually perturbed — the set that must stay within t
 /// for the paper's guarantees to apply.
@@ -90,7 +101,8 @@ struct Outcome {
   std::vector<ProcId> perturbed;
 };
 
-Outcome execute(const Scenario& scenario);
+Outcome execute(const Scenario& scenario,
+                Backend backend = Backend::kSim);
 
 /// Cost ceilings the watchdog enforces. Message budgets exist where the
 /// paper states a closed form (Theorem 3 for alg1, Theorem 4 for alg2,
@@ -153,6 +165,10 @@ struct SoakOptions {
   std::vector<std::string> protocols;
   std::size_t max_rules = 6;       // rules per random plan (uniform 0..max)
   double scripted_probability = 0.5;  // chance a run also draws scripted faults
+  /// Runtime the soak (and its minimizer) executes on. kNet soaks the real
+  /// message-passing stack — threads, frames, synchronizer — under the
+  /// same random fault plans.
+  Backend backend = Backend::kSim;
 };
 
 struct SoakStats {

@@ -1,0 +1,36 @@
+#include "sim/delivery.h"
+
+#include <utility>
+#include <vector>
+
+namespace dr::sim {
+
+void route_submission(Metrics& metrics, FaultPlan* faults,
+                      std::mutex* fault_mu, hist::History* history,
+                      ProcId from, ProcId to, PhaseNum phase, Bytes payload,
+                      bool sender_correct, std::size_t signatures,
+                      const std::function<void(Bytes)>& deliver) {
+  metrics.on_send(from, to, phase, sender_correct, signatures,
+                  payload.size());
+  if (faults == nullptr) {
+    if (history != nullptr) {
+      history->record(phase, hist::Edge{from, to, payload});
+    }
+    deliver(std::move(payload));
+    return;
+  }
+  std::vector<Bytes> surviving;
+  {
+    std::unique_lock<std::mutex> lock;
+    if (fault_mu != nullptr) lock = std::unique_lock<std::mutex>(*fault_mu);
+    surviving = faults->apply(from, to, phase, std::move(payload));
+  }
+  for (Bytes& delivered : surviving) {
+    if (history != nullptr) {
+      history->record(phase, hist::Edge{from, to, delivered});
+    }
+    deliver(std::move(delivered));
+  }
+}
+
+}  // namespace dr::sim

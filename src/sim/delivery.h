@@ -1,0 +1,42 @@
+// The send-side seam shared by the synchronous in-memory Network and the
+// real transports in src/net.
+//
+// Everything that must happen to a submitted message *before* any backend
+// moves it lives here, in one place, so the backends cannot drift apart:
+//
+//   1. Metrics count the submission (the sender did the work, whatever the
+//      transport does to it afterwards);
+//   2. the optional FaultPlan perturbs it — zero, one or several payloads
+//      come out, and the plan's perturbed-processor accounting accrues;
+//   3. the optional History records what was actually put in flight;
+//   4. the backend-specific `deliver` sink is invoked once per surviving
+//      payload (Network enqueues an Envelope; a net endpoint frames the
+//      payload and hands it to its Transport).
+//
+// This shared path is what makes sim-vs-net parity a theorem instead of a
+// hope: identical inboxes produce identical submissions, which this seam
+// maps to identical accounting and identical surviving payloads.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "hist/history.h"
+#include "sim/envelope.h"
+#include "sim/faults.h"
+#include "sim/metrics.h"
+
+namespace dr::sim {
+
+/// Routes one submission through accounting + faults + history into
+/// `deliver`. `faults` and `history` may be null. `fault_mu`, when
+/// non-null, guards the FaultPlan (whose perturbed-set accounting is not
+/// thread-safe) — the net runner passes one mutex per run, the serial
+/// Network passes nullptr.
+void route_submission(Metrics& metrics, FaultPlan* faults,
+                      std::mutex* fault_mu, hist::History* history,
+                      ProcId from, ProcId to, PhaseNum phase, Bytes payload,
+                      bool sender_correct, std::size_t signatures,
+                      const std::function<void(Bytes)>& deliver);
+
+}  // namespace dr::sim

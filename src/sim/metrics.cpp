@@ -29,4 +29,36 @@ void Metrics::on_send(ProcId from, ProcId to, PhaseNum phase,
   signatures_exchanged_[to] += signatures;
 }
 
+void Metrics::on_frame(bool sender_correct, std::size_t frame_bytes) {
+  ++frames_sent_;
+  if (sender_correct) wire_bytes_by_correct_ += frame_bytes;
+}
+
+void Metrics::merge(const Metrics& other) {
+  DR_EXPECTS(other.n() == n());
+  messages_by_correct_ += other.messages_by_correct_;
+  signatures_by_correct_ += other.signatures_by_correct_;
+  messages_total_ += other.messages_total_;
+  bytes_by_correct_ += other.bytes_by_correct_;
+  frames_sent_ += other.frames_sent_;
+  wire_bytes_by_correct_ += other.wire_bytes_by_correct_;
+  if (other.max_payload_by_correct_ > max_payload_by_correct_) {
+    max_payload_by_correct_ = other.max_payload_by_correct_;
+  }
+  if (other.last_active_phase_ > last_active_phase_) {
+    last_active_phase_ = other.last_active_phase_;
+  }
+  if (per_phase_.size() < other.per_phase_.size()) {
+    per_phase_.resize(other.per_phase_.size(), 0);
+  }
+  for (std::size_t k = 0; k < other.per_phase_.size(); ++k) {
+    per_phase_[k] += other.per_phase_[k];
+  }
+  for (std::size_t p = 0; p < sent_by_.size(); ++p) {
+    sent_by_[p] += other.sent_by_[p];
+    received_from_correct_[p] += other.received_from_correct_[p];
+    signatures_exchanged_[p] += other.signatures_exchanged_[p];
+  }
+}
+
 }  // namespace dr::sim

@@ -19,6 +19,21 @@ class Metrics {
   void on_send(ProcId from, ProcId to, PhaseNum phase, bool sender_correct,
                std::size_t signatures, std::size_t payload_bytes);
 
+  /// Wire-level accounting, reported by the real transports (src/net): one
+  /// call per frame actually put on the wire, with the frame's full size
+  /// (payload + frame header + checksum). Control frames (the phase
+  /// synchronizer's completion markers) are counted too — the whole point
+  /// is to make the byte overhead of framing and synchronization visible
+  /// next to the paper's message/signature counts. Always zero for the
+  /// in-memory simulator, which has no wire.
+  void on_frame(bool sender_correct, std::size_t frame_bytes);
+
+  /// Element-wise accumulation of another run fragment's counters (sums;
+  /// maxima for the max/last fields). The net runner gives each endpoint
+  /// thread its own Metrics and merges after the join, which keeps the hot
+  /// path lock-free and the totals exactly equal to the serial sim's.
+  void merge(const Metrics& other);
+
   /// Messages sent by correct processors — the paper's primary measure.
   std::size_t messages_by_correct() const { return messages_by_correct_; }
   /// Signatures appended by correct processors across all their messages.
@@ -33,6 +48,13 @@ class Metrics {
   std::size_t bytes_by_correct() const { return bytes_by_correct_; }
   std::size_t max_payload_by_correct() const {
     return max_payload_by_correct_;
+  }
+
+  /// Frames put on the wire by anyone, and wire bytes (payload + frame
+  /// header) sent by correct processors. Zero under the in-memory backend.
+  std::size_t frames_sent() const { return frames_sent_; }
+  std::size_t wire_bytes_by_correct() const {
+    return wire_bytes_by_correct_;
   }
 
   /// Highest phase in which any message was sent (correct or faulty).
@@ -62,6 +84,8 @@ class Metrics {
   std::size_t messages_total_ = 0;
   std::size_t bytes_by_correct_ = 0;
   std::size_t max_payload_by_correct_ = 0;
+  std::size_t frames_sent_ = 0;
+  std::size_t wire_bytes_by_correct_ = 0;
   PhaseNum last_active_phase_ = 0;
   std::vector<std::size_t> per_phase_;
   std::vector<std::size_t> sent_by_;

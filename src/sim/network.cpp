@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/delivery.h"
 #include "util/contracts.h"
 
 namespace dr::sim {
@@ -13,23 +14,13 @@ void Network::submit(ProcId from, ProcId to, PhaseNum phase, Bytes payload,
                      bool sender_correct, std::size_t signatures,
                      Metrics& metrics) {
   DR_EXPECTS(from < n() && to < n());
-  metrics.on_send(from, to, phase, sender_correct, signatures,
-                  payload.size());
-  if (faults_ == nullptr) {
-    if (record_history_) {
-      history_.record(phase, hist::Edge{from, to, payload});
-    }
-    in_flight_[to].push_back(Envelope{from, to, phase, std::move(payload)});
-    return;
-  }
-  for (Bytes& delivered : faults_->apply(from, to, phase,
-                                         std::move(payload))) {
-    if (record_history_) {
-      history_.record(phase, hist::Edge{from, to, delivered});
-    }
-    in_flight_[to].push_back(Envelope{from, to, phase,
-                                      std::move(delivered)});
-  }
+  route_submission(metrics, faults_, /*fault_mu=*/nullptr,
+                   record_history_ ? &history_ : nullptr, from, to, phase,
+                   std::move(payload), sender_correct, signatures,
+                   [&](Bytes delivered) {
+                     in_flight_[to].push_back(
+                         Envelope{from, to, phase, std::move(delivered)});
+                   });
 }
 
 void Network::deliver_next_phase() {

@@ -40,27 +40,45 @@ AgreementCheck check_byzantine_agreement(const RunResult& result,
   return check;
 }
 
-namespace {
-
-std::unique_ptr<crypto::SignatureScheme> make_scheme(const RunConfig& c) {
-  switch (c.scheme) {
+std::unique_ptr<crypto::SignatureScheme> make_signature_scheme(
+    SchemeKind kind, std::size_t n, std::uint64_t seed,
+    std::size_t merkle_height) {
+  switch (kind) {
     case SchemeKind::kMerkle:
-      return std::make_unique<crypto::MerkleScheme>(c.n, c.seed,
-                                                    c.merkle_height);
+      return std::make_unique<crypto::MerkleScheme>(n, seed, merkle_height);
     case SchemeKind::kWots:
-      return std::make_unique<crypto::WotsScheme>(c.n, c.seed,
-                                                  c.merkle_height);
+      return std::make_unique<crypto::WotsScheme>(n, seed, merkle_height);
     case SchemeKind::kHmac:
       break;
   }
-  return std::make_unique<crypto::KeyRegistry>(c.n, c.seed);
+  return std::make_unique<crypto::KeyRegistry>(n, seed);
 }
 
-}  // namespace
+SignerPool::SignerPool(crypto::SignatureScheme* scheme,
+                       const std::vector<bool>& faulty)
+    : own_(faulty.size()), faulty_(faulty) {
+  std::vector<crypto::ProcId> coalition;
+  for (ProcId p = 0; p < faulty.size(); ++p) {
+    if (faulty[p]) {
+      coalition.push_back(p);
+    } else {
+      own_[p] = std::make_unique<crypto::Signer>(scheme, std::vector{p});
+    }
+  }
+  coalition_ =
+      std::make_unique<crypto::Signer>(scheme, std::move(coalition));
+}
+
+const crypto::Signer& SignerPool::signer_for(ProcId p) const {
+  DR_EXPECTS(p < own_.size());
+  if (faulty_[p]) return *coalition_;
+  return *own_[p];
+}
 
 Runner::Runner(const RunConfig& config)
     : config_(config),
-      scheme_(make_scheme(config)),
+      scheme_(make_signature_scheme(config.scheme, config.n, config.seed,
+                                    config.merkle_height)),
       verifier_(scheme_.get()),
       faulty_(config.n, false),
       processes_(config.n) {
@@ -70,7 +88,7 @@ Runner::Runner(const RunConfig& config)
 
 void Runner::mark_faulty(ProcId p) {
   DR_EXPECTS(p < config_.n);
-  DR_EXPECTS(!signers_built_);
+  DR_EXPECTS(!pool_.has_value());
   faulty_[p] = true;
 }
 
@@ -80,27 +98,13 @@ std::size_t Runner::faulty_count() const {
 }
 
 void Runner::build_signers() {
-  if (signers_built_) return;
-  signers_built_ = true;
-  own_signers_.resize(config_.n);
-  std::vector<crypto::ProcId> coalition;
-  for (ProcId p = 0; p < config_.n; ++p) {
-    if (faulty_[p]) {
-      coalition.push_back(p);
-    } else {
-      own_signers_[p] =
-          std::make_unique<crypto::Signer>(scheme_.get(), std::vector{p});
-    }
-  }
-  coalition_signer_ =
-      std::make_unique<crypto::Signer>(scheme_.get(), std::move(coalition));
+  if (!pool_.has_value()) pool_.emplace(scheme_.get(), faulty_);
 }
 
 const crypto::Signer& Runner::signer_for(ProcId p) {
   DR_EXPECTS(p < config_.n);
   build_signers();
-  if (faulty_[p]) return *coalition_signer_;
-  return *own_signers_[p];
+  return pool_->signer_for(p);
 }
 
 void Runner::install(ProcId p, std::unique_ptr<Process> process) {

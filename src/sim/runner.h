@@ -74,6 +74,30 @@ struct AgreementCheck {
 AgreementCheck check_byzantine_agreement(const RunResult& result,
                                          ProcId transmitter, Value sent);
 
+/// Creates the signature scheme backing a run (shared by sim::Runner and
+/// net::NetRunner so both back ends derive identical keys from a seed).
+std::unique_ptr<crypto::SignatureScheme> make_signature_scheme(
+    SchemeKind kind, std::size_t n, std::uint64_t seed,
+    std::size_t merkle_height);
+
+/// The signing capabilities of one run: every correct processor holds its
+/// own key; all faulty processors share one coalition Signer (the paper
+/// allows faulty processors to collude and pool signatures). Extracted
+/// from Runner so the threaded net runner hands out the same capabilities.
+class SignerPool {
+ public:
+  SignerPool(crypto::SignatureScheme* scheme, const std::vector<bool>& faulty);
+
+  /// Signer for processor `p`: its own key, or the coalition signer if
+  /// faulty. Valid for the lifetime of the pool.
+  const crypto::Signer& signer_for(ProcId p) const;
+
+ private:
+  std::vector<std::unique_ptr<crypto::Signer>> own_;
+  std::unique_ptr<crypto::Signer> coalition_;
+  std::vector<bool> faulty_;
+};
+
 class Runner {
  public:
   explicit Runner(const RunConfig& config);
@@ -108,9 +132,7 @@ class Runner {
   crypto::Verifier verifier_;
   std::vector<bool> faulty_;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<std::unique_ptr<crypto::Signer>> own_signers_;
-  std::unique_ptr<crypto::Signer> coalition_signer_;
-  bool signers_built_ = false;
+  std::optional<SignerPool> pool_;
 };
 
 }  // namespace dr::sim

@@ -1,0 +1,173 @@
+// The acceptance harness of the net runtime: every registry protocol
+// (plus the parameterised alg3/alg5 families) must produce identical
+// decisions and identical paper-level accounting on the synchronous
+// simulator, the in-process transport and the TCP-loopback transport —
+// under no faults, scripted Byzantine faults, and transport fault plans —
+// with message counts inside the paper's closed-form budgets.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/harness.h"
+#include "sim/chaos.h"
+#include "test_util.h"
+
+namespace dr::net {
+namespace {
+
+struct Case {
+  std::string name;      // chaos-resolvable protocol name (budgets_for)
+  ba::Protocol protocol;
+  ba::BAConfig config;
+};
+
+std::vector<Case> parity_cases() {
+  std::vector<Case> cases;
+  const auto add = [&cases](const std::string& name,
+                            const ba::BAConfig& config) {
+    const std::optional<ba::Protocol> protocol =
+        chaos::resolve_protocol(name);
+    ASSERT_TRUE(protocol.has_value()) << name;
+    ASSERT_TRUE(protocol->supports(config))
+        << name << " n=" << config.n << " t=" << config.t;
+    cases.push_back(Case{name, *protocol, config});
+  };
+  // (n=7, t=2) for the protocols that admit it...
+  add("dolev-strong", {7, 2, 0, 1});
+  add("dolev-strong-relay", {7, 2, 0, 1});
+  add("eig", {7, 2, 0, 1});
+  add("alg3[s=2]", {7, 2, 0, 1});
+  add("alg3-mv[s=2]", {7, 2, 0, 5});
+  add("alg5[s=2]", {7, 2, 0, 1});
+  add("alg5-mv[s=2]", {7, 2, 0, 3});
+  // ... (n=9, t=4) for the n = 2t+1 family, (n=9, t=2) for phase-king.
+  add("alg1", {9, 4, 0, 1});
+  add("alg1-mv", {9, 4, 0, 6});
+  add("alg2", {9, 4, 0, 1});
+  add("alg2-mv", {9, 4, 0, 6});
+  add("alg5[s=2]", {9, 4, 0, 1});
+  add("phase-king", {9, 2, 0, 1});
+  return cases;
+}
+
+void expect_parity(const Case& c, std::uint64_t seed,
+                   const std::vector<ba::ScenarioFault>& faults = {},
+                   const std::vector<sim::FaultRule>& rules = {}) {
+  const ParityReport report =
+      check_parity(c.protocol, c.config, seed, faults, rules);
+  EXPECT_TRUE(report.ok) << c.name << " n=" << c.config.n
+                         << " t=" << c.config.t;
+  for (const std::string& mismatch : report.mismatches) {
+    ADD_FAILURE() << c.name << ": " << mismatch;
+  }
+
+  // The backends agreed; now hold the shared numbers against the paper.
+  const chaos::Budgets budgets = chaos::budgets_for(c.name, c.config);
+  if (budgets.messages.has_value() && faults.empty() && rules.empty()) {
+    EXPECT_LE(
+        static_cast<double>(report.tcp.run.metrics.messages_by_correct()),
+        *budgets.messages)
+        << c.name << ": message budget exceeded on the wire";
+  }
+  // No endpoint may have been declared omission-faulty in a fault-free
+  // barrier schedule: that would mean the synchronizer lost lock-step.
+  if (faults.empty() && rules.empty()) {
+    EXPECT_TRUE(report.inprocess.sync.omission_faulty.empty()) << c.name;
+    EXPECT_TRUE(report.tcp.sync.omission_faulty.empty()) << c.name;
+    EXPECT_EQ(report.inprocess.sync.frames.rejected(), 0u) << c.name;
+    EXPECT_EQ(report.tcp.sync.frames.rejected(), 0u) << c.name;
+  }
+}
+
+TEST(NetParity, FaultFreeAcrossAllProtocols) {
+  for (const Case& c : parity_cases()) {
+    SCOPED_TRACE(c.name);
+    expect_parity(c, /*seed=*/1);
+  }
+}
+
+TEST(NetParity, WithScriptedByzantineFaults) {
+  for (const Case& c : parity_cases()) {
+    SCOPED_TRACE(c.name);
+    // One silent processor and one seeded random-Byzantine processor —
+    // both deterministic, so all three backends must still agree.
+    std::vector<ba::ScenarioFault> faults;
+    faults.push_back(test::silent(1));
+    if (c.config.t >= 2) faults.push_back(test::chaos(2, 99));
+    expect_parity(c, /*seed=*/3, faults);
+  }
+}
+
+TEST(NetParity, WithTransportFaultPlans) {
+  // Drop, duplicate and corrupt rules flow through the same submission
+  // seam on every backend, so decisions, metrics and the perturbed-set
+  // accounting must stay identical.
+  const std::vector<sim::FaultRule> rules = {
+      {sim::FaultKind::kDrop, 1, 2, 1},
+      {sim::FaultKind::kDuplicate, 3, sim::kAnyProc, 2},
+      {sim::FaultKind::kCorrupt, 0, 4, sim::kAnyPhase},
+  };
+  for (const Case& c : parity_cases()) {
+    SCOPED_TRACE(c.name);
+    expect_parity(c, /*seed=*/5, {}, rules);
+  }
+}
+
+TEST(NetParity, WireAccountingIsPlausible) {
+  // frames_sent and wire_bytes are net-only counters (zero on sim). Every
+  // payload message becomes exactly one frame, plus (phases-1) DONE
+  // control frames per endpoint; wire bytes strictly exceed payload bytes.
+  const Case c{"dolev-strong", *ba::find_protocol("dolev-strong"),
+               {5, 1, 0, 1}};
+  const ParityReport report = check_parity(c.protocol, c.config, 11);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.sim.metrics.frames_sent(), 0u);
+  EXPECT_EQ(report.sim.metrics.wire_bytes_by_correct(), 0u);
+  for (const NetRunResult* net : {&report.inprocess, &report.tcp}) {
+    const sim::Metrics& metrics = net->run.metrics;
+    const PhaseNum phases = c.protocol.steps(c.config);
+    const std::size_t done_frames =
+        c.config.n * (c.config.n - 1) * (phases - 1);
+    EXPECT_EQ(metrics.frames_sent(),
+              metrics.messages_total() + done_frames);
+    EXPECT_GT(metrics.wire_bytes_by_correct(), metrics.bytes_by_correct());
+  }
+}
+
+TEST(NetParity, ChaosSoakOnNetBackend) {
+  // A short soak of random scenarios executed on the real runtime: the
+  // watchdog's invariants must hold exactly as they do on the simulator.
+  chaos::SoakOptions options;
+  options.runs = 40;
+  options.seed = 17;
+  options.backend = chaos::Backend::kNet;
+  const chaos::SoakStats stats = chaos::soak(options);
+  EXPECT_EQ(stats.runs, 40u);
+  EXPECT_TRUE(stats.findings.empty());
+  EXPECT_GT(stats.checked, 0u);
+}
+
+TEST(NetParity, ChaosExecuteMatchesAcrossBackends) {
+  // chaos::execute on both backends: identical decisions and identical
+  // perturbed accounting for a scenario mixing scripted and plan faults.
+  chaos::Scenario scenario;
+  scenario.protocol = "dolev-strong";
+  scenario.config = {6, 2, 0, 1};
+  scenario.seed = 21;
+  scenario.plan_seed = 22;
+  scenario.scripted.push_back(
+      chaos::ScriptedFault{chaos::ScriptedKind::kChaos, 3, 1, 5, 0.4});
+  scenario.rules.push_back({sim::FaultKind::kDrop, 2, 1, 1});
+  const chaos::Outcome sim_outcome =
+      chaos::execute(scenario, chaos::Backend::kSim);
+  const chaos::Outcome net_outcome =
+      chaos::execute(scenario, chaos::Backend::kNet);
+  EXPECT_EQ(sim_outcome.result.decisions, net_outcome.result.decisions);
+  EXPECT_EQ(sim_outcome.perturbed, net_outcome.perturbed);
+  EXPECT_EQ(sim_outcome.result.metrics.messages_by_correct(),
+            net_outcome.result.metrics.messages_by_correct());
+}
+
+}  // namespace
+}  // namespace dr::net

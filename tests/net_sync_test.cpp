@@ -1,0 +1,181 @@
+// PhaseSynchronizer: barrier release order, early-frame buffering, the
+// omission-faulty straggler path, and a slow-but-correct endpoint catching
+// up through the buffers at the full NetRunner level.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "ba/registry.h"
+#include "net/harness.h"
+#include "net/inprocess.h"
+#include "net/runner.h"
+#include "net/synchronizer.h"
+#include "sim/metrics.h"
+
+namespace dr::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+Bytes marker(std::uint8_t value) { return Bytes(4, value); }
+
+void send_payload(Transport& transport, ProcId from, ProcId to,
+                  PhaseNum phase, sim::Metrics& metrics, Bytes payload) {
+  const Bytes frame = encode_frame(
+      Frame{FrameKind::kPayload, from, to, phase, std::move(payload)});
+  metrics.on_frame(true, frame.size());
+  transport.send(from, to, frame);
+}
+
+TEST(NetSync, TwoEndpointsExchangeOnePhase) {
+  InProcessTransport transport(2);
+  std::vector<Envelope> inbox0, inbox1;
+  std::thread peer([&] {
+    sim::Metrics metrics(2);
+    PhaseSynchronizer sync(1, 2, transport, milliseconds(2000));
+    send_payload(transport, 1, 0, 1, metrics, marker(0xB1));
+    inbox1 = sync.advance(1, true, metrics);
+  });
+  sim::Metrics metrics(2);
+  PhaseSynchronizer sync(0, 2, transport, milliseconds(2000));
+  send_payload(transport, 0, 1, 1, metrics, marker(0xA0));
+  inbox0 = sync.advance(1, true, metrics);
+  peer.join();
+
+  ASSERT_EQ(inbox0.size(), 1u);
+  EXPECT_EQ(inbox0[0].from, 1u);
+  EXPECT_EQ(inbox0[0].sent_phase, 1u);
+  EXPECT_EQ(inbox0[0].payload, marker(0xB1));
+  ASSERT_EQ(inbox1.size(), 1u);
+  EXPECT_EQ(inbox1[0].payload, marker(0xA0));
+  EXPECT_EQ(sync.stats().stragglers, 0u);
+  transport.shutdown();
+}
+
+TEST(NetSync, EarlyFramesAreBufferedUntilTheirPhase) {
+  // The peer races ahead: it finishes phase 1 and already sends its
+  // phase-2 traffic before this endpoint reaches the phase-1 barrier. The
+  // early frames must sit in the buffer and come out exactly at phase 2.
+  InProcessTransport transport(2);
+  std::thread peer([&] {
+    sim::Metrics metrics(2);
+    PhaseSynchronizer sync(1, 2, transport, milliseconds(2000));
+    sync.advance(1, true, metrics);  // nothing sent in phase 1
+    send_payload(transport, 1, 0, 2, metrics, marker(0xE2));
+    sync.advance(2, true, metrics);
+  });
+  // Give the peer time to run ahead before this endpoint even starts.
+  std::this_thread::sleep_for(milliseconds(100));
+  sim::Metrics metrics(2);
+  PhaseSynchronizer sync(0, 2, transport, milliseconds(2000));
+  const std::vector<Envelope> phase1 = sync.advance(1, true, metrics);
+  EXPECT_TRUE(phase1.empty());
+  const std::vector<Envelope> phase2 = sync.advance(2, true, metrics);
+  peer.join();
+  ASSERT_EQ(phase2.size(), 1u);
+  EXPECT_EQ(phase2[0].sent_phase, 2u);
+  EXPECT_EQ(phase2[0].payload, marker(0xE2));
+  transport.shutdown();
+}
+
+TEST(NetSync, StragglerIsDeclaredOmissionFaultyOnce) {
+  // Endpoint 2 exists but never speaks. The live endpoints must not hang:
+  // after the timeout they charge it as omission-faulty and stop waiting
+  // for it at every later barrier (no repeated timeout stalls).
+  InProcessTransport transport(3);
+  std::thread peer([&] {
+    sim::Metrics metrics(3);
+    PhaseSynchronizer sync(1, 3, transport, milliseconds(150));
+    sync.advance(1, true, metrics);
+    sync.advance(2, true, metrics);
+  });
+  sim::Metrics metrics(3);
+  PhaseSynchronizer sync(0, 3, transport, milliseconds(150));
+  sync.advance(1, true, metrics);
+  const auto second_barrier_start = std::chrono::steady_clock::now();
+  sync.advance(2, true, metrics);
+  const auto second_barrier = std::chrono::steady_clock::now() -
+                              second_barrier_start;
+  peer.join();
+
+  ASSERT_EQ(sync.stats().omission_faulty.size(), 1u);
+  EXPECT_EQ(sync.stats().omission_faulty[0], 2u);
+  EXPECT_EQ(sync.stats().stragglers, 1u);
+  // The second barrier must not re-serve the timeout for the dead peer.
+  EXPECT_LT(second_barrier, milliseconds(150));
+  transport.shutdown();
+}
+
+TEST(NetSync, LateFramesForReleasedPhasesAreStale) {
+  InProcessTransport transport(2);
+  std::thread peer([&] {
+    // Miss the phase-1 barrier entirely, then send phase-1 traffic late.
+    std::this_thread::sleep_for(milliseconds(250));
+    sim::Metrics metrics(2);
+    send_payload(transport, 1, 0, 1, metrics, marker(0xDD));
+  });
+  sim::Metrics metrics(2);
+  PhaseSynchronizer sync(0, 2, transport, milliseconds(100));
+  const std::vector<Envelope> phase1 = sync.advance(1, true, metrics);
+  EXPECT_TRUE(phase1.empty());
+  EXPECT_EQ(sync.stats().stragglers, 1u);
+  peer.join();
+  // Drain after the late frame definitely arrived: it must be counted
+  // stale, not delivered at a later phase.
+  const std::vector<Envelope> phase2 = sync.advance(2, true, metrics);
+  EXPECT_TRUE(phase2.empty());
+  EXPECT_EQ(sync.stats().stale_frames, 1u);
+  transport.shutdown();
+}
+
+/// Wraps a correct process and sleeps before every phase — a slow but
+/// correct endpoint. With a generous phase timeout the others must wait at
+/// the barrier (not declare it faulty), and everyone still agrees.
+class SlowProcess : public sim::Process {
+ public:
+  SlowProcess(std::unique_ptr<sim::Process> inner, milliseconds delay)
+      : inner_(std::move(inner)), delay_(delay) {}
+  void on_phase(sim::Context& ctx) override {
+    std::this_thread::sleep_for(delay_);
+    inner_->on_phase(ctx);
+  }
+  std::optional<sim::Value> decision() const override {
+    return inner_->decision();
+  }
+
+ private:
+  std::unique_ptr<sim::Process> inner_;
+  milliseconds delay_;
+};
+
+TEST(NetSync, SleepyCorrectEndpointCatchesUp) {
+  const ba::Protocol* protocol = ba::find_protocol("dolev-strong");
+  ASSERT_NE(protocol, nullptr);
+  const ba::BAConfig config{4, 1, 0, 1};
+  ASSERT_TRUE(protocol->supports(config));
+
+  const auto transport = make_transport(Backend::kInProcess, config.n);
+  NetConfig net_config{.n = config.n, .t = config.t, .transmitter = 0,
+                       .value = 1, .seed = 7};
+  NetRunner runner(net_config, *transport);
+  for (ProcId p = 0; p < config.n; ++p) {
+    auto process = protocol->make(p, config);
+    if (p == 2) {
+      process = std::make_unique<SlowProcess>(std::move(process),
+                                              milliseconds(40));
+    }
+    runner.install(p, std::move(process));
+  }
+  const NetRunResult result = runner.run(protocol->steps(config));
+  EXPECT_TRUE(result.sync.omission_faulty.empty());
+  const sim::AgreementCheck check =
+      sim::check_byzantine_agreement(result.run, 0, 1);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_TRUE(check.validity);
+  ASSERT_TRUE(check.agreed_value.has_value());
+  EXPECT_EQ(*check.agreed_value, 1u);
+}
+
+}  // namespace
+}  // namespace dr::net
