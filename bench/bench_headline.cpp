@@ -3,11 +3,16 @@
 // fixed t. Expected shape: dolev-strong (broadcast) ~ n^2, dolev-strong
 // relay ~ nt, alg3 ~ n + t^3, alg5 ~ n + t^2; EIG (unauthenticated) is only
 // runnable at toy sizes.
+#include <chrono>
+
 #include "bench_util.h"
 #include "bounds/formulas.h"
 
 namespace dr::bench {
 namespace {
+
+std::string g_json_path;
+JsonReport g_report;
 
 std::vector<ScenarioFault> silent_high(std::size_t n, std::size_t t) {
   std::vector<ScenarioFault> faults;
@@ -36,6 +41,8 @@ void print_tables() {
                              config);
     // The broadcast variant moves ~n^2 envelopes; cap it to keep the run
     // cheap and extrapolate with its closed form beyond that.
+    g_report.set_count("messages_alg5_n" + std::to_string(n), a5.messages);
+    g_report.set_count("messages_alg3_n" + std::to_string(n), a3.messages);
     if (n <= 800) {
       const auto bro = measure(*ba::find_protocol("dolev-strong"), config);
       std::printf("%6zu | %10zu %10zu %12zu %12zu\n", n, a5.messages,
@@ -127,6 +134,55 @@ void print_tables() {
     std::printf("%6zu %4zu | %10zu %12.0f\n", n, tt, m.messages,
                 bounds::theorem1_signature_lower_bound(n, tt));
   }
+
+  print_header("Parallel simulator hot path (bit-identical to serial)",
+               "phase stepping scales with worker threads; the speedup is "
+               "machine-dependent (meta.cores records the host), the "
+               "results are not (tests/parallel_test)");
+  {
+    const auto time_threads = [](const Protocol& protocol,
+                                 const BAConfig& config,
+                                 std::size_t threads) {
+      ba::ScenarioOptions options;
+      options.threads = threads;
+      double best = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto begin = std::chrono::steady_clock::now();
+        const auto result = ba::run_scenario(protocol, config, options);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - begin)
+                              .count();
+        benchmark::DoNotOptimize(result.metrics.messages_by_correct());
+        if (rep == 0 || ms < best) best = ms;
+      }
+      return best;
+    };
+    std::printf("%-22s %6s | %9s %9s | %8s\n", "protocol", "n", "1 thread",
+                "4", "speedup");
+    struct Job {
+      std::string label;
+      std::string key;
+      Protocol protocol;
+      std::size_t n;
+    };
+    const std::vector<Job> jobs = {
+        {"alg5[s=7]", "alg5_n800", ba::make_alg5_protocol(7), 800},
+        {"alg3[s=32]", "alg3_n2000", ba::make_alg3_protocol(32), 2000},
+    };
+    for (const Job& job : jobs) {
+      const BAConfig config{job.n, t, 0, 1};
+      const double t1 = time_threads(job.protocol, config, 1);
+      const double t4 = time_threads(job.protocol, config, 4);
+      std::printf("%-22s %6zu | %8.1f %8.1f | %7.2fx\n", job.label.c_str(),
+                  job.n, t1, t4, t1 / t4);
+      g_report.set("serial_ms_" + job.key, t1);
+      g_report.set("threads4_ms_" + job.key, t4);
+      g_report.set("parallel_speedup_" + job.key, t1 / t4);
+    }
+  }
+
+  g_report.set_count("headline_t", t);
+  if (!g_json_path.empty()) g_report.write(g_json_path);
 }
 
 void register_timings() {
@@ -147,6 +203,7 @@ void register_timings() {
 }  // namespace dr::bench
 
 int main(int argc, char** argv) {
+  dr::bench::g_json_path = dr::bench::take_json_flag(argc, argv);
   dr::bench::print_tables();
   dr::bench::register_timings();
   ::benchmark::Initialize(&argc, argv);

@@ -4,41 +4,11 @@
 // sockets). Decisions and message counts are identical by the parity
 // theorem (tests/net_parity_test); this table shows what that identical
 // outcome costs per backend.
-#include <chrono>
-
 #include "bench_util.h"
 #include "net/harness.h"
 
 namespace dr::bench {
 namespace {
-
-struct Timed {
-  double millis = 0;
-  std::size_t messages = 0;
-  std::size_t frames = 0;
-  std::size_t wire_bytes = 0;
-};
-
-Timed time_sim(const Protocol& protocol, const BAConfig& config) {
-  const auto begin = std::chrono::steady_clock::now();
-  const auto result = ba::run_scenario(protocol, config, /*seed=*/1);
-  const auto end = std::chrono::steady_clock::now();
-  benchmark::DoNotOptimize(result.decisions);
-  return Timed{std::chrono::duration<double, std::milli>(end - begin).count(),
-               result.metrics.messages_by_correct(), 0, 0};
-}
-
-Timed time_net(const Protocol& protocol, const BAConfig& config,
-               net::Backend backend) {
-  const auto begin = std::chrono::steady_clock::now();
-  const auto result = net::run_scenario(protocol, config, backend);
-  const auto end = std::chrono::steady_clock::now();
-  benchmark::DoNotOptimize(result.run.decisions);
-  return Timed{std::chrono::duration<double, std::milli>(end - begin).count(),
-               result.run.metrics.messages_by_correct(),
-               result.run.metrics.frames_sent(),
-               result.run.metrics.wire_bytes_by_correct()};
-}
 
 void print_tables() {
   print_header(
@@ -60,16 +30,24 @@ void print_tables() {
   rows.push_back({"alg2", *ba::find_protocol("alg2"), {9, 4, 0, 1}});
   rows.push_back({"alg3[s=2]", ba::make_alg3_protocol(2), {12, 3, 0, 1}});
   rows.push_back({"alg5[s=3]", ba::make_alg5_protocol(3), {21, 2, 0, 1}});
+  // All three backends run the same (seed, faults) scenario through the
+  // shared measure() plumbing, so the rows are comparable run-for-run; the
+  // sim column's message count must equal the net columns' by parity.
   for (const Row& row : rows) {
-    const Timed sim = time_sim(row.protocol, row.config);
-    const Timed chan =
-        time_net(row.protocol, row.config, net::Backend::kInProcess);
-    const Timed tcp =
-        time_net(row.protocol, row.config, net::Backend::kTcpLoopback);
+    const Measurement sim =
+        measure(row.protocol, row.config, {}, 1, BenchBackend::kSim);
+    const Measurement chan =
+        measure(row.protocol, row.config, {}, 1, BenchBackend::kInProcess);
+    const Measurement tcp =
+        measure(row.protocol, row.config, {}, 1, BenchBackend::kTcp);
     std::printf("%-18s %4zu %3zu | %8.2f %8.2f %8.2f | %8zu %8zu %10zu\n",
                 row.label.c_str(), row.config.n, row.config.t, sim.millis,
                 chan.millis, tcp.millis, tcp.messages, tcp.frames,
                 tcp.wire_bytes);
+    if (sim.messages != tcp.messages || sim.messages != chan.messages) {
+      std::printf("  PARITY-FAIL: sim=%zu chan=%zu tcp=%zu\n", sim.messages,
+                  chan.messages, tcp.messages);
+    }
   }
 }
 

@@ -3,16 +3,25 @@
 // deterministic measurement table (message/signature/phase counts vs. the
 // paper's bound) and then runs google-benchmark timings for the same
 // configurations.
+//
+// Binaries that support machine-readable output accept `--json <path>`
+// (stripped before google-benchmark sees the argv) and write the summary
+// numbers via JsonReport; scripts/bench_compare.py consumes those files.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "adversary/strategies.h"
 #include "ba/registry.h"
+#include "net/harness.h"
 
 namespace dr::bench {
 
@@ -28,25 +37,70 @@ inline ScenarioFault silent(ProcId id) {
                        }};
 }
 
+/// Which runtime executes the scenario. All three take the same (protocol,
+/// config, seed, faults) tuple and, by the parity theorem, produce the same
+/// decisions and paper-level counts; only the wall clock differs.
+enum class BenchBackend { kSim, kInProcess, kTcp };
+
+inline const char* to_string(BenchBackend backend) {
+  switch (backend) {
+    case BenchBackend::kSim:
+      return "sim";
+    case BenchBackend::kInProcess:
+      return "inprocess";
+    case BenchBackend::kTcp:
+      break;
+  }
+  return "tcp";
+}
+
 struct Measurement {
   std::size_t messages = 0;
   std::size_t signatures = 0;
   std::size_t phases = 0;
   bool agreement = false;
   bool validity = false;
+  /// Wire-level counts; zero under the in-memory simulator.
+  std::size_t frames = 0;
+  std::size_t wire_bytes = 0;
+  /// Wall clock of the single run backing this measurement.
+  double millis = 0;
 };
 
+/// One scenario run on the chosen backend. The seed and the fault list are
+/// forwarded to every backend identically — a net measurement at a given
+/// (seed, faults) is comparable to the sim measurement at the same pair,
+/// never to a silently different run.
 inline Measurement measure(const Protocol& protocol, const BAConfig& config,
                            const std::vector<ScenarioFault>& faults = {},
-                           std::uint64_t seed = 1) {
-  const auto result = ba::run_scenario(protocol, config, seed, faults);
+                           std::uint64_t seed = 1,
+                           BenchBackend backend = BenchBackend::kSim) {
+  const auto begin = std::chrono::steady_clock::now();
+  sim::RunResult result;
+  if (backend == BenchBackend::kSim) {
+    result = ba::run_scenario(protocol, config, seed, faults);
+  } else {
+    net::NetScenarioOptions options;
+    options.seed = seed;
+    const net::Backend net_backend = backend == BenchBackend::kInProcess
+                                         ? net::Backend::kInProcess
+                                         : net::Backend::kTcpLoopback;
+    result = net::run_scenario(protocol, config, net_backend, options, faults)
+                 .run;
+  }
+  const auto end = std::chrono::steady_clock::now();
   const auto check =
       sim::check_byzantine_agreement(result, config.transmitter,
                                      config.value);
-  return Measurement{result.metrics.messages_by_correct(),
-                     result.metrics.signatures_by_correct(),
-                     result.metrics.last_active_phase(), check.agreement,
-                     check.validity};
+  Measurement m{result.metrics.messages_by_correct(),
+                result.metrics.signatures_by_correct(),
+                result.metrics.last_active_phase(), check.agreement,
+                check.validity};
+  m.frames = result.metrics.frames_sent();
+  m.wire_bytes = result.metrics.wire_bytes_by_correct();
+  m.millis =
+      std::chrono::duration<double, std::milli>(end - begin).count();
+  return m;
 }
 
 /// Registers a wall-clock benchmark closure under `name`.
@@ -64,6 +118,91 @@ inline void print_header(const char* title, const char* claim) {
   std::printf("%s\n", title);
   std::printf("paper claim: %s\n", claim);
   std::printf("================================================================\n");
+}
+
+/// Flat JSON summary: {"meta": {...}, "metrics": {...}}. Meta records the
+/// machine context (cores) so consumers can gate machine-dependent numbers;
+/// metric keys follow the `<what>_ns` / `<what>_speedup` convention that
+/// scripts/bench_compare.py keys on. Insertion order is preserved.
+class JsonReport {
+ public:
+  JsonReport() {
+    set_meta("cores",
+             std::to_string(std::thread::hardware_concurrency()));
+  }
+
+  void set_meta(const std::string& key, const std::string& value) {
+    upsert(meta_, key, quote(value));
+  }
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    upsert(metrics_, key, buf);
+  }
+  void set_count(const std::string& key, std::size_t value) {
+    upsert(metrics_, key, std::to_string(value));
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"meta\": {");
+    write_section(f, meta_, "    ");
+    std::fprintf(f, "\n  },\n  \"metrics\": {");
+    write_section(f, metrics_, "    ");
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string quote(const std::string& value) {
+    std::string out = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+  static void upsert(Entries& entries, const std::string& key,
+                     const std::string& rendered) {
+    for (auto& [k, v] : entries) {
+      if (k == key) {
+        v = rendered;
+        return;
+      }
+    }
+    entries.emplace_back(key, rendered);
+  }
+  static void write_section(std::FILE* f, const Entries& entries,
+                            const char* indent) {
+    bool first = true;
+    for (const auto& [key, rendered] : entries) {
+      std::fprintf(f, "%s\n%s\"%s\": %s", first ? "" : ",", indent,
+                   key.c_str(), rendered.c_str());
+      first = false;
+    }
+  }
+
+  Entries meta_;
+  Entries metrics_;
+};
+
+/// Strips `--json <path>` from argv (so google-benchmark's own flag parsing
+/// never sees it) and returns the path, or "" when absent.
+inline std::string take_json_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      const std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path;
+    }
+  }
+  return "";
 }
 
 /// Standard main: print the tables (fn), then run timings.

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions between two bench JSON reports.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.20]
+                        [--strict]
+
+The bench binaries (bench_crypto, bench_headline) write reports of the form
+{"meta": {...}, "metrics": {...}}. Two kinds of metric keys exist by
+convention:
+
+  *_speedup*  — machine-independent ratios (e.g. legacy-vs-incremental
+                chain verification, serial-vs-parallel wall clock). Gated
+                by default: a ratio shrinking by more than --threshold
+                fails the run.
+  *_ns / *_ms — raw timings. Machine-dependent, so they are only gated
+                under --strict (for use on dedicated, quiet hardware).
+
+Parallel speedup keys (name contains "parallel") are only meaningful on
+multi-core machines; they are skipped unless both reports ran on >= 4
+cores (meta.cores).
+
+Exit status: 0 when no gated metric regressed, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    return report.get("meta", {}), report.get("metrics", {})
+
+
+def cores(meta):
+    try:
+        return int(meta.get("cores", 0))
+    except (TypeError, ValueError):
+        return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed relative regression (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also gate raw *_ns/*_ms timings, not just speedup ratios",
+    )
+    args = parser.parse_args()
+
+    base_meta, base = load(args.baseline)
+    cur_meta, cur = load(args.current)
+
+    regressions = []
+    skipped = []
+    for key, base_value in base.items():
+        if key not in cur:
+            skipped.append((key, "missing from current report"))
+            continue
+        cur_value = cur[key]
+        is_speedup = "_speedup" in key
+        is_timing = key.endswith("_ns") or key.endswith("_ms")
+        if not is_speedup and not (args.strict and is_timing):
+            continue
+        if is_speedup and "parallel" in key:
+            if cores(base_meta) < 4 or cores(cur_meta) < 4:
+                skipped.append((key, "needs >= 4 cores on both machines"))
+                continue
+        if is_speedup:
+            # Bigger is better; fail when the ratio shrank too far.
+            floor = base_value * (1.0 - args.threshold)
+            ok = cur_value >= floor
+            direction = f">= {floor:.3g}"
+        else:
+            # Smaller is better.
+            ceiling = base_value * (1.0 + args.threshold)
+            ok = cur_value <= ceiling
+            direction = f"<= {ceiling:.3g}"
+        status = "ok" if ok else "REGRESSION"
+        print(f"{status:10s} {key}: base {base_value:.4g} -> "
+              f"cur {cur_value:.4g} (want {direction})")
+        if not ok:
+            regressions.append(key)
+
+    for key, why in skipped:
+        print(f"{'skipped':10s} {key}: {why}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s): "
+              + ", ".join(regressions), file=sys.stderr)
+        return 1
+    print("\nno gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,14 @@ ctest --test-dir "$BUILD" -L net -j"$(nproc)" --output-on-failure
 # actual TCP sockets with the paper's budgets checked on the wire.
 "$BUILD"/examples/chaos soak --runs 2000 --seed 1 --backend net
 "$BUILD"/examples/netdemo --backend tcp
+# Benchmarks. bench_crypto and bench_headline also regenerate the JSON
+# summaries committed at the repo root; scripts/bench_compare.py gates the
+# machine-independent speedup ratios in them against a baseline.
+"$BUILD"/bench/bench_crypto --json BENCH_crypto.json
+"$BUILD"/bench/bench_headline --json BENCH_headline.json
 for b in "$BUILD"/bench/*; do
+  case "$b" in
+    */bench_crypto|*/bench_headline) continue ;;
+  esac
   [ -x "$b" ] && "$b"
 done

@@ -13,14 +13,17 @@ Side side_of(ProcId p, std::size_t t) {
 
 bool is_correct_one_message(const SignedValue& sv, PhaseNum sent_phase,
                             ProcId receiver, std::size_t t,
-                            const crypto::Verifier& verifier) {
+                            const crypto::Verifier& verifier,
+                            crypto::VerifyCache* cache) {
   return sv.value == 1 &&
-         is_correct_value_message(sv, sent_phase, receiver, t, verifier);
+         is_correct_value_message(sv, sent_phase, receiver, t, verifier,
+                                  cache);
 }
 
 bool is_correct_value_message(const SignedValue& sv, PhaseNum sent_phase,
                               ProcId receiver, std::size_t t,
-                              const crypto::Verifier& verifier) {
+                              const crypto::Verifier& verifier,
+                              crypto::VerifyCache* cache) {
   if (sv.value == kDefaultValue) return false;
   if (sv.chain.size() != sent_phase) return false;
   if (sv.chain.empty() || sv.chain.front().signer != 0) return false;
@@ -49,7 +52,7 @@ bool is_correct_value_message(const SignedValue& sv, PhaseNum sent_phase,
   if (mine == Side::kTransmitter) return false;
   if (prev != Side::kTransmitter && mine == prev) return false;
 
-  return verify_chain(sv, verifier);
+  return verify_chain(sv, verifier, cache);
 }
 
 Algorithm1::Algorithm1(ProcId self, const BAConfig& config)
@@ -79,8 +82,8 @@ void Algorithm1::on_phase(sim::Context& ctx) {
     if (env.sent_phase > t + 2) continue;
     const auto sv = decode_signed_value(env.payload);
     if (!sv ||
-        !is_correct_one_message(*sv, env.sent_phase, self_, t,
-                                ctx.verifier())) {
+        !is_correct_one_message(*sv, env.sent_phase, self_, t, ctx.verifier(),
+                                ctx.chain_cache())) {
       continue;
     }
     committed_one_ = true;
@@ -131,7 +134,7 @@ void Algorithm1MV::on_phase(sim::Context& ctx) {
     const auto sv = decode_signed_value(env.payload);
     if (!sv ||
         !is_correct_value_message(*sv, env.sent_phase, self_, t,
-                                  ctx.verifier())) {
+                                  ctx.verifier(), ctx.chain_cache())) {
       continue;
     }
     if (committed_.contains(sv->value)) continue;

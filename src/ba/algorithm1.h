@@ -31,15 +31,18 @@ Side side_of(ProcId p, std::size_t t);
 /// two values, one has to modify the algorithms slightly"). `sent_phase` is
 /// the phase the message was sent in (stamped by the network); the
 /// signature path must have exactly that length and must extend to
-/// `receiver` as a simple path in G.
+/// `receiver` as a simple path in G. `cache` optionally memoizes verified
+/// chain prefixes (see crypto/verify_cache.h).
 bool is_correct_value_message(const SignedValue& sv, PhaseNum sent_phase,
                               ProcId receiver, std::size_t t,
-                              const crypto::Verifier& verifier);
+                              const crypto::Verifier& verifier,
+                              crypto::VerifyCache* cache = nullptr);
 
 /// The paper's original binary predicate: a correct v-message with v = 1.
 bool is_correct_one_message(const SignedValue& sv, PhaseNum sent_phase,
                             ProcId receiver, std::size_t t,
-                            const crypto::Verifier& verifier);
+                            const crypto::Verifier& verifier,
+                            crypto::VerifyCache* cache = nullptr);
 
 class Algorithm1 final : public sim::Process {
  public:

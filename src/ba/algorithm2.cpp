@@ -1,13 +1,15 @@
 #include "ba/algorithm2.h"
 
+#include <utility>
+
 #include "ba/valid_message.h"
 #include "util/contracts.h"
 
 namespace dr::ba {
 
 bool is_increasing_message(const SignedValue& sv, ProcId self,
-                           Value committed,
-                           const crypto::Verifier& verifier) {
+                           Value committed, const crypto::Verifier& verifier,
+                           crypto::VerifyCache* cache) {
   if (sv.value != committed) return false;
   std::optional<ProcId> prev;
   for (const auto& sig : sv.chain) {
@@ -15,7 +17,7 @@ bool is_increasing_message(const SignedValue& sv, ProcId self,
     if (prev.has_value() && sig.signer <= *prev) return false;  // increasing
     prev = sig.signer;
   }
-  return verify_chain(sv, verifier);
+  return verify_chain(sv, verifier, cache);
 }
 
 Algorithm2::Algorithm2(ProcId self, const BAConfig& config,
@@ -35,10 +37,11 @@ Value Algorithm2::committed() const {
 }
 
 void Algorithm2::consider_proof(const SignedValue& sv,
-                                const crypto::Verifier& verifier) {
+                                const crypto::Verifier& verifier,
+                                crypto::VerifyCache* cache) {
   if (proof_.has_value()) return;
-  if (sv.value == committed() && is_possession_proof(sv, verifier, self_,
-                                                     config_.t)) {
+  if (sv.value == committed() &&
+      is_possession_proof(sv, verifier, self_, config_.t, cache)) {
     proof_ = sv;
   }
 }
@@ -58,8 +61,9 @@ void Algorithm2::on_phase(sim::Context& ctx) {
     if (env.sent_phase <= t + 2) continue;  // an Algorithm-1 leftover
     const auto sv = decode_signed_value(env.payload);
     if (!sv) continue;
-    consider_proof(*sv, ctx.verifier());
-    if (is_increasing_message(*sv, self_, committed(), ctx.verifier())) {
+    consider_proof(*sv, ctx.verifier(), ctx.chain_cache());
+    if (is_increasing_message(*sv, self_, committed(), ctx.verifier(),
+                              ctx.chain_cache())) {
       if (!best_increasing_ ||
           sv->chain.size() > best_increasing_->chain.size()) {
         best_increasing_ = *sv;
@@ -75,8 +79,8 @@ void Algorithm2::on_phase(sim::Context& ctx) {
 
   SignedValue m = best_increasing_.value_or(SignedValue{committed(), {}});
   const bool wide = m.chain.size() >= t;  // before appending our signature
-  const SignedValue signed_m = extend(m, ctx.signer(), self_);
-  consider_proof(signed_m, ctx.verifier());
+  const SignedValue signed_m = extend(std::move(m), ctx.signer(), self_);
+  consider_proof(signed_m, ctx.verifier(), ctx.chain_cache());
 
   if (wide) {
     for (ProcId q = 0; q < config_.n; ++q) {

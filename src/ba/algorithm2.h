@@ -27,7 +27,8 @@ namespace dr::ba {
 /// committed to `committed`? (Signers strictly below self's label, strictly
 /// increasing, value matches, chain verifies.)
 bool is_increasing_message(const SignedValue& sv, ProcId self,
-                           Value committed, const crypto::Verifier& verifier);
+                           Value committed, const crypto::Verifier& verifier,
+                           crypto::VerifyCache* cache = nullptr);
 
 class Algorithm2 final : public sim::Process {
  public:
@@ -58,8 +59,8 @@ class Algorithm2 final : public sim::Process {
 
  private:
   Value committed() const;
-  void consider_proof(const SignedValue& sv,
-                      const crypto::Verifier& verifier);
+  void consider_proof(const SignedValue& sv, const crypto::Verifier& verifier,
+                      crypto::VerifyCache* cache);
 
   ProcId self_;
   BAConfig config_;

@@ -25,7 +25,8 @@ Algorithm3::Algorithm3(ProcId self, const BAConfig& config, std::size_t s,
 }
 
 bool Algorithm3::well_formed_report(const SignedValue& sv, std::size_t set,
-                                    const crypto::Verifier& verifier) const {
+                                    const crypto::Verifier& verifier,
+                                    crypto::VerifyCache* cache) const {
   if (sv.chain.empty()) return false;
   if (!layout_.is_active(sv.chain.front().signer)) return false;
   ProcId prev = 0;
@@ -37,7 +38,7 @@ bool Algorithm3::well_formed_report(const SignedValue& sv, std::size_t set,
     if (i > 1 && signer <= prev) return false;           // increasing, distinct
     prev = signer;
   }
-  return verify_chain(sv, verifier);
+  return verify_chain(sv, verifier, cache);
 }
 
 void Algorithm3::active_phase(sim::Context& ctx) {
@@ -67,8 +68,8 @@ void Algorithm3::active_phase(sim::Context& ctx) {
       if (layout_.index_in_set(env.from) != 1) continue;  // roots only
       const std::size_t set = layout_.set_of(env.from);
       const auto sv = decode_signed_value(env.payload);
-      if (!sv || sv->value != v || !well_formed_report(*sv, set,
-                                                       ctx.verifier())) {
+      if (!sv || sv->value != v ||
+          !well_formed_report(*sv, set, ctx.verifier(), ctx.chain_cache())) {
         continue;
       }
       for (const auto& sig : sv->chain) {
@@ -103,7 +104,7 @@ void Algorithm3::root_phase(sim::Context& ctx) {
       const auto sv = decode_signed_value(env.payload);
       if (!sv || sv->chain.size() != 1 || sv->chain.front().signer != env.from)
         continue;
-      if (!verify_chain(*sv, ctx.verifier())) continue;
+      if (!verify_chain(*sv, ctx.verifier(), ctx.chain_cache())) continue;
       support[sv->value].insert(env.from);
       sample.try_emplace(sv->value, *sv);
     }
@@ -131,7 +132,7 @@ void Algorithm3::root_phase(sim::Context& ctx) {
       if (!std::equal(m_->chain.begin(), m_->chain.end(), sv->chain.begin()))
         continue;
       if (sv->chain.back().signer != env.from) continue;
-      if (!verify_chain(*sv, ctx.verifier())) continue;
+      if (!verify_chain(*sv, ctx.verifier(), ctx.chain_cache())) continue;
       m_ = *sv;
     }
   }
@@ -169,7 +170,10 @@ void Algorithm3::member_phase(sim::Context& ctx) {
     for (const sim::Envelope& env : ctx.inbox()) {
       if (env.from != root || env.sent_phase + 1 != phase) continue;
       const auto sv = decode_signed_value(env.payload);
-      if (!sv || !well_formed_report(*sv, set, ctx.verifier())) continue;
+      if (!sv ||
+          !well_formed_report(*sv, set, ctx.verifier(), ctx.chain_cache())) {
+        continue;
+      }
       // Only signatures of earlier members may be present.
       bool ok = true;
       for (std::size_t i = 1; i < sv->chain.size(); ++i) {
@@ -196,7 +200,7 @@ void Algorithm3::member_phase(sim::Context& ctx) {
       const auto sv = decode_signed_value(env.payload);
       if (!sv || sv->chain.size() != 1 || sv->chain.front().signer != env.from)
         continue;
-      if (!verify_chain(*sv, ctx.verifier())) continue;
+      if (!verify_chain(*sv, ctx.verifier(), ctx.chain_cache())) continue;
       support[sv->value].insert(env.from);
     }
     for (const auto& [value, senders] : support) {

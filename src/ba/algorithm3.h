@@ -101,7 +101,8 @@ class Algorithm3 final : public sim::Process {
   /// countersigning: one active signature first, then member signatures of
   /// the given set (distinct, in-set), cryptographically valid.
   bool well_formed_report(const SignedValue& sv, std::size_t set,
-                          const crypto::Verifier& verifier) const;
+                          const crypto::Verifier& verifier,
+                          crypto::VerifyCache* cache) const;
 
   ProcId self_;
   BAConfig config_;

@@ -86,7 +86,7 @@ void Algorithm5Active::adopt_valid_messages(sim::Context& ctx) {
     const auto msg = decode_alg5(env.payload);
     if (!msg) continue;
     if (is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
-                         config_.t)) {
+                         config_.t, ctx.chain_cache())) {
       valid_ = msg->first;
       return;
     }
@@ -99,7 +99,7 @@ void Algorithm5Active::mark_informed(sim::Context& ctx) {
     const auto msg = decode_alg5(env.payload);
     if (!msg) continue;
     if (!is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
-                          config_.t)) {
+                          config_.t, ctx.chain_cache())) {
       continue;
     }
     // The sender demonstrably holds a valid message, and every passive
@@ -237,7 +237,7 @@ void Algorithm5Passive::scan_for_decision(sim::Context& ctx) {
     const auto msg = decode_alg5(env.payload);
     if (!msg) continue;
     if (is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
-                         config_.t)) {
+                         config_.t, ctx.chain_cache())) {
       decided_ = msg->first;
       return;
     }
@@ -257,7 +257,7 @@ void Algorithm5Passive::root_role(sim::Context& ctx) {
       const auto msg = decode_alg5(env.payload);
       if (!msg) continue;
       if (!is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
-                            config_.t)) {
+                            config_.t, ctx.chain_cache())) {
         continue;
       }
       if (node_ != 1 && options_.require_proof_of_work) {
@@ -311,7 +311,7 @@ void Algorithm5Passive::root_role(sim::Context& ctx) {
         continue;
       }
       if (echo.chain.back().signer != expected) continue;
-      if (!verify_chain(echo, ctx.verifier())) continue;
+      if (!verify_chain(echo, ctx.verifier(), ctx.chain_cache())) continue;
       m_ = echo;
       break;
     }
@@ -350,7 +350,7 @@ void Algorithm5Passive::member_role(sim::Context& ctx) {
       const auto msg = decode_alg5(env.payload);
       if (!msg) continue;
       if (!is_valid_message(msg->first, ctx.verifier(), forest_.alpha,
-                            config_.t)) {
+                            config_.t, ctx.chain_cache())) {
         continue;
       }
       if (std::find(valid.begin(), valid.end(), msg->first) == valid.end()) {
@@ -413,7 +413,8 @@ void Algorithm2Ext::on_phase(sim::Context& ctx) {
   for (const sim::Envelope& env : ctx.inbox()) {
     const auto msg = decode_alg5(env.payload);
     if (!msg) continue;
-    if (is_valid_message(msg->first, ctx.verifier(), 2 * t + 1, t)) {
+    if (is_valid_message(msg->first, ctx.verifier(), 2 * t + 1, t,
+                         ctx.chain_cache())) {
       adopted_ = msg->first;
       return;
     }

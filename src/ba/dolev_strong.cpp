@@ -19,7 +19,7 @@ bool chain_ok(const SignedValue& sv, const sim::Envelope& env,
   if (sv.chain.front().signer != transmitter) return false;
   if (contains_signer(sv, ctx.self())) return false;
   if (!distinct_signers(sv)) return false;
-  return verify_chain(sv, ctx.verifier());
+  return verify_chain(sv, ctx.verifier(), ctx.chain_cache());
 }
 
 }  // namespace

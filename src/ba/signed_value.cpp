@@ -1,27 +1,56 @@
 #include "ba/signed_value.h"
 
 #include <algorithm>
+#include <string_view>
 
 namespace dr::ba {
 
 namespace {
 
-/// Bytes covered by the signature at position `upto` (exclusive): the value
-/// plus all earlier signatures. Must match encode()'s layout so that
-/// receivers can recompute it from a decoded message.
-Bytes chain_prefix(const SignedValue& sv, std::size_t upto) {
-  Writer w;
-  w.u64(sv.value);
-  w.seq(upto);
-  for (std::size_t i = 0; i < upto; ++i) {
-    crypto::encode(w, sv.chain[i]);
+/// Domain tag absorbed ahead of the value so chain digests can never
+/// collide with any other digest computed in this codebase.
+constexpr std::string_view kChainDomain = "dr82.chain.v1";
+
+/// Streams the codec's varint encoding straight into the hash. The absorb
+/// helpers run once per signature on the verify hot path, so they must not
+/// heap-allocate a Writer per call; the bytes are identical to what
+/// Writer/crypto::encode would produce.
+void absorb_varint(crypto::Sha256& h, std::uint64_t v) {
+  std::uint8_t buf[10];
+  std::size_t len = 0;
+  while (v >= 0x80) {
+    buf[len++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
   }
-  return std::move(w).take();
+  buf[len++] = static_cast<std::uint8_t>(v);
+  h.update(ByteView{buf, len});
+}
+
+void absorb_head(crypto::Sha256& h, Value value) {
+  absorb_varint(h, kChainDomain.size());
+  h.update(as_bytes(kChainDomain));
+  absorb_varint(h, value);
+}
+
+void absorb_signature(crypto::Sha256& h, const crypto::Signature& sig) {
+  absorb_varint(h, sig.signer);
+  absorb_varint(h, sig.sig.size());
+  h.update(sig.sig);
+}
+
+ByteView digest_view(const crypto::Digest& d) {
+  return ByteView{d.data(), d.size()};
 }
 
 }  // namespace
 
-Bytes encode(const SignedValue& sv) { return chain_prefix(sv, sv.chain.size()); }
+Bytes encode(const SignedValue& sv) {
+  Writer w;
+  w.u64(sv.value);
+  w.seq(sv.chain.size());
+  for (const auto& sig : sv.chain) crypto::encode(w, sig);
+  return std::move(w).take();
+}
 
 std::optional<SignedValue> decode_signed_value(ByteView data) {
   Reader r(data);
@@ -38,26 +67,61 @@ std::optional<SignedValue> decode_signed_value(ByteView data) {
   return sv;
 }
 
+crypto::Digest chain_prefix_digest(const SignedValue& sv, std::size_t upto) {
+  crypto::Sha256 h;
+  absorb_head(h, sv.value);
+  for (std::size_t i = 0; i < upto; ++i) absorb_signature(h, sv.chain[i]);
+  return h.finish();
+}
+
 SignedValue make_signed(Value value, const crypto::Signer& signer,
                         ProcId as) {
-  SignedValue sv{value, {}};
-  return extend(sv, signer, as);
+  return extend(SignedValue{value, {}}, signer, as);
 }
 
-SignedValue extend(const SignedValue& sv, const crypto::Signer& signer,
-                   ProcId as) {
-  SignedValue out = sv;
-  const Bytes covered = chain_prefix(out, out.chain.size());
-  out.chain.push_back(signer.sign(as, covered));
-  return out;
+SignedValue extend(SignedValue sv, const crypto::Signer& signer, ProcId as) {
+  const crypto::Digest covered = chain_prefix_digest(sv, sv.chain.size());
+  sv.chain.reserve(sv.chain.size() + 1);
+  sv.chain.push_back(signer.sign(as, digest_view(covered)));
+  return sv;
 }
 
-bool verify_chain(const SignedValue& sv, const crypto::Verifier& verifier) {
+bool verify_chain(const SignedValue& sv, const crypto::Verifier& verifier,
+                  crypto::VerifyCache* cache) {
+  if (sv.chain.empty()) return true;
+  crypto::Sha256 h;
+  absorb_head(h, sv.value);
+  if (cache == nullptr) {
+    for (const auto& sig : sv.chain) {
+      if (!verifier.verify(sig.signer, digest_view(h.peek()), sig)) {
+        return false;
+      }
+      absorb_signature(h, sig);
+    }
+    return true;
+  }
+  // Cached walk: `covered` is the digest of the prefix before chain[i];
+  // hits advance it straight from the cache without any hashing. `h` lags
+  // behind at `streamed` absorbed signatures and only catches up on a
+  // miss, so each signature is absorbed at most once and adversarial miss
+  // patterns keep the whole call O(L).
+  crypto::Digest covered = h.peek();
+  std::size_t streamed = 0;
   for (std::size_t i = 0; i < sv.chain.size(); ++i) {
-    const Bytes covered = chain_prefix(sv, i);
-    if (!verifier.verify(sv.chain[i].signer, covered, sv.chain[i])) {
+    const crypto::Signature& sig = sv.chain[i];
+    if (const auto extended = cache->lookup(sig.signer, covered, sig.sig)) {
+      covered = *extended;
+      continue;
+    }
+    if (!verifier.verify(sig.signer, digest_view(covered), sig)) {
       return false;
     }
+    while (streamed < i) absorb_signature(h, sv.chain[streamed++]);
+    absorb_signature(h, sig);
+    streamed = i + 1;
+    const crypto::Digest extended = h.peek();
+    cache->insert(sig.signer, covered, sig.sig, extended);
+    covered = extended;
   }
   return true;
 }

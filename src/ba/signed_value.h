@@ -6,6 +6,15 @@
 // receiver can verify who signed, in which order, and nobody can truncate an
 // inner signature or splice chains without detection (any tampering breaks
 // at least one MAC).
+//
+// Signatures are computed over a *running prefix digest* (hash-then-sign):
+// one SHA-256 stream absorbs a domain tag, the value and the encoded
+// signatures in order, and position i signs the stream's digest after
+// absorbing signatures 0..i-1. Because each covered prefix extends the
+// previous one, signing and verifying a whole chain hashes every byte once
+// — O(chain) work instead of the O(chain^2) a re-serialize-per-position
+// layout costs — and the prefix digest doubles as a content address for
+// the verification cache (crypto/verify_cache.h).
 #pragma once
 
 #include <optional>
@@ -13,7 +22,9 @@
 
 #include "ba/config.h"
 #include "codec/codec.h"
+#include "crypto/sha256.h"
 #include "crypto/signature.h"
+#include "crypto/verify_cache.h"
 #include "hist/export.h"
 
 namespace dr::ba {
@@ -25,22 +36,32 @@ struct SignedValue {
   friend bool operator==(const SignedValue&, const SignedValue&) = default;
 };
 
-/// Wire encoding (deterministic; signatures are computed over prefixes of
-/// this very encoding).
+/// Wire encoding (deterministic: value, signature count, signatures in
+/// order).
 Bytes encode(const SignedValue& sv);
 std::optional<SignedValue> decode_signed_value(ByteView data);
+
+/// Digest covered by the signature at position `upto` (exclusive): the
+/// domain tag, the value and signatures 0..upto-1, absorbed through one
+/// running SHA-256. Exposed for the verification cache and tests; protocol
+/// code should go through extend()/verify_chain().
+crypto::Digest chain_prefix_digest(const SignedValue& sv, std::size_t upto);
 
 /// Creates a one-signature chain: `as` signs `value`.
 SignedValue make_signed(Value value, const crypto::Signer& signer,
                         ProcId as);
 
-/// Returns sv with one more signature (by `as`) appended.
-SignedValue extend(const SignedValue& sv, const crypto::Signer& signer,
-                   ProcId as);
+/// Returns sv with one more signature (by `as`) appended. Takes the chain
+/// by value: pass an rvalue (std::move) to extend in place without copying.
+SignedValue extend(SignedValue sv, const crypto::Signer& signer, ProcId as);
 
-/// Verifies every signature in the chain against the prefix it covers.
-/// An empty chain verifies trivially.
-bool verify_chain(const SignedValue& sv, const crypto::Verifier& verifier);
+/// Verifies every signature in the chain against the prefix digest it
+/// covers. An empty chain verifies trivially. When `cache` is non-null,
+/// (signer, prefix, signature) triples that verified before are accepted
+/// without re-running the scheme, and fresh successes are recorded; failed
+/// verifications are never cached (see crypto/verify_cache.h).
+bool verify_chain(const SignedValue& sv, const crypto::Verifier& verifier,
+                  crypto::VerifyCache* cache = nullptr);
 
 /// The signer ids in chain order.
 std::vector<ProcId> chain_signers(const SignedValue& sv);

@@ -4,31 +4,37 @@
 
 namespace dr::ba {
 
+namespace {
+
+/// Number of distinct ids in `ids` (consumes its argument).
+std::size_t distinct_count(std::vector<ProcId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+}  // namespace
+
 bool is_valid_message(const SignedValue& sv, const crypto::Verifier& verifier,
-                      std::size_t active_count, std::size_t t) {
-  if (!verify_chain(sv, verifier)) return false;
+                      std::size_t active_count, std::size_t t,
+                      crypto::VerifyCache* cache) {
+  if (!verify_chain(sv, verifier, cache)) return false;
   std::vector<ProcId> active_signers;
   for (const auto& sig : sv.chain) {
     if (sig.signer < active_count) active_signers.push_back(sig.signer);
   }
-  std::sort(active_signers.begin(), active_signers.end());
-  active_signers.erase(
-      std::unique(active_signers.begin(), active_signers.end()),
-      active_signers.end());
-  return active_signers.size() >= t + 1;
+  return distinct_count(std::move(active_signers)) >= t + 1;
 }
 
 bool is_possession_proof(const SignedValue& sv,
                          const crypto::Verifier& verifier, ProcId holder,
-                         std::size_t t) {
-  if (!verify_chain(sv, verifier)) return false;
+                         std::size_t t, crypto::VerifyCache* cache) {
+  if (!verify_chain(sv, verifier, cache)) return false;
   std::vector<ProcId> others;
   for (const auto& sig : sv.chain) {
     if (sig.signer != holder) others.push_back(sig.signer);
   }
-  std::sort(others.begin(), others.end());
-  others.erase(std::unique(others.begin(), others.end()), others.end());
-  return others.size() >= t;
+  return distinct_count(std::move(others)) >= t;
 }
 
 }  // namespace dr::ba

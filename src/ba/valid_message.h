@@ -14,14 +14,17 @@ namespace dr::ba {
 /// We additionally require the chain to verify cryptographically and the
 /// active signers to be distinct (t+1 copies of one signature prove
 /// nothing); both are implicit in the paper's signature model.
+/// `cache`, when non-null, memoises successful signature checks (see
+/// verify_chain).
 bool is_valid_message(const SignedValue& sv, const crypto::Verifier& verifier,
-                      std::size_t active_count, std::size_t t);
+                      std::size_t active_count, std::size_t t,
+                      crypto::VerifyCache* cache = nullptr);
 
 /// Theorem 4's possession proof: the common value with at least t signatures
 /// of processors other than `holder` appended (all distinct, all
 /// verifiable).
 bool is_possession_proof(const SignedValue& sv,
                          const crypto::Verifier& verifier, ProcId holder,
-                         std::size_t t);
+                         std::size_t t, crypto::VerifyCache* cache = nullptr);
 
 }  // namespace dr::ba

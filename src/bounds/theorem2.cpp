@@ -89,7 +89,7 @@ class OneShotBroadcast final : public sim::Process {
       if (env.from != 0) continue;
       const auto sv = ba::decode_signed_value(env.payload);
       if (!sv || sv->chain.size() != 1 || sv->chain[0].signer != 0) continue;
-      if (!verify_chain(*sv, ctx.verifier())) continue;
+      if (!verify_chain(*sv, ctx.verifier(), ctx.chain_cache())) continue;
       decided_ = sv->value;
       break;
     }

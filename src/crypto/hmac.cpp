@@ -4,7 +4,7 @@
 
 namespace dr::crypto {
 
-Digest hmac_sha256(ByteView key, ByteView message) {
+HmacSha256::HmacSha256(ByteView key) {
   std::uint8_t key_block[kSha256BlockSize] = {0};
   if (key.size() > kSha256BlockSize) {
     const Digest kd = sha256(key);
@@ -14,19 +14,53 @@ Digest hmac_sha256(ByteView key, ByteView message) {
   }
 
   std::uint8_t ipad[kSha256BlockSize];
-  std::uint8_t opad[kSha256BlockSize];
   for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
     ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+    opad_[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
   }
+  inner_.update(ByteView{ipad, kSha256BlockSize});
+}
 
-  Sha256 inner;
-  inner.update(ByteView{ipad, kSha256BlockSize});
+void HmacSha256::update(ByteView data) { inner_.update(data); }
+
+Digest HmacSha256::finish() {
+  const Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(ByteView{opad_.data(), opad_.size()});
+  outer.update(ByteView{inner_digest.data(), inner_digest.size()});
+  return outer.finish();
+}
+
+Digest hmac_sha256(ByteView key, ByteView message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  return mac.finish();
+}
+
+HmacKey::HmacKey(ByteView key) {
+  std::uint8_t key_block[kSha256BlockSize] = {0};
+  if (key.size() > kSha256BlockSize) {
+    const Digest kd = sha256(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    if (!key.empty()) std::memcpy(key_block, key.data(), key.size());
+  }
+  std::uint8_t pad[kSha256BlockSize];
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    pad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+  }
+  inner_state_.update(ByteView{pad, kSha256BlockSize});
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    pad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+  outer_state_.update(ByteView{pad, kSha256BlockSize});
+}
+
+Digest HmacKey::mac(ByteView message) const {
+  Sha256 inner = inner_state_;
   inner.update(message);
   const Digest inner_digest = inner.finish();
-
-  Sha256 outer;
-  outer.update(ByteView{opad, kSha256BlockSize});
+  Sha256 outer = outer_state_;
   outer.update(ByteView{inner_digest.data(), inner_digest.size()});
   return outer.finish();
 }

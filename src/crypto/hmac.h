@@ -1,4 +1,5 @@
-// HMAC-SHA-256 per RFC 2104 / FIPS 198-1.
+// HMAC-SHA-256 per RFC 2104 / FIPS 198-1. One-shot helper plus an
+// incremental (init/update/final) interface mirroring Sha256's.
 #pragma once
 
 #include "crypto/sha256.h"
@@ -6,8 +7,40 @@
 
 namespace dr::crypto {
 
+/// Incremental HMAC-SHA-256: construct with the key, update() with message
+/// chunks, finish() once. Equivalent to hmac_sha256(key, concat(chunks)).
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void update(ByteView data);
+  /// Finalizes and returns the MAC. The object must not be used afterwards.
+  Digest finish();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, kSha256BlockSize> opad_;
+};
+
 /// Computes HMAC-SHA-256(key, message).
 Digest hmac_sha256(ByteView key, ByteView message);
+
+/// A fixed key prepared for repeated MACs: stores the SHA-256 midstates
+/// after absorbing ipad and opad, so each mac() skips re-hashing both
+/// 64-byte pads. Worth it anywhere one key authenticates many messages —
+/// the signature registry MACs with the same per-processor key for every
+/// sign/verify of a run.
+class HmacKey {
+ public:
+  explicit HmacKey(ByteView key);
+
+  /// HMAC-SHA-256(key, message), from the precomputed midstates.
+  Digest mac(ByteView message) const;
+
+ private:
+  Sha256 inner_state_;  // state after absorbing key ^ ipad
+  Sha256 outer_state_;  // state after absorbing key ^ opad
+};
 
 /// HKDF-style key derivation used to give each processor an independent
 /// signing key from a master seed: derive(seed, label) =

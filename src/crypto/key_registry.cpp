@@ -1,5 +1,7 @@
 #include "crypto/key_registry.h"
 
+#include <cstring>
+
 #include "codec/codec.h"
 #include "util/contracts.h"
 
@@ -7,23 +9,45 @@ namespace dr::crypto {
 
 KeyRegistry::KeyRegistry(std::size_t n, std::uint64_t master_seed) {
   keys_.reserve(n);
+  pads_.reserve(n);
   const Bytes seed = encode_u64(master_seed);
   for (std::size_t i = 0; i < n; ++i) {
     Writer label;
     label.str("dr82.key");
     label.u64(i);
     keys_.push_back(derive_key(seed, std::move(label).take()));
+    pads_.emplace_back(keys_.back());
   }
 }
 
 Digest KeyRegistry::mac(ProcId signer, ByteView data) const {
   DR_EXPECTS(signer < keys_.size());
   // Domain-separate by signer id so a key reused across ids (impossible
-  // here, but cheap insurance) cannot transfer signatures.
+  // here, but cheap insurance) cannot transfer signatures. The MACed bytes
+  // are Writer{u32(signer), bytes(data)}; chain verification MACs 32-byte
+  // digests, so build that encoding on the stack instead of allocating.
+  std::uint8_t buf[96];
+  if (data.size() + 20 <= sizeof(buf)) {
+    std::size_t len = 0;
+    const auto put_varint = [&](std::uint64_t v) {
+      while (v >= 0x80) {
+        buf[len++] = static_cast<std::uint8_t>(v) | 0x80;
+        v >>= 7;
+      }
+      buf[len++] = static_cast<std::uint8_t>(v);
+    };
+    put_varint(signer);
+    put_varint(data.size());
+    if (!data.empty()) {
+      std::memcpy(buf + len, data.data(), data.size());
+      len += data.size();
+    }
+    return pads_[signer].mac(ByteView{buf, len});
+  }
   Writer w;
   w.u32(signer);
   w.bytes(data);
-  return hmac_sha256(keys_[signer], std::move(w).take());
+  return pads_[signer].mac(std::move(w).take());
 }
 
 Bytes KeyRegistry::sign(ProcId signer, ByteView data) {

@@ -46,6 +46,9 @@ class KeyRegistry final : public SignatureScheme {
   Digest mac(ProcId signer, ByteView data) const;
 
   std::vector<Bytes> keys_;
+  /// Precomputed HMAC pad midstates, one per key (see crypto::HmacKey):
+  /// every sign/verify skips the two 64-byte pad absorptions.
+  std::vector<HmacKey> pads_;
 };
 
 }  // namespace dr::crypto

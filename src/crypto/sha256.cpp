@@ -142,6 +142,11 @@ Digest Sha256::finish() {
   return out;
 }
 
+Digest Sha256::peek() const {
+  Sha256 copy = *this;
+  return copy.finish();
+}
+
 Digest sha256(ByteView data) {
   Sha256 h;
   h.update(data);

@@ -24,6 +24,12 @@ class Sha256 {
   /// further use.
   Digest finish();
 
+  /// Digest of everything absorbed so far, without disturbing the stream:
+  /// finalizes a copy, so this object can keep absorbing afterwards. This is
+  /// what makes running-prefix digests O(1) per checkpoint instead of
+  /// re-hashing the whole prefix.
+  Digest peek() const;
+
  private:
   void compress(const std::uint8_t* block);
 

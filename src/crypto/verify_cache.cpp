@@ -1,0 +1,36 @@
+#include "crypto/verify_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dr::crypto {
+
+std::size_t VerifyCache::KeyHash::operator()(const Key& key) const {
+  // The prefix digest is already uniformly distributed; fold its first
+  // word with the signer id.
+  std::uint64_t h = 0;
+  std::memcpy(&h, key.prefix.data(), sizeof(h));
+  return static_cast<std::size_t>(
+      h ^ (std::uint64_t{key.signer} * 0x9e3779b97f4a7c15ull));
+}
+
+std::optional<Digest> VerifyCache::lookup(ProcId signer,
+                                          const Digest& prefix_digest,
+                                          ByteView sig) {
+  const auto it = entries_.find(Key{signer, prefix_digest});
+  if (it != entries_.end() && it->second.sig.size() == sig.size() &&
+      std::equal(sig.begin(), sig.end(), it->second.sig.begin())) {
+    ++hits_;
+    return it->second.extended;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void VerifyCache::insert(ProcId signer, const Digest& prefix_digest,
+                         ByteView sig, const Digest& extended_digest) {
+  entries_[Key{signer, prefix_digest}] =
+      Entry{Bytes(sig.begin(), sig.end()), extended_digest};
+}
+
+}  // namespace dr::crypto

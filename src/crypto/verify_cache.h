@@ -1,0 +1,77 @@
+// Content-addressed cache of *successful* signature verifications.
+//
+// Key: (signer, prefix-digest); value: the exact signature bytes that
+// verified over that prefix, plus the digest of the extended prefix
+// (prefix || that signature) recorded when the entry was inserted. A
+// lookup answers "already verified" only for an exact (signer,
+// prefix-digest, signature-bytes) triple seen before, so a forged
+// signature presented over a cached honest prefix can never be accepted
+// off the cache — its bytes differ from the stored ones, the lookup
+// misses, and the full verification path runs (and rejects it).
+//
+// Returning the extended digest on a hit lets verify_chain walk a fully
+// cached chain digest-to-digest without rehashing anything: under SHA-256
+// collision resistance the prefix digest determines the prefix, so it also
+// determines the digest of (prefix || sig) — the same assumption that lets
+// signatures cover digests instead of full prefixes in the first place.
+//
+// Negative results are deliberately NOT cached: a failed verification
+// leaves no trace here, so an adversary cannot poison the cache into later
+// rejecting (or accepting) honestly signed chains. The cache is purely an
+// accelerator — with or without it, verify_chain accepts exactly the same
+// set of chains.
+//
+// One instance per process (simulator) or per endpoint (net runtime);
+// instances are not thread-safe and must not be shared across threads.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/scheme.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace dr::crypto {
+
+class VerifyCache {
+ public:
+  /// If this exact (signer, prefix, sig) triple verified before, returns
+  /// the digest of (prefix || sig) recorded at insert time; otherwise
+  /// nullopt. Counts a hit or a miss either way.
+  std::optional<Digest> lookup(ProcId signer, const Digest& prefix_digest,
+                               ByteView sig);
+
+  /// Records a successful verification of `sig` over `prefix_digest`,
+  /// together with the digest of the extended prefix. Callers must only
+  /// insert triples that passed full verification.
+  void insert(ProcId signer, const Digest& prefix_digest, ByteView sig,
+              const Digest& extended_digest);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Key {
+    ProcId signer = 0;
+    Digest prefix{};
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  struct Entry {
+    Bytes sig;
+    Digest extended{};
+  };
+
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace dr::crypto

@@ -98,6 +98,8 @@ void compare_runs(const char* backend, const sim::RunResult& want,
   check("max_payload_by_correct", a.max_payload_by_correct(),
         b.max_payload_by_correct());
   check("last_active_phase", a.last_active_phase(), b.last_active_phase());
+  check("chain_cache_hits", a.chain_cache_hits(), b.chain_cache_hits());
+  check("chain_cache_misses", a.chain_cache_misses(), b.chain_cache_misses());
   if (a.per_phase() != b.per_phase()) fail("per-phase counts differ");
   for (ProcId p = 0; p < a.n(); ++p) {
     std::ostringstream os;

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "crypto/verify_cache.h"
 #include "sim/delivery.h"
 #include "util/contracts.h"
 
@@ -48,9 +49,13 @@ void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
   PhaseSynchronizer synchronizer(p, config_.n, transport_,
                                  config_.phase_timeout);
   std::vector<Envelope> inbox;
+  // Endpoint-local verification memo; lives on this thread only, so the
+  // cache needs no locking and its hit/miss sequence matches the sim
+  // runner's per-process cache exactly (parity gate compares the totals).
+  crypto::VerifyCache cache;
   for (PhaseNum phase = 1; phase <= phases; ++phase) {
     sim::Context ctx(p, phase, config_.n, config_.t, &inbox, &signer,
-                     &verifier_);
+                     &verifier_, &cache);
     processes_[p]->on_phase(ctx);
     for (auto& out : ctx.outgoing()) {
       const ProcId to = out.to;
@@ -71,6 +76,7 @@ void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
     }
   }
   sync = synchronizer.stats();
+  metrics.on_chain_cache(cache.hits(), cache.misses());
 }
 
 NetRunResult NetRunner::run(PhaseNum phases) {

@@ -34,6 +34,11 @@ void Metrics::on_frame(bool sender_correct, std::size_t frame_bytes) {
   if (sender_correct) wire_bytes_by_correct_ += frame_bytes;
 }
 
+void Metrics::on_chain_cache(std::size_t hits, std::size_t misses) {
+  chain_cache_hits_ += hits;
+  chain_cache_misses_ += misses;
+}
+
 void Metrics::merge(const Metrics& other) {
   DR_EXPECTS(other.n() == n());
   messages_by_correct_ += other.messages_by_correct_;
@@ -42,6 +47,8 @@ void Metrics::merge(const Metrics& other) {
   bytes_by_correct_ += other.bytes_by_correct_;
   frames_sent_ += other.frames_sent_;
   wire_bytes_by_correct_ += other.wire_bytes_by_correct_;
+  chain_cache_hits_ += other.chain_cache_hits_;
+  chain_cache_misses_ += other.chain_cache_misses_;
   if (other.max_payload_by_correct_ > max_payload_by_correct_) {
     max_payload_by_correct_ = other.max_payload_by_correct_;
   }

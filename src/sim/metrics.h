@@ -28,11 +28,22 @@ class Metrics {
   /// in-memory simulator, which has no wire.
   void on_frame(bool sender_correct, std::size_t frame_bytes);
 
+  /// Chain-verification cache accounting: totals across the per-process
+  /// caches (crypto/verify_cache.h). Deterministic — the runners hand each
+  /// process one cache and the verify-call sequence is a function of its
+  /// inbox sequence — so these are compared by the sim-vs-net parity gate
+  /// and the sequential-vs-parallel determinism test like any other field.
+  void on_chain_cache(std::size_t hits, std::size_t misses);
+  std::size_t chain_cache_hits() const { return chain_cache_hits_; }
+  std::size_t chain_cache_misses() const { return chain_cache_misses_; }
+
   /// Element-wise accumulation of another run fragment's counters (sums;
   /// maxima for the max/last fields). The net runner gives each endpoint
   /// thread its own Metrics and merges after the join, which keeps the hot
   /// path lock-free and the totals exactly equal to the serial sim's.
   void merge(const Metrics& other);
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 
   /// Messages sent by correct processors — the paper's primary measure.
   std::size_t messages_by_correct() const { return messages_by_correct_; }
@@ -86,6 +97,8 @@ class Metrics {
   std::size_t max_payload_by_correct_ = 0;
   std::size_t frames_sent_ = 0;
   std::size_t wire_bytes_by_correct_ = 0;
+  std::size_t chain_cache_hits_ = 0;
+  std::size_t chain_cache_misses_ = 0;
   PhaseNum last_active_phase_ = 0;
   std::vector<std::size_t> per_phase_;
   std::vector<std::size_t> sent_by_;

@@ -1,0 +1,57 @@
+#include "sim/pool.h"
+
+#include "util/contracts.h"
+
+namespace dr::sim {
+
+PhasePool::PhasePool(std::size_t workers) {
+  DR_EXPECTS(workers >= 1);
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+PhasePool::~PhasePool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void PhasePool::run(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  active_ = threads_.size();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+void PhasePool::worker_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* fn = fn_;
+    const std::size_t count = count_;
+    lock.unlock();
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*fn)(i);
+    }
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace dr::sim

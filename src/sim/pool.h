@@ -1,0 +1,52 @@
+// A small persistent worker pool for the simulator's parallel phase
+// stepping. Threads are spawned once and reused for every phase of a run,
+// replacing the spawn-join-per-phase pattern whose thread-creation cost
+// dominated short phases.
+//
+// Determinism contract: run(count, fn) invokes fn(i) exactly once for each
+// i in [0, count), distributed over the workers by an atomic ticket — the
+// *assignment* of indices to threads is racy, but callers only require
+// that fn(i) writes state owned by index i (the runner's pending-send and
+// per-process cache slots), so results are independent of the schedule.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dr::sim {
+
+class PhasePool {
+ public:
+  /// Spawns `workers` (>= 1) threads.
+  explicit PhasePool(std::size_t workers);
+  PhasePool(const PhasePool&) = delete;
+  PhasePool& operator=(const PhasePool&) = delete;
+  ~PhasePool();
+
+  /// Runs fn(i) for every i in [0, count) across the workers and blocks
+  /// until all invocations returned. The calling thread only coordinates.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  std::size_t workers() const { return threads_.size(); }
+
+ private:
+  void worker_main();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // valid per batch
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;       // workers still inside the current batch
+  std::uint64_t generation_ = 0; // bumped per batch to wake the workers
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dr::sim

@@ -10,6 +10,10 @@
 #include "crypto/signature.h"
 #include "sim/envelope.h"
 
+namespace dr::crypto {
+class VerifyCache;
+}  // namespace dr::crypto
+
 namespace dr::sim {
 
 /// Per-phase view handed to a process. Messages sent during phase k are
@@ -20,7 +24,8 @@ class Context {
  public:
   Context(ProcId self, PhaseNum phase, std::size_t n, std::size_t t,
           const std::vector<Envelope>* inbox, const crypto::Signer* signer,
-          const crypto::Verifier* verifier);
+          const crypto::Verifier* verifier,
+          crypto::VerifyCache* chain_cache = nullptr);
 
   ProcId self() const { return self_; }
   PhaseNum phase() const { return phase_; }
@@ -42,6 +47,13 @@ class Context {
   const crypto::Signer& signer() const { return *signer_; }
   const crypto::Verifier& verifier() const { return *verifier_; }
 
+  /// This process's signature-verification memo, persisted across phases
+  /// by the runner (may be null, e.g. in replay harnesses). Pass it to
+  /// verify_chain/is_valid_message so chains whose prefixes verified in an
+  /// earlier phase skip redundant signature checks; soundness argument in
+  /// crypto/verify_cache.h.
+  crypto::VerifyCache* chain_cache() const { return chain_cache_; }
+
   struct Outgoing {
     ProcId to;
     Bytes payload;
@@ -58,6 +70,7 @@ class Context {
   const std::vector<Envelope>* inbox_;
   const crypto::Signer* signer_;
   const crypto::Verifier* verifier_;
+  crypto::VerifyCache* chain_cache_;
   std::vector<Outgoing> outgoing_;
 };
 
@@ -81,9 +94,10 @@ class Process {
 inline Context::Context(ProcId self, PhaseNum phase, std::size_t n,
                         std::size_t t, const std::vector<Envelope>* inbox,
                         const crypto::Signer* signer,
-                        const crypto::Verifier* verifier)
+                        const crypto::Verifier* verifier,
+                        crypto::VerifyCache* chain_cache)
     : self_(self), phase_(phase), n_(n), t_(t), inbox_(inbox),
-      signer_(signer), verifier_(verifier) {}
+      signer_(signer), verifier_(verifier), chain_cache_(chain_cache) {}
 
 inline void Context::send(ProcId to, Bytes payload, std::size_t signatures) {
   outgoing_.push_back(Outgoing{to, std::move(payload), signatures});

@@ -1,9 +1,11 @@
 #include "sim/runner.h"
 
 #include <algorithm>
-#include <thread>
+#include <optional>
 
 #include "codec/codec.h"
+#include "crypto/verify_cache.h"
+#include "sim/pool.h"
 #include "util/contracts.h"
 
 namespace dr::sim {
@@ -133,13 +135,24 @@ RunResult Runner::run(PhaseNum phases) {
   const bool parallel = config_.threads > 1 && !config_.rushing &&
                         config_.scheme == SchemeKind::kHmac;
 
+  // One verification memo per process, persisted across phases so chains
+  // relayed in later phases hit on their already-verified prefixes. Owned
+  // here (not by the Context, which is rebuilt every phase); per-process
+  // ownership also makes the parallel path lock-free.
+  std::vector<crypto::VerifyCache> caches(config_.n);
+
+  // The worker pool persists across phases; spawning threads per phase
+  // costs more than short phases do.
+  std::optional<PhasePool> pool;
+  if (parallel) pool.emplace(std::min<std::size_t>(config_.threads, config_.n));
+
   for (PhaseNum phase = 1; phase <= phases; ++phase) {
     network.deliver_next_phase();
     if (!config_.rushing) {
       if (!parallel) {
         for (ProcId p = 0; p < config_.n; ++p) {
           Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
-                      &signer_for(p), &verifier_);
+                      &signer_for(p), &verifier_, &caches[p]);
           processes_[p]->on_phase(ctx);
           for (auto& out : ctx.outgoing()) {
             network.submit(p, out.to, phase, std::move(out.payload),
@@ -149,29 +162,18 @@ RunResult Runner::run(PhaseNum phases) {
         continue;
       }
       // Parallel stepping: processes are pure functions of their inbox
-      // within a phase, so chunks can run concurrently; committing the
-      // sends serially in processor order keeps runs bit-identical.
+      // within a phase, so the pool steps them concurrently (each worker
+      // pulls the next process off an atomic ticket); committing the sends
+      // serially in processor order afterwards keeps runs bit-identical.
       std::vector<std::vector<Context::Outgoing>> pending(config_.n);
-      const std::size_t workers =
-          std::min<std::size_t>(config_.threads, config_.n);
-      const std::size_t chunk = (config_.n + workers - 1) / workers;
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (std::size_t w = 0; w < workers; ++w) {
-        const ProcId begin = static_cast<ProcId>(w * chunk);
-        const ProcId end = static_cast<ProcId>(
-            std::min<std::size_t>(config_.n, (w + 1) * chunk));
-        if (begin >= end) break;
-        pool.emplace_back([this, phase, begin, end, &network, &pending] {
-          for (ProcId p = begin; p < end; ++p) {
-            Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
-                        &signer_for(p), &verifier_);
-            processes_[p]->on_phase(ctx);
-            pending[p] = std::move(ctx.outgoing());
-          }
-        });
-      }
-      for (std::thread& worker : pool) worker.join();
+      pool->run(config_.n, [this, phase, &network, &pending,
+                            &caches](std::size_t i) {
+        const ProcId p = static_cast<ProcId>(i);
+        Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
+                    &signer_for(p), &verifier_, &caches[p]);
+        processes_[p]->on_phase(ctx);
+        pending[p] = std::move(ctx.outgoing());
+      });
       for (ProcId p = 0; p < config_.n; ++p) {
         for (auto& out : pending[p]) {
           network.submit(p, out.to, phase, std::move(out.payload),
@@ -188,7 +190,7 @@ RunResult Runner::run(PhaseNum phases) {
     for (ProcId p = 0; p < config_.n; ++p) {
       if (faulty_[p]) continue;
       Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
-                  &signer_for(p), &verifier_);
+                  &signer_for(p), &verifier_, &caches[p]);
       processes_[p]->on_phase(ctx);
       for (const auto& out : ctx.outgoing()) {
         if (faulty_[out.to]) {
@@ -204,7 +206,7 @@ RunResult Runner::run(PhaseNum phases) {
                        std::make_move_iterator(rushed[p].begin()),
                        std::make_move_iterator(rushed[p].end()));
       Context ctx(p, phase, config_.n, config_.t, &augmented,
-                  &signer_for(p), &verifier_);
+                  &signer_for(p), &verifier_, &caches[p]);
       processes_[p]->on_phase(ctx);
       for (auto& out : ctx.outgoing()) {
         network.submit(p, out.to, phase, std::move(out.payload),
@@ -217,6 +219,10 @@ RunResult Runner::run(PhaseNum phases) {
                        /*sender_correct=*/true, out.signatures, metrics);
       }
     }
+  }
+
+  for (ProcId p = 0; p < config_.n; ++p) {
+    metrics.on_chain_cache(caches[p].hits(), caches[p].misses());
   }
 
   RunResult result{.decisions = {},

@@ -41,14 +41,61 @@ TEST_P(ParallelRunner, MatchesSerialExactly) {
     const auto b = ba::run_scenario(c.protocol, config, parallel, faults);
     EXPECT_EQ(a.decisions, b.decisions) << c.label;
     EXPECT_TRUE(a.history == b.history) << c.label;
-    EXPECT_EQ(a.metrics.messages_by_correct(),
-              b.metrics.messages_by_correct())
+    EXPECT_EQ(a.metrics.chain_cache_hits(), b.metrics.chain_cache_hits())
         << c.label;
-    EXPECT_EQ(a.metrics.signatures_by_correct(),
-              b.metrics.signatures_by_correct())
+    EXPECT_EQ(a.metrics.chain_cache_misses(),
+              b.metrics.chain_cache_misses())
         << c.label;
-    EXPECT_EQ(a.metrics.per_phase(), b.metrics.per_phase()) << c.label;
+    // Every counter, including per-phase tallies and the verification-cache
+    // stats, must match bit for bit.
+    EXPECT_TRUE(a.metrics == b.metrics) << c.label;
   }
+}
+
+// Every registry protocol, several seeds: the parallel runner must produce
+// the complete RunResult — decisions, fault flags, history, phase count and
+// all metrics — bit-identical to the serial one.
+TEST(ParallelRunner, EveryRegistryProtocolBitIdentical) {
+  std::vector<ba::Protocol> protocols = ba::protocols();
+  protocols.push_back(ba::make_alg3_protocol(3));
+  protocols.push_back(ba::make_alg3_mv_protocol(3));
+  protocols.push_back(ba::make_alg5_protocol(3));
+  protocols.push_back(ba::make_alg5_mv_protocol(3));
+  const std::vector<BAConfig> candidates{
+      {12, 3, 0, 1}, {10, 2, 0, 1}, {7, 2, 0, 1}, {30, 2, 0, 1},
+      {40, 3, 0, 1}, {5, 1, 0, 1},
+  };
+  std::size_t tested = 0;
+  for (const auto& protocol : protocols) {
+    const BAConfig* config = nullptr;
+    for (const auto& candidate : candidates) {
+      if (protocol.supports(candidate)) {
+        config = &candidate;
+        break;
+      }
+    }
+    if (config == nullptr) continue;
+    ++tested;
+    std::vector<ScenarioFault> faults;
+    faults.push_back(test::silent(static_cast<ba::ProcId>(config->n - 1)));
+    if (config->t >= 2) faults.push_back(test::chaos(1, 31));
+    for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{42}}) {
+      ScenarioOptions serial;
+      serial.seed = seed;
+      serial.record_history = true;
+      ScenarioOptions parallel = serial;
+      parallel.threads = 4;
+      const auto a = ba::run_scenario(protocol, *config, serial, faults);
+      const auto b = ba::run_scenario(protocol, *config, parallel, faults);
+      EXPECT_EQ(a.decisions, b.decisions) << protocol.name << " s=" << seed;
+      EXPECT_EQ(a.faulty, b.faulty) << protocol.name << " s=" << seed;
+      EXPECT_EQ(a.phases_run, b.phases_run) << protocol.name << " s=" << seed;
+      EXPECT_TRUE(a.history == b.history) << protocol.name << " s=" << seed;
+      EXPECT_TRUE(a.metrics == b.metrics) << protocol.name << " s=" << seed;
+    }
+  }
+  // Guard against the candidate list silently matching nothing.
+  EXPECT_GE(tested, 7u);
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelRunner,

@@ -1,0 +1,199 @@
+// Adversarial safety of the content-addressed verification cache: a warm
+// cache must never change which chains verify_chain accepts. The cache
+// memoizes successful (signer, prefix-digest, signature) triples, so every
+// test here probes the ways a forger could try to ride a cached honest
+// prefix past verification.
+#include <gtest/gtest.h>
+
+#include "ba/signed_value.h"
+#include "crypto/key_registry.h"
+#include "crypto/merkle.h"
+#include "crypto/verify_cache.h"
+#include "test_util.h"
+
+namespace dr {
+namespace {
+
+using crypto::Digest;
+using crypto::VerifyCache;
+
+Digest digest_of(std::uint8_t fill) {
+  Digest d{};
+  d.fill(fill);
+  return d;
+}
+
+TEST(VerifyCache, ExactTripleSemantics) {
+  VerifyCache cache;
+  const Digest prefix = digest_of(0x11);
+  const Digest extended = digest_of(0x22);
+  const Bytes sig{1, 2, 3, 4};
+
+  EXPECT_FALSE(cache.lookup(3, prefix, sig).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.insert(3, prefix, sig, extended);
+  const auto hit = cache.lookup(3, prefix, sig);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, extended);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Any deviation in the triple misses: signer, prefix, or signature bytes.
+  EXPECT_FALSE(cache.lookup(4, prefix, sig).has_value());
+  EXPECT_FALSE(cache.lookup(3, digest_of(0x12), sig).has_value());
+  Bytes forged = sig;
+  forged[0] ^= 0x80;
+  EXPECT_FALSE(cache.lookup(3, prefix, forged).has_value());
+  Bytes truncated(sig.begin(), sig.end() - 1);
+  EXPECT_FALSE(cache.lookup(3, prefix, truncated).has_value());
+  EXPECT_EQ(cache.misses(), 5u);
+
+  // Re-insert overwrites: the latest verified extension wins.
+  const Digest extended2 = digest_of(0x33);
+  cache.insert(3, prefix, sig, extended2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.lookup(3, prefix, sig), extended2);
+}
+
+class ChainCacheSafety : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 8;
+  static constexpr std::size_t kLen = 6;
+
+  ChainCacheSafety() : scheme_(kN, 7), verifier_(&scheme_) {
+    std::vector<crypto::ProcId> ids;
+    for (std::size_t p = 0; p < kN; ++p) {
+      ids.push_back(static_cast<crypto::ProcId>(p));
+    }
+    signer_ = std::make_unique<crypto::Signer>(&scheme_, ids);
+    honest_ = ba::make_signed(1, *signer_, 0);
+    for (std::size_t p = 1; p < kLen; ++p) {
+      honest_ = ba::extend(std::move(honest_), *signer_,
+                           static_cast<ba::ProcId>(p));
+    }
+    // Warm the cache exactly the way a relaying process would: by fully
+    // verifying the honest chain once.
+    EXPECT_TRUE(ba::verify_chain(honest_, verifier_, &cache_));
+    EXPECT_EQ(cache_.size(), kLen);
+  }
+
+  /// The property under test: the cache changes performance, never
+  /// acceptance. Checks the tampered chain against a cold verifier and the
+  /// warm cache, and that both agree.
+  void expect_rejected_despite_warm_cache(const ba::SignedValue& sv) {
+    EXPECT_FALSE(ba::verify_chain(sv, verifier_));
+    EXPECT_FALSE(ba::verify_chain(sv, verifier_, &cache_));
+    // The honest chain must still verify afterwards — failed attempts must
+    // not poison the cache.
+    EXPECT_TRUE(ba::verify_chain(honest_, verifier_, &cache_));
+  }
+
+  crypto::KeyRegistry scheme_;
+  crypto::Verifier verifier_;
+  std::unique_ptr<crypto::Signer> signer_;
+  ba::SignedValue honest_;
+  VerifyCache cache_;
+};
+
+TEST_F(ChainCacheSafety, ForgedMidChainSignatureRejected) {
+  for (std::size_t i = 0; i < kLen; ++i) {
+    ba::SignedValue forged = honest_;
+    forged.chain[i].sig[5] ^= 0x01;
+    expect_rejected_despite_warm_cache(forged);
+  }
+}
+
+TEST_F(ChainCacheSafety, ReattributedSignatureRejected) {
+  // Claim processor 7 (never signed) produced signature 2's bytes.
+  ba::SignedValue forged = honest_;
+  forged.chain[2].signer = 7;
+  expect_rejected_despite_warm_cache(forged);
+}
+
+TEST_F(ChainCacheSafety, SplicedSignatureRejected) {
+  // Every signature in the warm cache individually verified — but only
+  // over its own prefix. Splicing a genuinely-signed signature onto a
+  // different position must miss and fail full verification.
+  ba::SignedValue spliced = honest_;
+  std::swap(spliced.chain[1], spliced.chain[4]);
+  expect_rejected_despite_warm_cache(spliced);
+}
+
+TEST_F(ChainCacheSafety, ValueSwapUnderCachedChainRejected) {
+  // Same signatures over a different value: the head digest differs, so
+  // the very first lookup misses and verification fails.
+  ba::SignedValue forged = honest_;
+  forged.value = 0;
+  expect_rejected_despite_warm_cache(forged);
+}
+
+TEST_F(ChainCacheSafety, TruncationAndExtensionStayConsistent) {
+  // Prefixes of an honest chain are themselves honest chains: they verify,
+  // and entirely from cache hits.
+  const std::size_t hits_before = cache_.hits();
+  ba::SignedValue prefix = honest_;
+  prefix.chain.resize(3);
+  EXPECT_TRUE(ba::verify_chain(prefix, verifier_, &cache_));
+  EXPECT_EQ(cache_.hits(), hits_before + 3);
+
+  // A fresh honest extension misses only on the new tail signature.
+  const ba::SignedValue extended = ba::extend(honest_, *signer_, 6);
+  const std::size_t misses_before = cache_.misses();
+  EXPECT_TRUE(ba::verify_chain(extended, verifier_, &cache_));
+  EXPECT_EQ(cache_.misses(), misses_before + 1);
+}
+
+TEST_F(ChainCacheSafety, ForgedTailAfterCachedPrefixRejected) {
+  // The canonical attack the exact-triple rule blocks: extend a fully
+  // cached honest prefix with garbage claiming to be processor 6.
+  ba::SignedValue forged = honest_;
+  forged.chain.push_back({6, Bytes(32, 0xAB)});
+  expect_rejected_despite_warm_cache(forged);
+}
+
+TEST(VerifyCacheMerkle, WorksWithVariableLengthSignatures) {
+  // The Merkle scheme's signatures are KBs, not 32 bytes; the cache keys on
+  // exact bytes regardless of size.
+  crypto::MerkleScheme scheme(4, /*master_seed=*/3, /*height=*/5);
+  std::vector<crypto::ProcId> ids{0, 1, 2, 3};
+  crypto::Signer signer(&scheme, ids);
+  const crypto::Verifier verifier(&scheme);
+  ba::SignedValue sv = ba::make_signed(1, signer, 0);
+  sv = ba::extend(std::move(sv), signer, 1);
+  sv = ba::extend(std::move(sv), signer, 2);
+
+  VerifyCache cache;
+  EXPECT_TRUE(ba::verify_chain(sv, verifier, &cache));
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_TRUE(ba::verify_chain(sv, verifier, &cache));
+  EXPECT_EQ(cache.hits(), 3u);
+
+  ba::SignedValue forged = sv;
+  forged.chain[1].sig[10] ^= 0x04;
+  EXPECT_FALSE(ba::verify_chain(forged, verifier, &cache));
+}
+
+TEST(VerifyCacheEndToEnd, RelayingProtocolsHitUnderByzantineLoad) {
+  // Full simulations with Byzantine senders: agreement must hold (the
+  // cache never admits a forgery) and relayed chains must actually hit.
+  struct Case {
+    ba::Protocol protocol;
+    std::size_t n, t;
+  };
+  std::vector<Case> cases;
+  cases.push_back({*ba::find_protocol("dolev-strong"), 8, 2});
+  cases.push_back({*ba::find_protocol("dolev-strong-relay"), 8, 2});
+  cases.push_back({ba::make_alg3_protocol(3), 24, 2});
+  cases.push_back({ba::make_alg5_protocol(3), 30, 2});
+  for (const Case& c : cases) {
+    const ba::BAConfig config{c.n, c.t, 0, 1};
+    const auto result = test::expect_agreement(
+        c.protocol, config, /*seed=*/5,
+        {test::chaos(static_cast<ba::ProcId>(c.n - 1), 13),
+         test::chaos(static_cast<ba::ProcId>(c.n - 2), 29)});
+    EXPECT_GT(result.metrics.chain_cache_hits(), 0u) << c.protocol.name;
+  }
+}
+
+}  // namespace
+}  // namespace dr
