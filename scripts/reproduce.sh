@@ -18,6 +18,10 @@ ctest --test-dir "$BUILD" -L net -j"$(nproc)" --output-on-failure
 # actual TCP sockets with the paper's budgets checked on the wire.
 "$BUILD"/examples/chaos soak --runs 2000 --seed 1 --backend net
 "$BUILD"/examples/netdemo --backend tcp
+# Conformance: the paper's bounds as executable oracles over randomized
+# cases, differentially across sim / in-process / TCP (EXPERIMENTS.md E12).
+ctest --test-dir "$BUILD" -L conf -j"$(nproc)" --output-on-failure
+"$BUILD"/examples/conformance run --cases 200 --seed 1
 # Benchmarks. bench_crypto and bench_headline also regenerate the JSON
 # summaries committed at the repo root; scripts/bench_compare.py gates the
 # machine-independent speedup ratios in them against a baseline.

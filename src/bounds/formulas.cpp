@@ -42,6 +42,20 @@ std::size_t alg3_phase_bound(std::size_t t, std::size_t s) {
   return t + 2 * s + 3;
 }
 
+std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+std::size_t alg3_message_upper_bound_exact(std::size_t n, std::size_t t,
+                                           std::size_t s) {
+  return 2 * n + ceil_div(4 * t * n, s) + 3 * t * t * s;
+}
+
+std::size_t theorem1_signature_lower_bound_exact(std::size_t n,
+                                                 std::size_t t) {
+  return ceil_div(n * (t + 1), 4);
+}
+
 std::size_t alg4_message_upper_bound(std::size_t m) {
   return 3 * (m - 1) * m * m;
 }

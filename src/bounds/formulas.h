@@ -34,6 +34,23 @@ std::size_t alg2_phase_bound(std::size_t t);
 double alg3_message_upper_bound(std::size_t n, std::size_t t, std::size_t s);
 std::size_t alg3_phase_bound(std::size_t t, std::size_t s);
 
+/// ceil(a / b). The 4tn/s term of Lemma 1 is fractional whenever s does not
+/// divide 4tn; an integer threshold must round it *up*, or the oracle
+/// silently tightens the paper's bound (plain `4*t*n/s` truncates).
+std::size_t ceil_div(std::size_t a, std::size_t b);
+
+/// Lemma 1 as a valid integer threshold: 2n + ceil(4tn/s) + 3t^2 s. Always
+/// >= the real-valued form above (by < 1), so a measured count within the
+/// paper's bound never trips an off-by-one at non-divisible (t, n, s).
+std::size_t alg3_message_upper_bound_exact(std::size_t n, std::size_t t,
+                                           std::size_t s);
+
+/// Theorem 1's n(t+1)/4 as an integer threshold a count can be compared
+/// against without floating point: a measured signature count meets the
+/// bound iff it is >= ceil(n(t+1)/4).
+std::size_t theorem1_signature_lower_bound_exact(std::size_t n,
+                                                 std::size_t t);
+
 /// Theorem 6 / Lemma 2: Algorithm 4 (N = m^2) sends at most 3(m-1)m^2
 /// messages; at least N - 2t processors are non-isolated.
 std::size_t alg4_message_upper_bound(std::size_t m);

@@ -1,0 +1,111 @@
+#include "check/engine.h"
+
+#include <sstream>
+
+#include "net/harness.h"
+#include "util/contracts.h"
+
+namespace dr::check {
+
+ConformanceEngine::ConformanceEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+CaseReport ConformanceEngine::evaluate(const chaos::Scenario& scenario) {
+  const std::optional<ba::Protocol> protocol =
+      chaos::resolve_protocol(scenario.protocol);
+  DR_EXPECTS(protocol.has_value());
+
+  CaseReport report;
+  const chaos::Outcome outcome =
+      chaos::execute(scenario, chaos::Backend::kSim);
+  if (outcome.effective_faulty_count > scenario.config.t) {
+    report.within_budget = false;
+    return report;
+  }
+
+  const CaseContext context{
+      scenario, outcome, outcome.effective_faulty,
+      profile_for(scenario.protocol, scenario.config, options_.oracles)};
+  report.violations = evaluate_oracles(context);
+
+  if (context.profile.partner_floor > 0) {
+    std::ostringstream key;
+    key << scenario.protocol << '|' << scenario.config.n << '|'
+        << scenario.config.t;
+    auto [it, inserted] = signature_memo_.try_emplace(key.str());
+    if (inserted) {
+      ba::BAConfig shape = scenario.config;
+      shape.transmitter = 0;  // the failure-free histories H(0) / G(1)
+      it->second =
+          check_signature_floors(*protocol, shape, options_.seed);
+    }
+    report.violations.insert(report.violations.end(), it->second.begin(),
+                             it->second.end());
+  }
+
+  if (options_.differential) {
+    std::vector<ba::ScenarioFault> faults;
+    faults.reserve(scenario.scripted.size());
+    for (const chaos::ScriptedFault& fault : scenario.scripted) {
+      faults.push_back(chaos::to_scenario_fault(*protocol, fault));
+    }
+    const net::ParityReport parity =
+        net::check_parity(*protocol, scenario.config, scenario.seed, faults,
+                          scenario.rules, scenario.plan_seed);
+    for (const std::string& mismatch : parity.mismatches) {
+      report.violations.push_back("differential: " + mismatch);
+    }
+  }
+  return report;
+}
+
+chaos::Scenario ConformanceEngine::shrink_case(
+    const chaos::Scenario& scenario) {
+  const auto still_fails = [this](const chaos::Scenario& candidate) {
+    const CaseReport report = evaluate(candidate);
+    return report.within_budget && !report.violations.empty();
+  };
+  chaos::Scenario best = scenario;
+  best.scripted = chaos::ddmin(
+      best.scripted, [&](const std::vector<chaos::ScriptedFault>& subset) {
+        chaos::Scenario candidate = best;
+        candidate.scripted = subset;
+        return still_fails(candidate);
+      });
+  return chaos::minimize(best, still_fails);
+}
+
+ConformanceStats ConformanceEngine::run() {
+  ConformanceStats stats;
+  for (std::size_t i = 0; i < options_.cases; ++i) {
+    Xoshiro256 rng(SplitMix64(options_.seed + i).next());
+    const chaos::Scenario scenario =
+        generate_case(rng, options_.generator);
+    ++stats.cases;
+    ProtocolStats& per = stats.per_protocol[scenario.protocol];
+    ++per.cases;
+
+    const CaseReport report = evaluate(scenario);
+    if (!report.within_budget) {
+      ++stats.skipped_over_budget;
+      ++per.skipped_over_budget;
+      continue;
+    }
+    ++stats.checked;
+    ++per.checked;
+    if (report.violations.empty()) continue;
+
+    const chaos::Scenario minimal =
+        options_.shrink ? shrink_case(scenario) : scenario;
+    const CaseReport confirmed = evaluate(minimal);
+    DR_ASSERT(!confirmed.violations.empty());
+    ++per.findings;
+    stats.findings.push_back(chaos::Finding{
+        minimal, confirmed.violations,
+        chaos::to_json(minimal, confirmed.violations)});
+  }
+  stats.signature_shapes_checked = signature_memo_.size();
+  return stats;
+}
+
+}  // namespace dr::check

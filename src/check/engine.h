@@ -1,0 +1,86 @@
+// The property-based conformance engine.
+//
+// run() draws `cases` scenarios from the generator (generators.h),
+// executes each on the recorded-history simulator, and holds it against
+// the paper oracles (oracles.h). Cases whose effective faulty set exceeds
+// t are outside the model's preconditions and are counted but not
+// asserted, exactly like the chaos soak. For every authenticated protocol
+// shape encountered, Theorem 1's failure-free signature floors are checked
+// once (memoized per (protocol, n, t) — failure-free runs do not depend on
+// the case's faults).
+//
+// With `differential` on, each in-budget case is additionally executed on
+// all three runtimes — serial simulator, in-process transport threads,
+// TCP loopback — via net::check_parity; any divergence in decisions or
+// paper-level accounting is a violation like any other.
+//
+// A violating case is shrunk before it is reported: chaos::ddmin over the
+// scripted fault list, then chaos::minimize over the transport rules, both
+// under "still violates" — yielding a 1-minimal chaos::Finding whose JSON
+// reproducer replays bit-deterministically (examples/conformance replay).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/generators.h"
+#include "check/oracles.h"
+#include "sim/chaos.h"
+
+namespace dr::check {
+
+struct EngineOptions {
+  std::size_t cases = 200;
+  std::uint64_t seed = 1;
+  GenOptions generator;
+  OracleOptions oracles;
+  /// Cross-backend differential stage (sim vs in-process vs TCP).
+  bool differential = true;
+  /// Shrink findings to 1-minimal fault sets before reporting.
+  bool shrink = true;
+};
+
+/// One case's verdict. `within_budget` false means the transport perturbed
+/// more processors than t allows — skipped, not a failure.
+struct CaseReport {
+  bool within_budget = true;
+  std::vector<std::string> violations;
+};
+
+struct ProtocolStats {
+  std::size_t cases = 0;
+  std::size_t checked = 0;
+  std::size_t skipped_over_budget = 0;
+  std::size_t findings = 0;
+};
+
+struct ConformanceStats {
+  std::size_t cases = 0;
+  std::size_t checked = 0;
+  std::size_t skipped_over_budget = 0;
+  std::size_t signature_shapes_checked = 0;  // memoized Theorem 1 checks
+  std::map<std::string, ProtocolStats> per_protocol;
+  std::vector<chaos::Finding> findings;
+};
+
+class ConformanceEngine {
+ public:
+  explicit ConformanceEngine(EngineOptions options);
+
+  /// Oracles + (optionally) the differential stage for one scenario.
+  CaseReport evaluate(const chaos::Scenario& scenario);
+
+  /// ddmin scripted faults, then transport rules, preserving failure.
+  chaos::Scenario shrink_case(const chaos::Scenario& scenario);
+
+  /// The sweep. Deterministic in (options.seed, options.cases).
+  ConformanceStats run();
+
+ private:
+  EngineOptions options_;
+  /// "<protocol>|<n>|<t>" -> Theorem 1 floor violations (usually empty).
+  std::map<std::string, std::vector<std::string>> signature_memo_;
+};
+
+}  // namespace dr::check

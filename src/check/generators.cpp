@@ -1,0 +1,153 @@
+#include "check/generators.h"
+
+#include <set>
+
+#include "util/contracts.h"
+
+namespace dr::check {
+namespace {
+
+using chaos::Scenario;
+using chaos::ScriptedFault;
+using chaos::ScriptedKind;
+using sim::PhaseNum;
+using sim::ProcId;
+
+std::string base_of(std::string_view name) {
+  const std::size_t bracket = name.find('[');
+  return std::string(bracket == std::string_view::npos
+                         ? name
+                         : name.substr(0, bracket));
+}
+
+/// Samples (n, t, transmitter, value) inside the family's supports()
+/// envelope, keeping n <= 9 so the differential stage's TCP mesh stays
+/// cheap. Families with a free transmitter get a random one; the
+/// Section 5/6 algorithms are pinned to transmitter 0 by supports().
+ba::BAConfig random_config(Xoshiro256& rng, std::string_view name) {
+  const std::string base = base_of(name);
+  ba::BAConfig config;
+  if (base == "dolev-strong") {
+    config.t = 1 + rng.below(3);
+    config.n = config.t + 3 + rng.below(3);
+    config.transmitter = static_cast<ProcId>(rng.below(config.n));
+    config.value = rng.below(5);
+  } else if (base == "dolev-strong-relay") {
+    config.t = 1 + rng.below(2);
+    config.n = config.t + 3 + rng.below(3);
+    config.transmitter = static_cast<ProcId>(rng.below(config.n));
+    config.value = rng.below(5);
+  } else if (base == "eig") {
+    config.t = 1 + rng.below(2);
+    config.n = 3 * config.t + 1 + rng.below(2);
+    config.transmitter = static_cast<ProcId>(rng.below(config.n));
+    config.value = rng.below(5);
+  } else if (base == "phase-king") {
+    // n > 4t: t = 1 lands in {5, 6}, t = 2 in {9, 10}.
+    config.t = 1 + rng.below(2);
+    config.n = 4 * config.t + 1 + rng.below(2);
+    config.transmitter = static_cast<ProcId>(rng.below(config.n));
+    config.value = rng.below(2);
+  } else if (base == "alg1" || base == "alg2") {
+    config.t = 1 + rng.below(4);
+    config.n = 2 * config.t + 1;
+    config.value = rng.below(2);
+  } else if (base == "alg1-mv" || base == "alg2-mv") {
+    config.t = 1 + rng.below(4);
+    config.n = 2 * config.t + 1;
+    config.value = rng.below(7);
+  } else if (base == "alg3" || base == "alg3-mv") {
+    config.t = 1 + rng.below(2);
+    config.n = 2 * config.t + 2 + rng.below(4);
+    config.value = base == "alg3" ? rng.below(2) : rng.below(7);
+  } else {  // the alg5 family
+    config.t = 1 + rng.below(2);
+    config.n = 2 * config.t + 1 + rng.below(4);
+    config.value = base == "alg5" ? rng.below(2) : rng.below(7);
+  }
+  return config;
+}
+
+ScriptedFault random_scripted(Xoshiro256& rng, const ba::BAConfig& config,
+                              PhaseNum steps, ProcId id) {
+  ScriptedFault fault;
+  fault.id = id;
+  // Equivocation only makes sense on the transmitter; other ids redraw
+  // from the remaining kinds.
+  const std::size_t kinds = id == config.transmitter ? 5 : 4;
+  fault.kind = static_cast<ScriptedKind>(rng.below(kinds));
+  switch (fault.kind) {
+    case ScriptedKind::kCrash:
+      fault.crash_phase = static_cast<PhaseNum>(rng.range(1, steps));
+      break;
+    case ScriptedKind::kChaos:
+      fault.seed = rng.below(std::uint64_t{1} << 32) + 1;
+      fault.send_prob = 0.25;
+      break;
+    case ScriptedKind::kDelayedEcho:
+      fault.delay = static_cast<PhaseNum>(
+          rng.range(1, std::min<PhaseNum>(3, steps)));
+      break;
+    case ScriptedKind::kEquivocate:
+      fault.ones_mask = rng.next() & ((std::uint64_t{1} << config.n) - 1);
+      break;
+    case ScriptedKind::kSilent:
+      break;
+  }
+  return fault;
+}
+
+}  // namespace
+
+const std::vector<std::string>& default_protocols() {
+  static const std::vector<std::string> kPool = [] {
+    std::vector<std::string> pool;
+    for (const ba::Protocol& p : ba::protocols()) pool.push_back(p.name);
+    pool.push_back("alg3[s=1]");
+    pool.push_back("alg3[s=2]");
+    pool.push_back("alg3[s=4]");
+    pool.push_back("alg3-mv[s=2]");
+    pool.push_back("alg5[s=1]");
+    pool.push_back("alg5[s=2]");
+    pool.push_back("alg5-mv[s=2]");
+    return pool;
+  }();
+  return kPool;
+}
+
+chaos::Scenario generate_case(Xoshiro256& rng, const GenOptions& options) {
+  const std::vector<std::string>& pool =
+      options.protocols.empty() ? default_protocols() : options.protocols;
+  Scenario scenario;
+  scenario.protocol = pool[rng.below(pool.size())];
+  scenario.config = random_config(rng, scenario.protocol);
+  const std::optional<ba::Protocol> protocol =
+      chaos::resolve_protocol(scenario.protocol);
+  DR_EXPECTS(protocol.has_value());
+  DR_EXPECTS(protocol->supports(scenario.config));
+  scenario.seed = rng.below(std::uint64_t{1} << 32) + 1;
+  scenario.plan_seed = rng.below(std::uint64_t{1} << 32) + 1;
+  const PhaseNum steps = protocol->steps(scenario.config);
+
+  if (rng.chance(options.scripted_probability)) {
+    const std::size_t count = 1 + rng.below(scenario.config.t);
+    std::set<ProcId> used;
+    for (std::size_t i = 0; i < count; ++i) {
+      const ProcId id = static_cast<ProcId>(rng.below(scenario.config.n));
+      if (!used.insert(id).second) continue;
+      scenario.scripted.push_back(
+          random_scripted(rng, scenario.config, steps, id));
+    }
+  }
+
+  if (rng.chance(options.rules_probability)) {
+    const std::size_t count = 1 + rng.below(options.max_rules);
+    for (std::size_t i = 0; i < count; ++i) {
+      scenario.rules.push_back(chaos::random_fault_rule(
+          rng, scenario.config.n, steps, options.wildcard_probability));
+    }
+  }
+  return scenario;
+}
+
+}  // namespace dr::check

@@ -1,0 +1,43 @@
+// Randomized case generation for the conformance engine.
+//
+// Each case is a chaos::Scenario — protocol name, (n, t, s) configuration,
+// seeds, scripted Byzantine faults, transport fault rules — drawn from a
+// seeded Xoshiro256, so a (seed, index) pair identifies a case bit-exactly
+// and every finding replays from its JSON alone.
+//
+// The (n, t, s) ranges track each family's supports() envelope, biased
+// toward the tight regimes the paper's bounds are stated for (n = 2t+1
+// for Algorithms 1/2, n > 3t for EIG, n > 4t for phase-king, the s-chain
+// extremes for Algorithm 3). Scripted faults draw from the full
+// serializable kind set — silent, crash, chaos, delayed-echo, and (for
+// the transmitter only) equivocate — and transport rules reuse
+// chaos::random_fault_rule, the same seam the soak generator draws from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/chaos.h"
+#include "util/rng.h"
+
+namespace dr::check {
+
+struct GenOptions {
+  /// Protocol name pool; empty = default_protocols().
+  std::vector<std::string> protocols;
+  double scripted_probability = 0.6;
+  double rules_probability = 0.5;
+  std::size_t max_rules = 4;
+  double wildcard_probability = 0.1;
+};
+
+/// The full fixed registry plus representative parameterised instances of
+/// the alg3 / alg5 families.
+const std::vector<std::string>& default_protocols();
+
+/// One random conformance case. Always satisfies the executed model's
+/// preconditions: supports(config) holds and |scripted| <= t with distinct
+/// processor ids.
+chaos::Scenario generate_case(Xoshiro256& rng, const GenOptions& options);
+
+}  // namespace dr::check

@@ -1,0 +1,99 @@
+// The paper's bounds as executable oracles.
+//
+// Every closed-form statement in bounds/formulas.h that constrains an
+// *observable* of a protocol run — phase counts, message counts by correct
+// processors, failure-free signature floors — becomes a named predicate
+// over a chaos::Outcome. The conformance engine (engine.h) holds every
+// randomized run against these; a violation means either the
+// implementation or the encoded constant is wrong, which is exactly the
+// property the suite exists to detect (break 2t^2+2t into 2t^2+t and the
+// engine hands back a shrunk reproducer).
+//
+// Per-run upper bounds (quantified over every <= t-faulty schedule):
+//   alg1 / alg1-mv    messages <= 2t^2+2t (x2 mv)     phases <= t+2
+//   alg2              messages <= 5t^2+5t             phases <= 3t+3
+//   alg3[s]           messages <= 2n+ceil(4tn/s)+3t^2s  phases <= t+2s+3
+//   dolev-strong      repo worst case (n-1)+2(n-1)^2  phases <= t+1
+//   dolev-strong-relay repo worst case                phases <= steps-1
+//   eig / phase-king  one broadcast per comm phase    phases <= steps-1
+//
+// Failure-free lower bounds (Theorem 1, authenticated algorithms): over
+// the two histories H (value 0) and G (value 1), 2*max(sigs_H, sigs_G)
+// must reach n(t+1)/4 signatures by correct processors, and every
+// processor's signature partner set across H u G must exceed t.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/chaos.h"
+
+namespace dr::check {
+
+using ba::BAConfig;
+using ba::Protocol;
+using sim::PhaseNum;
+using sim::ProcId;
+
+/// Deliberate threshold distortion. Production runs keep both scales at
+/// 1.0; tests and the CLI lower one to prove the whole engine closes —
+/// a "broken constant" is found, shrunk, serialized and replayed —
+/// without editing bounds/formulas.cpp.
+struct OracleOptions {
+  double message_scale = 1.0;
+  double phase_scale = 1.0;
+};
+
+/// The thresholds one (protocol, config) pair is held against. Unset
+/// optionals mean the paper states no closed form for that observable
+/// (alg5's O(t^2 + nt/s), the mv variants of alg2/alg3).
+struct BoundProfile {
+  std::optional<std::size_t> message_upper;
+  std::optional<PhaseNum> phase_upper;
+  bool authenticated = false;
+  std::size_t signature_floor = 0;  // Theorem 1: ceil(n(t+1)/4) over H u G
+  std::size_t partner_floor = 0;    // Theorem 1: > t partners per processor
+};
+
+BoundProfile profile_for(std::string_view protocol_name,
+                         const BAConfig& config,
+                         const OracleOptions& options = {});
+
+/// Everything a per-run oracle may look at. `faulty` is the mask the
+/// bounds quantify over — the effective faulty set (scripted union
+/// transport-perturbed) for model-conforming runs.
+struct CaseContext {
+  const chaos::Scenario& scenario;
+  const chaos::Outcome& outcome;
+  const std::vector<bool>& faulty;
+  BoundProfile profile;
+};
+
+/// A named machine-checkable predicate: nullopt = satisfied, else a
+/// deterministic human-readable violation.
+struct Oracle {
+  std::string name;
+  std::function<std::optional<std::string>(const CaseContext&)> check;
+};
+
+/// The per-run oracle set: agreement, validity, phase budget, message
+/// budget. (Theorem 1's floors are not per-run — see check_signature_floors.)
+const std::vector<Oracle>& paper_oracles();
+
+/// Runs every per-run oracle; returns "<oracle>: <detail>" strings.
+std::vector<std::string> evaluate_oracles(const CaseContext& context);
+
+/// Theorem 1's failure-free floors for an authenticated protocol: executes
+/// the two failure-free histories H (value 0) and G (value 1) with recorded
+/// history and checks (a) 2 * max(signatures by correct in H, in G) reaches
+/// ceil(n(t+1)/4) — the integer-exact form of the repo's established
+/// reading that the bound counts both histories together — and (b) every
+/// processor's partner set across H u G exceeds t (bounds::signature_partners).
+/// Deterministic in (protocol, config.n, config.t, seed); callers memoize.
+std::vector<std::string> check_signature_floors(const Protocol& protocol,
+                                                const BAConfig& config,
+                                                std::uint64_t seed);
+
+}  // namespace dr::check

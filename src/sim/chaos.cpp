@@ -18,6 +18,8 @@ const char* to_string(ScriptedKind kind) {
     case ScriptedKind::kSilent: return "silent";
     case ScriptedKind::kCrash: return "crash";
     case ScriptedKind::kChaos: return "chaos";
+    case ScriptedKind::kDelayedEcho: return "delayed-echo";
+    case ScriptedKind::kEquivocate: return "equivocate";
   }
   return "?";
 }
@@ -26,6 +28,8 @@ bool scripted_kind_from_string(std::string_view name, ScriptedKind& out) {
   if (name == "silent") out = ScriptedKind::kSilent;
   else if (name == "crash") out = ScriptedKind::kCrash;
   else if (name == "chaos") out = ScriptedKind::kChaos;
+  else if (name == "delayed-echo") out = ScriptedKind::kDelayedEcho;
+  else if (name == "equivocate") out = ScriptedKind::kEquivocate;
   else return false;
   return true;
 }
@@ -71,10 +75,8 @@ std::optional<Protocol> resolve_protocol(std::string_view name) {
   return std::nullopt;
 }
 
-namespace {
-
-ba::ScenarioFault make_scripted(const Protocol& protocol,
-                                const ScriptedFault& fault) {
+ba::ScenarioFault to_scenario_fault(const Protocol& protocol,
+                                    const ScriptedFault& fault) {
   switch (fault.kind) {
     case ScriptedKind::kSilent:
       return ba::ScenarioFault{fault.id, [](ProcId, const BAConfig&) {
@@ -82,12 +84,30 @@ ba::ScenarioFault make_scripted(const Protocol& protocol,
                                      adversary::SilentProcess>();
                                }};
     case ScriptedKind::kCrash:
+      // Copy the factory, not the Protocol reference: the returned fault
+      // must outlive temporaries like resolve_protocol() results.
       return ba::ScenarioFault{
-          fault.id, [&protocol, phase = fault.crash_phase](
+          fault.id, [make = protocol.make, phase = fault.crash_phase](
                         ProcId p, const BAConfig& c) {
-            return std::make_unique<adversary::CrashProcess>(
-                protocol.make(p, c), phase);
+            return std::make_unique<adversary::CrashProcess>(make(p, c),
+                                                             phase);
           }};
+    case ScriptedKind::kDelayedEcho:
+      return ba::ScenarioFault{
+          fault.id, [delay = fault.delay](ProcId, const BAConfig&) {
+            return std::make_unique<adversary::DelayedEcho>(delay);
+          }};
+    case ScriptedKind::kEquivocate: {
+      return ba::ScenarioFault{
+          fault.id, [mask = fault.ones_mask](ProcId, const BAConfig& c) {
+            std::set<ProcId> ones;
+            for (ProcId p = 0; p < c.n && p < 64; ++p) {
+              if ((mask >> p) & 1) ones.insert(p);
+            }
+            return std::make_unique<adversary::EquivocatingTransmitter>(
+                std::move(ones), c.n);
+          }};
+    }
     case ScriptedKind::kChaos:
       break;
   }
@@ -97,8 +117,6 @@ ba::ScenarioFault make_scripted(const Protocol& protocol,
         return std::make_unique<adversary::RandomByzantine>(seed, prob);
       }};
 }
-
-}  // namespace
 
 const char* to_string(Backend backend) {
   return backend == Backend::kSim ? "sim" : "net";
@@ -121,7 +139,7 @@ Outcome execute(const Scenario& scenario, Backend backend) {
   std::vector<ba::ScenarioFault> faults;
   faults.reserve(scenario.scripted.size());
   for (const ScriptedFault& fault : scenario.scripted) {
-    faults.push_back(make_scripted(*protocol, fault));
+    faults.push_back(to_scenario_fault(*protocol, fault));
   }
 
   Outcome outcome;
@@ -176,8 +194,10 @@ Budgets budgets_for(std::string_view protocol_name, const BAConfig& config) {
     budgets.messages =
         static_cast<double>(bounds::alg2_message_upper_bound(config.t));
   } else if (parsed.base == "alg3") {
-    budgets.messages =
-        bounds::alg3_message_upper_bound(config.n, config.t, parsed.s);
+    // The exact integer form: ceil(4tn/s) instead of a truncating or
+    // floating-point threshold (see bounds/formulas.h).
+    budgets.messages = static_cast<double>(
+        bounds::alg3_message_upper_bound_exact(config.n, config.t, parsed.s));
   } else if (parsed.base == "dolev-strong") {
     budgets.messages = static_cast<double>(
         bounds::dolev_strong_broadcast_message_bound(config.n));
@@ -286,6 +306,10 @@ std::string to_json(const Scenario& scenario,
       out << ",\"phase\":" << fault.crash_phase;
     } else if (fault.kind == ScriptedKind::kChaos) {
       out << ",\"seed\":" << fault.seed << ",\"prob\":" << fault.send_prob;
+    } else if (fault.kind == ScriptedKind::kDelayedEcho) {
+      out << ",\"delay\":" << fault.delay;
+    } else if (fault.kind == ScriptedKind::kEquivocate) {
+      out << ",\"ones\":" << fault.ones_mask;
     }
     out << "}";
   }
@@ -600,6 +624,16 @@ std::optional<Scenario> scenario_from_json(
         std::uint64_t phase = 0;
         if (!read_u64(entry, "phase", phase)) return reject("bad crash phase");
         fault.crash_phase = static_cast<PhaseNum>(phase);
+      } else if (fault.kind == ScriptedKind::kDelayedEcho) {
+        std::uint64_t delay = 0;
+        if (!read_u64(entry, "delay", delay) || delay == 0) {
+          return reject("bad echo delay");
+        }
+        fault.delay = static_cast<PhaseNum>(delay);
+      } else if (fault.kind == ScriptedKind::kEquivocate) {
+        if (!read_u64(entry, "ones", fault.ones_mask)) {
+          return reject("bad equivocation mask");
+        }
       } else if (fault.kind == ScriptedKind::kChaos) {
         const JsonValue* prob = entry.find("prob");
         if (!read_u64(entry, "seed", fault.seed) || prob == nullptr ||
@@ -660,29 +694,11 @@ std::optional<Scenario> scenario_from_json(
 Scenario minimize(const Scenario& scenario,
                   const std::function<bool(const Scenario&)>& still_fails) {
   Scenario best = scenario;
-  std::size_t chunk = std::max<std::size_t>(1, best.rules.size() / 2);
-  while (true) {
-    bool progress = false;
-    std::size_t start = 0;
-    while (start < best.rules.size()) {
-      const std::size_t end = std::min(best.rules.size(), start + chunk);
-      Scenario candidate = best;
-      candidate.rules.erase(
-          candidate.rules.begin() + static_cast<std::ptrdiff_t>(start),
-          candidate.rules.begin() + static_cast<std::ptrdiff_t>(end));
-      if (still_fails(candidate)) {
-        best = std::move(candidate);
-        progress = true;  // retry the same position against the remainder
-      } else {
-        start = end;
-      }
-    }
-    if (chunk > 1) {
-      chunk /= 2;
-    } else if (!progress) {
-      break;  // 1-minimal: no single rule can be removed
-    }
-  }
+  best.rules = ddmin(best.rules, [&](const std::vector<sim::FaultRule>& rules) {
+    Scenario candidate = best;
+    candidate.rules = rules;
+    return still_fails(candidate);
+  });
   return best;
 }
 
@@ -715,8 +731,11 @@ std::vector<std::string> default_pool() {
           "alg1",         "alg2",               "alg3[s=3]", "alg5[s=3]"};
 }
 
-sim::FaultRule random_rule(Xoshiro256& rng, std::size_t n, PhaseNum steps,
-                           double wildcard_probability) {
+}  // namespace
+
+sim::FaultRule random_fault_rule(Xoshiro256& rng, std::size_t n,
+                                 PhaseNum steps,
+                                 double wildcard_probability) {
   sim::FaultRule rule;
   rule.kind = static_cast<sim::FaultKind>(rng.below(5));
   rule.from = rng.chance(wildcard_probability)
@@ -730,6 +749,8 @@ sim::FaultRule random_rule(Xoshiro256& rng, std::size_t n, PhaseNum steps,
                    : static_cast<PhaseNum>(rng.range(1, steps));
   return rule;
 }
+
+namespace {
 
 Scenario random_scenario(Xoshiro256& rng, const SoakOptions& options,
                          const std::vector<std::string>& pool) {
@@ -767,7 +788,7 @@ Scenario random_scenario(Xoshiro256& rng, const SoakOptions& options,
   const std::size_t rule_count = rng.below(options.max_rules + 1);
   for (std::size_t i = 0; i < rule_count; ++i) {
     scenario.rules.push_back(
-        random_rule(rng, scenario.config.n, steps,
+        random_fault_rule(rng, scenario.config.n, steps,
                     /*wildcard_probability=*/0.1));
   }
   return scenario;
@@ -852,7 +873,7 @@ std::optional<Finding> hunt_over_budget(std::string_view protocol_name,
       // Wilder than the soak: more wildcards, so whole processors get
       // isolated and the faulty set overshoots t quickly.
       scenario.rules.push_back(
-          random_rule(rng, config.n, steps, /*wildcard_probability=*/0.3));
+          random_fault_rule(rng, config.n, steps, /*wildcard_probability=*/0.3));
     }
     if (!broken(scenario)) continue;
 

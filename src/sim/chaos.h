@@ -24,6 +24,7 @@
 // bit-exactly.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -33,6 +34,7 @@
 
 #include "ba/registry.h"
 #include "sim/faults.h"
+#include "util/rng.h"
 
 namespace dr::chaos {
 
@@ -44,7 +46,13 @@ using sim::Value;
 
 /// Scripted Byzantine behaviours the generator can draw and the JSON
 /// codec can round-trip (a serializable subset of adversary/strategies.h).
-enum class ScriptedKind : std::uint8_t { kSilent, kCrash, kChaos };
+enum class ScriptedKind : std::uint8_t {
+  kSilent,
+  kCrash,
+  kChaos,
+  kDelayedEcho,  // rebroadcasts everything `delay` phases late
+  kEquivocate,   // transmitter signs 1 for the `ones_mask` set, 0 otherwise
+};
 
 const char* to_string(ScriptedKind kind);
 bool scripted_kind_from_string(std::string_view name, ScriptedKind& out);
@@ -55,10 +63,20 @@ struct ScriptedFault {
   PhaseNum crash_phase = 1;   // kCrash: runs the protocol, then goes silent
   std::uint64_t seed = 1;     // kChaos: RandomByzantine seed
   double send_prob = 0.3;     // kChaos: per-receiver send probability
+  PhaseNum delay = 1;         // kDelayedEcho: echo lag in phases
+  std::uint64_t ones_mask = 0;  // kEquivocate: receivers told "1" (bit p)
 
   friend bool operator==(const ScriptedFault&,
                          const ScriptedFault&) = default;
 };
+
+/// Materializes a serializable fault as a runnable ScenarioFault — the one
+/// seam through which the chaos soak, the conformance generators and the
+/// hand-written test helpers (tests/test_util.h) all build Byzantine
+/// processes. Copies what it needs from `protocol`, so the returned fault
+/// does not dangle when the Protocol goes out of scope.
+ba::ScenarioFault to_scenario_fault(const Protocol& protocol,
+                                    const ScriptedFault& fault);
 
 /// A fully described chaos run. `protocol` is a registry name, including
 /// the parameterised forms "alg3[s=K]" / "alg5[s=K]" (resolve_protocol).
@@ -142,11 +160,40 @@ std::optional<Scenario> scenario_from_json(
     std::string_view json, std::vector<std::string>* violations = nullptr,
     std::string* error = nullptr);
 
-/// Greedy delta-debugging over Scenario::rules: returns a scenario with a
-/// 1-minimal rule subset (no single rule can be removed) that still
-/// satisfies `still_fails`. Tries chunk removals first so large random
-/// plans collapse quickly. `still_fails(scenario)` must be deterministic
-/// and true for the input scenario.
+/// Greedy delta-debugging over an arbitrary item list: returns a 1-minimal
+/// subset (no single item can be removed) that still satisfies
+/// `still_fails`. Tries chunk removals first so large random lists collapse
+/// quickly. `still_fails(items)` must be deterministic and true for the
+/// input list. Shared by the rule minimizer below and the conformance
+/// engine's scripted-fault shrinker (src/check).
+template <typename T, typename Pred>
+std::vector<T> ddmin(std::vector<T> items, Pred&& still_fails) {
+  std::size_t chunk = std::max<std::size_t>(1, items.size() / 2);
+  while (true) {
+    bool progress = false;
+    std::size_t start = 0;
+    while (start < items.size()) {
+      const std::size_t end = std::min(items.size(), start + chunk);
+      std::vector<T> candidate = items;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(start),
+                      candidate.begin() + static_cast<std::ptrdiff_t>(end));
+      if (still_fails(candidate)) {
+        items = std::move(candidate);
+        progress = true;  // retry the same position against the remainder
+      } else {
+        start = end;
+      }
+    }
+    if (chunk > 1) {
+      chunk /= 2;
+    } else if (!progress) {
+      return items;  // 1-minimal: no single item can be removed
+    }
+  }
+}
+
+/// ddmin over Scenario::rules: returns a scenario with a 1-minimal rule
+/// subset that still satisfies `still_fails(scenario)`.
 Scenario minimize(const Scenario& scenario,
                   const std::function<bool(const Scenario&)>& still_fails);
 
@@ -156,6 +203,13 @@ struct Finding {
   std::vector<std::string> violations;
   std::string reproducer_json;
 };
+
+/// One random transport-fault rule over an (n, steps) grid, shared by the
+/// soak generator and the conformance engine's case generator. Each field
+/// is a wildcard with `wildcard_probability`, else uniform over its range.
+sim::FaultRule random_fault_rule(Xoshiro256& rng, std::size_t n,
+                                 PhaseNum steps,
+                                 double wildcard_probability);
 
 struct SoakOptions {
   std::uint64_t seed = 1;

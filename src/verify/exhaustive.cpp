@@ -177,4 +177,51 @@ ExhaustiveResult exhaust(const ba::Protocol& protocol,
   }
 }
 
+ReplayOutcome replay_script(const ba::Protocol& protocol,
+                            const ba::BAConfig& config, ba::ProcId faulty_id,
+                            const std::vector<std::uint32_t>& script,
+                            const ExhaustiveOptions& options) {
+  DR_EXPECTS(protocol.supports(config));
+  DR_EXPECTS(config.t >= 1);
+  DR_EXPECTS(faulty_id < config.n);
+
+  const PhaseNum steps = protocol.steps(config);
+  const PhaseNum last_send = options.last_send_phase != 0
+                                 ? options.last_send_phase
+                                 : (steps > 1 ? steps - 1 : steps);
+
+  // Same trajectory as the enumeration run that recorded `script`: the
+  // correct processors are deterministic, so every decision point recurs
+  // with the same arity and the recorded choices stay in range; decide()
+  // extends an exhausted script with choice 0.
+  ScriptState state;
+  state.script = script;
+  sim::Runner runner(sim::RunConfig{.n = config.n,
+                                    .t = config.t,
+                                    .transmitter = config.transmitter,
+                                    .value = config.value,
+                                    .seed = 1,
+                                    .rushing = options.rushing});
+  runner.mark_faulty(faulty_id);
+  for (ProcId p = 0; p < config.n; ++p) {
+    if (p == faulty_id) {
+      runner.install(p, std::make_unique<ScriptedAdversary>(&state, options,
+                                                            last_send));
+    } else {
+      runner.install(p, protocol.make(p, config));
+    }
+  }
+
+  ReplayOutcome outcome;
+  outcome.run = runner.run(steps);
+  const auto check = sim::check_byzantine_agreement(
+      outcome.run, config.transmitter, config.value);
+  outcome.agreement = check.agreement;
+  outcome.validity = check.validity;
+  outcome.violation =
+      !(check.agreement &&
+        (faulty_id == config.transmitter || check.validity));
+  return outcome;
+}
+
 }  // namespace dr::verify

@@ -57,4 +57,22 @@ ExhaustiveResult exhaust(const ba::Protocol& protocol,
                          const ba::BAConfig& config, ba::ProcId faulty_id,
                          const ExhaustiveOptions& options = {});
 
+/// One deterministic re-execution of a recorded choice script (typically
+/// `first_violation`). Decision points beyond the script's end take choice
+/// 0 — which also makes the `[0]` empty-script marker replay exactly the
+/// all-zero execution it was recorded from. The witness claim Theorems 1/2
+/// rest on is checked here: the replayed run really does break agreement
+/// (or validity), not merely get counted.
+struct ReplayOutcome {
+  bool agreement = false;
+  bool validity = false;   // meaningful when faulty_id != transmitter
+  bool violation = false;  // the asserted BA conditions fail in this run
+  sim::RunResult run;
+};
+
+ReplayOutcome replay_script(const ba::Protocol& protocol,
+                            const ba::BAConfig& config, ba::ProcId faulty_id,
+                            const std::vector<std::uint32_t>& script,
+                            const ExhaustiveOptions& options = {});
+
 }  // namespace dr::verify

@@ -1,0 +1,151 @@
+// The conformance engine, end to end: clean sweeps at the paper's scales,
+// profile constants, generator envelope, Theorem 1 floors, and the
+// acceptance demo — a deliberately broken bound constant must yield a
+// shrunk JSON reproducer that replays bit-deterministically.
+#include "check/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bounds/formulas.h"
+
+namespace dr::check {
+namespace {
+
+TEST(Profiles, EncodePaperConstants) {
+  const ba::BAConfig alg1{7, 3, 0, 1};
+  const BoundProfile p1 = profile_for("alg1", alg1);
+  EXPECT_EQ(p1.message_upper, bounds::alg1_message_upper_bound(3));
+  EXPECT_EQ(p1.message_upper, 2u * 9 + 2 * 3);
+  EXPECT_EQ(p1.phase_upper, 3u + 2);
+  EXPECT_TRUE(p1.authenticated);
+  EXPECT_EQ(p1.signature_floor,
+            bounds::theorem1_signature_lower_bound_exact(7, 3));
+  EXPECT_EQ(p1.partner_floor, 4u);
+
+  const ba::BAConfig alg3{9, 2, 0, 1};
+  const BoundProfile p3 = profile_for("alg3[s=3]", alg3);
+  EXPECT_EQ(p3.message_upper,
+            bounds::alg3_message_upper_bound_exact(9, 2, 3));
+  EXPECT_EQ(p3.phase_upper, 2u + 2 * 3 + 3);
+
+  // eig is unauthenticated: no Theorem 1 floors, implementation ceiling.
+  const ba::BAConfig eig{7, 2, 0, 1};
+  const BoundProfile pe = profile_for("eig", eig);
+  EXPECT_FALSE(pe.authenticated);
+  EXPECT_EQ(pe.partner_floor, 0u);
+  EXPECT_EQ(pe.message_upper, 3u * 7 * 6);
+
+  // Scaling distorts the thresholds (the broken-constant lever).
+  OracleOptions broken;
+  broken.message_scale = 0.5;
+  EXPECT_EQ(profile_for("alg1", alg1, broken).message_upper,
+            (2u * 9 + 2 * 3) / 2);
+}
+
+TEST(Generators, CasesStayInsideTheSupportsEnvelope) {
+  Xoshiro256 rng(42);
+  GenOptions options;
+  for (int i = 0; i < 500; ++i) {
+    const chaos::Scenario scenario = generate_case(rng, options);
+    const std::optional<ba::Protocol> protocol =
+        chaos::resolve_protocol(scenario.protocol);
+    ASSERT_TRUE(protocol.has_value()) << scenario.protocol;
+    EXPECT_TRUE(protocol->supports(scenario.config)) << scenario.protocol;
+    EXPECT_LE(scenario.scripted.size(), scenario.config.t);
+    std::set<ba::ProcId> ids;
+    for (const chaos::ScriptedFault& fault : scenario.scripted) {
+      EXPECT_TRUE(ids.insert(fault.id).second) << "duplicate scripted id";
+      EXPECT_LT(fault.id, scenario.config.n);
+      if (fault.kind == chaos::ScriptedKind::kEquivocate) {
+        EXPECT_EQ(fault.id, scenario.config.transmitter);
+      }
+    }
+  }
+}
+
+TEST(SignatureFloors, HoldForAuthenticatedRegistryProtocols) {
+  const auto floors_of = [](std::string_view name, std::size_t n,
+                            std::size_t t) {
+    const std::optional<ba::Protocol> protocol =
+        chaos::resolve_protocol(name);
+    EXPECT_TRUE(protocol.has_value());
+    return check_signature_floors(*protocol, ba::BAConfig{n, t, 0, 0}, 1);
+  };
+  EXPECT_TRUE(floors_of("alg1", 5, 2).empty());
+  EXPECT_TRUE(floors_of("alg2", 7, 3).empty());
+  EXPECT_TRUE(floors_of("dolev-strong", 7, 2).empty());
+  EXPECT_TRUE(floors_of("alg3[s=2]", 8, 2).empty());
+}
+
+TEST(Engine, CleanSweepAtPaperScales) {
+  EngineOptions options;
+  options.cases = 120;
+  options.seed = 3;
+  options.differential = false;
+  ConformanceEngine engine(options);
+  const ConformanceStats stats = engine.run();
+  EXPECT_EQ(stats.cases, 120u);
+  EXPECT_GT(stats.checked, 80u);
+  EXPECT_GT(stats.signature_shapes_checked, 10u);
+  EXPECT_TRUE(stats.findings.empty())
+      << stats.findings.front().reproducer_json;
+}
+
+TEST(Engine, DifferentialSweepAgreesAcrossBackends) {
+  EngineOptions options;
+  options.cases = 25;
+  options.seed = 11;
+  ConformanceEngine engine(options);
+  const ConformanceStats stats = engine.run();
+  EXPECT_TRUE(stats.findings.empty())
+      << stats.findings.front().reproducer_json;
+}
+
+TEST(Engine, BrokenConstantYieldsShrunkDeterministicReproducer) {
+  // The acceptance demo: tighten every message bound 20x — as if
+  // 2t^2+2t had been mis-transcribed — and require the engine to find
+  // it, shrink it to a 1-minimal case, and emit JSON that replays to the
+  // identical violation list.
+  EngineOptions options;
+  options.cases = 40;
+  options.seed = 1;
+  options.differential = false;
+  options.oracles.message_scale = 0.05;
+  ConformanceEngine engine(options);
+  const ConformanceStats stats = engine.run();
+  ASSERT_FALSE(stats.findings.empty());
+
+  for (const chaos::Finding& finding : stats.findings) {
+    // Clean-run overshoot needs no faults at all, so ddmin must have
+    // stripped every scripted fault and every transport rule.
+    EXPECT_TRUE(finding.scenario.scripted.empty());
+    EXPECT_TRUE(finding.scenario.rules.empty());
+
+    // The reproducer round-trips...
+    std::vector<std::string> recorded;
+    std::string error;
+    const std::optional<chaos::Scenario> loaded =
+        chaos::scenario_from_json(finding.reproducer_json, &recorded,
+                                  &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(*loaded, finding.scenario);
+    EXPECT_EQ(recorded, finding.violations);
+
+    // ...and replays to the identical violation list on a fresh engine.
+    ConformanceEngine replayer(options);
+    const CaseReport replayed = replayer.evaluate(*loaded);
+    EXPECT_TRUE(replayed.within_budget);
+    EXPECT_EQ(replayed.violations, finding.violations);
+
+    // At the paper's true scales the same case is conforming.
+    EngineOptions clean = options;
+    clean.oracles = OracleOptions{};
+    ConformanceEngine honest(clean);
+    EXPECT_TRUE(honest.evaluate(*loaded).violations.empty());
+  }
+}
+
+}  // namespace
+}  // namespace dr::check

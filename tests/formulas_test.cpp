@@ -1,0 +1,115 @@
+// Boundary evaluations of the closed-form bounds the conformance oracles
+// compare against. The interesting edges: n = 2t+1 (the tight Algorithm 1/2
+// regime), s = 1 and s = 4t (the extremes of Algorithm 3's chain length),
+// and t = 0 (no faults tolerated — every budget must still be well defined).
+// The exact integer forms must never truncate below the real-valued bound.
+#include "bounds/formulas.h"
+
+#include <gtest/gtest.h>
+
+namespace dr::bounds {
+namespace {
+
+TEST(CeilDiv, ExactAndRoundingCases) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(6, 3), 2u);
+  EXPECT_EQ(ceil_div(7, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 1), 1u);
+  EXPECT_EQ(ceil_div(5, 0), 0u);  // guarded, not UB
+}
+
+TEST(Alg3Bound, ExactNeverTruncatesBelowTheRealBound) {
+  // Sweep (n, t, s) including every non-divisible 4tn/s shape the oracle
+  // can meet; the integer threshold must dominate the real-valued bound
+  // and stay within 1 of it.
+  for (std::size_t t = 0; t <= 4; ++t) {
+    for (std::size_t n = 2 * t + 2; n <= 2 * t + 8; ++n) {
+      for (std::size_t s = 1; s <= 4 * t + 1; ++s) {
+        const double real = alg3_message_upper_bound(n, t, s);
+        const std::size_t exact = alg3_message_upper_bound_exact(n, t, s);
+        EXPECT_GE(static_cast<double>(exact), real)
+            << "n=" << n << " t=" << t << " s=" << s;
+        EXPECT_LT(static_cast<double>(exact), real + 1.0)
+            << "n=" << n << " t=" << t << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(Alg3Bound, TruncationHazardAtNonDivisibleParameters) {
+  // The case the exact form exists for: 4tn/s = 56/3 = 18.67. Plain
+  // integer division would give 18 and understate the paper's budget.
+  const std::size_t truncated = 2 * 7 + (4 * 2 * 7) / 3 + 3 * 2 * 2 * 3;
+  EXPECT_EQ(alg3_message_upper_bound_exact(7, 2, 3), truncated + 1);
+  EXPECT_GT(static_cast<double>(alg3_message_upper_bound_exact(7, 2, 3)),
+            alg3_message_upper_bound(7, 2, 3) - 1e-9);
+}
+
+TEST(Alg3Bound, ChainLengthExtremes) {
+  // s = 1: the relay term is exactly 4tn, no rounding.
+  EXPECT_EQ(alg3_message_upper_bound_exact(10, 2, 1),
+            2 * 10 + 4 * 2 * 10 + 3 * 4 * 1);
+  EXPECT_DOUBLE_EQ(alg3_message_upper_bound(10, 2, 1),
+                   static_cast<double>(2 * 10 + 80 + 12));
+  // s = 4t: 4tn/s = n exactly, again no rounding.
+  const std::size_t t = 2, s = 4 * t, n = 10;
+  EXPECT_EQ(alg3_message_upper_bound_exact(n, t, s), 2 * n + n + 3 * t * t * s);
+  EXPECT_DOUBLE_EQ(alg3_message_upper_bound(n, t, s),
+                   static_cast<double>(3 * n + 3 * t * t * s));
+}
+
+TEST(Alg12Bounds, TightRegimeAndZeroFaults) {
+  // n = 2t+1 is the only regime Algorithms 1/2 run in; their budgets are
+  // functions of t alone and must agree with the paper's polynomials.
+  EXPECT_EQ(alg1_message_upper_bound(3), 2 * 9 + 2 * 3);
+  EXPECT_EQ(alg2_message_upper_bound(3), 5 * 9 + 5 * 3);
+  EXPECT_EQ(alg1_phase_bound(3), 5u);
+  EXPECT_EQ(alg2_phase_bound(3), 12u);
+  // t = 0: degenerate but well defined — no cascade, phases collapse to
+  // the constants.
+  EXPECT_EQ(alg1_message_upper_bound(0), 0u);
+  EXPECT_EQ(alg2_message_upper_bound(0), 0u);
+  EXPECT_EQ(alg1_phase_bound(0), 2u);
+  EXPECT_EQ(alg2_phase_bound(0), 3u);
+  EXPECT_EQ(alg3_phase_bound(0, 1), 5u);
+  EXPECT_EQ(alg5_phase_bound(0, 1), 6u);
+}
+
+TEST(LowerBounds, Theorem1ExactCeil) {
+  // n(t+1)/4 = 10*4/4 = 10 exactly; 9*5/4 = 11.25 -> 12.
+  EXPECT_EQ(theorem1_signature_lower_bound_exact(10, 3), 10u);
+  EXPECT_EQ(theorem1_signature_lower_bound_exact(9, 4), 12u);
+  EXPECT_DOUBLE_EQ(theorem1_signature_lower_bound(9, 4), 11.25);
+  // t = 0: still n/4 signatures across the two failure-free histories.
+  EXPECT_EQ(theorem1_signature_lower_bound_exact(7, 0), 2u);
+  for (std::size_t n = 2; n <= 12; ++n) {
+    for (std::size_t t = 0; 2 * t + 1 <= n; ++t) {
+      EXPECT_GE(static_cast<double>(theorem1_signature_lower_bound_exact(n, t)),
+                theorem1_signature_lower_bound(n, t));
+      EXPECT_LT(static_cast<double>(theorem1_signature_lower_bound_exact(n, t)),
+                theorem1_signature_lower_bound(n, t) + 1.0);
+    }
+  }
+}
+
+TEST(LowerBounds, Theorem2BoundaryShapes) {
+  // t = 0: the max{} is carried by the (n-1)/2 term.
+  EXPECT_DOUBLE_EQ(theorem2_message_lower_bound(9, 0), 4.0);
+  EXPECT_EQ(theorem2_per_faulty_lower_bound(0), 1u);
+  // Large t at n = 2t+1: the quadratic term dominates.
+  EXPECT_DOUBLE_EQ(theorem2_message_lower_bound(9, 4), 9.0);
+  EXPECT_EQ(theorem2_per_faulty_lower_bound(4), 3u);   // ceil(1 + 2)
+  EXPECT_EQ(theorem2_per_faulty_lower_bound(5), 4u);   // ceil(1 + 2.5)
+}
+
+TEST(ExchangeBounds, Alg4AndBaselines) {
+  EXPECT_EQ(alg4_message_upper_bound(3), 3 * 2 * 9);
+  EXPECT_EQ(naive_exchange_messages(9), 72u);
+  // t = 0 relay baseline: (n-1) + (n-1) — two one-signature waves.
+  EXPECT_EQ(relay_exchange_messages(9, 0), 16u);
+  EXPECT_EQ(dolev_strong_broadcast_message_bound(5), 4 + 2 * 16);
+  EXPECT_EQ(dolev_strong_relay_message_bound(5, 0), 4 + 10 + 8);
+}
+
+}  // namespace
+}  // namespace dr::bounds

@@ -114,6 +114,39 @@ TEST(NetParity, WithTransportFaultPlans) {
   }
 }
 
+TEST(NetParity, UnauthenticatedProtocolsUnderScriptedFaultPlans) {
+  // eig and phase-king are the unauthenticated registry members — their
+  // vote-counting paths (EIG tree resolve, king tie-break) are the most
+  // sensitive to delivery-order divergence, so pin them explicitly under
+  // the plan kinds the generic sweep above leaves out: transport-level
+  // crash (kCrash silences a processor mid-run) and receive omission
+  // (kOmitReceive starves one edge), layered over scripted Byzantine
+  // processors.
+  const std::vector<sim::FaultRule> plans[] = {
+      {{sim::FaultKind::kCrash, 3, sim::kAnyProc, 2}},
+      {{sim::FaultKind::kOmitReceive, sim::kAnyProc, 5, 3},
+       {sim::FaultKind::kDrop, 1, 2, sim::kAnyPhase}},
+  };
+  for (const auto& [name, config] :
+       {std::pair{std::string("eig"), ba::BAConfig{7, 2, 0, 1}},
+        std::pair{std::string("phase-king"), ba::BAConfig{9, 2, 0, 1}}}) {
+    const std::optional<ba::Protocol> protocol =
+        chaos::resolve_protocol(name);
+    ASSERT_TRUE(protocol.has_value());
+    const Case c{name, *protocol, config};
+    for (const std::vector<sim::FaultRule>& rules : plans) {
+      SCOPED_TRACE(name + " rules=" + std::to_string(rules.size()));
+      expect_parity(c, /*seed=*/13, {}, rules);
+      // And with a scripted Byzantine processor in the mix: one crash
+      // fault built through the same to_scenario_fault seam the
+      // conformance generator draws from.
+      std::vector<ba::ScenarioFault> faults;
+      faults.push_back(test::crash(*protocol, 6, 2));
+      expect_parity(c, /*seed=*/13, faults, rules);
+    }
+  }
+}
+
 TEST(NetParity, WireAccountingIsPlausible) {
   // frames_sent and wire_bytes are net-only counters (zero on sim). Every
   // payload message becomes exactly one frame, plus (phases-1) DONE

@@ -1,4 +1,9 @@
 // Shared helpers for the protocol test suites.
+//
+// The fault builders delegate to chaos::to_scenario_fault — the same seam
+// the chaos soak and the conformance engine's generators (src/check)
+// construct scenarios through — so a behaviour exercised by hand here is
+// the identical object the randomized engines draw.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -8,6 +13,7 @@
 
 #include "adversary/strategies.h"
 #include "ba/registry.h"
+#include "sim/chaos.h"
 #include "sim/runner.h"
 
 namespace dr::test {
@@ -20,46 +26,57 @@ using ba::Value;
 
 /// A fault that stays completely silent.
 inline ScenarioFault silent(ProcId id) {
-  return ScenarioFault{id, [](ProcId, const BAConfig&) {
-                         return std::make_unique<adversary::SilentProcess>();
-                       }};
+  dr::chaos::ScriptedFault fault;
+  fault.kind = dr::chaos::ScriptedKind::kSilent;
+  fault.id = id;
+  // kSilent ignores the protocol; any registry entry satisfies the seam.
+  return dr::chaos::to_scenario_fault(ba::protocols().front(), fault);
 }
 
 /// A fault that runs the correct protocol, then crashes at `phase`.
 inline ScenarioFault crash(const Protocol& protocol, ProcId id,
                            sim::PhaseNum phase) {
-  return ScenarioFault{
-      id, [&protocol, phase](ProcId p, const BAConfig& c) {
-        return std::make_unique<adversary::CrashProcess>(protocol.make(p, c),
-                                                         phase);
-      }};
+  dr::chaos::ScriptedFault fault;
+  fault.kind = dr::chaos::ScriptedKind::kCrash;
+  fault.id = id;
+  fault.crash_phase = phase;
+  return dr::chaos::to_scenario_fault(protocol, fault);
 }
 
-/// A randomized Byzantine fault (seeded per id for reproducibility).
+/// A randomized Byzantine fault. Note the seam folds no per-id entropy in;
+/// callers wanting distinct behaviours per processor pass distinct seeds.
+inline ScenarioFault chaos_fault(ProcId id, std::uint64_t seed,
+                                 double send_prob = 0.3) {
+  dr::chaos::ScriptedFault fault;
+  fault.kind = dr::chaos::ScriptedKind::kChaos;
+  fault.id = id;
+  fault.seed = seed ^ id;  // preserve the historical per-id derivation
+  fault.send_prob = send_prob;
+  return dr::chaos::to_scenario_fault(ba::protocols().front(), fault);
+}
+
+/// Back-compat name used across the suites.
 inline ScenarioFault chaos(ProcId id, std::uint64_t seed,
                            double send_prob = 0.3) {
-  return ScenarioFault{
-      id, [seed, send_prob](ProcId p, const BAConfig&) {
-        return std::make_unique<adversary::RandomByzantine>(seed ^ p,
-                                                            send_prob);
-      }};
+  return chaos_fault(id, seed, send_prob);
 }
 
 /// A transmitter that signs 1 for `ones` and 0 for the rest, phase 1 only.
 inline ScenarioFault equivocator(std::set<ProcId> ones) {
-  return ScenarioFault{
-      0, [ones = std::move(ones)](ProcId, const BAConfig& c) {
-        return std::make_unique<adversary::EquivocatingTransmitter>(ones,
-                                                                    c.n);
-      }};
+  dr::chaos::ScriptedFault fault;
+  fault.kind = dr::chaos::ScriptedKind::kEquivocate;
+  fault.id = 0;
+  for (ProcId p : ones) fault.ones_mask |= std::uint64_t{1} << p;
+  return dr::chaos::to_scenario_fault(ba::protocols().front(), fault);
 }
 
 /// A fault that buffers and rebroadcasts everything `delay` phases late.
 inline ScenarioFault delayed_echo(ProcId id, sim::PhaseNum delay) {
-  return ScenarioFault{id, [delay](ProcId, const BAConfig&) {
-                         return std::make_unique<adversary::DelayedEcho>(
-                             delay);
-                       }};
+  dr::chaos::ScriptedFault fault;
+  fault.kind = dr::chaos::ScriptedKind::kDelayedEcho;
+  fault.id = id;
+  fault.delay = delay;
+  return dr::chaos::to_scenario_fault(ba::protocols().front(), fault);
 }
 
 /// Runs the scenario and asserts both Byzantine Agreement conditions.
