@@ -20,7 +20,7 @@ double time_once(const Protocol& protocol, const BAConfig& config,
   return std::chrono::duration<double, std::milli>(end - begin).count();
 }
 
-void print_tables() {
+void print_tables(const std::string& json_path) {
   print_header("Parallel phase execution (bit-identical to serial)",
                "processes within a phase are independent; sends commit in "
                "processor order afterwards (speedup bounded by host cores "
@@ -28,26 +28,35 @@ void print_tables() {
   std::printf("%-22s %6s %4s | %9s %9s %9s | %8s\n", "protocol", "n", "t",
               "1 thread", "2", "4", "speedup");
   struct Job {
-    std::string label;
+    std::string label;  // table display
+    std::string key;    // JSON metric stem
     Protocol protocol;
     std::size_t n;
     std::size_t t;
   };
   std::vector<Job> jobs;
-  jobs.push_back({"dolev-strong", *ba::find_protocol("dolev-strong"),
+  jobs.push_back({"dolev-strong", "ds", *ba::find_protocol("dolev-strong"),
                   400, 4});
-  jobs.push_back({"phase-king", *ba::find_protocol("phase-king"), 201, 50});
-  jobs.push_back({"alg3[s=16]", ba::make_alg3_protocol(16), 2000, 8});
-  jobs.push_back({"alg5[s=7]", ba::make_alg5_protocol(7), 800, 8});
+  jobs.push_back({"phase-king", "pk", *ba::find_protocol("phase-king"),
+                  201, 50});
+  jobs.push_back({"alg3[s=16]", "alg3", ba::make_alg3_protocol(16),
+                  2000, 8});
+  jobs.push_back({"alg5[s=7]", "alg5", ba::make_alg5_protocol(7), 800, 8});
+  JsonReport report;
+  report.set_meta("threads", "4");  // max worker count the table sweeps
   for (const Job& job : jobs) {
     const BAConfig config{job.n, job.t, 0, 1};
     const double t1 = time_once(job.protocol, config, 1);
     const double t2 = time_once(job.protocol, config, 2);
     const double t4 = time_once(job.protocol, config, 4);
+    const double speedup = t1 / std::min(t2, t4);
     std::printf("%-22s %6zu %4zu | %8.1f %8.1f %8.1f | %7.2fx\n",
-                job.label.c_str(), job.n, job.t, t1, t2, t4,
-                t1 / std::min(t2, t4));
+                job.label.c_str(), job.n, job.t, t1, t2, t4, speedup);
+    report.set("parallel_serial_" + job.key + "_ms", t1);
+    report.set("parallel_best_" + job.key + "_ms", std::min(t2, t4));
+    report.set("parallel_speedup_" + job.key, speedup);
   }
+  if (!json_path.empty()) report.write(json_path);
 }
 
 void register_timings() {
@@ -67,7 +76,8 @@ void register_timings() {
 }  // namespace dr::bench
 
 int main(int argc, char** argv) {
-  dr::bench::print_tables();
+  const std::string json_path = dr::bench::take_json_flag(argc, argv);
+  dr::bench::print_tables(json_path);
   dr::bench::register_timings();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

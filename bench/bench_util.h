@@ -120,8 +120,25 @@ inline void print_header(const char* title, const char* claim) {
   std::printf("================================================================\n");
 }
 
+/// Best-effort short commit hash of the working tree, "unknown" outside a
+/// checkout. Recorded in bench meta so a stored report names the code it
+/// measured.
+inline std::string git_sha() {
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  std::string sha;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+  ::pclose(pipe);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
 /// Flat JSON summary: {"meta": {...}, "metrics": {...}}. Meta records the
-/// machine context (cores) so consumers can gate machine-dependent numbers;
+/// machine context (cores, the worker-thread budget the run used, the git
+/// SHA it measured) so consumers can gate machine-dependent numbers;
 /// metric keys follow the `<what>_ns` / `<what>_speedup` convention that
 /// scripts/bench_compare.py keys on. Insertion order is preserved.
 class JsonReport {
@@ -129,6 +146,10 @@ class JsonReport {
   JsonReport() {
     set_meta("cores",
              std::to_string(std::thread::hardware_concurrency()));
+    // Runner worker threads used by the measurements; serial binaries keep
+    // the default, bench_parallel overrides with its max thread count.
+    set_meta("threads", "1");
+    set_meta("git_sha", git_sha());
   }
 
   void set_meta(const std::string& key, const std::string& value) {

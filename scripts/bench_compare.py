@@ -2,11 +2,11 @@
 """Gate benchmark regressions between two bench JSON reports.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.20]
-                        [--strict]
+                        [--strict] [--floor PATTERN=VALUE ...]
 
-The bench binaries (bench_crypto, bench_headline) write reports of the form
-{"meta": {...}, "metrics": {...}}. Two kinds of metric keys exist by
-convention:
+The bench binaries (bench_crypto, bench_headline, bench_parallel) write
+reports of the form {"meta": {...}, "metrics": {...}}. Two kinds of metric
+keys exist by convention:
 
   *_speedup*  — machine-independent ratios (e.g. legacy-vs-incremental
                 chain verification, serial-vs-parallel wall clock). Gated
@@ -15,14 +15,21 @@ convention:
   *_ns / *_ms — raw timings. Machine-dependent, so they are only gated
                 under --strict (for use on dedicated, quiet hardware).
 
+--floor adds absolute lower bounds on current-report speedups, independent
+of the baseline: --floor 'parallel_speedup_*=1.2' fails the run if any
+matching metric in CURRENT is below 1.2 (fnmatch patterns).
+
 Parallel speedup keys (name contains "parallel") are only meaningful on
-multi-core machines; they are skipped unless both reports ran on >= 4
-cores (meta.cores).
+multi-core machines; relative gates and floors are both skipped — with a
+visible note — unless the report(s) involved ran on >= 4 cores
+(meta.cores). A single-core run (cores == "1") therefore never fails a
+parallel gate.
 
 Exit status: 0 when no gated metric regressed, 1 otherwise. Stdlib only.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -55,10 +62,26 @@ def main():
         action="store_true",
         help="also gate raw *_ns/*_ms timings, not just speedup ratios",
     )
+    parser.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="PATTERN=VALUE",
+        help="absolute lower bound on current speedups matching PATTERN "
+        "(fnmatch), e.g. 'parallel_speedup_*=1.2'; repeatable",
+    )
     args = parser.parse_args()
 
     base_meta, base = load(args.baseline)
     cur_meta, cur = load(args.current)
+
+    def parallel_skip_note(meta, which):
+        """Why a parallel gate can't run on `meta`'s machine, or None."""
+        if cores(meta) == 1:
+            return f"single-core {which} machine (meta.cores == \"1\")"
+        if cores(meta) < 4:
+            return f"{which} machine has < 4 cores"
+        return None
 
     regressions = []
     skipped = []
@@ -72,8 +95,10 @@ def main():
         if not is_speedup and not (args.strict and is_timing):
             continue
         if is_speedup and "parallel" in key:
-            if cores(base_meta) < 4 or cores(cur_meta) < 4:
-                skipped.append((key, "needs >= 4 cores on both machines"))
+            note = (parallel_skip_note(base_meta, "baseline")
+                    or parallel_skip_note(cur_meta, "current"))
+            if note is not None:
+                skipped.append((key, note))
                 continue
         if is_speedup:
             # Bigger is better; fail when the ratio shrank too far.
@@ -90,6 +115,33 @@ def main():
               f"cur {cur_value:.4g} (want {direction})")
         if not ok:
             regressions.append(key)
+
+    # Absolute floors run against the current report only: the bar is the
+    # paper-level expectation (e.g. parallel_speedup_* >= 1.2 on a real
+    # multi-core runner), not a drifting baseline.
+    for spec in args.floor:
+        pattern, sep, raw = spec.partition("=")
+        if not sep:
+            parser.error(f"--floor needs PATTERN=VALUE, got {spec!r}")
+        floor_value = float(raw)
+        matched = False
+        for key, cur_value in cur.items():
+            if not fnmatch.fnmatch(key, pattern):
+                continue
+            matched = True
+            if "parallel" in key:
+                note = parallel_skip_note(cur_meta, "current")
+                if note is not None:
+                    skipped.append((key, f"floor {floor_value:g}: {note}"))
+                    continue
+            ok = cur_value >= floor_value
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {key}: cur {cur_value:.4g} "
+                  f"(floor {floor_value:g})")
+            if not ok:
+                regressions.append(key)
+        if not matched:
+            skipped.append((pattern, "floor pattern matched no metric"))
 
     for key, why in skipped:
         print(f"{'skipped':10s} {key}: {why}")

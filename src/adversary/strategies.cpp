@@ -66,6 +66,14 @@ void IgnoreFirstK::on_phase(Context& ctx) {
                     &ctx.signer(), &ctx.verifier());
   inner_->on_phase(inner_ctx);
   for (auto& out : inner_ctx.outgoing()) {
+    if (out.broadcast) {
+      // Expand, still skipping the other B's (handle copies per target).
+      for (ProcId q = 0; q < ctx.n(); ++q) {
+        if (q == ctx.self() || peers_.contains(q)) continue;
+        ctx.send(q, out.payload, out.signatures);
+      }
+      continue;
+    }
     if (peers_.contains(out.to)) continue;  // never talk to the other B's
     ctx.send(out.to, std::move(out.payload), out.signatures);
   }
@@ -98,10 +106,8 @@ void DelayedEcho::on_phase(Context& ctx) {
   }
   const auto it = buffered_.find(ctx.phase());
   if (it == buffered_.end()) return;
-  for (const Bytes& payload : it->second) {
-    for (ProcId q = 0; q < ctx.n(); ++q) {
-      if (q != ctx.self()) ctx.send(q, payload, 0);
-    }
+  for (const sim::Payload& payload : it->second) {
+    ctx.send_all(payload, 0);
   }
   buffered_.erase(it);
 }
@@ -117,7 +123,7 @@ void RandomByzantine::on_phase(Context& ctx) {
     if (q == ctx.self() || !rng_.chance(send_prob_)) continue;
     Bytes payload;
     if (!seen_.empty() && rng_.chance(0.5)) {
-      payload = seen_[rng_.below(seen_.size())];
+      payload = seen_[rng_.below(seen_.size())].to_bytes();
       if (!payload.empty() && rng_.chance(0.75)) {
         // Mutate: flip a byte or truncate.
         if (rng_.chance(0.5)) {

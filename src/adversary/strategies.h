@@ -107,8 +107,10 @@ class IgnoreFirstK final : public Process {
 /// p as in history H, toward the rest as in history G).
 class TwoFacedReplay final : public Process {
  public:
-  /// trace maps phase -> list of (receiver, payload).
-  using Trace = std::map<PhaseNum, std::vector<std::pair<ProcId, Bytes>>>;
+  /// trace maps phase -> list of (receiver, payload). Payload handles share
+  /// the recorded history's buffers; replaying copies no bytes.
+  using Trace =
+      std::map<PhaseNum, std::vector<std::pair<ProcId, sim::Payload>>>;
 
   TwoFacedReplay(Trace trace_a, std::set<ProcId> face_a_targets,
                  Trace trace_b);
@@ -134,7 +136,9 @@ class DelayedEcho final : public Process {
 
  private:
   PhaseNum delay_;
-  std::map<PhaseNum, std::vector<Bytes>> buffered_;  // release phase -> payloads
+  // release phase -> payload handles (shared with the originals; echoing
+  // buffers no bytes)
+  std::map<PhaseNum, std::vector<sim::Payload>> buffered_;
 };
 
 /// Fuzzing adversary: each phase, with probability `send_prob` per receiver,
@@ -150,7 +154,7 @@ class RandomByzantine final : public Process {
  private:
   Xoshiro256 rng_;
   double send_prob_;
-  std::vector<Bytes> seen_;
+  std::vector<sim::Payload> seen_;  // handles; mutation copies on write
 };
 
 /// Extracts a trace (phase -> sends) for processor `p` from a recorded

@@ -68,8 +68,11 @@ void Algorithm1::on_phase(sim::Context& ctx) {
     // Phase 1: the transmitter signs and sends its value to every processor.
     if (phase == 1) {
       const SignedValue sv = make_signed(config_.value, ctx.signer(), 0);
+      // Not send_all: when embedded by Algorithm 3 the instance spans only
+      // the first config_.n processors of a larger run. One shared handle.
+      const sim::Payload payload{encode(sv)};
       for (ProcId q = 1; q < config_.n; ++q) {
-        ctx.send(q, encode(sv), sv.chain.size());
+        ctx.send(q, payload, sv.chain.size());
       }
     }
     return;
@@ -94,8 +97,9 @@ void Algorithm1::on_phase(sim::Context& ctx) {
       const ProcId lo = in_a ? static_cast<ProcId>(t + 1) : 1;
       const ProcId hi =
           in_a ? static_cast<ProcId>(2 * t) : static_cast<ProcId>(t);
+      const sim::Payload payload{encode(ext)};
       for (ProcId q = lo; q <= hi; ++q) {
-        ctx.send(q, encode(ext), ext.chain.size());
+        ctx.send(q, payload, ext.chain.size());
       }
     }
     break;
@@ -122,8 +126,10 @@ void Algorithm1MV::on_phase(sim::Context& ctx) {
   if (self_ == 0) {
     if (phase == 1) {
       const SignedValue sv = make_signed(config_.value, ctx.signer(), 0);
+      // Not send_all: embedded instances span only config_.n processors.
+      const sim::Payload payload{encode(sv)};
       for (ProcId q = 1; q < config_.n; ++q) {
-        ctx.send(q, encode(sv), sv.chain.size());
+        ctx.send(q, payload, sv.chain.size());
       }
     }
     return;
@@ -147,8 +153,9 @@ void Algorithm1MV::on_phase(sim::Context& ctx) {
       const ProcId lo = in_a ? static_cast<ProcId>(t + 1) : 1;
       const ProcId hi =
           in_a ? static_cast<ProcId>(2 * t) : static_cast<ProcId>(t);
+      const sim::Payload payload{encode(ext)};
       for (ProcId q = lo; q <= hi; ++q) {
-        ctx.send(q, encode(ext), ext.chain.size());
+        ctx.send(q, payload, ext.chain.size());
       }
     }
   }

@@ -83,15 +83,19 @@ void Algorithm2::on_phase(sim::Context& ctx) {
   consider_proof(signed_m, ctx.verifier(), ctx.chain_cache());
 
   if (wide) {
+    // Not send_all: when embedded by Algorithm 5 the instance spans only
+    // the first config_.n processors of a larger run. One shared handle.
+    const sim::Payload payload{encode(signed_m)};
     for (ProcId q = 0; q < config_.n; ++q) {
-      if (q != self_) ctx.send(q, encode(signed_m), signed_m.chain.size());
+      if (q != self_) ctx.send(q, payload, signed_m.chain.size());
     }
   } else {
     // Labels j+1 .. j+t+1, clipped to the last label 2t+1: ids self+1 ..
     // self+t+1, clipped to 2t.
     const ProcId last = static_cast<ProcId>(2 * t);
+    const sim::Payload payload{encode(signed_m)};
     for (ProcId q = self_ + 1; q <= last && q <= self_ + t + 1; ++q) {
-      ctx.send(q, encode(signed_m), signed_m.chain.size());
+      ctx.send(q, payload, signed_m.chain.size());
     }
   }
 }

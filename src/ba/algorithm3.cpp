@@ -77,7 +77,7 @@ void Algorithm3::active_phase(sim::Context& ctx) {
       }
     }
     const SignedValue direct = make_signed(v, ctx.signer(), self_);
-    const Bytes encoded = encode(direct);
+    const sim::Payload encoded{encode(direct)};
     for (std::size_t set = 0; set < layout_.set_count(); ++set) {
       const auto it = covered.find(set);
       for (std::size_t j = 2; j <= layout_.set_size(set); ++j) {
@@ -149,7 +149,7 @@ void Algorithm3::root_phase(sim::Context& ctx) {
 
   // Report to every active at phase t+2s+2.
   if (phase == t + 2 * layout_.s + 2) {
-    const Bytes encoded = encode(*m_);
+    const sim::Payload encoded{encode(*m_)};
     for (ProcId p = 0; p < layout_.active_count(); ++p) {
       ctx.send(p, encoded, m_->chain.size());
     }

@@ -171,7 +171,7 @@ void Algorithm5Active::finish_exchange(sim::Context& ctx) {
 
 void Algorithm5Active::send_directs(sim::Context& ctx) {
   if (!valid_.has_value() || !current_b_.has_value()) return;
-  const Bytes payload = encode_alg5(*valid_, {});
+  const sim::Payload payload{encode_alg5(*valid_, {})};
   for (ProcId q : *current_b_) {
     ctx.send(q, payload, valid_->chain.size());
   }
@@ -185,7 +185,7 @@ void Algorithm5Active::on_phase(sim::Context& ctx) {
   if (inner_ && phase == 3 * t + 4) {
     valid_ = valid_from_proof(*inner_, self_, ctx.signer());
     if (self_ <= t && valid_.has_value()) {
-      const Bytes payload = encode_alg5(*valid_, {});
+      const sim::Payload payload{encode_alg5(*valid_, {})};
       for (ProcId q = static_cast<ProcId>(2 * t + 1); q < forest_.alpha;
            ++q) {
         ctx.send(q, payload, valid_->chain.size());
@@ -277,7 +277,7 @@ void Algorithm5Passive::root_role(sim::Context& ctx) {
     if (activated_) {
       if (l == 1) {
         // Degenerate subtree: report immediately.
-        const Bytes payload = encode_alg5(*m_, {});
+        const sim::Payload payload{encode_alg5(*m_, {})};
         for (ProcId p = 0; p < forest_.alpha; ++p) {
           ctx.send(p, payload, m_->chain.size());
         }
@@ -322,7 +322,7 @@ void Algorithm5Passive::root_role(sim::Context& ctx) {
              m_->chain.size());
   }
   if (offset == 2 * l - 1) {
-    const Bytes payload = encode_alg5(*m_, {});
+    const sim::Payload payload{encode_alg5(*m_, {})};
     for (ProcId p = 0; p < forest_.alpha; ++p) {
       ctx.send(p, payload, m_->chain.size());
     }
@@ -401,7 +401,7 @@ void Algorithm2Ext::on_phase(sim::Context& ctx) {
     if (phase == 3 * t + 4 && self_ <= t) {
       const auto valid = valid_from_proof(*inner_, self_, ctx.signer());
       if (valid.has_value()) {
-        const Bytes payload = encode_alg5(*valid, {});
+        const sim::Payload payload{encode_alg5(*valid, {})};
         for (ProcId q = static_cast<ProcId>(2 * t + 1); q < config_.n; ++q) {
           ctx.send(q, payload, valid->chain.size());
         }

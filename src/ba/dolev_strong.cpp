@@ -36,8 +36,12 @@ void DolevStrongBroadcast::on_phase(sim::Context& ctx) {
       const SignedValue sv =
           make_signed(config_.value, ctx.signer(), self_);
       extracted_.insert(config_.value);
+      // Not send_all: embedded instances (e.g. the sparse-observer
+      // construction) span only the first config_.n processors of a larger
+      // run. One shared handle, no per-target copies.
+      const sim::Payload payload{encode(sv)};
       for (ProcId q = 0; q < config_.n; ++q) {
-        if (q != self_) ctx.send(q, encode(sv), sv.chain.size());
+        if (q != self_) ctx.send(q, payload, sv.chain.size());
       }
     }
     return;  // the transmitter never extracts other values
@@ -53,8 +57,9 @@ void DolevStrongBroadcast::on_phase(sim::Context& ctx) {
     if (relayed_ < 2 && ctx.phase() + 1 <= steps(config_)) {
       ++relayed_;
       const SignedValue ext = extend(*sv, ctx.signer(), self_);
+      const sim::Payload payload{encode(ext)};
       for (ProcId q = 0; q < config_.n; ++q) {
-        if (q != self_) ctx.send(q, encode(ext), ext.chain.size());
+        if (q != self_) ctx.send(q, payload, ext.chain.size());
       }
     }
   }
@@ -89,15 +94,18 @@ void DolevStrongRelay::extract(const SignedValue& sv, sim::Context& ctx) {
   if (is_relay(self_)) {
     if (broadcast_ < 2) {
       ++broadcast_;
+      const sim::Payload payload{encode(ext)};
       for (ProcId q = 0; q < config_.n; ++q) {
-        if (q != self_) ctx.send(q, encode(ext), ext.chain.size());
+        if (q != self_) ctx.send(q, payload, ext.chain.size());
       }
     }
   } else if (reported_ < 2) {
     ++reported_;
+    // Partial fan-out (relays only): per-target sends sharing one handle.
+    const sim::Payload payload{encode(ext)};
     for (ProcId q = 0; q < config_.n; ++q) {
       if (q != self_ && is_relay(q)) {
-        ctx.send(q, encode(ext), ext.chain.size());
+        ctx.send(q, payload, ext.chain.size());
       }
     }
   }
@@ -109,8 +117,9 @@ void DolevStrongRelay::on_phase(sim::Context& ctx) {
       const SignedValue sv =
           make_signed(config_.value, ctx.signer(), self_);
       extracted_.insert(config_.value);
+      const sim::Payload payload{encode(sv)};
       for (ProcId q = 0; q < config_.n; ++q) {
-        if (q != self_) ctx.send(q, encode(sv), sv.chain.size());
+        if (q != self_) ctx.send(q, payload, sv.chain.size());
       }
     }
     return;

@@ -79,10 +79,7 @@ void Eig::on_phase(sim::Context& ctx) {
     if (self_ == config_.transmitter) {
       const Path root{self_};
       tree_.try_emplace(root, config_.value);
-      const Bytes bundle = encode_bundle({{root, config_.value}});
-      for (ProcId q = 0; q < config_.n; ++q) {
-        if (q != self_) ctx.send(q, bundle, 0);
-      }
+      ctx.send_all(encode_bundle({{root, config_.value}}), 0);
     }
     return;
   }
@@ -102,10 +99,7 @@ void Eig::on_phase(sim::Context& ctx) {
   for (const auto& [path, value] : relays) {
     tree_.try_emplace(path, value);
   }
-  const Bytes bundle = encode_bundle(relays);
-  for (ProcId q = 0; q < config_.n; ++q) {
-    if (q != self_) ctx.send(q, bundle, 0);
-  }
+  ctx.send_all(encode_bundle(relays), 0);
 }
 
 Value Eig::resolve(const Path& path) const {

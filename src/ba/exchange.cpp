@@ -134,12 +134,12 @@ void GridExchangeCore::on_phase(sim::Context& ctx) {
     const Attested own = attest(body_, ctx.signer(), self_);
     remember(own, ctx.verifier());
     row_collected_.push_back(own);
-    const Bytes payload = bundle({own});
+    const sim::Payload payload{bundle({own})};
     for (std::size_t k = 0; k < m_; ++k) {
       if (id(i, k) != self_) ctx.send(id(i, k), payload, 1);
     }
   } else if (phase == start_ + 1) {
-    const Bytes payload = bundle(row_collected_);
+    const sim::Payload payload{bundle(row_collected_)};
     col_collected_.insert(col_collected_.end(), row_collected_.begin(),
                           row_collected_.end());
     for (std::size_t l = 0; l < m_; ++l) {
@@ -148,7 +148,7 @@ void GridExchangeCore::on_phase(sim::Context& ctx) {
       }
     }
   } else if (phase == start_ + 2) {
-    const Bytes payload = bundle(col_collected_);
+    const sim::Payload payload{bundle(col_collected_)};
     for (std::size_t k = 0; k < m_; ++k) {
       if (id(i, k) != self_) {
         ctx.send(id(i, k), payload, col_collected_.size());
@@ -178,10 +178,7 @@ void NaiveExchangeProcess::on_phase(sim::Context& ctx) {
     known_.emplace(self_, own);
     Writer w;
     encode(w, own);
-    const Bytes payload = std::move(w).take();
-    for (ProcId q = 0; q < n_; ++q) {
-      if (q != self_) ctx.send(q, payload, 1);
-    }
+    ctx.send_all(std::move(w).take(), 1);
   } else if (ctx.phase() == 2) {
     for (const sim::Envelope& env : ctx.inbox()) {
       Reader r(env.payload);
@@ -206,7 +203,7 @@ void RelayExchangeProcess::on_phase(sim::Context& ctx) {
     Writer w;
     w.seq(1);
     encode(w, own);
-    const Bytes payload = std::move(w).take();
+    const sim::Payload payload{std::move(w).take()};
     for (ProcId q = 0; q <= t_; ++q) {
       if (q != self_) ctx.send(q, payload, 1);
     }
@@ -225,7 +222,7 @@ void RelayExchangeProcess::on_phase(sim::Context& ctx) {
     Writer w;
     w.seq(collected_.size());
     for (const Attested& a : collected_) encode(w, a);
-    const Bytes payload = std::move(w).take();
+    const sim::Payload payload{std::move(w).take()};
     for (ProcId q = static_cast<ProcId>(t_ + 1); q < n_; ++q) {
       if (q != self_) ctx.send(q, payload, collected_.size());
     }

@@ -62,7 +62,13 @@ void InteractiveConsistency::on_phase(sim::Context& ctx) {
                      &ctx.signer(), &ctx.verifier());
     instances_[i]->on_phase(sub);
     for (auto& out : sub.outgoing()) {
-      ctx.send(out.to, tag(i, out.payload), out.signatures);
+      // Re-tagging rewrites the bytes, so the instance's broadcast becomes
+      // one tagged buffer broadcast once — the fan-out stays O(1) buffers.
+      if (out.broadcast) {
+        ctx.send_all(tag(i, out.payload), out.signatures);
+      } else {
+        ctx.send(out.to, tag(i, out.payload), out.signatures);
+      }
     }
   }
 }

@@ -31,10 +31,7 @@ ProcId PhaseKing::king_of(std::size_t k) const {
 }
 
 void PhaseKing::broadcast_value(sim::Context& ctx, Value v) {
-  const Bytes payload = encode_u64(v);
-  for (ProcId q = 0; q < config_.n; ++q) {
-    if (q != self_) ctx.send(q, payload, 0);
-  }
+  ctx.send_all(encode_u64(v), 0);
 }
 
 void PhaseKing::on_phase(sim::Context& ctx) {

@@ -61,7 +61,13 @@ ReplayReport validate_correctness(const hist::History& history,
       }
       std::vector<std::pair<ProcId, Bytes>> actual;
       for (const auto& out : ctx.outgoing()) {
-        actual.emplace_back(out.to, out.payload);
+        if (out.broadcast) {
+          for (ProcId q = 0; q < config.n; ++q) {
+            if (q != p) actual.emplace_back(q, out.payload);
+          }
+        } else {
+          actual.emplace_back(out.to, out.payload);
+        }
       }
       if (canonical_sends(std::move(expected)) !=
           canonical_sends(std::move(actual))) {

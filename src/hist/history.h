@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/payload.h"  // header-only; hist does not link against sim
 #include "util/bytes.h"
 
 namespace dr::hist {
@@ -24,7 +25,7 @@ using PhaseNum = std::uint32_t;
 struct Edge {
   ProcId from = 0;
   ProcId to = 0;
-  Bytes label;
+  sim::Payload label;  // shared handle — recording a broadcast copies no bytes
 
   friend bool operator==(const Edge&, const Edge&) = default;
 };

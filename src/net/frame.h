@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/envelope.h"
+#include "sim/payload.h"
 #include "util/bytes.h"
 
 namespace dr::net {
@@ -50,7 +51,7 @@ struct Frame {
   ProcId from = 0;
   ProcId to = 0;
   PhaseNum sent_phase = 0;
-  Bytes payload;  // empty for kDone
+  sim::Payload payload;  // empty for kDone; shared handle, not a copy
 
   friend bool operator==(const Frame&, const Frame&) = default;
 };

@@ -58,16 +58,26 @@ void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
                      &verifier_, &cache);
     processes_[p]->on_phase(ctx);
     for (auto& out : ctx.outgoing()) {
-      const ProcId to = out.to;
-      sim::route_submission(
-          metrics, config_.fault_plan, fault_mu, /*history=*/nullptr, p, to,
-          phase, std::move(out.payload), correct, out.signatures,
-          [&](Bytes delivered) {
-            const Bytes frame = encode_frame(Frame{
-                FrameKind::kPayload, p, to, phase, std::move(delivered)});
-            metrics.on_frame(correct, frame.size());
-            transport_.send(p, to, frame);
-          });
+      // Broadcasts fan out here as per-link submissions sharing one payload
+      // handle; each link still gets its own fault routing and frame.
+      const auto submit_one = [&](ProcId to, sim::Payload payload) {
+        sim::route_submission(
+            metrics, config_.fault_plan, fault_mu, p, to, phase,
+            std::move(payload), correct, out.signatures,
+            [&](sim::Payload delivered) {
+              const Bytes frame = encode_frame(Frame{
+                  FrameKind::kPayload, p, to, phase, std::move(delivered)});
+              metrics.on_frame(correct, frame.size());
+              transport_.send(p, to, frame);
+            });
+      };
+      if (out.broadcast) {
+        for (ProcId to = 0; to < config_.n; ++to) {
+          if (to != p) submit_one(to, out.payload);
+        }
+      } else {
+        submit_one(out.to, std::move(out.payload));
+      }
     }
     // The paper never delivers the final phase's sends (the run ends), so
     // skipping the last barrier keeps the accounting aligned with sim.

@@ -6,29 +6,23 @@
 namespace dr::sim {
 
 void route_submission(Metrics& metrics, FaultPlan* faults,
-                      std::mutex* fault_mu, hist::History* history,
-                      ProcId from, ProcId to, PhaseNum phase, Bytes payload,
-                      bool sender_correct, std::size_t signatures,
-                      const std::function<void(Bytes)>& deliver) {
+                      std::mutex* fault_mu, ProcId from, ProcId to,
+                      PhaseNum phase, Payload payload, bool sender_correct,
+                      std::size_t signatures,
+                      const std::function<void(Payload)>& deliver) {
   metrics.on_send(from, to, phase, sender_correct, signatures,
                   payload.size());
   if (faults == nullptr) {
-    if (history != nullptr) {
-      history->record(phase, hist::Edge{from, to, payload});
-    }
     deliver(std::move(payload));
     return;
   }
-  std::vector<Bytes> surviving;
+  std::vector<Payload> surviving;
   {
     std::unique_lock<std::mutex> lock;
     if (fault_mu != nullptr) lock = std::unique_lock<std::mutex>(*fault_mu);
     surviving = faults->apply(from, to, phase, std::move(payload));
   }
-  for (Bytes& delivered : surviving) {
-    if (history != nullptr) {
-      history->record(phase, hist::Edge{from, to, delivered});
-    }
+  for (Payload& delivered : surviving) {
     deliver(std::move(delivered));
   }
 }

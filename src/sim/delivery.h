@@ -8,10 +8,16 @@
 //      transport does to it afterwards);
 //   2. the optional FaultPlan perturbs it — zero, one or several payloads
 //      come out, and the plan's perturbed-processor accounting accrues;
-//   3. the optional History records what was actually put in flight;
-//   4. the backend-specific `deliver` sink is invoked once per surviving
-//      payload (Network enqueues an Envelope; a net endpoint frames the
-//      payload and hands it to its Transport).
+//   3. the backend-specific `deliver` sink is invoked once per surviving
+//      payload (Network shards an Envelope per sender; a net endpoint
+//      frames the payload and hands it to its Transport).
+//
+// Payloads are shared immutable handles end to end: a fan-out submits the
+// same buffer n-1 times, and only a firing corrupt rule copies bytes
+// (copy-on-write inside FaultPlan::apply). History recording moved out of
+// this seam into Network's phase flip — the per-sender shards hold exactly
+// the surviving payloads, so the recorded history is unchanged, and the
+// hot path stays lock-free under parallel submission.
 //
 // This shared path is what makes sim-vs-net parity a theorem instead of a
 // hope: identical inboxes produce identical submissions, which this seam
@@ -21,22 +27,21 @@
 #include <functional>
 #include <mutex>
 
-#include "hist/history.h"
 #include "sim/envelope.h"
 #include "sim/faults.h"
 #include "sim/metrics.h"
 
 namespace dr::sim {
 
-/// Routes one submission through accounting + faults + history into
-/// `deliver`. `faults` and `history` may be null. `fault_mu`, when
-/// non-null, guards the FaultPlan (whose perturbed-set accounting is not
-/// thread-safe) — the net runner passes one mutex per run, the serial
-/// Network passes nullptr.
+/// Routes one submission through accounting + faults into `deliver`.
+/// `faults` may be null. `fault_mu`, when non-null, guards the FaultPlan
+/// (whose perturbed-set accounting is not thread-safe) — both runners pass
+/// one mutex per run when a plan is installed; the no-fault hot path never
+/// takes a lock.
 void route_submission(Metrics& metrics, FaultPlan* faults,
-                      std::mutex* fault_mu, hist::History* history,
-                      ProcId from, ProcId to, PhaseNum phase, Bytes payload,
-                      bool sender_correct, std::size_t signatures,
-                      const std::function<void(Bytes)>& deliver);
+                      std::mutex* fault_mu, ProcId from, ProcId to,
+                      PhaseNum phase, Payload payload, bool sender_correct,
+                      std::size_t signatures,
+                      const std::function<void(Payload)>& deliver);
 
 }  // namespace dr::sim

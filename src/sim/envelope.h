@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "sim/payload.h"
 #include "util/bytes.h"
 
 namespace dr::sim {
@@ -14,12 +15,13 @@ using Value = std::uint64_t;
 /// A message in flight. `from` is set by the network, never by the sender:
 /// this implements the paper's assumption that "for each labeled edge,
 /// processor p knows the source of that edge" — no processor can claim to be
-/// somebody else at the transport level.
+/// somebody else at the transport level. The payload is a shared immutable
+/// handle: a broadcast's n-1 envelopes all point at one buffer.
 struct Envelope {
   ProcId from = 0;
   ProcId to = 0;
   PhaseNum sent_phase = 0;
-  Bytes payload;
+  Payload payload;
 };
 
 }  // namespace dr::sim

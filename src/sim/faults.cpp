@@ -1,5 +1,8 @@
 #include "sim/faults.h"
 
+#include <optional>
+#include <utility>
+
 #include "util/rng.h"
 
 namespace dr::sim {
@@ -58,8 +61,8 @@ bool FaultPlan::matches_link(const FaultRule& rule, ProcId from, ProcId to,
   return rule.phase == kAnyPhase || rule.phase == phase;
 }
 
-std::vector<Bytes> FaultPlan::apply(ProcId from, ProcId to, PhaseNum phase,
-                                    Bytes payload) {
+std::vector<Payload> FaultPlan::apply(ProcId from, ProcId to, PhaseNum phase,
+                                      Payload payload) {
   // Pass 1: drop-class rules win outright. Only they are charged — a
   // corrupt/duplicate rule on a message that never arrives has no
   // observable effect and must not inflate the perturbed set.
@@ -79,28 +82,33 @@ std::vector<Bytes> FaultPlan::apply(ProcId from, ProcId to, PhaseNum phase,
   // the message coordinates and how many corruptions already hit this
   // message — never on the rule's position in the list — so removing an
   // unrelated rule during minimization cannot change what a surviving
-  // corrupt rule does.
+  // corrupt rule does. The shared buffer is copied at most once, when the
+  // first corrupt rule fires (copy-on-write); clean links pass the handle
+  // through untouched.
   SplitMix64 stream(seed_ ^ (static_cast<std::uint64_t>(from) << 40) ^
                     (static_cast<std::uint64_t>(to) << 20) ^ phase);
+  std::optional<Bytes> mutated;
   for (const FaultRule& rule : rules_) {
     if (rule.kind != FaultKind::kCorrupt) continue;
     if (!matches_link(rule, from, to, phase)) continue;
+    if (!mutated.has_value()) mutated = payload.to_bytes();
     const std::uint64_t r = stream.next();
-    if (payload.empty()) {
-      payload.push_back(static_cast<std::uint8_t>(r | 1));
+    if (mutated->empty()) {
+      mutated->push_back(static_cast<std::uint8_t>(r | 1));
     } else {
       // XOR with an odd byte: guaranteed to change the payload.
-      payload[r % payload.size()] ^=
+      (*mutated)[r % mutated->size()] ^=
           static_cast<std::uint8_t>((r >> 8) | 1);
     }
     perturbed_.insert(charged_processor(rule, from, to));
   }
+  if (mutated.has_value()) payload = Payload(std::move(*mutated));
 
-  std::vector<Bytes> delivered;
+  std::vector<Payload> delivered;
   for (const FaultRule& rule : rules_) {
     if (rule.kind != FaultKind::kDuplicate) continue;
     if (!matches_link(rule, from, to, phase)) continue;
-    delivered.push_back(payload);  // one extra copy per firing rule
+    delivered.push_back(payload);  // handle copy per firing rule
     perturbed_.insert(charged_processor(rule, from, to));
   }
   delivered.push_back(std::move(payload));

@@ -83,8 +83,13 @@ class FaultPlan {
   /// rules shadowed by a drop (e.g. a corrupt rule on a dropped message)
   /// charge nobody, which keeps the perturbed set — and hence the fault
   /// budget accounting — minimal.
-  std::vector<Bytes> apply(ProcId from, ProcId to, PhaseNum phase,
-                           Bytes payload);
+  ///
+  /// Payloads are shared immutable handles; the incoming handle is passed
+  /// through untouched (duplicates are handle copies) unless a corrupt rule
+  /// fires, in which case the bytes are copied exactly once, mutated, and
+  /// rewrapped — copy-on-write, paid only by actually-corrupted links.
+  std::vector<Payload> apply(ProcId from, ProcId to, PhaseNum phase,
+                             Payload payload);
 
   /// Processors perturbed by rules that actually fired since the last
   /// reset(). The effective faulty set of a run is this set unioned with

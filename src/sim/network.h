@@ -1,9 +1,18 @@
 // Synchronous, fully connected, reliable network with optional full history
 // recording. Messages sent in phase k are delivered at phase k+1; within a
 // phase, delivery order at each receiver is by sender id (deterministic).
+//
+// Submissions are sharded per *sender*: processor p's sends go into
+// outbox_[p] and nowhere else, so the parallel runner's workers commit
+// their own sends lock-free (worker stepping processor p is the only
+// writer of outbox_[p]). The phase flip then merges the shards in sender
+// order — each shard is already in submission order, so appending shard 0,
+// then 1, ... to the receivers' inboxes reproduces exactly the old
+// "stable_sort by sender" delivery order without sorting anything.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "hist/history.h"
@@ -24,14 +33,31 @@ class Network {
   const FaultPlan* fault_plan() const { return faults_; }
 
   /// Accepts a message sent by `from` during `phase`. Metrics count the
-  /// send as submitted (the sender did send it); the recorded history and
-  /// the inboxes see what the — possibly faulty — transport delivered.
-  void submit(ProcId from, ProcId to, PhaseNum phase, Bytes payload,
+  /// send as submitted (the sender did send it); the inboxes — and, at the
+  /// next flip, the recorded history — see what the possibly-faulty
+  /// transport delivered. Thread-safe across *distinct* senders: each
+  /// sender's shard has exactly one writer (the plan, when installed, is
+  /// guarded by an internal mutex).
+  void submit(ProcId from, ProcId to, PhaseNum phase, Payload payload,
               bool sender_correct, std::size_t signatures, Metrics& metrics);
 
+  /// Fan-out: submits the same payload handle to every processor except
+  /// `from`. One buffer, n-1 handle copies; per-link faults and per-message
+  /// accounting still apply individually.
+  void submit_fanout(ProcId from, PhaseNum phase, const Payload& payload,
+                     bool sender_correct, std::size_t signatures,
+                     Metrics& metrics);
+
   /// Makes everything submitted since the last flip available for delivery
-  /// and clears the old inboxes. Call once per phase boundary.
+  /// and clears the old inboxes. Records history (when enabled) for the
+  /// delivered batch. Call once per phase boundary, never concurrently
+  /// with submit().
   void deliver_next_phase();
+
+  /// Records history for submissions still sitting in the sender shards
+  /// (the final phase's sends, which are never delivered — the run ends).
+  /// No-op unless history recording is on. Call after the last phase.
+  void record_pending_history();
 
   /// Inbox for processor `p` in the current phase.
   const std::vector<Envelope>& inbox(ProcId p) const { return inboxes_[p]; }
@@ -44,10 +70,11 @@ class Network {
 
  private:
   bool record_history_;
-  std::vector<std::vector<Envelope>> inboxes_;   // delivered this phase
-  std::vector<std::vector<Envelope>> in_flight_; // sent this phase
+  std::vector<std::vector<Envelope>> inboxes_;  // delivered this phase
+  std::vector<std::vector<Envelope>> outbox_;   // per-SENDER in-flight shards
   hist::History history_;
   FaultPlan* faults_ = nullptr;  // not owned; nullptr = reliable transport
+  std::mutex fault_mu_;  // serializes plan accounting under parallel submit
 };
 
 }  // namespace dr::sim

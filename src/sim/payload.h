@@ -1,0 +1,99 @@
+// Immutable, ref-counted payload handle — the unit the delivery plane moves.
+//
+// A broadcast used to copy its bytes once per recipient; a Payload is a
+// shared handle over one immutable byte buffer, so fan-out to n-1 receivers,
+// history recording, rushing observation and adversary buffering are all
+// pointer copies. The buffer is never mutated after construction: the only
+// writer is FaultPlan::apply, which performs an explicit copy-on-write via
+// to_bytes() when (and only when) a corrupt rule actually fires.
+//
+// Header-only on purpose: hist (a layer below sim) stores Payloads as edge
+// labels and must not link against the sim library.
+//
+// Comparisons are by content, not by handle, so histories, replay traces
+// and tests behave exactly as they did with plain Bytes. `allocations()`
+// counts every distinct buffer ever wrapped (relaxed atomic; reset from
+// tests) — the zero-copy test asserts a size-n broadcast costs O(1) of
+// these.
+#pragma once
+
+#include <atomic>
+#include <compare>
+#include <cstddef>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "util/bytes.h"
+
+namespace dr::sim {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Wraps `bytes` in a fresh shared buffer (the one allocation a logical
+  /// message ever costs). Implicit so existing `ctx.send(to, encode(...))`
+  /// call sites keep working unchanged. Empty payloads share no buffer.
+  Payload(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<const Bytes>(std::move(bytes))) {
+    if (data_ != nullptr) {
+      allocations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const Bytes& bytes() const {
+    return data_ != nullptr ? *data_ : empty_bytes();
+  }
+  /// Implicit view of the underlying buffer, so decoders, hashers and
+  /// printers written against Bytes/ByteView accept a Payload directly.
+  operator const Bytes&() const { return bytes(); }  // NOLINT
+  operator ByteView() const { return bytes(); }      // NOLINT
+  ByteView view() const { return bytes(); }
+
+  std::size_t size() const { return data_ != nullptr ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  /// Explicit deep copy — the copy-on-write entry point for mutation.
+  Bytes to_bytes() const { return bytes(); }
+
+  /// Handle identity (not content): true when both share one buffer. The
+  /// zero-copy tests use this to prove a fan-out didn't duplicate bytes.
+  bool shares_buffer_with(const Payload& other) const {
+    return data_ == other.data_;
+  }
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.data_ == b.data_ || a.bytes() == b.bytes();
+  }
+  friend std::strong_ordering operator<=>(const Payload& a,
+                                          const Payload& b) {
+    return a.bytes() <=> b.bytes();
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Payload& p) {
+    return os << "payload<" << to_hex(p.bytes()) << ">";
+  }
+
+  /// Distinct buffers allocated since the last reset (process-wide).
+  static std::size_t allocations() {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  static void reset_allocation_count() {
+    allocations_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static const Bytes& empty_bytes() {
+    static const Bytes kEmpty;
+    return kEmpty;
+  }
+
+  inline static std::atomic<std::size_t> allocations_{0};
+
+  std::shared_ptr<const Bytes> data_;
+};
+
+}  // namespace dr::sim

@@ -8,7 +8,7 @@ PhasePool::PhasePool(std::size_t workers) {
   DR_EXPECTS(workers >= 1);
   threads_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    threads_.emplace_back([this] { worker_main(); });
+    threads_.emplace_back([this, w] { worker_main(w); });
   }
 }
 
@@ -21,8 +21,9 @@ PhasePool::~PhasePool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void PhasePool::run(std::size_t count,
-                    const std::function<void(std::size_t)>& fn) {
+void PhasePool::run(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   fn_ = &fn;
   count_ = count;
@@ -34,7 +35,7 @@ void PhasePool::run(std::size_t count,
   fn_ = nullptr;
 }
 
-void PhasePool::worker_main() {
+void PhasePool::worker_main(std::size_t worker) {
   std::unique_lock<std::mutex> lock(mu_);
   std::uint64_t seen = 0;
   for (;;) {
@@ -47,7 +48,7 @@ void PhasePool::worker_main() {
     for (;;) {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
-      (*fn)(i);
+      (*fn)(worker, i);
     }
     lock.lock();
     if (--active_ == 0) done_cv_.notify_all();

@@ -3,11 +3,14 @@
 // replacing the spawn-join-per-phase pattern whose thread-creation cost
 // dominated short phases.
 //
-// Determinism contract: run(count, fn) invokes fn(i) exactly once for each
-// i in [0, count), distributed over the workers by an atomic ticket — the
-// *assignment* of indices to threads is racy, but callers only require
-// that fn(i) writes state owned by index i (the runner's pending-send and
-// per-process cache slots), so results are independent of the schedule.
+// Determinism contract: run(count, fn) invokes fn(worker, i) exactly once
+// for each i in [0, count), distributed over the workers by an atomic
+// ticket — the *assignment* of indices to threads is racy, but callers only
+// require that fn writes state owned by index i (per-sender network shards,
+// per-process cache slots) or state owned by the invoking worker whose
+// later merge is order-insensitive (the runner's per-worker Metrics shards,
+// whose counters are sums and maxima), so results are independent of the
+// schedule.
 #pragma once
 
 #include <atomic>
@@ -28,19 +31,23 @@ class PhasePool {
   PhasePool& operator=(const PhasePool&) = delete;
   ~PhasePool();
 
-  /// Runs fn(i) for every i in [0, count) across the workers and blocks
-  /// until all invocations returned. The calling thread only coordinates.
-  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// Runs fn(worker, i) for every i in [0, count) across the workers and
+  /// blocks until all invocations returned; `worker` is the stable index
+  /// (< workers()) of the thread executing that invocation. The calling
+  /// thread only coordinates.
+  void run(std::size_t count,
+           const std::function<void(std::size_t, std::size_t)>& fn);
 
   std::size_t workers() const { return threads_.size(); }
 
  private:
-  void worker_main();
+  void worker_main(std::size_t worker);
 
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* fn_ = nullptr;  // valid per batch
+  // Valid per batch.
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
   std::size_t count_ = 0;
   std::atomic<std::size_t> next_{0};
   std::size_t active_ = 0;       // workers still inside the current batch

@@ -40,7 +40,14 @@ class Context {
   /// the signature accounting of Theorem 1 and must be accurate for correct
   /// processes (it is irrelevant for faulty senders — the paper only counts
   /// information sent by correct processors).
-  void send(ProcId to, Bytes payload, std::size_t signatures = 0);
+  void send(ProcId to, Payload payload, std::size_t signatures = 0);
+
+  /// Queues `payload` for delivery to every processor except this one — a
+  /// full broadcast expressed as ONE outgoing entry holding one shared
+  /// buffer. The runner expands it through Network::submit_fanout, so the
+  /// per-link fault routing and per-message accounting are identical to
+  /// n-1 individual send() calls to 0..n-1 (self skipped) in order.
+  void send_all(Payload payload, std::size_t signatures = 0);
 
   /// Signing capability of this process (a coalition Signer for faulty
   /// processes) and the public verifier.
@@ -55,9 +62,10 @@ class Context {
   crypto::VerifyCache* chain_cache() const { return chain_cache_; }
 
   struct Outgoing {
-    ProcId to;
-    Bytes payload;
-    std::size_t signatures;
+    ProcId to = 0;  // meaningless when `broadcast` is set
+    Payload payload;
+    std::size_t signatures = 0;
+    bool broadcast = false;  // fan out to every q != self (send_all)
   };
   /// Drained by the runner after on_phase returns.
   std::vector<Outgoing>& outgoing() { return outgoing_; }
@@ -99,8 +107,14 @@ inline Context::Context(ProcId self, PhaseNum phase, std::size_t n,
     : self_(self), phase_(phase), n_(n), t_(t), inbox_(inbox),
       signer_(signer), verifier_(verifier), chain_cache_(chain_cache) {}
 
-inline void Context::send(ProcId to, Bytes payload, std::size_t signatures) {
+inline void Context::send(ProcId to, Payload payload,
+                          std::size_t signatures) {
   outgoing_.push_back(Outgoing{to, std::move(payload), signatures});
+}
+
+inline void Context::send_all(Payload payload, std::size_t signatures) {
+  outgoing_.push_back(
+      Outgoing{0, std::move(payload), signatures, /*broadcast=*/true});
 }
 
 }  // namespace dr::sim

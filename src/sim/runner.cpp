@@ -132,8 +132,7 @@ RunResult Runner::run(PhaseNum phases) {
                                           encode_u64(config_.value));
   }
 
-  const bool parallel = config_.threads > 1 && !config_.rushing &&
-                        config_.scheme == SchemeKind::kHmac;
+  const bool parallel = config_.threads > 1 && !config_.rushing;
 
   // One verification memo per process, persisted across phases so chains
   // relayed in later phases hit on their already-verified prefixes. Owned
@@ -141,10 +140,45 @@ RunResult Runner::run(PhaseNum phases) {
   // ownership also makes the parallel path lock-free.
   std::vector<crypto::VerifyCache> caches(config_.n);
 
+  // Drains one process's outgoing queue into the network. Broadcasts are a
+  // single entry holding one shared buffer; submit_fanout expands them with
+  // identical per-link routing and accounting.
+  const auto commit = [&network](ProcId p, PhaseNum phase,
+                                 Context::Outgoing& out, bool sender_correct,
+                                 Metrics& m) {
+    if (out.broadcast) {
+      network.submit_fanout(p, phase, out.payload, sender_correct,
+                            out.signatures, m);
+    } else {
+      network.submit(p, out.to, phase, std::move(out.payload),
+                     sender_correct, out.signatures, m);
+    }
+  };
+
   // The worker pool persists across phases; spawning threads per phase
-  // costs more than short phases do.
+  // costs more than short phases do. Workers commit their own sends into
+  // the network's per-sender shards (lock-free — one writer per shard) and
+  // count into per-worker Metrics shards. Every Metrics counter is a sum
+  // or a maximum, so merging the shards afterwards is bit-identical to
+  // serial counting no matter which worker stepped which processor.
+  //
+  // Correct processors are stepped by the pool; faulty ones are stepped
+  // serially in id order afterwards, because they share mutable state the
+  // correct ones never touch: the coalition Signer (stateful for the
+  // hash-based schemes — each signature consumes a key leaf) and the
+  // coalition blackboard. Correct processors sign with their own
+  // per-processor key state, so every scheme is safe to step in parallel.
   std::optional<PhasePool> pool;
-  if (parallel) pool.emplace(std::min<std::size_t>(config_.threads, config_.n));
+  std::vector<Metrics> worker_metrics;
+  std::vector<ProcId> pooled_ids;  // correct: stepped by the workers
+  std::vector<ProcId> serial_ids;  // faulty: stepped in id order
+  if (parallel) {
+    pool.emplace(std::min<std::size_t>(config_.threads, config_.n));
+    worker_metrics.assign(pool->workers(), Metrics(config_.n));
+    for (ProcId p = 0; p < config_.n; ++p) {
+      (faulty_[p] ? serial_ids : pooled_ids).push_back(p);
+    }
+  }
 
   for (PhaseNum phase = 1; phase <= phases; ++phase) {
     network.deliver_next_phase();
@@ -155,36 +189,39 @@ RunResult Runner::run(PhaseNum phases) {
                       &signer_for(p), &verifier_, &caches[p]);
           processes_[p]->on_phase(ctx);
           for (auto& out : ctx.outgoing()) {
-            network.submit(p, out.to, phase, std::move(out.payload),
-                           !faulty_[p], out.signatures, metrics);
+            commit(p, phase, out, !faulty_[p], metrics);
           }
         }
         continue;
       }
-      // Parallel stepping: processes are pure functions of their inbox
-      // within a phase, so the pool steps them concurrently (each worker
-      // pulls the next process off an atomic ticket); committing the sends
-      // serially in processor order afterwards keeps runs bit-identical.
-      std::vector<std::vector<Context::Outgoing>> pending(config_.n);
-      pool->run(config_.n, [this, phase, &network, &pending,
-                            &caches](std::size_t i) {
-        const ProcId p = static_cast<ProcId>(i);
+      pool->run(pooled_ids.size(),
+                [this, phase, &commit, &pooled_ids, &worker_metrics,
+                 &network, &caches](std::size_t worker, std::size_t i) {
+                  const ProcId p = pooled_ids[i];
+                  Context ctx(p, phase, config_.n, config_.t,
+                              &network.inbox(p), &signer_for(p), &verifier_,
+                              &caches[p]);
+                  processes_[p]->on_phase(ctx);
+                  for (auto& out : ctx.outgoing()) {
+                    commit(p, phase, out, /*sender_correct=*/true,
+                           worker_metrics[worker]);
+                  }
+                });
+      for (const ProcId p : serial_ids) {
         Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
                     &signer_for(p), &verifier_, &caches[p]);
         processes_[p]->on_phase(ctx);
-        pending[p] = std::move(ctx.outgoing());
-      });
-      for (ProcId p = 0; p < config_.n; ++p) {
-        for (auto& out : pending[p]) {
-          network.submit(p, out.to, phase, std::move(out.payload),
-                         !faulty_[p], out.signatures, metrics);
+        for (auto& out : ctx.outgoing()) {
+          commit(p, phase, out, /*sender_correct=*/false, metrics);
         }
       }
       continue;
     }
 
     // Rushing: correct processors move first; faulty ones additionally see
-    // this phase's correct traffic addressed to them before sending.
+    // this phase's correct traffic addressed to them before sending. The
+    // observation channel and the augmented inboxes are handle copies of
+    // the shared payload buffers — no bytes move.
     std::vector<std::vector<Context::Outgoing>> pending(config_.n);
     std::vector<std::vector<Envelope>> rushed(config_.n);
     for (ProcId p = 0; p < config_.n; ++p) {
@@ -193,7 +230,13 @@ RunResult Runner::run(PhaseNum phases) {
                   &signer_for(p), &verifier_, &caches[p]);
       processes_[p]->on_phase(ctx);
       for (const auto& out : ctx.outgoing()) {
-        if (faulty_[out.to]) {
+        if (out.broadcast) {
+          for (ProcId q = 0; q < config_.n; ++q) {
+            if (q != p && faulty_[q]) {
+              rushed[q].push_back(Envelope{p, q, phase, out.payload});
+            }
+          }
+        } else if (faulty_[out.to]) {
           rushed[out.to].push_back(Envelope{p, out.to, phase, out.payload});
         }
       }
@@ -209,18 +252,21 @@ RunResult Runner::run(PhaseNum phases) {
                   &signer_for(p), &verifier_, &caches[p]);
       processes_[p]->on_phase(ctx);
       for (auto& out : ctx.outgoing()) {
-        network.submit(p, out.to, phase, std::move(out.payload),
-                       /*sender_correct=*/false, out.signatures, metrics);
+        commit(p, phase, out, /*sender_correct=*/false, metrics);
       }
     }
     for (ProcId p = 0; p < config_.n; ++p) {
       for (auto& out : pending[p]) {
-        network.submit(p, out.to, phase, std::move(out.payload),
-                       /*sender_correct=*/true, out.signatures, metrics);
+        commit(p, phase, out, /*sender_correct=*/true, metrics);
       }
     }
   }
+  // The final phase's sends are never delivered (the run ends before the
+  // next flip), but the paper's history includes them; record them off the
+  // still-pending sender shards.
+  network.record_pending_history();
 
+  for (const Metrics& shard : worker_metrics) metrics.merge(shard);
   for (ProcId p = 0; p < config_.n; ++p) {
     metrics.on_chain_cache(caches[p].hits(), caches[p].misses());
   }

@@ -42,10 +42,12 @@ struct RunConfig {
   /// synchronous round nothing guarantees the adversary speaks first.
   bool rushing = false;
   /// Worker threads for stepping processes within a phase. Results are
-  /// bit-identical to the serial run: processes are independent inside a
-  /// phase and sends are committed in processor order afterwards. Only the
-  /// HMAC scheme is thread-safe to sign with; other schemes (and rushing
-  /// mode, whose two passes are cheap anyway) fall back to serial.
+  /// bit-identical to the serial run for every scheme: correct processors
+  /// are independent inside a phase (each signs with its own key state) and
+  /// commit sends into per-sender network shards merged in sender order;
+  /// faulty processors — which share the coalition Signer and blackboard —
+  /// are stepped serially afterwards. Rushing mode, whose two passes are
+  /// cheap anyway, falls back to serial.
   std::size_t threads = 1;
   /// Transport fault plan (not owned; must outlive the run). When set,
   /// every submitted message passes through it and the plan accumulates

@@ -116,7 +116,7 @@ class ScriptedAdversary final : public sim::Process {
   ScriptState* state_;
   const ExhaustiveOptions& options_;
   PhaseNum last_send_phase_;
-  std::vector<Bytes> observed_;
+  std::vector<sim::Payload> observed_;  // handles; dedup compares content
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 // The multithreaded runner must be bit-identical to the serial one.
 #include <gtest/gtest.h>
 
+#include "sim/faults.h"
 #include "test_util.h"
 
 namespace dr {
@@ -105,19 +106,66 @@ INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelRunner,
                                   std::to_string(param_info.param);
                          });
 
-TEST(ParallelRunner, StatefulSchemesFallBackToSerial) {
-  // With the Merkle scheme, threads > 1 must silently run serial (signing
-  // is stateful) and still be correct.
-  ScenarioOptions options;
-  options.scheme = sim::SchemeKind::kMerkle;
-  options.merkle_height = 4;
-  options.threads = 8;
-  const auto result = ba::run_scenario(*ba::find_protocol("dolev-strong"),
-                                       BAConfig{5, 1, 0, 1}, options,
-                                       {test::silent(4)});
-  const auto check = sim::check_byzantine_agreement(result, 0, 1);
-  EXPECT_TRUE(check.agreement);
-  EXPECT_TRUE(check.validity);
+TEST(ParallelRunner, HashBasedSchemesRunParallelBitIdentical) {
+  // Merkle/WOTS signing consumes per-processor key state, but each correct
+  // processor only touches its own keys, so the pool steps them
+  // concurrently; the faulty coalition (one shared stateful Signer) is
+  // stepped serially. Serial and parallel runs must agree bit for bit.
+  for (const sim::SchemeKind scheme :
+       {sim::SchemeKind::kMerkle, sim::SchemeKind::kWots}) {
+    ScenarioOptions serial;
+    serial.scheme = scheme;
+    serial.merkle_height = 4;
+    serial.record_history = true;
+    ScenarioOptions parallel = serial;
+    parallel.threads = 8;
+    const BAConfig config{5, 1, 0, 1};
+    const ba::Protocol& protocol = *ba::find_protocol("dolev-strong");
+    const auto a =
+        ba::run_scenario(protocol, config, serial, {test::silent(4)});
+    const auto b =
+        ba::run_scenario(protocol, config, parallel, {test::silent(4)});
+    EXPECT_EQ(a.decisions, b.decisions);
+    EXPECT_TRUE(a.history == b.history);
+    EXPECT_TRUE(a.metrics == b.metrics);
+    const auto check = sim::check_byzantine_agreement(b, 0, 1);
+    EXPECT_TRUE(check.agreement);
+    EXPECT_TRUE(check.validity);
+  }
+}
+
+TEST(ParallelRunner, FaultPlanParityBitIdentical) {
+  // Scripted transport faults must not disturb parallel determinism: the
+  // fault stream is keyed by message coordinates (from, to, phase), never
+  // by arrival order, and the perturbed-processor accounting is a set, so
+  // the racy worker schedule cannot leak into any observable.
+  const std::vector<sim::FaultRule> rules{
+      {sim::FaultKind::kDrop, 1, sim::kAnyProc, 2},
+      {sim::FaultKind::kDuplicate, sim::kAnyProc, 3, sim::kAnyPhase},
+      {sim::FaultKind::kCorrupt, 0, sim::kAnyProc, 1},
+      {sim::FaultKind::kOmitReceive, sim::kAnyProc, 5, 3},
+  };
+  std::vector<Case> cases;
+  cases.push_back({"ds", *ba::find_protocol("dolev-strong"), 12, 3});
+  cases.push_back({"pk", *ba::find_protocol("phase-king"), 15, 3});
+  cases.push_back({"a5", ba::make_alg5_protocol(3), 48, 2});
+  for (const Case& c : cases) {
+    const BAConfig config{c.n, c.t, 0, 1};
+    sim::FaultPlan serial_plan(rules, 7);
+    sim::FaultPlan parallel_plan(rules, 7);
+    ScenarioOptions serial;
+    serial.record_history = true;
+    serial.fault_plan = &serial_plan;
+    ScenarioOptions parallel = serial;
+    parallel.threads = 4;
+    parallel.fault_plan = &parallel_plan;
+    const auto a = ba::run_scenario(c.protocol, config, serial, {});
+    const auto b = ba::run_scenario(c.protocol, config, parallel, {});
+    EXPECT_EQ(a.decisions, b.decisions) << c.label;
+    EXPECT_TRUE(a.history == b.history) << c.label;
+    EXPECT_TRUE(a.metrics == b.metrics) << c.label;
+    EXPECT_EQ(serial_plan.perturbed(), parallel_plan.perturbed()) << c.label;
+  }
 }
 
 }  // namespace
