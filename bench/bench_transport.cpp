@@ -51,6 +51,49 @@ void print_tables() {
   }
 }
 
+void print_churn_table() {
+  print_header(
+      "Crash tolerance: what a mid-run endpoint death costs",
+      "a killed peer is charged as omission-faulty and the survivors keep "
+      "lock-step; the extra wall-clock is bounded by the reconnect window, "
+      "not the phase timeout");
+  std::printf("%-18s %4s %3s | %9s %9s | %11s %9s\n", "scenario", "n", "t",
+              "chan ms", "tcp ms", "disconnects", "survivors");
+  const Protocol protocol = *ba::find_protocol("dolev-strong");
+  const BAConfig config{7, 2, 0, 1};
+  for (const bool kill : {false, true}) {
+    double millis[2] = {0, 0};
+    std::size_t disconnects = 0;
+    bool survivors_agree = true;
+    const net::Backend backends[2] = {net::Backend::kInProcess,
+                                      net::Backend::kTcpLoopback};
+    for (int b = 0; b < 2; ++b) {
+      net::NetScenarioOptions options;
+      options.reconnect_window = std::chrono::milliseconds(250);
+      options.run_deadline = std::chrono::seconds(30);
+      if (kill) {
+        options.churn.push_back(
+            sim::ChurnRule{sim::ChurnKind::kKill, 6, 1, 0});
+      }
+      const auto begin = std::chrono::steady_clock::now();
+      const net::NetRunResult result =
+          net::run_scenario(protocol, config, backends[b], options);
+      const auto end = std::chrono::steady_clock::now();
+      millis[b] =
+          std::chrono::duration<double, std::milli>(end - begin).count();
+      disconnects = result.sync.link.disconnects;
+      for (std::size_t p = 0; p + 1 < config.n; ++p) {
+        survivors_agree = survivors_agree &&
+                          result.run.decisions[p] == config.value;
+      }
+    }
+    std::printf("%-18s %4zu %3zu | %8.2f %8.2f | %11zu %9s\n",
+                kill ? "kill p6@phase1" : "clean", config.n, config.t,
+                millis[0], millis[1], disconnects,
+                survivors_agree ? "AGREE" : "FAIL");
+  }
+}
+
 void register_timings() {
   const BAConfig config{9, 4, 0, 1};
   register_timing("transport/alg2/sim", [config] {
@@ -72,6 +115,7 @@ void register_timings() {
 
 int main(int argc, char** argv) {
   dr::bench::print_tables();
+  dr::bench::print_churn_table();
   dr::bench::register_timings();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -4,13 +4,16 @@
 //
 // Usage:
 //   ./chaos soak [--runs N] [--seed S] [--protocols a,b,...]
-//               [--backend sim|net]
+//               [--backend sim|net] [--churn P]
 //       Run N random scenarios (default 1000). Scenarios whose effective
 //       faulty set stays within t must satisfy agreement, validity and the
 //       Theorem 3 / Theorem 4 / Lemma 1 budgets; any violation is
 //       minimized and printed as a JSON reproducer. Exit 1 if any found.
 //       --backend net executes every scenario on the real message-passing
 //       runtime (threads + framed transport) instead of the simulator.
+//       --churn P (net only) gives each scenario probability P of also
+//       killing, restarting or slowing one endpoint mid-run — real socket
+//       death under the synchronizer, charged against the fault budget.
 //
 //   ./chaos demo [--protocol NAME] [--n N] [--t T] [--seed S]
 //       The deliberate over-budget exercise: hunt for a transport plan
@@ -66,17 +69,22 @@ chaos::InvariantReport recheck(const chaos::Scenario& scenario,
 }
 
 int run_soak(std::size_t runs, std::uint64_t seed,
-             const std::string& protocols, chaos::Backend backend) {
+             const std::string& protocols, chaos::Backend backend,
+             double churn_probability) {
+  if (churn_probability > 0 && backend != chaos::Backend::kNet) {
+    usage_error("--churn requires --backend net");
+  }
   chaos::SoakOptions options;
   options.runs = runs;
   options.seed = seed;
   options.protocols = split_csv(protocols);
   options.backend = backend;
+  options.churn_probability = churn_probability;
 
   const chaos::SoakStats stats = chaos::soak(options);
-  std::printf("chaos soak: %zu runs, seed %llu, backend %s\n", stats.runs,
-              static_cast<unsigned long long>(seed),
-              chaos::to_string(backend));
+  std::printf("chaos soak: %zu runs, seed %llu, backend %s, churn %.2f\n",
+              stats.runs, static_cast<unsigned long long>(seed),
+              chaos::to_string(backend), churn_probability);
   std::printf("  within fault budget (checked): %zu\n", stats.checked);
   std::printf("  over budget (skipped):         %zu\n", stats.over_budget);
   std::printf("  processors perturbed (total):  %zu\n", stats.rules_fired);
@@ -193,6 +201,7 @@ int main(int argc, char** argv) {
   std::string protocol = "dolev-strong";
   std::size_t n = 5, t = 1;
   chaos::Backend backend = chaos::Backend::kSim;
+  double churn_probability = 0.0;
   const char* replay_path = nullptr;
 
   for (int i = 2; i < argc; ++i) {
@@ -217,6 +226,11 @@ int main(int argc, char** argv) {
       if (!chaos::backend_from_string(next(), backend)) {
         usage_error("unknown backend (sim | net)");
       }
+    } else if (arg == "--churn") {
+      churn_probability = std::strtod(next(), nullptr);
+      if (churn_probability < 0.0 || churn_probability > 1.0) {
+        usage_error("--churn wants a probability in [0, 1]");
+      }
     } else if (mode == "replay" && replay_path == nullptr &&
                !arg.empty() && arg[0] != '-') {
       replay_path = argv[i];
@@ -225,7 +239,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (mode == "soak") return run_soak(runs, seed, protocols, backend);
+  if (mode == "soak") {
+    return run_soak(runs, seed, protocols, backend, churn_probability);
+  }
   if (mode == "demo") return run_demo(protocol, n, t, seed);
   if (mode == "replay") {
     if (replay_path == nullptr) usage_error("replay needs a file path");

@@ -18,6 +18,11 @@ ctest --test-dir "$BUILD" -L net -j"$(nproc)" --output-on-failure
 # actual TCP sockets with the paper's budgets checked on the wire.
 "$BUILD"/examples/chaos soak --runs 2000 --seed 1 --backend net
 "$BUILD"/examples/netdemo --backend tcp
+# Crash tolerance: the endpoint-churn suite (kills, restarts, truncated
+# frames, the run watchdog — on both transports), then a soak that draws
+# random process churn severing real links on top of the fault plans.
+ctest --test-dir "$BUILD" -L churn -j"$(nproc)" --output-on-failure
+"$BUILD"/examples/chaos soak --runs 300 --seed 1 --backend net --churn 0.5
 # Conformance: the paper's bounds as executable oracles over randomized
 # cases, differentially across sim / in-process / TCP (EXPERIMENTS.md E12).
 ctest --test-dir "$BUILD" -L conf -j"$(nproc)" --output-on-failure

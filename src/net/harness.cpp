@@ -55,7 +55,10 @@ NetRunResult run_scenario(const ba::Protocol& protocol,
                        .scheme = sim::SchemeKind::kHmac,
                        .merkle_height = 6,
                        .phase_timeout = options.phase_timeout,
-                       .fault_plan = options.fault_plan};
+                       .reconnect_window = options.reconnect_window,
+                       .run_deadline = options.run_deadline,
+                       .fault_plan = options.fault_plan,
+                       .churn = options.churn};
   NetRunner runner(net_config, *transport);
   for (const ba::ScenarioFault& fault : faults) {
     runner.mark_faulty(fault.id);
@@ -100,6 +103,15 @@ void compare_runs(const char* backend, const sim::RunResult& want,
   check("last_active_phase", a.last_active_phase(), b.last_active_phase());
   check("chain_cache_hits", a.chain_cache_hits(), b.chain_cache_hits());
   check("chain_cache_misses", a.chain_cache_misses(), b.chain_cache_misses());
+  // Connection-lifecycle counters: always zero for sim (no wire), and a
+  // parity scenario injects no churn, so any disconnect/retry on the net
+  // side is a real transport bug — compared as hard equalities.
+  check("net_disconnects", a.net_disconnects(), b.net_disconnects());
+  check("net_reconnect_attempts", a.net_reconnect_attempts(),
+        b.net_reconnect_attempts());
+  check("net_send_retries", a.net_send_retries(), b.net_send_retries());
+  check("net_endpoints_degraded", a.net_endpoints_degraded(),
+        b.net_endpoints_degraded());
   if (a.per_phase() != b.per_phase()) fail("per-phase counts differ");
   for (ProcId p = 0; p < a.n(); ++p) {
     std::ostringstream os;

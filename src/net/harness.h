@@ -35,8 +35,13 @@ std::unique_ptr<Transport> make_transport(Backend backend, std::size_t n);
 struct NetScenarioOptions {
   std::uint64_t seed = 1;
   std::chrono::milliseconds phase_timeout{5000};
+  /// See the NetConfig fields of the same names.
+  std::chrono::milliseconds reconnect_window{1000};
+  std::chrono::milliseconds run_deadline{0};
   /// Not owned; must outlive the call. See NetConfig::fault_plan.
   sim::FaultPlan* fault_plan = nullptr;
+  /// Process-level churn rules, forwarded to NetConfig::churn.
+  std::vector<sim::ChurnRule> churn;
 };
 
 /// ba::run_scenario on a real transport: builds the transport and the

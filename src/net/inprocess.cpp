@@ -4,7 +4,7 @@
 
 namespace dr::net {
 
-InProcessTransport::InProcessTransport(std::size_t n) {
+InProcessTransport::InProcessTransport(std::size_t n) : health_(n) {
   DR_EXPECTS(n >= 1);
   boxes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -12,14 +12,17 @@ InProcessTransport::InProcessTransport(std::size_t n) {
   }
 }
 
-void InProcessTransport::send(ProcId from, ProcId to, ByteView bytes) {
+std::optional<TransportError> InProcessTransport::send(ProcId from, ProcId to,
+                                                       ByteView bytes) {
   DR_EXPECTS(from < n() && to < n());
   Mailbox& box = *boxes_[to];
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(RawChunk{from, Bytes(bytes.begin(), bytes.end())});
+    box.queue.push_back(
+        RawChunk{from, Bytes(bytes.begin(), bytes.end()), std::nullopt});
   }
   box.cv.notify_one();
+  return std::nullopt;
 }
 
 bool InProcessTransport::recv(ProcId self, std::vector<RawChunk>& out,
@@ -31,10 +34,46 @@ bool InProcessTransport::recv(ProcId self, std::vector<RawChunk>& out,
                   [&] { return !box.queue.empty() || box.down; });
   if (box.queue.empty()) return false;
   while (!box.queue.empty()) {
+    if (box.queue.front().event.has_value()) ++health_[self].disconnects;
     out.push_back(std::move(box.queue.front()));
     box.queue.pop_front();
   }
   return true;
+}
+
+void InProcessTransport::drop_endpoint(ProcId p) {
+  DR_EXPECTS(p < n());
+  // A restarting process loses its pending inbound bytes, exactly like the
+  // TCP backend losing kernel socket buffers: clear p's mailbox, then queue
+  // one kDisconnect per severed link into p's own box (so p resets its
+  // assemblers) and into each peer's box (at the peers' current stream
+  // positions — everything before the event came over the old connection).
+  {
+    Mailbox& own = *boxes_[p];
+    std::lock_guard<std::mutex> lock(own.mu);
+    own.queue.clear();
+    for (ProcId q = 0; q < n(); ++q) {
+      if (q == p) continue;
+      own.queue.push_back(RawChunk{
+          q, {}, TransportError{TransportErrorKind::kDisconnect, q, 0}});
+    }
+  }
+  boxes_[p]->cv.notify_one();
+  for (ProcId q = 0; q < n(); ++q) {
+    if (q == p) continue;
+    Mailbox& box = *boxes_[q];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.queue.push_back(RawChunk{
+          p, {}, TransportError{TransportErrorKind::kDisconnect, p, 0}});
+    }
+    box.cv.notify_one();
+  }
+}
+
+LinkHealth InProcessTransport::health(ProcId p) const {
+  DR_EXPECTS(p < n());
+  return health_[p];
 }
 
 void InProcessTransport::shutdown() {

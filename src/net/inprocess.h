@@ -1,9 +1,10 @@
 // In-process channel transport: one mailbox (mutex + condvar + deque) per
 // endpoint. Senders append under the receiver's lock; the receiving thread
 // drains its whole mailbox in one recv(). Per-link FIFO follows from the
-// mailbox being append-ordered. This is the fast backend — no syscalls on
-// the send path — and the reference implementation of the Transport
-// contract the TCP backend must match.
+// mailbox being append-ordered, and link events (drop_endpoint) are plain
+// queue entries, so they land at their exact stream position. This is the
+// fast backend — no syscalls on the send path — and the reference
+// implementation of the Transport contract the TCP backend must match.
 #pragma once
 
 #include <condition_variable>
@@ -20,9 +21,12 @@ class InProcessTransport final : public Transport {
   explicit InProcessTransport(std::size_t n);
 
   std::size_t n() const override { return boxes_.size(); }
-  void send(ProcId from, ProcId to, ByteView bytes) override;
+  std::optional<TransportError> send(ProcId from, ProcId to,
+                                     ByteView bytes) override;
   bool recv(ProcId self, std::vector<RawChunk>& out,
             std::chrono::milliseconds timeout) override;
+  void drop_endpoint(ProcId p) override;
+  LinkHealth health(ProcId p) const override;
   const char* kind() const override { return "inprocess"; }
   void shutdown() override;
 
@@ -35,6 +39,9 @@ class InProcessTransport final : public Transport {
   };
   // unique_ptr so the vector is movable despite the mutexes.
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  // Per-endpoint counters, touched only on the owner's thread: recv()
+  // counts the disconnect events it pops out of the owner's own mailbox.
+  std::vector<LinkHealth> health_;
 };
 
 }  // namespace dr::net

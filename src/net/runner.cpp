@@ -1,6 +1,7 @@
 #include "net/runner.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -10,6 +11,10 @@
 #include "util/contracts.h"
 
 namespace dr::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
 
 NetRunner::NetRunner(const NetConfig& config, Transport& transport)
     : config_(config),
@@ -42,18 +47,70 @@ void NetRunner::install(ProcId p, std::unique_ptr<sim::Process> process) {
   processes_[p] = std::move(process);
 }
 
+bool NetRunner::apply_churn(ProcId p, PhaseNum phase,
+                            const std::atomic<bool>* abort) {
+  for (const sim::ChurnRule& rule : config_.churn) {
+    if (rule.id != p) continue;
+    switch (rule.kind) {
+      case sim::ChurnKind::kKill:
+        // The endpoint completes phases <= rule.phase, then dies for good:
+        // links severed, thread gone. Peers see the disconnect, wait out
+        // the reconnect window, and demote it to omission-faulty.
+        if (phase > rule.phase) {
+          transport_.drop_endpoint(p);
+          return false;
+        }
+        break;
+      case sim::ChurnKind::kRestart:
+        // A process restart: every link dies at once and any in-flight
+        // inbound bytes are lost with them. The endpoint itself keeps its
+        // protocol state (the interesting part is the *network* churn);
+        // sends redial lazily and peers clear the down mark on the first
+        // fresh frame.
+        if (phase == rule.phase) transport_.drop_endpoint(p);
+        break;
+      case sim::ChurnKind::kHang: {
+        if (phase != rule.phase) break;
+        // Stall without touching the transport: links stay up, so peers
+        // cannot use the reconnect window — this is exactly the wedge the
+        // run watchdog exists for. Sleep in small slices so an abort cuts
+        // the hang short.
+        const Clock::time_point start = Clock::now();
+        while (rule.millis == 0 ||
+               Clock::now() - start < std::chrono::milliseconds(rule.millis)) {
+          if (abort != nullptr && abort->load(std::memory_order_relaxed)) {
+            return false;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        break;
+      }
+      case sim::ChurnKind::kSlow:
+        if (phase >= rule.phase) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(rule.millis));
+        }
+        break;
+    }
+  }
+  return true;
+}
+
 void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
-                              sim::Metrics& metrics, SyncStats& sync) {
+                              sim::Metrics& metrics, SyncStats& sync,
+                              const std::atomic<bool>* abort) {
   const bool correct = !faulty_[p];
   const crypto::Signer& signer = pool_->signer_for(p);
   PhaseSynchronizer synchronizer(p, config_.n, transport_,
-                                 config_.phase_timeout);
+                                 config_.phase_timeout,
+                                 config_.reconnect_window, abort);
   std::vector<Envelope> inbox;
   // Endpoint-local verification memo; lives on this thread only, so the
   // cache needs no locking and its hit/miss sequence matches the sim
   // runner's per-process cache exactly (parity gate compares the totals).
   crypto::VerifyCache cache;
   for (PhaseNum phase = 1; phase <= phases; ++phase) {
+    if (!apply_churn(p, phase, abort)) break;
+    if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
     sim::Context ctx(p, phase, config_.n, config_.t, &inbox, &signer,
                      &verifier_, &cache);
     processes_[p]->on_phase(ctx);
@@ -65,10 +122,10 @@ void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
             metrics, config_.fault_plan, fault_mu, p, to, phase,
             std::move(payload), correct, out.signatures,
             [&](sim::Payload delivered) {
-              const Bytes frame = encode_frame(Frame{
-                  FrameKind::kPayload, p, to, phase, std::move(delivered)});
-              metrics.on_frame(correct, frame.size());
-              transport_.send(p, to, frame);
+              synchronizer.send_frame(
+                  Frame{FrameKind::kPayload, p, to, phase,
+                        std::move(delivered)},
+                  correct, metrics);
             });
       };
       if (out.broadcast) {
@@ -86,6 +143,9 @@ void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
     }
   }
   sync = synchronizer.stats();
+  sync.link = transport_.health(p);
+  metrics.on_net_health(sync.link.disconnects, sync.link.reconnect_attempts,
+                        sync.link.send_retries, sync.stragglers);
   metrics.on_chain_cache(cache.hits(), cache.misses());
 }
 
@@ -95,6 +155,13 @@ NetRunResult NetRunner::run(PhaseNum phases) {
   for (ProcId p = 0; p < config_.n; ++p) {
     DR_EXPECTS(processes_[p] != nullptr);
   }
+  for (const sim::ChurnRule& rule : config_.churn) {
+    DR_EXPECTS(rule.id < config_.n);
+    // An unbounded hang can only be cut short by the watchdog; without a
+    // run deadline it would wedge the join below forever.
+    DR_EXPECTS(rule.kind != sim::ChurnKind::kHang || rule.millis > 0 ||
+               config_.run_deadline.count() > 0);
+  }
   if (!pool_.has_value()) pool_.emplace(scheme_.get(), faulty_);
   if (config_.fault_plan != nullptr) config_.fault_plan->reset();
   std::mutex fault_mu;
@@ -103,17 +170,47 @@ NetRunResult NetRunner::run(PhaseNum phases) {
 
   std::vector<sim::Metrics> metrics(config_.n, sim::Metrics(config_.n));
   std::vector<SyncStats> sync(config_.n);
+  // Watchdog plumbing: endpoint threads check `abort` at phase boundaries
+  // (and inside barrier waits and hangs); the main thread waits on the
+  // condvar for all of them, or for the run deadline, whichever first.
+  std::atomic<bool> abort{false};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t finished = 0;                  // guarded by done_mu
+  std::vector<char> done_flag(config_.n, 0); // guarded by done_mu
+
   std::vector<std::thread> endpoints;
   endpoints.reserve(config_.n);
   for (ProcId p = 0; p < config_.n; ++p) {
-    endpoints.emplace_back([this, p, phases, fault_mu_ptr, &metrics, &sync] {
-      endpoint_main(p, phases, fault_mu_ptr, metrics[p], sync[p]);
+    endpoints.emplace_back([this, p, phases, fault_mu_ptr, &metrics, &sync,
+                            &abort, &done_mu, &done_cv, &finished,
+                            &done_flag] {
+      endpoint_main(p, phases, fault_mu_ptr, metrics[p], sync[p], &abort);
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_flag[p] = 1;
+        ++finished;
+      }
+      done_cv.notify_all();
     });
+  }
+
+  NetRunResult result;
+  if (config_.run_deadline.count() > 0) {
+    std::unique_lock<std::mutex> lock(done_mu);
+    if (!done_cv.wait_for(lock, config_.run_deadline,
+                          [&] { return finished == config_.n; })) {
+      result.watchdog_fired = true;
+      for (ProcId p = 0; p < config_.n; ++p) {
+        if (!done_flag[p]) result.unfinished.push_back(p);
+      }
+      lock.unlock();
+      abort.store(true, std::memory_order_relaxed);
+    }
   }
   for (std::thread& endpoint : endpoints) endpoint.join();
   transport_.shutdown();
 
-  NetRunResult result;
   result.run.faulty = faulty_;
   result.run.phases_run = phases;
   sim::Metrics merged(config_.n);

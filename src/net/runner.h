@@ -13,6 +13,7 @@
 //     log; use sim::Runner when auditing with ba::validate_correctness.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -42,11 +43,26 @@ struct NetConfig {
   /// under scheduler noise would silently convert a correct run into one
   /// with extra (omission) faults.
   std::chrono::milliseconds phase_timeout{5000};
+  /// How long a barrier keeps waiting for a peer whose link is down before
+  /// giving up on it: a crashed peer costs its window, a restarting one
+  /// gets that long to redial and rejoin the barrier.
+  std::chrono::milliseconds reconnect_window{1000};
+  /// Run-level watchdog: when nonzero, a run that has not finished within
+  /// this budget is aborted — every endpoint's barrier returns promptly,
+  /// threads are joined, and the result carries watchdog_fired plus the
+  /// endpoints that never finished — a structured failure, never a hang.
+  /// Zero disables the watchdog (the per-phase timeouts still bound runs).
+  std::chrono::milliseconds run_deadline{0};
   /// Transport fault plan (not owned; must outlive the run). Applied at
   /// the shared submission seam (sim/delivery.h), payload-level, exactly as
   /// the in-memory Network applies it — which is what keeps sim-vs-net
   /// parity intact under fault injection. Guarded by a run-level mutex.
   sim::FaultPlan* fault_plan = nullptr;
+  /// Process-level churn: kill / restart / hang / slow rules applied by
+  /// each endpoint thread at the top of its phase loop, severing real
+  /// transport links (sim::ChurnRule for the exact semantics). A hang rule
+  /// with millis == 0 requires run_deadline > 0 — checked at run().
+  std::vector<sim::ChurnRule> churn;
 };
 
 struct NetRunResult {
@@ -56,6 +72,13 @@ struct NetRunResult {
   sim::RunResult run;
   /// Merged per-endpoint synchronizer + frame-layer counters.
   SyncStats sync;
+  /// The run-level watchdog fired: `unfinished` lists the endpoints whose
+  /// threads had not completed when the deadline passed (they were aborted
+  /// and joined; their decisions are whatever state they reached). A fired
+  /// watchdog is a run-level failure — decisions and metrics of a
+  /// watchdog-aborted run carry no agreement guarantee.
+  bool watchdog_fired = false;
+  std::vector<ProcId> unfinished;
 };
 
 class NetRunner {
@@ -85,7 +108,12 @@ class NetRunner {
   /// the Transport (thread-safe per its contract) and the FaultPlan (under
   /// fault_mu).
   void endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
-                     sim::Metrics& metrics, SyncStats& sync);
+                     sim::Metrics& metrics, SyncStats& sync,
+                     const std::atomic<bool>* abort);
+  /// Applies every churn rule owned by `p` at the top of `phase`. Returns
+  /// false when a kill rule says the endpoint is gone (the thread must stop
+  /// stepping its process).
+  bool apply_churn(ProcId p, PhaseNum phase, const std::atomic<bool>* abort);
 
   NetConfig config_;
   Transport& transport_;

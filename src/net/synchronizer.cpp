@@ -8,8 +8,14 @@ namespace dr::net {
 
 void SyncStats::merge(const SyncStats& other) {
   frames.merge(other.frames);
+  link.merge(other.link);
   stragglers += other.stragglers;
   stale_frames += other.stale_frames;
+  disconnects += other.disconnects;
+  reconnected_peers += other.reconnected_peers;
+  truncated_frames += other.truncated_frames;
+  send_errors += other.send_errors;
+  poisoned_links += other.poisoned_links;
   omission_faulty.insert(omission_faulty.end(),
                          other.omission_faulty.begin(),
                          other.omission_faulty.end());
@@ -17,9 +23,13 @@ void SyncStats::merge(const SyncStats& other) {
 
 PhaseSynchronizer::PhaseSynchronizer(ProcId self, std::size_t n,
                                      Transport& transport,
-                                     std::chrono::milliseconds phase_timeout)
+                                     std::chrono::milliseconds phase_timeout,
+                                     std::chrono::milliseconds
+                                         reconnect_window,
+                                     const std::atomic<bool>* abort)
     : self_(self), n_(n), transport_(transport), timeout_(phase_timeout),
-      done_phase_(n, 0), dead_(n, false) {
+      reconnect_window_(reconnect_window), abort_(abort),
+      done_phase_(n, 0), dead_(n, false), down_(n, false), down_since_(n) {
   DR_EXPECTS(self < n);
   assemblers_.reserve(n);
   for (ProcId q = 0; q < n; ++q) {
@@ -35,13 +45,49 @@ bool PhaseSynchronizer::barrier_met(PhaseNum phase) const {
   return true;
 }
 
+void PhaseSynchronizer::note_link_down(ProcId q) {
+  if (q == self_ || dead_[q]) return;
+  ++stats_.disconnects;
+  // A partial frame at the cut is truncation: the sender's resend (if any)
+  // comes over a fresh connection as a whole frame, so the fragment must
+  // not survive to be spliced with it.
+  if (assemblers_[q].buffered() > 0) ++stats_.truncated_frames;
+  assemblers_[q] = FrameAssembler(/*link_peer=*/q, /*self=*/self_);
+  if (!down_[q]) {
+    down_[q] = true;
+    down_since_[q] = Clock::now();
+  }
+}
+
+void PhaseSynchronizer::send_frame(const Frame& frame, bool self_correct,
+                                   sim::Metrics& metrics) {
+  DR_EXPECTS(frame.from == self_ && frame.to < n_);
+  if (frame.to != self_ && dead_[frame.to]) return;
+  const Bytes bytes = encode_frame(frame);
+  metrics.on_frame(self_correct, bytes.size());
+  if (const auto error = transport_.send(self_, frame.to, bytes)) {
+    ++stats_.send_errors;
+    note_link_down(frame.to);
+  }
+}
+
 void PhaseSynchronizer::pump(std::chrono::milliseconds wait) {
   std::vector<RawChunk> chunks;
   transport_.recv(self_, chunks, wait);
   std::vector<Frame> decoded;
   for (RawChunk& chunk : chunks) {
     DR_ASSERT(chunk.from < n_);
+    if (chunk.event.has_value()) note_link_down(chunk.from);
+    if (chunk.bytes.empty()) continue;
+    if (down_[chunk.from] && !dead_[chunk.from]) {
+      down_[chunk.from] = false;  // the peer is demonstrably back
+      ++stats_.reconnected_peers;
+    }
+    const bool was_poisoned = assemblers_[chunk.from].poisoned();
     assemblers_[chunk.from].feed(chunk.bytes, decoded, stats_.frames);
+    if (!was_poisoned && assemblers_[chunk.from].poisoned()) {
+      ++stats_.poisoned_links;
+    }
   }
   for (Frame& frame : decoded) {
     if (frame.kind == FrameKind::kDone) {
@@ -69,28 +115,48 @@ std::vector<Envelope> PhaseSynchronizer::advance(PhaseNum phase,
   DR_EXPECTS(phase > released_);
   for (ProcId q = 0; q < n_; ++q) {
     if (q == self_) continue;
-    const Bytes frame = encode_frame(
-        Frame{FrameKind::kDone, self_, q, phase, {}});
-    metrics.on_frame(self_correct, frame.size());
-    transport_.send(self_, q, frame);
+    send_frame(Frame{FrameKind::kDone, self_, q, phase, {}}, self_correct,
+               metrics);
   }
 
-  using Clock = std::chrono::steady_clock;
   const Clock::time_point deadline = Clock::now() + timeout_;
   pump(std::chrono::milliseconds(0));  // drain whatever is already in
-  while (!barrier_met(phase)) {
+  while (!barrier_met(phase) && !abort_requested()) {
     const Clock::time_point now = Clock::now();
-    if (now >= deadline) break;
+    Clock::time_point effective = deadline;
+    // When every peer the barrier still waits for is link-down, the wait
+    // shrinks to the end of their reconnect windows: a crashed peer costs
+    // its window, not the full phase timeout, and the total degradation
+    // stays proportional to the number of actual failures.
+    Clock::time_point window = Clock::time_point::min();
+    bool all_missing_down = true;
+    for (ProcId q = 0; q < n_; ++q) {
+      if (q == self_ || dead_[q] || done_phase_[q] >= phase) continue;
+      if (!down_[q]) {
+        all_missing_down = false;
+        break;
+      }
+      window = std::max(window, down_since_[q] + reconnect_window_);
+    }
+    if (all_missing_down && window != Clock::time_point::min()) {
+      effective = std::min(effective, window);
+    }
+    if (now >= effective) break;
     const auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+        std::chrono::duration_cast<std::chrono::milliseconds>(effective -
+                                                              now);
     pump(std::min(remaining, std::chrono::milliseconds(50)));
   }
 
-  for (ProcId q = 0; q < n_; ++q) {
-    if (q == self_ || dead_[q] || done_phase_[q] >= phase) continue;
-    dead_[q] = true;
-    ++stats_.stragglers;
-    stats_.omission_faulty.push_back(q);
+  // A watchdog abort is a run-level failure, not evidence about peers:
+  // leave the omission accounting untouched on that path.
+  if (!abort_requested()) {
+    for (ProcId q = 0; q < n_; ++q) {
+      if (q == self_ || dead_[q] || done_phase_[q] >= phase) continue;
+      dead_[q] = true;
+      ++stats_.stragglers;
+      stats_.omission_faulty.push_back(q);
+    }
   }
 
   // Release: everything sent in `phase` becomes the next phase's inbox,

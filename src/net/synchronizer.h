@@ -15,13 +15,24 @@
 //   * frames from peers that are already in a later phase are buffered
 //     until their own release point (a fast peer cannot outrun the barrier
 //     by more than the synchronizer can buffer);
-//   * a peer whose DONE(k) does not arrive within the phase timeout is
-//     treated as omission-faulty from then on: the barrier stops waiting
-//     for it forever, its late frames for already-released phases are
-//     dropped as stale, and the paper's accounting charges it against the
-//     fault budget t exactly like a crashed processor (docs/MODEL.md).
+//   * a link that dies (kDisconnect event, failed send) marks its peer
+//     down and resets the frame assembler — a partial frame straddling the
+//     cut is truncation, discarded and counted, never spliced with
+//     fresh-connection bytes. A down peer may reconnect: its next chunk
+//     clears the mark. While every missing peer is link-down, the barrier
+//     waits only to the end of their reconnect windows instead of the full
+//     phase timeout — the degradation is proportional to the number of
+//     actual failures, not to worst-case timeouts;
+//   * a peer whose DONE(k) does not arrive in time is treated as
+//     omission-faulty from then on: the barrier stops waiting for it
+//     forever, nothing further is sent to it, its late frames for
+//     already-released phases are dropped as stale, and the paper's
+//     accounting charges it against the fault budget t exactly like a
+//     crashed processor (docs/MODEL.md, "Failure semantics of the net
+//     runtime").
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <vector>
@@ -39,9 +50,15 @@ using sim::Envelope;
 /// runner after the join.
 struct SyncStats {
   FrameStats frames;
+  LinkHealth link;  // transport-side lifecycle counters (runner-harvested)
   std::size_t stragglers = 0;    // peers this endpoint declared
                                  // omission-faulty at some barrier
   std::size_t stale_frames = 0;  // payload frames past their release point
+  std::size_t disconnects = 0;       // link-down events observed
+  std::size_t reconnected_peers = 0; // down links seen alive again
+  std::size_t truncated_frames = 0;  // partial frames cut off by a dead link
+  std::size_t send_errors = 0;       // frames a send() failed to deliver
+  std::size_t poisoned_links = 0;    // assemblers driven into poisoning
   std::vector<ProcId> omission_faulty;  // the declared peers, in order
 
   void merge(const SyncStats& other);
@@ -49,8 +66,25 @@ struct SyncStats {
 
 class PhaseSynchronizer {
  public:
-  PhaseSynchronizer(ProcId self, std::size_t n, Transport& transport,
-                    std::chrono::milliseconds phase_timeout);
+  /// `abort`, when non-null, is the runner's watchdog flag: a set flag
+  /// makes every barrier wait return promptly (the run is being torn
+  /// down). `reconnect_window` bounds how long a barrier waits for a
+  /// link-down peer to come back before giving up on it.
+  PhaseSynchronizer(
+      ProcId self, std::size_t n, Transport& transport,
+      std::chrono::milliseconds phase_timeout,
+      std::chrono::milliseconds reconnect_window =
+          std::chrono::milliseconds(1000),
+      const std::atomic<bool>* abort = nullptr);
+
+  /// Encodes and sends one frame from this endpoint, counting it into
+  /// `metrics`. Links to peers already demoted as omission-faulty are
+  /// skipped (the paper stops charging correct processors for traffic to
+  /// crashed ones); a failed send marks the link down and is absorbed into
+  /// the stats — never an abort. The runner's payload path and the DONE
+  /// broadcast both go through here.
+  void send_frame(const Frame& frame, bool self_correct,
+                  sim::Metrics& metrics);
 
   /// Ends `phase`: broadcasts DONE(phase), waits until every live peer's
   /// DONE(phase) arrived or the timeout expired, marks stragglers
@@ -65,18 +99,31 @@ class PhaseSynchronizer {
   const SyncStats& stats() const { return stats_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   /// Drains the transport once (waiting up to `wait`) and dispatches every
-  /// decoded frame into done-tracking or the phase buffer.
+  /// decoded frame into done-tracking or the phase buffer; link events
+  /// reset the assembler at their exact stream position.
   void pump(std::chrono::milliseconds wait);
   bool barrier_met(PhaseNum phase) const;
+  /// Marks q's link down (idempotent for the window start), discards any
+  /// partial frame, and resets the assembler for the next connection.
+  void note_link_down(ProcId q);
+  bool abort_requested() const {
+    return abort_ != nullptr && abort_->load(std::memory_order_relaxed);
+  }
 
   ProcId self_;
   std::size_t n_;
   Transport& transport_;
   std::chrono::milliseconds timeout_;
+  std::chrono::milliseconds reconnect_window_;
+  const std::atomic<bool>* abort_;
   std::vector<FrameAssembler> assemblers_;  // indexed by link peer
   std::vector<PhaseNum> done_phase_;        // highest DONE seen per peer
   std::vector<bool> dead_;                  // declared omission-faulty
+  std::vector<bool> down_;                  // link currently severed
+  std::vector<Clock::time_point> down_since_;  // reconnect window start
   PhaseNum released_ = 0;                   // phases <= this are delivered
   // sent_phase -> per-sender payload envelopes (sender order = arrival
   // order = send order, by per-link FIFO).

@@ -8,14 +8,19 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "util/contracts.h"
+#include "util/rng.h"
 
 namespace dr::net {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -29,7 +34,19 @@ void set_nodelay(int fd) {
             0);
 }
 
-void write_all_blocking(int fd, const std::uint8_t* data, std::size_t size) {
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(std::max<std::int64_t>(0, left.count()));
+}
+
+/// Writes exactly `size` bytes or gives up at `deadline`. Distinguishes a
+/// stalled peer (kTimeout: the socket buffer never drained) from a dead
+/// one (kDisconnect: EPIPE/ECONNRESET and friends); counts backpressure
+/// waits into `health`. Works on blocking and nonblocking descriptors.
+std::optional<TransportError> write_with_deadline(
+    int fd, ProcId peer, const std::uint8_t* data, std::size_t size,
+    Clock::time_point deadline, LinkHealth& health) {
   std::size_t off = 0;
   while (off < size) {
     const ssize_t k = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
@@ -37,15 +54,30 @@ void write_all_blocking(int fd, const std::uint8_t* data, std::size_t size) {
       off += static_cast<std::size_t>(k);
       continue;
     }
-    DR_ASSERT(k < 0 && (errno == EINTR || errno == EAGAIN ||
-                        errno == EWOULDBLOCK));
-    if (errno == EINTR) continue;
-    struct pollfd pfd {fd, POLLOUT, 0};
-    ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (k < 0 && errno == EINTR) continue;
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int wait = std::min(remaining_ms(deadline), 50);
+      if (wait == 0) {
+        ++health.send_timeouts;
+        return TransportError{TransportErrorKind::kTimeout, peer, EAGAIN};
+      }
+      ++health.send_retries;
+      struct pollfd pfd {fd, POLLOUT, 0};
+      ::poll(&pfd, 1, wait);
+      continue;
+    }
+    return TransportError{TransportErrorKind::kDisconnect, peer,
+                          k < 0 ? errno : EPIPE};
   }
+  return std::nullopt;
 }
 
-void read_all_blocking(int fd, std::uint8_t* data, std::size_t size) {
+/// Reads exactly `size` bytes or gives up at `deadline`. Returns false on
+/// a clean peer close (read() == 0), any hard error, or the deadline —
+/// never asserts: EAGAIN/EWOULDBLOCK on a nonblocking descriptor and
+/// clean closes are normal events on a faulted link.
+bool read_exact(int fd, std::uint8_t* data, std::size_t size,
+                Clock::time_point deadline) {
   std::size_t off = 0;
   while (off < size) {
     const ssize_t k = ::read(fd, data + off, size - off);
@@ -53,19 +85,66 @@ void read_all_blocking(int fd, std::uint8_t* data, std::size_t size) {
       off += static_cast<std::size_t>(k);
       continue;
     }
-    DR_ASSERT(k < 0 && errno == EINTR);
+    if (k == 0) return false;  // peer closed mid-read
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int wait = std::min(remaining_ms(deadline), 50);
+      if (wait == 0) return false;
+      struct pollfd pfd {fd, POLLIN, 0};
+      ::poll(&pfd, 1, wait);
+      continue;
+    }
+    return false;
   }
+  return true;
 }
 
 }  // namespace
 
-TcpLoopbackTransport::TcpLoopbackTransport(std::size_t n)
-    : fds_(n, std::vector<int>(n, -1)), loopback_(n) {
-  DR_EXPECTS(n >= 1);
+int TcpLoopbackTransport::dial_once(ProcId as, ProcId to, int& err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    err = errno;
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(ports_[to]);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    err = errno;
+    ::close(fd);
+    return -1;
+  }
+  const std::uint8_t hello[4] = {
+      static_cast<std::uint8_t>(as & 0xFF),
+      static_cast<std::uint8_t>((as >> 8) & 0xFF),
+      static_cast<std::uint8_t>((as >> 16) & 0xFF),
+      static_cast<std::uint8_t>((as >> 24) & 0xFF)};
+  LinkHealth scratch;
+  if (write_with_deadline(fd, to, hello, sizeof(hello),
+                          Clock::now() + std::chrono::milliseconds(500),
+                          scratch)
+          .has_value()) {
+    err = EPIPE;
+    ::close(fd);
+    return -1;
+  }
+  err = 0;
+  return fd;
+}
 
-  // One listener per endpoint on an ephemeral loopback port.
-  std::vector<int> listeners(n, -1);
-  std::vector<std::uint16_t> ports(n, 0);
+TcpLoopbackTransport::TcpLoopbackTransport(std::size_t n, TcpOptions options)
+    : listeners_(n, -1), ports_(n, 0), options_(options) {
+  DR_EXPECTS(n >= 1);
+  endpoints_.resize(n);
+  for (Endpoint& ep : endpoints_) {
+    ep.fds.assign(n, -1);
+  }
+
+  // One listener per endpoint on an ephemeral loopback port, kept open for
+  // the whole run so a restarted endpoint can be redialed. Nonblocking:
+  // recv() folds accepts into its poll loop.
   for (std::size_t p = 0; p < n; ++p) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     DR_ASSERT(fd >= 0);
@@ -77,12 +156,14 @@ TcpLoopbackTransport::TcpLoopbackTransport(std::size_t n)
     addr.sin_port = 0;
     DR_ASSERT(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
                      sizeof(addr)) == 0);
-    DR_ASSERT(::listen(fd, static_cast<int>(n)) == 0);
+    DR_ASSERT(::listen(fd, static_cast<int>(std::max<std::size_t>(n, 8))) ==
+              0);
     socklen_t len = sizeof(addr);
     DR_ASSERT(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
               0);
-    listeners[p] = fd;
-    ports[p] = ntohs(addr.sin_port);
+    set_nonblocking(fd);
+    listeners_[p] = fd;
+    ports_[p] = ntohs(addr.sin_port);
   }
 
   // Dial every pair i < j: i connects to j's listener and announces its id
@@ -90,25 +171,24 @@ TcpLoopbackTransport::TcpLoopbackTransport(std::size_t n)
   // never by a process).
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const int c = ::socket(AF_INET, SOCK_STREAM, 0);
+      int err = 0;
+      const int c = dial_once(static_cast<ProcId>(i),
+                              static_cast<ProcId>(j), err);
       DR_ASSERT(c >= 0);
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(ports[j]);
-      DR_ASSERT(::connect(c, reinterpret_cast<sockaddr*>(&addr),
-                          sizeof(addr)) == 0);
-      std::uint8_t hello[4] = {
-          static_cast<std::uint8_t>(i & 0xFF),
-          static_cast<std::uint8_t>((i >> 8) & 0xFF),
-          static_cast<std::uint8_t>((i >> 16) & 0xFF),
-          static_cast<std::uint8_t>((i >> 24) & 0xFF)};
-      write_all_blocking(c, hello, sizeof(hello));
 
-      const int s = ::accept(listeners[j], nullptr, nullptr);
-      DR_ASSERT(s >= 0);
+      const Clock::time_point deadline =
+          Clock::now() + std::chrono::milliseconds(2000);
+      int s = -1;
+      while (s < 0) {
+        s = ::accept(listeners_[j], nullptr, nullptr);
+        if (s >= 0) break;
+        DR_ASSERT(errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK);
+        DR_ASSERT(Clock::now() < deadline);
+        struct pollfd pfd {listeners_[j], POLLIN, 0};
+        ::poll(&pfd, 1, remaining_ms(deadline));
+      }
       std::uint8_t peer[4];
-      read_all_blocking(s, peer, sizeof(peer));
+      DR_ASSERT(read_exact(s, peer, sizeof(peer), deadline));
       const std::size_t announced = static_cast<std::size_t>(peer[0]) |
                                     static_cast<std::size_t>(peer[1]) << 8 |
                                     static_cast<std::size_t>(peer[2]) << 16 |
@@ -119,41 +199,144 @@ TcpLoopbackTransport::TcpLoopbackTransport(std::size_t n)
       set_nodelay(c);
       set_nonblocking(s);
       set_nodelay(s);
-      fds_[i][j] = c;
-      fds_[j][i] = s;
+      endpoints_[i].fds[j] = c;
+      endpoints_[j].fds[i] = s;
     }
   }
-  for (const int fd : listeners) ::close(fd);
 }
 
 TcpLoopbackTransport::~TcpLoopbackTransport() { shutdown(); }
 
-void TcpLoopbackTransport::send(ProcId from, ProcId to, ByteView bytes) {
+std::optional<TransportError> TcpLoopbackTransport::redial(
+    ProcId from, ProcId to, Clock::time_point deadline) {
+  Endpoint& ep = endpoints_[from];
+  std::chrono::milliseconds backoff = options_.backoff_initial;
+  // Deterministic jitter: a fixed function of (seed, link, attempt count),
+  // so two endpoints redialing each other never lock into the same rhythm
+  // and a replayed run sleeps the same schedule.
+  SplitMix64 jitter(options_.jitter_seed ^
+                    (static_cast<std::uint64_t>(from) << 32) ^
+                    (static_cast<std::uint64_t>(to) << 16) ^
+                    ep.health.reconnect_attempts);
+  int err = 0;
+  while (true) {
+    ++ep.health.reconnect_attempts;
+    const int fd = dial_once(from, to, err);
+    if (fd >= 0) {
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      ep.fds[to] = fd;
+      ++ep.health.reconnects;
+      return std::nullopt;
+    }
+    const auto sleep =
+        backoff + std::chrono::milliseconds(
+                      jitter.next() %
+                      static_cast<std::uint64_t>(backoff.count() + 1));
+    if (Clock::now() + sleep >= deadline) {
+      return TransportError{TransportErrorKind::kRefused, to, err};
+    }
+    ++ep.health.send_retries;
+    std::this_thread::sleep_for(sleep);
+    backoff = std::min(backoff * 2, options_.backoff_cap);
+  }
+}
+
+std::optional<TransportError> TcpLoopbackTransport::send(ProcId from,
+                                                         ProcId to,
+                                                         ByteView bytes) {
   DR_EXPECTS(from < n() && to < n());
   if (from == to) {
-    loopback_[from].emplace_back(bytes.begin(), bytes.end());
-    return;
+    endpoints_[from].loopback.emplace_back(bytes.begin(), bytes.end());
+    return std::nullopt;
   }
-  write_all_blocking(fds_[from][to], bytes.data(), bytes.size());
+  if (down_) return TransportError{TransportErrorKind::kRefused, to, 0};
+  Endpoint& ep = endpoints_[from];
+  const Clock::time_point deadline = Clock::now() + options_.send_deadline;
+  for (int attempt = 0;; ++attempt) {
+    if (ep.fds[to] < 0) {
+      if (auto error = redial(from, to, deadline)) return error;
+    }
+    auto error = write_with_deadline(ep.fds[to], to, bytes.data(),
+                                     bytes.size(), deadline, ep.health);
+    if (!error.has_value()) return std::nullopt;
+    if (error->kind == TransportErrorKind::kDisconnect) {
+      ::close(ep.fds[to]);
+      ep.fds[to] = -1;
+      ++ep.health.disconnects;
+      // The frame was not fully accepted by the kernel, so the receiver
+      // holds at most a partial copy — which it discards at the
+      // kDisconnect event. One full resend over a fresh connection
+      // therefore cannot double-deliver.
+      if (attempt == 0 && Clock::now() < deadline) continue;
+    }
+    return error;
+  }
+}
+
+void TcpLoopbackTransport::accept_pending(ProcId self,
+                                          std::vector<RawChunk>& out) {
+  Endpoint& ep = endpoints_[self];
+  while (true) {
+    const int s = ::accept(listeners_[self], nullptr, nullptr);
+    if (s < 0) {
+      if (errno == EINTR) continue;
+      return;  // drained (EAGAIN) or transient: retry on the next recv
+    }
+    std::uint8_t hello[4];
+    if (!read_exact(s, hello, sizeof(hello),
+                    Clock::now() + std::chrono::milliseconds(200))) {
+      ::close(s);  // dialer died before announcing itself
+      continue;
+    }
+    const std::size_t announced = static_cast<std::size_t>(hello[0]) |
+                                  static_cast<std::size_t>(hello[1]) << 8 |
+                                  static_cast<std::size_t>(hello[2]) << 16 |
+                                  static_cast<std::size_t>(hello[3]) << 24;
+    if (announced >= n() || announced == self) {
+      ::close(s);
+      continue;
+    }
+    const ProcId peer = static_cast<ProcId>(announced);
+    if (ep.fds[peer] >= 0) {
+      // The peer redialed while its old connection was still open on our
+      // side: the old stream is dead. Surface the event before any bytes
+      // of the fresh connection (which is only read on the next recv).
+      ::close(ep.fds[peer]);
+      ++ep.health.disconnects;
+      out.push_back(RawChunk{
+          peer, {}, TransportError{TransportErrorKind::kDisconnect, peer, 0}});
+    }
+    set_nonblocking(s);
+    set_nodelay(s);
+    ep.fds[peer] = s;
+  }
 }
 
 bool TcpLoopbackTransport::recv(ProcId self, std::vector<RawChunk>& out,
                                 std::chrono::milliseconds timeout) {
   DR_EXPECTS(self < n());
+  Endpoint& ep = endpoints_[self];
   const std::size_t base = out.size();
-  for (Bytes& chunk : loopback_[self]) {
-    out.push_back(RawChunk{self, std::move(chunk)});
+  for (Bytes& chunk : ep.loopback) {
+    out.push_back(RawChunk{self, std::move(chunk), std::nullopt});
   }
-  loopback_[self].clear();
+  ep.loopback.clear();
+  for (const ProcId q : ep.dropped) {
+    out.push_back(RawChunk{
+        q, {}, TransportError{TransportErrorKind::kDisconnect, q, 0}});
+  }
+  ep.dropped.clear();
 
   std::vector<struct pollfd> pfds;
   std::vector<ProcId> peer_of;
-  pfds.reserve(n() - 1);
+  pfds.reserve(n());
   for (ProcId q = 0; q < n(); ++q) {
-    if (q == self) continue;
-    pfds.push_back({fds_[self][q], POLLIN, 0});
+    if (q == self || ep.fds[q] < 0) continue;
+    pfds.push_back({ep.fds[q], POLLIN, 0});
     peer_of.push_back(q);
   }
+  pfds.push_back({listeners_[self], POLLIN, 0});
   const int wait_ms =
       out.size() > base ? 0 : static_cast<int>(timeout.count());
   const int ready = ::poll(pfds.data(),
@@ -161,32 +344,66 @@ bool TcpLoopbackTransport::recv(ProcId self, std::vector<RawChunk>& out,
   if (ready <= 0) return out.size() > base;
 
   std::uint8_t buf[65536];
-  for (std::size_t k = 0; k < pfds.size(); ++k) {
+  for (std::size_t k = 0; k < peer_of.size(); ++k) {
     if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const ProcId q = peer_of[k];
     while (true) {
       const ssize_t got = ::read(pfds[k].fd, buf, sizeof(buf));
       if (got > 0) {
         out.push_back(RawChunk{
-            peer_of[k], Bytes(buf, buf + static_cast<std::size_t>(got))});
+            q, Bytes(buf, buf + static_cast<std::size_t>(got)), std::nullopt});
         continue;
       }
-      if (got == 0) break;  // peer end closed (teardown)
-      if (errno == EINTR) continue;
-      DR_ASSERT(errno == EAGAIN || errno == EWOULDBLOCK);
+      if (got < 0 && errno == EINTR) continue;
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // Clean close (0) or a hard error: the link is dead. Everything
+      // already appended came over it in order; the event marks the cut.
+      ::close(ep.fds[q]);
+      ep.fds[q] = -1;
+      ++ep.health.disconnects;
+      out.push_back(RawChunk{
+          q, {},
+          TransportError{TransportErrorKind::kDisconnect, q,
+                         got < 0 ? errno : 0}});
       break;
     }
   }
+  // Accepts run last and fresh connections are first read on the next
+  // call, so replacement events always precede new-connection bytes.
+  if ((pfds.back().revents & POLLIN) != 0) accept_pending(self, out);
   return out.size() > base;
+}
+
+void TcpLoopbackTransport::drop_endpoint(ProcId p) {
+  DR_EXPECTS(p < n());
+  Endpoint& ep = endpoints_[p];
+  for (ProcId q = 0; q < n(); ++q) {
+    if (ep.fds[q] < 0) continue;
+    ::close(ep.fds[q]);  // peers observe EOF/ECONNRESET on their end
+    ep.fds[q] = -1;
+    ++ep.health.disconnects;
+    ep.dropped.push_back(q);
+  }
+  ep.loopback.clear();  // a restarted process loses its pending input
+}
+
+LinkHealth TcpLoopbackTransport::health(ProcId p) const {
+  DR_EXPECTS(p < n());
+  return endpoints_[p].health;
 }
 
 void TcpLoopbackTransport::shutdown() {
   if (down_) return;
   down_ = true;
-  for (auto& row : fds_) {
-    for (int& fd : row) {
+  for (Endpoint& ep : endpoints_) {
+    for (int& fd : ep.fds) {
       if (fd >= 0) ::close(fd);
       fd = -1;
     }
+  }
+  for (int& fd : listeners_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
   }
 }
 

@@ -4,46 +4,97 @@
 // Link authentication is established at setup time, before any endpoint
 // thread runs: the constructor dials every pair itself and records which
 // descriptor belongs to which peer, modelling the paper's pre-authenticated
-// channels. Nothing a process later writes can change that mapping — a
-// frame claiming another sender is caught by the FrameAssembler against the
-// link identity.
+// channels. Reconnection preserves the property: each endpoint's listener
+// stays open for the whole run, a redialing endpoint announces its id in a
+// 4-byte hello, and the acceptor re-binds the fresh socket to that peer's
+// slot — the mapping is still established by the transport, never by frame
+// content (a frame claiming another sender is caught by the FrameAssembler
+// against the link identity).
 //
 // Each socket's two ends are owned by the two endpoint threads exclusively
-// (endpoint i reads and writes only fds_[i][*]), so the data path needs no
-// locks. send() loops write(2)/poll(POLLOUT) under backpressure; recv()
-// polls every peer descriptor and drains whatever is readable. Self-sends
-// never touch the wire: they go through a thread-local loopback buffer,
-// exactly like the in-process backend's same-thread delivery.
+// (endpoint i reads, writes, closes and redials only its own row), so the
+// data path needs no locks. send() either fully accepts a frame within the
+// per-frame deadline — redialing a dead link with capped exponential
+// backoff and deterministic seeded jitter — or returns a TransportError;
+// recv() polls every live peer descriptor plus the listener, drains
+// whatever is readable, surfaces dead links as kDisconnect events at their
+// exact stream position, and accepts pending reconnections last (so bytes
+// from a fresh connection never precede the event for the one it
+// replaced). Self-sends never touch the wire: they go through a
+// thread-local loopback buffer, exactly like the in-process backend's
+// same-thread delivery.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <vector>
 
 #include "net/transport.h"
 
 namespace dr::net {
 
+struct TcpOptions {
+  /// Budget for fully accepting one frame, including any redial time. On
+  /// loopback a frame clears in microseconds; the deadline exists so a
+  /// stalled or dead peer costs a bounded wait, never a wedged sender.
+  std::chrono::milliseconds send_deadline{2000};
+  /// Redial backoff: initial delay, doubled per failed attempt up to the
+  /// cap, plus deterministic jitter in [0, backoff] drawn from jitter_seed.
+  std::chrono::milliseconds backoff_initial{2};
+  std::chrono::milliseconds backoff_cap{100};
+  std::uint64_t jitter_seed = 1;
+};
+
 class TcpLoopbackTransport final : public Transport {
  public:
   /// Builds the n*(n-1)/2 connection mesh; aborts on resource exhaustion
   /// (contract violation, not a recoverable condition).
-  explicit TcpLoopbackTransport(std::size_t n);
+  explicit TcpLoopbackTransport(std::size_t n, TcpOptions options = {});
   ~TcpLoopbackTransport() override;
 
   TcpLoopbackTransport(const TcpLoopbackTransport&) = delete;
   TcpLoopbackTransport& operator=(const TcpLoopbackTransport&) = delete;
 
-  std::size_t n() const override { return fds_.size(); }
-  void send(ProcId from, ProcId to, ByteView bytes) override;
+  std::size_t n() const override { return endpoints_.size(); }
+  std::optional<TransportError> send(ProcId from, ProcId to,
+                                     ByteView bytes) override;
   bool recv(ProcId self, std::vector<RawChunk>& out,
             std::chrono::milliseconds timeout) override;
+  void drop_endpoint(ProcId p) override;
+  LinkHealth health(ProcId p) const override;
   const char* kind() const override { return "tcp"; }
   void shutdown() override;
 
  private:
-  // fds_[i][j] = descriptor endpoint i uses to talk to j (-1 for i == j).
-  std::vector<std::vector<int>> fds_;
-  // Per-endpoint self-loopback buffer; only touched by the owner's thread.
-  std::vector<std::vector<Bytes>> loopback_;
+  using Clock = std::chrono::steady_clock;
+
+  /// All state below is owned by one endpoint's thread exclusively.
+  struct Endpoint {
+    std::vector<int> fds;        // fds[q]: descriptor to peer q (-1: none)
+    std::vector<Bytes> loopback; // self-sends, delivered on next recv
+    std::vector<ProcId> dropped; // links severed by drop_endpoint, pending
+                                 // kDisconnect delivery to this endpoint
+    LinkHealth health;
+  };
+
+  /// One blocking dial + hello to `to`'s listener announcing `as`.
+  /// Returns the connected descriptor or -1 with `err` set to errno.
+  int dial_once(ProcId as, ProcId to, int& err);
+
+  /// Redials (from, to) with capped exponential backoff + seeded jitter
+  /// until a connection lands or `deadline` passes (kRefused).
+  std::optional<TransportError> redial(ProcId from, ProcId to,
+                                       Clock::time_point deadline);
+
+  /// Accepts every pending connection on `self`'s listener, reading each
+  /// dialer's hello and re-binding its slot. Emits a kDisconnect event
+  /// into `out` when a fresh connection replaces a live one.
+  void accept_pending(ProcId self, std::vector<RawChunk>& out);
+
+  std::vector<Endpoint> endpoints_;
+  std::vector<int> listeners_;          // kept open for reconnects
+  std::vector<std::uint16_t> ports_;    // immutable after the constructor
+  TcpOptions options_;
   bool down_ = false;  // setup/teardown thread only
 };
 

@@ -1,0 +1,23 @@
+#include "net/transport.h"
+
+namespace dr::net {
+
+const char* to_string(TransportErrorKind kind) {
+  switch (kind) {
+    case TransportErrorKind::kDisconnect: return "disconnect";
+    case TransportErrorKind::kTimeout: return "timeout";
+    case TransportErrorKind::kRefused: return "refused";
+    case TransportErrorKind::kFrameCorrupt: return "frame-corrupt";
+  }
+  return "?";
+}
+
+void LinkHealth::merge(const LinkHealth& other) {
+  disconnects += other.disconnects;
+  reconnect_attempts += other.reconnect_attempts;
+  reconnects += other.reconnects;
+  send_retries += other.send_retries;
+  send_timeouts += other.send_timeouts;
+}
+
+}  // namespace dr::net

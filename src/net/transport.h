@@ -8,14 +8,23 @@
 // net/synchronizer.h, sim/delivery.h), which is what lets the in-process
 // and TCP implementations share every other layer.
 //
-// Threading contract: send(from, ...) and recv(self, ...) are called only
-// from endpoint `from`'s / `self`'s thread; different endpoints run on
-// different threads concurrently. shutdown() must not race in-flight
-// calls — the runner joins every endpoint thread first.
+// Failure semantics: no syscall outcome aborts the process. A link that
+// dies surfaces as a typed TransportError — on the send path as a return
+// value, on the receive path as an event chunk interleaved at its exact
+// stream position — and the layers above decide what it means (the
+// PhaseSynchronizer maps a dead link to an omission-faulty peer charged
+// against t; see docs/MODEL.md, "Failure semantics of the net runtime").
+//
+// Threading contract: send(from, ...), recv(self, ...), drop_endpoint(p)
+// and health(p) are called only from endpoint `from`'s / `self`'s / `p`'s
+// thread; different endpoints run on different threads concurrently.
+// shutdown() must not race in-flight calls — the runner joins every
+// endpoint thread first.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "sim/envelope.h"
@@ -25,12 +34,52 @@ namespace dr::net {
 
 using sim::ProcId;
 
-/// A contiguous run of bytes received on one authenticated link. Chunk
-/// boundaries carry no meaning (TCP may split or merge frames); the
-/// FrameAssembler reconstructs them.
+enum class TransportErrorKind : std::uint8_t {
+  kDisconnect,    // the peer's end closed or reset the link
+  kTimeout,       // the per-frame send deadline expired (stalled peer)
+  kRefused,       // reconnect window exhausted without a fresh connection
+  kFrameCorrupt,  // the byte stream is poisoned beyond resync (frame layer)
+};
+
+/// "disconnect" / "timeout" / "refused" / "frame-corrupt".
+const char* to_string(TransportErrorKind kind);
+
+/// One observed link failure. `err` carries errno where the OS produced
+/// one, 0 otherwise. Never fatal by itself: the same peer may reconnect
+/// within the synchronizer's reconnect window and resume.
+struct TransportError {
+  TransportErrorKind kind = TransportErrorKind::kDisconnect;
+  ProcId peer = 0;
+  int err = 0;
+
+  friend bool operator==(const TransportError&,
+                         const TransportError&) = default;
+};
+
+/// Per-endpoint connection-lifecycle counters, maintained by the transport
+/// on the owner thread and harvested into SyncStats after the run.
+struct LinkHealth {
+  std::size_t disconnects = 0;        // links observed dead (either side)
+  std::size_t reconnect_attempts = 0; // dial attempts after a link died
+  std::size_t reconnects = 0;         // dials that produced a live link
+  std::size_t send_retries = 0;       // send-path waits (backpressure/backoff)
+  std::size_t send_timeouts = 0;      // frames abandoned at the deadline
+
+  void merge(const LinkHealth& other);
+};
+
+/// A contiguous run of bytes received on one authenticated link, or a link
+/// event at its exact position in that link's stream. Chunk boundaries
+/// carry no meaning (TCP may split or merge frames); the FrameAssembler
+/// reconstructs them. When `event` is set the link observed a failure at
+/// this point: every byte before it belongs to the old connection, every
+/// byte after it to a fresh one, so the receiver must reset its assembler
+/// in between (a partial frame straddling the event is truncation, never
+/// spliced with new-connection bytes).
 struct RawChunk {
   ProcId from = 0;
   Bytes bytes;
+  std::optional<TransportError> event;
 };
 
 class Transport {
@@ -39,16 +88,33 @@ class Transport {
 
   virtual std::size_t n() const = 0;
 
-  /// Enqueues `bytes` on the link (from, to). Blocks under backpressure,
-  /// never drops, preserves per-link FIFO order. from == to is a local
-  /// loopback delivered on the next recv().
-  virtual void send(ProcId from, ProcId to, ByteView bytes) = 0;
+  /// Enqueues `bytes` on the link (from, to). Preserves per-link FIFO
+  /// order and never drops silently: the frame is either fully accepted
+  /// (nullopt) or fully abandoned with the reason. A dead link is redialed
+  /// with capped exponential backoff inside the per-frame deadline; under
+  /// backpressure the call blocks up to that same deadline. from == to is
+  /// a local loopback delivered on the next recv() and cannot fail.
+  virtual std::optional<TransportError> send(ProcId from, ProcId to,
+                                             ByteView bytes) = 0;
 
-  /// Appends every chunk currently available to endpoint `self`, waiting
-  /// up to `timeout` for the first one. Returns true if anything was
-  /// appended.
+  /// Appends every chunk and link event currently available to endpoint
+  /// `self`, waiting up to `timeout` for the first one. Returns true if
+  /// anything was appended. Bytes from a connection accepted during this
+  /// call are never returned in the same call as the kDisconnect event for
+  /// the connection it replaced.
   virtual bool recv(ProcId self, std::vector<RawChunk>& out,
                     std::chrono::milliseconds timeout) = 0;
+
+  /// Severs every link of endpoint `p` and discards its pending inbound
+  /// bytes — the churn injector's model of a process crash or restart
+  /// (fault injection, not teardown: peers see kDisconnect, and `p` itself
+  /// receives one kDisconnect per severed link on its next recv). A
+  /// restarted endpoint rejoins lazily: its next send() redials, and peers
+  /// accept the fresh connection. Callable only from `p`'s own thread.
+  virtual void drop_endpoint(ProcId p) = 0;
+
+  /// Connection-lifecycle counters for endpoint `p` (owner thread only).
+  virtual LinkHealth health(ProcId p) const = 0;
 
   /// "inprocess" / "tcp" — for logs and benchmark tables.
   virtual const char* kind() const = 0;

@@ -129,11 +129,14 @@ bool backend_from_string(std::string_view name, Backend& out) {
   return true;
 }
 
-Outcome execute(const Scenario& scenario, Backend backend) {
+Outcome execute(const Scenario& scenario, std::optional<Backend> backend) {
+  const Backend resolved = backend.value_or(scenario.backend);
   const std::optional<Protocol> protocol = resolve_protocol(scenario.protocol);
   DR_EXPECTS(protocol.has_value());
   DR_EXPECTS(protocol->supports(scenario.config));
   DR_EXPECTS(scenario.scripted.size() <= scenario.config.t);
+  // Churn severs real sockets — only the net runtime has any.
+  DR_EXPECTS(scenario.churn.empty() || resolved == Backend::kNet);
 
   sim::FaultPlan plan(scenario.rules, scenario.plan_seed);
   std::vector<ba::ScenarioFault> faults;
@@ -143,14 +146,23 @@ Outcome execute(const Scenario& scenario, Backend backend) {
   }
 
   Outcome outcome;
-  if (backend == Backend::kNet) {
+  if (resolved == Backend::kNet) {
     net::NetScenarioOptions options;
     options.seed = scenario.seed;
     options.fault_plan = &plan;
-    outcome.result = net::run_scenario(*protocol, scenario.config,
-                                       net::Backend::kInProcess, options,
-                                       faults)
-                         .run;
+    options.churn = scenario.churn;
+    if (!scenario.churn.empty()) {
+      // A killed or restarted endpoint should cost its reconnect window,
+      // not the multi-second phase timeout; and any hang must become a
+      // structured watchdog failure rather than a wedged soak.
+      options.reconnect_window = std::chrono::milliseconds(250);
+      options.run_deadline = std::chrono::seconds(30);
+    }
+    net::NetRunResult net_result =
+        net::run_scenario(*protocol, scenario.config,
+                          net::Backend::kInProcess, options, faults);
+    outcome.watchdog_fired = net_result.watchdog_fired;
+    outcome.result = std::move(net_result.run);
   } else {
     ba::ScenarioOptions options;
     options.seed = scenario.seed;
@@ -164,6 +176,12 @@ Outcome execute(const Scenario& scenario, Backend backend) {
   for (ProcId p : plan.perturbed()) {
     outcome.effective_faulty[p] = true;
     outcome.perturbed.push_back(p);
+  }
+  // Churned processors are Byzantine-in-effect whether or not the run
+  // visibly degraded: a kill is a crash, a restart loses in-flight input,
+  // a hang/slow can push peers past barriers. All are charged against t.
+  for (const sim::ChurnRule& rule : scenario.churn) {
+    outcome.effective_faulty[rule.id] = true;
   }
   outcome.effective_faulty_count = static_cast<std::size_t>(
       std::count(outcome.effective_faulty.begin(),
@@ -218,6 +236,13 @@ InvariantReport check_invariants(const Scenario& scenario,
     report.ok = false;
     report.violations.push_back(std::move(what));
   };
+
+  // (0) liveness: a fired run watchdog means the execution wedged and was
+  // aborted — decisions past this point carry no guarantee, so it is a
+  // violation in its own right (and usually explains any that follow).
+  if (outcome.watchdog_fired) {
+    fail("watchdog: run did not complete within the deadline");
+  }
 
   // (i) agreement and (ii) validity among the complement of `faulty`,
   // through the existing paper-level check.
@@ -296,7 +321,9 @@ std::string to_json(const Scenario& scenario,
       << ",\"transmitter\":" << scenario.config.transmitter
       << ",\"value\":" << scenario.config.value
       << ",\"seed\":" << scenario.seed
-      << ",\"plan_seed\":" << scenario.plan_seed << ",\"scripted\":[";
+      << ",\"plan_seed\":" << scenario.plan_seed
+      << ",\"backend\":\"" << to_string(scenario.backend) << "\""
+      << ",\"scripted\":[";
   for (std::size_t i = 0; i < scenario.scripted.size(); ++i) {
     const ScriptedFault& fault = scenario.scripted[i];
     if (i > 0) out << ",";
@@ -324,6 +351,14 @@ std::string to_json(const Scenario& scenario,
     out << ",";
     append_phase(out, "phase", rule.phase);
     out << "}";
+  }
+  out << "],\"churn\":[";
+  for (std::size_t i = 0; i < scenario.churn.size(); ++i) {
+    const sim::ChurnRule& rule = scenario.churn[i];
+    if (i > 0) out << ",";
+    out << "{\"kind\":\"" << sim::to_string(rule.kind)
+        << "\",\"id\":" << rule.id << ",\"phase\":" << rule.phase
+        << ",\"ms\":" << rule.millis << "}";
   }
   out << "],\"violations\":[";
   for (std::size_t i = 0; i < violations.size(); ++i) {
@@ -606,6 +641,15 @@ std::optional<Scenario> scenario_from_json(
     return reject("missing seed/plan_seed");
   }
 
+  // Optional, defaulting to kSim: reproducers written before the field
+  // existed ran on the simulator.
+  if (const JsonValue* backend = root->find("backend")) {
+    if (backend->kind != JsonValue::kString ||
+        !backend_from_string(backend->str, scenario.backend)) {
+      return reject("bad backend");
+    }
+  }
+
   if (const JsonValue* scripted = root->find("scripted")) {
     if (scripted->kind != JsonValue::kArray) return reject("bad scripted");
     for (const JsonValue& entry : scripted->array) {
@@ -671,6 +715,31 @@ std::optional<Scenario> scenario_from_json(
     }
   }
 
+  // Optional, defaulting to empty (pre-churn reproducers).
+  if (const JsonValue* churn = root->find("churn")) {
+    if (churn->kind != JsonValue::kArray) return reject("bad churn");
+    for (const JsonValue& entry : churn->array) {
+      const JsonValue* kind = entry.find("kind");
+      sim::ChurnRule rule;
+      if (kind == nullptr || kind->kind != JsonValue::kString ||
+          !sim::churn_kind_from_string(kind->str, rule.kind)) {
+        return reject("bad churn kind");
+      }
+      std::uint64_t id = 0, phase = 0;
+      if (!read_u64(entry, "id", id) || id >= scenario.config.n) {
+        return reject("bad churn id");
+      }
+      if (!read_u64(entry, "phase", phase)) return reject("bad churn phase");
+      if (!read_u64(entry, "ms", rule.millis)) return reject("bad churn ms");
+      rule.id = static_cast<ProcId>(id);
+      rule.phase = static_cast<PhaseNum>(phase);
+      scenario.churn.push_back(rule);
+    }
+    if (!scenario.churn.empty() && scenario.backend != Backend::kNet) {
+      return reject("churn requires the net backend");
+    }
+  }
+
   if (violations != nullptr) {
     violations->clear();
     if (const JsonValue* recorded = root->find("violations")) {
@@ -697,6 +766,13 @@ Scenario minimize(const Scenario& scenario,
   best.rules = ddmin(best.rules, [&](const std::vector<sim::FaultRule>& rules) {
     Scenario candidate = best;
     candidate.rules = rules;
+    return still_fails(candidate);
+  });
+  // Churn rules shrink the same way: a finding that reproduces without a
+  // kill shouldn't ship one in its reproducer.
+  best.churn = ddmin(best.churn, [&](const std::vector<sim::ChurnRule>& churn) {
+    Scenario candidate = best;
+    candidate.churn = churn;
     return still_fails(candidate);
   });
   return best;
@@ -757,6 +833,7 @@ Scenario random_scenario(Xoshiro256& rng, const SoakOptions& options,
   Scenario scenario;
   scenario.protocol = pool[rng.below(pool.size())];
   scenario.config = default_config(scenario.protocol);
+  scenario.backend = options.backend;
   const std::optional<Protocol> protocol =
       resolve_protocol(scenario.protocol);
   DR_EXPECTS(protocol.has_value() && protocol->supports(scenario.config));
@@ -790,6 +867,24 @@ Scenario random_scenario(Xoshiro256& rng, const SoakOptions& options,
     scenario.rules.push_back(
         random_fault_rule(rng, scenario.config.n, steps,
                     /*wildcard_probability=*/0.1));
+  }
+
+  // Endpoint churn: net backend only, one rule, never an unbounded hang
+  // (soak runs must terminate on their own). The churned id is charged
+  // against t, so only draw one when the budget has room left.
+  if (options.backend == Backend::kNet && scenario.config.t >= 1 &&
+      rng.chance(options.churn_probability)) {
+    sim::ChurnRule rule;
+    const std::uint64_t pick = rng.below(3);
+    rule.kind = pick == 0   ? sim::ChurnKind::kKill
+                : pick == 1 ? sim::ChurnKind::kRestart
+                            : sim::ChurnKind::kSlow;
+    rule.id = static_cast<ProcId>(rng.below(scenario.config.n));
+    rule.phase = static_cast<PhaseNum>(
+        rule.kind == sim::ChurnKind::kKill ? rng.below(steps)
+                                           : rng.range(1, steps));
+    if (rule.kind == sim::ChurnKind::kSlow) rule.millis = rng.range(1, 3);
+    scenario.churn.push_back(rule);
   }
   return scenario;
 }

@@ -78,22 +78,6 @@ struct ScriptedFault {
 ba::ScenarioFault to_scenario_fault(const Protocol& protocol,
                                     const ScriptedFault& fault);
 
-/// A fully described chaos run. `protocol` is a registry name, including
-/// the parameterised forms "alg3[s=K]" / "alg5[s=K]" (resolve_protocol).
-struct Scenario {
-  std::string protocol;
-  BAConfig config;
-  std::uint64_t seed = 1;       // master seed (keys)
-  std::uint64_t plan_seed = 1;  // corruption-byte derivation
-  std::vector<ScriptedFault> scripted;
-  std::vector<sim::FaultRule> rules;
-
-  friend bool operator==(const Scenario&, const Scenario&) = default;
-};
-
-/// Registry lookup extended to the parameterised protocol families.
-std::optional<Protocol> resolve_protocol(std::string_view name);
-
 /// Which runtime executes a scenario. kSim is the in-memory synchronous
 /// simulator; kNet runs the same processes on endpoint threads over the
 /// in-process transport (src/net), with the FaultPlan applied at the shared
@@ -104,6 +88,31 @@ enum class Backend : std::uint8_t { kSim, kNet };
 
 const char* to_string(Backend backend);
 bool backend_from_string(std::string_view name, Backend& out);
+
+/// A fully described chaos run. `protocol` is a registry name, including
+/// the parameterised forms "alg3[s=K]" / "alg5[s=K]" (resolve_protocol).
+struct Scenario {
+  std::string protocol;
+  BAConfig config;
+  std::uint64_t seed = 1;       // master seed (keys)
+  std::uint64_t plan_seed = 1;  // corruption-byte derivation
+  /// The runtime this scenario reproduces on. Part of the scenario — a
+  /// churn finding replayed on the sim backend would be a different run —
+  /// and serialized with it; old reproducers without the field parse as
+  /// kSim, which is what they meant.
+  Backend backend = Backend::kSim;
+  std::vector<ScriptedFault> scripted;
+  std::vector<sim::FaultRule> rules;
+  /// Process-level churn (net backend only): real socket kills, restarts,
+  /// hangs and slowdowns applied by the endpoint threads. Every churned id
+  /// is charged against the fault budget t, like a fired transport rule.
+  std::vector<sim::ChurnRule> churn;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Registry lookup extended to the parameterised protocol families.
+std::optional<Protocol> resolve_protocol(std::string_view name);
 
 /// One deterministic execution of `scenario` (history recorded on kSim).
 /// `effective_faulty` = scripted-faulty set union the processors the
@@ -117,10 +126,16 @@ struct Outcome {
   /// Processors the transport plan actually perturbed (FaultPlan's
   /// post-run accounting), in ascending order.
   std::vector<ProcId> perturbed;
+  /// The net runner's run-level watchdog aborted the run before every
+  /// endpoint finished (always false on kSim). check_invariants treats a
+  /// fired watchdog as a violation in its own right.
+  bool watchdog_fired = false;
 };
 
+/// Runs `scenario` on `backend` when given, else on scenario.backend.
+/// Churn rules require the net backend (checked).
 Outcome execute(const Scenario& scenario,
-                Backend backend = Backend::kSim);
+                std::optional<Backend> backend = std::nullopt);
 
 /// Cost ceilings the watchdog enforces. Message budgets exist where the
 /// paper states a closed form (Theorem 3 for alg1, Theorem 4 for alg2,
@@ -223,6 +238,9 @@ struct SoakOptions {
   /// message-passing stack — threads, frames, synchronizer — under the
   /// same random fault plans.
   Backend backend = Backend::kSim;
+  /// Chance a run also draws one endpoint-churn rule (kill / restart /
+  /// slow — never an unbounded hang). Net backend only; ignored on kSim.
+  double churn_probability = 0.0;
 };
 
 struct SoakStats {

@@ -44,6 +44,35 @@ std::string to_string(const FaultRule& rule) {
          field("phase", rule.phase, kAnyPhase) + ")";
 }
 
+const char* to_string(ChurnKind kind) {
+  switch (kind) {
+    case ChurnKind::kKill: return "kill";
+    case ChurnKind::kRestart: return "restart";
+    case ChurnKind::kHang: return "hang";
+    case ChurnKind::kSlow: return "slow";
+  }
+  return "?";
+}
+
+bool churn_kind_from_string(std::string_view name, ChurnKind& out) {
+  if (name == "kill") out = ChurnKind::kKill;
+  else if (name == "restart") out = ChurnKind::kRestart;
+  else if (name == "hang") out = ChurnKind::kHang;
+  else if (name == "slow") out = ChurnKind::kSlow;
+  else return false;
+  return true;
+}
+
+std::string to_string(const ChurnRule& rule) {
+  std::string text = std::string(to_string(rule.kind)) +
+                     "(id=" + std::to_string(rule.id) +
+                     ", phase=" + std::to_string(rule.phase);
+  if (rule.kind == ChurnKind::kHang || rule.kind == ChurnKind::kSlow) {
+    text += ", ms=" + std::to_string(rule.millis);
+  }
+  return text + ")";
+}
+
 ProcId charged_processor(const FaultRule& rule, ProcId from, ProcId to) {
   return rule.kind == FaultKind::kOmitReceive ? to : from;
 }

@@ -61,6 +61,39 @@ struct FaultRule {
 /// "drop(from=1, to=2, phase=3)" — for logs and violation reports.
 std::string to_string(const FaultRule& rule);
 
+/// Process-level churn faults, applied by the net runner at the transport
+/// layer (real socket death, not payload perturbation). The sim backend
+/// has no processes to kill — churn is net-only — but the rule type lives
+/// here next to FaultRule so chaos scenarios serialize both uniformly.
+///
+/// Accounting mirrors FaultRule: a churned processor is Byzantine-in-
+/// effect (it crashes, restarts losing in-flight input, or stalls), so the
+/// chaos harness charges every churned id against the fault budget t.
+enum class ChurnKind : std::uint8_t {
+  kKill,     // completes phases <= `phase`, severs every link, never returns
+  kRestart,  // severs every link at the top of phase `phase` (losing pending
+             // input, like a process restart), then redials lazily
+  kHang,     // stalls at the top of phase `phase` for `millis` ms (0 = until
+             // the run watchdog aborts — requires a run deadline)
+  kSlow,     // sleeps `millis` ms before every phase >= `phase`
+};
+
+/// "kill", "restart", "hang", "slow".
+const char* to_string(ChurnKind kind);
+bool churn_kind_from_string(std::string_view name, ChurnKind& out);
+
+struct ChurnRule {
+  ChurnKind kind = ChurnKind::kKill;
+  ProcId id = 0;
+  PhaseNum phase = 0;
+  std::uint64_t millis = 0;  // kHang / kSlow duration
+
+  friend bool operator==(const ChurnRule&, const ChurnRule&) = default;
+};
+
+/// "kill(id=3, phase=1)" / "slow(id=2, phase=1, ms=3)".
+std::string to_string(const ChurnRule& rule);
+
 /// The processor a firing `rule` makes Byzantine-in-effect for a message
 /// with the given coordinates: the receiver for kOmitReceive, the sender
 /// otherwise.

@@ -34,6 +34,16 @@ void Metrics::on_frame(bool sender_correct, std::size_t frame_bytes) {
   if (sender_correct) wire_bytes_by_correct_ += frame_bytes;
 }
 
+void Metrics::on_net_health(std::size_t disconnects,
+                            std::size_t reconnect_attempts,
+                            std::size_t send_retries,
+                            std::size_t endpoints_degraded) {
+  net_disconnects_ += disconnects;
+  net_reconnect_attempts_ += reconnect_attempts;
+  net_send_retries_ += send_retries;
+  net_endpoints_degraded_ += endpoints_degraded;
+}
+
 void Metrics::on_chain_cache(std::size_t hits, std::size_t misses) {
   chain_cache_hits_ += hits;
   chain_cache_misses_ += misses;
@@ -47,6 +57,10 @@ void Metrics::merge(const Metrics& other) {
   bytes_by_correct_ += other.bytes_by_correct_;
   frames_sent_ += other.frames_sent_;
   wire_bytes_by_correct_ += other.wire_bytes_by_correct_;
+  net_disconnects_ += other.net_disconnects_;
+  net_reconnect_attempts_ += other.net_reconnect_attempts_;
+  net_send_retries_ += other.net_send_retries_;
+  net_endpoints_degraded_ += other.net_endpoints_degraded_;
   chain_cache_hits_ += other.chain_cache_hits_;
   chain_cache_misses_ += other.chain_cache_misses_;
   if (other.max_payload_by_correct_ > max_payload_by_correct_) {

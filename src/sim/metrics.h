@@ -28,6 +28,26 @@ class Metrics {
   /// in-memory simulator, which has no wire.
   void on_frame(bool sender_correct, std::size_t frame_bytes);
 
+  /// Connection-lifecycle accounting, reported by the net runner from the
+  /// transport's LinkHealth counters plus the synchronizer's omission
+  /// bookkeeping after each endpoint thread finishes. Like on_frame, these
+  /// are wire-runtime facts with no sim counterpart — always zero under the
+  /// in-memory simulator, and asserted zero on clean net runs by the parity
+  /// gate (a disconnect on a healthy loopback mesh is a bug, not noise).
+  void on_net_health(std::size_t disconnects, std::size_t reconnect_attempts,
+                     std::size_t send_retries,
+                     std::size_t endpoints_degraded);
+  std::size_t net_disconnects() const { return net_disconnects_; }
+  std::size_t net_reconnect_attempts() const {
+    return net_reconnect_attempts_;
+  }
+  std::size_t net_send_retries() const { return net_send_retries_; }
+  /// Peers demoted to omission-faulty, summed over observers: a peer every
+  /// survivor demoted counts once per survivor.
+  std::size_t net_endpoints_degraded() const {
+    return net_endpoints_degraded_;
+  }
+
   /// Chain-verification cache accounting: totals across the per-process
   /// caches (crypto/verify_cache.h). Deterministic — the runners hand each
   /// process one cache and the verify-call sequence is a function of its
@@ -97,6 +117,10 @@ class Metrics {
   std::size_t max_payload_by_correct_ = 0;
   std::size_t frames_sent_ = 0;
   std::size_t wire_bytes_by_correct_ = 0;
+  std::size_t net_disconnects_ = 0;
+  std::size_t net_reconnect_attempts_ = 0;
+  std::size_t net_send_retries_ = 0;
+  std::size_t net_endpoints_degraded_ = 0;
   std::size_t chain_cache_hits_ = 0;
   std::size_t chain_cache_misses_ = 0;
   PhaseNum last_active_phase_ = 0;

@@ -1,0 +1,314 @@
+// Crash tolerance of the net runtime: endpoints killed, restarted or
+// wedged mid-run. Survivors must keep lock-step and decide correctly when
+// the churned set stays within t; a run that cannot make progress must
+// come back as a structured watchdog failure, never a hung test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "ba/registry.h"
+#include "net/harness.h"
+#include "net/inprocess.h"
+#include "net/runner.h"
+#include "net/synchronizer.h"
+#include "net/tcp.h"
+#include "sim/chaos.h"
+#include "sim/runner.h"
+
+namespace dr::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+class ChurnTest : public ::testing::TestWithParam<Backend> {};
+
+bool contains(const std::vector<ProcId>& ids, ProcId id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+/// Runs dolev-strong (n=5, t=1) with `churn`, one thread per endpoint, on
+/// the parameterized backend.
+NetRunResult run_with_churn(Backend backend,
+                            const std::vector<sim::ChurnRule>& churn,
+                            milliseconds run_deadline = milliseconds(0)) {
+  const ba::Protocol* protocol = ba::find_protocol("dolev-strong");
+  EXPECT_NE(protocol, nullptr);
+  const ba::BAConfig config{5, 1, 0, 1};
+  EXPECT_TRUE(protocol->supports(config));
+
+  const auto transport = make_transport(backend, config.n);
+  NetConfig net_config{.n = config.n,
+                       .t = config.t,
+                       .transmitter = config.transmitter,
+                       .value = config.value,
+                       .seed = 7,
+                       .phase_timeout = milliseconds(5000),
+                       .reconnect_window = milliseconds(200),
+                       .run_deadline = run_deadline,
+                       .churn = churn};
+  NetRunner runner(net_config, *transport);
+  for (ProcId p = 0; p < config.n; ++p) {
+    runner.install(p, protocol->make(p, config));
+  }
+  return runner.run(protocol->steps(config));
+}
+
+TEST_P(ChurnTest, SurvivorsDecideWhenOneEndpointIsKilled) {
+  // Kill endpoint 4 at each interesting point: before it ever speaks
+  // (phase 0), after one phase of traffic (phase 1), and after the last
+  // barrier (phase t+1 = 2, where nobody needs it any more). In every
+  // case the remaining n-1 endpoints must reach agreement on the
+  // transmitter's value — one killed endpoint is within t=1 — without a
+  // single assert, hang or watchdog.
+  const ProcId killed = 4;
+  for (const PhaseNum kill_phase : {PhaseNum(0), PhaseNum(1), PhaseNum(2)}) {
+    SCOPED_TRACE(testing::Message() << "kill at phase " << kill_phase);
+    const NetRunResult result = run_with_churn(
+        GetParam(),
+        {{sim::ChurnKind::kKill, killed, kill_phase, 0}});
+
+    EXPECT_FALSE(result.watchdog_fired);
+    sim::RunResult probe;
+    probe.decisions = result.run.decisions;
+    probe.faulty = std::vector<bool>(5, false);
+    probe.faulty[killed] = true;
+    const sim::AgreementCheck check =
+        sim::check_byzantine_agreement(probe, /*transmitter=*/0,
+                                       /*value=*/1);
+    EXPECT_TRUE(check.agreement);
+    EXPECT_TRUE(check.validity);
+    ASSERT_TRUE(check.agreed_value.has_value());
+    EXPECT_EQ(*check.agreed_value, 1u);
+
+    if (kill_phase < 2) {
+      // The dead endpoint missed at least one barrier: the survivors must
+      // have observed the link die and charged it as omission-faulty —
+      // never anyone else.
+      EXPECT_GE(result.sync.disconnects, 1u);
+      EXPECT_TRUE(contains(result.sync.omission_faulty, killed));
+      for (const ProcId p : result.sync.omission_faulty) {
+        EXPECT_EQ(p, killed);
+      }
+      EXPECT_GE(result.run.metrics.net_endpoints_degraded(), 1u);
+    } else {
+      // Killed after the last barrier: nobody may have demoted anyone.
+      EXPECT_TRUE(result.sync.omission_faulty.empty());
+    }
+  }
+}
+
+TEST_P(ChurnTest, SurvivorsMatchSimWhenAnEndpointRestarts) {
+  // Endpoint 2 severs every link at the top of phase 2 (a process restart
+  // losing in-flight input) and rejoins through redial. The restarted
+  // endpoint itself may have lost inbound frames, but the survivors'
+  // inboxes stay complete — their decisions must be bit-identical to the
+  // synchronous simulator's.
+  const ba::Protocol* protocol = ba::find_protocol("dolev-strong");
+  ASSERT_NE(protocol, nullptr);
+  const ba::BAConfig config{5, 1, 0, 1};
+  const sim::RunResult sim_result =
+      ba::run_scenario(*protocol, config, /*seed=*/7);
+
+  const ProcId restarted = 2;
+  const NetRunResult result = run_with_churn(
+      GetParam(), {{sim::ChurnKind::kRestart, restarted, 2, 0}});
+
+  EXPECT_FALSE(result.watchdog_fired);
+  for (ProcId p = 0; p < config.n; ++p) {
+    if (p == restarted) continue;
+    EXPECT_EQ(result.run.decisions[p], sim_result.decisions[p])
+        << "survivor " << p;
+  }
+  // The churn must have been visible at the net layer: links died, and the
+  // restarted endpoint was seen again (fresh frames after the event).
+  EXPECT_GE(result.sync.disconnects, 1u);
+  EXPECT_GE(result.sync.reconnected_peers, 1u);
+  EXPECT_GE(result.run.metrics.net_disconnects(), 1u);
+  // A restart is churn, not omission: nobody may have been demoted.
+  EXPECT_TRUE(result.sync.omission_faulty.empty());
+}
+
+TEST_P(ChurnTest, WatchdogConvertsAWedgedRunIntoStructuredFailure) {
+  // Endpoint 3 hangs forever at phase 1 with its links healthy — the one
+  // failure mode the phase barrier alone cannot bound (the generous phase
+  // timeout is deliberately longer than the test). The run deadline must
+  // fire, abort every thread, and report which endpoints were unfinished.
+  const auto start = std::chrono::steady_clock::now();
+  const NetRunResult result = run_with_churn(
+      GetParam(), {{sim::ChurnKind::kHang, 3, 1, 0}},
+      /*run_deadline=*/milliseconds(400));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_TRUE(result.watchdog_fired);
+  EXPECT_TRUE(contains(result.unfinished, 3));
+  // Structured failure, promptly: well under the 5s phase timeout that a
+  // hang would otherwise serve once per barrier.
+  EXPECT_LT(elapsed, milliseconds(4000));
+}
+
+TEST_P(ChurnTest, SlowedEndpointStaysCorrect) {
+  // kSlow at a few ms is far inside the phase timeout: no demotion, no
+  // disconnects, and everyone (including the slow endpoint) decides.
+  const NetRunResult result =
+      run_with_churn(GetParam(), {{sim::ChurnKind::kSlow, 1, 1, 20}});
+  EXPECT_FALSE(result.watchdog_fired);
+  EXPECT_TRUE(result.sync.omission_faulty.empty());
+  sim::RunResult probe;
+  probe.decisions = result.run.decisions;
+  probe.faulty = std::vector<bool>(5, false);
+  const sim::AgreementCheck check =
+      sim::check_byzantine_agreement(probe, 0, 1);
+  EXPECT_TRUE(check.agreement);
+  EXPECT_TRUE(check.validity);
+}
+
+TEST_P(ChurnTest, SendAfterDropDoesNotAbortAndEventIsDelivered) {
+  // drop_endpoint is the churn primitive: after endpoint 1 severs its
+  // links, a survivor's send must come back as a value (success after
+  // redial, or a typed error) — never a crashed process — and the
+  // survivor's recv must surface the kDisconnect event.
+  const auto transport = make_transport(GetParam(), 3);
+  const Bytes payload(16, 0xAB);
+  ASSERT_EQ(transport->send(0, 1, payload), std::nullopt);
+  transport->drop_endpoint(1);
+
+  bool saw_event = false;
+  for (int rounds = 0; rounds < 50 && !saw_event; ++rounds) {
+    std::vector<RawChunk> chunks;
+    transport->recv(0, chunks, milliseconds(100));
+    for (const RawChunk& chunk : chunks) {
+      if (chunk.event.has_value()) {
+        EXPECT_EQ(chunk.from, 1u);
+        EXPECT_EQ(chunk.event->kind, TransportErrorKind::kDisconnect);
+        saw_event = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_event);
+  // The post-drop send: any outcome but an abort is acceptable.
+  (void)transport->send(0, 1, payload);
+  transport->shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ChurnTest,
+                         ::testing::Values(Backend::kInProcess,
+                                           Backend::kTcpLoopback),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(ChurnSync, TruncatedFrameAtDisconnectIsDiscardedNotSpliced) {
+  // A peer dies mid-frame and reconnects: frame A landed whole, frame B
+  // was cut in half. The resent whole B must be delivered exactly once —
+  // the half must be counted as truncation and discarded, never spliced
+  // with the fresh connection's bytes into a CRC-garbage frame.
+  InProcessTransport transport(2);
+  sim::Metrics metrics(2);
+  PhaseSynchronizer sync(0, 2, transport, milliseconds(2000),
+                         milliseconds(2000));
+
+  const Bytes frame_a = encode_frame(
+      Frame{FrameKind::kPayload, 1, 0, 1, Bytes(8, 0xA1)});
+  const Bytes frame_b = encode_frame(
+      Frame{FrameKind::kPayload, 1, 0, 1, Bytes(8, 0xB2)});
+  const Bytes half_b(frame_b.begin(),
+                     frame_b.begin() + static_cast<std::ptrdiff_t>(
+                                           frame_b.size() / 2));
+  const Bytes done = encode_frame(Frame{FrameKind::kDone, 1, 0, 1, {}});
+
+  ASSERT_EQ(transport.send(1, 0, frame_a), std::nullopt);
+  ASSERT_EQ(transport.send(1, 0, half_b), std::nullopt);
+  transport.drop_endpoint(1);  // the cut: half of B is in flight
+  ASSERT_EQ(transport.send(1, 0, frame_b), std::nullopt);  // the resend
+  ASSERT_EQ(transport.send(1, 0, done), std::nullopt);
+
+  const std::vector<Envelope> inbox = sync.advance(1, true, metrics);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox[0].payload, Bytes(8, 0xA1));
+  EXPECT_EQ(inbox[1].payload, Bytes(8, 0xB2));
+
+  const SyncStats& stats = sync.stats();
+  EXPECT_EQ(stats.truncated_frames, 1u);
+  EXPECT_EQ(stats.disconnects, 1u);
+  EXPECT_EQ(stats.reconnected_peers, 1u);
+  EXPECT_EQ(stats.frames.rejected(), 0u);  // nothing spliced, no CRC noise
+  EXPECT_TRUE(stats.omission_faulty.empty());
+  transport.shutdown();
+}
+
+TEST(ChurnTcp, SendDeadlineSurfacesTimeoutNotAWedge) {
+  // Endpoint 1 never reads. Flooding it must eventually return a typed
+  // kTimeout within the configured per-frame deadline — the send path may
+  // retry while the deadline allows, but can no longer spin forever.
+  TcpOptions options;
+  options.send_deadline = milliseconds(100);
+  TcpLoopbackTransport transport(2, options);
+
+  const Bytes block(256 * 1024, 0xEE);
+  std::optional<TransportError> error;
+  for (int i = 0; i < 256 && !error.has_value(); ++i) {
+    error = transport.send(0, 1, block);
+  }
+  ASSERT_TRUE(error.has_value()) << "socket buffers never filled";
+  EXPECT_EQ(error->kind, TransportErrorKind::kTimeout);
+  EXPECT_GE(transport.health(0).send_timeouts, 1u);
+  EXPECT_GE(transport.health(0).send_retries, 1u);
+  transport.shutdown();
+}
+
+TEST(ChurnChaos, ChurnScenariosRoundTripAndChargeTheBudget) {
+  // The chaos plumbing: a churned processor counts against t, the JSON
+  // reproducer round-trips backend + churn, and replaying it reproduces
+  // the outcome.
+  chaos::Scenario scenario;
+  scenario.protocol = "dolev-strong";
+  scenario.config = {5, 1, 0, 1};
+  scenario.seed = 31;
+  scenario.backend = chaos::Backend::kNet;
+  scenario.churn.push_back({sim::ChurnKind::kKill, 4, 1, 0});
+
+  const chaos::Outcome outcome = chaos::execute(scenario);
+  EXPECT_FALSE(outcome.watchdog_fired);
+  EXPECT_TRUE(outcome.effective_faulty[4]);
+  EXPECT_EQ(outcome.effective_faulty_count, 1u);
+  const chaos::InvariantReport report = chaos::check_invariants(
+      scenario, outcome, outcome.effective_faulty,
+      chaos::budgets_for(scenario.protocol, scenario.config));
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+
+  const std::string json = chaos::to_json(scenario, report.violations);
+  std::string error;
+  const std::optional<chaos::Scenario> loaded =
+      chaos::scenario_from_json(json, nullptr, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, scenario);
+
+  const chaos::Outcome replay = chaos::execute(*loaded);
+  EXPECT_EQ(replay.result.decisions, outcome.result.decisions);
+}
+
+TEST(ChurnChaos, WatchdogFiringIsAnInvariantViolation) {
+  chaos::Scenario scenario;
+  scenario.protocol = "dolev-strong";
+  scenario.config = {4, 1, 0, 1};
+  scenario.backend = chaos::Backend::kNet;
+
+  chaos::Outcome outcome;  // synthetic: only the flag matters here
+  outcome.result.decisions = {1, 1, 1, 1};
+  outcome.result.faulty = std::vector<bool>(4, false);
+  outcome.result.metrics = sim::Metrics(4);
+  outcome.watchdog_fired = true;
+  const chaos::InvariantReport report = chaos::check_invariants(
+      scenario, outcome, std::vector<bool>(4, false),
+      chaos::budgets_for(scenario.protocol, scenario.config));
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().find("watchdog"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dr::net

@@ -78,6 +78,20 @@ void expect_parity(const Case& c, std::uint64_t seed,
     EXPECT_EQ(report.inprocess.sync.frames.rejected(), 0u) << c.name;
     EXPECT_EQ(report.tcp.sync.frames.rejected(), 0u) << c.name;
   }
+  // Clean runs on a healthy mesh: no connection ever died, no frame was
+  // truncated, no send failed, no watchdog fired. These counters are the
+  // crash-tolerance machinery's "do no harm" contract — they must stay
+  // exactly zero until a fault plan or churn rule actually severs links.
+  for (const NetRunResult* net : {&report.inprocess, &report.tcp}) {
+    EXPECT_FALSE(net->watchdog_fired) << c.name;
+    EXPECT_EQ(net->sync.disconnects, 0u) << c.name;
+    EXPECT_EQ(net->sync.truncated_frames, 0u) << c.name;
+    EXPECT_EQ(net->sync.send_errors, 0u) << c.name;
+    EXPECT_EQ(net->sync.reconnected_peers, 0u) << c.name;
+    EXPECT_EQ(net->sync.link.disconnects, 0u) << c.name;
+    EXPECT_EQ(net->sync.link.reconnect_attempts, 0u) << c.name;
+    EXPECT_EQ(net->run.metrics.net_disconnects(), 0u) << c.name;
+  }
 }
 
 TEST(NetParity, FaultFreeAcrossAllProtocols) {
