@@ -4,8 +4,14 @@
 // sockets). Decisions and message counts are identical by the parity
 // theorem (tests/net_parity_test); this table shows what that identical
 // outcome costs per backend.
+#include <algorithm>
+#include <atomic>
+
 #include "bench_util.h"
 #include "net/harness.h"
+#include "svc/client.h"
+#include "svc/coordinator.h"
+#include "svc/supervisor.h"
 
 namespace dr::bench {
 namespace {
@@ -94,6 +100,107 @@ void print_churn_table() {
   }
 }
 
+/// Nearest-rank percentile over a sorted latency list.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p / 100.0 *
+                               static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+void print_daemon_table() {
+  print_header(
+      "Agreement daemon: concurrent instances over one listener",
+      "dr82d with real endpoint processes; every instance's decision and "
+      "metrics equal the simulator's (tests/svc_parity_test) — this table "
+      "is what multiplexing them over one socket mesh costs");
+
+  constexpr std::size_t kEndpoints = 5;
+  constexpr std::size_t kInstances = 128;
+  const BAConfig config{kEndpoints, 1, 0, 1};
+
+  svc::Coordinator::Options coptions;
+  coptions.endpoints = kEndpoints;
+  svc::Coordinator coordinator(coptions);
+  if (!coordinator.bind()) {
+    std::printf("  daemon bind failed; skipping\n");
+    return;
+  }
+  std::thread serve_thread([&coordinator] { (void)coordinator.serve(); });
+  svc::Supervisor supervisor;
+  const std::string coord_addr =
+      "127.0.0.1:" + std::to_string(coordinator.port());
+  bool ok = true;
+  for (std::size_t p = 0; p < kEndpoints; ++p) {
+    ok = ok && supervisor.spawn({SVCD_BINARY, "endpoint", "--coord",
+                                 coord_addr, "--id", std::to_string(p),
+                                 "--endpoints",
+                                 std::to_string(kEndpoints)}) >= 0;
+  }
+  svc::Client client;
+  ok = ok && client.connect("127.0.0.1", coordinator.port(),
+                            std::chrono::seconds(10));
+  if (ok) {
+    // Wait for the mesh before starting the clock.
+    for (int i = 0; i < 500; ++i) {
+      const auto text = client.metrics(std::chrono::seconds(5));
+      if (text.has_value() && text->find("dr82_endpoints_ready 5") !=
+                                  std::string::npos) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // One waiter thread per instance, all in flight at once over the one
+    // client connection: submit, block on the decision, record latency.
+    std::vector<double> latencies(kInstances, 0);
+    std::atomic<std::size_t> failures{0};
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> waiters;
+    waiters.reserve(kInstances);
+    for (std::size_t i = 0; i < kInstances; ++i) {
+      waiters.emplace_back([&, i] {
+        svc::SubmitRequest req;
+        req.protocol = "dolev-strong";
+        req.config = config;
+        req.seed = 1000 + i;
+        const auto sent = std::chrono::steady_clock::now();
+        const auto resp = client.run(req, std::chrono::seconds(120));
+        const auto got = std::chrono::steady_clock::now();
+        if (!resp.has_value() || !resp->ok || resp->watchdog_fired) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        latencies[i] =
+            std::chrono::duration<double, std::milli>(got - sent).count();
+      });
+    }
+    for (std::thread& w : waiters) w.join();
+    const auto end = std::chrono::steady_clock::now();
+    const double total_s =
+        std::chrono::duration<double>(end - begin).count();
+
+    std::sort(latencies.begin(), latencies.end());
+    std::printf(
+        "%-28s %9s %9s | %8s %8s %8s | %14s\n", "workload", "instances",
+        "failures", "p50 ms", "p95 ms", "p99 ms", "instances/sec");
+    std::printf("%-28s %9zu %9zu | %8.2f %8.2f %8.2f | %14.1f\n",
+                "dolev-strong n=5 t=1", kInstances, failures.load(),
+                percentile(latencies, 50), percentile(latencies, 95),
+                percentile(latencies, 99),
+                static_cast<double>(kInstances) / total_s);
+  } else {
+    std::printf("  daemon bring-up failed; skipping\n");
+  }
+
+  (void)client.shutdown_server();
+  coordinator.stop();
+  serve_thread.join();
+  supervisor.wait_all();
+}
+
 void register_timings() {
   const BAConfig config{9, 4, 0, 1};
   register_timing("transport/alg2/sim", [config] {
@@ -116,6 +223,7 @@ void register_timings() {
 int main(int argc, char** argv) {
   dr::bench::print_tables();
   dr::bench::print_churn_table();
+  dr::bench::print_daemon_table();
   dr::bench::register_timings();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -23,6 +23,11 @@ ctest --test-dir "$BUILD" -L net -j"$(nproc)" --output-on-failure
 # random process churn severing real links on top of the fault plans.
 ctest --test-dir "$BUILD" -L churn -j"$(nproc)" --output-on-failure
 "$BUILD"/examples/chaos soak --runs 300 --seed 1 --backend net --churn 0.5
+# The agreement daemon: wire-protocol, daemon-vs-sim parity and
+# concurrent-instance isolation suites (endpoints as real OS processes),
+# then the self-contained smoke drill under a hard timeout.
+ctest --test-dir "$BUILD" -L svc -j"$(nproc)" --output-on-failure
+timeout 240 "$BUILD"/src/dr82d smoke --endpoints 5
 # Conformance: the paper's bounds as executable oracles over randomized
 # cases, differentially across sim / in-process / TCP (EXPERIMENTS.md E12).
 ctest --test-dir "$BUILD" -L conf -j"$(nproc)" --output-on-failure

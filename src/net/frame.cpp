@@ -23,6 +23,33 @@ Bytes encode_frame(const Frame& frame) {
   return out;
 }
 
+WireParts encode_frame_parts(const Frame& frame) {
+  // The body prefix up to and including the payload-length varint. Writer's
+  // u64 is a plain LEB128 varint — byte-identical to the length prefix
+  // Writer::bytes would emit — so the split reproduces encode_frame's body
+  // exactly without touching the payload bytes.
+  Writer w;
+  w.u8(kFrameVersion);
+  w.u8(static_cast<std::uint8_t>(frame.kind));
+  w.u32(frame.from);
+  w.u32(frame.to);
+  w.u32(frame.sent_phase);
+  w.u64(frame.payload.size());
+  const Bytes prefix = std::move(w).take();
+  const std::size_t body_size = prefix.size() + frame.payload.size();
+
+  WireParts parts;
+  parts.head.reserve(4 + prefix.size());
+  put_u32le(parts.head, static_cast<std::uint32_t>(body_size + 4));
+  append(parts.head, prefix);
+  parts.payload = frame.payload;
+  std::uint32_t crc = crc32_init();
+  crc = crc32_update(crc, prefix);
+  crc = crc32_update(crc, frame.payload.view());
+  put_u32le(parts.tail, crc32_final(crc));
+  return parts;
+}
+
 void FrameStats::merge(const FrameStats& other) {
   accepted += other.accepted;
   bad_version += other.bad_version;
@@ -34,10 +61,10 @@ void FrameStats::merge(const FrameStats& other) {
   poisoned_bytes += other.poisoned_bytes;
 }
 
-void FrameAssembler::feed(ByteView chunk, std::vector<Frame>& out,
-                          FrameStats& stats) {
+void FrameChunker::feed(ByteView chunk, const Sink& sink,
+                        std::size_t& poisoned_bytes) {
   if (poisoned_) {
-    stats.poisoned_bytes += chunk.size();
+    poisoned_bytes += chunk.size();
     return;
   }
   append(pending_, chunk);
@@ -47,62 +74,84 @@ void FrameAssembler::feed(ByteView chunk, std::vector<Frame>& out,
     const ByteView view(pending_.data() + pos, pending_.size() - pos);
     const std::size_t declared = get_u32le(view, 0);
     if (declared > kMaxFrameBody) {
-      ++stats.oversized;
       poisoned_ = true;
-      stats.poisoned_bytes += pending_.size() - pos;
+      poisoned_bytes += pending_.size() - pos;
       pending_.clear();
+      sink(ChunkStatus::kOversized, {});
       return;
     }
-    if (view.size() < 4 + declared) break;  // frame not complete yet
+    if (view.size() < 4 + declared) break;  // unit not complete yet
     pos += 4 + declared;
 
     if (declared < 4) {  // no room for the CRC: garbage, but delimited
-      ++stats.bad_structure;
+      sink(ChunkStatus::kTooShort, {});
       continue;
     }
     const ByteView body = view.subspan(4, declared - 4);
     const std::uint32_t wire_crc = get_u32le(view, 4 + declared - 4);
     if (crc32(body) != wire_crc) {
-      ++stats.bad_crc;
+      sink(ChunkStatus::kBadCrc, {});
       continue;
     }
-
-    Reader r(body);
-    const std::uint8_t version = r.u8();
-    const std::uint8_t kind = r.u8();
-    Frame frame;
-    frame.from = r.u32();
-    frame.to = r.u32();
-    frame.sent_phase = r.u32();
-    frame.payload = r.bytes();
-    if (!r.done()) {
-      ++stats.bad_structure;
-      continue;
-    }
-    if (version != kFrameVersion) {
-      ++stats.bad_version;
-      continue;
-    }
-    if (kind != static_cast<std::uint8_t>(FrameKind::kPayload) &&
-        kind != static_cast<std::uint8_t>(FrameKind::kDone)) {
-      ++stats.bad_structure;
-      continue;
-    }
-    if (frame.from != link_peer_) {
-      ++stats.spoofed_from;
-      continue;
-    }
-    if (frame.to != self_) {
-      ++stats.misrouted;
-      continue;
-    }
-    frame.kind = static_cast<FrameKind>(kind);
-    frame.from = link_peer_;  // stamped, by construction equal to the header
-    ++stats.accepted;
-    out.push_back(std::move(frame));
+    sink(ChunkStatus::kBody, body);
   }
   pending_.erase(pending_.begin(),
                  pending_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void FrameAssembler::feed(ByteView chunk, std::vector<Frame>& out,
+                          FrameStats& stats) {
+  chunker_.feed(
+      chunk,
+      [&](ChunkStatus status, ByteView body) {
+        switch (status) {
+          case ChunkStatus::kOversized:
+            ++stats.oversized;
+            return;
+          case ChunkStatus::kTooShort:
+            ++stats.bad_structure;
+            return;
+          case ChunkStatus::kBadCrc:
+            ++stats.bad_crc;
+            return;
+          case ChunkStatus::kBody:
+            break;
+        }
+        Reader r(body);
+        const std::uint8_t version = r.u8();
+        const std::uint8_t kind = r.u8();
+        Frame frame;
+        frame.from = r.u32();
+        frame.to = r.u32();
+        frame.sent_phase = r.u32();
+        frame.payload = r.bytes();
+        if (!r.done()) {
+          ++stats.bad_structure;
+          return;
+        }
+        if (version != kFrameVersion) {
+          ++stats.bad_version;
+          return;
+        }
+        if (kind != static_cast<std::uint8_t>(FrameKind::kPayload) &&
+            kind != static_cast<std::uint8_t>(FrameKind::kDone)) {
+          ++stats.bad_structure;
+          return;
+        }
+        if (frame.from != link_peer_) {
+          ++stats.spoofed_from;
+          return;
+        }
+        if (frame.to != self_) {
+          ++stats.misrouted;
+          return;
+        }
+        frame.kind = static_cast<FrameKind>(kind);
+        frame.from = link_peer_;  // stamped, by construction == the header
+        ++stats.accepted;
+        out.push_back(std::move(frame));
+      },
+      stats.poisoned_bytes);
 }
 
 }  // namespace dr::net

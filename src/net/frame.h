@@ -24,8 +24,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "net/transport.h"
 #include "sim/envelope.h"
 #include "sim/payload.h"
 #include "util/bytes.h"
@@ -58,6 +60,50 @@ struct Frame {
 
 /// Serializes `frame` (length prefix + body + CRC).
 Bytes encode_frame(const Frame& frame);
+
+/// Zero-copy form of encode_frame: the returned parts reference
+/// frame.payload's buffer instead of copying it, and satisfy
+/// `encode_frame_parts(f).concat() == encode_frame(f)` bit-for-bit (the
+/// CRC is computed incrementally across the split). This extends the
+/// delivery plane's shared-handle discipline through the frame encoder:
+/// a broadcast's n-1 frames share one payload buffer all the way to a
+/// scatter/gather transport.
+WireParts encode_frame_parts(const Frame& frame);
+
+/// Outcome of delimiting one unit from the byte stream (FrameChunker).
+enum class ChunkStatus : std::uint8_t {
+  kBody,       // `body` is a complete, CRC-verified frame body
+  kBadCrc,     // delimited, but the checksum failed (body invalid)
+  kTooShort,   // declared length below the CRC's own size (body invalid)
+  kOversized,  // declared length beyond the cap: the stream is poisoned
+};
+
+/// The transport-agnostic half of frame reassembly: consumes arbitrary
+/// byte chunks and delimits `length | body | crc` units, verifying the
+/// checksum. Shared by the FrameAssembler below (net frames) and the svc
+/// reactor's connection state machines (service messages use the same
+/// outer structure), so the blocking and nonblocking read paths cannot
+/// drift apart. Never throws; an oversized declared length destroys the
+/// only resync anchor, so the stream is poisoned and every further byte
+/// is counted into `poisoned_bytes` and discarded.
+class FrameChunker {
+ public:
+  using Sink = std::function<void(ChunkStatus, ByteView body)>;
+
+  /// Consumes `chunk`, invoking `sink` once per delimited unit (body valid
+  /// only for kBody). `poisoned_bytes` accrues discarded bytes: the
+  /// remainder of the stream at the moment of poisoning, then every byte
+  /// fed afterwards.
+  void feed(ByteView chunk, const Sink& sink, std::size_t& poisoned_bytes);
+
+  bool poisoned() const { return poisoned_; }
+  /// Bytes of an incomplete trailing unit (truncation if the stream ends).
+  std::size_t buffered() const { return pending_.size(); }
+
+ private:
+  Bytes pending_;
+  bool poisoned_ = false;
+};
 
 /// Decode-side counters. Everything that is not `accepted` was dropped
 /// without delivery; nothing here aborts the receiver.
@@ -93,16 +139,15 @@ class FrameAssembler {
   /// `from` stamped to the link identity, and updates `stats`.
   void feed(ByteView chunk, std::vector<Frame>& out, FrameStats& stats);
 
-  bool poisoned() const { return poisoned_; }
+  bool poisoned() const { return chunker_.poisoned(); }
   /// Bytes of an incomplete trailing frame (truncation if the link ends).
-  std::size_t buffered() const { return pending_.size(); }
+  std::size_t buffered() const { return chunker_.buffered(); }
   ProcId link_peer() const { return link_peer_; }
 
  private:
   ProcId link_peer_;
   ProcId self_;
-  Bytes pending_;
-  bool poisoned_ = false;
+  FrameChunker chunker_;
 };
 
 }  // namespace dr::net

@@ -74,10 +74,8 @@ NetRunResult run_scenario(const ba::Protocol& protocol,
   return runner.run(protocol.steps(config));
 }
 
-namespace {
-
-void compare_runs(const char* backend, const sim::RunResult& want,
-                  const sim::RunResult& got, ParityReport& report) {
+void compare_parity_runs(const char* backend, const sim::RunResult& want,
+                         const sim::RunResult& got, ParityReport& report) {
   const auto fail = [&](const std::string& what) {
     report.ok = false;
     report.mismatches.push_back(std::string(backend) + ": " + what);
@@ -125,8 +123,6 @@ void compare_runs(const char* backend, const sim::RunResult& want,
   }
 }
 
-}  // namespace
-
 ParityReport check_parity(const ba::Protocol& protocol,
                           const ba::BAConfig& config, std::uint64_t seed,
                           const std::vector<ba::ScenarioFault>& faults,
@@ -148,7 +144,8 @@ ParityReport check_parity(const ba::Protocol& protocol,
     net_options.fault_plan = rules.empty() ? nullptr : &net_plan;
     NetRunResult net_result =
         run_scenario(protocol, config, backend, net_options, faults);
-    compare_runs(to_string(backend), report.sim, net_result.run, report);
+    compare_parity_runs(to_string(backend), report.sim, net_result.run,
+                        report);
     if (!rules.empty() && net_plan.perturbed() != sim_plan.perturbed()) {
       report.ok = false;
       report.mismatches.push_back(std::string(to_string(backend)) +

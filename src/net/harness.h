@@ -60,6 +60,14 @@ struct ParityReport {
   NetRunResult tcp;
 };
 
+/// The parity comparator itself: appends a mismatch per differing decision
+/// vector or paper-level metric between `want` (the sim reference) and
+/// `got`, tagging each with `backend`. Exported so the svc daemon's parity
+/// test holds daemon runs against the simulator with the identical field
+/// list — one comparator, one definition of "identical".
+void compare_parity_runs(const char* backend, const sim::RunResult& want,
+                         const sim::RunResult& got, ParityReport& report);
+
 /// Runs the scenario on all three backends — sim::Runner, in-process,
 /// TCP loopback — and compares decisions and every paper-level metric.
 /// `rules`, when non-empty, becomes a fresh FaultPlan(rules, plan_seed)

@@ -95,41 +95,43 @@ bool NetRunner::apply_churn(ProcId p, PhaseNum phase,
   return true;
 }
 
-void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
-                              sim::Metrics& metrics, SyncStats& sync,
-                              const std::atomic<bool>* abort) {
-  const bool correct = !faulty_[p];
-  const crypto::Signer& signer = pool_->signer_for(p);
-  PhaseSynchronizer synchronizer(p, config_.n, transport_,
-                                 config_.phase_timeout,
-                                 config_.reconnect_window, abort);
+void run_endpoint_phases(const EndpointRun& run, sim::Metrics& metrics,
+                         SyncStats& sync) {
+  DR_EXPECTS(run.process != nullptr && run.signer != nullptr &&
+             run.verifier != nullptr && run.transport != nullptr);
+  const ProcId p = run.p;
+  PhaseSynchronizer synchronizer(p, run.n, *run.transport, run.phase_timeout,
+                                 run.reconnect_window, run.abort);
   std::vector<Envelope> inbox;
   // Endpoint-local verification memo; lives on this thread only, so the
   // cache needs no locking and its hit/miss sequence matches the sim
   // runner's per-process cache exactly (parity gate compares the totals).
   crypto::VerifyCache cache;
-  for (PhaseNum phase = 1; phase <= phases; ++phase) {
-    if (!apply_churn(p, phase, abort)) break;
-    if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
-    sim::Context ctx(p, phase, config_.n, config_.t, &inbox, &signer,
-                     &verifier_, &cache);
-    processes_[p]->on_phase(ctx);
+  for (PhaseNum phase = 1; phase <= run.phases; ++phase) {
+    if (run.on_phase_start && !run.on_phase_start(phase)) break;
+    if (run.abort != nullptr &&
+        run.abort->load(std::memory_order_relaxed)) {
+      break;
+    }
+    sim::Context ctx(p, phase, run.n, run.t, &inbox, run.signer,
+                     run.verifier, &cache);
+    run.process->on_phase(ctx);
     for (auto& out : ctx.outgoing()) {
       // Broadcasts fan out here as per-link submissions sharing one payload
       // handle; each link still gets its own fault routing and frame.
       const auto submit_one = [&](ProcId to, sim::Payload payload) {
         sim::route_submission(
-            metrics, config_.fault_plan, fault_mu, p, to, phase,
-            std::move(payload), correct, out.signatures,
+            metrics, run.fault_plan, run.fault_mu, p, to, phase,
+            std::move(payload), run.correct, out.signatures,
             [&](sim::Payload delivered) {
               synchronizer.send_frame(
                   Frame{FrameKind::kPayload, p, to, phase,
                         std::move(delivered)},
-                  correct, metrics);
+                  run.correct, metrics);
             });
       };
       if (out.broadcast) {
-        for (ProcId to = 0; to < config_.n; ++to) {
+        for (ProcId to = 0; to < run.n; ++to) {
           if (to != p) submit_one(to, out.payload);
         }
       } else {
@@ -138,15 +140,39 @@ void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
     }
     // The paper never delivers the final phase's sends (the run ends), so
     // skipping the last barrier keeps the accounting aligned with sim.
-    if (phase < phases) {
-      inbox = synchronizer.advance(phase, correct, metrics);
+    if (phase < run.phases) {
+      inbox = synchronizer.advance(phase, run.correct, metrics);
     }
   }
   sync = synchronizer.stats();
-  sync.link = transport_.health(p);
+  sync.link = run.transport->health(p);
   metrics.on_net_health(sync.link.disconnects, sync.link.reconnect_attempts,
                         sync.link.send_retries, sync.stragglers);
   metrics.on_chain_cache(cache.hits(), cache.misses());
+}
+
+void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,
+                              sim::Metrics& metrics, SyncStats& sync,
+                              const std::atomic<bool>* abort) {
+  EndpointRun run;
+  run.p = p;
+  run.n = config_.n;
+  run.t = config_.t;
+  run.phases = phases;
+  run.correct = !faulty_[p];
+  run.process = processes_[p].get();
+  run.signer = &pool_->signer_for(p);
+  run.verifier = &verifier_;
+  run.transport = &transport_;
+  run.phase_timeout = config_.phase_timeout;
+  run.reconnect_window = config_.reconnect_window;
+  run.fault_plan = config_.fault_plan;
+  run.fault_mu = fault_mu;
+  run.abort = abort;
+  run.on_phase_start = [this, p, abort](PhaseNum phase) {
+    return apply_churn(p, phase, abort);
+  };
+  run_endpoint_phases(run, metrics, sync);
 }
 
 NetRunResult NetRunner::run(PhaseNum phases) {

@@ -15,7 +15,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -80,6 +82,42 @@ struct NetRunResult {
   bool watchdog_fired = false;
   std::vector<ProcId> unfinished;
 };
+
+/// Everything one endpoint needs to run its process through the paper's
+/// lock-step phases over a Transport. Extracted from NetRunner so the svc
+/// daemon's per-instance workers (src/svc) execute the exact same loop —
+/// same synchronizer, same submission seam, same harvest — which is what
+/// makes daemon-vs-sim parity the same theorem as net-vs-sim parity.
+struct EndpointRun {
+  ProcId p = 0;
+  std::size_t n = 0;
+  std::size_t t = 0;
+  PhaseNum phases = 0;
+  bool correct = true;  // scripted-correct (drives the paper accounting)
+  sim::Process* process = nullptr;
+  const crypto::Signer* signer = nullptr;
+  const crypto::Verifier* verifier = nullptr;
+  Transport* transport = nullptr;
+  std::chrono::milliseconds phase_timeout{5000};
+  std::chrono::milliseconds reconnect_window{1000};
+  /// Not owned; see NetConfig::fault_plan. `fault_mu` guards it.
+  sim::FaultPlan* fault_plan = nullptr;
+  std::mutex* fault_mu = nullptr;
+  /// Watchdog flag; a set flag makes barrier waits return promptly.
+  const std::atomic<bool>* abort = nullptr;
+  /// Called at the top of each phase before the process steps (the net
+  /// runner hooks churn injection here). Returning false stops the loop
+  /// (the endpoint is gone). May be empty.
+  std::function<bool(PhaseNum)> on_phase_start;
+};
+
+/// Runs phases 1..run.phases for one endpoint: step the process, route
+/// every submission through the shared sim::route_submission seam into
+/// framed transport sends, then hold the DONE barrier. Harvests the
+/// synchronizer counters, the transport's LinkHealth and the verify-cache
+/// totals into `sync`/`metrics` exactly as NetRunner endpoints do.
+void run_endpoint_phases(const EndpointRun& run, sim::Metrics& metrics,
+                         SyncStats& sync);
 
 class NetRunner {
  public:

@@ -1,0 +1,190 @@
+#include "net/sockets.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <thread>
+
+#include "util/contracts.h"
+
+namespace dr::net {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  DR_ASSERT(flags >= 0);
+  DR_ASSERT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  DR_ASSERT(::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) ==
+            0);
+}
+
+int remaining_ms(SockClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SockClock::now());
+  return static_cast<int>(std::max<std::int64_t>(0, left.count()));
+}
+
+std::optional<TransportError> write_with_deadline(
+    int fd, ProcId peer, const std::uint8_t* data, std::size_t size,
+    SockClock::time_point deadline, LinkHealth& health) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t k = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (k > 0) {
+      off += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int wait = std::min(remaining_ms(deadline), 50);
+      if (wait == 0) {
+        ++health.send_timeouts;
+        return TransportError{TransportErrorKind::kTimeout, peer, EAGAIN};
+      }
+      ++health.send_retries;
+      struct pollfd pfd {fd, POLLOUT, 0};
+      ::poll(&pfd, 1, wait);
+      continue;
+    }
+    return TransportError{TransportErrorKind::kDisconnect, peer,
+                          k < 0 ? errno : EPIPE};
+  }
+  return std::nullopt;
+}
+
+bool read_exact(int fd, std::uint8_t* data, std::size_t size,
+                SockClock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t k = ::read(fd, data + off, size - off);
+    if (k > 0) {
+      off += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k == 0) return false;  // peer closed mid-read
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int wait = std::min(remaining_ms(deadline), 50);
+      if (wait == 0) return false;
+      struct pollfd pfd {fd, POLLIN, 0};
+      ::poll(&pfd, 1, wait);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool split_hostport(std::string_view addr, std::string& host,
+                    std::uint16_t& port) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == addr.size()) {
+    return false;
+  }
+  const std::string_view port_sv = addr.substr(colon + 1);
+  std::uint32_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port_sv.data(), port_sv.data() + port_sv.size(),
+                      parsed);
+  if (ec != std::errc{} || ptr != port_sv.data() + port_sv.size() ||
+      parsed > 0xFFFF) {
+    return false;
+  }
+  host = std::string(addr.substr(0, colon));
+  port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+namespace {
+
+bool fill_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+}  // namespace
+
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::uint16_t& bound_port, int backlog) {
+  sockaddr_in addr{};
+  if (!fill_addr(host, port, addr)) {
+    errno = EINVAL;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  bound_port = ntohs(addr.sin_port);
+  set_nonblocking(fd);
+  return fd;
+}
+
+int tcp_connect_once(const std::string& host, std::uint16_t port, int& err) {
+  sockaddr_in addr{};
+  if (!fill_addr(host, port, addr)) {
+    err = EINVAL;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    err = errno;
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    err = errno;
+    ::close(fd);
+    return -1;
+  }
+  err = 0;
+  return fd;
+}
+
+int tcp_connect_retry(const std::string& host, std::uint16_t port,
+                      SockClock::time_point deadline) {
+  std::chrono::milliseconds backoff{2};
+  while (true) {
+    int err = 0;
+    const int fd = tcp_connect_once(host, port, err);
+    if (fd >= 0) return fd;
+    if (SockClock::now() + backoff >= deadline) return -1;
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+  }
+}
+
+}  // namespace dr::net

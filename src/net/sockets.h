@@ -1,0 +1,66 @@
+// Low-level socket helpers shared by the blocking transports (net/tcp.cpp)
+// and the nonblocking svc reactor (src/svc): descriptor modes, deadline-
+// bounded exact reads/writes, listener setup and address parsing. These are
+// the split point between the two I/O styles — both paths use the same
+// primitives, so frame semantics (what a partial write means, when a read
+// counts as a disconnect) cannot drift between them.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/transport.h"
+
+namespace dr::net {
+
+using SockClock = std::chrono::steady_clock;
+
+/// Sets O_NONBLOCK. Asserts on fcntl failure (resource bug, not runtime).
+void set_nonblocking(int fd);
+
+/// Sets TCP_NODELAY (frames are latency-sensitive and already batched).
+void set_nodelay(int fd);
+
+/// Milliseconds until `deadline`, clamped at zero.
+int remaining_ms(SockClock::time_point deadline);
+
+/// Writes exactly `size` bytes or gives up at `deadline`. Distinguishes a
+/// stalled peer (kTimeout: the socket buffer never drained) from a dead one
+/// (kDisconnect: EPIPE/ECONNRESET and friends); counts backpressure waits
+/// into `health`. Works on blocking and nonblocking descriptors.
+std::optional<TransportError> write_with_deadline(
+    int fd, ProcId peer, const std::uint8_t* data, std::size_t size,
+    SockClock::time_point deadline, LinkHealth& health);
+
+/// Reads exactly `size` bytes or gives up at `deadline`. Returns false on
+/// a clean peer close (read() == 0), any hard error, or the deadline —
+/// never asserts: EAGAIN/EWOULDBLOCK on a nonblocking descriptor and clean
+/// closes are normal events on a faulted link.
+bool read_exact(int fd, std::uint8_t* data, std::size_t size,
+                SockClock::time_point deadline);
+
+/// "host:port". Returns false on a malformed string or unparsable port.
+bool split_hostport(std::string_view addr, std::string& host,
+                    std::uint16_t& port);
+
+/// Binds and listens on `host:port` (port 0 picks an ephemeral port, echoed
+/// back through `bound_port`). Returns the nonblocking listener descriptor,
+/// or -1 with errno describing the failure. IPv4 only — the deployment
+/// shape this repo models is a small fixed mesh, not a resolver.
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::uint16_t& bound_port, int backlog = 64);
+
+/// One blocking connect attempt to `host:port`. Returns the connected
+/// descriptor (still blocking) or -1 with `err` set to errno.
+int tcp_connect_once(const std::string& host, std::uint16_t port, int& err);
+
+/// Dials `host:port` until it succeeds or `deadline` passes, sleeping a
+/// capped exponential backoff between attempts. Returns the descriptor or
+/// -1 (the peer never came up within the budget).
+int tcp_connect_retry(const std::string& host, std::uint16_t port,
+                      SockClock::time_point deadline);
+
+}  // namespace dr::net

@@ -63,9 +63,13 @@ void PhaseSynchronizer::send_frame(const Frame& frame, bool self_correct,
                                    sim::Metrics& metrics) {
   DR_EXPECTS(frame.from == self_ && frame.to < n_);
   if (frame.to != self_ && dead_[frame.to]) return;
-  const Bytes bytes = encode_frame(frame);
-  metrics.on_frame(self_correct, bytes.size());
-  if (const auto error = transport_.send(self_, frame.to, bytes)) {
+  // The parts form references the payload buffer instead of copying it; a
+  // transport with a scatter/gather path (the svc reactor) writes it to the
+  // kernel straight from the shared buffer, and the default send_parts
+  // flattens bit-identically for the blocking backends.
+  const WireParts parts = encode_frame_parts(frame);
+  metrics.on_frame(self_correct, parts.size());
+  if (const auto error = transport_.send_parts(self_, frame.to, parts)) {
     ++stats_.send_errors;
     note_link_down(frame.to);
   }

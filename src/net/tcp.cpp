@@ -1,9 +1,7 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -13,6 +11,7 @@
 #include <cstring>
 #include <thread>
 
+#include "net/sockets.h"
 #include "util/contracts.h"
 #include "util/rng.h"
 
@@ -21,83 +20,6 @@ namespace dr::net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  DR_ASSERT(flags >= 0);
-  DR_ASSERT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
-}
-
-void set_nodelay(int fd) {
-  const int one = 1;
-  DR_ASSERT(::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) ==
-            0);
-}
-
-int remaining_ms(Clock::time_point deadline) {
-  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-      deadline - Clock::now());
-  return static_cast<int>(std::max<std::int64_t>(0, left.count()));
-}
-
-/// Writes exactly `size` bytes or gives up at `deadline`. Distinguishes a
-/// stalled peer (kTimeout: the socket buffer never drained) from a dead
-/// one (kDisconnect: EPIPE/ECONNRESET and friends); counts backpressure
-/// waits into `health`. Works on blocking and nonblocking descriptors.
-std::optional<TransportError> write_with_deadline(
-    int fd, ProcId peer, const std::uint8_t* data, std::size_t size,
-    Clock::time_point deadline, LinkHealth& health) {
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t k = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
-    if (k > 0) {
-      off += static_cast<std::size_t>(k);
-      continue;
-    }
-    if (k < 0 && errno == EINTR) continue;
-    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      const int wait = std::min(remaining_ms(deadline), 50);
-      if (wait == 0) {
-        ++health.send_timeouts;
-        return TransportError{TransportErrorKind::kTimeout, peer, EAGAIN};
-      }
-      ++health.send_retries;
-      struct pollfd pfd {fd, POLLOUT, 0};
-      ::poll(&pfd, 1, wait);
-      continue;
-    }
-    return TransportError{TransportErrorKind::kDisconnect, peer,
-                          k < 0 ? errno : EPIPE};
-  }
-  return std::nullopt;
-}
-
-/// Reads exactly `size` bytes or gives up at `deadline`. Returns false on
-/// a clean peer close (read() == 0), any hard error, or the deadline —
-/// never asserts: EAGAIN/EWOULDBLOCK on a nonblocking descriptor and
-/// clean closes are normal events on a faulted link.
-bool read_exact(int fd, std::uint8_t* data, std::size_t size,
-                Clock::time_point deadline) {
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t k = ::read(fd, data + off, size - off);
-    if (k > 0) {
-      off += static_cast<std::size_t>(k);
-      continue;
-    }
-    if (k == 0) return false;  // peer closed mid-read
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      const int wait = std::min(remaining_ms(deadline), 50);
-      if (wait == 0) return false;
-      struct pollfd pfd {fd, POLLIN, 0};
-      ::poll(&pfd, 1, wait);
-      continue;
-    }
-    return false;
-  }
-  return true;
-}
 
 }  // namespace
 

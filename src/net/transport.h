@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/envelope.h"
+#include "sim/payload.h"
 #include "util/bytes.h"
 
 namespace dr::net {
@@ -82,6 +83,31 @@ struct RawChunk {
   std::optional<TransportError> event;
 };
 
+/// A wire frame split into segments so the payload can travel to the socket
+/// layer as a shared handle instead of a copy: `head` (length prefix + body
+/// prefix up to and including the payload length) and `tail` (checksum) are
+/// small owned buffers, `payload` is the ref-counted buffer the protocol
+/// layer produced. concat() is the bit-exact single-buffer form —
+/// encode_frame_parts guarantees concat() == encode_frame(frame) — so a
+/// transport without a scatter/gather path loses nothing but the zero-copy.
+struct WireParts {
+  Bytes head;
+  sim::Payload payload;
+  Bytes tail;
+
+  std::size_t size() const {
+    return head.size() + payload.size() + tail.size();
+  }
+  Bytes concat() const {
+    Bytes out;
+    out.reserve(size());
+    append(out, head);
+    append(out, payload.view());
+    append(out, tail);
+    return out;
+  }
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -96,6 +122,17 @@ class Transport {
   /// a local loopback delivered on the next recv() and cannot fail.
   virtual std::optional<TransportError> send(ProcId from, ProcId to,
                                              ByteView bytes) = 0;
+
+  /// Scatter/gather form of send(): same contract, but the frame arrives
+  /// pre-split so an implementation with a vectored write path (the svc
+  /// reactor's writev outbox) can hand the payload buffer to the kernel
+  /// without ever copying it. The default flattens to one buffer and
+  /// forwards to send(), which preserves the existing backends' behavior
+  /// and copy count exactly.
+  virtual std::optional<TransportError> send_parts(ProcId from, ProcId to,
+                                                   const WireParts& parts) {
+    return send(from, to, parts.concat());
+  }
 
   /// Appends every chunk and link event currently available to endpoint
   /// `self`, waiting up to `timeout` for the first one. Returns true if

@@ -1,8 +1,27 @@
 #include "sim/metrics.h"
 
+#include "codec/codec.h"
 #include "util/contracts.h"
 
 namespace dr::sim {
+
+namespace {
+void encode_counts(Writer& w, const std::vector<std::size_t>& v) {
+  w.seq(v.size());
+  for (const std::size_t x : v) w.u64(x);
+}
+
+std::vector<std::size_t> decode_counts(Reader& r) {
+  const std::size_t len = r.seq();  // seq() bounds len by remaining bytes
+  std::vector<std::size_t> out;
+  if (!r.ok()) return out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<std::size_t>(r.u64()));
+  }
+  return out;
+}
+}  // namespace
 
 Metrics::Metrics(std::size_t n)
     : sent_by_(n, 0), received_from_correct_(n, 0),
@@ -80,6 +99,56 @@ void Metrics::merge(const Metrics& other) {
     received_from_correct_[p] += other.received_from_correct_[p];
     signatures_exchanged_[p] += other.signatures_exchanged_[p];
   }
+}
+
+void Metrics::encode(Writer& w) const {
+  w.u64(messages_by_correct_);
+  w.u64(signatures_by_correct_);
+  w.u64(messages_total_);
+  w.u64(bytes_by_correct_);
+  w.u64(max_payload_by_correct_);
+  w.u64(frames_sent_);
+  w.u64(wire_bytes_by_correct_);
+  w.u64(net_disconnects_);
+  w.u64(net_reconnect_attempts_);
+  w.u64(net_send_retries_);
+  w.u64(net_endpoints_degraded_);
+  w.u64(chain_cache_hits_);
+  w.u64(chain_cache_misses_);
+  w.u32(last_active_phase_);
+  encode_counts(w, per_phase_);
+  encode_counts(w, sent_by_);
+  encode_counts(w, received_from_correct_);
+  encode_counts(w, signatures_exchanged_);
+}
+
+std::optional<Metrics> Metrics::decode(Reader& r) {
+  Metrics m;
+  m.messages_by_correct_ = static_cast<std::size_t>(r.u64());
+  m.signatures_by_correct_ = static_cast<std::size_t>(r.u64());
+  m.messages_total_ = static_cast<std::size_t>(r.u64());
+  m.bytes_by_correct_ = static_cast<std::size_t>(r.u64());
+  m.max_payload_by_correct_ = static_cast<std::size_t>(r.u64());
+  m.frames_sent_ = static_cast<std::size_t>(r.u64());
+  m.wire_bytes_by_correct_ = static_cast<std::size_t>(r.u64());
+  m.net_disconnects_ = static_cast<std::size_t>(r.u64());
+  m.net_reconnect_attempts_ = static_cast<std::size_t>(r.u64());
+  m.net_send_retries_ = static_cast<std::size_t>(r.u64());
+  m.net_endpoints_degraded_ = static_cast<std::size_t>(r.u64());
+  m.chain_cache_hits_ = static_cast<std::size_t>(r.u64());
+  m.chain_cache_misses_ = static_cast<std::size_t>(r.u64());
+  m.last_active_phase_ = r.u32();
+  m.per_phase_ = decode_counts(r);
+  m.sent_by_ = decode_counts(r);
+  m.received_from_correct_ = decode_counts(r);
+  m.signatures_exchanged_ = decode_counts(r);
+  // The three per-processor arrays are constructed in lock-step everywhere
+  // else (one slot per processor); enforce that shape on untrusted input.
+  if (!r.ok() || m.sent_by_.size() != m.received_from_correct_.size() ||
+      m.sent_by_.size() != m.signatures_exchanged_.size()) {
+    return std::nullopt;
+  }
+  return m;
 }
 
 }  // namespace dr::sim

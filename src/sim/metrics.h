@@ -5,9 +5,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/envelope.h"
+
+namespace dr {
+class Writer;
+class Reader;
+}  // namespace dr
 
 namespace dr::sim {
 
@@ -108,6 +114,13 @@ class Metrics {
   }
 
   std::size_t n() const { return sent_by_.size(); }
+
+  /// Wire form for crossing a process boundary (the svc daemon's endpoint
+  /// processes report per-instance Metrics to the coordinator, which merges
+  /// them exactly as the in-process runners do). Field-complete: decode ∘
+  /// encode is the identity, asserted by the svc wire tests.
+  void encode(Writer& w) const;
+  static std::optional<Metrics> decode(Reader& r);
 
  private:
   std::size_t messages_by_correct_ = 0;

@@ -1,0 +1,187 @@
+#include "svc/client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "svc/io.h"
+
+namespace dr::svc {
+
+namespace {
+
+net::SockClock::time_point deadline_from(std::chrono::milliseconds timeout) {
+  return net::SockClock::now() + timeout;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& host, std::uint16_t port,
+                     std::chrono::milliseconds timeout) {
+  if (fd_ >= 0) return true;
+  const int fd = net::tcp_connect_retry(host, port, deadline_from(timeout));
+  if (fd < 0) return false;
+  // Every connection opens with a kHello; the coordinator drops frames
+  // that arrive before one.
+  Hello hello;
+  hello.role = Role::kClient;
+  if (!write_all(fd, encode_hello(hello), deadline_from(timeout))) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  dead_ = false;
+  return true;
+}
+
+void Client::close() {
+  {
+    const std::scoped_lock lock(write_mu_, mu_);
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    dead_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Client::send_locked(ByteView bytes) {
+  // Long deadline: the coordinator drains its socket continuously, so a
+  // stalled write means the connection is gone, not that it is busy.
+  return fd_ >= 0 &&
+         write_all(fd_, bytes, deadline_from(std::chrono::seconds(30)));
+}
+
+std::uint64_t Client::submit(const SubmitRequest& req) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (dead_) return 0;
+    id = next_id_++;
+  }
+  const Bytes msg = encode_submit(id, req);
+  const std::lock_guard lock(write_mu_);
+  if (!send_locked(msg)) return 0;
+  return id;
+}
+
+std::optional<Client::Parked> Client::await(
+    std::uint64_t id, std::chrono::milliseconds timeout) {
+  const auto deadline = net::SockClock::now() + timeout;
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (const auto it = parked_.find(id); it != parked_.end()) {
+      Parked out = std::move(it->second);
+      parked_.erase(it);
+      return out;
+    }
+    if (dead_) return std::nullopt;
+    if (net::SockClock::now() >= deadline) return std::nullopt;
+
+    if (reader_active_) {
+      // Someone else holds the socket; they will notify when they park a
+      // response or the connection dies.
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+
+    // Become the reader for one message. The socket and the chunker are
+    // ours alone while reader_active_ is set.
+    reader_active_ = true;
+    const int fd = fd_;
+    lock.unlock();
+    // Short slices so a waiter whose response already landed in the
+    // ready queue is not starved behind a long poll.
+    const auto slice = std::min(
+        deadline, net::SockClock::now() + std::chrono::milliseconds(100));
+    std::optional<Bytes> body;
+    if (fd >= 0) body = read_message(fd, chunker_, ready_, slice);
+    lock.lock();
+    reader_active_ = false;
+    if (!body.has_value()) {
+      // A slice expiring is routine. Anything that returns clearly before
+      // the slice elapsed — peer close, read error, poisoned stream — is
+      // the connection dying. The 10ms margin absorbs poll()'s
+      // millisecond truncation of the deadline; a real close returns
+      // instantly, far inside the margin.
+      if (fd < 0 || chunker_.poisoned() ||
+          net::SockClock::now() + std::chrono::milliseconds(10) < slice) {
+        dead_ = true;
+        cv_.notify_all();
+        return std::nullopt;
+      }
+      cv_.notify_all();
+      continue;
+    }
+
+    Reader r(*body);
+    const auto header = read_header(r);
+    if (!header.has_value()) {
+      dead_ = true;
+      cv_.notify_all();
+      return std::nullopt;
+    }
+    Parked parked;
+    parked.type = header->type;
+    parked.body.assign(body->begin(), body->end());
+    parked_.insert_or_assign(header->id, std::move(parked));
+    cv_.notify_all();
+  }
+}
+
+std::optional<DecisionResponse> Client::wait(
+    std::uint64_t id, std::chrono::milliseconds timeout) {
+  auto parked = await(id, timeout);
+  if (!parked.has_value()) return std::nullopt;
+  Reader r(parked->body);
+  const auto header = read_header(r);
+  if (!header.has_value()) return std::nullopt;
+  if (header->type == MsgType::kDecision) return decode_decision(r);
+  if (header->type == MsgType::kError) {
+    DecisionResponse resp;
+    resp.ok = false;
+    resp.error = r.str();
+    if (!r.ok() || !r.done()) return std::nullopt;
+    return resp;
+  }
+  return std::nullopt;
+}
+
+std::optional<DecisionResponse> Client::run(
+    const SubmitRequest& req, std::chrono::milliseconds timeout) {
+  const std::uint64_t id = submit(req);
+  if (id == 0) return std::nullopt;
+  return wait(id, timeout);
+}
+
+std::optional<std::string> Client::metrics(
+    std::chrono::milliseconds timeout) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (dead_) return std::nullopt;
+    id = next_id_++;
+  }
+  {
+    const std::lock_guard lock(write_mu_);
+    if (!send_locked(encode_metrics_req(id))) return std::nullopt;
+  }
+  auto parked = await(id, timeout);
+  if (!parked.has_value() || parked->type != MsgType::kMetricsResp) {
+    return std::nullopt;
+  }
+  Reader r(parked->body);
+  if (!read_header(r).has_value()) return std::nullopt;
+  std::string text = r.str();
+  if (!r.ok() || !r.done()) return std::nullopt;
+  return text;
+}
+
+bool Client::shutdown_server() {
+  const std::lock_guard lock(write_mu_);
+  return send_locked(encode_shutdown());
+}
+
+}  // namespace dr::svc

@@ -1,0 +1,86 @@
+// The client submission API: a blocking library over one connection to the
+// coordinator, multiplexing any number of concurrent BA instances.
+//
+// submit() assigns a request id and writes the kSubmit frame; wait()
+// blocks until that id's kDecision (or kError) arrives. Responses arriving
+// for other ids are parked in a table, so many threads can have requests
+// outstanding over the single connection — the bench drives 100+
+// concurrent instances this way — with one thread reading the socket at a
+// time (the shared-reader pattern below; no dedicated reader thread).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "net/frame.h"
+#include "svc/wire.h"
+
+namespace dr::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Dials the coordinator (retrying until `timeout`). False on failure.
+  bool connect(const std::string& host, std::uint16_t port,
+               std::chrono::milliseconds timeout);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Thread-safe. Returns the request id to wait() on, or 0 if the
+  /// connection is gone.
+  std::uint64_t submit(const SubmitRequest& req);
+
+  /// Blocks until the response for `id` arrives or `timeout` passes.
+  /// A kError response returns a DecisionResponse with ok=false and the
+  /// reason in `error`. Thread-safe; concurrent waiters share the socket.
+  std::optional<DecisionResponse> wait(std::uint64_t id,
+                                       std::chrono::milliseconds timeout);
+
+  /// submit + wait.
+  std::optional<DecisionResponse> run(const SubmitRequest& req,
+                                      std::chrono::milliseconds timeout);
+
+  /// Prometheus-style plaintext dump of the daemon's counters.
+  std::optional<std::string> metrics(std::chrono::milliseconds timeout);
+
+  /// Asks the daemon to shut down (coordinator and all endpoints).
+  bool shutdown_server();
+
+  void close();
+
+ private:
+  /// One parked response (kDecision / kMetricsResp / kError), keyed by id.
+  struct Parked {
+    MsgType type = MsgType::kError;
+    Bytes body;  // fields after the header
+  };
+
+  bool send_locked(ByteView bytes);
+  /// Blocks until `id` is parked, the deadline passes, or the connection
+  /// dies. Exactly one thread reads the socket at a time; others sleep on
+  /// the condvar and re-check the table when the reader parks something.
+  std::optional<Parked> await(std::uint64_t id,
+                              std::chrono::milliseconds timeout);
+
+  int fd_ = -1;
+  std::mutex write_mu_;
+  std::mutex mu_;  // table + reader election
+  std::condition_variable cv_;
+  bool reader_active_ = false;
+  bool dead_ = false;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Parked> parked_;
+  net::FrameChunker chunker_;      // guarded by reader election
+  std::deque<Bytes> ready_;        // guarded by reader election
+};
+
+}  // namespace dr::svc

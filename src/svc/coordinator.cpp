@@ -1,0 +1,404 @@
+#include "svc/coordinator.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "sim/chaos.h"
+#include "util/contracts.h"
+#include "util/log.h"
+
+namespace dr::svc {
+
+Coordinator::Coordinator(const Options& options) : options_(options) {
+  DR_EXPECTS(options.endpoints >= 1);
+  endpoint_sessions_.assign(options.endpoints, 0);
+}
+
+Coordinator::~Coordinator() {
+  if (listener_fd_ >= 0) ::close(listener_fd_);
+}
+
+bool Coordinator::bind() {
+  listener_fd_ =
+      net::tcp_listen(options_.listen_host, options_.listen_port, port_);
+  if (listener_fd_ < 0) {
+    DR_LOG_ERROR("svc coordinator: listen on %s:%u failed",
+                 options_.listen_host.c_str(), options_.listen_port);
+    return false;
+  }
+  return true;
+}
+
+int Coordinator::serve() {
+  if (listener_fd_ < 0 && !bind()) return 2;
+  reactor_.add(listener_fd_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
+  reactor_.run();
+  // Drop the listener and every session now, not at destruction:
+  // endpoints treat the coordinator socket closing as their exit signal
+  // (and a closed listener resets dials still queued in the accept
+  // backlog), so whoever runs serve() can reap the endpoint processes
+  // right after it returns.
+  ::close(listener_fd_);
+  listener_fd_ = -1;
+  sessions_.clear();
+  return exit_code_;
+}
+
+void Coordinator::stop() { reactor_.stop(); }
+
+void Coordinator::on_accept() {
+  while (true) {
+    const int fd = accept(listener_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN and friends: batch drained
+    net::set_nonblocking(fd);
+    net::set_nodelay(fd);
+    const std::uint64_t key = next_session_++;
+    Session session;
+    session.key = key;
+    session.conn = std::make_unique<Conn>(reactor_, fd);
+    auto [it, inserted] = sessions_.emplace(key, std::move(session));
+    DR_EXPECTS(inserted);
+    it->second.conn->start(
+        [this, key](ByteView body) { on_msg(key, body); },
+        [this, key] { on_close(key); });
+  }
+}
+
+void Coordinator::on_msg(std::uint64_t key, ByteView body) {
+  const auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+
+  Reader r(body);
+  const std::optional<MsgHeader> header = read_header(r);
+  if (!header.has_value()) return;
+
+  if (!session.greeted) {
+    if (header->type != MsgType::kHello) return;  // protocol violation
+    const std::optional<Hello> hello = decode_hello(r);
+    if (!hello.has_value()) return;
+    handle_hello(session, *hello);
+    return;
+  }
+
+  switch (header->type) {
+    case MsgType::kReady:
+      if (session.role == Role::kEndpoint) {
+        ++ready_;
+        if (ready_ == options_.endpoints && !serving_) {
+          serving_ = true;
+          for (auto& [client_key, req_id, req] : queued_) {
+            start_instance(client_key, req_id, std::move(req));
+          }
+          queued_.clear();
+        }
+      }
+      break;
+    case MsgType::kSubmit: {
+      if (session.role != Role::kClient) break;
+      std::optional<SubmitRequest> req = decode_submit(r);
+      if (!req.has_value()) {
+        session.conn->send(encode_error(header->id, "malformed request"));
+        break;
+      }
+      handle_submit(session, header->id, *std::move(req));
+      break;
+    }
+    case MsgType::kDone: {
+      if (session.role != Role::kEndpoint) break;
+      std::optional<EndpointDone> done = decode_done(r);
+      if (done.has_value()) handle_done(header->id, *std::move(done));
+      break;
+    }
+    case MsgType::kMetricsReq:
+      if (session.role == Role::kClient) {
+        session.conn->send(encode_metrics_resp(header->id, metrics_text()));
+      }
+      break;
+    case MsgType::kShutdown:
+      if (session.role == Role::kClient) begin_shutdown();
+      break;
+    default:
+      break;
+  }
+}
+
+void Coordinator::on_close(std::uint64_t key) {
+  const auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  const Session& session = it->second;
+  if (session.role == Role::kEndpoint &&
+      session.proc < endpoint_sessions_.size() &&
+      endpoint_sessions_[session.proc] == key) {
+    endpoint_sessions_[session.proc] = 0;
+    // An endpoint process died. Every instance it participates in can no
+    // longer complete normally; let its deadline timer resolve it (the
+    // remaining endpoints' watchdogs will report unfinished first).
+    if (!shutting_down_) {
+      DR_LOG_WARN("svc coordinator: endpoint %u disconnected", session.proc);
+    }
+  }
+  // Destroying the session destroys the Conn. Deferred to a post so we
+  // never delete a Conn from inside its own callback stack.
+  reactor_.post([this, key] { sessions_.erase(key); });
+}
+
+void Coordinator::handle_hello(Session& session, const Hello& hello) {
+  session.greeted = true;
+  session.role = hello.role;
+  if (hello.role != Role::kEndpoint) return;
+  if (hello.proc >= options_.endpoints ||
+      endpoint_sessions_[hello.proc] != 0) {
+    session.conn->close();
+    return;
+  }
+  session.proc = hello.proc;
+  session.mesh_addr = hello.mesh_addr;
+  endpoint_sessions_[hello.proc] = session.key;
+  ++registered_;
+  if (registered_ == options_.endpoints) {
+    Peers peers;
+    peers.addrs.resize(options_.endpoints);
+    for (std::size_t p = 0; p < options_.endpoints; ++p) {
+      peers.addrs[p] = sessions_.at(endpoint_sessions_[p]).mesh_addr;
+    }
+    const Bytes msg = encode_peers(peers);
+    for (std::size_t p = 0; p < options_.endpoints; ++p) {
+      sessions_.at(endpoint_sessions_[p]).conn->send(msg);
+    }
+  }
+}
+
+std::optional<std::string> Coordinator::validate(
+    const SubmitRequest& req) const {
+  const std::optional<ba::Protocol> protocol =
+      chaos::resolve_protocol(req.protocol);
+  if (!protocol.has_value()) {
+    return "unknown protocol: " + req.protocol;
+  }
+  if (req.config.n == 0 || req.config.n > options_.endpoints) {
+    std::ostringstream os;
+    os << "n=" << req.config.n << " outside 1.." << options_.endpoints
+       << " (daemon endpoint count)";
+    return os.str();
+  }
+  if (!protocol->supports(req.config)) {
+    return "configuration not supported by " + req.protocol;
+  }
+  if (req.scripted.size() > req.config.t) {
+    return "more scripted faults than the fault budget t";
+  }
+  std::set<ProcId> ids;
+  for (const chaos::ScriptedFault& fault : req.scripted) {
+    if (fault.id >= req.config.n) return "scripted fault id out of range";
+    if (!ids.insert(fault.id).second) return "duplicate scripted fault id";
+  }
+  return std::nullopt;
+}
+
+void Coordinator::handle_submit(Session& session, std::uint64_t req_id,
+                                SubmitRequest req) {
+  if (shutting_down_) {
+    session.conn->send(encode_error(req_id, "shutting down"));
+    return;
+  }
+  if (const std::optional<std::string> reason = validate(req)) {
+    ++totals_.rejected;
+    session.conn->send(encode_error(req_id, *reason));
+    return;
+  }
+  if (!serving_) {
+    queued_.emplace_back(session.key, req_id, std::move(req));
+    return;
+  }
+  start_instance(session.key, req_id, std::move(req));
+}
+
+void Coordinator::start_instance(std::uint64_t client_key,
+                                 std::uint64_t req_id, SubmitRequest req) {
+  const std::uint64_t id = next_instance_++;
+  ++totals_.submitted;
+  Instance inst;
+  inst.client_key = client_key;
+  inst.req_id = req_id;
+  inst.req = req;
+  inst.done.resize(req.config.n);
+  inst.deadline_timer = reactor_.add_timer(
+      net::SockClock::now() + options_.instance_deadline,
+      [this, id] { finish_instance(id); });
+
+  const Bytes start = encode_start(id, req);
+  instances_.emplace(id, std::move(inst));
+  for (ProcId p = 0; p < req.config.n; ++p) {
+    const std::uint64_t key = endpoint_sessions_[p];
+    const auto it = key != 0 ? sessions_.find(key) : sessions_.end();
+    if (it == sessions_.end()) {
+      // Participant already gone; the deadline timer will resolve this
+      // instance with that endpoint missing.
+      continue;
+    }
+    it->second.conn->send(start);
+  }
+}
+
+void Coordinator::handle_done(std::uint64_t instance_id, EndpointDone done) {
+  const auto it = instances_.find(instance_id);
+  if (it == instances_.end()) return;  // late kDone after the deadline
+  Instance& inst = it->second;
+  if (done.p >= inst.done.size() || inst.done[done.p].has_value()) return;
+  inst.done[done.p] = std::move(done);
+  ++inst.received;
+  if (inst.received == inst.done.size()) finish_instance(instance_id);
+}
+
+void Coordinator::finish_instance(std::uint64_t instance_id) {
+  const auto it = instances_.find(instance_id);
+  if (it == instances_.end()) return;
+  Instance inst = std::move(it->second);
+  instances_.erase(it);
+  reactor_.cancel_timer(inst.deadline_timer);
+
+  const std::size_t n = inst.req.config.n;
+  DecisionResponse resp;
+  resp.ok = true;
+  resp.decisions.resize(n);
+  resp.scripted_faulty.assign(n, false);
+  for (const chaos::ScriptedFault& fault : inst.req.scripted) {
+    resp.scripted_faulty[fault.id] = true;
+  }
+  sim::Metrics merged(n);
+  std::set<ProcId> perturbed;
+  for (ProcId p = 0; p < n; ++p) {
+    if (!inst.done[p].has_value()) {
+      resp.watchdog_fired = true;
+      resp.unfinished.push_back(p);
+      continue;
+    }
+    const EndpointDone& done = *inst.done[p];
+    if (done.decided) resp.decisions[p] = done.decision;
+    if (done.unfinished) {
+      resp.watchdog_fired = true;
+      resp.unfinished.push_back(p);
+    }
+    merged.merge(done.metrics);
+    resp.sync.merge(done.sync);
+    perturbed.insert(done.perturbed.begin(), done.perturbed.end());
+  }
+  resp.metrics = std::move(merged);
+  resp.perturbed.assign(perturbed.begin(), perturbed.end());
+
+  ++totals_.completed;
+  if (resp.watchdog_fired) ++totals_.failed;
+  totals_.messages_by_correct += resp.metrics.messages_by_correct();
+  totals_.signatures_by_correct += resp.metrics.signatures_by_correct();
+  totals_.messages_total += resp.metrics.messages_total();
+  totals_.bytes_by_correct += resp.metrics.bytes_by_correct();
+  totals_.frames_sent += resp.metrics.frames_sent();
+  totals_.wire_bytes_by_correct += resp.metrics.wire_bytes_by_correct();
+  totals_.chain_cache_hits += resp.metrics.chain_cache_hits();
+  totals_.chain_cache_misses += resp.metrics.chain_cache_misses();
+  totals_.net_disconnects += resp.metrics.net_disconnects();
+  totals_.net_reconnect_attempts += resp.metrics.net_reconnect_attempts();
+  totals_.net_send_retries += resp.metrics.net_send_retries();
+  totals_.net_endpoints_degraded += resp.metrics.net_endpoints_degraded();
+  totals_.frames_accepted += resp.sync.frames.accepted;
+  totals_.frames_rejected += resp.sync.frames.rejected();
+  totals_.stale_frames += resp.sync.stale_frames;
+  totals_.send_errors += resp.sync.send_errors;
+
+  const auto client = sessions_.find(inst.client_key);
+  if (client != sessions_.end() && client->second.conn != nullptr &&
+      !client->second.conn->closed()) {
+    client->second.conn->send(encode_decision(inst.req_id, resp));
+  }
+}
+
+void Coordinator::begin_shutdown() {
+  if (shutting_down_) return;
+  shutting_down_ = true;
+  const Bytes msg = encode_shutdown();
+  for (const std::uint64_t key : endpoint_sessions_) {
+    if (key == 0) continue;
+    const auto it = sessions_.find(key);
+    if (it != sessions_.end()) it->second.conn->send(msg);
+  }
+  // Give the shutdown frames one dispatch round to flush, then stop.
+  reactor_.add_timer(net::SockClock::now() + std::chrono::milliseconds(50),
+                     [this] { reactor_.stop(); });
+}
+
+std::string Coordinator::metrics_text() const {
+  std::ostringstream os;
+  const auto counter = [&os](const char* name, const char* help,
+                             std::size_t value) {
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " counter\n"
+       << name << " " << value << "\n";
+  };
+  const auto gauge = [&os](const char* name, const char* help,
+                           std::size_t value) {
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " gauge\n"
+       << name << " " << value << "\n";
+  };
+  gauge("dr82_endpoints", "endpoint processes configured",
+        options_.endpoints);
+  gauge("dr82_endpoints_ready", "endpoints that completed mesh setup",
+        ready_);
+  gauge("dr82_instances_inflight", "instances running right now",
+        instances_.size());
+  counter("dr82_instances_submitted_total", "instances accepted",
+          totals_.submitted);
+  counter("dr82_instances_completed_total", "instances finished",
+          totals_.completed);
+  counter("dr82_instances_failed_total",
+          "instances with a fired watchdog or unfinished endpoint",
+          totals_.failed);
+  counter("dr82_instances_rejected_total", "submissions failing validation",
+          totals_.rejected);
+  counter("dr82_messages_by_correct_total",
+          "paper metric: messages sent by correct processors",
+          totals_.messages_by_correct);
+  counter("dr82_signatures_by_correct_total",
+          "paper metric: signatures sent by correct processors",
+          totals_.signatures_by_correct);
+  counter("dr82_messages_total", "messages sent by anyone",
+          totals_.messages_total);
+  counter("dr82_bytes_by_correct_total",
+          "payload bytes sent by correct processors",
+          totals_.bytes_by_correct);
+  counter("dr82_frames_sent_total", "wire frames sent", totals_.frames_sent);
+  counter("dr82_wire_bytes_by_correct_total",
+          "wire bytes sent by correct processors",
+          totals_.wire_bytes_by_correct);
+  counter("dr82_chain_cache_hits_total", "chain verification cache hits",
+          totals_.chain_cache_hits);
+  counter("dr82_chain_cache_misses_total", "chain verification cache misses",
+          totals_.chain_cache_misses);
+  counter("dr82_net_disconnects_total", "links observed dead",
+          totals_.net_disconnects);
+  counter("dr82_net_reconnect_attempts_total", "redial attempts",
+          totals_.net_reconnect_attempts);
+  counter("dr82_net_send_retries_total", "send-path backpressure waits",
+          totals_.net_send_retries);
+  counter("dr82_net_endpoints_degraded_total",
+          "peers demoted omission-faulty, summed over observers",
+          totals_.net_endpoints_degraded);
+  counter("dr82_frames_accepted_total", "frames decoded and delivered",
+          totals_.frames_accepted);
+  counter("dr82_frames_rejected_total", "frames dropped at the frame layer",
+          totals_.frames_rejected);
+  counter("dr82_sync_stale_frames_total",
+          "frames past their phase release point", totals_.stale_frames);
+  counter("dr82_sync_send_errors_total", "frame sends that failed",
+          totals_.send_errors);
+  return os.str();
+}
+
+}  // namespace dr::svc

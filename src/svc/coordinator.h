@@ -1,0 +1,141 @@
+// The daemon's front door: accepts client and endpoint connections on one
+// listening port, assembles the endpoint mesh, routes instances.
+//
+// Startup: endpoints dial in and introduce themselves (kHello with their
+// mesh listener address); once all E are registered the coordinator
+// broadcasts the peer table, the endpoints wire up their mesh and report
+// kReady. Client submissions arriving earlier are queued, not rejected —
+// a client may connect the moment the listening port exists.
+//
+// Serving: each kSubmit is validated (protocol resolves, configuration
+// supported, n <= E, scripted faults within t), assigned a fresh instance
+// id, and broadcast as kStart to the participating endpoints 0..n-1. The
+// instance table holds one slot per participant; when the last kDone
+// lands (or the instance deadline fires first), the per-endpoint Metrics
+// fragments are merged exactly as NetRunner merges its endpoint threads,
+// the perturbed sets unioned, and the kDecision response goes back to the
+// submitting client. Many instances run concurrently; the table is the
+// only shared state, and it lives on the reactor thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "svc/reactor.h"
+#include "svc/wire.h"
+
+namespace dr::svc {
+
+class Coordinator {
+ public:
+  struct Options {
+    std::string listen_host = "127.0.0.1";
+    std::uint16_t listen_port = 0;  // 0: ephemeral, see port()
+    std::size_t endpoints = 1;
+    /// Coordinator-side instance watchdog; fires only if an endpoint
+    /// process died mid-instance (the endpoints' own watchdog is shorter
+    /// and reports unfinished through the normal kDone path).
+    std::chrono::milliseconds instance_deadline{180000};
+  };
+
+  explicit Coordinator(const Options& options);
+  ~Coordinator();
+
+  /// Binds the listening socket. port() is valid afterwards.
+  bool bind();
+  std::uint16_t port() const { return port_; }
+
+  /// Runs the reactor until a client-initiated shutdown (or stop()).
+  /// Returns a process exit code.
+  int serve();
+
+  /// Thread-safe: makes serve() return (used by in-test coordinators).
+  void stop();
+
+ private:
+  struct Session {
+    std::uint64_t key = 0;
+    std::unique_ptr<Conn> conn;
+    bool greeted = false;
+    Role role = Role::kClient;
+    ProcId proc = 0;        // endpoints only
+    std::string mesh_addr;  // endpoints only
+  };
+
+  struct Instance {
+    std::uint64_t client_key = 0;
+    std::uint64_t req_id = 0;
+    SubmitRequest req;
+    std::vector<std::optional<EndpointDone>> done;  // slot per participant
+    std::size_t received = 0;
+    Reactor::TimerId deadline_timer = 0;
+  };
+
+  /// Service-level counters for the Prometheus dump: instance lifecycle
+  /// plus the paper/link metrics summed over completed instances (plain
+  /// scalars — instances of different n cannot share a sim::Metrics).
+  struct Totals {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;  // watchdog-fired or unfinished endpoints
+    std::size_t rejected = 0;
+    std::size_t messages_by_correct = 0;
+    std::size_t signatures_by_correct = 0;
+    std::size_t messages_total = 0;
+    std::size_t bytes_by_correct = 0;
+    std::size_t frames_sent = 0;
+    std::size_t wire_bytes_by_correct = 0;
+    std::size_t chain_cache_hits = 0;
+    std::size_t chain_cache_misses = 0;
+    std::size_t net_disconnects = 0;
+    std::size_t net_reconnect_attempts = 0;
+    std::size_t net_send_retries = 0;
+    std::size_t net_endpoints_degraded = 0;
+    std::size_t frames_accepted = 0;
+    std::size_t frames_rejected = 0;
+    std::size_t stale_frames = 0;
+    std::size_t send_errors = 0;
+  };
+
+  void on_accept();
+  void on_msg(std::uint64_t key, ByteView body);
+  void on_close(std::uint64_t key);
+  void handle_hello(Session& session, const Hello& hello);
+  void handle_submit(Session& session, std::uint64_t req_id,
+                     SubmitRequest req);
+  /// nullopt when valid; otherwise the rejection reason.
+  std::optional<std::string> validate(const SubmitRequest& req) const;
+  void start_instance(std::uint64_t client_key, std::uint64_t req_id,
+                      SubmitRequest req);
+  void handle_done(std::uint64_t instance_id, EndpointDone done);
+  void finish_instance(std::uint64_t instance_id);
+  void begin_shutdown();
+  std::string metrics_text() const;
+
+  Options options_;
+  Reactor reactor_;
+  int listener_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_session_ = 1;
+  std::uint64_t next_instance_ = 1;
+  std::map<std::uint64_t, Session> sessions_;
+  std::vector<std::uint64_t> endpoint_sessions_;  // proc -> session key (0 = none)
+  std::size_t registered_ = 0;
+  std::size_t ready_ = 0;
+  bool serving_ = false;
+  bool shutting_down_ = false;
+  /// Submissions that arrived before every endpoint was ready.
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, SubmitRequest>>
+      queued_;
+  std::map<std::uint64_t, Instance> instances_;
+  Totals totals_;
+  int exit_code_ = 0;
+};
+
+}  // namespace dr::svc

@@ -1,0 +1,521 @@
+// dr82d — the agreement daemon (docs/SERVICE.md).
+//
+//   dr82d coord --listen HOST:PORT --endpoints E [--spawn]
+//   dr82d endpoint --coord HOST:PORT --id P --endpoints E
+//   dr82d submit --connect HOST:PORT --protocol NAME --n N --t T
+//                [--transmitter P] [--value V] [--seed S] [--timeout MS]
+//   dr82d metrics --connect HOST:PORT
+//   dr82d smoke [--endpoints E]
+//
+// `coord --spawn` re-executes this binary (via /proc/self/exe) once per
+// endpoint, so one command brings up the whole multi-process deployment.
+// `smoke` is the self-contained acceptance drill CI runs: spawn a full
+// daemon, push a batch of instances (clean and faulty) through the client
+// API, and verify every decision and metric against the in-memory
+// simulator running the identical scenario.
+
+#include <unistd.h>
+
+#include <charconv>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/harness.h"
+#include "net/sockets.h"
+#include "sim/chaos.h"
+#include "svc/client.h"
+#include "svc/coordinator.h"
+#include "svc/endpoint.h"
+#include "svc/supervisor.h"
+
+namespace {
+
+using namespace dr;
+using namespace dr::svc;
+
+std::string self_binary() {
+  char buf[4096];
+  const ssize_t got = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (got <= 0) return {};
+  buf[got] = '\0';
+  return std::string(buf);
+}
+
+std::optional<std::uint64_t> parse_u64(const char* s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s, s + std::strlen(s), v);
+  if (ec != std::errc() || *ptr != '\0') return std::nullopt;
+  return v;
+}
+
+/// Pulls `--flag value` pairs out of argv. Returns false (after printing)
+/// on an unknown flag or a missing value.
+struct Args {
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::vector<std::string> flags;  // value-less switches seen
+
+  const std::string* get(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool has_flag(const std::string& key) const {
+    for (const auto& f : flags) {
+      if (f == key) return true;
+    }
+    return false;
+  }
+};
+
+bool parse_args(int argc, char** argv, int start,
+                const std::vector<std::string>& value_keys,
+                const std::vector<std::string>& switch_keys, Args& out) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool matched = false;
+    for (const auto& key : switch_keys) {
+      if (arg == key) {
+        out.flags.push_back(key);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const auto& key : value_keys) {
+      if (arg == key) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "dr82d: %s needs a value\n", key.c_str());
+          return false;
+        }
+        out.kv.emplace_back(key, argv[++i]);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      std::fprintf(stderr, "dr82d: unknown argument %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_hostport(const std::string& addr, std::string& host,
+                    std::uint16_t& port) {
+  return net::split_hostport(addr, host, port);
+}
+
+std::vector<std::string> endpoint_argv(const std::string& binary,
+                                       const std::string& coord_addr,
+                                       std::size_t id, std::size_t e) {
+  return {binary,          "endpoint",
+          "--coord",       coord_addr,
+          "--id",          std::to_string(id),
+          "--endpoints",   std::to_string(e)};
+}
+
+int cmd_coord(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, 2, {"--listen", "--endpoints"}, {"--spawn"},
+                  args)) {
+    return 2;
+  }
+  Coordinator::Options options;
+  if (const auto* listen = args.get("--listen")) {
+    if (!parse_hostport(*listen, options.listen_host, options.listen_port)) {
+      std::fprintf(stderr, "dr82d: bad --listen %s\n", listen->c_str());
+      return 2;
+    }
+  }
+  if (const auto* e = args.get("--endpoints")) {
+    const auto v = parse_u64(e->c_str());
+    if (!v.has_value() || *v == 0) {
+      std::fprintf(stderr, "dr82d: bad --endpoints\n");
+      return 2;
+    }
+    options.endpoints = static_cast<std::size_t>(*v);
+  }
+
+  Coordinator coordinator(options);
+  if (!coordinator.bind()) {
+    std::fprintf(stderr, "dr82d: cannot bind %s:%u\n",
+                 options.listen_host.c_str(), options.listen_port);
+    return 1;
+  }
+  std::printf("dr82d: coordinator on %s:%u, %zu endpoints\n",
+              options.listen_host.c_str(), coordinator.port(),
+              options.endpoints);
+  std::fflush(stdout);
+
+  Supervisor supervisor;
+  if (args.has_flag("--spawn")) {
+    const std::string binary = self_binary();
+    if (binary.empty()) {
+      std::fprintf(stderr, "dr82d: cannot resolve own binary for --spawn\n");
+      return 1;
+    }
+    const std::string coord_addr = options.listen_host + ":" +
+                                   std::to_string(coordinator.port());
+    for (std::size_t p = 0; p < options.endpoints; ++p) {
+      if (supervisor.spawn(endpoint_argv(binary, coord_addr, p,
+                                         options.endpoints)) < 0) {
+        std::fprintf(stderr, "dr82d: spawn failed for endpoint %zu\n", p);
+        supervisor.kill_all(SIGTERM);
+        supervisor.wait_all();
+        return 1;
+      }
+    }
+  }
+
+  const int rc = coordinator.serve();
+  const std::size_t abnormal = supervisor.wait_all();
+  if (abnormal != 0) {
+    std::fprintf(stderr, "dr82d: %zu endpoint(s) exited abnormally\n",
+                 abnormal);
+    return 1;
+  }
+  return rc;
+}
+
+int cmd_endpoint(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, 2, {"--coord", "--id", "--endpoints"}, {},
+                  args)) {
+    return 2;
+  }
+  EndpointNode::Options options;
+  const auto* coord = args.get("--coord");
+  const auto* id = args.get("--id");
+  const auto* endpoints = args.get("--endpoints");
+  if (coord == nullptr || id == nullptr || endpoints == nullptr) {
+    std::fprintf(stderr,
+                 "dr82d: endpoint needs --coord, --id and --endpoints\n");
+    return 2;
+  }
+  if (!parse_hostport(*coord, options.coord_host, options.coord_port)) {
+    std::fprintf(stderr, "dr82d: bad --coord %s\n", coord->c_str());
+    return 2;
+  }
+  const auto id_v = parse_u64(id->c_str());
+  const auto e_v = parse_u64(endpoints->c_str());
+  if (!id_v.has_value() || !e_v.has_value() || *e_v == 0 || *id_v >= *e_v) {
+    std::fprintf(stderr, "dr82d: need 0 <= --id < --endpoints\n");
+    return 2;
+  }
+  options.id = static_cast<ProcId>(*id_v);
+  options.endpoints = static_cast<std::size_t>(*e_v);
+  EndpointNode node(options);
+  return node.run();
+}
+
+/// Builds the kSim reference for a submitted scenario and diffs the
+/// daemon's response against it with the shared parity comparator.
+/// Returns the number of mismatches (0 = parity holds).
+std::size_t diff_against_sim(const char* label, const SubmitRequest& req,
+                             const DecisionResponse& resp) {
+  chaos::Scenario scenario;
+  scenario.protocol = req.protocol;
+  scenario.config = req.config;
+  scenario.seed = req.seed;
+  scenario.plan_seed = req.plan_seed;
+  scenario.scripted = req.scripted;
+  scenario.rules = req.rules;
+  const chaos::Outcome want = chaos::execute(scenario, chaos::Backend::kSim);
+
+  sim::RunResult got;
+  got.decisions = resp.decisions;
+  got.faulty = resp.scripted_faulty;
+  got.metrics = resp.metrics;
+
+  net::ParityReport report;
+  net::compare_parity_runs(label, want.result, got, report);
+  if (want.perturbed != resp.perturbed) {
+    report.ok = false;
+    report.mismatches.push_back(std::string(label) +
+                                ": perturbed set differs");
+  }
+  if (resp.watchdog_fired) {
+    report.ok = false;
+    report.mismatches.push_back(std::string(label) + ": watchdog fired");
+  }
+  for (const auto& m : report.mismatches) {
+    std::fprintf(stderr, "dr82d smoke: %s\n", m.c_str());
+  }
+  return report.mismatches.size();
+}
+
+int cmd_smoke(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, 2, {"--endpoints"}, {}, args)) return 2;
+  std::size_t endpoints = 5;
+  if (const auto* e = args.get("--endpoints")) {
+    const auto v = parse_u64(e->c_str());
+    if (!v.has_value() || *v < 2) {
+      std::fprintf(stderr, "dr82d: bad --endpoints\n");
+      return 2;
+    }
+    endpoints = static_cast<std::size_t>(*v);
+  }
+
+  const std::string binary = self_binary();
+  if (binary.empty()) {
+    std::fprintf(stderr, "dr82d: cannot resolve own binary\n");
+    return 1;
+  }
+
+  Coordinator::Options coptions;
+  coptions.endpoints = endpoints;
+  Coordinator coordinator(coptions);
+  if (!coordinator.bind()) {
+    std::fprintf(stderr, "dr82d: smoke bind failed\n");
+    return 1;
+  }
+  std::thread serve_thread([&coordinator] { (void)coordinator.serve(); });
+
+  Supervisor supervisor;
+  const std::string coord_addr =
+      "127.0.0.1:" + std::to_string(coordinator.port());
+  bool spawned = true;
+  for (std::size_t p = 0; p < endpoints; ++p) {
+    if (supervisor.spawn(endpoint_argv(binary, coord_addr, p, endpoints)) <
+        0) {
+      spawned = false;
+      break;
+    }
+  }
+
+  std::size_t failures = spawned ? 0 : 1;
+  Client client;
+  if (spawned && client.connect("127.0.0.1", coordinator.port(),
+                                std::chrono::seconds(10))) {
+    const auto n = endpoints;
+    const auto t = (n - 1) / 2;
+
+    // Clean run.
+    SubmitRequest clean;
+    clean.protocol = "dolev-strong";
+    clean.config = {n, t, 0, 1};
+    clean.seed = 7;
+    // Scripted Byzantine processor.
+    SubmitRequest scripted = clean;
+    scripted.protocol = "alg1";
+    scripted.seed = 11;
+    if (t >= 1) {
+      chaos::ScriptedFault fault;
+      fault.kind = chaos::ScriptedKind::kSilent;
+      fault.id = 1;
+      scripted.scripted.push_back(fault);
+    }
+    // Transport fault plan. EIG needs n >= 3t + 1.
+    SubmitRequest plan = clean;
+    plan.protocol = "eig";
+    plan.config.t = (n - 1) / 3;
+    plan.seed = 13;
+    plan.plan_seed = 5;
+    plan.rules.push_back({sim::FaultKind::kDrop, 1, 2, 1});
+    plan.rules.push_back({sim::FaultKind::kCorrupt, 0, 3, sim::kAnyPhase});
+
+    const std::vector<std::pair<const char*, SubmitRequest>> cases = {
+        {"clean/dolev-strong", clean},
+        {"scripted/alg1", scripted},
+        {"faultplan/eig", plan},
+    };
+    // Submit everything up front — the instances run concurrently — then
+    // collect in order.
+    std::vector<std::uint64_t> ids;
+    for (const auto& [label, req] : cases) {
+      (void)label;
+      ids.push_back(client.submit(req));
+    }
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const auto& [label, req] = cases[i];
+      if (ids[i] == 0) {
+        std::fprintf(stderr, "dr82d smoke: %s: submit failed\n", label);
+        ++failures;
+        continue;
+      }
+      const auto resp = client.wait(ids[i], std::chrono::seconds(60));
+      if (!resp.has_value() || !resp->ok) {
+        std::fprintf(stderr, "dr82d smoke: %s: no decision (%s)\n", label,
+                     resp.has_value() ? resp->error.c_str() : "timeout");
+        ++failures;
+        continue;
+      }
+      failures += diff_against_sim(label, req, *resp);
+    }
+
+    const auto metrics = client.metrics(std::chrono::seconds(10));
+    if (!metrics.has_value() ||
+        metrics->find("dr82_instances_completed_total") ==
+            std::string::npos) {
+      std::fprintf(stderr, "dr82d smoke: metrics dump missing counters\n");
+      ++failures;
+    }
+
+    (void)client.shutdown_server();
+  } else if (spawned) {
+    std::fprintf(stderr, "dr82d smoke: client connect failed\n");
+    ++failures;
+  } else {
+    std::fprintf(stderr, "dr82d smoke: endpoint spawn failed\n");
+  }
+
+  coordinator.stop();
+  serve_thread.join();
+  failures += supervisor.wait_all();
+
+  if (failures == 0) {
+    std::printf("dr82d smoke: OK (%zu endpoints, daemon == simulator)\n",
+                endpoints);
+    return 0;
+  }
+  std::fprintf(stderr, "dr82d smoke: FAILED (%zu problem(s))\n", failures);
+  return 1;
+}
+
+int cmd_submit(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, 2,
+                  {"--connect", "--protocol", "--n", "--t", "--transmitter",
+                   "--value", "--seed", "--timeout"},
+                  {}, args)) {
+    return 2;
+  }
+  const auto* connect = args.get("--connect");
+  const auto* protocol = args.get("--protocol");
+  const auto* n = args.get("--n");
+  const auto* t = args.get("--t");
+  if (connect == nullptr || protocol == nullptr || n == nullptr ||
+      t == nullptr) {
+    std::fprintf(
+        stderr,
+        "dr82d: submit needs --connect, --protocol, --n and --t\n");
+    return 2;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_hostport(*connect, host, port)) {
+    std::fprintf(stderr, "dr82d: bad --connect %s\n", connect->c_str());
+    return 2;
+  }
+  SubmitRequest req;
+  req.protocol = *protocol;
+  const auto n_v = parse_u64(n->c_str());
+  const auto t_v = parse_u64(t->c_str());
+  if (!n_v.has_value() || !t_v.has_value() || *n_v == 0) {
+    std::fprintf(stderr, "dr82d: bad --n/--t\n");
+    return 2;
+  }
+  req.config.n = static_cast<std::size_t>(*n_v);
+  req.config.t = static_cast<std::size_t>(*t_v);
+  if (const auto* v = args.get("--transmitter")) {
+    const auto p = parse_u64(v->c_str());
+    if (!p.has_value()) return 2;
+    req.config.transmitter = static_cast<ProcId>(*p);
+  }
+  if (const auto* v = args.get("--value")) {
+    const auto val = parse_u64(v->c_str());
+    if (!val.has_value()) return 2;
+    req.config.value = *val;
+  }
+  if (const auto* v = args.get("--seed")) {
+    const auto s = parse_u64(v->c_str());
+    if (!s.has_value()) return 2;
+    req.seed = *s;
+  }
+  auto timeout = std::chrono::milliseconds(60000);
+  if (const auto* v = args.get("--timeout")) {
+    const auto ms = parse_u64(v->c_str());
+    if (!ms.has_value()) return 2;
+    timeout = std::chrono::milliseconds(*ms);
+  }
+
+  Client client;
+  if (!client.connect(host, port, std::chrono::seconds(10))) {
+    std::fprintf(stderr, "dr82d: cannot connect %s\n", connect->c_str());
+    return 1;
+  }
+  const auto resp = client.run(req, timeout);
+  if (!resp.has_value()) {
+    std::fprintf(stderr, "dr82d: no response\n");
+    return 1;
+  }
+  if (!resp->ok) {
+    std::fprintf(stderr, "dr82d: rejected: %s\n", resp->error.c_str());
+    return 1;
+  }
+  for (std::size_t p = 0; p < resp->decisions.size(); ++p) {
+    if (resp->decisions[p].has_value()) {
+      std::printf("processor %zu decided %llu\n", p,
+                  static_cast<unsigned long long>(*resp->decisions[p]));
+    } else {
+      std::printf("processor %zu undecided\n", p);
+    }
+  }
+  if (resp->watchdog_fired) std::printf("watchdog fired\n");
+  return resp->watchdog_fired ? 1 : 0;
+}
+
+int cmd_metrics(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, 2, {"--connect"}, {}, args)) return 2;
+  const auto* connect = args.get("--connect");
+  if (connect == nullptr) {
+    std::fprintf(stderr, "dr82d: metrics needs --connect\n");
+    return 2;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_hostport(*connect, host, port)) {
+    std::fprintf(stderr, "dr82d: bad --connect %s\n", connect->c_str());
+    return 2;
+  }
+  Client client;
+  if (!client.connect(host, port, std::chrono::seconds(10))) {
+    std::fprintf(stderr, "dr82d: cannot connect %s\n", connect->c_str());
+    return 1;
+  }
+  const auto text = client.metrics(std::chrono::seconds(10));
+  if (!text.has_value()) {
+    std::fprintf(stderr, "dr82d: no metrics response\n");
+    return 1;
+  }
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: dr82d <coord|endpoint|submit|metrics|smoke> [options]\n"
+      "  coord    --listen HOST:PORT --endpoints E [--spawn]\n"
+      "  endpoint --coord HOST:PORT --id P --endpoints E\n"
+      "  submit   --connect HOST:PORT --protocol NAME --n N --t T\n"
+      "           [--transmitter P] [--value V] [--seed S] [--timeout MS]\n"
+      "  metrics  --connect HOST:PORT\n"
+      "  smoke    [--endpoints E]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "coord") return cmd_coord(argc, argv);
+  if (cmd == "endpoint") return cmd_endpoint(argc, argv);
+  if (cmd == "submit") return cmd_submit(argc, argv);
+  if (cmd == "metrics") return cmd_metrics(argc, argv);
+  if (cmd == "smoke") return cmd_smoke(argc, argv);
+  usage();
+  return 2;
+}

@@ -1,0 +1,409 @@
+#include "svc/endpoint.h"
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <sstream>
+#include <utility>
+
+#include "crypto/signature.h"
+#include "net/runner.h"
+#include "sim/chaos.h"
+#include "sim/runner.h"
+#include "svc/io.h"
+#include "util/contracts.h"
+#include "util/log.h"
+
+namespace dr::svc {
+
+namespace {
+/// Buffered pre-start frames per instance: a faster peer can be at most a
+/// phase ahead (its barrier waits for us), so this bound is generous; past
+/// it the instance is considered garbage and the extra frames dropped.
+constexpr std::size_t kMaxPendingChunks = 4096;
+}  // namespace
+
+EndpointNode::EndpointNode(const Options& options) : options_(options) {
+  DR_EXPECTS(options.endpoints >= 1);
+  DR_EXPECTS(options.id < options.endpoints);
+  mesh_fds_.assign(options.endpoints, -1);
+  mesh_conns_.resize(options.endpoints);
+  mesh_up_ = std::make_unique<std::atomic<bool>[]>(options.endpoints);
+  for (std::size_t q = 0; q < options.endpoints; ++q) {
+    mesh_up_[q].store(false, std::memory_order_relaxed);
+  }
+}
+
+EndpointNode::~EndpointNode() {
+  abort_all_instances();
+  for (auto& [id, inst] : running_) {
+    if (inst.worker.joinable()) inst.worker.join();
+  }
+  if (listener_fd_ >= 0) ::close(listener_fd_);
+  // Conns close their own fds; raw fds that never became Conns need help.
+  if (coord_conn_ == nullptr && coord_fd_ >= 0) ::close(coord_fd_);
+  for (std::size_t q = 0; q < mesh_fds_.size(); ++q) {
+    if (mesh_conns_[q] == nullptr && mesh_fds_[q] >= 0) {
+      ::close(mesh_fds_[q]);
+    }
+  }
+}
+
+bool EndpointNode::handshake() {
+  const net::SockClock::time_point deadline =
+      net::SockClock::now() + options_.handshake_timeout;
+  const ProcId self = options_.id;
+
+  // 1. Mesh listener first, so the address we advertise is already live.
+  std::uint16_t mesh_port = 0;
+  listener_fd_ = net::tcp_listen(options_.mesh_host, 0, mesh_port);
+  if (listener_fd_ < 0) {
+    DR_LOG_ERROR("svc endpoint %u: mesh listen failed", self);
+    return false;
+  }
+  std::ostringstream mesh_addr;
+  mesh_addr << options_.mesh_host << ":" << mesh_port;
+
+  // 2. Introduce ourselves to the coordinator.
+  coord_fd_ =
+      net::tcp_connect_retry(options_.coord_host, options_.coord_port,
+                             deadline);
+  if (coord_fd_ < 0) {
+    DR_LOG_ERROR("svc endpoint %u: coordinator unreachable", self);
+    return false;
+  }
+  net::set_nodelay(coord_fd_);
+  Hello hello;
+  hello.role = Role::kEndpoint;
+  hello.proc = self;
+  hello.mesh_addr = mesh_addr.str();
+  if (!write_all(coord_fd_, encode_hello(hello), deadline)) return false;
+
+  // 3. The peer table arrives once every endpoint has registered.
+  net::FrameChunker coord_chunker;
+  std::deque<Bytes> coord_ready;
+  std::optional<Peers> peers;
+  {
+    const std::optional<Bytes> body =
+        read_message(coord_fd_, coord_chunker, coord_ready, deadline);
+    if (!body.has_value()) return false;
+    Reader r(*body);
+    const std::optional<MsgHeader> header = read_header(r);
+    if (!header.has_value() || header->type != MsgType::kPeers) return false;
+    peers = decode_peers(r);
+  }
+  if (!peers.has_value() || peers->addrs.size() != options_.endpoints) {
+    return false;
+  }
+
+  // 4. Mesh: dial lower ids, accept higher ids — the orientation cannot
+  // deadlock (every pair has exactly one dialer).
+  for (ProcId q = 0; q < self; ++q) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!net::split_hostport(peers->addrs[q], host, port)) return false;
+    const int fd = net::tcp_connect_retry(host, port, deadline);
+    if (fd < 0) return false;
+    net::set_nodelay(fd);
+    Hello mesh_hello;
+    mesh_hello.role = Role::kMeshPeer;
+    mesh_hello.proc = self;
+    if (!write_all(fd, encode_hello(mesh_hello), deadline)) {
+      ::close(fd);
+      return false;
+    }
+    mesh_fds_[q] = fd;
+  }
+  std::size_t expected =
+      options_.endpoints - static_cast<std::size_t>(self) - 1;
+  while (expected > 0) {
+    pollfd pfd{listener_fd_, POLLIN, 0};
+    const int rc = poll(&pfd, 1, net::remaining_ms(deadline));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return false;
+    const int fd = accept(listener_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    net::set_nodelay(fd);
+    net::FrameChunker chunker;
+    std::deque<Bytes> ready;
+    const std::optional<Bytes> body =
+        read_message(fd, chunker, ready, deadline);
+    std::optional<Hello> mesh_hello;
+    if (body.has_value()) {
+      Reader r(*body);
+      const std::optional<MsgHeader> header = read_header(r);
+      if (header.has_value() && header->type == MsgType::kHello) {
+        mesh_hello = decode_hello(r);
+      }
+    }
+    if (!mesh_hello.has_value() || mesh_hello->role != Role::kMeshPeer ||
+        mesh_hello->proc <= self || mesh_hello->proc >= options_.endpoints ||
+        mesh_fds_[mesh_hello->proc] >= 0) {
+      ::close(fd);
+      return false;
+    }
+    mesh_fds_[mesh_hello->proc] = fd;
+    --expected;
+  }
+
+  // 5. Everything nonblocking, everything on the reactor.
+  net::set_nonblocking(coord_fd_);
+  coord_conn_ = std::make_unique<Conn>(reactor_, coord_fd_);
+  coord_conn_->start([this](ByteView body) { on_coord_msg(body); },
+                     [this] {
+                       // Coordinator gone: nothing left to report to —
+                       // a clean exit either way (the coordinator decides
+                       // what a missing kDone means).
+                       reactor_.stop();
+                     });
+  for (ProcId q = 0; q < options_.endpoints; ++q) {
+    if (q == self || mesh_fds_[q] < 0) continue;
+    net::set_nonblocking(mesh_fds_[q]);
+    mesh_conns_[q] = std::make_unique<Conn>(reactor_, mesh_fds_[q]);
+    mesh_conns_[q]->start(
+        [this, q](ByteView body) { on_mesh_msg(q, body); },
+        [this, q] { on_mesh_close(q); });
+    mesh_up_[q].store(true, std::memory_order_release);
+  }
+  coord_conn_->send(encode_ready(self));
+  return true;
+}
+
+int EndpointNode::run() {
+  if (!handshake()) return 2;
+  reactor_.run();
+  abort_all_instances();
+  for (auto& [id, inst] : running_) {
+    if (inst.worker.joinable()) inst.worker.join();
+  }
+  running_.clear();
+  return exit_code_;
+}
+
+void EndpointNode::on_coord_msg(ByteView body) {
+  Reader r(body);
+  const std::optional<MsgHeader> header = read_header(r);
+  if (!header.has_value()) return;
+  switch (header->type) {
+    case MsgType::kStart: {
+      std::optional<SubmitRequest> req = decode_submit(r);
+      if (req.has_value()) handle_start(header->id, *std::move(req));
+      break;
+    }
+    case MsgType::kShutdown:
+      exit_code_ = 0;
+      reactor_.stop();
+      break;
+    default:
+      break;  // coordinator never sends anything else; ignore
+  }
+}
+
+void EndpointNode::on_mesh_msg(ProcId peer, ByteView body) {
+  Reader r(body);
+  const std::optional<MsgHeader> header = read_header(r);
+  if (!header.has_value() || header->type != MsgType::kMesh) return;
+  std::optional<Bytes> inner = decode_mesh(r);
+  if (!inner.has_value()) return;
+
+  net::RawChunk chunk;
+  chunk.from = peer;
+  chunk.bytes = *std::move(inner);
+
+  const std::uint64_t id = header->id;
+  const auto it = running_.find(id);
+  if (it != running_.end()) {
+    // The synchronizer owns frames from peers inside the instance only.
+    if (peer < it->second.req.config.n) {
+      it->second.channel->push(std::move(chunk));
+    }
+    return;
+  }
+  if (completed_.contains(id)) return;  // stale traffic, drop
+  std::vector<net::RawChunk>& queue = pending_[id];
+  if (queue.size() < kMaxPendingChunks) queue.push_back(std::move(chunk));
+}
+
+void EndpointNode::on_mesh_close(ProcId peer) {
+  mesh_up_[peer].store(false, std::memory_order_release);
+  // Every live instance the peer participates in observes the link event
+  // at its current stream position — the synchronizer resets the link's
+  // assembler and starts the peer's reconnect window, exactly as it does
+  // on the blocking transports.
+  for (auto& [id, inst] : running_) {
+    if (peer >= inst.req.config.n) continue;
+    net::RawChunk event;
+    event.from = peer;
+    event.event =
+        net::TransportError{net::TransportErrorKind::kDisconnect, peer, 0};
+    inst.channel->push(std::move(event));
+  }
+}
+
+void EndpointNode::handle_start(std::uint64_t id, SubmitRequest req) {
+  if (completed_.contains(id) || running_.contains(id)) return;
+  if (options_.id >= req.config.n) {
+    // Not a participant; remember the id so any misdirected frame drops.
+    completed_.insert(id);
+    pending_.erase(id);
+    return;
+  }
+  if (active_workers_ >= options_.max_workers) {
+    admission_.emplace_back(id, std::move(req));
+    return;
+  }
+  launch(id, std::move(req));
+}
+
+void EndpointNode::launch(std::uint64_t id, SubmitRequest req) {
+  Running inst;
+  inst.req = req;
+  inst.channel = std::make_shared<InstanceChannel>();
+
+  // Flush frames that beat the kStart here; order within each link's
+  // buffered run is arrival order, so per-link FIFO survives the detour.
+  if (const auto pending = pending_.find(id); pending != pending_.end()) {
+    for (net::RawChunk& chunk : pending->second) {
+      if (chunk.from < req.config.n) {
+        inst.channel->push(std::move(chunk));
+      }
+    }
+    pending_.erase(pending);
+  }
+
+  std::shared_ptr<InstanceChannel> channel = inst.channel;
+  inst.deadline_timer = reactor_.add_timer(
+      net::SockClock::now() + options_.instance_deadline,
+      [channel] { channel->abort.store(true, std::memory_order_relaxed); });
+
+  SubmitRequest worker_req = std::move(req);
+  inst.worker = std::thread([this, id, worker_req, channel] {
+    worker_main(id, worker_req, channel);
+  });
+  ++active_workers_;
+  running_.emplace(id, std::move(inst));
+}
+
+void EndpointNode::worker_main(std::uint64_t id, SubmitRequest req,
+                               std::shared_ptr<InstanceChannel> channel) {
+  const ProcId self = options_.id;
+  const std::size_t n = req.config.n;
+
+  EndpointDone done;
+  done.p = self;
+
+  const std::optional<ba::Protocol> protocol =
+      chaos::resolve_protocol(req.protocol);
+  if (!protocol.has_value() || !protocol->supports(req.config)) {
+    // The coordinator validates before broadcasting; reaching this means
+    // version skew. Report unfinished so the instance fails loudly.
+    done.unfinished = true;
+    done.metrics = sim::Metrics(n);
+  } else {
+    // Deterministic reconstruction from the request alone: every endpoint
+    // process derives the same keys from the seed, the same scripted
+    // processes from the fault list, and an identical FaultPlan copy —
+    // corruption bytes are a pure function of (plan seed, coordinates),
+    // so independent per-process plans perturb identically.
+    const std::unique_ptr<crypto::SignatureScheme> scheme =
+        sim::make_signature_scheme(sim::SchemeKind::kHmac, n, req.seed, 6);
+    const crypto::Verifier verifier(scheme.get());
+    std::vector<bool> faulty(n, false);
+    for (const chaos::ScriptedFault& fault : req.scripted) {
+      if (fault.id < n) faulty[fault.id] = true;
+    }
+    const sim::SignerPool pool(scheme.get(), faulty);
+
+    std::unique_ptr<sim::Process> process;
+    if (faulty[self]) {
+      for (const chaos::ScriptedFault& fault : req.scripted) {
+        if (fault.id == self) {
+          process =
+              chaos::to_scenario_fault(*protocol, fault).make(self, req.config);
+          break;
+        }
+      }
+    } else {
+      process = protocol->make(self, req.config);
+    }
+
+    sim::FaultPlan plan(req.rules, req.plan_seed);
+    InstanceTransport transport(id, self, n, *this, channel);
+
+    net::EndpointRun run;
+    run.p = self;
+    run.n = n;
+    run.t = req.config.t;
+    run.phases = protocol->steps(req.config);
+    run.correct = !faulty[self];
+    run.process = process.get();
+    run.signer = &pool.signer_for(self);
+    run.verifier = &verifier;
+    run.transport = &transport;
+    run.phase_timeout = options_.phase_timeout;
+    run.reconnect_window = options_.reconnect_window;
+    // The plan is worker-local: no other thread touches it, so the
+    // submission seam needs no mutex (route_submission's contract).
+    run.fault_plan = req.rules.empty() ? nullptr : &plan;
+    run.fault_mu = nullptr;
+    run.abort = &channel->abort;
+
+    sim::Metrics metrics(n);
+    net::SyncStats sync;
+    net::run_endpoint_phases(run, metrics, sync);
+
+    const std::optional<Value> decision = process->decision();
+    done.decided = decision.has_value();
+    done.decision = decision.value_or(0);
+    done.unfinished = channel->abort.load(std::memory_order_relaxed);
+    done.metrics = std::move(metrics);
+    done.sync = sync;
+    done.perturbed.assign(plan.perturbed().begin(), plan.perturbed().end());
+  }
+
+  Bytes done_msg = encode_done(id, done);
+  reactor_.post([this, id, msg = std::move(done_msg)]() mutable {
+    complete(id, std::move(msg));
+  });
+}
+
+void EndpointNode::complete(std::uint64_t id, Bytes done_msg) {
+  const auto it = running_.find(id);
+  if (it == running_.end()) return;
+  reactor_.cancel_timer(it->second.deadline_timer);
+  if (it->second.worker.joinable()) it->second.worker.join();
+  running_.erase(it);
+  completed_.insert(id);
+  --active_workers_;
+  if (coord_conn_ != nullptr && !coord_conn_->closed()) {
+    coord_conn_->send(std::move(done_msg));
+  }
+  while (active_workers_ < options_.max_workers && !admission_.empty()) {
+    auto [next_id, next_req] = std::move(admission_.front());
+    admission_.pop_front();
+    launch(next_id, std::move(next_req));
+  }
+}
+
+void EndpointNode::abort_all_instances() {
+  for (auto& [id, inst] : running_) {
+    inst.channel->abort.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool EndpointNode::mesh_send(std::uint64_t instance, ProcId to,
+                             const net::WireParts& inner) {
+  DR_EXPECTS(to < options_.endpoints && to != options_.id);
+  if (!mesh_up_[to].load(std::memory_order_acquire)) return false;
+  net::WireParts sealed = seal_mesh_parts(instance, inner);
+  reactor_.post([this, to, sealed = std::move(sealed)] {
+    Conn* conn = mesh_conns_[to].get();
+    if (conn != nullptr && !conn->closed()) conn->send_parts(sealed);
+  });
+  return true;
+}
+
+}  // namespace dr::svc

@@ -1,0 +1,107 @@
+// One agreement endpoint of the daemon: an OS process owning processor id
+// `p` for every instance the coordinator starts.
+//
+// Lifecycle (docs/SERVICE.md):
+//   1. bind a mesh listener on an ephemeral port;
+//   2. dial the coordinator, introduce itself (kHello: id + mesh address);
+//   3. receive the full peer table (kPeers), establish the mesh — dial
+//      every lower-id endpoint, accept every higher-id one (the same
+//      deadlock-free orientation net/tcp.cpp uses);
+//   4. report kReady, hand every socket to the epoll reactor, serve.
+//
+// Serving: kStart spawns an instance worker thread that runs
+// net::run_endpoint_phases over an InstanceTransport; the reactor
+// demultiplexes kMesh envelopes into per-instance mailboxes, flushes
+// worker sends out of Conn outboxes, and arms a per-instance watchdog
+// timer. Frames for instances this endpoint has not started yet are
+// buffered (a faster peer's phase-1 traffic may beat our kStart); frames
+// for completed instances are dropped as stale.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "svc/instance.h"
+#include "svc/reactor.h"
+#include "svc/wire.h"
+
+namespace dr::svc {
+
+class EndpointNode final : public MeshSender {
+ public:
+  struct Options {
+    ProcId id = 0;
+    std::size_t endpoints = 1;  // mesh size E; instance n must be <= E
+    std::string coord_host = "127.0.0.1";
+    std::uint16_t coord_port = 0;
+    std::string mesh_host = "127.0.0.1";
+    std::chrono::milliseconds handshake_timeout{30000};
+    std::chrono::milliseconds phase_timeout{5000};
+    std::chrono::milliseconds reconnect_window{1000};
+    /// Per-instance watchdog: an instance still running after this long is
+    /// aborted and reported unfinished (never a hang, same contract as
+    /// NetConfig::run_deadline).
+    std::chrono::milliseconds instance_deadline{120000};
+    /// Concurrent instance workers; further kStarts queue FIFO.
+    std::size_t max_workers = 256;
+  };
+
+  explicit EndpointNode(const Options& options);
+  ~EndpointNode() override;
+
+  /// Handshake + serve until kShutdown or coordinator loss. Returns a
+  /// process exit code (0 on clean shutdown).
+  int run();
+
+  // MeshSender (worker threads).
+  bool mesh_send(std::uint64_t instance, ProcId to,
+                 const net::WireParts& inner) override;
+
+ private:
+  struct Running {
+    SubmitRequest req;
+    std::shared_ptr<InstanceChannel> channel;
+    std::thread worker;
+    Reactor::TimerId deadline_timer = 0;
+  };
+
+  bool handshake();
+  void on_coord_msg(ByteView body);
+  void on_mesh_msg(ProcId peer, ByteView body);
+  void on_mesh_close(ProcId peer);
+  void handle_start(std::uint64_t id, SubmitRequest req);
+  void launch(std::uint64_t id, SubmitRequest req);
+  void worker_main(std::uint64_t id, SubmitRequest req,
+                   std::shared_ptr<InstanceChannel> channel);
+  /// Reactor-thread completion: sends kDone, retires the record, admits
+  /// the next queued start.
+  void complete(std::uint64_t id, Bytes done_msg);
+  void abort_all_instances();
+
+  Options options_;
+  Reactor reactor_;
+  int listener_fd_ = -1;
+  int coord_fd_ = -1;
+  std::vector<int> mesh_fds_;  // indexed by peer id; -1 for self/absent
+  std::unique_ptr<Conn> coord_conn_;
+  std::vector<std::unique_ptr<Conn>> mesh_conns_;
+  std::unique_ptr<std::atomic<bool>[]> mesh_up_;
+
+  std::map<std::uint64_t, Running> running_;       // reactor thread
+  std::unordered_set<std::uint64_t> completed_;    // reactor thread
+  std::unordered_map<std::uint64_t, std::vector<net::RawChunk>> pending_;
+  std::deque<std::pair<std::uint64_t, SubmitRequest>> admission_;
+  std::size_t active_workers_ = 0;
+  int exit_code_ = 0;
+};
+
+}  // namespace dr::svc

@@ -1,0 +1,84 @@
+#include "svc/instance.h"
+
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace dr::svc {
+
+void InstanceChannel::push(net::RawChunk chunk) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (chunk.event.has_value()) ++health.disconnects;
+    mail.push_back(std::move(chunk));
+  }
+  cv.notify_one();
+}
+
+bool InstanceChannel::drain(std::vector<net::RawChunk>& out,
+                            std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu);
+  if (mail.empty()) {
+    cv.wait_for(lock, timeout, [this] { return !mail.empty(); });
+  }
+  if (mail.empty()) return false;
+  while (!mail.empty()) {
+    out.push_back(std::move(mail.front()));
+    mail.pop_front();
+  }
+  return true;
+}
+
+InstanceTransport::InstanceTransport(std::uint64_t instance, ProcId self,
+                                     std::size_t n, MeshSender& mesh,
+                                     std::shared_ptr<InstanceChannel> channel)
+    : instance_(instance),
+      self_(self),
+      n_(n),
+      mesh_(mesh),
+      channel_(std::move(channel)) {
+  DR_EXPECTS(channel_ != nullptr);
+  DR_EXPECTS(self_ < n_);
+}
+
+std::optional<net::TransportError> InstanceTransport::send(ProcId from,
+                                                           ProcId to,
+                                                           ByteView bytes) {
+  net::WireParts parts;
+  parts.head.assign(bytes.begin(), bytes.end());
+  return send_parts(from, to, parts);
+}
+
+std::optional<net::TransportError> InstanceTransport::send_parts(
+    ProcId from, ProcId to, const net::WireParts& parts) {
+  DR_EXPECTS(from == self_ && to < n_);
+  if (to == self_) {
+    // Local loopback, delivered on the next recv — same contract as the
+    // blocking transports, no envelope needed.
+    net::RawChunk chunk;
+    chunk.from = self_;
+    chunk.bytes = parts.concat();
+    channel_->push(std::move(chunk));
+    return std::nullopt;
+  }
+  if (!mesh_.mesh_send(instance_, to, parts)) {
+    return net::TransportError{net::TransportErrorKind::kDisconnect, to, 0};
+  }
+  return std::nullopt;
+}
+
+bool InstanceTransport::recv(ProcId self, std::vector<net::RawChunk>& out,
+                             std::chrono::milliseconds timeout) {
+  DR_EXPECTS(self == self_);
+  return channel_->drain(out, timeout);
+}
+
+void InstanceTransport::drop_endpoint(ProcId p) { DR_EXPECTS(p == self_); }
+
+net::LinkHealth InstanceTransport::health(ProcId p) const {
+  DR_EXPECTS(p == self_);
+  std::lock_guard<std::mutex> lock(channel_->mu);
+  return channel_->health;
+}
+
+}  // namespace dr::svc

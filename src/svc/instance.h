@@ -1,0 +1,90 @@
+// Per-instance plumbing inside an endpoint process.
+//
+// The daemon multiplexes many concurrent BA instances over one mesh of
+// sockets. Each instance gets its own InstanceTransport — a net::Transport
+// whose "wire" is (a) a mailbox fed by the reactor with the net frames it
+// demultiplexed for this instance, and (b) a MeshSender that wraps
+// outbound frames in kMesh envelopes onto the shared mesh connections.
+// The instance worker then runs the exact net::run_endpoint_phases loop
+// the threaded NetRunner runs — same synchronizer, same submission seam —
+// which is what makes daemon-vs-sim parity the same theorem as
+// net-vs-sim parity, instance by instance.
+//
+// Threading: the reactor thread pushes into the channel; the instance's
+// worker thread drains it. Those are the only two parties, and the
+// channel's mutex is the only synchronization between them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace dr::svc {
+
+using sim::ProcId;
+
+/// The seam between an InstanceTransport and the endpoint's socket layer.
+/// Implemented by EndpointNode: checks the mesh link, seals the kMesh
+/// envelope (zero-copy around the payload handle) and posts it to the
+/// reactor. Thread-safe — called from instance worker threads.
+class MeshSender {
+ public:
+  virtual ~MeshSender() = default;
+  /// False when the mesh link to `to` is down (the frame was not sent).
+  virtual bool mesh_send(std::uint64_t instance, ProcId to,
+                         const net::WireParts& inner) = 0;
+};
+
+/// The reactor->worker mailbox of one instance: demultiplexed inbound
+/// frames and link events, plus the per-instance link-health counters and
+/// the instance watchdog's abort flag.
+struct InstanceChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<net::RawChunk> mail;       // guarded by mu
+  net::LinkHealth health;               // guarded by mu
+  std::atomic<bool> abort{false};
+
+  void push(net::RawChunk chunk);
+  /// Appends everything available, waiting up to `timeout` for the first
+  /// chunk. True if anything was appended. (Transport::recv semantics.)
+  bool drain(std::vector<net::RawChunk>& out,
+             std::chrono::milliseconds timeout);
+};
+
+class InstanceTransport final : public net::Transport {
+ public:
+  InstanceTransport(std::uint64_t instance, ProcId self, std::size_t n,
+                    MeshSender& mesh,
+                    std::shared_ptr<InstanceChannel> channel);
+
+  std::size_t n() const override { return n_; }
+  std::optional<net::TransportError> send(ProcId from, ProcId to,
+                                          ByteView bytes) override;
+  std::optional<net::TransportError> send_parts(
+      ProcId from, ProcId to, const net::WireParts& parts) override;
+  bool recv(ProcId self, std::vector<net::RawChunk>& out,
+            std::chrono::milliseconds timeout) override;
+  /// Churn injection is a runner-mode feature; the daemon's failure mode
+  /// is real process death, observed as mesh link closure. No-op.
+  void drop_endpoint(ProcId p) override;
+  net::LinkHealth health(ProcId p) const override;
+  const char* kind() const override { return "svc"; }
+  void shutdown() override {}
+
+ private:
+  std::uint64_t instance_;
+  ProcId self_;
+  std::size_t n_;
+  MeshSender& mesh_;
+  std::shared_ptr<InstanceChannel> channel_;
+};
+
+}  // namespace dr::svc

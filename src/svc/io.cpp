@@ -1,0 +1,61 @@
+#include "svc/io.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace dr::svc {
+
+std::optional<Bytes> read_message(int fd, net::FrameChunker& chunker,
+                                  std::deque<Bytes>& ready,
+                                  net::SockClock::time_point deadline) {
+  std::size_t poisoned = 0;
+  while (true) {
+    if (!ready.empty()) {
+      Bytes body = std::move(ready.front());
+      ready.pop_front();
+      return body;
+    }
+    if (chunker.poisoned()) return std::nullopt;
+
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = poll(&pfd, 1, net::remaining_ms(deadline));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return std::nullopt;  // deadline or poll failure
+
+    std::uint8_t buf[64 * 1024];
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got == 0) return std::nullopt;  // peer closed
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return std::nullopt;
+    }
+    bool bad = false;
+    chunker.feed(
+        ByteView(buf, static_cast<std::size_t>(got)),
+        [&](net::ChunkStatus status, ByteView body) {
+          if (status == net::ChunkStatus::kBody) {
+            ready.emplace_back(body.begin(), body.end());
+          } else {
+            // Corruption between trusted daemon components: treat the
+            // connection as broken rather than resyncing past it.
+            bad = true;
+          }
+        },
+        poisoned);
+    if (bad) return std::nullopt;
+  }
+}
+
+bool write_all(int fd, ByteView bytes, net::SockClock::time_point deadline) {
+  net::LinkHealth scratch;
+  return !net::write_with_deadline(fd, 0, bytes.data(), bytes.size(),
+                                   deadline, scratch)
+              .has_value();
+}
+
+}  // namespace dr::svc

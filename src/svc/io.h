@@ -1,0 +1,33 @@
+// Blocking message I/O for the daemon's handshake phases and the client.
+//
+// The reactor owns every socket once a node is serving, but both ends of
+// the protocol have a blocking prologue — an endpoint dialing the
+// coordinator and waiting for the peer table, a client waiting for a
+// decision — and the client library is blocking by design. These helpers
+// run the same FrameChunker delimiter over a blocking descriptor, so the
+// two read paths share one definition of "a complete message".
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "net/frame.h"
+#include "net/sockets.h"
+#include "util/bytes.h"
+
+namespace dr::svc {
+
+/// Reads until one complete, CRC-verified message body is available or
+/// `deadline` passes. `chunker` and `ready` persist across calls on the
+/// same connection: partial bytes stay in the chunker, and when one read
+/// delimits several messages the extras queue in `ready` and are returned
+/// first by later calls. nullopt on deadline, peer close, hard error or a
+/// poisoned stream.
+std::optional<Bytes> read_message(int fd, net::FrameChunker& chunker,
+                                  std::deque<Bytes>& ready,
+                                  net::SockClock::time_point deadline);
+
+/// Writes all of `bytes` or gives up at `deadline`.
+bool write_all(int fd, ByteView bytes, net::SockClock::time_point deadline);
+
+}  // namespace dr::svc

@@ -1,0 +1,315 @@
+#include "svc/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace dr::svc {
+
+namespace {
+// writev gathers at most this many segments per call. Linux allows 1024
+// (IOV_MAX); a smaller batch keeps the stack array cheap and one flush
+// already drains dozens of frames.
+constexpr std::size_t kMaxIov = 64;
+
+// Conn::flush writes with writev, which has no MSG_NOSIGNAL equivalent —
+// a peer racing its close against our flush must surface as EPIPE, not
+// kill the process. Process-wide, set once at first Reactor construction.
+void ignore_sigpipe() {
+  static const int once = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return 0;
+  }();
+  (void)once;
+}
+}  // namespace
+
+Reactor::Reactor() {
+  ignore_sigpipe();
+  epfd_ = epoll_create1(EPOLL_CLOEXEC);
+  DR_EXPECTS(epfd_ >= 0);
+  wakefd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  DR_EXPECTS(wakefd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakefd_;
+  DR_EXPECTS(epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) == 0);
+}
+
+Reactor::~Reactor() {
+  if (wakefd_ >= 0) ::close(wakefd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Reactor::add(int fd, std::uint32_t events, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  DR_EXPECTS(epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+  handlers_[fd] = std::move(handler);
+}
+
+void Reactor::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  DR_EXPECTS(epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0);
+}
+
+void Reactor::remove(int fd) {
+  if (handlers_.erase(fd) == 0) return;
+  epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+Reactor::TimerId Reactor::add_timer(net::SockClock::time_point when,
+                                    std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  timers_.emplace(when, std::make_pair(id, std::move(fn)));
+  return id;
+}
+
+void Reactor::cancel_timer(TimerId id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.first == id) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+void Reactor::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; the write result only
+  // matters for that, so a short/failed write is fine to ignore.
+  [[maybe_unused]] const ssize_t rc =
+      ::write(wakefd_, &one, sizeof(one));
+}
+
+void Reactor::stop() {
+  post([this] { stop_ = true; });
+}
+
+void Reactor::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (std::function<void()>& fn : batch) fn();
+}
+
+void Reactor::fire_timers() {
+  const net::SockClock::time_point now = net::SockClock::now();
+  while (!timers_.empty() && timers_.begin()->first <= now) {
+    std::function<void()> fn = std::move(timers_.begin()->second.second);
+    timers_.erase(timers_.begin());
+    fn();
+  }
+}
+
+int Reactor::timeout_to_next_timer() const {
+  if (timers_.empty()) return 1000;  // wake periodically regardless
+  return net::remaining_ms(timers_.begin()->first);
+}
+
+void Reactor::run() {
+  std::vector<epoll_event> events(64);
+  while (!stop_) {
+    drain_posted();
+    fire_timers();
+    if (stop_) break;
+    const int n = epoll_wait(epfd_, events.data(),
+                             static_cast<int>(events.size()),
+                             timeout_to_next_timer());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed: unrecoverable, exit the loop
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+      if (fd == wakefd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t rc =
+            ::read(wakefd_, &drained, sizeof(drained));
+        continue;
+      }
+      // A handler may remove other fds (even ones with pending events in
+      // this batch), so re-look-up per event and copy the closure — the
+      // copy stays valid if the handler deregisters itself.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      const FdHandler handler = it->second;
+      handler(mask);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+Conn::Conn(Reactor& reactor, int fd) : reactor_(reactor), fd_(fd) {
+  DR_EXPECTS(fd >= 0);
+}
+
+Conn::~Conn() {
+  closing_ = true;  // never fire on_close_ out of the destructor
+  close();
+}
+
+void Conn::start(MsgHandler on_msg, CloseHandler on_close) {
+  on_msg_ = std::move(on_msg);
+  on_close_ = std::move(on_close);
+  reactor_.add(fd_, EPOLLIN, [this](std::uint32_t ev) { on_events(ev); });
+}
+
+void Conn::on_events(std::uint32_t events) {
+  if (fd_ < 0) return;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close();
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) flush();
+  if ((events & EPOLLIN) != 0) read_ready();
+}
+
+void Conn::read_ready() {
+  std::uint8_t buf[64 * 1024];
+  while (fd_ >= 0) {
+    const ssize_t got = ::read(fd_, buf, sizeof(buf));
+    if (got > 0) {
+      std::vector<std::pair<net::ChunkStatus, Bytes>> bodies;
+      chunker_.feed(
+          ByteView(buf, static_cast<std::size_t>(got)),
+          [&](net::ChunkStatus status, ByteView body) {
+            // Copy out: the sink's view aliases the chunker's pending
+            // buffer, and the message handler may send (which must not
+            // reenter feed()'s iteration anyway).
+            bodies.emplace_back(status, Bytes(body.begin(), body.end()));
+          },
+          poisoned_bytes_);
+      for (auto& [status, body] : bodies) {
+        if (status == net::ChunkStatus::kBody) {
+          if (on_msg_) on_msg_(body);
+          if (fd_ < 0) return;  // handler closed us
+        } else if (status == net::ChunkStatus::kOversized) {
+          // Service peers are trusted daemon components; a poisoned
+          // stream means the connection is garbage. Drop it.
+          close();
+          return;
+        }
+        // kBadCrc / kTooShort: line corruption on loopback is effectively
+        // impossible; skip the frame (the chunker already resynced).
+      }
+      continue;
+    }
+    if (got == 0) {
+      close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close();
+    return;
+  }
+}
+
+void Conn::send(Bytes message) {
+  if (fd_ < 0) return;
+  outbox_bytes_ += message.size();
+  Segment seg;
+  seg.owned = std::move(message);
+  outbox_.push_back(std::move(seg));
+  flush();
+}
+
+void Conn::send_parts(const net::WireParts& parts) {
+  if (fd_ < 0) return;
+  outbox_bytes_ += parts.size();
+  Segment head;
+  head.owned = parts.head;
+  outbox_.push_back(std::move(head));
+  if (!parts.payload.empty()) {
+    Segment payload;
+    payload.payload = parts.payload;  // handle copy, not a byte copy
+    outbox_.push_back(std::move(payload));
+  }
+  Segment tail;
+  tail.owned = parts.tail;
+  outbox_.push_back(std::move(tail));
+  flush();
+}
+
+void Conn::flush() {
+  while (fd_ >= 0 && !outbox_.empty()) {
+    iovec iov[kMaxIov];
+    std::size_t iovs = 0;
+    std::size_t offset = head_offset_;
+    for (const Segment& seg : outbox_) {
+      if (iovs == kMaxIov) break;
+      const ByteView view = seg.view();
+      iov[iovs].iov_base =
+          const_cast<std::uint8_t*>(view.data() + offset);  // NOLINT
+      iov[iovs].iov_len = view.size() - offset;
+      ++iovs;
+      offset = 0;
+    }
+    const ssize_t wrote = ::writev(fd_, iov, static_cast<int>(iovs));
+    if (wrote < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        arm_write(true);
+        return;
+      }
+      if (errno == EINTR) continue;
+      close();
+      return;
+    }
+    std::size_t left = static_cast<std::size_t>(wrote);
+    outbox_bytes_ -= left;
+    while (left > 0) {
+      const std::size_t seg_left =
+          outbox_.front().view().size() - head_offset_;
+      if (left >= seg_left) {
+        left -= seg_left;
+        head_offset_ = 0;
+        outbox_.pop_front();
+      } else {
+        head_offset_ += left;
+        left = 0;
+      }
+    }
+  }
+  if (outbox_.empty()) arm_write(false);
+}
+
+void Conn::arm_write(bool want) {
+  if (fd_ < 0 || want == write_armed_) return;
+  write_armed_ = want;
+  reactor_.modify(fd_, want ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+}
+
+void Conn::close() {
+  if (fd_ < 0) return;
+  reactor_.remove(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  outbox_.clear();
+  outbox_bytes_ = 0;
+  head_offset_ = 0;
+  if (!closing_) {
+    closing_ = true;
+    if (on_close_) on_close_();
+  }
+}
+
+}  // namespace dr::svc

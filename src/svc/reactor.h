@@ -1,0 +1,150 @@
+// The daemon's event loop: a single-threaded epoll reactor.
+//
+// Every socket the daemon owns — the listener, the coordinator link, the
+// mesh links, client connections — is nonblocking and registered here with
+// a callback; one thread multiplexes all of them. Instance workers (the
+// only other threads) never touch a socket: they talk to the reactor
+// exclusively through post(), which enqueues a closure and wakes the loop
+// via an eventfd. That one rule is the whole threading model — sockets,
+// Conn outboxes, timers and the instance table are reactor-thread state
+// and need no locks.
+//
+// Contrast with net/tcp.cpp: the blocking transport spends a thread per
+// endpoint parked in poll(); the reactor replaces thread-per-connection
+// with connection state machines, which is what lets one endpoint process
+// multiplex hundreds of concurrent BA instances over a handful of mesh
+// sockets.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/sockets.h"
+#include "net/transport.h"
+#include "sim/payload.h"
+#include "util/bytes.h"
+
+namespace dr::svc {
+
+class Reactor {
+ public:
+  using FdHandler = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT). Reactor thread only
+  /// (before run() counts: the caller is about to become the loop).
+  void add(int fd, std::uint32_t events, FdHandler handler);
+  void modify(int fd, std::uint32_t events);
+  /// Deregisters; does not close. Safe from inside the fd's own handler.
+  void remove(int fd);
+
+  /// One-shot timer. Reactor thread only. Returns an id for cancel_timer.
+  TimerId add_timer(net::SockClock::time_point when,
+                    std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  /// Thread-safe: enqueues `fn` to run on the reactor thread and wakes the
+  /// loop. The only entry point worker threads may use.
+  void post(std::function<void()> fn);
+
+  /// Runs until stop(). Dispatches fd events, expired timers and posted
+  /// closures; epoll_wait sleeps until the next timer deadline.
+  void run();
+  /// Thread-safe; makes run() return after the current dispatch round.
+  void stop();
+
+ private:
+  void drain_posted();
+  void fire_timers();
+  int timeout_to_next_timer() const;
+
+  int epfd_ = -1;
+  int wakefd_ = -1;
+  std::unordered_map<int, FdHandler> handlers_;
+  std::multimap<net::SockClock::time_point, std::pair<TimerId, std::function<void()>>>
+      timers_;
+  TimerId next_timer_ = 1;
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;  // guarded by post_mu_
+  bool stop_ = false;  // reactor thread only; stop() posts the flip
+};
+
+/// One framed, nonblocking connection owned by the reactor.
+//
+// Inbound: arbitrary read chunks feed a net::FrameChunker; each delimited,
+// CRC-verified body is handed to the message callback (the same delimiter
+// the net frame layer uses, so the two read paths cannot drift).
+//
+// Outbound: a deque of segments — owned byte buffers interleaved with
+// sim::Payload handles — flushed with writev. A queued protocol payload is
+// never copied: the kernel gathers it straight from the buffer the
+// protocol layer allocated (the zero-copy plane's last hop). EPOLLOUT is
+// armed only while the outbox is non-empty.
+class Conn {
+ public:
+  /// `body` is one verified message body (header not yet parsed).
+  using MsgHandler = std::function<void(ByteView body)>;
+  using CloseHandler = std::function<void()>;
+
+  /// Takes ownership of `fd` (must already be nonblocking).
+  Conn(Reactor& reactor, int fd);
+  ~Conn();
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// Registers with the reactor. Handlers fire on the reactor thread.
+  /// `on_close` fires at most once (peer close, error, or poisoned
+  /// stream); the Conn stays allocated until the owner destroys it.
+  void start(MsgHandler on_msg, CloseHandler on_close);
+
+  /// Queues one sealed message / message parts. Reactor thread only
+  /// (workers post() a closure that calls this). No-op after close.
+  void send(Bytes message);
+  void send_parts(const net::WireParts& parts);
+
+  /// Deregisters and closes the descriptor. Idempotent.
+  void close();
+
+  bool closed() const { return fd_ < 0; }
+  std::size_t outbox_bytes() const { return outbox_bytes_; }
+
+ private:
+  struct Segment {
+    Bytes owned;          // used when payload is empty
+    sim::Payload payload; // shared handle, flushed without a copy
+    ByteView view() const {
+      return payload.empty() ? ByteView(owned) : payload.view();
+    }
+  };
+
+  void on_events(std::uint32_t events);
+  void read_ready();
+  void flush();
+  void arm_write(bool want);
+
+  Reactor& reactor_;
+  int fd_;
+  MsgHandler on_msg_;
+  CloseHandler on_close_;
+  net::FrameChunker chunker_;
+  std::size_t poisoned_bytes_ = 0;
+  std::deque<Segment> outbox_;
+  std::size_t outbox_bytes_ = 0;
+  std::size_t head_offset_ = 0;  // flushed bytes of outbox_.front()
+  bool write_armed_ = false;
+  bool closing_ = false;  // on_close_ dispatched
+};
+
+}  // namespace dr::svc

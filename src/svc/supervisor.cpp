@@ -1,0 +1,52 @@
+#include "svc/supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace dr::svc {
+
+Supervisor::~Supervisor() {
+  if (!pids_.empty()) {
+    kill_all(SIGKILL);
+    wait_all();
+  }
+}
+
+pid_t Supervisor::spawn(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));  // NOLINT: execv API
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    execv(cargv[0], cargv.data());
+    _exit(127);  // exec failed; async-signal-safe exit only
+  }
+  pids_.push_back(pid);
+  return pid;
+}
+
+void Supervisor::kill_all(int sig) {
+  for (const pid_t pid : pids_) kill(pid, sig);
+}
+
+std::size_t Supervisor::wait_all() {
+  std::size_t failures = 0;
+  for (const pid_t pid : pids_) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid) {
+      ++failures;
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failures;
+  }
+  pids_.clear();
+  return failures;
+}
+
+}  // namespace dr::svc

@@ -1,0 +1,45 @@
+// Child-process supervision for daemon mode: each agreement endpoint runs
+// as a separate OS process (fork + execv of the dr82d binary), so endpoint
+// isolation is real — separate address spaces, separate key material
+// derived from the shared seed, real sockets between them. The supervisor
+// is deliberately small: spawn, signal, reap. Restart policy belongs to
+// whoever runs the daemon (CI wraps it in a timeout; tests assert on exit
+// codes).
+//
+// fork+exec, never bare fork: the spawning process may hold threads (test
+// binaries, the smoke harness), and only exec resets the child to a sane
+// single-threaded world.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace dr::svc {
+
+class Supervisor {
+ public:
+  Supervisor() = default;
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// fork + execv. argv[0] is the binary path. Returns the child pid, or
+  /// -1 if fork failed. A child whose exec fails _exits with 127.
+  pid_t spawn(const std::vector<std::string>& argv);
+
+  /// Signals every still-tracked child (default SIGTERM).
+  void kill_all(int sig);
+
+  /// Reaps every tracked child. Returns the number that exited abnormally
+  /// (nonzero status or killed by a signal).
+  std::size_t wait_all();
+
+  std::size_t alive() const { return pids_.size(); }
+
+ private:
+  std::vector<pid_t> pids_;
+};
+
+}  // namespace dr::svc

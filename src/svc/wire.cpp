@@ -1,0 +1,374 @@
+#include "svc/wire.h"
+
+#include <bit>
+#include <utility>
+
+#include "codec/crc32.h"
+#include "net/frame.h"
+
+namespace dr::svc {
+
+namespace {
+
+// A decoded sequence length is already bounded by Reader::seq's
+// remaining-bytes guard; these helpers just keep the call sites short.
+
+void encode_proc_list(Writer& w, const std::vector<ProcId>& v) {
+  w.seq(v.size());
+  for (const ProcId p : v) w.u32(p);
+}
+
+std::vector<ProcId> decode_proc_list(Reader& r) {
+  const std::size_t len = r.seq();
+  std::vector<ProcId> out;
+  if (!r.ok()) return out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) out.push_back(r.u32());
+  return out;
+}
+
+void encode_sync(Writer& w, const net::SyncStats& s) {
+  w.u64(s.frames.accepted);
+  w.u64(s.frames.bad_version);
+  w.u64(s.frames.bad_crc);
+  w.u64(s.frames.bad_structure);
+  w.u64(s.frames.oversized);
+  w.u64(s.frames.spoofed_from);
+  w.u64(s.frames.misrouted);
+  w.u64(s.frames.poisoned_bytes);
+  w.u64(s.link.disconnects);
+  w.u64(s.link.reconnect_attempts);
+  w.u64(s.link.reconnects);
+  w.u64(s.link.send_retries);
+  w.u64(s.link.send_timeouts);
+  w.u64(s.stragglers);
+  w.u64(s.stale_frames);
+  w.u64(s.disconnects);
+  w.u64(s.reconnected_peers);
+  w.u64(s.truncated_frames);
+  w.u64(s.send_errors);
+  w.u64(s.poisoned_links);
+  encode_proc_list(w, s.omission_faulty);
+}
+
+net::SyncStats decode_sync(Reader& r) {
+  net::SyncStats s;
+  s.frames.accepted = static_cast<std::size_t>(r.u64());
+  s.frames.bad_version = static_cast<std::size_t>(r.u64());
+  s.frames.bad_crc = static_cast<std::size_t>(r.u64());
+  s.frames.bad_structure = static_cast<std::size_t>(r.u64());
+  s.frames.oversized = static_cast<std::size_t>(r.u64());
+  s.frames.spoofed_from = static_cast<std::size_t>(r.u64());
+  s.frames.misrouted = static_cast<std::size_t>(r.u64());
+  s.frames.poisoned_bytes = static_cast<std::size_t>(r.u64());
+  s.link.disconnects = static_cast<std::size_t>(r.u64());
+  s.link.reconnect_attempts = static_cast<std::size_t>(r.u64());
+  s.link.reconnects = static_cast<std::size_t>(r.u64());
+  s.link.send_retries = static_cast<std::size_t>(r.u64());
+  s.link.send_timeouts = static_cast<std::size_t>(r.u64());
+  s.stragglers = static_cast<std::size_t>(r.u64());
+  s.stale_frames = static_cast<std::size_t>(r.u64());
+  s.disconnects = static_cast<std::size_t>(r.u64());
+  s.reconnected_peers = static_cast<std::size_t>(r.u64());
+  s.truncated_frames = static_cast<std::size_t>(r.u64());
+  s.send_errors = static_cast<std::size_t>(r.u64());
+  s.poisoned_links = static_cast<std::size_t>(r.u64());
+  s.omission_faulty = decode_proc_list(r);
+  return s;
+}
+
+void encode_request_fields(Writer& w, const SubmitRequest& req) {
+  w.str(req.protocol);
+  w.u64(req.config.n);
+  w.u64(req.config.t);
+  w.u32(req.config.transmitter);
+  w.u64(req.config.value);
+  w.u64(req.seed);
+  w.u64(req.plan_seed);
+  w.seq(req.scripted.size());
+  for (const chaos::ScriptedFault& f : req.scripted) {
+    w.u8(static_cast<std::uint8_t>(f.kind));
+    w.u32(f.id);
+    w.u32(f.crash_phase);
+    w.u64(f.seed);
+    // Doubles travel as their bit pattern: exact round-trip, no locale or
+    // formatting dependence — the daemon must replay a kChaos fault with
+    // the precise probability the client specified.
+    w.u64(std::bit_cast<std::uint64_t>(f.send_prob));
+    w.u32(f.delay);
+    w.u64(f.ones_mask);
+  }
+  w.seq(req.rules.size());
+  for (const sim::FaultRule& rule : req.rules) {
+    w.u8(static_cast<std::uint8_t>(rule.kind));
+    w.u32(rule.from);
+    w.u32(rule.to);
+    w.u32(rule.phase);
+  }
+}
+
+}  // namespace
+
+void write_header(Writer& w, MsgType type, std::uint64_t id) {
+  w.u8(kSvcVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(id);
+}
+
+Bytes seal_body(ByteView body) {
+  Bytes out;
+  out.reserve(4 + body.size() + 4);
+  put_u32le(out, static_cast<std::uint32_t>(body.size() + 4));
+  append(out, body);
+  put_u32le(out, crc32(body));
+  return out;
+}
+
+std::optional<MsgHeader> read_header(Reader& r) {
+  const std::uint8_t version = r.u8();
+  const std::uint8_t type = r.u8();
+  const std::uint64_t id = r.u64();
+  if (!r.ok() || version != kSvcVersion ||
+      type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    return std::nullopt;
+  }
+  return MsgHeader{static_cast<MsgType>(type), id};
+}
+
+Bytes encode_hello(const Hello& hello) {
+  Writer w;
+  write_header(w, MsgType::kHello, 0);
+  w.u8(static_cast<std::uint8_t>(hello.role));
+  w.u32(hello.proc);
+  w.str(hello.mesh_addr);
+  return seal_body(w.out());
+}
+
+std::optional<Hello> decode_hello(Reader& r) {
+  Hello hello;
+  const std::uint8_t role = r.u8();
+  hello.proc = r.u32();
+  hello.mesh_addr = r.str();
+  if (!r.done() || role > static_cast<std::uint8_t>(Role::kMeshPeer)) {
+    return std::nullopt;
+  }
+  hello.role = static_cast<Role>(role);
+  return hello;
+}
+
+Bytes encode_peers(const Peers& peers) {
+  Writer w;
+  write_header(w, MsgType::kPeers, 0);
+  w.seq(peers.addrs.size());
+  for (const std::string& addr : peers.addrs) w.str(addr);
+  return seal_body(w.out());
+}
+
+std::optional<Peers> decode_peers(Reader& r) {
+  Peers peers;
+  const std::size_t len = r.seq();
+  for (std::size_t i = 0; r.ok() && i < len; ++i) {
+    peers.addrs.push_back(r.str());
+  }
+  if (!r.done()) return std::nullopt;
+  return peers;
+}
+
+Bytes encode_ready(ProcId p) {
+  Writer w;
+  write_header(w, MsgType::kReady, p);
+  return seal_body(w.out());
+}
+
+Bytes encode_submit(std::uint64_t req_id, const SubmitRequest& req) {
+  Writer w;
+  write_header(w, MsgType::kSubmit, req_id);
+  encode_request_fields(w, req);
+  return seal_body(w.out());
+}
+
+Bytes encode_start(std::uint64_t instance, const SubmitRequest& req) {
+  Writer w;
+  write_header(w, MsgType::kStart, instance);
+  encode_request_fields(w, req);
+  return seal_body(w.out());
+}
+
+std::optional<SubmitRequest> decode_submit(Reader& r) {
+  SubmitRequest req;
+  req.protocol = r.str();
+  req.config.n = static_cast<std::size_t>(r.u64());
+  req.config.t = static_cast<std::size_t>(r.u64());
+  req.config.transmitter = r.u32();
+  req.config.value = r.u64();
+  req.seed = r.u64();
+  req.plan_seed = r.u64();
+  const std::size_t scripted = r.seq();
+  for (std::size_t i = 0; r.ok() && i < scripted; ++i) {
+    chaos::ScriptedFault f;
+    const std::uint8_t kind = r.u8();
+    f.id = r.u32();
+    f.crash_phase = r.u32();
+    f.seed = r.u64();
+    f.send_prob = std::bit_cast<double>(r.u64());
+    f.delay = r.u32();
+    f.ones_mask = r.u64();
+    if (kind > static_cast<std::uint8_t>(chaos::ScriptedKind::kEquivocate)) {
+      return std::nullopt;
+    }
+    f.kind = static_cast<chaos::ScriptedKind>(kind);
+    req.scripted.push_back(f);
+  }
+  const std::size_t rules = r.seq();
+  for (std::size_t i = 0; r.ok() && i < rules; ++i) {
+    sim::FaultRule rule;
+    const std::uint8_t kind = r.u8();
+    rule.from = r.u32();
+    rule.to = r.u32();
+    rule.phase = r.u32();
+    if (kind > static_cast<std::uint8_t>(sim::FaultKind::kOmitReceive)) {
+      return std::nullopt;
+    }
+    rule.kind = static_cast<sim::FaultKind>(kind);
+    req.rules.push_back(rule);
+  }
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+Bytes encode_done(std::uint64_t instance, const EndpointDone& done) {
+  Writer w;
+  write_header(w, MsgType::kDone, instance);
+  w.u32(done.p);
+  w.u8(done.decided ? 1 : 0);
+  w.u64(done.decision);
+  w.u8(done.unfinished ? 1 : 0);
+  done.metrics.encode(w);
+  encode_sync(w, done.sync);
+  encode_proc_list(w, done.perturbed);
+  return seal_body(w.out());
+}
+
+std::optional<EndpointDone> decode_done(Reader& r) {
+  EndpointDone done;
+  done.p = r.u32();
+  done.decided = r.u8() != 0;
+  done.decision = r.u64();
+  done.unfinished = r.u8() != 0;
+  std::optional<sim::Metrics> metrics = sim::Metrics::decode(r);
+  if (!metrics.has_value()) return std::nullopt;
+  done.metrics = *std::move(metrics);
+  done.sync = decode_sync(r);
+  done.perturbed = decode_proc_list(r);
+  if (!r.done()) return std::nullopt;
+  return done;
+}
+
+Bytes encode_decision(std::uint64_t req_id, const DecisionResponse& resp) {
+  Writer w;
+  write_header(w, MsgType::kDecision, req_id);
+  w.u8(resp.ok ? 1 : 0);
+  w.str(resp.error);
+  w.seq(resp.decisions.size());
+  for (const std::optional<Value>& d : resp.decisions) {
+    w.u8(d.has_value() ? 1 : 0);
+    w.u64(d.value_or(0));
+  }
+  w.seq(resp.scripted_faulty.size());
+  for (const bool f : resp.scripted_faulty) w.u8(f ? 1 : 0);
+  resp.metrics.encode(w);
+  encode_sync(w, resp.sync);
+  encode_proc_list(w, resp.perturbed);
+  w.u8(resp.watchdog_fired ? 1 : 0);
+  encode_proc_list(w, resp.unfinished);
+  return seal_body(w.out());
+}
+
+std::optional<DecisionResponse> decode_decision(Reader& r) {
+  DecisionResponse resp;
+  resp.ok = r.u8() != 0;
+  resp.error = r.str();
+  const std::size_t n_decisions = r.seq();
+  for (std::size_t i = 0; r.ok() && i < n_decisions; ++i) {
+    const bool has = r.u8() != 0;
+    const Value v = r.u64();
+    resp.decisions.push_back(has ? std::optional<Value>(v) : std::nullopt);
+  }
+  const std::size_t n_faulty = r.seq();
+  for (std::size_t i = 0; r.ok() && i < n_faulty; ++i) {
+    resp.scripted_faulty.push_back(r.u8() != 0);
+  }
+  std::optional<sim::Metrics> metrics = sim::Metrics::decode(r);
+  if (!metrics.has_value()) return std::nullopt;
+  resp.metrics = *std::move(metrics);
+  resp.sync = decode_sync(r);
+  resp.perturbed = decode_proc_list(r);
+  resp.watchdog_fired = r.u8() != 0;
+  resp.unfinished = decode_proc_list(r);
+  if (!r.done()) return std::nullopt;
+  return resp;
+}
+
+Bytes encode_error(std::uint64_t req_id, std::string_view what) {
+  Writer w;
+  write_header(w, MsgType::kError, req_id);
+  w.str(what);
+  return seal_body(w.out());
+}
+
+Bytes encode_metrics_req(std::uint64_t req_id) {
+  Writer w;
+  write_header(w, MsgType::kMetricsReq, req_id);
+  return seal_body(w.out());
+}
+
+Bytes encode_metrics_resp(std::uint64_t req_id, std::string_view text) {
+  Writer w;
+  write_header(w, MsgType::kMetricsResp, req_id);
+  w.str(text);
+  return seal_body(w.out());
+}
+
+Bytes encode_shutdown() {
+  Writer w;
+  write_header(w, MsgType::kShutdown, 0);
+  return seal_body(w.out());
+}
+
+net::WireParts seal_mesh_parts(std::uint64_t instance,
+                               const net::WireParts& inner) {
+  // The svc prefix runs up to and including the nested frame's length
+  // varint — Writer::bytes would emit exactly this prefix before the raw
+  // bytes, so head|payload|tail concatenates to the sealed single-buffer
+  // form bit-for-bit, with the CRC computed incrementally across the split.
+  Writer w;
+  write_header(w, MsgType::kMesh, instance);
+  w.u64(inner.size());
+  const Bytes prefix = std::move(w).take();
+  const std::size_t body_size =
+      prefix.size() + inner.head.size() + inner.payload.size() +
+      inner.tail.size();
+
+  net::WireParts parts;
+  parts.head.reserve(4 + prefix.size() + inner.head.size());
+  put_u32le(parts.head, static_cast<std::uint32_t>(body_size + 4));
+  append(parts.head, prefix);
+  append(parts.head, inner.head);
+  parts.payload = inner.payload;
+  parts.tail = inner.tail;
+  std::uint32_t crc = crc32_init();
+  crc = crc32_update(crc, prefix);
+  crc = crc32_update(crc, inner.head);
+  crc = crc32_update(crc, inner.payload.view());
+  crc = crc32_update(crc, inner.tail);
+  put_u32le(parts.tail, crc32_final(crc));
+  return parts;
+}
+
+std::optional<Bytes> decode_mesh(Reader& r) {
+  Bytes inner = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return inner;
+}
+
+}  // namespace dr::svc

@@ -1,0 +1,174 @@
+// The agreement daemon's wire protocol (docs/SERVICE.md).
+//
+// Every service message — client<->coordinator, coordinator<->endpoint and
+// the endpoint mesh — uses the same outer structure as a net frame:
+//
+//   length : u32le            bytes that follow (body + crc)
+//   body   : Writer-encoded   u8 svc version | u8 type | u64 id | fields
+//   crc    : u32le            crc32(body)
+//
+// so one delimiter (net::FrameChunker) serves every connection the reactor
+// owns. `id` is the correlation key: the client's request id on the submit
+// path, the coordinator-assigned instance id on the instance path.
+//
+// Mesh traffic nests the existing net frame untouched: a kMesh body is
+// `header | bytes(<inner net frame>)`, and the inner frame is fed verbatim
+// to the per-instance PhaseSynchronizer's assembler on the receiving side.
+// seal_mesh_parts builds that envelope as scatter/gather segments around
+// the payload handle, so a protocol payload crosses the daemon's socket
+// layer without ever being copied (the same zero-copy discipline as
+// net::encode_frame_parts, extended one envelope out).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ba/config.h"
+#include "codec/codec.h"
+#include "net/synchronizer.h"
+#include "net/transport.h"
+#include "sim/chaos.h"
+#include "sim/faults.h"
+#include "sim/metrics.h"
+#include "util/bytes.h"
+
+namespace dr::svc {
+
+using sim::PhaseNum;
+using sim::ProcId;
+using sim::Value;
+
+inline constexpr std::uint8_t kSvcVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  kHello = 0,        // first message on any connection (role + identity)
+  kPeers = 1,        // coordinator -> endpoint: the mesh address table
+  kReady = 2,        // endpoint -> coordinator: mesh established
+  kSubmit = 3,       // client -> coordinator: run one BA instance
+  kStart = 4,        // coordinator -> endpoint: begin instance `id`
+  kDone = 5,         // endpoint -> coordinator: instance `id` finished here
+  kDecision = 6,     // coordinator -> client: the instance's outcome
+  kMesh = 7,         // endpoint <-> endpoint: one nested net frame
+  kMetricsReq = 8,   // client -> coordinator: Prometheus text dump
+  kMetricsResp = 9,  // coordinator -> client
+  kError = 10,       // coordinator -> client: request-level failure
+  kShutdown = 11,    // client -> coordinator -> endpoints: clean stop
+};
+
+enum class Role : std::uint8_t {
+  kClient = 0,
+  kEndpoint = 1,  // endpoint registering with the coordinator
+  kMeshPeer = 2,  // endpoint dialing a fellow endpoint's mesh listener
+};
+
+struct MsgHeader {
+  MsgType type = MsgType::kError;
+  std::uint64_t id = 0;
+};
+
+/// Appends the svc header (version | type | id) to `w`.
+void write_header(Writer& w, MsgType type, std::uint64_t id);
+
+/// Wraps an encoded body in the outer `length | body | crc` structure.
+Bytes seal_body(ByteView body);
+
+/// Reads and validates the header. nullopt on version or type mismatch.
+std::optional<MsgHeader> read_header(Reader& r);
+
+// ---------------------------------------------------------------------------
+// Message bodies. Each encode_* appends the full body (header included);
+// each decode_* assumes read_header already consumed the header and
+// returns nullopt unless the remaining bytes decode exactly.
+
+struct Hello {
+  Role role = Role::kClient;
+  ProcId proc = 0;         // endpoint / mesh-peer id; 0 for clients
+  std::string mesh_addr;   // endpoint's mesh listener ("host:port")
+};
+
+/// One BA instance, fully described: the registry protocol (parameterised
+/// forms included), the paper configuration, the key seed, and the same
+/// serializable fault surface the chaos harness runs — scripted Byzantine
+/// processes plus a transport FaultPlan. Exactly a chaos::Scenario minus
+/// backend/churn: the daemon *is* the backend, and churn there is real
+/// process death, not a rule.
+struct SubmitRequest {
+  std::string protocol;
+  ba::BAConfig config;
+  std::uint64_t seed = 1;
+  std::uint64_t plan_seed = 1;
+  std::vector<chaos::ScriptedFault> scripted;
+  std::vector<sim::FaultRule> rules;
+};
+
+/// One endpoint's share of a finished instance: its decision, its Metrics
+/// fragment (merged coordinator-side exactly as NetRunner merges endpoint
+/// threads), its synchronizer counters, and the processors its local
+/// FaultPlan copy perturbed (a pure function of plan_seed and message
+/// coordinates, so the per-endpoint sets union to the sim plan's set).
+struct EndpointDone {
+  ProcId p = 0;
+  bool decided = false;
+  Value decision = 0;
+  bool unfinished = false;  // the instance watchdog aborted this endpoint
+  sim::Metrics metrics;
+  net::SyncStats sync;
+  std::vector<ProcId> perturbed;
+};
+
+struct DecisionResponse {
+  bool ok = false;
+  std::string error;
+  std::vector<std::optional<Value>> decisions;  // indexed by processor
+  std::vector<bool> scripted_faulty;
+  sim::Metrics metrics;  // merged across endpoints
+  net::SyncStats sync;   // merged across endpoints
+  std::vector<ProcId> perturbed;  // union, ascending
+  bool watchdog_fired = false;
+  std::vector<ProcId> unfinished;
+};
+
+struct Peers {
+  std::vector<std::string> addrs;  // mesh address of endpoint p at index p
+};
+
+Bytes encode_hello(const Hello& hello);
+std::optional<Hello> decode_hello(Reader& r);
+
+Bytes encode_peers(const Peers& peers);
+std::optional<Peers> decode_peers(Reader& r);
+
+Bytes encode_ready(ProcId p);
+
+Bytes encode_submit(std::uint64_t req_id, const SubmitRequest& req);
+Bytes encode_start(std::uint64_t instance, const SubmitRequest& req);
+std::optional<SubmitRequest> decode_submit(Reader& r);
+
+Bytes encode_done(std::uint64_t instance, const EndpointDone& done);
+std::optional<EndpointDone> decode_done(Reader& r);
+
+Bytes encode_decision(std::uint64_t req_id, const DecisionResponse& resp);
+std::optional<DecisionResponse> decode_decision(Reader& r);
+
+Bytes encode_error(std::uint64_t req_id, std::string_view what);
+
+Bytes encode_metrics_req(std::uint64_t req_id);
+Bytes encode_metrics_resp(std::uint64_t req_id, std::string_view text);
+
+Bytes encode_shutdown();
+
+/// The zero-copy mesh envelope: wraps an encoded net frame (itself split
+/// around the payload handle) in a kMesh message without copying the
+/// payload. Satisfies `seal_mesh_parts(i, p).concat() ==
+/// seal_body(<kMesh body with bytes(p.concat())>)` — the receiving side
+/// cannot tell which path built it.
+net::WireParts seal_mesh_parts(std::uint64_t instance,
+                               const net::WireParts& inner);
+
+/// Inverse: after read_header returned kMesh, extracts the nested net
+/// frame bytes. nullopt on malformed body.
+std::optional<Bytes> decode_mesh(Reader& r);
+
+}  // namespace dr::svc

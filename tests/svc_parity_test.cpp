@@ -1,0 +1,237 @@
+// The daemon's acceptance harness: every registry protocol, submitted
+// through the client API to a daemon whose endpoints are separate OS
+// processes, must decide exactly what the synchronous simulator decides
+// and report exactly the simulator's paper-level accounting — fault-free,
+// under scripted Byzantine processors, and under transport fault plans.
+// One comparator (net::compare_parity_runs) defines "identical" for both
+// the threaded net runtime and the daemon, so daemon-vs-sim parity is the
+// same theorem as net-vs-sim parity, extended across process boundaries.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/harness.h"
+#include "sim/chaos.h"
+#include "svc_test_util.h"
+
+namespace dr::svc {
+namespace {
+
+struct Case {
+  std::string label;
+  SubmitRequest req;
+};
+
+/// The net_parity_test matrix, expressed as client submissions. Every
+/// protocol that admits (n=7, t=2); the n = 2t+1 family at (9, 4);
+/// phase-king at (9, 2). All fit one daemon of E = 9 endpoints.
+std::vector<Case> parity_cases(std::uint64_t seed) {
+  std::vector<Case> cases;
+  const auto add = [&](const std::string& name, std::size_t n, std::size_t t,
+                       Value value) {
+    SubmitRequest req;
+    req.protocol = name;
+    req.config = {n, t, 0, value};
+    req.seed = seed;
+    cases.push_back({name, std::move(req)});
+  };
+  add("dolev-strong", 7, 2, 1);
+  add("dolev-strong-relay", 7, 2, 1);
+  add("eig", 7, 2, 1);
+  add("alg3[s=2]", 7, 2, 1);
+  add("alg3-mv[s=2]", 7, 2, 5);
+  add("alg5[s=2]", 7, 2, 1);
+  add("alg5-mv[s=2]", 7, 2, 3);
+  add("alg1", 9, 4, 1);
+  add("alg1-mv", 9, 4, 6);
+  add("alg2", 9, 4, 1);
+  add("alg2-mv", 9, 4, 6);
+  add("alg5[s=2]", 9, 4, 1);
+  add("phase-king", 9, 2, 1);
+  return cases;
+}
+
+chaos::Scenario to_scenario(const SubmitRequest& req) {
+  chaos::Scenario scenario;
+  scenario.protocol = req.protocol;
+  scenario.config = req.config;
+  scenario.seed = req.seed;
+  scenario.plan_seed = req.plan_seed;
+  scenario.scripted = req.scripted;
+  scenario.rules = req.rules;
+  return scenario;
+}
+
+/// Holds one daemon response against the simulator running the identical
+/// scenario: decisions, every paper-level metric, the perturbed sets, and
+/// (for clean runs) hard-zero link health.
+void expect_daemon_matches_sim(const Case& c, const DecisionResponse& resp) {
+  ASSERT_TRUE(resp.ok) << c.label << ": " << resp.error;
+  EXPECT_FALSE(resp.watchdog_fired) << c.label;
+
+  const chaos::Outcome want =
+      chaos::execute(to_scenario(c.req), chaos::Backend::kSim);
+
+  sim::RunResult got;
+  got.decisions = resp.decisions;
+  got.faulty = resp.scripted_faulty;
+  got.metrics = resp.metrics;
+
+  net::ParityReport report;
+  net::compare_parity_runs("svc", want.result, got, report);
+  EXPECT_TRUE(report.ok) << c.label;
+  for (const std::string& mismatch : report.mismatches) {
+    ADD_FAILURE() << c.label << ": " << mismatch;
+  }
+  EXPECT_EQ(resp.perturbed, want.perturbed) << c.label;
+  EXPECT_EQ(resp.scripted_faulty, want.scripted_faulty) << c.label;
+
+  if (c.req.scripted.empty() && c.req.rules.empty()) {
+    // Clean run on a healthy mesh: the crash-tolerance machinery must not
+    // have stirred. Same "do no harm" gate net_parity_test applies.
+    EXPECT_EQ(resp.sync.disconnects, 0u) << c.label;
+    EXPECT_EQ(resp.sync.truncated_frames, 0u) << c.label;
+    EXPECT_EQ(resp.sync.send_errors, 0u) << c.label;
+    EXPECT_EQ(resp.sync.frames.rejected(), 0u) << c.label;
+    EXPECT_TRUE(resp.sync.omission_faulty.empty()) << c.label;
+    EXPECT_EQ(resp.metrics.net_disconnects(), 0u) << c.label;
+    EXPECT_EQ(resp.metrics.net_reconnect_attempts(), 0u) << c.label;
+  }
+  // Frames flow on real sockets here, never on the simulator.
+  EXPECT_GT(resp.metrics.frames_sent(), 0u) << c.label;
+  EXPECT_EQ(want.result.metrics.frames_sent(), 0u);
+}
+
+/// Submits every case up front — the daemon runs them as concurrent
+/// instances over one client connection — then collects and verifies.
+void run_cases(test::SvcDaemon& daemon, std::vector<Case> cases) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(cases.size());
+  for (const Case& c : cases) {
+    const std::uint64_t id = daemon.client().submit(c.req);
+    ASSERT_NE(id, 0u) << c.label;
+    ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE(cases[i].label);
+    const auto resp =
+        daemon.client().wait(ids[i], std::chrono::seconds(120));
+    ASSERT_TRUE(resp.has_value()) << cases[i].label << ": timeout";
+    expect_daemon_matches_sim(cases[i], *resp);
+  }
+}
+
+TEST(SvcParity, FaultFreeAcrossAllProtocols) {
+  test::SvcDaemon daemon(9);
+  ASSERT_TRUE(daemon.up());
+  run_cases(daemon, parity_cases(/*seed=*/1));
+}
+
+TEST(SvcParity, WithScriptedByzantineFaults) {
+  test::SvcDaemon daemon(9);
+  ASSERT_TRUE(daemon.up());
+  std::vector<Case> cases;
+  for (Case c : parity_cases(/*seed=*/3)) {
+    chaos::ScriptedFault silent;
+    silent.kind = chaos::ScriptedKind::kSilent;
+    silent.id = 1;
+    c.req.scripted.push_back(silent);
+    if (c.req.config.t >= 2) {
+      chaos::ScriptedFault chaotic;
+      chaotic.kind = chaos::ScriptedKind::kChaos;
+      chaotic.id = 2;
+      chaotic.seed = 99 ^ 2;  // test_util's per-id derivation
+      c.req.scripted.push_back(chaotic);
+    }
+    c.label += "+scripted";
+    cases.push_back(std::move(c));
+  }
+  run_cases(daemon, std::move(cases));
+}
+
+TEST(SvcParity, WithTransportFaultPlans) {
+  test::SvcDaemon daemon(9);
+  ASSERT_TRUE(daemon.up());
+  const std::vector<sim::FaultRule> rules = {
+      {sim::FaultKind::kDrop, 1, 2, 1},
+      {sim::FaultKind::kDuplicate, 3, sim::kAnyProc, 2},
+      {sim::FaultKind::kCorrupt, 0, 4, sim::kAnyPhase},
+  };
+  std::vector<Case> cases;
+  for (Case c : parity_cases(/*seed=*/5)) {
+    c.req.plan_seed = 1;
+    c.req.rules = rules;
+    c.label += "+plan";
+    cases.push_back(std::move(c));
+  }
+  run_cases(daemon, std::move(cases));
+}
+
+TEST(SvcParity, RejectsInvalidSubmissions) {
+  test::SvcDaemon daemon(3);
+  ASSERT_TRUE(daemon.up());
+
+  SubmitRequest bad;
+  bad.protocol = "no-such-protocol";
+  bad.config = {3, 1, 0, 1};
+  auto resp = daemon.client().run(bad, std::chrono::seconds(10));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_NE(resp->error.find("unknown protocol"), std::string::npos);
+
+  SubmitRequest too_big;
+  too_big.protocol = "dolev-strong";
+  too_big.config = {7, 2, 0, 1};  // n beyond the daemon's 3 endpoints
+  resp = daemon.client().run(too_big, std::chrono::seconds(10));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->ok);
+
+  SubmitRequest over_budget;
+  over_budget.protocol = "dolev-strong";
+  over_budget.config = {3, 1, 0, 1};
+  chaos::ScriptedFault a, b;
+  a.id = 1;
+  b.id = 2;
+  over_budget.scripted = {a, b};  // two scripted faults against t = 1
+  resp = daemon.client().run(over_budget, std::chrono::seconds(10));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->ok);
+}
+
+TEST(SvcParity, MetricsDumpExposesServiceCounters) {
+  test::SvcDaemon daemon(3);
+  ASSERT_TRUE(daemon.up());
+
+  SubmitRequest req;
+  req.protocol = "dolev-strong";
+  req.config = {3, 1, 0, 1};
+  req.seed = 7;
+  const auto resp = daemon.client().run(req, std::chrono::seconds(60));
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->ok);
+
+  const auto text = daemon.client().metrics(std::chrono::seconds(10));
+  ASSERT_TRUE(text.has_value());
+  // Prometheus text format: HELP/TYPE preambles and the counters the
+  // instance just incremented.
+  EXPECT_NE(text->find("# TYPE dr82_instances_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("dr82_instances_completed_total 1"),
+            std::string::npos);
+  EXPECT_NE(text->find("dr82_instances_failed_total 0"), std::string::npos);
+  EXPECT_NE(text->find("dr82_endpoints 3"), std::string::npos);
+  EXPECT_NE(text->find("dr82_endpoints_ready 3"), std::string::npos);
+  // The paper metrics flow into the service totals. Anchor the search at
+  // a line start so the HELP/TYPE preambles don't match first.
+  const std::string key = "\ndr82_messages_by_correct_total ";
+  const auto pos = text->find(key);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t value = static_cast<std::size_t>(
+      std::stoull(text->substr(pos + key.size())));
+  EXPECT_EQ(value, resp->metrics.messages_by_correct());
+}
+
+}  // namespace
+}  // namespace dr::svc

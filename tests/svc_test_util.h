@@ -1,0 +1,92 @@
+// Shared daemon fixture for the svc suites: an in-process coordinator,
+// E real endpoint OS processes (fork + exec of the dr82d binary the build
+// produced — SVCD_BINARY is injected by tests/CMakeLists.txt), and one
+// connected client. The endpoints being separate processes is the point:
+// these suites hold the *deployed* daemon, not a threaded stand-in, to the
+// simulator's numbers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <string>
+#include <thread>
+
+#include "svc/client.h"
+#include "svc/coordinator.h"
+#include "svc/supervisor.h"
+
+namespace dr::test {
+
+class SvcDaemon {
+ public:
+  explicit SvcDaemon(std::size_t endpoints) : endpoints_(endpoints) {
+    svc::Coordinator::Options options;
+    options.endpoints = endpoints;
+    coordinator_ = std::make_unique<svc::Coordinator>(options);
+    if (!coordinator_->bind()) {
+      ADD_FAILURE() << "svc daemon fixture: bind failed";
+      return;
+    }
+    serve_thread_ = std::thread([this] { (void)coordinator_->serve(); });
+    const std::string coord_addr =
+        "127.0.0.1:" + std::to_string(coordinator_->port());
+    for (std::size_t p = 0; p < endpoints; ++p) {
+      const pid_t pid = supervisor_.spawn(
+          {SVCD_BINARY, "endpoint", "--coord", coord_addr, "--id",
+           std::to_string(p), "--endpoints", std::to_string(endpoints)});
+      if (pid < 0) {
+        ADD_FAILURE() << "svc daemon fixture: spawn failed";
+        return;
+      }
+    }
+    if (!client_.connect("127.0.0.1", coordinator_->port(),
+                         std::chrono::seconds(10))) {
+      ADD_FAILURE() << "svc daemon fixture: client connect failed";
+      return;
+    }
+    // Wait until the whole mesh reports ready: tests (and their teardown)
+    // must race instance traffic, never the handshake.
+    const std::string ready_line =
+        "dr82_endpoints_ready " + std::to_string(endpoints);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto text = client_.metrics(std::chrono::seconds(5));
+      if (text.has_value() &&
+          text->find(ready_line) != std::string::npos) {
+        up_ = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "svc daemon fixture: endpoints never became ready";
+  }
+
+  ~SvcDaemon() {
+    if (client_.connected()) (void)client_.shutdown_server();
+    if (serve_thread_.joinable()) {
+      // The shutdown message stops the coordinator; stop() is the
+      // belt-and-braces fallback if the client never connected.
+      coordinator_->stop();
+      serve_thread_.join();
+    }
+    const std::size_t abnormal = supervisor_.wait_all();
+    EXPECT_EQ(abnormal, 0u) << "endpoint process(es) exited abnormally";
+  }
+
+  bool up() const { return up_; }
+  std::size_t endpoints() const { return endpoints_; }
+  svc::Client& client() { return client_; }
+
+ private:
+  std::size_t endpoints_;
+  std::unique_ptr<svc::Coordinator> coordinator_;
+  std::thread serve_thread_;
+  svc::Supervisor supervisor_;
+  svc::Client client_;
+  bool up_ = false;
+};
+
+}  // namespace dr::test

@@ -1,0 +1,372 @@
+// The daemon's wire protocol: every message codec round-trips exactly,
+// the shared FrameChunker delimits svc streams split at every offset and
+// leaves truncations pending at every offset, and the zero-copy kMesh
+// envelope is bit-identical to its flat encoding — the receiving side
+// cannot tell a scatter/gather send from a contiguous one.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "codec/crc32.h"
+#include "net/frame.h"
+#include "svc/wire.h"
+#include "util/bytes.h"
+
+namespace dr::svc {
+namespace {
+
+/// Decodes one sealed message and re-encodes it through `reencode`; the
+/// bytes must match exactly (decode-encode identity, field by field).
+template <typename Decode, typename Reencode>
+void expect_roundtrip(const Bytes& sealed, MsgType type, std::uint64_t id,
+                      Decode&& decode, Reencode&& reencode) {
+  // Strip the outer length | body | crc framing via the chunker the
+  // daemon itself uses.
+  net::FrameChunker chunker;
+  Bytes body;
+  std::size_t chunks = 0;
+  std::size_t poisoned = 0;
+  chunker.feed(
+      sealed,
+      [&](net::ChunkStatus status, ByteView view) {
+        ASSERT_EQ(status, net::ChunkStatus::kBody);
+        body.assign(view.begin(), view.end());
+        ++chunks;
+      },
+      poisoned);
+  ASSERT_EQ(chunks, 1u);
+  ASSERT_EQ(poisoned, 0u);
+
+  Reader r(body);
+  const auto header = read_header(r);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->type, type);
+  EXPECT_EQ(header->id, id);
+  auto decoded = decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(reencode(*decoded), sealed);
+}
+
+SubmitRequest sample_request() {
+  SubmitRequest req;
+  req.protocol = "alg3[s=2]";
+  req.config = {7, 2, 3, 41};
+  req.seed = 1234567;
+  req.plan_seed = 89;
+  chaos::ScriptedFault chaos_fault;
+  chaos_fault.kind = chaos::ScriptedKind::kChaos;
+  chaos_fault.id = 2;
+  chaos_fault.seed = 77;
+  chaos_fault.send_prob = 0.375;
+  chaos::ScriptedFault echo;
+  echo.kind = chaos::ScriptedKind::kDelayedEcho;
+  echo.id = 5;
+  echo.delay = 2;
+  req.scripted = {chaos_fault, echo};
+  req.rules = {{sim::FaultKind::kDrop, 1, 2, 1},
+               {sim::FaultKind::kCorrupt, sim::kAnyProc, 4, sim::kAnyPhase}};
+  return req;
+}
+
+sim::Metrics sample_metrics() {
+  sim::Metrics metrics(4);
+  metrics.on_send(0, 1, 1, true, 3, 100);
+  metrics.on_send(2, 3, 1, false, 1, 7);
+  metrics.on_send(1, 2, 2, true, 0, 50);
+  metrics.on_frame(true, 140);
+  metrics.on_net_health(2, 1, 4, 1);
+  metrics.on_chain_cache(10, 3);
+  return metrics;
+}
+
+TEST(SvcWire, HelloRoundTrips) {
+  Hello hello;
+  hello.role = Role::kEndpoint;
+  hello.proc = 6;
+  hello.mesh_addr = "127.0.0.1:45123";
+  expect_roundtrip(
+      encode_hello(hello), MsgType::kHello, 0,
+      [](Reader& r) { return decode_hello(r); },
+      [](const Hello& h) { return encode_hello(h); });
+}
+
+TEST(SvcWire, PeersRoundTrips) {
+  Peers peers;
+  peers.addrs = {"127.0.0.1:1", "127.0.0.1:22", "10.0.0.3:45999"};
+  expect_roundtrip(
+      encode_peers(peers), MsgType::kPeers, 0,
+      [](Reader& r) { return decode_peers(r); },
+      [](const Peers& p) { return encode_peers(p); });
+}
+
+TEST(SvcWire, SubmitRoundTripsWithFaultSurface) {
+  const SubmitRequest req = sample_request();
+  expect_roundtrip(
+      encode_submit(901, req), MsgType::kSubmit, 901,
+      [](Reader& r) { return decode_submit(r); },
+      [](const SubmitRequest& q) { return encode_submit(901, q); });
+
+  // Field-level spot checks, including the bit-exact double.
+  Bytes sealed = encode_submit(901, req);
+  // Re-decode by hand for the field assertions.
+  net::FrameChunker chunker;
+  Bytes body;
+  std::size_t poisoned = 0;
+  chunker.feed(
+      sealed,
+      [&](net::ChunkStatus, ByteView view) {
+        body.assign(view.begin(), view.end());
+      },
+      poisoned);
+  Reader r(body);
+  ASSERT_TRUE(read_header(r).has_value());
+  const auto decoded = decode_submit(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->protocol, req.protocol);
+  EXPECT_EQ(decoded->config.n, req.config.n);
+  EXPECT_EQ(decoded->config.t, req.config.t);
+  EXPECT_EQ(decoded->config.transmitter, req.config.transmitter);
+  EXPECT_EQ(decoded->config.value, req.config.value);
+  EXPECT_EQ(decoded->seed, req.seed);
+  EXPECT_EQ(decoded->plan_seed, req.plan_seed);
+  EXPECT_EQ(decoded->scripted, req.scripted);
+  EXPECT_EQ(decoded->rules, req.rules);
+}
+
+TEST(SvcWire, StartCarriesTheSameBodyAsSubmit) {
+  const SubmitRequest req = sample_request();
+  expect_roundtrip(
+      encode_start(17, req), MsgType::kStart, 17,
+      [](Reader& r) { return decode_submit(r); },
+      [](const SubmitRequest& q) { return encode_start(17, q); });
+}
+
+TEST(SvcWire, MetricsCodecIsAnIdentity) {
+  const sim::Metrics metrics = sample_metrics();
+  Writer w;
+  metrics.encode(w);
+  const Bytes first = std::move(w).take();
+  Reader r(first);
+  const auto decoded = sim::Metrics::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(r.done());
+  Writer again;
+  decoded->encode(again);
+  EXPECT_EQ(std::move(again).take(), first);
+  EXPECT_EQ(decoded->messages_by_correct(), metrics.messages_by_correct());
+  EXPECT_EQ(decoded->signatures_by_correct(),
+            metrics.signatures_by_correct());
+  EXPECT_EQ(decoded->net_send_retries(), metrics.net_send_retries());
+  EXPECT_EQ(decoded->chain_cache_hits(), metrics.chain_cache_hits());
+}
+
+TEST(SvcWire, DoneRoundTrips) {
+  EndpointDone done;
+  done.p = 3;
+  done.decided = true;
+  done.decision = 987654321;
+  done.metrics = sample_metrics();
+  done.sync.frames.accepted = 12;
+  done.sync.frames.bad_crc = 1;
+  done.sync.stragglers = 2;
+  done.sync.stale_frames = 3;
+  done.sync.disconnects = 1;
+  done.sync.link.reconnect_attempts = 5;
+  done.sync.omission_faulty = {1, 4};
+  done.perturbed = {0, 2};
+  expect_roundtrip(
+      encode_done(55, done), MsgType::kDone, 55,
+      [](Reader& r) { return decode_done(r); },
+      [](const EndpointDone& d) { return encode_done(55, d); });
+}
+
+TEST(SvcWire, DecisionRoundTrips) {
+  DecisionResponse resp;
+  resp.ok = true;
+  resp.decisions = {Value{1}, std::nullopt, Value{1}, Value{0}};
+  resp.scripted_faulty = {false, true, false, false};
+  resp.metrics = sample_metrics();
+  resp.sync.frames.accepted = 40;
+  resp.perturbed = {1};
+  resp.watchdog_fired = true;
+  resp.unfinished = {2};
+  expect_roundtrip(
+      encode_decision(7001, resp), MsgType::kDecision, 7001,
+      [](Reader& r) { return decode_decision(r); },
+      [](const DecisionResponse& d) { return encode_decision(7001, d); });
+}
+
+TEST(SvcWire, ChunkerDelimitsSvcStreamSplitAtEveryOffset) {
+  // Three sealed messages back to back; split the stream at every offset
+  // and feed the two halves. The chunker must always produce exactly the
+  // three bodies, in order, regardless of where the cut falls.
+  Bytes stream;
+  append(stream, encode_ready(4));
+  append(stream, encode_submit(12, sample_request()));
+  append(stream, encode_shutdown());
+
+  std::vector<Bytes> reference;
+  {
+    net::FrameChunker chunker;
+    std::size_t poisoned = 0;
+    chunker.feed(
+        stream,
+        [&](net::ChunkStatus status, ByteView body) {
+          ASSERT_EQ(status, net::ChunkStatus::kBody);
+          reference.emplace_back(body.begin(), body.end());
+        },
+        poisoned);
+    ASSERT_EQ(reference.size(), 3u);
+  }
+
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    net::FrameChunker chunker;
+    std::vector<Bytes> got;
+    std::size_t poisoned = 0;
+    const auto sink = [&](net::ChunkStatus status, ByteView body) {
+      ASSERT_EQ(status, net::ChunkStatus::kBody) << "cut=" << cut;
+      got.emplace_back(body.begin(), body.end());
+    };
+    chunker.feed(ByteView(stream.data(), cut), sink, poisoned);
+    chunker.feed(ByteView(stream.data() + cut, stream.size() - cut), sink,
+                 poisoned);
+    EXPECT_EQ(got, reference) << "cut=" << cut;
+    EXPECT_EQ(poisoned, 0u) << "cut=" << cut;
+    EXPECT_FALSE(chunker.poisoned()) << "cut=" << cut;
+    EXPECT_EQ(chunker.buffered(), 0u) << "cut=" << cut;
+  }
+}
+
+TEST(SvcWire, ChunkerLeavesTruncationsPendingAtEveryOffset) {
+  // A prefix of a message must never produce a body, never poison the
+  // stream, and stay buffered so the remainder completes it later.
+  const Bytes msg = encode_submit(3, sample_request());
+  for (std::size_t len = 0; len < msg.size(); ++len) {
+    net::FrameChunker chunker;
+    std::size_t bodies = 0;
+    std::size_t poisoned = 0;
+    const auto sink = [&](net::ChunkStatus status, ByteView) {
+      ASSERT_EQ(status, net::ChunkStatus::kBody);
+      ++bodies;
+    };
+    chunker.feed(ByteView(msg.data(), len), sink, poisoned);
+    EXPECT_EQ(bodies, 0u) << "len=" << len;
+    EXPECT_FALSE(chunker.poisoned()) << "len=" << len;
+    EXPECT_EQ(chunker.buffered(), len);
+    // The tail completes it.
+    chunker.feed(ByteView(msg.data() + len, msg.size() - len), sink,
+                 poisoned);
+    EXPECT_EQ(bodies, 1u) << "len=" << len;
+    EXPECT_EQ(chunker.buffered(), 0u);
+  }
+}
+
+TEST(SvcWire, ChunkerSkipsCorruptedBodyAndResyncs) {
+  // A CRC mismatch invalidates the body but not the length prefix, so the
+  // chunker reports it, skips the frame, and delimits the next one.
+  Bytes stream = encode_ready(1);
+  stream[stream.size() - 1] ^= 0xFF;  // break the CRC
+  append(stream, encode_ready(2));
+  net::FrameChunker chunker;
+  std::size_t poisoned = 0;
+  bool bad_crc = false;
+  std::size_t bodies = 0;
+  chunker.feed(
+      stream,
+      [&](net::ChunkStatus status, ByteView) {
+        if (status == net::ChunkStatus::kBadCrc) bad_crc = true;
+        if (status == net::ChunkStatus::kBody) ++bodies;
+      },
+      poisoned);
+  EXPECT_TRUE(bad_crc);
+  EXPECT_EQ(bodies, 1u);  // the follow-up message still gets through
+  EXPECT_FALSE(chunker.poisoned());
+  EXPECT_EQ(poisoned, 0u);
+}
+
+TEST(SvcWire, ChunkerPoisonsOversizedDeclaration) {
+  // A declared length beyond the cap cannot be trusted as a resync
+  // anchor: the stream is poisoned and later bytes are discarded.
+  Bytes stream;
+  put_u32le(stream, static_cast<std::uint32_t>(net::kMaxFrameBody + 5));
+  stream.resize(stream.size() + 64, 0xAB);
+  net::FrameChunker chunker;
+  std::size_t poisoned = 0;
+  bool oversized = false;
+  chunker.feed(
+      stream,
+      [&](net::ChunkStatus status, ByteView) {
+        if (status == net::ChunkStatus::kOversized) oversized = true;
+      },
+      poisoned);
+  EXPECT_TRUE(oversized);
+  EXPECT_TRUE(chunker.poisoned());
+  EXPECT_GT(poisoned, 0u);
+}
+
+TEST(SvcWire, MeshEnvelopeIsBitIdenticalToFlatEncoding) {
+  // Build an inner net frame as scatter/gather parts around a payload
+  // handle, seal it into a kMesh envelope, and compare against the flat
+  // reference: header + bytes(inner.concat()) sealed the ordinary way.
+  const sim::Payload payload(Bytes{9, 9, 9, 1, 2, 3, 4, 5});
+  const net::Frame inner{net::FrameKind::kPayload, 2, 5, 7, payload};
+  const net::WireParts inner_parts = net::encode_frame_parts(inner);
+  ASSERT_EQ(inner_parts.concat(), encode_frame(inner));
+
+  const net::WireParts sealed = seal_mesh_parts(31, inner_parts);
+
+  Writer w;
+  write_header(w, MsgType::kMesh, 31);
+  w.bytes(inner_parts.concat());
+  const Bytes flat = seal_body(std::move(w).take());
+  EXPECT_EQ(sealed.concat(), flat);
+  // The envelope holds the original payload buffer, not a copy — the
+  // zero-copy claim, checked by handle identity.
+  EXPECT_TRUE(sealed.payload.shares_buffer_with(payload));
+
+  // And the receiving side recovers the inner frame verbatim.
+  net::FrameChunker chunker;
+  Bytes body;
+  std::size_t poisoned = 0;
+  chunker.feed(
+      sealed.concat(),
+      [&](net::ChunkStatus status, ByteView view) {
+        ASSERT_EQ(status, net::ChunkStatus::kBody);
+        body.assign(view.begin(), view.end());
+      },
+      poisoned);
+  Reader r(body);
+  const auto header = read_header(r);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->type, MsgType::kMesh);
+  EXPECT_EQ(header->id, 31u);
+  const auto recovered = decode_mesh(r);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, encode_frame(inner));
+}
+
+TEST(SvcWire, RejectsWrongVersion) {
+  Bytes msg = encode_ready(1);
+  // Byte 4 is the first body byte: the svc version.
+  Writer w;
+  write_header(w, MsgType::kReady, 1);
+  Bytes body = std::move(w).take();
+  body[0] = kSvcVersion + 1;
+  const Bytes sealed = seal_body(body);
+  net::FrameChunker chunker;
+  Bytes out;
+  std::size_t poisoned = 0;
+  chunker.feed(
+      sealed,
+      [&](net::ChunkStatus, ByteView view) {
+        out.assign(view.begin(), view.end());
+      },
+      poisoned);
+  Reader r(out);
+  EXPECT_FALSE(read_header(r).has_value());
+}
+
+}  // namespace
+}  // namespace dr::svc
