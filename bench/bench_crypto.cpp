@@ -6,11 +6,13 @@
 //
 // `--json <path>` writes the summary (ns per operation and the speedup
 // ratios) for scripts/bench_compare.py.
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
 #include "ba/signed_value.h"
 #include "bench_util.h"
+#include "crypto/hash_backend.h"
 #include "crypto/key_registry.h"
 #include "crypto/sha256.h"
 #include "crypto/verify_cache.h"
@@ -220,6 +222,115 @@ void print_tables() {
                 mb / (sha_ns * 1e-9), mb / (hmac_ns * 1e-9));
     report.set("sha256_64k_ns", sha_ns);
     report.set("hmac_64k_ns", hmac_ns);
+  }
+
+  print_header(
+      "SHA-256 compression backends (runtime-dispatched)",
+      "hash_backend() picks the best the CPU supports (override with "
+      "DR82_HASH_BACKEND); every backend is bit-identical, so the fastest "
+      "one is free correctness-wise (tests/crypto_backend_test fuzzes the "
+      "equivalence)");
+  {
+    Bytes buffer(64 * 1024);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      buffer[i] = static_cast<std::uint8_t>(i * 197);
+    }
+    std::string names;
+    double scalar_ns = 0;
+    double best_simd_ns = 0;
+    std::printf("%-8s | %12s %10s\n", "backend", "64KiB ns", "MB/s");
+    for (const crypto::HashBackend* backend :
+         crypto::supported_hash_backends()) {
+      if (!names.empty()) names += ",";
+      names += backend->name;
+      crypto::select_hash_backend(backend->name);
+      const double ns = time_ns([&] {
+        crypto::Sha256 h;
+        h.update(buffer);
+        return h.finish()[0];
+      });
+      const double mb =
+          static_cast<double>(buffer.size()) / (1024.0 * 1024.0);
+      std::printf("%-8s | %12.0f %10.2f\n", backend->name, ns,
+                  mb / (ns * 1e-9));
+      report.set(std::string("sha256_64k_") + backend->name + "_ns", ns);
+      if (std::string(backend->name) == "scalar") {
+        scalar_ns = ns;
+      } else if (best_simd_ns == 0 || ns < best_simd_ns) {
+        best_simd_ns = ns;
+      }
+    }
+    crypto::select_hash_backend("auto");
+    report.set_meta("hash_backends", names);
+    report.set_meta("hash_backend", crypto::hash_backend().name);
+    if (best_simd_ns > 0) {
+      const double x = scalar_ns / best_simd_ns;
+      std::printf("best SIMD vs scalar: %.2fx\n", x);
+      // "simd" in the key tells bench_compare.py to skip this gate on
+      // machines whose meta.hash_backends has no SIMD backend at all.
+      report.set("simd_sha256_speedup", x);
+    } else {
+      std::printf("no SIMD backend on this CPU; scalar only\n");
+    }
+  }
+
+  print_header(
+      "Batch verification: a 64-message phase inbox",
+      "ba::prewarm_inbox collects every chain link of an inbox and "
+      "verifies them through one crypto::verify_batch call — HMAC links "
+      "are exactly two one-block compressions from the key's pad "
+      "midstates, so multi-buffer lanes apply; the baseline verifies the "
+      "same links one scheme call at a time");
+  {
+    constexpr std::size_t kInbox = 64;
+    std::vector<crypto::Digest> covered(kInbox);
+    std::vector<Bytes> sigs(kInbox);
+    std::vector<crypto::VerifyRequest> requests(kInbox);
+    crypto::KeyRegistry batch_scheme(n, /*seed=*/2);
+    for (std::size_t i = 0; i < kInbox; ++i) {
+      // One chain link per message: a signature over a 32-byte prefix
+      // digest, exactly the shape the prewarm pass batches.
+      covered[i] = crypto::sha256(encode_u64(1000 + i));
+      const crypto::ProcId p = static_cast<crypto::ProcId>(i % n);
+      sigs[i] = batch_scheme.sign(
+          p, ByteView{covered[i].data(), covered[i].size()});
+      requests[i].signer = p;
+      requests[i].sig = sigs[i];
+      requests[i].covered = covered[i];
+      requests[i].extended = crypto::sha256(sigs[i]);
+    }
+    std::printf("%-8s | %14s %14s | %8s\n", "backend", "per-msg ns",
+                "batch ns", "batch x");
+    double best_x = 0;
+    for (const crypto::HashBackend* backend :
+         crypto::supported_hash_backends()) {
+      crypto::select_hash_backend(backend->name);
+      const double seq_ns = time_ns([&] {
+        bool all = true;
+        for (std::size_t i = 0; i < kInbox; ++i) {
+          all = all && batch_scheme.verify(
+                           requests[i].signer,
+                           ByteView{covered[i].data(), covered[i].size()},
+                           ByteView{sigs[i].data(), sigs[i].size()});
+        }
+        return all;
+      });
+      const double batch_ns = time_ns([&] {
+        std::vector<crypto::VerifyRequest> work = requests;
+        crypto::verify_batch(batch_scheme, nullptr, work.data(),
+                             work.size());
+        return work[0].ok;
+      });
+      const double x = seq_ns / batch_ns;
+      std::printf("%-8s | %14.0f %14.0f | %7.2fx\n", backend->name, seq_ns,
+                  batch_ns, x);
+      const std::string stem = std::string("_inbox64_") + backend->name;
+      report.set("verify" + stem + "_per_msg_ns", seq_ns);
+      report.set("verify" + stem + "_batch_ns", batch_ns);
+      best_x = std::max(best_x, x);
+    }
+    crypto::select_hash_backend("auto");
+    report.set("simd_batch_verify_speedup_64", best_x);
   }
 
   if (!g_json_path.empty()) report.write(g_json_path);

@@ -2,9 +2,12 @@
 // across worker-thread counts. Results are bit-identical by construction
 // (see parallel_test); this table shows what the parallelism buys on the
 // heavier workloads.
+#include <atomic>
 #include <chrono>
+#include <thread>
 
 #include "bench_util.h"
+#include "svc/instance_pool.h"
 
 namespace dr::bench {
 namespace {
@@ -19,6 +22,8 @@ double time_once(const Protocol& protocol, const BAConfig& config,
   benchmark::DoNotOptimize(result.metrics.messages_by_correct());
   return std::chrono::duration<double, std::milli>(end - begin).count();
 }
+
+void print_instance_table(JsonReport& report);
 
 void print_tables(const std::string& json_path) {
   print_header("Parallel phase execution (bit-identical to serial)",
@@ -43,7 +48,9 @@ void print_tables(const std::string& json_path) {
                   2000, 8});
   jobs.push_back({"alg5[s=7]", "alg5", ba::make_alg5_protocol(7), 800, 8});
   JsonReport report;
-  report.set_meta("threads", "4");  // max worker count the table sweeps
+  // Max worker count the tables sweep (phase runner and instance pool).
+  report.set_meta("cores_used", "4");
+  report.set_meta("threads", "4");
   for (const Job& job : jobs) {
     const BAConfig config{job.n, job.t, 0, 1};
     const double t1 = time_once(job.protocol, config, 1);
@@ -56,7 +63,60 @@ void print_tables(const std::string& json_path) {
     report.set("parallel_best_" + job.key + "_ms", std::min(t2, t4));
     report.set("parallel_speedup_" + job.key, speedup);
   }
+  print_instance_table(report);
   if (!json_path.empty()) report.write(json_path);
+}
+
+/// Wall-clock seconds to push `instances` whole simulator runs through a
+/// fixed-size svc::InstancePool — the same executor the daemon endpoints
+/// use, here driving complete in-memory instances instead of endpoint
+/// shares. The pool has no drain call on purpose (the daemon completes
+/// instances through its reactor), so the bench spins on a counter.
+double pool_seconds(std::size_t workers, std::size_t instances,
+                    const Protocol& protocol, const BAConfig& config) {
+  svc::InstancePool pool(workers);
+  std::atomic<std::size_t> done{0};
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < instances; ++i) {
+    pool.submit([&, i] {
+      benchmark::DoNotOptimize(
+          ba::run_scenario(protocol, config, /*seed=*/1 + i));
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  while (done.load(std::memory_order_acquire) < instances) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+void print_instance_table(JsonReport& report) {
+  print_header(
+      "Instance-sharded executor (svc::InstancePool)",
+      "N concurrent agreement instances share a fixed worker pool instead "
+      "of a thread each; throughput scales with workers up to the host "
+      "core count while per-instance results stay bit-identical");
+  const Protocol protocol = *ba::find_protocol("dolev-strong");
+  const BAConfig config{20, 3, 0, 1};
+  constexpr std::size_t kInstances = 64;
+  std::printf("%-10s %9s | %9s %14s\n", "workers", "instances", "sec",
+              "instances/sec");
+  double serial_s = 0;
+  double best_s = 0;
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const double s = pool_seconds(workers, kInstances, protocol, config);
+    std::printf("%-10zu %9zu | %9.2f %14.1f\n", workers, kInstances, s,
+                static_cast<double>(kInstances) / s);
+    if (workers == 1) serial_s = s;
+    if (best_s == 0 || s < best_s) best_s = s;
+  }
+  report.set("instances_per_sec", static_cast<double>(kInstances) / best_s);
+  // "parallel" in the key: bench_compare.py skips this gate on machines
+  // with too few cores for pool parallelism to be meaningful.
+  report.set("parallel_speedup_instances", serial_s / best_s);
 }
 
 void register_timings() {

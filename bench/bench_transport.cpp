@@ -6,6 +6,7 @@
 // outcome costs per backend.
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "net/harness.h"
@@ -110,15 +111,32 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[rank];
 }
 
-void print_daemon_table() {
+/// Pulls `name value` out of a Prometheus text dump; -1 when absent. Only
+/// samples count — a `# HELP name ...` header also has the name followed
+/// by a space, so the match must sit at the start of its line.
+double prom_value(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const bool line_start = pos == 0 || text[pos - 1] == '\n';
+    const std::size_t after = pos + name.size();
+    pos = after;
+    if (!line_start) continue;
+    if (after >= text.size() || text[after] != ' ') continue;
+    return std::strtod(text.c_str() + after + 1, nullptr);
+  }
+  return -1;
+}
+
+void print_daemon_table(JsonReport& report) {
   print_header(
       "Agreement daemon: concurrent instances over one listener",
-      "dr82d with real endpoint processes; every instance's decision and "
-      "metrics equal the simulator's (tests/svc_parity_test) — this table "
-      "is what multiplexing them over one socket mesh costs");
+      "dr82d endpoints run instances on a fixed worker pool "
+      "(svc::InstancePool) over one shared striped verify store; every "
+      "instance's decision and metrics equal the simulator's "
+      "(tests/svc_parity_test) — this sweep is what that multiplexing "
+      "sustains");
 
   constexpr std::size_t kEndpoints = 5;
-  constexpr std::size_t kInstances = 128;
   const BAConfig config{kEndpoints, 1, 0, 1};
 
   svc::Coordinator::Options coptions;
@@ -153,44 +171,80 @@ void print_daemon_table() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
 
-    // One waiter thread per instance, all in flight at once over the one
-    // client connection: submit, block on the decision, record latency.
-    std::vector<double> latencies(kInstances, 0);
-    std::atomic<std::size_t> failures{0};
-    const auto begin = std::chrono::steady_clock::now();
-    std::vector<std::thread> waiters;
-    waiters.reserve(kInstances);
-    for (std::size_t i = 0; i < kInstances; ++i) {
-      waiters.emplace_back([&, i] {
-        svc::SubmitRequest req;
-        req.protocol = "dolev-strong";
-        req.config = config;
-        req.seed = 1000 + i;
-        const auto sent = std::chrono::steady_clock::now();
-        const auto resp = client.run(req, std::chrono::seconds(120));
-        const auto got = std::chrono::steady_clock::now();
-        if (!resp.has_value() || !resp->ok || resp->watchdog_fired) {
-          failures.fetch_add(1, std::memory_order_relaxed);
-          return;
-        }
-        latencies[i] =
-            std::chrono::duration<double, std::milli>(got - sent).count();
-      });
-    }
-    for (std::thread& w : waiters) w.join();
-    const auto end = std::chrono::steady_clock::now();
-    const double total_s =
-        std::chrono::duration<double>(end - begin).count();
-
-    std::sort(latencies.begin(), latencies.end());
     std::printf(
         "%-28s %9s %9s | %8s %8s %8s | %14s\n", "workload", "instances",
         "failures", "p50 ms", "p95 ms", "p99 ms", "instances/sec");
-    std::printf("%-28s %9zu %9zu | %8.2f %8.2f %8.2f | %14.1f\n",
-                "dolev-strong n=5 t=1", kInstances, failures.load(),
-                percentile(latencies, 50), percentile(latencies, 95),
-                percentile(latencies, 99),
-                static_cast<double>(kInstances) / total_s);
+    std::uint64_t seed_base = 1000;
+    for (const std::size_t batch :
+         {std::size_t{32}, std::size_t{128}, std::size_t{512}}) {
+      // One waiter thread per instance, all in flight at once over the
+      // one client connection: submit, block on the decision, record
+      // latency. The endpoints' pools admit them FIFO, so any batch size
+      // is deadlock-free regardless of pool size.
+      std::vector<double> latencies(batch, 0);
+      std::atomic<std::size_t> failures{0};
+      const auto begin = std::chrono::steady_clock::now();
+      std::vector<std::thread> waiters;
+      waiters.reserve(batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        waiters.emplace_back([&, i, seed_base] {
+          svc::SubmitRequest req;
+          req.protocol = "dolev-strong";
+          req.config = config;
+          req.seed = seed_base + i;
+          const auto sent = std::chrono::steady_clock::now();
+          const auto resp = client.run(req, std::chrono::seconds(300));
+          const auto got = std::chrono::steady_clock::now();
+          if (!resp.has_value() || !resp->ok || resp->watchdog_fired) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          latencies[i] =
+              std::chrono::duration<double, std::milli>(got - sent)
+                  .count();
+        });
+      }
+      for (std::thread& w : waiters) w.join();
+      const auto end = std::chrono::steady_clock::now();
+      const double total_s =
+          std::chrono::duration<double>(end - begin).count();
+      seed_base += batch;
+
+      std::sort(latencies.begin(), latencies.end());
+      const double per_sec = static_cast<double>(batch) / total_s;
+      char label[64];
+      std::snprintf(label, sizeof(label), "dolev-strong n=5 t=1 x%zu",
+                    batch);
+      std::printf("%-28s %9zu %9zu | %8.2f %8.2f %8.2f | %14.1f\n", label,
+                  batch, failures.load(), percentile(latencies, 50),
+                  percentile(latencies, 95), percentile(latencies, 99),
+                  per_sec);
+      report.set("instances_per_sec_" + std::to_string(batch), per_sec);
+      report.set_count("daemon_failures_" + std::to_string(batch),
+                       failures.load());
+    }
+
+    // The striped verify store, from the daemon's own Prometheus dump:
+    // endpoint-cumulative per-stripe counters summed by the coordinator.
+    const auto text = client.metrics(std::chrono::seconds(5));
+    if (text.has_value()) {
+      const double hits =
+          prom_value(*text, "dr82_verify_stripe_hits_total");
+      const double misses =
+          prom_value(*text, "dr82_verify_stripe_misses_total");
+      const double stripes = prom_value(*text, "dr82_verify_stripes");
+      if (hits >= 0 && misses >= 0 && hits + misses > 0) {
+        const double rate = hits / (hits + misses);
+        std::printf(
+            "striped verify store: %.0f stripes, %.0f hits / %.0f misses "
+            "(hit rate %.1f%%)\n",
+            stripes, hits, misses, 100.0 * rate);
+        report.set("daemon_verify_stripe_hit_rate", rate);
+        report.set("daemon_verify_stripes", stripes);
+      } else {
+        std::printf("striped verify store: no counters in metrics dump\n");
+      }
+    }
   } else {
     std::printf("  daemon bring-up failed; skipping\n");
   }
@@ -221,9 +275,15 @@ void register_timings() {
 }  // namespace dr::bench
 
 int main(int argc, char** argv) {
+  const std::string json_path = dr::bench::take_json_flag(argc, argv);
+  dr::bench::JsonReport report;
+  // Waiter threads and the endpoint pools are as parallel as the host.
+  report.set_meta("cores_used",
+                  std::to_string(std::thread::hardware_concurrency()));
   dr::bench::print_tables();
   dr::bench::print_churn_table();
-  dr::bench::print_daemon_table();
+  dr::bench::print_daemon_table(report);
+  if (!json_path.empty()) report.write(json_path);
   dr::bench::register_timings();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -144,10 +144,20 @@ inline std::string git_sha() {
 class JsonReport {
  public:
   JsonReport() {
+    // Detected vs used are recorded separately on purpose: machine-
+    // dependent numbers (parallel speedups, instances/sec) are only
+    // comparable between reports whose cores_used match, and
+    // scripts/bench_compare.py refuses to gate a multi-core baseline
+    // against a fewer-core artifact instead of silently regressing.
+    set_meta("cores_detected",
+             std::to_string(std::thread::hardware_concurrency()));
+    // Worker threads the measurements actually used; serial binaries keep
+    // the default, bench_parallel/bench_transport override.
+    set_meta("cores_used", "1");
+    // Back-compat aliases for older reports/tools ("cores" used to mean
+    // detected, "threads" used).
     set_meta("cores",
              std::to_string(std::thread::hardware_concurrency()));
-    // Runner worker threads used by the measurements; serial binaries keep
-    // the default, bench_parallel overrides with its max thread count.
     set_meta("threads", "1");
     set_meta("git_sha", git_sha());
   }

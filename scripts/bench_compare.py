@@ -22,8 +22,12 @@ matching metric in CURRENT is below 1.2 (fnmatch patterns).
 Parallel speedup keys (name contains "parallel") are only meaningful on
 multi-core machines; relative gates and floors are both skipped — with a
 visible note — unless the report(s) involved ran on >= 4 cores
-(meta.cores). A single-core run (cores == "1") therefore never fails a
-parallel gate.
+(meta.cores_used, falling back to the older meta.threads/meta.cores). A
+single-core run therefore never fails a parallel gate, and a baseline
+measured with more worker threads than the current run is never compared
+against it. SIMD speedup keys (name contains "simd") are likewise skipped
+when either report's meta.hash_backends shows the machine had no SIMD
+SHA-256 backend (neither shani nor avx2).
 
 Exit status: 0 when no gated metric regressed, 1 otherwise. Stdlib only.
 """
@@ -40,11 +44,45 @@ def load(path):
     return report.get("meta", {}), report.get("metrics", {})
 
 
-def cores(meta):
-    try:
-        return int(meta.get("cores", 0))
-    except (TypeError, ValueError):
-        return 0
+def _meta_int(meta, keys):
+    for key in keys:
+        try:
+            return int(meta[key])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return 0
+
+
+def cores_used(meta):
+    """Worker threads the run budgeted: cores_used, else legacy keys."""
+    return _meta_int(meta, ("cores_used", "threads", "cores"))
+
+
+def cores_detected(meta):
+    """Physical cores the machine had: cores_detected, else legacy
+    "cores". A bench may budget 4 workers on a 1-core host; what decides
+    whether a parallel speedup is meaningful is the smaller of the two."""
+    return _meta_int(meta, ("cores_detected", "cores"))
+
+
+def parallel_capacity(meta):
+    detected = cores_detected(meta)
+    used = cores_used(meta)
+    if detected == 0:
+        return used
+    if used == 0:
+        return detected
+    return min(detected, used)
+
+
+def has_simd(meta):
+    """True when the report's machine had a SIMD SHA-256 backend. Reports
+    written before meta.hash_backends existed are assumed capable (the
+    gate then behaves as it always did)."""
+    backends = meta.get("hash_backends")
+    if backends is None:
+        return True
+    return "shani" in backends or "avx2" in backends
 
 
 def main():
@@ -77,10 +115,30 @@ def main():
 
     def parallel_skip_note(meta, which):
         """Why a parallel gate can't run on `meta`'s machine, or None."""
-        if cores(meta) == 1:
-            return f"single-core {which} machine (meta.cores == \"1\")"
-        if cores(meta) < 4:
-            return f"{which} machine has < 4 cores"
+        if parallel_capacity(meta) == 1:
+            return (f"single-core {which} run (min of cores_detected "
+                    f"and cores_used == 1)")
+        if parallel_capacity(meta) < 4:
+            return f"{which} run had < 4 usable cores"
+        return None
+
+    def simd_skip_note(meta, which):
+        """Why a SIMD gate can't run on `meta`'s machine, or None."""
+        if not has_simd(meta):
+            return (f"{which} machine has no SIMD SHA-256 backend "
+                    f"(meta.hash_backends = "
+                    f"{meta.get('hash_backends')!r})")
+        return None
+
+    def cores_mismatch_note(key):
+        """A parallel baseline from a beefier machine must not silently
+        gate (or excuse) a weaker current run; skip visibly instead."""
+        if "parallel" not in key:
+            return None
+        base_used, cur_used = cores_used(base_meta), cores_used(cur_meta)
+        if base_used != cur_used and min(base_used, cur_used) >= 4:
+            return (f"baseline used {base_used} cores, current "
+                    f"{cur_used}; not comparable")
         return None
 
     regressions = []
@@ -96,7 +154,14 @@ def main():
             continue
         if is_speedup and "parallel" in key:
             note = (parallel_skip_note(base_meta, "baseline")
-                    or parallel_skip_note(cur_meta, "current"))
+                    or parallel_skip_note(cur_meta, "current")
+                    or cores_mismatch_note(key))
+            if note is not None:
+                skipped.append((key, note))
+                continue
+        if is_speedup and "simd" in key:
+            note = (simd_skip_note(base_meta, "baseline")
+                    or simd_skip_note(cur_meta, "current"))
             if note is not None:
                 skipped.append((key, note))
                 continue
@@ -131,6 +196,11 @@ def main():
             matched = True
             if "parallel" in key:
                 note = parallel_skip_note(cur_meta, "current")
+                if note is not None:
+                    skipped.append((key, f"floor {floor_value:g}: {note}"))
+                    continue
+            if "simd" in key:
+                note = simd_skip_note(cur_meta, "current")
                 if note is not None:
                     skipped.append((key, f"floor {floor_value:g}: {note}"))
                     continue

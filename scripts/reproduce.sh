@@ -32,6 +32,11 @@ timeout 240 "$BUILD"/src/dr82d smoke --endpoints 5
 # cases, differentially across sim / in-process / TCP (EXPERIMENTS.md E12).
 ctest --test-dir "$BUILD" -L conf -j"$(nproc)" --output-on-failure
 "$BUILD"/examples/conformance run --cases 200 --seed 1
+# Crypto backends: every SHA-256 implementation the machine supports
+# (scalar, SHA-NI, AVX2 multi-buffer) must be bit-identical, and batched
+# verification must match the sequential loop verdict-for-verdict
+# (EXPERIMENTS.md E13/E14).
+ctest --test-dir "$BUILD" -L crypto -j"$(nproc)" --output-on-failure
 # Benchmarks. bench_crypto and bench_headline also regenerate the JSON
 # summaries committed at the repo root; scripts/bench_compare.py gates the
 # machine-independent speedup ratios in them against a baseline.

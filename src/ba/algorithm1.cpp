@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "ba/valid_message.h"
+
 #include "util/contracts.h"
 
 namespace dr::ba {
@@ -80,6 +82,7 @@ void Algorithm1::on_phase(sim::Context& ctx) {
 
   if (committed_one_) return;  // only the *first* correct 1-message matters
 
+  prewarm_inbox(ctx);
   for (const sim::Envelope& env : ctx.inbox()) {
     // Only messages sent by phase t+2 count for the decision.
     if (env.sent_phase > t + 2) continue;
@@ -135,6 +138,7 @@ void Algorithm1MV::on_phase(sim::Context& ctx) {
     return;
   }
 
+  prewarm_inbox(ctx);
   for (const sim::Envelope& env : ctx.inbox()) {
     if (env.sent_phase > t + 2) continue;
     const auto sv = decode_signed_value(env.payload);

@@ -57,6 +57,7 @@ void Algorithm2::on_phase(sim::Context& ctx) {
   // Proof-building: collect increasing messages and possession proofs.
   // (Commitments are final from step t+3 on: the last Algorithm-1 message
   // was sent at phase t+2.)
+  prewarm_inbox(ctx);
   for (const sim::Envelope& env : ctx.inbox()) {
     if (env.sent_phase <= t + 2) continue;  // an Algorithm-1 leftover
     const auto sv = decode_signed_value(env.payload);

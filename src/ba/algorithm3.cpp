@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "ba/valid_message.h"
+
 #include "util/contracts.h"
 
 namespace dr::ba {
@@ -63,6 +65,7 @@ void Algorithm3::active_phase(sim::Context& ctx) {
     // Last phase: repair members whose signature the root failed to show.
     // covered[set] = members of `set` proven informed by some root report.
     std::map<std::size_t, std::set<ProcId>> covered;
+    prewarm_inbox(ctx);
     for (const sim::Envelope& env : ctx.inbox()) {
       if (layout_.is_active(env.from)) continue;
       if (layout_.index_in_set(env.from) != 1) continue;  // roots only
@@ -99,6 +102,7 @@ void Algorithm3::root_phase(sim::Context& ctx) {
   if (phase == t + 4) {
     std::map<Value, std::set<ProcId>> support;
     std::map<Value, SignedValue> sample;
+    prewarm_inbox(ctx);
     for (const sim::Envelope& env : ctx.inbox()) {
       if (!layout_.is_active(env.from) || env.sent_phase != t + 3) continue;
       const auto sv = decode_signed_value(env.payload);
@@ -120,6 +124,7 @@ void Algorithm3::root_phase(sim::Context& ctx) {
   // delivered at t+2j). Accept only our current m extended by exactly the
   // expected member's signature.
   if (m_.has_value() && phase >= t + 6) {
+    prewarm_inbox(ctx);
     for (const sim::Envelope& env : ctx.inbox()) {
       if (env.sent_phase + 1 != phase) continue;
       if (env.sent_phase < t + 5 || env.sent_phase % 2 != (t + 5) % 2)
@@ -167,6 +172,7 @@ void Algorithm3::member_phase(sim::Context& ctx) {
   if (phase == t + 2 * j + 1) {
     std::optional<SignedValue> unique;
     bool ambiguous = false;
+    prewarm_inbox(ctx);
     for (const sim::Envelope& env : ctx.inbox()) {
       if (env.from != root || env.sent_phase + 1 != phase) continue;
       const auto sv = decode_signed_value(env.payload);
@@ -195,6 +201,7 @@ void Algorithm3::member_phase(sim::Context& ctx) {
   // Final step: count direct repairs from actives (sent at t+2s+3).
   if (phase == t + 2 * layout_.s + 4) {
     std::map<Value, std::set<ProcId>> support;
+    prewarm_inbox(ctx);
     for (const sim::Envelope& env : ctx.inbox()) {
       if (!layout_.is_active(env.from)) continue;
       const auto sv = decode_signed_value(env.payload);

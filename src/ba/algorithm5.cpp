@@ -181,6 +181,8 @@ void Algorithm5Active::on_phase(sim::Context& ctx) {
   const PhaseNum phase = ctx.phase();
   const std::size_t t = config_.t;
 
+  prewarm_inbox(ctx);
+
   if (inner_ && phase <= 3 * t + 4) inner_->on_phase(ctx);
   if (inner_ && phase == 3 * t + 4) {
     valid_ = valid_from_proof(*inner_, self_, ctx.signer());
@@ -369,6 +371,7 @@ void Algorithm5Passive::member_role(sim::Context& ctx) {
 }
 
 void Algorithm5Passive::on_phase(sim::Context& ctx) {
+  prewarm_inbox(ctx);
   scan_for_decision(ctx);
   root_role(ctx);
   member_role(ctx);
@@ -396,6 +399,8 @@ Algorithm2Ext::Algorithm2Ext(ProcId self, const BAConfig& config,
 void Algorithm2Ext::on_phase(sim::Context& ctx) {
   const std::size_t t = config_.t;
   const PhaseNum phase = ctx.phase();
+
+  prewarm_inbox(ctx);
   if (inner_) {
     if (phase <= 3 * t + 4) inner_->on_phase(ctx);
     if (phase == 3 * t + 4 && self_ <= t) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ba/valid_message.h"
+
 namespace dr::ba {
 
 namespace {
@@ -47,6 +49,7 @@ void DolevStrongBroadcast::on_phase(sim::Context& ctx) {
     return;  // the transmitter never extracts other values
   }
 
+  prewarm_inbox(ctx);
   for (const sim::Envelope& env : ctx.inbox()) {
     const auto sv = decode_signed_value(env.payload);
     if (!sv || !chain_ok(*sv, env, ctx, config_.transmitter)) continue;
@@ -125,6 +128,7 @@ void DolevStrongRelay::on_phase(sim::Context& ctx) {
     return;
   }
 
+  prewarm_inbox(ctx);
   for (const sim::Envelope& env : ctx.inbox()) {
     const auto sv = decode_signed_value(env.payload);
     if (!sv || !chain_ok(*sv, env, ctx, config_.transmitter)) continue;

@@ -27,15 +27,11 @@ void absorb_varint(crypto::Sha256& h, std::uint64_t v) {
 }
 
 void absorb_head(crypto::Sha256& h, Value value) {
-  absorb_varint(h, kChainDomain.size());
-  h.update(as_bytes(kChainDomain));
-  absorb_varint(h, value);
+  detail::absorb_chain_head(h, value);
 }
 
 void absorb_signature(crypto::Sha256& h, const crypto::Signature& sig) {
-  absorb_varint(h, sig.signer);
-  absorb_varint(h, sig.sig.size());
-  h.update(sig.sig);
+  detail::absorb_signature_raw(h, sig.signer, sig.sig);
 }
 
 ByteView digest_view(const crypto::Digest& d) {
@@ -143,6 +139,22 @@ bool contains_signer(const SignedValue& sv, ProcId p) {
   return std::any_of(sv.chain.begin(), sv.chain.end(),
                      [p](const crypto::Signature& s) { return s.signer == p; });
 }
+
+namespace detail {
+
+void absorb_chain_head(crypto::Sha256& h, Value value) {
+  absorb_varint(h, kChainDomain.size());
+  h.update(as_bytes(kChainDomain));
+  absorb_varint(h, value);
+}
+
+void absorb_signature_raw(crypto::Sha256& h, ProcId signer, ByteView sig) {
+  absorb_varint(h, signer);
+  absorb_varint(h, sig.size());
+  h.update(sig);
+}
+
+}  // namespace detail
 
 hist::LabelPrinter chain_label_printer() {
   return [](const Bytes& label) {

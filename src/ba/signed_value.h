@@ -76,4 +76,16 @@ bool contains_signer(const SignedValue& sv, ProcId p);
 /// chains ("v=1 sig[0,2]"), falling back to a byte count.
 hist::LabelPrinter chain_label_printer();
 
+namespace detail {
+
+/// The exact absorption steps verify_chain/chain_prefix_digest perform,
+/// exposed so ba::prewarm_inbox can stream chain prefixes from an in-place
+/// parse (signer id + signature bytes view) without materialising Signature
+/// values. Any drift between these and the internal helpers would silently
+/// split the digest space, so they ARE the internal helpers.
+void absorb_chain_head(crypto::Sha256& h, Value value);
+void absorb_signature_raw(crypto::Sha256& h, ProcId signer, ByteView sig);
+
+}  // namespace detail
+
 }  // namespace dr::ba

@@ -1,6 +1,10 @@
 #include "ba/valid_message.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "crypto/verify_cache.h"
+#include "util/arena.h"
 
 namespace dr::ba {
 
@@ -11,6 +15,129 @@ std::size_t distinct_count(std::vector<ProcId> ids) {
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids.size();
+}
+
+// ---------------------------------------------------------------------------
+// prewarm_inbox: in-place chain parsing + batched verification planning.
+
+/// One signature of a chain, viewed in place inside the payload buffer.
+struct ParsedSig {
+  ProcId signer = 0;
+  ByteView sig;
+};
+
+template <typename T>
+using ArenaVec = std::vector<T, ArenaAllocator<T>>;
+
+/// Minimal in-place mirror of codec::Reader for walking candidate
+/// SignedValue wire images without copying signature bytes out. The varint
+/// rules (termination, 64-bit overflow rejection) match Reader::varint
+/// exactly so this accepts precisely the inputs decode_signed_value accepts.
+struct Cursor {
+  const std::uint8_t* p = nullptr;
+  const std::uint8_t* end = nullptr;
+  bool ok = true;
+
+  explicit Cursor(ByteView data)
+      : p(data.data()), end(data.data() + data.size()) {}
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (!ok || p == end || shift >= 64) {
+        ok = false;
+        return 0;
+      }
+      const std::uint8_t b = *p++;
+      if (shift == 63 && (b & 0x7e) != 0) {
+        ok = false;
+        return 0;
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  ByteView take(std::uint64_t n) {
+    if (!ok || n > remaining()) {
+      ok = false;
+      return {};
+    }
+    const ByteView out{p, static_cast<std::size_t>(n)};
+    p += n;
+    return out;
+  }
+
+  std::uint64_t remaining() const {
+    return static_cast<std::uint64_t>(end - p);
+  }
+  bool done() const { return ok && p == end; }
+};
+
+/// Parses `image` as a complete SignedValue wire image (value, signature
+/// count, signatures), appending in-place signature views to `sigs`. Accepts
+/// exactly what decode_signed_value accepts — same varint, sequence-guard,
+/// and signature-size rules — and rejects anything else, so the prepass and
+/// the protocol's own decode agree on which messages carry chains.
+bool parse_chain_image(ByteView image, Value* value, ArenaVec<ParsedSig>* sigs) {
+  Cursor c(image);
+  const Value v = c.varint();
+  const std::uint64_t count = c.varint();
+  if (!c.ok || count > c.remaining()) return false;  // Reader::seq guard
+  const std::size_t base = sigs->size();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t signer = c.varint();
+    if (!c.ok || signer > 0xffffffffULL) break;  // Reader::u32 range check
+    const ByteView sig = c.take(c.varint());
+    if (!c.ok || sig.empty() || sig.size() > crypto::kMaxSignatureSize) {
+      c.ok = false;
+      break;
+    }
+    sigs->push_back(ParsedSig{static_cast<ProcId>(signer), sig});
+  }
+  if (!c.done()) {
+    sigs->resize(base);
+    return false;
+  }
+  *value = v;
+  return true;
+}
+
+/// The planning half of verify_chain's cached walk: probes (without
+/// counting) each link of one parsed chain and appends a VerifyRequest for
+/// every link the cache cannot answer. The hash stream lags at `streamed`
+/// absorbed signatures, exactly like verify_chain, so probe hits cost zero
+/// hashing and each signature is absorbed at most once. Extended digests
+/// are content addresses — they do not depend on whether the link's
+/// signature turns out valid — so the whole chain can be planned up front.
+void plan_chain(crypto::VerifyCache& cache, Value value,
+                const ParsedSig* sigs, std::size_t count,
+                ArenaVec<crypto::VerifyRequest>* requests) {
+  if (count == 0) return;
+  crypto::Sha256 h;
+  detail::absorb_chain_head(h, value);
+  crypto::Digest covered = h.peek();
+  std::size_t streamed = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ParsedSig& s = sigs[i];
+    if (const auto extended = cache.probe(s.signer, covered, s.sig)) {
+      covered = *extended;
+      continue;
+    }
+    while (streamed < i) {
+      detail::absorb_signature_raw(h, sigs[streamed].signer,
+                                   sigs[streamed].sig);
+      ++streamed;
+    }
+    detail::absorb_signature_raw(h, s.signer, s.sig);
+    streamed = i + 1;
+    const crypto::Digest extended = h.peek();
+    requests->push_back(
+        crypto::VerifyRequest{s.signer, s.sig, covered, extended});
+    covered = extended;
+  }
 }
 
 }  // namespace
@@ -35,6 +162,46 @@ bool is_possession_proof(const SignedValue& sv,
     if (sig.signer != holder) others.push_back(sig.signer);
   }
   return distinct_count(std::move(others)) >= t;
+}
+
+void prewarm_inbox(sim::Context& ctx) {
+  crypto::VerifyCache* cache = ctx.chain_cache();
+  if (cache == nullptr || !ctx.claim_prewarm()) return;
+  const crypto::SignatureScheme* scheme = ctx.verifier().scheme();
+  if (scheme == nullptr) return;
+
+  // Phase scratch: the request array and per-message signature views bump-
+  // allocate out of one arena that is recycled every phase, so a steady-
+  // state inbox batch performs no heap allocation here at all.
+  thread_local Arena arena;
+  arena.reset();
+  ArenaVec<crypto::VerifyRequest> requests{
+      ArenaAllocator<crypto::VerifyRequest>(&arena)};
+  ArenaVec<ParsedSig> sigs{ArenaAllocator<ParsedSig>(&arena)};
+
+  for (const sim::Envelope& env : ctx.inbox()) {
+    const ByteView payload = env.payload.view();
+    Value value = 0;
+    sigs.clear();
+    if (parse_chain_image(payload, &value, &sigs)) {
+      plan_chain(*cache, value, sigs.data(), sigs.size(), &requests);
+      continue;
+    }
+    // Framed shape: a length-prefixed chain image at the head of the
+    // payload with a protocol-specific trailer after it (Algorithm 5's
+    // encode_alg5). The trailer's own contents are left to the protocol.
+    Cursor c(payload);
+    const ByteView image = c.take(c.varint());
+    if (!c.ok) continue;
+    sigs.clear();
+    if (parse_chain_image(image, &value, &sigs)) {
+      plan_chain(*cache, value, sigs.data(), sigs.size(), &requests);
+    }
+  }
+
+  if (!requests.empty()) {
+    crypto::verify_batch(*scheme, cache, requests.data(), requests.size());
+  }
 }
 
 }  // namespace dr::ba

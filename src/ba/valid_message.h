@@ -1,7 +1,9 @@
-// Message-validity predicates shared by Algorithms 2, 3 and 5.
+// Message-validity predicates shared by Algorithms 2, 3 and 5, and the
+// batched signature-verification prepass every protocol runs over its inbox.
 #pragma once
 
 #include "ba/signed_value.h"
+#include "sim/process.h"
 
 namespace dr::ba {
 
@@ -26,5 +28,23 @@ bool is_valid_message(const SignedValue& sv, const crypto::Verifier& verifier,
 bool is_possession_proof(const SignedValue& sv,
                          const crypto::Verifier& verifier, ProcId holder,
                          std::size_t t, crypto::VerifyCache* cache = nullptr);
+
+/// Batch signature-verification prepass over a whole phase inbox. Call at
+/// the top of on_phase, before decoding individual messages: it walks every
+/// payload that carries a signature chain (either a bare SignedValue wire
+/// image or one framed behind a length prefix, Algorithm 5's shape),
+/// collects the chain links the verification cache cannot already answer,
+/// and verifies them all through one crypto::verify_batch call — multi-
+/// buffer SHA-256 lanes instead of one scheme call per signature. The
+/// protocol's subsequent verify_chain/is_valid_message calls then run
+/// against a warm cache and accept exactly the same messages they would
+/// have without the prepass (the cache is sound; see crypto/verify_cache.h).
+///
+/// No-op when the context has no chain cache or when another protocol layer
+/// sharing this Context already prewarmed this phase (ctx.claim_prewarm()).
+/// Malformed payloads are skipped, matching what the protocol's own decode
+/// would do. Scratch lives in a phase-reset arena, so the per-inbox
+/// allocator traffic is O(1) once warm.
+void prewarm_inbox(sim::Context& ctx);
 
 }  // namespace dr::ba

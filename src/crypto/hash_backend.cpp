@@ -1,0 +1,149 @@
+#include "crypto/hash_backend.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "crypto/sha256_impl.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#endif
+
+namespace dr::crypto {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+struct CpuFeatures {
+  bool sha_ni = false;
+  bool avx2 = false;
+};
+
+CpuFeatures detect_cpu() {
+  CpuFeatures out;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_max(0, nullptr) < 7) return out;
+  // Leaf 1: OSXSAVE + AVX tell us whether XGETBV is usable and the OS
+  // saves ymm state; without that, executing AVX2 would fault.
+  __cpuid(1, eax, ebx, ecx, edx);
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  bool ymm_enabled = false;
+  if (osxsave && avx) {
+    // XGETBV(0) via asm — the _xgetbv intrinsic needs -mxsave, which we
+    // don't want on this always-compiled TU.
+    std::uint32_t xcr0_lo = 0, xcr0_hi = 0;
+    __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+    ymm_enabled = (xcr0_lo & 0x6) == 0x6;  // XMM + YMM state enabled
+  }
+  // Leaf 7.0: EBX bit 5 = AVX2, bit 29 = SHA extensions.
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  out.avx2 = ymm_enabled && (ebx & (1u << 5)) != 0;
+  // SHA-NI uses xmm registers only, but the kernel ships it alongside the
+  // SSSE3/SSE4.1 shuffles, which every SHA-capable CPU has.
+  out.sha_ni = (ebx & (1u << 29)) != 0;
+  return out;
+}
+
+#else
+
+struct CpuFeatures {
+  bool sha_ni = false;
+  bool avx2 = false;
+};
+
+CpuFeatures detect_cpu() { return {}; }
+
+#endif
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = detect_cpu();
+  return features;
+}
+
+const HashBackend kScalarBackend{
+    "scalar", 1, &detail::sha256_compress_scalar,
+    &detail::sha256_compress_mb_scalar};
+
+const HashBackend kShaNiBackend{
+    "shani", 1, &detail::sha256_compress_shani,
+    &detail::sha256_compress_mb_shani};
+
+// AVX2 single-stream compression would be the scalar dependency chain in
+// wider registers, so this backend's compress is the scalar kernel and all
+// of its speedup lives in compress_mb.
+const HashBackend kAvx2Backend{
+    "avx2", 8, &detail::sha256_compress_scalar,
+    &detail::sha256_compress_mb_avx2};
+
+bool backend_supported(const HashBackend* backend) {
+  if (backend == &kScalarBackend) return true;
+  if (backend == &kShaNiBackend) {
+    return detail::sha256_shani_compiled() && cpu_features().sha_ni;
+  }
+  if (backend == &kAvx2Backend) {
+    return detail::sha256_avx2_compiled() && cpu_features().avx2;
+  }
+  return false;
+}
+
+const HashBackend* best_backend() {
+  if (backend_supported(&kShaNiBackend)) return &kShaNiBackend;
+  if (backend_supported(&kAvx2Backend)) return &kAvx2Backend;
+  return &kScalarBackend;
+}
+
+const HashBackend* lookup_backend(std::string_view name) {
+  if (name == "scalar") return &kScalarBackend;
+  if (name == "shani") return &kShaNiBackend;
+  if (name == "avx2") return &kAvx2Backend;
+  return nullptr;
+}
+
+std::atomic<const HashBackend*>& active_backend() {
+  static std::atomic<const HashBackend*> active{[] {
+    // One-time init: honor DR82_HASH_BACKEND when it names a supported
+    // backend, otherwise (unset, "auto", unknown, unsupported) pick the
+    // best this CPU runs. Unsupported overrides degrade silently rather
+    // than abort: a pinned env var must never turn a working binary into
+    // a crashing one on older hardware.
+    const char* env = std::getenv("DR82_HASH_BACKEND");
+    if (env != nullptr && std::string_view(env) != "auto") {
+      const HashBackend* chosen = lookup_backend(env);
+      if (chosen != nullptr && backend_supported(chosen)) return chosen;
+    }
+    return best_backend();
+  }()};
+  return active;
+}
+
+}  // namespace
+
+const HashBackend& hash_backend() {
+  return *active_backend().load(std::memory_order_relaxed);
+}
+
+const HashBackend& scalar_hash_backend() { return kScalarBackend; }
+
+bool select_hash_backend(std::string_view name) {
+  const HashBackend* chosen =
+      (name == "auto") ? best_backend() : lookup_backend(name);
+  if (chosen == nullptr || !backend_supported(chosen)) return false;
+  active_backend().store(chosen, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<const HashBackend*> supported_hash_backends() {
+  std::vector<const HashBackend*> out;
+  for (const HashBackend* backend :
+       {&kScalarBackend, &kShaNiBackend, &kAvx2Backend}) {
+    if (backend_supported(backend)) out.push_back(backend);
+  }
+  return out;
+}
+
+bool cpu_supports_sha_ni() { return cpu_features().sha_ni; }
+bool cpu_supports_avx2() { return cpu_features().avx2; }
+
+}  // namespace dr::crypto

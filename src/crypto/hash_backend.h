@@ -1,0 +1,62 @@
+// Runtime-dispatched SHA-256 compression backends.
+//
+// The Sha256 streaming class (crypto/sha256.h) owns all buffering, padding
+// and midstate semantics; a backend is only the block-compression kernel
+// under it. Three are built into every binary:
+//   * scalar — the FIPS 180-4 reference loop, always available;
+//   * shani  — x86 SHA extensions (one block in ~2 cycles/round via
+//     SHA256RNDS2), the fastest single-stream path;
+//   * avx2   — 8-lane multi-buffer compression (one independent stream per
+//     lane). Single-stream it is the scalar loop; its value is
+//     compress_mb, which the batch HMAC path feeds 8 MACs at a time.
+// Selection: DR82_HASH_BACKEND=scalar|avx2|shani|auto (env, read once),
+// else the best the CPU supports. All backends are bit-identical —
+// tests/crypto_backend_test.cpp fuzzes that equivalence — so dispatch can
+// never change any digest, signature or wire byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace dr::crypto {
+
+/// One SHA-256 compression implementation. Both entry points fold 64-byte
+/// blocks into 8-word states exactly as FIPS 180-4 specifies; neither pads
+/// nor finalizes.
+struct HashBackend {
+  const char* name;
+  /// Preferred compress_mb batch width (1 for single-stream backends).
+  std::size_t lanes;
+  /// Folds `nblocks` consecutive blocks of ONE stream into `state`.
+  void (*compress)(std::uint32_t* state, const std::uint8_t* blocks,
+                   std::size_t nblocks);
+  /// Folds one block each of `count` INDEPENDENT streams: states[i] is
+  /// stream i's 8-word state, blocks[i] its 64-byte block. Backends may be
+  /// called with any count; they chunk internally.
+  void (*compress_mb)(std::uint32_t* const* states,
+                      const std::uint8_t* const* blocks, std::size_t count);
+};
+
+/// The active backend. First call resolves DR82_HASH_BACKEND (unset or
+/// "auto" picks the best supported); afterwards this is one relaxed atomic
+/// load.
+const HashBackend& hash_backend();
+
+/// The always-available reference backend.
+const HashBackend& scalar_hash_backend();
+
+/// Selects a backend by name ("scalar", "avx2", "shani", "auto"). Returns
+/// false — and leaves the active backend unchanged — for unknown names and
+/// for backends this CPU cannot run.
+bool select_hash_backend(std::string_view name);
+
+/// Backends this build + CPU can actually run (scalar always included).
+std::vector<const HashBackend*> supported_hash_backends();
+
+/// CPU capability probes (false on non-x86 builds).
+bool cpu_supports_sha_ni();
+bool cpu_supports_avx2();
+
+}  // namespace dr::crypto

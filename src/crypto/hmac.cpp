@@ -1,6 +1,10 @@
 #include "crypto/hmac.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "crypto/hash_backend.h"
+#include "util/contracts.h"
 
 namespace dr::crypto {
 
@@ -63,6 +67,102 @@ Digest HmacKey::mac(ByteView message) const {
   Sha256 outer = outer_state_;
   outer.update(ByteView{inner_digest.data(), inner_digest.size()});
   return outer.finish();
+}
+
+namespace {
+
+constexpr std::size_t kMaxLanes = 16;
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void store_be64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+}
+
+/// Two multi-buffer compressions compute up to kMaxLanes one-block HMACs:
+/// lane i's inner block is message_i padded to 64 bytes, its outer block
+/// is the inner digest padded — both seeded from the per-item midstates.
+void mac_group(HmacBatchItem* items, std::size_t count) {
+  DR_EXPECTS(count <= kMaxLanes);
+  const HashBackend& backend = hash_backend();
+
+  std::uint32_t states[kMaxLanes][8];
+  std::uint8_t blocks[kMaxLanes][kSha256BlockSize];
+  std::uint32_t* state_ptrs[kMaxLanes];
+  const std::uint8_t* block_ptrs[kMaxLanes];
+
+  // Inner pass: midstate(key ^ ipad) absorbing message || pad || bitlen.
+  for (std::size_t i = 0; i < count; ++i) {
+    const HmacBatchItem& item = items[i];
+    const Sha256& mid = item.key->inner_midstate();
+    std::memcpy(states[i], mid.state_words().data(), sizeof(states[i]));
+    std::memset(blocks[i], 0, kSha256BlockSize);
+    if (!item.message.empty()) {
+      std::memcpy(blocks[i], item.message.data(), item.message.size());
+    }
+    blocks[i][item.message.size()] = 0x80;
+    store_be64(blocks[i] + 56,
+               (kSha256BlockSize + item.message.size()) * 8);
+    state_ptrs[i] = states[i];
+    block_ptrs[i] = blocks[i];
+  }
+  backend.compress_mb(state_ptrs, block_ptrs, count);
+
+  // Outer pass: midstate(key ^ opad) absorbing inner-digest || pad ||
+  // bitlen. The inner digest is the big-endian serialization of the lane
+  // state the first pass left behind.
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint8_t* block = blocks[i];
+    for (int j = 0; j < 8; ++j) store_be32(block + 4 * j, states[i][j]);
+    std::memset(block + kSha256DigestSize, 0,
+                kSha256BlockSize - kSha256DigestSize);
+    block[kSha256DigestSize] = 0x80;
+    store_be64(block + 56, (kSha256BlockSize + kSha256DigestSize) * 8);
+    const Sha256& mid = items[i].key->outer_midstate();
+    std::memcpy(states[i], mid.state_words().data(), sizeof(states[i]));
+  }
+  backend.compress_mb(state_ptrs, block_ptrs, count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      store_be32(items[i].out.data() + 4 * j, states[i][j]);
+    }
+  }
+}
+
+}  // namespace
+
+void hmac_mac_many(HmacBatchItem* items, std::size_t count) {
+  // Group the one-block-eligible items into full lanes; oversized messages
+  // (none on the chain-verification path) go through the streaming MAC.
+  HmacBatchItem* group[kMaxLanes];
+  const std::size_t lanes =
+      std::max<std::size_t>(1, std::min(kMaxLanes, hash_backend().lanes));
+  std::size_t grouped = 0;
+  const auto flush = [&] {
+    // mac_group wants a contiguous array; gather the scattered items.
+    HmacBatchItem scratch[kMaxLanes];
+    for (std::size_t i = 0; i < grouped; ++i) scratch[i] = *group[i];
+    mac_group(scratch, grouped);
+    for (std::size_t i = 0; i < grouped; ++i) group[i]->out = scratch[i].out;
+    grouped = 0;
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    if (items[i].message.size() > kHmacOneBlockMax) {
+      items[i].out = items[i].key->mac(items[i].message);
+      continue;
+    }
+    group[grouped++] = &items[i];
+    if (grouped == lanes) flush();
+  }
+  if (grouped > 0) flush();
 }
 
 Bytes derive_key(ByteView seed, ByteView label) {

@@ -37,10 +37,39 @@ class HmacKey {
   /// HMAC-SHA-256(key, message), from the precomputed midstates.
   Digest mac(ByteView message) const;
 
+  /// The pad midstates (each has absorbed exactly one 64-byte block).
+  /// These seed the multi-buffer lanes of hmac_mac_many; protocol code
+  /// should go through mac().
+  const Sha256& inner_midstate() const { return inner_state_; }
+  const Sha256& outer_midstate() const { return outer_state_; }
+
  private:
   Sha256 inner_state_;  // state after absorbing key ^ ipad
   Sha256 outer_state_;  // state after absorbing key ^ opad
 };
+
+/// One MAC of a batch. Items may use different keys — each SIMD lane is
+/// seeded from its own item's midstates.
+struct HmacBatchItem {
+  const HmacKey* key = nullptr;
+  ByteView message;
+  Digest out{};  // written by hmac_mac_many
+};
+
+/// Longest message eligible for the one-block fast path: message plus the
+/// 0x80 delimiter and the 8-byte length must fit the block that follows
+/// the already-absorbed pad.
+inline constexpr std::size_t kHmacOneBlockMax = kSha256BlockSize - 9;
+
+/// Computes items[i].out = items[i].key->mac(items[i].message) for the
+/// whole batch. Messages at most kHmacOneBlockMax bytes take the
+/// multi-buffer path: each MAC is exactly two single-block compressions
+/// from the pad midstates (inner then outer), and up to
+/// hash_backend().lanes of them run in SIMD lanes at once — this is what
+/// makes batch verification of chain links (32-byte digests, ~38-byte
+/// encodings) cheap. Longer messages fall back to mac() per item. Output
+/// is bit-identical to mac() in every case.
+void hmac_mac_many(HmacBatchItem* items, std::size_t count);
 
 /// HKDF-style key derivation used to give each processor an independent
 /// signing key from a master seed: derive(seed, label) =

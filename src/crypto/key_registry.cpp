@@ -62,4 +62,75 @@ bool KeyRegistry::verify(ProcId signer, ByteView data,
   return ct_equal(ByteView{expected.data(), expected.size()}, signature);
 }
 
+void KeyRegistry::verify_batch(VerifyItem* items, std::size_t count) const {
+  // Chunked lane-batching: build each item's (varint signer, varint len,
+  // data) encoding — the exact bytes mac() MACs — into per-chunk scratch,
+  // then let hmac_mac_many drive the multi-buffer compressions. Chain
+  // verifications MAC 32-byte digests (≈38-byte encodings), so the
+  // one-block fast path applies to everything on the hot path; anything
+  // longer falls back to the per-item route inside the same loop.
+  constexpr std::size_t kChunk = 16;
+  std::uint8_t bufs[kChunk][kHmacOneBlockMax];
+  HmacBatchItem macs[kChunk];
+  const VerifyItem* chunk_items[kChunk];
+
+  std::size_t pending = 0;
+  const auto flush = [&] {
+    hmac_mac_many(macs, pending);
+    for (std::size_t i = 0; i < pending; ++i) {
+      const Digest& expected = macs[i].out;
+      // The const_cast-free way to write results: recover the item slot
+      // from the parallel array.
+      const std::size_t index =
+          static_cast<std::size_t>(chunk_items[i] - items);
+      items[index].ok = ct_equal(
+          ByteView{expected.data(), expected.size()}, items[index].sig);
+    }
+    pending = 0;
+  };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    VerifyItem& item = items[i];
+    if (item.signer >= keys_.size()) {
+      item.ok = false;
+      continue;
+    }
+    // Encoded length: both varints plus the data itself.
+    const auto varint_len = [](std::uint64_t v) {
+      std::size_t len = 1;
+      while (v >= 0x80) {
+        v >>= 7;
+        ++len;
+      }
+      return len;
+    };
+    const std::size_t encoded = varint_len(item.signer) +
+                                varint_len(item.data.size()) +
+                                item.data.size();
+    if (encoded > kHmacOneBlockMax) {
+      item.ok = verify(item.signer, item.data, item.sig);
+      continue;
+    }
+    std::uint8_t* buf = bufs[pending];
+    std::size_t len = 0;
+    const auto put_varint = [&](std::uint64_t v) {
+      while (v >= 0x80) {
+        buf[len++] = static_cast<std::uint8_t>(v) | 0x80;
+        v >>= 7;
+      }
+      buf[len++] = static_cast<std::uint8_t>(v);
+    };
+    put_varint(item.signer);
+    put_varint(item.data.size());
+    if (!item.data.empty()) {
+      std::memcpy(buf + len, item.data.data(), item.data.size());
+      len += item.data.size();
+    }
+    macs[pending] = HmacBatchItem{&pads_[item.signer], ByteView{buf, len}};
+    chunk_items[pending] = &item;
+    if (++pending == kChunk) flush();
+  }
+  if (pending > 0) flush();
+}
+
 }  // namespace dr::crypto

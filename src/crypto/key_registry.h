@@ -42,6 +42,12 @@ class KeyRegistry final : public SignatureScheme {
   bool verify(ProcId signer, ByteView data,
               ByteView signature) const override;
 
+  /// Batch verification through the multi-buffer hasher: every item's
+  /// expected MAC is recomputed with two one-block compressions from the
+  /// signer's pad midstates, up to hash_backend().lanes items per SIMD
+  /// pass. Bit-identical verdicts to per-item verify().
+  void verify_batch(VerifyItem* items, std::size_t count) const override;
+
  private:
   Digest mac(ProcId signer, ByteView data) const;
 

@@ -22,6 +22,16 @@ namespace dr::crypto {
 
 using ProcId = std::uint32_t;
 
+/// One verification of a batch (see SignatureScheme::verify_batch). The
+/// views must stay valid for the duration of the call; `ok` is the result
+/// slot.
+struct VerifyItem {
+  ProcId signer = 0;
+  ByteView data;
+  ByteView sig;
+  bool ok = false;
+};
+
 class SignatureScheme {
  public:
   virtual ~SignatureScheme() = default;
@@ -33,6 +43,17 @@ class SignatureScheme {
   /// Public verification.
   virtual bool verify(ProcId signer, ByteView data,
                       ByteView signature) const = 0;
+
+  /// Verifies a whole batch, filling items[i].ok. Semantically identical
+  /// to calling verify() per item — overrides exist purely for speed (the
+  /// HMAC registry recomputes all the expected MACs through the
+  /// multi-buffer hasher, 4–8 lanes at a time). Schemes without a batch
+  /// shape inherit the per-item loop.
+  virtual void verify_batch(VerifyItem* items, std::size_t count) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      items[i].ok = verify(items[i].signer, items[i].data, items[i].sig);
+    }
+  }
 
   /// Number of processors the scheme has keys for.
   virtual std::size_t size() const = 0;

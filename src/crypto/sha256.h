@@ -1,5 +1,9 @@
 // SHA-256 per FIPS 180-4, implemented from scratch (no external crypto
 // dependency is available offline). Streaming interface plus one-shot helper.
+// Block compression dispatches through the runtime-selected backend
+// (crypto/hash_backend.h: scalar / SHA-NI / AVX2 multi-buffer); every
+// backend is bit-identical, so buffering, padding, midstates and digests
+// never depend on which one runs.
 #pragma once
 
 #include <array>
@@ -30,8 +34,18 @@ class Sha256 {
   /// re-hashing the whole prefix.
   Digest peek() const;
 
+  /// The eight FIPS state words after the blocks absorbed so far, and the
+  /// byte count they cover. This is the seam the multi-buffer batch paths
+  /// build on: a lane is seeded from a midstate's words and fed blocks
+  /// through HashBackend::compress_mb directly. Only meaningful as a
+  /// midstate when no partial block is buffered (buffered_bytes() == 0) —
+  /// true for HmacKey's pad midstates, which absorb exactly one block.
+  const std::array<std::uint32_t, 8>& state_words() const { return state_; }
+  std::uint64_t absorbed_bytes() const { return total_len_; }
+  std::size_t buffered_bytes() const { return buffered_; }
+
  private:
-  void compress(const std::uint8_t* block);
+  void compress_blocks(const std::uint8_t* blocks, std::size_t nblocks);
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, kSha256BlockSize> buffer_;

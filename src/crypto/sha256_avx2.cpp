@@ -1,0 +1,146 @@
+// AVX2 8-lane multi-buffer SHA-256: one independent stream per 32-bit
+// lane, so eight one-block compressions cost about one scalar compression
+// of rounds. Single-stream AVX2 barely beats scalar (the rounds are a
+// serial dependency chain), so this backend only provides compress_mb; the
+// batch HMAC path (crypto/hmac.cpp) is what feeds it full lanes. Built
+// with -mavx2 scoped to this file; without the flag the forwarders keep
+// the build portable and the dispatcher skips registration.
+#include "crypto/sha256_impl.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace dr::crypto::detail {
+
+bool sha256_avx2_compiled() { return true; }
+
+namespace {
+
+inline __m256i vrotr(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, k),
+                         _mm256_slli_epi32(x, 32 - k));
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+/// Exactly 8 lanes; callers chunk and handle tails.
+void compress8(std::uint32_t* const* states,
+               const std::uint8_t* const* blocks) {
+  // Transpose the 8 states into one vector per FIPS word (lane i = stream
+  // i) and gather the big-endian message words the same way.
+  __m256i s[8];
+  for (int j = 0; j < 8; ++j) {
+    s[j] = _mm256_set_epi32(
+        static_cast<int>(states[7][j]), static_cast<int>(states[6][j]),
+        static_cast<int>(states[5][j]), static_cast<int>(states[4][j]),
+        static_cast<int>(states[3][j]), static_cast<int>(states[2][j]),
+        static_cast<int>(states[1][j]), static_cast<int>(states[0][j]));
+  }
+
+  __m256i w[64];
+  for (int r = 0; r < 16; ++r) {
+    w[r] = _mm256_set_epi32(static_cast<int>(load_be32(blocks[7] + 4 * r)),
+                            static_cast<int>(load_be32(blocks[6] + 4 * r)),
+                            static_cast<int>(load_be32(blocks[5] + 4 * r)),
+                            static_cast<int>(load_be32(blocks[4] + 4 * r)),
+                            static_cast<int>(load_be32(blocks[3] + 4 * r)),
+                            static_cast<int>(load_be32(blocks[2] + 4 * r)),
+                            static_cast<int>(load_be32(blocks[1] + 4 * r)),
+                            static_cast<int>(load_be32(blocks[0] + 4 * r)));
+  }
+  for (int r = 16; r < 64; ++r) {
+    const __m256i w15 = w[r - 15];
+    const __m256i w2 = w[r - 2];
+    const __m256i s0 = _mm256_xor_si256(
+        _mm256_xor_si256(vrotr(w15, 7), vrotr(w15, 18)),
+        _mm256_srli_epi32(w15, 3));
+    const __m256i s1 = _mm256_xor_si256(
+        _mm256_xor_si256(vrotr(w2, 17), vrotr(w2, 19)),
+        _mm256_srli_epi32(w2, 10));
+    w[r] = _mm256_add_epi32(_mm256_add_epi32(w[r - 16], s0),
+                            _mm256_add_epi32(w[r - 7], s1));
+  }
+
+  __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+  __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+  for (int r = 0; r < 64; ++r) {
+    const __m256i big_s1 = _mm256_xor_si256(
+        _mm256_xor_si256(vrotr(e, 6), vrotr(e, 11)), vrotr(e, 25));
+    const __m256i ch = _mm256_xor_si256(_mm256_and_si256(e, f),
+                                        _mm256_andnot_si256(e, g));
+    const __m256i t1 = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(h, big_s1),
+                         _mm256_add_epi32(ch, _mm256_set1_epi32(static_cast<int>(
+                                                  kSha256K[r])))),
+        w[r]);
+    const __m256i big_s0 = _mm256_xor_si256(
+        _mm256_xor_si256(vrotr(a, 2), vrotr(a, 13)), vrotr(a, 22));
+    const __m256i maj = _mm256_xor_si256(
+        _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+        _mm256_and_si256(b, c));
+    const __m256i t2 = _mm256_add_epi32(big_s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm256_add_epi32(d, t1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm256_add_epi32(t1, t2);
+  }
+
+  s[0] = _mm256_add_epi32(s[0], a);
+  s[1] = _mm256_add_epi32(s[1], b);
+  s[2] = _mm256_add_epi32(s[2], c);
+  s[3] = _mm256_add_epi32(s[3], d);
+  s[4] = _mm256_add_epi32(s[4], e);
+  s[5] = _mm256_add_epi32(s[5], f);
+  s[6] = _mm256_add_epi32(s[6], g);
+  s[7] = _mm256_add_epi32(s[7], h);
+
+  alignas(32) std::uint32_t out[8];
+  for (int j = 0; j < 8; ++j) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out), s[j]);
+    for (int i = 0; i < 8; ++i) states[i][j] = out[i];
+  }
+}
+
+}  // namespace
+
+void sha256_compress_mb_avx2(std::uint32_t* const* states,
+                             const std::uint8_t* const* blocks,
+                             std::size_t count) {
+  while (count >= 8) {
+    compress8(states, blocks);
+    states += 8;
+    blocks += 8;
+    count -= 8;
+  }
+  // Partial groups go through the scalar kernel — bit-identical, and a
+  // padded vector pass would not be faster for < 8 lanes of one block.
+  if (count > 0) sha256_compress_mb_scalar(states, blocks, count);
+}
+
+}  // namespace dr::crypto::detail
+
+#else  // !__AVX2__
+
+namespace dr::crypto::detail {
+
+bool sha256_avx2_compiled() { return false; }
+
+void sha256_compress_mb_avx2(std::uint32_t* const* states,
+                             const std::uint8_t* const* blocks,
+                             std::size_t count) {
+  sha256_compress_mb_scalar(states, blocks, count);
+}
+
+}  // namespace dr::crypto::detail
+
+#endif

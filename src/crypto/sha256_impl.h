@@ -1,0 +1,34 @@
+// Internal linkage header between hash_backend.cpp and the per-ISA
+// compression translation units. Each ISA lives in its own TU so CMake can
+// scope -msha/-mavx2 to exactly that file; TUs built without the ISA
+// compile a scalar forwarder and report *_compiled() == false so the
+// dispatcher never registers them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dr::crypto::detail {
+
+void sha256_compress_scalar(std::uint32_t* state, const std::uint8_t* blocks,
+                            std::size_t nblocks);
+void sha256_compress_mb_scalar(std::uint32_t* const* states,
+                               const std::uint8_t* const* blocks,
+                               std::size_t count);
+
+bool sha256_shani_compiled();
+void sha256_compress_shani(std::uint32_t* state, const std::uint8_t* blocks,
+                           std::size_t nblocks);
+void sha256_compress_mb_shani(std::uint32_t* const* states,
+                              const std::uint8_t* const* blocks,
+                              std::size_t count);
+
+bool sha256_avx2_compiled();
+void sha256_compress_mb_avx2(std::uint32_t* const* states,
+                             const std::uint8_t* const* blocks,
+                             std::size_t count);
+
+/// The round constants, shared by every backend.
+extern const std::uint32_t kSha256K[64];
+
+}  // namespace dr::crypto::detail

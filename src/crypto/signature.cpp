@@ -6,15 +6,6 @@
 
 namespace dr::crypto {
 
-namespace {
-
-/// Byzantine senders control signature bytes; cap what we accept so a
-/// malicious chain cannot make receivers allocate unbounded memory. The
-/// Merkle scheme's signatures are the largest legitimate ones (~20 KiB).
-constexpr std::size_t kMaxSignatureSize = 64 * 1024;
-
-}  // namespace
-
 void encode(Writer& w, const Signature& sig) {
   w.u32(sig.signer);
   w.bytes(sig.sig);
@@ -49,6 +40,10 @@ bool Verifier::verify(ProcId signer, ByteView data,
                       const Signature& sig) const {
   if (sig.signer != signer) return false;
   return scheme_->verify(signer, data, sig.sig);
+}
+
+void Verifier::verify_batch(VerifyItem* items, std::size_t count) const {
+  scheme_->verify_batch(items, count);
 }
 
 }  // namespace dr::crypto

@@ -1,6 +1,7 @@
 // Signature values and the Signer capability.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -9,6 +10,13 @@
 #include "crypto/scheme.h"
 
 namespace dr::crypto {
+
+/// Byzantine senders control signature bytes; cap what decoders accept so a
+/// malicious chain cannot make receivers allocate unbounded memory. The
+/// Merkle scheme's signatures are the largest legitimate ones (~20 KiB).
+/// Shared by decode_signature and the in-place chain parser in
+/// ba::prewarm_inbox, which must accept exactly the same inputs.
+inline constexpr std::size_t kMaxSignatureSize = 64 * 1024;
 
 /// A signature value: who signed plus the scheme-specific signature bytes
 /// (32 for HMAC, a few KB for the Merkle scheme). Serialized inside
@@ -48,6 +56,13 @@ class Verifier {
   explicit Verifier(const SignatureScheme* scheme) : scheme_(scheme) {}
 
   bool verify(ProcId signer, ByteView data, const Signature& sig) const;
+
+  /// Batch verification of raw (signer, data, sig-bytes) items — same
+  /// verdicts as verify() per item, routed through the scheme's lane-
+  /// batched override when it has one.
+  void verify_batch(VerifyItem* items, std::size_t count) const;
+
+  const SignatureScheme* scheme() const { return scheme_; }
 
  private:
   const SignatureScheme* scheme_;

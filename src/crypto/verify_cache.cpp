@@ -5,21 +5,47 @@
 
 namespace dr::crypto {
 
+namespace {
+
+std::uint64_t fold_digest_word(const Digest& digest) {
+  std::uint64_t h = 0;
+  std::memcpy(&h, digest.data(), sizeof(h));
+  return h;
+}
+
+bool same_bytes(ByteView a, ByteView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+struct PlanKey {
+  ProcId signer = 0;
+  Digest covered{};
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& key) const {
+    return static_cast<std::size_t>(
+        fold_digest_word(key.covered) ^
+        (std::uint64_t{key.signer} * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+}  // namespace
+
 std::size_t VerifyCache::KeyHash::operator()(const Key& key) const {
   // The prefix digest is already uniformly distributed; fold its first
   // word with the signer id.
-  std::uint64_t h = 0;
-  std::memcpy(&h, key.prefix.data(), sizeof(h));
   return static_cast<std::size_t>(
-      h ^ (std::uint64_t{key.signer} * 0x9e3779b97f4a7c15ull));
+      fold_digest_word(key.prefix) ^
+      (std::uint64_t{key.signer} * 0x9e3779b97f4a7c15ull));
 }
 
 std::optional<Digest> VerifyCache::lookup(ProcId signer,
                                           const Digest& prefix_digest,
                                           ByteView sig) {
   const auto it = entries_.find(Key{signer, prefix_digest});
-  if (it != entries_.end() && it->second.sig.size() == sig.size() &&
-      std::equal(sig.begin(), sig.end(), it->second.sig.begin())) {
+  if (it != entries_.end() && same_bytes(it->second.sig, sig)) {
     ++hits_;
     return it->second.extended;
   }
@@ -27,10 +53,195 @@ std::optional<Digest> VerifyCache::lookup(ProcId signer,
   return std::nullopt;
 }
 
+std::optional<Digest> VerifyCache::probe(ProcId signer,
+                                         const Digest& prefix_digest,
+                                         ByteView sig) const {
+  const auto it = entries_.find(Key{signer, prefix_digest});
+  if (it != entries_.end() && same_bytes(it->second.sig, sig)) {
+    return it->second.extended;
+  }
+  return std::nullopt;
+}
+
 void VerifyCache::insert(ProcId signer, const Digest& prefix_digest,
                          ByteView sig, const Digest& extended_digest) {
   entries_[Key{signer, prefix_digest}] =
       Entry{Bytes(sig.begin(), sig.end()), extended_digest};
+}
+
+void verify_batch(const SignatureScheme& scheme, VerifyCache* cache,
+                  VerifyRequest* requests, std::size_t count) {
+  if (count == 0) return;
+
+  const auto covered_view = [](const VerifyRequest& request) {
+    return ByteView{request.covered.data(), request.covered.size()};
+  };
+
+  if (cache == nullptr) {
+    // No memo to consult or feed — one scheme pass over everything.
+    std::vector<VerifyItem> items(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      items[i] = VerifyItem{requests[i].signer, covered_view(requests[i]),
+                            requests[i].sig};
+    }
+    scheme.verify_batch(items.data(), count);
+    for (std::size_t i = 0; i < count; ++i) requests[i].ok = items[i].ok;
+    return;
+  }
+
+  // Planning pass (non-counting): find the requests the cache cannot
+  // answer and collapse duplicate triples to one verification slot.
+  // Verification is deterministic, so reusing a verdict is sound; the
+  // counting pass below still charges every occurrence exactly as the
+  // sequential loop would.
+  constexpr std::uint32_t kFromCache = 0xffffffffu;
+  std::vector<std::uint32_t> slot_of(count, kFromCache);
+  std::vector<std::uint32_t> slot_request;  // representative request index
+  // Bucket per (signer, covered): slot ids whose sig bytes then decide
+  // duplicate-vs-new (distinct forgeries over one prefix stay distinct).
+  std::unordered_map<PlanKey, std::vector<std::uint32_t>, PlanKeyHash>
+      buckets;
+  for (std::size_t i = 0; i < count; ++i) {
+    const VerifyRequest& request = requests[i];
+    if (cache->probe(request.signer, request.covered, request.sig)) {
+      continue;  // kFromCache
+    }
+    auto& bucket = buckets[PlanKey{request.signer, request.covered}];
+    std::uint32_t slot = kFromCache;
+    for (const std::uint32_t candidate : bucket) {
+      if (same_bytes(requests[slot_request[candidate]].sig, request.sig)) {
+        slot = candidate;
+        break;
+      }
+    }
+    if (slot == kFromCache) {
+      slot = static_cast<std::uint32_t>(slot_request.size());
+      slot_request.push_back(static_cast<std::uint32_t>(i));
+      bucket.push_back(slot);
+    }
+    slot_of[i] = slot;
+  }
+
+  // Scheme pass: only the distinct misses, lane-batched.
+  std::vector<VerifyItem> items(slot_request.size());
+  for (std::size_t s = 0; s < slot_request.size(); ++s) {
+    const VerifyRequest& request = requests[slot_request[s]];
+    items[s] =
+        VerifyItem{request.signer, covered_view(request), request.sig};
+  }
+  scheme.verify_batch(items.data(), items.size());
+
+  // Commit pass: replay sequential lookup order against the real cache.
+  // A triple that verified fresh is inserted at its first occurrence, so
+  // its later occurrences hit — the same hit/miss sequence (and counter
+  // totals) the per-request loop produces.
+  for (std::size_t i = 0; i < count; ++i) {
+    VerifyRequest& request = requests[i];
+    if (const auto extended =
+            cache->lookup(request.signer, request.covered, request.sig)) {
+      request.extended = *extended;
+      request.ok = true;
+      request.cached = true;
+      continue;
+    }
+    const std::uint32_t slot = slot_of[i];
+    // A probe hit cannot miss here (entries are never evicted), but stay
+    // defensive: verify singly rather than trust a stale plan.
+    const bool ok = (slot == kFromCache)
+                        ? scheme.verify(request.signer, covered_view(request),
+                                        request.sig)
+                        : items[slot].ok;
+    request.ok = ok;
+    request.cached = false;
+    if (ok) {
+      cache->insert(request.signer, request.covered, request.sig,
+                    request.extended);
+    }
+  }
+}
+
+StripedVerifyCache::StripedVerifyCache(std::size_t stripes) {
+  stripes_.reserve(stripes == 0 ? 1 : stripes);
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, stripes); ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+std::size_t StripedVerifyCache::RealmKeyHash::operator()(
+    const RealmKey& key) const {
+  return static_cast<std::size_t>(
+      fold_digest_word(key.prefix) ^
+      (key.realm * 0xd1b54a32d192ed03ull) ^
+      (std::uint64_t{key.signer} * 0x9e3779b97f4a7c15ull));
+}
+
+StripedVerifyCache::Stripe& StripedVerifyCache::stripe_for(
+    const RealmKey& key) {
+  return *stripes_[RealmKeyHash{}(key) % stripes_.size()];
+}
+
+const StripedVerifyCache::Stripe& StripedVerifyCache::stripe_for(
+    const RealmKey& key) const {
+  return *stripes_[RealmKeyHash{}(key) % stripes_.size()];
+}
+
+std::optional<Digest> StripedVerifyCache::Session::lookup(
+    ProcId signer, const Digest& prefix_digest, ByteView sig) {
+  const RealmKey key{realm_, signer, prefix_digest};
+  Stripe& stripe = owner_->stripe_for(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.entries.find(key);
+  if (it != stripe.entries.end() && same_bytes(it->second.sig, sig)) {
+    ++stripe.hits;
+    ++session_hits_;
+    return it->second.extended;
+  }
+  ++stripe.misses;
+  ++session_misses_;
+  return std::nullopt;
+}
+
+std::optional<Digest> StripedVerifyCache::Session::probe(
+    ProcId signer, const Digest& prefix_digest, ByteView sig) const {
+  const RealmKey key{realm_, signer, prefix_digest};
+  const Stripe& stripe = owner_->stripe_for(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.entries.find(key);
+  if (it != stripe.entries.end() && same_bytes(it->second.sig, sig)) {
+    return it->second.extended;
+  }
+  return std::nullopt;
+}
+
+void StripedVerifyCache::Session::insert(ProcId signer,
+                                         const Digest& prefix_digest,
+                                         ByteView sig,
+                                         const Digest& extended_digest) {
+  const RealmKey key{realm_, signer, prefix_digest};
+  Stripe& stripe = owner_->stripe_for(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.entries[key] = StripedVerifyCache::Entry{
+      Bytes(sig.begin(), sig.end()), extended_digest};
+}
+
+std::size_t StripedVerifyCache::Session::size() const {
+  return owner_->size();
+}
+
+StripedVerifyCache::StripeStats StripedVerifyCache::stripe_stats(
+    std::size_t stripe) const {
+  const Stripe& s = *stripes_[stripe];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return StripeStats{s.hits, s.misses, s.entries.size()};
+}
+
+std::size_t StripedVerifyCache::size() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->entries.size();
+  }
+  return total;
 }
 
 }  // namespace dr::crypto

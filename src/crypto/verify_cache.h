@@ -21,13 +21,22 @@
 // accelerator — with or without it, verify_chain accepts exactly the same
 // set of chains.
 //
-// One instance per process (simulator) or per endpoint (net runtime);
-// instances are not thread-safe and must not be shared across threads.
+// Two implementations share the virtual interface:
+//   * VerifyCache — one per process (simulator) or per endpoint (net
+//     runtime); not thread-safe, never shared across threads;
+//   * StripedVerifyCache::Session — a per-instance view of one shared,
+//     lock-striped store (svc daemon endpoints running many instances).
+//     Entries are realm-scoped, so a Session's hit/miss sequence is
+//     identical to a private VerifyCache's — which is what keeps
+//     per-instance metrics equal to solo sim runs (the parity gate).
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/scheme.h"
 #include "crypto/sha256.h"
@@ -37,23 +46,38 @@ namespace dr::crypto {
 
 class VerifyCache {
  public:
+  VerifyCache() = default;
+  virtual ~VerifyCache() = default;
+  VerifyCache(const VerifyCache&) = default;
+  VerifyCache& operator=(const VerifyCache&) = default;
+  VerifyCache(VerifyCache&&) = default;
+  VerifyCache& operator=(VerifyCache&&) = default;
+
   /// If this exact (signer, prefix, sig) triple verified before, returns
   /// the digest of (prefix || sig) recorded at insert time; otherwise
   /// nullopt. Counts a hit or a miss either way.
-  std::optional<Digest> lookup(ProcId signer, const Digest& prefix_digest,
-                               ByteView sig);
+  virtual std::optional<Digest> lookup(ProcId signer,
+                                       const Digest& prefix_digest,
+                                       ByteView sig);
+
+  /// lookup() without touching the hit/miss counters. The batch verifier
+  /// uses it to plan which requests need scheme verification before the
+  /// counting pass replays sequential lookup order (see verify_batch).
+  virtual std::optional<Digest> probe(ProcId signer,
+                                      const Digest& prefix_digest,
+                                      ByteView sig) const;
 
   /// Records a successful verification of `sig` over `prefix_digest`,
   /// together with the digest of the extended prefix. Callers must only
   /// insert triples that passed full verification.
-  void insert(ProcId signer, const Digest& prefix_digest, ByteView sig,
-              const Digest& extended_digest);
+  virtual void insert(ProcId signer, const Digest& prefix_digest,
+                      ByteView sig, const Digest& extended_digest);
 
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
-  std::size_t size() const { return entries_.size(); }
+  virtual std::size_t hits() const { return hits_; }
+  virtual std::size_t misses() const { return misses_; }
+  virtual std::size_t size() const { return entries_.size(); }
 
- private:
+ protected:
   struct Key {
     ProcId signer = 0;
     Digest prefix{};
@@ -72,6 +96,118 @@ class VerifyCache {
   std::unordered_map<Key, Entry, KeyHash> entries_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+};
+
+/// One chain link of a batch verification. The caller (ba::prewarm_inbox /
+/// verify_chain's batch path) has already streamed the chain once, so both
+/// the covered prefix digest and the extended digest are known up front —
+/// the extended digest of a link is just the covered digest of the next
+/// one, valid signature or not.
+struct VerifyRequest {
+  ProcId signer = 0;
+  ByteView sig;
+  Digest covered{};   // digest the signature claims to cover
+  Digest extended{};  // digest of (covered-prefix || sig)
+  bool ok = false;    // out: verified (from cache or scheme)
+  bool cached = false;  // out: satisfied by a cache hit
+};
+
+/// Batch chain-link verification, equivalent — verdicts AND hit/miss
+/// counters — to the sequential loop
+///     for each request: lookup / verify / insert-on-success
+/// but with all scheme verifications coalesced: a planning pass (probe,
+/// non-counting) finds the requests the cache cannot answer, duplicates
+/// among them collapse to one verification, and the distinct misses run
+/// through scheme.verify_batch (multi-buffer lanes for HMAC). The commit
+/// pass then replays sequential lookup order against the real cache, so
+/// repeated triples count one miss then hits, exactly as the sequential
+/// loop would. With a null cache every request is simply verified (in one
+/// batch) and nothing is recorded.
+void verify_batch(const SignatureScheme& scheme, VerifyCache* cache,
+                  VerifyRequest* requests, std::size_t count);
+
+/// A shared verification store for many concurrent protocol instances:
+/// one hash map split over K lock stripes, entries scoped by a realm id
+/// (one realm per instance). Striping keeps cross-instance contention to
+/// 1/K; realm scoping keeps every instance's view — including its hit and
+/// miss counts — identical to a private VerifyCache, which the parity and
+/// concurrent-isolation suites depend on. Per-stripe hit/miss counters
+/// aggregate across all realms and feed the daemon's Prometheus export.
+class StripedVerifyCache {
+ public:
+  static constexpr std::size_t kDefaultStripes = 16;
+
+  explicit StripedVerifyCache(std::size_t stripes = kDefaultStripes);
+
+  /// A per-instance view implementing the VerifyCache interface: lookups
+  /// and inserts hit the shared striped store under the session's realm;
+  /// hits()/misses() count only this session's traffic. One session per
+  /// instance, used from one thread at a time (different sessions may run
+  /// concurrently — the stripe locks serialize map access).
+  class Session final : public VerifyCache {
+   public:
+    Session(StripedVerifyCache* owner, std::uint64_t realm)
+        : owner_(owner), realm_(realm) {}
+
+    std::optional<Digest> lookup(ProcId signer, const Digest& prefix_digest,
+                                 ByteView sig) override;
+    std::optional<Digest> probe(ProcId signer, const Digest& prefix_digest,
+                                ByteView sig) const override;
+    void insert(ProcId signer, const Digest& prefix_digest, ByteView sig,
+                const Digest& extended_digest) override;
+    std::size_t hits() const override { return session_hits_; }
+    std::size_t misses() const override { return session_misses_; }
+    std::size_t size() const override;
+
+   private:
+    StripedVerifyCache* owner_;
+    std::uint64_t realm_;
+    std::size_t session_hits_ = 0;
+    std::size_t session_misses_ = 0;
+  };
+
+  Session session(std::uint64_t realm) { return Session(this, realm); }
+
+  std::size_t stripe_count() const { return stripes_.size(); }
+
+  struct StripeStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+  };
+  /// Snapshot of one stripe's counters (locks that stripe only).
+  StripeStats stripe_stats(std::size_t stripe) const;
+
+  /// Total entries across stripes (locks each stripe in turn).
+  std::size_t size() const;
+
+ private:
+  struct RealmKey {
+    std::uint64_t realm = 0;
+    ProcId signer = 0;
+    Digest prefix{};
+
+    friend bool operator==(const RealmKey&, const RealmKey&) = default;
+  };
+  struct RealmKeyHash {
+    std::size_t operator()(const RealmKey& key) const;
+  };
+  struct Entry {
+    Bytes sig;
+    Digest extended{};
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<RealmKey, Entry, RealmKeyHash> entries;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  Stripe& stripe_for(const RealmKey& key);
+  const Stripe& stripe_for(const RealmKey& key) const;
+
+  // unique_ptr so the vector can size dynamically despite the mutex.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 }  // namespace dr::crypto

@@ -106,7 +106,11 @@ void run_endpoint_phases(const EndpointRun& run, sim::Metrics& metrics,
   // Endpoint-local verification memo; lives on this thread only, so the
   // cache needs no locking and its hit/miss sequence matches the sim
   // runner's per-process cache exactly (parity gate compares the totals).
-  crypto::VerifyCache cache;
+  // A caller-supplied cache (the daemon's striped-store session) is used
+  // in its place when provided.
+  crypto::VerifyCache local_cache;
+  crypto::VerifyCache* cache =
+      run.chain_cache != nullptr ? run.chain_cache : &local_cache;
   for (PhaseNum phase = 1; phase <= run.phases; ++phase) {
     if (run.on_phase_start && !run.on_phase_start(phase)) break;
     if (run.abort != nullptr &&
@@ -114,7 +118,7 @@ void run_endpoint_phases(const EndpointRun& run, sim::Metrics& metrics,
       break;
     }
     sim::Context ctx(p, phase, run.n, run.t, &inbox, run.signer,
-                     run.verifier, &cache);
+                     run.verifier, cache);
     run.process->on_phase(ctx);
     for (auto& out : ctx.outgoing()) {
       // Broadcasts fan out here as per-link submissions sharing one payload
@@ -148,7 +152,7 @@ void run_endpoint_phases(const EndpointRun& run, sim::Metrics& metrics,
   sync.link = run.transport->health(p);
   metrics.on_net_health(sync.link.disconnects, sync.link.reconnect_attempts,
                         sync.link.send_retries, sync.stragglers);
-  metrics.on_chain_cache(cache.hits(), cache.misses());
+  metrics.on_chain_cache(cache->hits(), cache->misses());
 }
 
 void NetRunner::endpoint_main(ProcId p, PhaseNum phases, std::mutex* fault_mu,

@@ -109,6 +109,13 @@ struct EndpointRun {
   /// runner hooks churn injection here). Returning false stops the loop
   /// (the endpoint is gone). May be empty.
   std::function<bool(PhaseNum)> on_phase_start;
+  /// Chain-verification memo for this endpoint's process. Null (the
+  /// default) gives the run a private VerifyCache, as the in-memory sim
+  /// does. The svc daemon passes a StripedVerifyCache::Session here so all
+  /// instances on one endpoint share a single striped store; realm scoping
+  /// keeps the session's hit/miss sequence identical to the private cache's
+  /// (crypto/verify_cache.h), so the parity gate is unaffected.
+  crypto::VerifyCache* chain_cache = nullptr;
 };
 
 /// Runs phases 1..run.phases for one endpoint: step the process, route

@@ -11,6 +11,20 @@ void encode_counts(Writer& w, const std::vector<std::size_t>& v) {
   for (const std::size_t x : v) w.u64(x);
 }
 
+void encode_counts64(Writer& w, const std::vector<std::uint64_t>& v) {
+  w.seq(v.size());
+  for (const std::uint64_t x : v) w.u64(x);
+}
+
+std::vector<std::uint64_t> decode_counts64(Reader& r) {
+  const std::size_t len = r.seq();
+  std::vector<std::uint64_t> out;
+  if (!r.ok()) return out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) out.push_back(r.u64());
+  return out;
+}
+
 std::vector<std::size_t> decode_counts(Reader& r) {
   const std::size_t len = r.seq();  // seq() bounds len by remaining bytes
   std::vector<std::size_t> out;
@@ -68,6 +82,22 @@ void Metrics::on_chain_cache(std::size_t hits, std::size_t misses) {
   chain_cache_misses_ += misses;
 }
 
+void Metrics::on_verify_stripes(const std::vector<std::uint64_t>& hits,
+                                const std::vector<std::uint64_t>& misses) {
+  if (verify_stripe_hits_.size() < hits.size()) {
+    verify_stripe_hits_.resize(hits.size(), 0);
+  }
+  if (verify_stripe_misses_.size() < misses.size()) {
+    verify_stripe_misses_.resize(misses.size(), 0);
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    verify_stripe_hits_[i] += hits[i];
+  }
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    verify_stripe_misses_[i] += misses[i];
+  }
+}
+
 void Metrics::merge(const Metrics& other) {
   DR_EXPECTS(other.n() == n());
   messages_by_correct_ += other.messages_by_correct_;
@@ -82,6 +112,7 @@ void Metrics::merge(const Metrics& other) {
   net_endpoints_degraded_ += other.net_endpoints_degraded_;
   chain_cache_hits_ += other.chain_cache_hits_;
   chain_cache_misses_ += other.chain_cache_misses_;
+  on_verify_stripes(other.verify_stripe_hits_, other.verify_stripe_misses_);
   if (other.max_payload_by_correct_ > max_payload_by_correct_) {
     max_payload_by_correct_ = other.max_payload_by_correct_;
   }
@@ -120,6 +151,8 @@ void Metrics::encode(Writer& w) const {
   encode_counts(w, sent_by_);
   encode_counts(w, received_from_correct_);
   encode_counts(w, signatures_exchanged_);
+  encode_counts64(w, verify_stripe_hits_);
+  encode_counts64(w, verify_stripe_misses_);
 }
 
 std::optional<Metrics> Metrics::decode(Reader& r) {
@@ -142,6 +175,8 @@ std::optional<Metrics> Metrics::decode(Reader& r) {
   m.sent_by_ = decode_counts(r);
   m.received_from_correct_ = decode_counts(r);
   m.signatures_exchanged_ = decode_counts(r);
+  m.verify_stripe_hits_ = decode_counts64(r);
+  m.verify_stripe_misses_ = decode_counts64(r);
   // The three per-processor arrays are constructed in lock-step everywhere
   // else (one slot per processor); enforce that shape on untrusted input.
   if (!r.ok() || m.sent_by_.size() != m.received_from_correct_.size() ||

@@ -63,6 +63,21 @@ class Metrics {
   std::size_t chain_cache_hits() const { return chain_cache_hits_; }
   std::size_t chain_cache_misses() const { return chain_cache_misses_; }
 
+  /// Shared striped verify-store accounting (crypto::StripedVerifyCache):
+  /// per-stripe hit/miss totals, element-wise. Aggregate-level only — the
+  /// daemon folds endpoint-level snapshots into its totals and the benches
+  /// fold pool-level counters in, while per-instance Metrics keep these
+  /// empty so an instance's metrics stay equal to a solo sim run's (the
+  /// parity and concurrent-isolation gates compare them directly).
+  void on_verify_stripes(const std::vector<std::uint64_t>& hits,
+                         const std::vector<std::uint64_t>& misses);
+  const std::vector<std::uint64_t>& verify_stripe_hits() const {
+    return verify_stripe_hits_;
+  }
+  const std::vector<std::uint64_t>& verify_stripe_misses() const {
+    return verify_stripe_misses_;
+  }
+
   /// Element-wise accumulation of another run fragment's counters (sums;
   /// maxima for the max/last fields). The net runner gives each endpoint
   /// thread its own Metrics and merges after the join, which keeps the hot
@@ -136,6 +151,8 @@ class Metrics {
   std::size_t net_endpoints_degraded_ = 0;
   std::size_t chain_cache_hits_ = 0;
   std::size_t chain_cache_misses_ = 0;
+  std::vector<std::uint64_t> verify_stripe_hits_;
+  std::vector<std::uint64_t> verify_stripe_misses_;
   PhaseNum last_active_phase_ = 0;
   std::vector<std::size_t> per_phase_;
   std::vector<std::size_t> sent_by_;

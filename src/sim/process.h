@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "crypto/signature.h"
@@ -61,6 +62,12 @@ class Context {
   /// crypto/verify_cache.h.
   crypto::VerifyCache* chain_cache() const { return chain_cache_; }
 
+  /// One-shot latch for ba::prewarm_inbox: true exactly once per Context
+  /// (i.e. once per phase). Nested protocols share one Context — Algorithm 5
+  /// drives an inner Algorithm 2 with the same ctx — so the outermost
+  /// prewarm call wins and the inbox is batch-verified exactly once.
+  bool claim_prewarm() { return !std::exchange(prewarmed_, true); }
+
   struct Outgoing {
     ProcId to = 0;  // meaningless when `broadcast` is set
     Payload payload;
@@ -79,6 +86,7 @@ class Context {
   const crypto::Signer* signer_;
   const crypto::Verifier* verifier_;
   crypto::VerifyCache* chain_cache_;
+  bool prewarmed_ = false;
   std::vector<Outgoing> outgoing_;
 };
 

@@ -252,6 +252,14 @@ void Coordinator::handle_done(std::uint64_t instance_id, EndpointDone done) {
   if (it == instances_.end()) return;  // late kDone after the deadline
   Instance& inst = it->second;
   if (done.p >= inst.done.size() || inst.done[done.p].has_value()) return;
+  if (!done.verify_stripe_hits.empty() && done.p < options_.endpoints) {
+    if (stripe_hits_.size() < options_.endpoints) {
+      stripe_hits_.resize(options_.endpoints);
+      stripe_misses_.resize(options_.endpoints);
+    }
+    stripe_hits_[done.p] = done.verify_stripe_hits;
+    stripe_misses_[done.p] = done.verify_stripe_misses;
+  }
   inst.done[done.p] = std::move(done);
   ++inst.received;
   if (inst.received == inst.done.size()) finish_instance(instance_id);
@@ -398,6 +406,54 @@ std::string Coordinator::metrics_text() const {
           "frames past their phase release point", totals_.stale_frames);
   counter("dr82_sync_send_errors_total", "frame sends that failed",
           totals_.send_errors);
+
+  // Striped verification store: per-stripe counters summed element-wise
+  // over the endpoints' latest cumulative snapshots. Hit rate per stripe =
+  // hits / (hits + misses); a flat distribution across stripes means the
+  // lock striping is actually spreading contention.
+  std::size_t stripes = 0;
+  for (const auto& per_endpoint : stripe_hits_) {
+    stripes = std::max(stripes, per_endpoint.size());
+  }
+  std::vector<std::uint64_t> hits(stripes, 0);
+  std::vector<std::uint64_t> misses(stripes, 0);
+  std::uint64_t hits_total = 0;
+  std::uint64_t misses_total = 0;
+  for (std::size_t e = 0; e < stripe_hits_.size(); ++e) {
+    for (std::size_t i = 0; i < stripe_hits_[e].size(); ++i) {
+      hits[i] += stripe_hits_[e][i];
+      hits_total += stripe_hits_[e][i];
+    }
+    for (std::size_t i = 0;
+         i < stripe_misses_[e].size() && i < stripes; ++i) {
+      misses[i] += stripe_misses_[e][i];
+      misses_total += stripe_misses_[e][i];
+    }
+  }
+  gauge("dr82_verify_stripes", "lock stripes per endpoint verify store",
+        stripes);
+  counter("dr82_verify_stripe_hits_total",
+          "striped verify-store hits summed over stripes and endpoints",
+          static_cast<std::size_t>(hits_total));
+  counter("dr82_verify_stripe_misses_total",
+          "striped verify-store misses summed over stripes and endpoints",
+          static_cast<std::size_t>(misses_total));
+  if (stripes > 0) {
+    os << "# HELP dr82_verify_stripe_hits per-stripe verify-store hits"
+       << " summed over endpoints\n"
+       << "# TYPE dr82_verify_stripe_hits counter\n";
+    for (std::size_t i = 0; i < stripes; ++i) {
+      os << "dr82_verify_stripe_hits{stripe=\"" << i << "\"} " << hits[i]
+         << "\n";
+    }
+    os << "# HELP dr82_verify_stripe_misses per-stripe verify-store misses"
+       << " summed over endpoints\n"
+       << "# TYPE dr82_verify_stripe_misses counter\n";
+    for (std::size_t i = 0; i < stripes; ++i) {
+      os << "dr82_verify_stripe_misses{stripe=\"" << i << "\"} "
+         << misses[i] << "\n";
+    }
+  }
   return os.str();
 }
 

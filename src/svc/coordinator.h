@@ -135,6 +135,11 @@ class Coordinator {
       queued_;
   std::map<std::uint64_t, Instance> instances_;
   Totals totals_;
+  /// Latest cumulative per-stripe verification-store snapshot reported by
+  /// each endpoint (EndpointDone carries cumulative counters, so keeping
+  /// the newest one per endpoint and summing is order-independent).
+  std::vector<std::vector<std::uint64_t>> stripe_hits_;
+  std::vector<std::vector<std::uint64_t>> stripe_misses_;
   int exit_code_ = 0;
 };
 

@@ -6,6 +6,7 @@
 //                [--transmitter P] [--value V] [--seed S] [--timeout MS]
 //   dr82d metrics --connect HOST:PORT
 //   dr82d smoke [--endpoints E]
+//   dr82d backends
 //
 // `coord --spawn` re-executes this binary (via /proc/self/exe) once per
 // endpoint, so one command brings up the whole multi-process deployment.
@@ -26,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "crypto/hash_backend.h"
 #include "net/harness.h"
 #include "net/sockets.h"
 #include "sim/chaos.h"
@@ -491,15 +493,34 @@ int cmd_metrics(int argc, char** argv) {
   return 0;
 }
 
+// Capability probe: which SHA-256 backends this build + CPU can run and
+// which one dispatch resolved to (after DR82_HASH_BACKEND). CI prints
+// this before the crypto suites so a skipped SIMD equivalence test is
+// attributable to the runner, not the build.
+int cmd_backends(int, char**) {
+  std::printf("cpu: sha_ni=%s avx2=%s\n",
+              crypto::cpu_supports_sha_ni() ? "yes" : "no",
+              crypto::cpu_supports_avx2() ? "yes" : "no");
+  for (const crypto::HashBackend* backend :
+       crypto::supported_hash_backends()) {
+    std::printf("supported: %-6s (lanes=%zu)\n", backend->name,
+                backend->lanes);
+  }
+  std::printf("active: %s\n", crypto::hash_backend().name);
+  return 0;
+}
+
 void usage() {
   std::fputs(
-      "usage: dr82d <coord|endpoint|submit|metrics|smoke> [options]\n"
+      "usage: dr82d <coord|endpoint|submit|metrics|smoke|backends>"
+      " [options]\n"
       "  coord    --listen HOST:PORT --endpoints E [--spawn]\n"
       "  endpoint --coord HOST:PORT --id P --endpoints E\n"
       "  submit   --connect HOST:PORT --protocol NAME --n N --t T\n"
       "           [--transmitter P] [--value V] [--seed S] [--timeout MS]\n"
       "  metrics  --connect HOST:PORT\n"
-      "  smoke    [--endpoints E]\n",
+      "  smoke    [--endpoints E]\n"
+      "  backends\n",
       stderr);
 }
 
@@ -516,6 +537,7 @@ int main(int argc, char** argv) {
   if (cmd == "submit") return cmd_submit(argc, argv);
   if (cmd == "metrics") return cmd_metrics(argc, argv);
   if (cmd == "smoke") return cmd_smoke(argc, argv);
+  if (cmd == "backends") return cmd_backends(argc, argv);
   usage();
   return 2;
 }

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "crypto/signature.h"
@@ -24,9 +25,19 @@ namespace {
 /// phase ahead (its barrier waits for us), so this bound is generous; past
 /// it the instance is considered garbage and the extra frames dropped.
 constexpr std::size_t kMaxPendingChunks = 4096;
+
+/// Options::max_workers == 0 means "size the pool to the machine".
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 2 ? hw : 2;
+}
 }  // namespace
 
-EndpointNode::EndpointNode(const Options& options) : options_(options) {
+EndpointNode::EndpointNode(const Options& options)
+    : options_(options),
+      verify_cache_(options.verify_stripes),
+      pool_(resolve_workers(options.max_workers)) {
   DR_EXPECTS(options.endpoints >= 1);
   DR_EXPECTS(options.id < options.endpoints);
   mesh_fds_.assign(options.endpoints, -1);
@@ -39,9 +50,7 @@ EndpointNode::EndpointNode(const Options& options) : options_(options) {
 
 EndpointNode::~EndpointNode() {
   abort_all_instances();
-  for (auto& [id, inst] : running_) {
-    if (inst.worker.joinable()) inst.worker.join();
-  }
+  pool_.shutdown();  // joins in-flight instance workers
   if (listener_fd_ >= 0) ::close(listener_fd_);
   // Conns close their own fds; raw fds that never became Conns need help.
   if (coord_conn_ == nullptr && coord_fd_ >= 0) ::close(coord_fd_);
@@ -176,9 +185,7 @@ int EndpointNode::run() {
   if (!handshake()) return 2;
   reactor_.run();
   abort_all_instances();
-  for (auto& [id, inst] : running_) {
-    if (inst.worker.joinable()) inst.worker.join();
-  }
+  pool_.shutdown();
   running_.clear();
   return exit_code_;
 }
@@ -251,10 +258,6 @@ void EndpointNode::handle_start(std::uint64_t id, SubmitRequest req) {
     pending_.erase(id);
     return;
   }
-  if (active_workers_ >= options_.max_workers) {
-    admission_.emplace_back(id, std::move(req));
-    return;
-  }
   launch(id, std::move(req));
 }
 
@@ -279,12 +282,15 @@ void EndpointNode::launch(std::uint64_t id, SubmitRequest req) {
       net::SockClock::now() + options_.instance_deadline,
       [channel] { channel->abort.store(true, std::memory_order_relaxed); });
 
+  // The record goes live before the job is queued: frames arriving while
+  // the instance waits for a pool worker flow straight into the channel,
+  // and the deadline timer above is already armed — an instance starved in
+  // the queue past the deadline aborts the moment a worker picks it up.
   SubmitRequest worker_req = std::move(req);
-  inst.worker = std::thread([this, id, worker_req, channel] {
-    worker_main(id, worker_req, channel);
-  });
-  ++active_workers_;
   running_.emplace(id, std::move(inst));
+  pool_.submit([this, id, req = std::move(worker_req), channel] {
+    worker_main(id, req, channel);
+  });
 }
 
 void EndpointNode::worker_main(std::uint64_t id, SubmitRequest req,
@@ -333,6 +339,12 @@ void EndpointNode::worker_main(std::uint64_t id, SubmitRequest req,
     sim::FaultPlan plan(req.rules, req.plan_seed);
     InstanceTransport transport(id, self, n, *this, channel);
 
+    // Per-instance view of the endpoint-wide striped verification store.
+    // Realm scoping makes this session's hit/miss sequence identical to a
+    // private cache's, so per-instance metrics stay parity-clean while the
+    // map itself is shared (and striped) across every concurrent instance.
+    crypto::StripedVerifyCache::Session session = verify_cache_.session(id);
+
     net::EndpointRun run;
     run.p = self;
     run.n = n;
@@ -350,6 +362,7 @@ void EndpointNode::worker_main(std::uint64_t id, SubmitRequest req,
     run.fault_plan = req.rules.empty() ? nullptr : &plan;
     run.fault_mu = nullptr;
     run.abort = &channel->abort;
+    run.chain_cache = &session;
 
     sim::Metrics metrics(n);
     net::SyncStats sync;
@@ -362,6 +375,19 @@ void EndpointNode::worker_main(std::uint64_t id, SubmitRequest req,
     done.metrics = std::move(metrics);
     done.sync = sync;
     done.perturbed.assign(plan.perturbed().begin(), plan.perturbed().end());
+
+    // Cumulative endpoint-level stripe counters, snapshotted at completion.
+    // Cumulative (not delta) snapshots are robust to reporting order: the
+    // coordinator just keeps the latest snapshot per endpoint and sums.
+    const std::size_t stripes = verify_cache_.stripe_count();
+    done.verify_stripe_hits.resize(stripes);
+    done.verify_stripe_misses.resize(stripes);
+    for (std::size_t i = 0; i < stripes; ++i) {
+      const crypto::StripedVerifyCache::StripeStats stats =
+          verify_cache_.stripe_stats(i);
+      done.verify_stripe_hits[i] = stats.hits;
+      done.verify_stripe_misses[i] = stats.misses;
+    }
   }
 
   Bytes done_msg = encode_done(id, done);
@@ -374,17 +400,10 @@ void EndpointNode::complete(std::uint64_t id, Bytes done_msg) {
   const auto it = running_.find(id);
   if (it == running_.end()) return;
   reactor_.cancel_timer(it->second.deadline_timer);
-  if (it->second.worker.joinable()) it->second.worker.join();
   running_.erase(it);
   completed_.insert(id);
-  --active_workers_;
   if (coord_conn_ != nullptr && !coord_conn_->closed()) {
     coord_conn_->send(std::move(done_msg));
-  }
-  while (active_workers_ < options_.max_workers && !admission_.empty()) {
-    auto [next_id, next_req] = std::move(admission_.front());
-    admission_.pop_front();
-    launch(next_id, std::move(next_req));
   }
 }
 

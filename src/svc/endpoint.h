@@ -9,8 +9,10 @@
 //      deadlock-free orientation net/tcp.cpp uses);
 //   4. report kReady, hand every socket to the epoll reactor, serve.
 //
-// Serving: kStart spawns an instance worker thread that runs
-// net::run_endpoint_phases over an InstanceTransport; the reactor
+// Serving: kStart enqueues an instance job on a fixed FIFO worker pool
+// (svc/instance_pool.h); a pool worker runs net::run_endpoint_phases over
+// an InstanceTransport with a per-instance session of the endpoint's
+// shared striped verification store; the reactor
 // demultiplexes kMesh envelopes into per-instance mailboxes, flushes
 // worker sends out of Conn outboxes, and arms a per-instance watchdog
 // timer. Frames for instances this endpoint has not started yet are
@@ -21,16 +23,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "crypto/verify_cache.h"
 #include "svc/instance.h"
+#include "svc/instance_pool.h"
 #include "svc/reactor.h"
 #include "svc/wire.h"
 
@@ -51,8 +53,14 @@ class EndpointNode final : public MeshSender {
     /// aborted and reported unfinished (never a hang, same contract as
     /// NetConfig::run_deadline).
     std::chrono::milliseconds instance_deadline{120000};
-    /// Concurrent instance workers; further kStarts queue FIFO.
-    std::size_t max_workers = 256;
+    /// Fixed instance-pool size; 0 = auto (hardware concurrency, at
+    /// least 2). Concurrency per endpoint is capped here — further
+    /// kStarts queue FIFO inside the pool (see svc/instance_pool.h for
+    /// why FIFO makes the cap deadlock-free across the mesh).
+    std::size_t max_workers = 0;
+    /// Lock stripes of the shared verification store all instances on
+    /// this endpoint use (crypto::StripedVerifyCache).
+    std::size_t verify_stripes = crypto::StripedVerifyCache::kDefaultStripes;
   };
 
   explicit EndpointNode(const Options& options);
@@ -70,7 +78,6 @@ class EndpointNode final : public MeshSender {
   struct Running {
     SubmitRequest req;
     std::shared_ptr<InstanceChannel> channel;
-    std::thread worker;
     Reactor::TimerId deadline_timer = 0;
   };
 
@@ -82,8 +89,8 @@ class EndpointNode final : public MeshSender {
   void launch(std::uint64_t id, SubmitRequest req);
   void worker_main(std::uint64_t id, SubmitRequest req,
                    std::shared_ptr<InstanceChannel> channel);
-  /// Reactor-thread completion: sends kDone, retires the record, admits
-  /// the next queued start.
+  /// Reactor-thread completion: sends kDone and retires the record (the
+  /// pool admits the next queued instance on its own).
   void complete(std::uint64_t id, Bytes done_msg);
   void abort_all_instances();
 
@@ -99,9 +106,14 @@ class EndpointNode final : public MeshSender {
   std::map<std::uint64_t, Running> running_;       // reactor thread
   std::unordered_set<std::uint64_t> completed_;    // reactor thread
   std::unordered_map<std::uint64_t, std::vector<net::RawChunk>> pending_;
-  std::deque<std::pair<std::uint64_t, SubmitRequest>> admission_;
-  std::size_t active_workers_ = 0;
   int exit_code_ = 0;
+
+  /// Shared verification store: one striped map for every instance this
+  /// endpoint runs, accessed through per-instance realm Sessions.
+  crypto::StripedVerifyCache verify_cache_;
+  /// Declared last so its destructor joins the workers while the reactor,
+  /// connections and verify store above are still alive.
+  InstancePool pool_;
 };
 
 }  // namespace dr::svc

@@ -1,0 +1,61 @@
+#include "svc/instance_pool.h"
+
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace dr::svc {
+
+InstancePool::InstancePool(std::size_t workers) {
+  DR_EXPECTS(workers >= 1);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+InstancePool::~InstancePool() { shutdown(); }
+
+void InstancePool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void InstancePool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::size_t InstancePool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void InstancePool::worker_main() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace dr::svc

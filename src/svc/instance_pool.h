@@ -1,0 +1,68 @@
+// A fixed pool of instance workers for the agreement daemon's endpoints.
+//
+// The endpoint used to spawn one OS thread per kStart (bounded only by an
+// admission counter), so N concurrent instances cost N stacks and N
+// schedulable threads per endpoint process. The pool inverts that: a fixed
+// set of workers drains a FIFO queue of instance jobs, so concurrency per
+// endpoint is capped at the pool size and further instances wait their
+// turn in line.
+//
+// FIFO order is what makes the cap deadlock-free across the mesh. Every
+// endpoint receives kStart messages over one TCP connection from the
+// coordinator, so all endpoints enqueue instances in the same global
+// order. Consider the earliest-started instance not yet finished
+// everywhere: on each participating endpoint, every instance ordered
+// before it has finished there, so it is either already running or at the
+// head of the queue — either way it holds (or immediately gets) a worker
+// on all of its participants, its phase barriers can complete, and it
+// terminates (the per-instance watchdog bounds even the faulty cases). By
+// induction the whole backlog drains, for any pool size >= 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dr::svc {
+
+class InstancePool {
+ public:
+  /// Starts `workers` threads (at least 1).
+  explicit InstancePool(std::size_t workers);
+
+  /// Equivalent to shutdown().
+  ~InstancePool();
+
+  InstancePool(const InstancePool&) = delete;
+  InstancePool& operator=(const InstancePool&) = delete;
+
+  /// Appends a job to the FIFO queue. Jobs submitted after shutdown() are
+  /// silently dropped (the daemon is exiting; their instances report
+  /// nothing, which the coordinator's watchdog already handles).
+  void submit(std::function<void()> job);
+
+  /// Stops accepting work, discards jobs still queued (running jobs finish
+  /// normally — they hold instance state that must unwind), and joins the
+  /// workers. Idempotent.
+  void shutdown();
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Jobs waiting for a worker (diagnostics/tests; racy by nature).
+  std::size_t queued() const;
+
+ private:
+  void worker_main();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dr::svc

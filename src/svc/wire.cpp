@@ -246,6 +246,10 @@ Bytes encode_done(std::uint64_t instance, const EndpointDone& done) {
   done.metrics.encode(w);
   encode_sync(w, done.sync);
   encode_proc_list(w, done.perturbed);
+  w.seq(done.verify_stripe_hits.size());
+  for (const std::uint64_t h : done.verify_stripe_hits) w.u64(h);
+  w.seq(done.verify_stripe_misses.size());
+  for (const std::uint64_t m : done.verify_stripe_misses) w.u64(m);
   return seal_body(w.out());
 }
 
@@ -260,6 +264,14 @@ std::optional<EndpointDone> decode_done(Reader& r) {
   done.metrics = *std::move(metrics);
   done.sync = decode_sync(r);
   done.perturbed = decode_proc_list(r);
+  const std::size_t hits = r.seq();
+  for (std::size_t i = 0; r.ok() && i < hits; ++i) {
+    done.verify_stripe_hits.push_back(r.u64());
+  }
+  const std::size_t misses = r.seq();
+  for (std::size_t i = 0; r.ok() && i < misses; ++i) {
+    done.verify_stripe_misses.push_back(r.u64());
+  }
   if (!r.done()) return std::nullopt;
   return done;
 }

@@ -116,6 +116,13 @@ struct EndpointDone {
   sim::Metrics metrics;
   net::SyncStats sync;
   std::vector<ProcId> perturbed;
+  /// Cumulative per-stripe hit/miss counters of the endpoint's shared
+  /// StripedVerifyCache, snapshotted when this instance completed. The
+  /// coordinator keeps the latest snapshot per endpoint (cumulative beats
+  /// delta: reporting order does not matter) for its Prometheus export;
+  /// per-instance Metrics stay stripe-free so parity holds.
+  std::vector<std::uint64_t> verify_stripe_hits;
+  std::vector<std::uint64_t> verify_stripe_misses;
 };
 
 struct DecisionResponse {

@@ -1,0 +1,134 @@
+// A monotonic bump allocator for phase-scoped scratch.
+//
+// The batch-verification prepass (ba::prewarm_inbox) builds digest and
+// request arrays sized by the whole inbox, every phase, for every process.
+// Growing std::vectors from the heap each time costs a malloc/free pair
+// per array per phase; an Arena turns that into pointer bumps against
+// blocks that are recycled with reset() — O(1) allocator traffic per
+// inbox batch once the block list has warmed up.
+//
+// Not thread-safe; the intended shape is one thread_local arena per
+// worker, reset at the top of each batch. Destructors of arena-allocated
+// objects are NOT run by reset() — only use it for trivially-destructible
+// payloads or via containers that don't own non-arena resources.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace dr {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockSize = 64 * 1024;
+
+  explicit Arena(std::size_t block_size = kDefaultBlockSize)
+      : block_size_(block_size == 0 ? kDefaultBlockSize : block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `size` bytes aligned to `align` (a power of two).
+  /// Oversized requests get a dedicated block; everything stays owned by
+  /// the arena until destruction.
+  void* allocate(std::size_t size, std::size_t align) {
+    DR_EXPECTS(align != 0 && (align & (align - 1)) == 0);
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (base + (align - 1)) & ~(align - 1);
+    const std::size_t padding = aligned - base;
+    if (current_ == nullptr || padding + size > remaining_) {
+      grow(size + align);
+      return allocate(size, align);
+    }
+    cursor_ = reinterpret_cast<std::uint8_t*>(aligned) + size;
+    remaining_ -= padding + size;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Recycles every block for reuse without releasing memory: subsequent
+  /// allocations bump through the existing blocks again. Anything
+  /// previously allocated is invalidated.
+  void reset() {
+    next_block_ = 0;
+    current_ = nullptr;
+    cursor_ = nullptr;
+    remaining_ = 0;
+    advance();
+  }
+
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const auto& block : blocks_) total += block.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Moves to the next recycled block that fits, or appends a new one.
+  void grow(std::size_t need) {
+    while (next_block_ < blocks_.size()) {
+      if (blocks_[next_block_].size >= need) {
+        advance();
+        return;
+      }
+      ++next_block_;  // too small for this request; skip it this cycle
+    }
+    const std::size_t size = need > block_size_ ? need : block_size_;
+    blocks_.push_back(Block{std::make_unique<std::uint8_t[]>(size), size});
+    advance();
+  }
+
+  void advance() {
+    if (next_block_ >= blocks_.size()) return;
+    Block& block = blocks_[next_block_++];
+    current_ = &block;
+    cursor_ = block.data.get();
+    remaining_ = block.size;
+  }
+
+  std::size_t block_size_;
+  std::vector<Block> blocks_;
+  std::size_t next_block_ = 0;  // first block not yet handed out this cycle
+  Block* current_ = nullptr;
+  std::uint8_t* cursor_ = nullptr;
+  std::size_t remaining_ = 0;
+};
+
+/// Minimal std-allocator adapter over Arena so standard containers can use
+/// phase scratch: std::vector<T, ArenaAllocator<T>> v{ArenaAllocator<T>(&a)}.
+/// deallocate is a no-op (memory returns on arena reset).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace dr

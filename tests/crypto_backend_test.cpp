@@ -1,0 +1,327 @@
+// Backend-equivalence fuzzing: every SHA-256 compression backend (scalar,
+// SHA-NI, AVX2 multi-buffer) must be bit-identical on digests, midstate
+// checkpoint/resume, HMACs, batch MACs and batch signature verification.
+// This is what lets hash_backend() dispatch at runtime without the
+// possibility of changing any wire byte. Backends the CPU cannot run are
+// skipped visibly (GTEST_SKIP), never silently passed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "crypto/hash_backend.h"
+#include "crypto/hmac.h"
+#include "crypto/key_registry.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "crypto/verify_cache.h"
+#include "crypto/wots.h"
+#include "util/bytes.h"
+
+namespace dr::crypto {
+namespace {
+
+/// RAII backend switch: selects `name` for the test body, restores "auto"
+/// on the way out so test order can never leak a pinned backend.
+class BackendGuard {
+ public:
+  explicit BackendGuard(const char* name)
+      : ok_(select_hash_backend(name)) {}
+  ~BackendGuard() { select_hash_backend("auto"); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+bool backend_available(const std::string& name) {
+  if (name == "scalar") return true;
+  if (name == "shani") return cpu_supports_sha_ni();
+  if (name == "avx2") return cpu_supports_avx2();
+  return false;
+}
+
+#define REQUIRE_BACKEND(name)                                         \
+  do {                                                                \
+    if (!backend_available(name)) {                                   \
+      GTEST_SKIP() << "CPU lacks the '" << (name)                     \
+                   << "' SHA-256 backend; equivalence not testable "  \
+                      "on this machine";                              \
+    }                                                                 \
+  } while (0)
+
+Bytes random_bytes(std::mt19937_64& rng, std::size_t len) {
+  Bytes out(len);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+/// Streams `data` through Sha256 in random-sized chunks.
+Digest chunked_digest(std::mt19937_64& rng, ByteView data) {
+  Sha256 h;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t chunk =
+        1 + static_cast<std::size_t>(rng() % (data.size() - pos));
+    h.update(ByteView{data.data() + pos, chunk});
+    pos += chunk;
+  }
+  return h.finish();
+}
+
+/// Digests, chunked streaming and peek() checkpoints computed under
+/// `backend` over deterministic fuzz inputs. Lengths sweep the interesting
+/// boundaries: empty, sub-block, exact block, multi-block, and large
+/// multi-block inputs that exercise the n-block compress loop.
+struct Transcript {
+  std::vector<Digest> oneshot;
+  std::vector<Digest> chunked;
+  std::vector<Digest> checkpoints;  // peek() mid-stream, then resumed tail
+  std::vector<Digest> hmacs;
+  std::vector<Digest> batch_macs;
+};
+
+Transcript run_transcript(const char* backend) {
+  BackendGuard guard(backend);
+  EXPECT_TRUE(guard.ok()) << backend;
+  Transcript t;
+  std::mt19937_64 rng(0xD0'1E'5D'82u);  // fixed: transcripts must match
+
+  std::vector<std::size_t> lengths = {0, 1, 3, 55, 56, 63, 64, 65, 127, 128};
+  for (int i = 0; i < 24; ++i) lengths.push_back(rng() % 5000);
+
+  const Bytes key_a = random_bytes(rng, 32);
+  const Bytes key_b = random_bytes(rng, 91);  // > block size: gets hashed
+  const HmacKey prepared_a(key_a);
+  const HmacKey prepared_b(key_b);
+
+  for (const std::size_t len : lengths) {
+    const Bytes data = random_bytes(rng, len);
+    t.oneshot.push_back(sha256(data));
+    t.chunked.push_back(chunked_digest(rng, data));
+
+    // Checkpoint/resume: peek() at a random split point, then keep
+    // absorbing and finish. Both digests go into the transcript.
+    Sha256 h;
+    const std::size_t split = len == 0 ? 0 : rng() % (len + 1);
+    h.update(ByteView{data.data(), split});
+    t.checkpoints.push_back(h.peek());
+    h.update(ByteView{data.data() + split, len - split});
+    t.checkpoints.push_back(h.finish());
+
+    t.hmacs.push_back(hmac_sha256(key_a, data));
+    t.hmacs.push_back(prepared_b.mac(data));
+  }
+
+  // Batch MACs across the one-block boundary, mixed keys: the multi-buffer
+  // path handles short messages, the fallback handles long ones, and both
+  // must equal mac().
+  std::vector<Bytes> messages;
+  std::vector<HmacBatchItem> items;
+  for (std::size_t len = 0; len <= kHmacOneBlockMax + 8; ++len) {
+    messages.push_back(random_bytes(rng, len));
+  }
+  items.resize(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    items[i].key = (i % 2 == 0) ? &prepared_a : &prepared_b;
+    items[i].message = messages[i];
+  }
+  hmac_mac_many(items.data(), items.size());
+  for (const HmacBatchItem& item : items) t.batch_macs.push_back(item.out);
+  return t;
+}
+
+void expect_transcripts_equal(const Transcript& a, const Transcript& b) {
+  EXPECT_EQ(a.oneshot, b.oneshot);
+  EXPECT_EQ(a.chunked, b.chunked);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+  EXPECT_EQ(a.hmacs, b.hmacs);
+  EXPECT_EQ(a.batch_macs, b.batch_macs);
+}
+
+TEST(HashBackendEquivalence, ShaNiMatchesScalar) {
+  REQUIRE_BACKEND("shani");
+  expect_transcripts_equal(run_transcript("scalar"), run_transcript("shani"));
+}
+
+TEST(HashBackendEquivalence, Avx2MatchesScalar) {
+  REQUIRE_BACKEND("avx2");
+  expect_transcripts_equal(run_transcript("scalar"), run_transcript("avx2"));
+}
+
+TEST(HashBackendEquivalence, BatchMacEqualsSequentialMacPerBackend) {
+  std::mt19937_64 rng(7);
+  const Bytes key = random_bytes(rng, 32);
+  const HmacKey prepared(key);
+  std::vector<Bytes> messages;
+  for (int i = 0; i < 40; ++i) {
+    messages.push_back(random_bytes(rng, rng() % 120));
+  }
+  for (const HashBackend* backend : supported_hash_backends()) {
+    BackendGuard guard(backend->name);
+    ASSERT_TRUE(guard.ok());
+    std::vector<HmacBatchItem> items(messages.size());
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      items[i].key = &prepared;
+      items[i].message = messages[i];
+    }
+    hmac_mac_many(items.data(), items.size());
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      EXPECT_EQ(items[i].out, prepared.mac(messages[i]))
+          << backend->name << " message " << i;
+    }
+  }
+}
+
+/// verify_batch must agree with verify() item by item, for every scheme and
+/// every backend, across valid signatures, corrupted signatures, wrong
+/// signers and wrong messages.
+template <typename Scheme>
+void check_scheme_batch(Scheme& scheme, std::size_t n) {
+  std::mt19937_64 rng(42);
+  std::vector<Bytes> datas;
+  std::vector<Bytes> sigs;
+  std::vector<ProcId> signers;
+  for (int i = 0; i < 24; ++i) {
+    const ProcId signer = static_cast<ProcId>(rng() % n);
+    Bytes data = random_bytes(rng, 1 + rng() % 80);
+    Bytes sig = scheme.sign(signer, data);
+    switch (i % 4) {
+      case 1:  // corrupt the signature
+        sig[rng() % sig.size()] ^= 0x40;
+        break;
+      case 2:  // wrong message
+        data[rng() % data.size()] ^= 0x01;
+        break;
+      case 3:  // wrong signer claims the signature
+        signers.push_back(static_cast<ProcId>((signer + 1) % n));
+        datas.push_back(std::move(data));
+        sigs.push_back(std::move(sig));
+        continue;
+      default:
+        break;
+    }
+    signers.push_back(signer);
+    datas.push_back(std::move(data));
+    sigs.push_back(std::move(sig));
+  }
+
+  std::vector<VerifyItem> items(datas.size());
+  for (std::size_t i = 0; i < datas.size(); ++i) {
+    items[i].signer = signers[i];
+    items[i].data = datas[i];
+    items[i].sig = sigs[i];
+  }
+  scheme.verify_batch(items.data(), items.size());
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].ok, scheme.verify(signers[i], datas[i], sigs[i]))
+        << "item " << i;
+    if (items[i].ok) ++valid;
+  }
+  EXPECT_GT(valid, 0u);
+  EXPECT_LT(valid, items.size());  // the corruptions actually corrupted
+}
+
+TEST(SchemeBatchVerify, HmacRegistryAllBackends) {
+  for (const HashBackend* backend : supported_hash_backends()) {
+    BackendGuard guard(backend->name);
+    ASSERT_TRUE(guard.ok());
+    KeyRegistry scheme(5, 0xABCD);
+    check_scheme_batch(scheme, 5);
+  }
+}
+
+TEST(SchemeBatchVerify, MerkleInheritedLoop) {
+  MerkleScheme scheme(3, 0xABCD, 6);
+  check_scheme_batch(scheme, 3);
+}
+
+TEST(SchemeBatchVerify, WotsInheritedLoop) {
+  WotsScheme scheme(3, 0xABCD, 6);
+  check_scheme_batch(scheme, 3);
+}
+
+TEST(SchemeBatchVerify, CryptoVerifyBatchMatchesSequential) {
+  // crypto::verify_batch (the cache-aware chain-link entry point) against
+  // the sequential lookup/verify/insert loop: same verdicts, same
+  // counters, on two caches fed identical requests.
+  KeyRegistry scheme(4, 99);
+  std::mt19937_64 rng(3);
+  std::vector<Bytes> sigs;
+  std::vector<VerifyRequest> requests;
+  for (int i = 0; i < 16; ++i) {
+    const ProcId signer = static_cast<ProcId>(rng() % 4);
+    // A chain-link signature covers the prefix digest itself, so sign the
+    // digest bytes — the same shape verify_batch replays to the scheme.
+    const Digest covered = sha256(random_bytes(rng, 16));
+    Bytes sig =
+        scheme.sign(signer, ByteView{covered.data(), covered.size()});
+    if (i % 5 == 1) sig[0] ^= 0xFF;
+    sigs.push_back(std::move(sig));
+    VerifyRequest req;
+    req.signer = signer;
+    req.covered = covered;
+    req.extended = sha256(sigs.back());
+    requests.push_back(req);
+  }
+  // Duplicate a couple of requests: the batch must count one miss then
+  // hits for repeats, like the sequential loop.
+  requests.push_back(requests[0]);
+  requests.push_back(requests[3]);
+  sigs.push_back(sigs[0]);
+  sigs.push_back(sigs[3]);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].sig = sigs[i];
+  }
+
+  std::vector<VerifyRequest> batch = requests;
+  VerifyCache batch_cache;
+  verify_batch(scheme, &batch_cache, batch.data(), batch.size());
+
+  VerifyCache seq_cache;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    VerifyRequest& req = requests[i];
+    if (auto hit = seq_cache.lookup(
+            req.signer, req.covered,
+            ByteView{req.sig.data(), req.sig.size()})) {
+      req.ok = true;
+      req.cached = true;
+      continue;
+    }
+    req.ok = scheme.verify(
+        req.signer, ByteView{req.covered.data(), req.covered.size()},
+        ByteView{req.sig.data(), req.sig.size()});
+    if (req.ok) {
+      seq_cache.insert(req.signer, req.covered,
+                       ByteView{req.sig.data(), req.sig.size()},
+                       req.extended);
+    }
+  }
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(batch[i].ok, requests[i].ok) << "item " << i;
+    EXPECT_EQ(batch[i].cached, requests[i].cached) << "item " << i;
+  }
+  EXPECT_EQ(batch_cache.hits(), seq_cache.hits());
+  EXPECT_EQ(batch_cache.misses(), seq_cache.misses());
+  EXPECT_EQ(batch_cache.size(), seq_cache.size());
+}
+
+TEST(HashBackendSelection, UnknownAndUnsupportedNamesRejected) {
+  EXPECT_FALSE(select_hash_backend("sha3"));
+  EXPECT_TRUE(select_hash_backend("scalar"));
+  EXPECT_STREQ(hash_backend().name, "scalar");
+  EXPECT_TRUE(select_hash_backend("auto"));
+  // Scalar is always in the supported set.
+  bool has_scalar = false;
+  for (const HashBackend* backend : supported_hash_backends()) {
+    if (std::string(backend->name) == "scalar") has_scalar = true;
+  }
+  EXPECT_TRUE(has_scalar);
+}
+
+}  // namespace
+}  // namespace dr::crypto

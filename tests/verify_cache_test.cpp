@@ -5,6 +5,8 @@
 // prefix past verification.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "ba/signed_value.h"
 #include "crypto/key_registry.h"
 #include "crypto/merkle.h"
@@ -193,6 +195,127 @@ TEST(VerifyCacheEndToEnd, RelayingProtocolsHitUnderByzantineLoad) {
          test::chaos(static_cast<ba::ProcId>(c.n - 2), 29)});
     EXPECT_GT(result.metrics.chain_cache_hits(), 0u) << c.protocol.name;
   }
+}
+
+// ---------------------------------------------------------------------------
+// StripedVerifyCache: the shared, lock-striped store the daemon endpoints
+// put under every concurrent instance. Realm scoping must make each
+// session behave exactly like a private VerifyCache — same verdicts, same
+// hit/miss sequence — and the per-stripe counters must account for every
+// lookup exactly once, no matter how many threads hammer the stripes.
+
+TEST(StripedVerifyCache, SessionEquivalentToPrivateCache) {
+  crypto::KeyRegistry scheme(6, 11);
+  std::vector<crypto::ProcId> ids{0, 1, 2, 3, 4, 5};
+  crypto::Signer signer(&scheme, ids);
+  const crypto::Verifier verifier(&scheme);
+  ba::SignedValue sv = ba::make_signed(1, signer, 0);
+  for (crypto::ProcId p = 1; p < 5; ++p) {
+    sv = ba::extend(std::move(sv), signer, p);
+  }
+  ba::SignedValue forged = sv;
+  forged.chain[2].sig[1] ^= 0x10;
+
+  crypto::StripedVerifyCache striped(4);
+  auto session = striped.session(77);
+  VerifyCache reference;
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(ba::verify_chain(sv, verifier, &session),
+              ba::verify_chain(sv, verifier, &reference));
+    EXPECT_EQ(ba::verify_chain(forged, verifier, &session),
+              ba::verify_chain(forged, verifier, &reference));
+    EXPECT_EQ(session.hits(), reference.hits()) << "round " << round;
+    EXPECT_EQ(session.misses(), reference.misses()) << "round " << round;
+  }
+  EXPECT_EQ(session.size(), reference.size());
+}
+
+TEST(StripedVerifyCache, RealmsAreIsolated) {
+  crypto::StripedVerifyCache striped(2);
+  auto a = striped.session(1);
+  auto b = striped.session(2);
+  const Digest prefix = digest_of(0x44);
+  const Digest extended = digest_of(0x55);
+  const Bytes sig{9, 9, 9};
+  a.insert(3, prefix, sig, extended);
+  EXPECT_TRUE(a.lookup(3, prefix, sig).has_value());
+  // Same triple, different realm: must miss — instance isolation is what
+  // keeps per-instance metrics equal to solo runs.
+  EXPECT_FALSE(b.lookup(3, prefix, sig).has_value());
+  EXPECT_EQ(striped.size(), 1u);
+}
+
+TEST(StripedVerifyCache, ConcurrentSessionsExactCountersAndEquivalence) {
+  // kThreads instances verify overlapping chains concurrently, each in its
+  // own realm session of one shared 4-stripe store. Afterwards: every
+  // session's counters must equal a private cache's on the same workload
+  // (equivalence), and the per-stripe counters must sum to exactly the
+  // total session traffic (no lookup lost or double-counted under
+  // contention). Run under TSan this also proves the striping is race-free.
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 5;
+  crypto::KeyRegistry scheme(6, 23);
+  std::vector<crypto::ProcId> ids{0, 1, 2, 3, 4, 5};
+  crypto::Signer signer(&scheme, ids);
+  const crypto::Verifier verifier(&scheme);
+
+  // Shared workload: all threads verify the same two chains (overlap), so
+  // stripes see same-key traffic from different realms.
+  ba::SignedValue chain_a = ba::make_signed(1, signer, 0);
+  for (crypto::ProcId p = 1; p < 5; ++p) {
+    chain_a = ba::extend(std::move(chain_a), signer, p);
+  }
+  ba::SignedValue chain_b = ba::make_signed(0, signer, 5);
+  chain_b = ba::extend(std::move(chain_b), signer, 4);
+  ba::SignedValue forged = chain_a;
+  forged.chain[1].sig[0] ^= 0x01;
+
+  crypto::StripedVerifyCache striped(4);
+  std::vector<std::size_t> hits(kThreads, 0);
+  std::vector<std::size_t> misses(kThreads, 0);
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto session = striped.session(1000 + i);
+      for (int round = 0; round < kRounds; ++round) {
+        if (!ba::verify_chain(chain_a, verifier, &session)) ++failures[i];
+        if (!ba::verify_chain(chain_b, verifier, &session)) ++failures[i];
+        if (ba::verify_chain(forged, verifier, &session)) ++failures[i];
+      }
+      hits[i] = session.hits();
+      misses[i] = session.misses();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Reference: the identical workload against a private cache.
+  VerifyCache reference;
+  for (int round = 0; round < kRounds; ++round) {
+    EXPECT_TRUE(ba::verify_chain(chain_a, verifier, &reference));
+    EXPECT_TRUE(ba::verify_chain(chain_b, verifier, &reference));
+    EXPECT_FALSE(ba::verify_chain(forged, verifier, &reference));
+  }
+
+  std::size_t session_total = 0;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(failures[i], 0) << "thread " << i;
+    EXPECT_EQ(hits[i], reference.hits()) << "thread " << i;
+    EXPECT_EQ(misses[i], reference.misses()) << "thread " << i;
+    session_total += hits[i] + misses[i];
+  }
+
+  std::uint64_t stripe_total = 0;
+  std::uint64_t stripe_entries = 0;
+  for (std::size_t s = 0; s < striped.stripe_count(); ++s) {
+    const auto stats = striped.stripe_stats(s);
+    stripe_total += stats.hits + stats.misses;
+    stripe_entries += stats.entries;
+  }
+  EXPECT_EQ(stripe_total, session_total);
+  EXPECT_EQ(stripe_entries, striped.size());
+  // Realm scoping: each thread inserted its own copies of the valid links.
+  EXPECT_EQ(striped.size(), kThreads * reference.size());
 }
 
 }  // namespace
