@@ -27,7 +27,10 @@ single-core run therefore never fails a parallel gate, and a baseline
 measured with more worker threads than the current run is never compared
 against it. SIMD speedup keys (name contains "simd") are likewise skipped
 when either report's meta.hash_backends shows the machine had no SIMD
-SHA-256 backend (neither shani nor avx2).
+SHA-256 backend (neither shani nor avx2), and — gates and floors both —
+when the two reports' meta.hash_backends differ at all: a ratio measured
+against SHA-NI must not gate (or excuse) a run measured against AVX2-only
+hardware.
 
 Exit status: 0 when no gated metric regressed, 1 otherwise. Stdlib only.
 """
@@ -130,6 +133,20 @@ def main():
                     f"{meta.get('hash_backends')!r})")
         return None
 
+    def simd_backends_mismatch_note():
+        """A SIMD speedup measured against one backend set (say SHA-NI)
+        must not gate a run measured against another (say AVX2-only):
+        both sides may "have SIMD" and still be incomparable. Skip
+        visibly, like the parallel cores mismatch."""
+        base_backends = base_meta.get("hash_backends")
+        cur_backends = cur_meta.get("hash_backends")
+        if base_backends is None or cur_backends is None:
+            return None
+        if base_backends != cur_backends:
+            return (f"baseline hash_backends {base_backends!r} != "
+                    f"current {cur_backends!r}; not comparable")
+        return None
+
     def cores_mismatch_note(key):
         """A parallel baseline from a beefier machine must not silently
         gate (or excuse) a weaker current run; skip visibly instead."""
@@ -161,7 +178,8 @@ def main():
                 continue
         if is_speedup and "simd" in key:
             note = (simd_skip_note(base_meta, "baseline")
-                    or simd_skip_note(cur_meta, "current"))
+                    or simd_skip_note(cur_meta, "current")
+                    or simd_backends_mismatch_note())
             if note is not None:
                 skipped.append((key, note))
                 continue
@@ -200,7 +218,8 @@ def main():
                     skipped.append((key, f"floor {floor_value:g}: {note}"))
                     continue
             if "simd" in key:
-                note = simd_skip_note(cur_meta, "current")
+                note = (simd_skip_note(cur_meta, "current")
+                        or simd_backends_mismatch_note())
                 if note is not None:
                     skipped.append((key, f"floor {floor_value:g}: {note}"))
                     continue

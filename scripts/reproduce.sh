@@ -28,6 +28,12 @@ ctest --test-dir "$BUILD" -L churn -j"$(nproc)" --output-on-failure
 # then the self-contained smoke drill under a hard timeout.
 ctest --test-dir "$BUILD" -L svc -j"$(nproc)" --output-on-failure
 timeout 240 "$BUILD"/src/dr82d smoke --endpoints 5
+# Transferable proofs: the forgery battery, the proven-value store and
+# the cross-backend byte-parity suite, then the offline-verification
+# drill — extract proofs over the wire, shut the daemon down, verify
+# every proof offline, reject a tampered copy (docs/PROOFS.md).
+ctest --test-dir "$BUILD" -L proof -j"$(nproc)" --output-on-failure
+timeout 240 "$BUILD"/src/dr82d proof-smoke --endpoints 5
 # Conformance: the paper's bounds as executable oracles over randomized
 # cases, differentially across sim / in-process / TCP (EXPERIMENTS.md E12).
 ctest --test-dir "$BUILD" -L conf -j"$(nproc)" --output-on-failure
@@ -37,14 +43,16 @@ ctest --test-dir "$BUILD" -L conf -j"$(nproc)" --output-on-failure
 # verification must match the sequential loop verdict-for-verdict
 # (EXPERIMENTS.md E13/E14).
 ctest --test-dir "$BUILD" -L crypto -j"$(nproc)" --output-on-failure
-# Benchmarks. bench_crypto and bench_headline also regenerate the JSON
-# summaries committed at the repo root; scripts/bench_compare.py gates the
-# machine-independent speedup ratios in them against a baseline.
+# Benchmarks. bench_crypto, bench_headline and bench_proof also
+# regenerate the JSON summaries committed at the repo root;
+# scripts/bench_compare.py gates the machine-independent speedup ratios
+# in them against a baseline.
 "$BUILD"/bench/bench_crypto --json BENCH_crypto.json
 "$BUILD"/bench/bench_headline --json BENCH_headline.json
+"$BUILD"/bench/bench_proof --json BENCH_proof.json
 for b in "$BUILD"/bench/*; do
   case "$b" in
-    */bench_crypto|*/bench_headline) continue ;;
+    */bench_crypto|*/bench_headline|*/bench_proof) continue ;;
   esac
   [ -x "$b" ] && "$b"
 done

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ba/evidence.h"
 #include "ba/valid_message.h"
 #include "util/contracts.h"
 
@@ -103,6 +104,11 @@ void Algorithm2::on_phase(sim::Context& ctx) {
 
 std::optional<Value> Algorithm2::decision() const {
   return inner_->decision();
+}
+
+std::optional<Bytes> Algorithm2::evidence() const {
+  if (!proof_.has_value()) return std::nullopt;
+  return encode_evidence(Evidence{EvidenceKind::kPossession, *proof_});
 }
 
 }  // namespace dr::ba

@@ -40,6 +40,9 @@ class Algorithm2 final : public sim::Process {
 
   void on_phase(sim::Context& ctx) override;
   std::optional<Value> decision() const override;
+  /// The possession proof as decision-time evidence (kind kPossession),
+  /// when acquired.
+  std::optional<Bytes> evidence() const override;
 
   /// Alg 1's t+2 phases, then sends at steps t+2+j (j = 1..2t+1), then one
   /// processing-only step.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ba/evidence.h"
 #include "ba/valid_message.h"
 #include "util/contracts.h"
 
@@ -218,6 +219,14 @@ std::optional<Value> Algorithm5Active::decision() const {
   return std::nullopt;
 }
 
+std::optional<Bytes> Algorithm5Active::evidence() const {
+  if (valid_.has_value()) {
+    return encode_evidence(Evidence{EvidenceKind::kValidMessage, *valid_});
+  }
+  if (inner_) return inner_->evidence();
+  return std::nullopt;
+}
+
 // ---------------------------------------------------------------------------
 // Passive
 
@@ -382,6 +391,11 @@ std::optional<Value> Algorithm5Passive::decision() const {
   return std::nullopt;
 }
 
+std::optional<Bytes> Algorithm5Passive::evidence() const {
+  if (!decided_.has_value()) return std::nullopt;
+  return encode_evidence(Evidence{EvidenceKind::kValidMessage, *decided_});
+}
+
 // ---------------------------------------------------------------------------
 // Algorithm2Ext
 
@@ -430,6 +444,12 @@ std::optional<Value> Algorithm2Ext::decision() const {
   if (inner_) return inner_->decision();
   if (adopted_.has_value()) return adopted_->value;
   return std::nullopt;
+}
+
+std::optional<Bytes> Algorithm2Ext::evidence() const {
+  if (inner_) return inner_->evidence();
+  if (!adopted_.has_value()) return std::nullopt;
+  return encode_evidence(Evidence{EvidenceKind::kValidMessage, *adopted_});
 }
 
 // ---------------------------------------------------------------------------

@@ -86,6 +86,10 @@ class Algorithm5Active final : public sim::Process {
 
   void on_phase(sim::Context& ctx) override;
   std::optional<Value> decision() const override;
+  /// The valid message backing the decision (kind kValidMessage), falling
+  /// back to the inner Algorithm 2's possession proof when the forwarding
+  /// phase has not produced one.
+  std::optional<Bytes> evidence() const override;
 
  private:
   void adopt_valid_messages(sim::Context& ctx);
@@ -120,6 +124,8 @@ class Algorithm5Passive final : public sim::Process {
 
   void on_phase(sim::Context& ctx) override;
   std::optional<Value> decision() const override;
+  /// The first valid message received (kind kValidMessage), when decided.
+  std::optional<Bytes> evidence() const override;
 
   bool activated() const { return activated_; }
 
@@ -152,6 +158,9 @@ class Algorithm2Ext final : public sim::Process {
 
   void on_phase(sim::Context& ctx) override;
   std::optional<Value> decision() const override;
+  /// Participants: the inner Algorithm 2's possession proof. Everyone
+  /// else: the adopted valid message (kind kValidMessage).
+  std::optional<Bytes> evidence() const override;
 
   static PhaseNum steps(const BAConfig& config) {
     return static_cast<PhaseNum>(3 * config.t + 5);

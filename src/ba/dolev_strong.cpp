@@ -2,11 +2,26 @@
 
 #include <algorithm>
 
+#include "ba/evidence.h"
 #include "ba/valid_message.h"
 
 namespace dr::ba {
 
 namespace {
+
+/// Shared decision-time evidence rule for both variants: when exactly one
+/// value was extracted and a relay chain for it was retained, that chain
+/// (last signer = this processor) certifies the decision as a Dolev-Strong
+/// extraction. A value first extracted at the final processing step has no
+/// retained chain — the relay step never ran — so there is no evidence.
+std::optional<Bytes> extraction_evidence(
+    const std::set<Value>& extracted,
+    const std::map<Value, SignedValue>& retained) {
+  if (extracted.size() != 1) return std::nullopt;
+  const auto it = retained.find(*extracted.begin());
+  if (it == retained.end()) return std::nullopt;
+  return encode_evidence(Evidence{EvidenceKind::kExtraction, it->second});
+}
 
 /// Common acceptance core for Dolev-Strong chains: cryptographically valid,
 /// distinct signers, initiated by the transmitter, not yet signed by the
@@ -38,6 +53,7 @@ void DolevStrongBroadcast::on_phase(sim::Context& ctx) {
       const SignedValue sv =
           make_signed(config_.value, ctx.signer(), self_);
       extracted_.insert(config_.value);
+      retained_.emplace(config_.value, sv);
       // Not send_all: embedded instances (e.g. the sparse-observer
       // construction) span only the first config_.n processors of a larger
       // run. One shared handle, no per-target copies.
@@ -64,6 +80,7 @@ void DolevStrongBroadcast::on_phase(sim::Context& ctx) {
       for (ProcId q = 0; q < config_.n; ++q) {
         if (q != self_) ctx.send(q, payload, ext.chain.size());
       }
+      retained_.emplace(ext.value, ext);
     }
   }
 }
@@ -71,6 +88,10 @@ void DolevStrongBroadcast::on_phase(sim::Context& ctx) {
 std::optional<Value> DolevStrongBroadcast::decision() const {
   if (extracted_.size() == 1) return *extracted_.begin();
   return kDefaultValue;
+}
+
+std::optional<Bytes> DolevStrongBroadcast::evidence() const {
+  return extraction_evidence(extracted_, retained_);
 }
 
 // ---------------------------------------------------------------------------
@@ -94,6 +115,7 @@ void DolevStrongRelay::extract(const SignedValue& sv, sim::Context& ctx) {
   const bool can_send = ctx.phase() + 1 <= steps(config_);
   if (!can_send) return;
   const SignedValue ext = extend(sv, ctx.signer(), self_);
+  retained_.emplace(ext.value, ext);
   if (is_relay(self_)) {
     if (broadcast_ < 2) {
       ++broadcast_;
@@ -120,6 +142,7 @@ void DolevStrongRelay::on_phase(sim::Context& ctx) {
       const SignedValue sv =
           make_signed(config_.value, ctx.signer(), self_);
       extracted_.insert(config_.value);
+      retained_.emplace(config_.value, sv);
       const sim::Payload payload{encode(sv)};
       for (ProcId q = 0; q < config_.n; ++q) {
         if (q != self_) ctx.send(q, payload, sv.chain.size());
@@ -139,6 +162,10 @@ void DolevStrongRelay::on_phase(sim::Context& ctx) {
 std::optional<Value> DolevStrongRelay::decision() const {
   if (extracted_.size() == 1) return *extracted_.begin();
   return kDefaultValue;
+}
+
+std::optional<Bytes> DolevStrongRelay::evidence() const {
+  return extraction_evidence(extracted_, retained_);
 }
 
 }  // namespace dr::ba

@@ -15,6 +15,7 @@
 // default value 0 (the transmitter is then exposed as faulty).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 
@@ -30,6 +31,11 @@ class DolevStrongBroadcast final : public sim::Process {
 
   void on_phase(sim::Context& ctx) override;
   std::optional<Value> decision() const override;
+  /// The relay chain retained for the single extracted value (kind
+  /// kExtraction; the transmitter's is its own length-1 chain). nullopt
+  /// when the decision fell back to the default or the value was extracted
+  /// at the final processing step (no relay chain was ever built).
+  std::optional<Bytes> evidence() const override;
 
   /// Simulator steps needed: t+1 communication phases plus one final
   /// processing-only step to consume chains of length t+1.
@@ -44,6 +50,9 @@ class DolevStrongBroadcast final : public sim::Process {
   BAConfig config_;
   std::set<Value> extracted_;
   std::size_t relayed_ = 0;  // values this processor has relayed (max 2)
+  /// The chain this processor extended per extracted value — built during
+  /// the relay step anyway, retained as decision-time evidence.
+  std::map<Value, SignedValue> retained_;
 };
 
 class DolevStrongRelay final : public sim::Process {
@@ -58,6 +67,8 @@ class DolevStrongRelay final : public sim::Process {
 
   void on_phase(sim::Context& ctx) override;
   std::optional<Value> decision() const override;
+  /// Same contract as DolevStrongBroadcast::evidence().
+  std::optional<Bytes> evidence() const override;
 
   /// t+3 communication phases plus a final processing-only step.
   static PhaseNum steps(const BAConfig& config) {
@@ -74,6 +85,7 @@ class DolevStrongRelay final : public sim::Process {
   std::set<Value> extracted_;
   std::size_t reported_ = 0;   // values sent to the relay set (max 2)
   std::size_t broadcast_ = 0;  // values broadcast when acting as relay (max 2)
+  std::map<Value, SignedValue> retained_;  // see DolevStrongBroadcast
 };
 
 }  // namespace dr::ba

@@ -1,0 +1,33 @@
+#include "ba/evidence.h"
+
+namespace dr::ba {
+
+bool evidence_kind_ok(std::uint8_t raw) {
+  switch (static_cast<EvidenceKind>(raw)) {
+    case EvidenceKind::kPossession:
+    case EvidenceKind::kExtraction:
+    case EvidenceKind::kValidMessage:
+      return true;
+  }
+  return false;
+}
+
+Bytes encode_evidence(const Evidence& ev) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(ev.kind));
+  const Bytes sv = encode(ev.sv);
+  w.bytes(sv);
+  return std::move(w).take();
+}
+
+std::optional<Evidence> decode_evidence(ByteView data) {
+  Reader r(data);
+  const std::uint8_t raw = r.u8();
+  const Bytes sv_bytes = r.bytes();
+  if (!r.done() || !evidence_kind_ok(raw)) return std::nullopt;
+  auto sv = decode_signed_value(sv_bytes);
+  if (!sv) return std::nullopt;
+  return Evidence{static_cast<EvidenceKind>(raw), std::move(*sv)};
+}
+
+}  // namespace dr::ba

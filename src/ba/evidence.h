@@ -1,0 +1,53 @@
+// Decision-time evidence: the signature chain a protocol instance already
+// holds when it decides, retained instead of discarded. Evidence is the
+// in-run precursor of a transferable proof (src/proof): the runner collects
+// each process's blob next to its decision, and proof::from_evidence wraps
+// it with the realm parameters a third party needs to verify it offline.
+//
+// Emitting evidence NEVER signs anything new — Merkle/WOTS signers are
+// stateful (each signature consumes a leaf), so an extra sign() call would
+// shift every later signature in the run. Protocols therefore retain chains
+// they built anyway: Algorithm 2 its Theorem-4 possession proof,
+// Dolev-Strong the relay chain it extended for its single extracted value,
+// Algorithm 5 the valid message it adopted or forwarded.
+#pragma once
+
+#include <optional>
+
+#include "ba/signed_value.h"
+
+namespace dr::ba {
+
+/// What the retained chain certifies — this selects the offline
+/// verification rule (see proof::verify). The byte values are pairwise at
+/// Hamming distance >= 4, so no single bit flip of a serialized blob turns
+/// one valid kind into another (the forgery battery's bit-flip fuzz relies
+/// on this: a flipped kind byte must fail decoding, not switch rules).
+enum class EvidenceKind : std::uint8_t {
+  /// Theorem 4: the committed value with >= t signatures of processors
+  /// other than the holder (Algorithm 2).
+  kPossession = 0x21,
+  /// A Dolev-Strong extraction chain: transmitter-rooted, relayed through
+  /// the holder, whose signature ends it (length 1 for the transmitter).
+  kExtraction = 0x4b,
+  /// Section 6's "valid message": the value with >= t+1 signatures of
+  /// distinct active processors (Algorithm 5 / Algorithm2Ext).
+  kValidMessage = 0x96,
+};
+
+/// True when `raw` is one of the EvidenceKind byte values.
+bool evidence_kind_ok(std::uint8_t raw);
+
+struct Evidence {
+  EvidenceKind kind = EvidenceKind::kPossession;
+  SignedValue sv;
+
+  friend bool operator==(const Evidence&, const Evidence&) = default;
+};
+
+/// Wire image: u8 kind | SignedValue encoding. Deterministic (the digest of
+/// a transferable proof covers these bytes).
+Bytes encode_evidence(const Evidence& ev);
+std::optional<Evidence> decode_evidence(ByteView data);
+
+}  // namespace dr::ba

@@ -248,8 +248,11 @@ NetRunResult NetRunner::run(PhaseNum phases) {
   result.run.metrics = std::move(merged);
   for (const SyncStats& s : sync) result.sync.merge(s);
   result.run.decisions.reserve(config_.n);
+  result.run.evidence.reserve(config_.n);
   for (ProcId p = 0; p < config_.n; ++p) {
     result.run.decisions.push_back(processes_[p]->decision());
+    result.run.evidence.push_back(
+        processes_[p]->evidence().value_or(Bytes{}));
   }
   return result;
 }

@@ -1,0 +1,186 @@
+#include "proof/store.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace dr::proof {
+
+std::size_t Store::DigestKeyHash::operator()(const DigestKey& key) const {
+  // The digest is already uniform; fold the first 8 bytes.
+  std::size_t h = 0;
+  for (std::size_t i = 0; i < 8 && i < key.d.size(); ++i) {
+    h |= static_cast<std::size_t>(key.d[i]) << (8 * i);
+  }
+  return h;
+}
+
+const OfflineVerifier& Store::verifier_for(const Realm& realm) {
+  const std::uint64_t key = realm_key(realm);
+  auto it = verifiers_.find(key);
+  if (it == verifiers_.end()) {
+    it = verifiers_.emplace(key, std::make_unique<OfflineVerifier>(realm))
+             .first;
+  }
+  return *it->second;
+}
+
+Verdict Store::admit(ByteView proof_bytes, std::uint64_t now_ms,
+                     crypto::VerifyCache* cache) {
+  // Light path: entries are keyed by the content address of their
+  // canonical encoding, and honest producers only ever emit canonical
+  // encodings — so a resubmission is answered by hashing the raw bytes
+  // and probing the table, without decoding a single field. (Equal
+  // SHA-256 means equal bytes, and those bytes were verified when the
+  // entry was admitted.)
+  {
+    const crypto::Digest raw = digest_of_encoded(proof_bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.contains(DigestKey{raw})) {
+      ++stats_.duplicate;
+      return Verdict::kOk;
+    }
+  }
+  auto decoded = decode_transferable(proof_bytes);
+  if (!decoded) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return Verdict::kMalformedChain;
+  }
+  const crypto::Digest d = digest(*decoded);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-checked under the same lock that inserts: a non-canonical
+  // resubmission (raw digest differs from the canonical key) and a racing
+  // admit of the same new proof both land here.
+  if (entries_.contains(DigestKey{d})) {
+    ++stats_.duplicate;
+    return Verdict::kOk;
+  }
+  const Verdict verdict =
+      verify_offline(*decoded, verifier_for(decoded->realm), cache);
+  if (verdict != Verdict::kOk) {
+    ++stats_.rejected;
+    return verdict;
+  }
+  Entry entry;
+  // Store the canonical re-encoding, not the caller's bytes: the digest is
+  // computed over the canonical form, so stored bytes and key always match.
+  entry.bytes = encode_transferable(*decoded);
+  entry.realm = realm_key(decoded->realm);
+  entry.proof = std::move(*decoded);
+  entry.admitted_ms = now_ms;
+  entry.order = next_order_++;
+  entries_.emplace(DigestKey{d}, std::move(entry));
+  ++stats_.admitted;
+  return Verdict::kOk;
+}
+
+bool Store::contains(const crypto::Digest& digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool hit = entries_.contains(DigestKey{digest});
+  if (hit) ++stats_.light_hits;
+  return hit;
+}
+
+std::optional<Transferable> Store::get(const crypto::Digest& digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(DigestKey{digest});
+  if (it == entries_.end()) return std::nullopt;
+  ++stats_.light_hits;
+  return it->second.proof;
+}
+
+bool Store::proven(const Realm& realm, Value value) const {
+  const std::uint64_t key = realm_key(realm);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [_, entry] : entries_) {
+    if (entry.realm == key && entry.proof.value() == value) {
+      ++stats_.light_hits;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<crypto::Digest> Store::digests_in(const Realm& realm) const {
+  const std::uint64_t key = realm_key(realm);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::uint64_t, crypto::Digest>> ordered;
+  for (const auto& [dk, entry] : entries_) {
+    if (entry.realm == key) ordered.emplace_back(entry.order, dk.d);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<crypto::Digest> out;
+  out.reserve(ordered.size());
+  for (auto& [_, d] : ordered) out.push_back(d);
+  return out;
+}
+
+std::size_t Store::sweep(std::uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.sweeps;
+  if (options_.ttl_ms == 0) return 0;
+  std::size_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.admitted_ms + options_.ttl_ms <= now_ms) {
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  stats_.tombstones += evicted;
+  return evicted;
+}
+
+bool Store::save(const std::string& path) const {
+  Writer w;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<const Entry*> ordered;
+    ordered.reserve(entries_.size());
+    for (const auto& [_, entry] : entries_) ordered.push_back(&entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry* a, const Entry* b) { return a->order < b->order; });
+    w.seq(ordered.size());
+    for (const Entry* entry : ordered) {
+      w.u64(entry->admitted_ms);
+      w.bytes(ByteView{entry->bytes.data(), entry->bytes.size()});
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(w.out().data()),
+            static_cast<std::streamsize>(w.out().size()));
+  return static_cast<bool>(out);
+}
+
+std::size_t Store::load(const std::string& path, crypto::VerifyCache* cache) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  Reader r(ByteView{data.data(), data.size()});
+  const std::size_t count = r.seq();
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t at = r.u64();
+    const Bytes bytes = r.bytes();
+    if (!r.ok()) break;
+    if (admit(ByteView{bytes.data(), bytes.size()}, at, cache) ==
+        Verdict::kOk) {
+      ++admitted;
+    }
+  }
+  return admitted;
+}
+
+Store::Stats Store::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace dr::proof

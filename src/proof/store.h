@@ -1,0 +1,118 @@
+// Persistent proven-value table — the EOSIO IBC bridge's proven-root table
+// reshaped for agreement proofs. Entries are keyed by content digest
+// (proof::digest), scoped to their instance realm, and aged out by an
+// explicit sweep with tombstone accounting.
+//
+// Two access paths with very different costs:
+//   * heavy (admit): decode + full offline verification (the realm's
+//     verifier is rebuilt once and memoised per realm key) + insert. The
+//     only way anything enters the table.
+//   * light (contains/get/proven): a pure digest/realm map lookup — no
+//     decoding, no hashing, no signature checks. Sound because admit
+//     verified the bytes whose digest is the key.
+//
+// Time is an explicit uint64 milliseconds tick supplied by the caller (the
+// daemon passes its reactor clock; tests pass constants), so expiry
+// semantics are exactly testable. All operations lock one internal mutex —
+// the store is shared between the daemon's verify path and its GC timer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proof/transferable.h"
+
+namespace dr::proof {
+
+class Store {
+ public:
+  struct Options {
+    /// Entry lifetime; 0 = entries never expire. Measured from the
+    /// `now_ms` the entry was admitted at.
+    std::uint64_t ttl_ms = 0;
+  };
+
+  struct Stats {
+    std::uint64_t entries = 0;       // live entries right now
+    std::uint64_t light_hits = 0;    // contains/get/proven answered yes
+    std::uint64_t admitted = 0;      // heavy-path verifications that passed
+    std::uint64_t rejected = 0;      // heavy-path verifications that failed
+    std::uint64_t duplicate = 0;     // admits of an already-live digest
+    std::uint64_t sweeps = 0;        // sweep() calls
+    std::uint64_t tombstones = 0;    // entries evicted by sweeps, ever
+  };
+
+  Store() = default;
+  explicit Store(const Options& options) : options_(options) {}
+
+  /// Heavy path: decode `proof_bytes`, verify fully offline against the
+  /// proof's own realm (the verifier is built once per realm and reused),
+  /// and insert under its content digest on success. `cache` (optional)
+  /// carries signature-verification memos across admits — the daemon
+  /// passes a realm-scoped session of its striped cache. Admitting a
+  /// digest that is already live verifies nothing and counts `duplicate`.
+  Verdict admit(ByteView proof_bytes, std::uint64_t now_ms,
+                crypto::VerifyCache* cache = nullptr);
+
+  /// Light path: digest lookup only. Never hashes, never verifies.
+  bool contains(const crypto::Digest& digest) const;
+  std::optional<Transferable> get(const crypto::Digest& digest) const;
+
+  /// Realm-scoped proven-value query: true iff some live entry of exactly
+  /// this realm proves `value`. A proof admitted under another realm —
+  /// same value, same digest algorithm, different seed/n/t — is invisible
+  /// here; that is the isolation the replay battery checks.
+  bool proven(const Realm& realm, Value value) const;
+
+  /// Digests of the live entries of one realm, insertion-ordered.
+  std::vector<crypto::Digest> digests_in(const Realm& realm) const;
+
+  /// Evicts exactly the entries whose admit-time + ttl <= now (no-op when
+  /// ttl is 0). Returns how many were evicted; each counts a tombstone.
+  std::size_t sweep(std::uint64_t now_ms);
+
+  /// Serialises the live table (admit timestamps included) to `path` /
+  /// re-admits every record through the heavy path. load() returns the
+  /// number of entries admitted; records that fail verification are
+  /// dropped (counted `rejected`), which makes a tampered store file
+  /// harmless.
+  bool save(const std::string& path) const;
+  std::size_t load(const std::string& path, crypto::VerifyCache* cache = nullptr);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    Bytes bytes;           // canonical encoding (digest preimage)
+    Transferable proof;    // decoded once at admit
+    std::uint64_t realm = 0;
+    std::uint64_t admitted_ms = 0;
+    std::uint64_t order = 0;  // insertion order, for digests_in
+  };
+
+  struct DigestKey {
+    crypto::Digest d{};
+    friend bool operator==(const DigestKey&, const DigestKey&) = default;
+  };
+  struct DigestKeyHash {
+    std::size_t operator()(const DigestKey& key) const;
+  };
+
+  const OfflineVerifier& verifier_for(const Realm& realm);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<DigestKey, Entry, DigestKeyHash> entries_;
+  /// Memoised per-realm verification contexts (key derivation is O(n)).
+  std::unordered_map<std::uint64_t, std::unique_ptr<OfflineVerifier>>
+      verifiers_;
+  std::uint64_t next_order_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace dr::proof

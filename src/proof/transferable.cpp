@@ -1,0 +1,270 @@
+#include "proof/transferable.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "ba/tree.h"
+#include "ba/valid_message.h"
+
+namespace dr::proof {
+
+namespace {
+
+/// Domain tag for proof content addresses — disjoint from the chain
+/// domain ("dr82.chain.v1"), so a proof digest can never collide with any
+/// digest a signature covers.
+constexpr std::string_view kProofDomain = "dr82.proof.v1";
+
+ByteView view(const Bytes& b) { return ByteView{b.data(), b.size()}; }
+
+/// Number of distinct ids in `ids` (consumes its argument).
+std::size_t distinct_count(std::vector<ProcId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+void encode_realm(Writer& w, const Realm& realm) {
+  w.u8(static_cast<std::uint8_t>(realm.scheme));
+  w.u64(realm.n);
+  w.u64(realm.t);
+  w.u32(realm.transmitter);
+  w.u64(realm.seed);
+  w.u64(realm.merkle_height);
+}
+
+std::optional<Realm> decode_realm(Reader& r) {
+  Realm realm;
+  const std::uint8_t scheme = r.u8();
+  realm.n = r.u64();
+  realm.t = r.u64();
+  realm.transmitter = r.u32();
+  realm.seed = r.u64();
+  realm.merkle_height = r.u64();
+  if (!r.ok()) return std::nullopt;
+  switch (static_cast<sim::SchemeKind>(scheme)) {
+    case sim::SchemeKind::kHmac:
+    case sim::SchemeKind::kMerkle:
+    case sim::SchemeKind::kWots:
+      break;
+    default:
+      return std::nullopt;
+  }
+  realm.scheme = static_cast<sim::SchemeKind>(scheme);
+  return realm;
+}
+
+/// ba::verify_chain's cached walk with the planning pass folded in: probe
+/// the cache per link, feed every miss through one crypto::verify_batch
+/// call (multi-buffer SHA-256 lanes for the HMAC scheme), and accept iff
+/// every miss verified. Soundness is the cache's: only triples that
+/// passed full verification are ever inserted, so this accepts exactly
+/// what ba::verify_chain's cached walk would — in a single pass, so a
+/// fully warm chain costs one cache lookup per link and no hashing.
+bool verify_chain_batched(const ba::SignedValue& sv,
+                          const crypto::Verifier& verifier,
+                          crypto::VerifyCache* cache) {
+  const crypto::SignatureScheme* scheme = verifier.scheme();
+  if (cache == nullptr || scheme == nullptr) {
+    return ba::verify_chain(sv, verifier, cache);
+  }
+  if (sv.chain.empty()) return true;
+  std::vector<crypto::VerifyRequest> requests;
+  requests.reserve(sv.chain.size());
+  crypto::Sha256 h;
+  ba::detail::absorb_chain_head(h, sv.value);
+  crypto::Digest covered = h.peek();
+  std::size_t streamed = 0;
+  for (std::size_t i = 0; i < sv.chain.size(); ++i) {
+    const crypto::Signature& sig = sv.chain[i];
+    // lookup, not probe: warm links must register as cache hits (the
+    // daemon's dr82_proof_cache_* counters and the forgery suite's
+    // warm-pass assertions both watch them).
+    if (const auto extended =
+            cache->lookup(sig.signer, covered, view(sig.sig))) {
+      covered = *extended;
+      continue;
+    }
+    while (streamed < i) {
+      ba::detail::absorb_signature_raw(h, sv.chain[streamed].signer,
+                                       view(sv.chain[streamed].sig));
+      ++streamed;
+    }
+    ba::detail::absorb_signature_raw(h, sig.signer, view(sig.sig));
+    streamed = i + 1;
+    const crypto::Digest extended = h.peek();
+    requests.push_back(
+        crypto::VerifyRequest{sig.signer, view(sig.sig), covered, extended});
+    covered = extended;
+  }
+  if (requests.empty()) return true;  // every link was a cache hit
+  crypto::verify_batch(*scheme, cache, requests.data(), requests.size());
+  for (const crypto::VerifyRequest& request : requests) {
+    if (!request.ok) return false;
+  }
+  return true;
+}
+
+/// Structural rule of each kind — everything that can be checked without
+/// touching a signature. Split from the crypto so verify() can report
+/// kMalformedChain/kBelowThreshold vs kBadSignature distinctly.
+Verdict check_structure(const Transferable& p) {
+  const Realm& realm = p.realm;
+  const ba::SignedValue& sv = p.evidence.sv;
+  if (p.holder >= realm.n) return Verdict::kMalformedChain;
+  for (const crypto::Signature& sig : sv.chain) {
+    if (sig.signer >= realm.n) return Verdict::kMalformedChain;
+  }
+  switch (p.evidence.kind) {
+    case ba::EvidenceKind::kPossession: {
+      // Theorem 4: >= t signatures of distinct processors other than the
+      // holder (the holder's own signature may appear but counts for
+      // nothing).
+      std::vector<ProcId> others;
+      for (const auto& sig : sv.chain) {
+        if (sig.signer != p.holder) others.push_back(sig.signer);
+      }
+      if (distinct_count(std::move(others)) < realm.t) {
+        return Verdict::kBelowThreshold;
+      }
+      return Verdict::kOk;
+    }
+    case ba::EvidenceKind::kExtraction: {
+      // A Dolev-Strong relay chain: rooted at the transmitter, ending with
+      // the holder's own signature (length 1 forces holder == transmitter),
+      // nobody signing twice.
+      if (sv.chain.empty()) return Verdict::kMalformedChain;
+      if (sv.chain.front().signer != realm.transmitter) {
+        return Verdict::kMalformedChain;
+      }
+      if (sv.chain.back().signer != p.holder) return Verdict::kMalformedChain;
+      if (!ba::distinct_signers(sv)) return Verdict::kMalformedChain;
+      return Verdict::kOk;
+    }
+    case ba::EvidenceKind::kValidMessage: {
+      // Section 6: >= t+1 signatures of distinct active processors.
+      const std::uint64_t bound = active_bound(realm);
+      std::vector<ProcId> active;
+      for (const auto& sig : sv.chain) {
+        if (sig.signer < bound) active.push_back(sig.signer);
+      }
+      if (distinct_count(std::move(active)) < realm.t + 1) {
+        return Verdict::kBelowThreshold;
+      }
+      return Verdict::kOk;
+    }
+  }
+  return Verdict::kMalformedChain;
+}
+
+}  // namespace
+
+Realm realm_of(const sim::RunConfig& config) {
+  return Realm{config.scheme,
+               config.n,
+               config.t,
+               config.transmitter,
+               config.seed,
+               config.merkle_height};
+}
+
+std::uint64_t realm_key(const Realm& realm) {
+  Writer w;
+  encode_realm(w, realm);
+  const crypto::Digest d = crypto::sha256(view(w.out()));
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    key |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  }
+  return key;
+}
+
+Bytes encode_transferable(const Transferable& p) {
+  Writer w;
+  w.u8(kProofVersion);
+  encode_realm(w, p.realm);
+  w.u32(p.holder);
+  const Bytes ev = ba::encode_evidence(p.evidence);
+  w.bytes(ev);
+  return std::move(w).take();
+}
+
+std::optional<Transferable> decode_transferable(ByteView data) {
+  Reader r(data);
+  if (r.u8() != kProofVersion) return std::nullopt;
+  auto realm = decode_realm(r);
+  if (!realm) return std::nullopt;
+  Transferable p;
+  p.realm = *realm;
+  p.holder = r.u32();
+  const Bytes ev_bytes = r.bytes();
+  if (!r.done()) return std::nullopt;
+  auto ev = ba::decode_evidence(ev_bytes);
+  if (!ev) return std::nullopt;
+  p.evidence = std::move(*ev);
+  return p;
+}
+
+crypto::Digest digest(const Transferable& p) {
+  const Bytes encoded = encode_transferable(p);
+  return digest_of_encoded(view(encoded));
+}
+
+crypto::Digest digest_of_encoded(ByteView encoded) {
+  crypto::Sha256 h;
+  h.update(as_bytes(kProofDomain));
+  h.update(encoded);
+  return h.finish();
+}
+
+std::optional<Transferable> from_evidence(const Realm& realm, ProcId holder,
+                                          ByteView evidence_blob) {
+  auto ev = ba::decode_evidence(evidence_blob);
+  if (!ev) return std::nullopt;
+  return Transferable{realm, holder, std::move(*ev)};
+}
+
+OfflineVerifier::OfflineVerifier(const Realm& realm)
+    : realm_(realm),
+      scheme_(sim::make_signature_scheme(realm.scheme, realm.n, realm.seed,
+                                         realm.merkle_height)),
+      verifier_(scheme_.get()) {}
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kOk:
+      return "ok";
+    case Verdict::kWrongRealm:
+      return "wrong-realm";
+    case Verdict::kMalformedChain:
+      return "malformed-chain";
+    case Verdict::kBelowThreshold:
+      return "below-threshold";
+    case Verdict::kBadSignature:
+      return "bad-signature";
+  }
+  return "unknown";
+}
+
+std::uint64_t active_bound(const Realm& realm) {
+  const std::uint64_t alpha = ba::alpha_for(realm.t);
+  return realm.n >= alpha ? alpha : 2 * realm.t + 1;
+}
+
+Verdict verify(const Transferable& p, const Realm& expected,
+               const crypto::Verifier& verifier, crypto::VerifyCache* cache) {
+  if (p.realm != expected) return Verdict::kWrongRealm;
+  const Verdict structure = check_structure(p);
+  if (structure != Verdict::kOk) return structure;
+  if (!verify_chain_batched(p.evidence.sv, verifier, cache)) {
+    return Verdict::kBadSignature;
+  }
+  return Verdict::kOk;
+}
+
+Verdict verify_offline(const Transferable& p, const OfflineVerifier& offline,
+                       crypto::VerifyCache* cache) {
+  return verify(p, offline.realm(), offline.verifier(), cache);
+}
+
+}  // namespace dr::proof

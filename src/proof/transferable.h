@@ -1,0 +1,154 @@
+// Transferable proof objects — Algorithm 2's defining artifact made
+// first-class. A proof::Transferable wraps the decision-time evidence a
+// protocol instance retained (ba/evidence.h) with the *realm* parameters a
+// third party needs to verify it with zero protocol context: the scheme
+// kind, the key-derivation seed, and the (n, t, transmitter) the run was
+// configured with. Keys derive deterministically from the seed
+// (sim::make_signature_scheme), so "offline" verification means rebuilding
+// the public Verifier from the realm and re-checking every chain link —
+// the paper's Section 5 claim that a possession proof convinces anyone,
+// executed literally.
+//
+// Identity is content-addressed: digest() is a domain-separated SHA-256
+// over the canonical wire encoding, so two proofs are the same proof iff
+// their bytes are the same — the key of the proven-value store and the
+// equality the differential parity test asserts across backends.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "ba/evidence.h"
+#include "crypto/scheme.h"
+#include "crypto/verify_cache.h"
+#include "sim/runner.h"
+
+namespace dr::proof {
+
+using ba::Value;
+using sim::ProcId;
+
+/// Current (and only) wire version. decode_transferable rejects anything
+/// else, so the version byte both gates format evolution and poisons
+/// single-bit flips of itself (0x01 -> any other value fails decoding).
+inline constexpr std::uint8_t kProofVersion = 1;
+
+/// The run parameters that fix the verification context. Two runs agree on
+/// every signature key iff their realms are equal — which is why replaying
+/// a proof across realms fails even before the MACs do: verify() requires
+/// the proof's embedded realm to equal the realm the verifier expects.
+struct Realm {
+  sim::SchemeKind scheme = sim::SchemeKind::kHmac;
+  std::uint64_t n = 0;
+  std::uint64_t t = 0;
+  ProcId transmitter = 0;
+  std::uint64_t seed = 1;
+  std::uint64_t merkle_height = 6;
+
+  friend bool operator==(const Realm&, const Realm&) = default;
+};
+
+/// Realm of a sim/net run configuration (the daemon builds its realms from
+/// SubmitRequest fields the same way).
+Realm realm_of(const sim::RunConfig& config);
+
+/// Stable 64-bit key for realm-scoped tables (proof::Store buckets,
+/// StripedVerifyCache sessions): SHA-256 over the encoded realm, first 8
+/// bytes little-endian.
+std::uint64_t realm_key(const Realm& realm);
+
+struct Transferable {
+  Realm realm;
+  /// The processor whose decision this proof certifies. Load-bearing for
+  /// kPossession (Theorem 4 counts signatures of processors *other* than
+  /// the holder) and kExtraction (the chain must end with the holder's
+  /// signature).
+  ProcId holder = 0;
+  ba::Evidence evidence;
+
+  Value value() const { return evidence.sv.value; }
+
+  friend bool operator==(const Transferable&, const Transferable&) = default;
+};
+
+/// Canonical wire encoding: version byte, realm fields, holder, evidence
+/// blob — all through the codec's varints. Deterministic; digest() covers
+/// exactly these bytes.
+Bytes encode_transferable(const Transferable& p);
+std::optional<Transferable> decode_transferable(ByteView data);
+
+/// Content address: domain-separated SHA-256 of encode_transferable(p).
+crypto::Digest digest(const Transferable& p);
+
+/// Content address of already-encoded bytes: equals digest(p) whenever
+/// `encoded` is p's canonical encoding (the only thing honest producers
+/// emit). The store's light path keys on this, so answering a duplicate
+/// costs one hash and one lookup — no decoding.
+crypto::Digest digest_of_encoded(ByteView encoded);
+
+/// Wraps a runner-collected evidence blob (sim::RunResult::evidence[p])
+/// into a proof for holder `p` under `realm`. nullopt when the blob does
+/// not decode.
+std::optional<Transferable> from_evidence(const Realm& realm, ProcId holder,
+                                          ByteView evidence_blob);
+
+/// The offline verification context: the scheme rebuilt from the realm
+/// (keys derive from realm.seed) and a Verifier over it. Self-contained —
+/// this is all a third party needs.
+class OfflineVerifier {
+ public:
+  explicit OfflineVerifier(const Realm& realm);
+
+  const Realm& realm() const { return realm_; }
+  const crypto::Verifier& verifier() const { return verifier_; }
+
+ private:
+  Realm realm_;
+  std::unique_ptr<crypto::SignatureScheme> scheme_;
+  crypto::Verifier verifier_;
+};
+
+/// Why a proof was rejected (kOk == accepted). Distinct codes so the
+/// forgery battery can assert *that* a case fails, and the daemon can
+/// report *why* in kVerifyResp.
+enum class Verdict : std::uint8_t {
+  kOk = 0,
+  kWrongRealm = 1,      // embedded realm != the realm being verified against
+  kMalformedChain = 2,  // structural rule of the kind violated
+  kBelowThreshold = 3,  // too few qualifying signatures for the kind
+  kBadSignature = 4,    // some chain link failed cryptographic verification
+};
+
+const char* to_string(Verdict v);
+
+/// The number of distinct "active" signers a kValidMessage proof must
+/// carry signatures from: ids below alpha_for(t) when the realm is large
+/// enough for Algorithm 5's layout, ids below 2t+1 otherwise (the
+/// Algorithm2Ext fallback) — the same selection make_algorithm5 performs,
+/// derived purely from (n, t).
+std::uint64_t active_bound(const Realm& realm);
+
+/// Offline verification with zero protocol context. Checks, in order:
+/// realm equality against `expected`; the kind's structural rule
+/// (kPossession: >= t distinct signatures of processors other than the
+/// holder; kExtraction: transmitter-rooted, holder-terminated, distinct
+/// signers; kValidMessage: >= t+1 distinct active signers); then every
+/// chain link cryptographically. With a non-null `cache`, chain links are
+/// verified in one pass: cache probes answer warm links without hashing,
+/// and every miss goes through a single crypto::verify_batch call (multi-
+/// buffer SHA-256 lanes for the HMAC scheme) — so bulk verification of
+/// overlapping chains hits SIMD lanes cold and pure lookups warm. Accepts
+/// exactly the honest-run proofs and nothing else — see
+/// tests/proof_forgery_test.
+Verdict verify(const Transferable& p, const Realm& expected,
+               const crypto::Verifier& verifier,
+               crypto::VerifyCache* cache = nullptr);
+
+/// verify() with the verifier rebuilt from p.realm — the fully offline
+/// path (p.realm is also the expected realm; cross-realm replay is the
+/// caller comparing digests/realms beforehand, or passing `expected`
+/// explicitly via the overload above).
+Verdict verify_offline(const Transferable& p, const OfflineVerifier& offline,
+                       crypto::VerifyCache* cache = nullptr);
+
+}  // namespace dr::proof

@@ -105,6 +105,14 @@ class Process {
   /// phase. The paper's decision function F_p; nullopt models a non-singleton
   /// decision set (no decision).
   virtual std::optional<Value> decision() const = 0;
+
+  /// Opaque decision-time evidence — a chain the process already holds that
+  /// certifies its decision to a third party (sim cannot depend on ba, so
+  /// this is the ba::encode_evidence wire image). Queried by the runner
+  /// right after decision(); the default is "none". Implementations must
+  /// retain chains built during the run rather than sign anything new
+  /// (stateful signers — see ba/evidence.h).
+  virtual std::optional<Bytes> evidence() const { return std::nullopt; }
 };
 
 inline Context::Context(ProcId self, PhaseNum phase, std::size_t n,

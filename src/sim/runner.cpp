@@ -277,8 +277,10 @@ RunResult Runner::run(PhaseNum phases) {
                    .history = network.history(),
                    .phases_run = phases};
   result.decisions.reserve(config_.n);
+  result.evidence.reserve(config_.n);
   for (ProcId p = 0; p < config_.n; ++p) {
     result.decisions.push_back(processes_[p]->decision());
+    result.evidence.push_back(processes_[p]->evidence().value_or(Bytes{}));
   }
   return result;
 }

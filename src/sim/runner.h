@@ -60,6 +60,10 @@ struct RunConfig {
 
 struct RunResult {
   std::vector<std::optional<Value>> decisions;  // indexed by processor
+  /// Decision-time evidence per processor (Process::evidence, a
+  /// ba::encode_evidence blob); empty bytes = the process emitted none.
+  /// Input to proof::from_evidence.
+  std::vector<Bytes> evidence;
   std::vector<bool> faulty;
   Metrics metrics;
   hist::History history;  // empty unless record_history was set

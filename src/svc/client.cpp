@@ -179,6 +179,57 @@ std::optional<std::string> Client::metrics(
   return text;
 }
 
+std::optional<ProofResponse> Client::prove(std::uint64_t instance,
+                                           ProcId holder,
+                                           std::chrono::milliseconds timeout) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (dead_) return std::nullopt;
+    id = next_id_++;
+  }
+  {
+    const std::lock_guard lock(write_mu_);
+    ProveRequest req;
+    req.instance = instance;
+    req.holder = holder;
+    if (!send_locked(encode_prove_req(id, req))) return std::nullopt;
+  }
+  auto parked = await(id, timeout);
+  if (!parked.has_value()) return std::nullopt;
+  Reader r(parked->body);
+  if (!read_header(r).has_value()) return std::nullopt;
+  if (parked->type == MsgType::kProof) return decode_proof(r);
+  if (parked->type == MsgType::kError) {
+    ProofResponse resp;
+    resp.error = r.str();
+    if (!r.ok() || !r.done()) return std::nullopt;
+    return resp;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> Client::verify_proofs(
+    const std::vector<Bytes>& proofs, std::chrono::milliseconds timeout) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (dead_) return std::nullopt;
+    id = next_id_++;
+  }
+  {
+    const std::lock_guard lock(write_mu_);
+    if (!send_locked(encode_verify_req(id, proofs))) return std::nullopt;
+  }
+  auto parked = await(id, timeout);
+  if (!parked.has_value() || parked->type != MsgType::kVerifyResp) {
+    return std::nullopt;
+  }
+  Reader r(parked->body);
+  if (!read_header(r).has_value()) return std::nullopt;
+  return decode_verify_resp(r);
+}
+
 bool Client::shutdown_server() {
   const std::lock_guard lock(write_mu_);
   return send_locked(encode_shutdown());

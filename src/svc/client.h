@@ -52,6 +52,17 @@ class Client {
   /// Prometheus-style plaintext dump of the daemon's counters.
   std::optional<std::string> metrics(std::chrono::milliseconds timeout);
 
+  /// Fetches holder `holder`'s serialized proof::Transferable for a
+  /// finished instance (DecisionResponse::instance names it). Thread-safe.
+  std::optional<ProofResponse> prove(std::uint64_t instance, ProcId holder,
+                                     std::chrono::milliseconds timeout);
+
+  /// Bulk third-party verification: the daemon verifies each serialized
+  /// proof against its proven-value store and returns one proof::Verdict
+  /// byte per proof, same order. Thread-safe.
+  std::optional<std::vector<std::uint8_t>> verify_proofs(
+      const std::vector<Bytes>& proofs, std::chrono::milliseconds timeout);
+
   /// Asks the daemon to shut down (coordinator and all endpoints).
   bool shutdown_server();
 

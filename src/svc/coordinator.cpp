@@ -15,6 +15,18 @@
 
 namespace dr::svc {
 
+namespace {
+
+/// The store's expiry tick: the reactor's monotonic clock in milliseconds.
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          net::SockClock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 Coordinator::Coordinator(const Options& options) : options_(options) {
   DR_EXPECTS(options.endpoints >= 1);
   endpoint_sessions_.assign(options.endpoints, 0);
@@ -121,6 +133,26 @@ void Coordinator::on_msg(std::uint64_t key, ByteView body) {
         session.conn->send(encode_metrics_resp(header->id, metrics_text()));
       }
       break;
+    case MsgType::kProveReq: {
+      if (session.role != Role::kClient) break;
+      const std::optional<ProveRequest> req = decode_prove_req(r);
+      if (!req.has_value()) {
+        session.conn->send(encode_error(header->id, "malformed request"));
+        break;
+      }
+      handle_prove(session, header->id, *req);
+      break;
+    }
+    case MsgType::kVerifyReq: {
+      if (session.role != Role::kClient) break;
+      const std::optional<std::vector<Bytes>> proofs = decode_verify_req(r);
+      if (!proofs.has_value()) {
+        session.conn->send(encode_error(header->id, "malformed request"));
+        break;
+      }
+      handle_verify(session, header->id, *proofs);
+      break;
+    }
     case MsgType::kShutdown:
       if (session.role == Role::kClient) begin_shutdown();
       break;
@@ -300,6 +332,39 @@ void Coordinator::finish_instance(std::uint64_t instance_id) {
   }
   resp.metrics = std::move(merged);
   resp.perturbed.assign(perturbed.begin(), perturbed.end());
+  resp.instance = instance_id;
+
+  // Wrap each endpoint's decision-time evidence into a Transferable under
+  // this instance's realm (exactly the scheme the endpoints built:
+  // HMAC-SHA256, keys derived from the submit seed), admit it into the
+  // proven-value store, and retain the encoded bytes so kProveReq can
+  // serve them long after the kDecision went out.
+  ProvenInstance proven;
+  proven.realm = proof::Realm{.scheme = sim::SchemeKind::kHmac,
+                              .n = n,
+                              .t = inst.req.config.t,
+                              .transmitter = inst.req.config.transmitter,
+                              .seed = inst.req.seed,
+                              .merkle_height = 6};
+  proven.proofs.resize(n);
+  crypto::StripedVerifyCache::Session cache_session =
+      proof_cache_.session(proof::realm_key(proven.realm));
+  for (ProcId p = 0; p < n; ++p) {
+    if (!inst.done[p].has_value() || inst.done[p]->evidence.empty()) continue;
+    const std::optional<proof::Transferable> proof = proof::from_evidence(
+        proven.realm, p,
+        ByteView{inst.done[p]->evidence.data(),
+                 inst.done[p]->evidence.size()});
+    if (!proof.has_value()) continue;
+    Bytes encoded = proof::encode_transferable(*proof);
+    if (proof_store_.admit(ByteView{encoded.data(), encoded.size()}, now_ms(),
+                           &cache_session) != proof::Verdict::kOk) {
+      continue;  // an endpoint sent evidence that does not verify: drop it
+    }
+    proven.proofs[p] = std::move(encoded);
+    ++totals_.proofs_extracted;
+  }
+  proven_.emplace(instance_id, std::move(proven));
 
   ++totals_.completed;
   if (resp.watchdog_fired) ++totals_.failed;
@@ -325,6 +390,53 @@ void Coordinator::finish_instance(std::uint64_t instance_id) {
       !client->second.conn->closed()) {
     client->second.conn->send(encode_decision(inst.req_id, resp));
   }
+}
+
+void Coordinator::handle_prove(Session& session, std::uint64_t req_id,
+                               const ProveRequest& req) {
+  ++totals_.prove_requests;
+  ProofResponse resp;
+  const auto it = proven_.find(req.instance);
+  if (it == proven_.end()) {
+    ++totals_.prove_misses;
+    resp.error = "unknown instance";
+  } else if (req.holder >= it->second.proofs.size() ||
+             it->second.proofs[req.holder].empty()) {
+    ++totals_.prove_misses;
+    resp.error = "no proof for holder";
+  } else {
+    resp.ok = true;
+    resp.proof = it->second.proofs[req.holder];
+  }
+  session.conn->send(encode_proof(req_id, resp));
+}
+
+void Coordinator::handle_verify(Session& session, std::uint64_t req_id,
+                                const std::vector<Bytes>& proofs) {
+  ++totals_.verify_requests;
+  std::vector<std::uint8_t> verdicts;
+  verdicts.reserve(proofs.size());
+  for (const Bytes& blob : proofs) {
+    const ByteView view{blob.data(), blob.size()};
+    proof::Verdict verdict;
+    // Decode once up front to learn the realm, so the admit's signature
+    // verifications run against (and warm) that realm's cache session.
+    if (const auto decoded = proof::decode_transferable(view)) {
+      crypto::StripedVerifyCache::Session cache_session =
+          proof_cache_.session(proof::realm_key(decoded->realm));
+      verdict = proof_store_.admit(view, now_ms(), &cache_session);
+    } else {
+      // Undecodable: admit still counts the rejection in the store stats.
+      verdict = proof_store_.admit(view, now_ms(), nullptr);
+    }
+    if (verdict == proof::Verdict::kOk) {
+      ++totals_.verify_proofs_ok;
+    } else {
+      ++totals_.verify_proofs_fail;
+    }
+    verdicts.push_back(static_cast<std::uint8_t>(verdict));
+  }
+  session.conn->send(encode_verify_resp(req_id, verdicts));
 }
 
 void Coordinator::begin_shutdown() {
@@ -406,6 +518,56 @@ std::string Coordinator::metrics_text() const {
           "frames past their phase release point", totals_.stale_frames);
   counter("dr82_sync_send_errors_total", "frame sends that failed",
           totals_.send_errors);
+
+  // Proof service: extraction at decision time, the kProveReq/kVerifyReq
+  // request paths, and the proven-value store's own lifecycle counters.
+  const proof::Store::Stats store = proof_store_.stats();
+  counter("dr82_proof_extracted_total",
+          "proofs extracted from finished instances",
+          totals_.proofs_extracted);
+  counter("dr82_proof_prove_requests_total", "kProveReq messages served",
+          totals_.prove_requests);
+  counter("dr82_proof_prove_misses_total",
+          "kProveReq for an unknown instance or proofless holder",
+          totals_.prove_misses);
+  counter("dr82_proof_verify_requests_total", "kVerifyReq messages served",
+          totals_.verify_requests);
+  counter("dr82_proof_verify_ok_total", "submitted proofs that verified",
+          totals_.verify_proofs_ok);
+  counter("dr82_proof_verify_fail_total", "submitted proofs rejected",
+          totals_.verify_proofs_fail);
+  gauge("dr82_proof_store_entries", "live proven-value store entries",
+        static_cast<std::size_t>(store.entries));
+  counter("dr82_proof_store_light_hits_total",
+          "digest lookups answered without re-verification",
+          static_cast<std::size_t>(store.light_hits));
+  counter("dr82_proof_store_admitted_total",
+          "heavy-path verifications that passed",
+          static_cast<std::size_t>(store.admitted));
+  counter("dr82_proof_store_rejected_total",
+          "heavy-path verifications that failed",
+          static_cast<std::size_t>(store.rejected));
+  counter("dr82_proof_store_duplicate_total",
+          "admits of an already-proven digest",
+          static_cast<std::size_t>(store.duplicate));
+  counter("dr82_proof_store_sweeps_total", "expiry sweeps run",
+          static_cast<std::size_t>(store.sweeps));
+  counter("dr82_proof_store_tombstones_total",
+          "entries evicted by expiry sweeps",
+          static_cast<std::size_t>(store.tombstones));
+  std::uint64_t proof_cache_hits = 0;
+  std::uint64_t proof_cache_misses = 0;
+  for (std::size_t s = 0; s < proof_cache_.stripe_count(); ++s) {
+    const auto stats = proof_cache_.stripe_stats(s);
+    proof_cache_hits += stats.hits;
+    proof_cache_misses += stats.misses;
+  }
+  counter("dr82_proof_cache_hits_total",
+          "coordinator proof-verification cache hits",
+          static_cast<std::size_t>(proof_cache_hits));
+  counter("dr82_proof_cache_misses_total",
+          "coordinator proof-verification cache misses",
+          static_cast<std::size_t>(proof_cache_misses));
 
   // Striped verification store: per-stripe counters summed element-wise
   // over the endpoints' latest cumulative snapshots. Hit rate per stripe =

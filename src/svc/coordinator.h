@@ -27,6 +27,8 @@
 #include <tuple>
 #include <vector>
 
+#include "crypto/verify_cache.h"
+#include "proof/store.h"
 #include "svc/reactor.h"
 #include "svc/wire.h"
 
@@ -101,6 +103,22 @@ class Coordinator {
     std::size_t frames_rejected = 0;
     std::size_t stale_frames = 0;
     std::size_t send_errors = 0;
+    // Proof service (kProveReq / kVerifyReq) counters.
+    std::size_t proofs_extracted = 0;
+    std::size_t prove_requests = 0;
+    std::size_t prove_misses = 0;
+    std::size_t verify_requests = 0;
+    std::size_t verify_proofs_ok = 0;
+    std::size_t verify_proofs_fail = 0;
+  };
+
+  /// A finished instance's proof material, kept so kProveReq can fetch
+  /// proofs after the kDecision already went out: the realm the run's keys
+  /// derive from, and one encoded Transferable per processor (empty bytes
+  /// where the processor produced no evidence).
+  struct ProvenInstance {
+    proof::Realm realm;
+    std::vector<Bytes> proofs;
   };
 
   void on_accept();
@@ -115,6 +133,10 @@ class Coordinator {
                       SubmitRequest req);
   void handle_done(std::uint64_t instance_id, EndpointDone done);
   void finish_instance(std::uint64_t instance_id);
+  void handle_prove(Session& session, std::uint64_t req_id,
+                    const ProveRequest& req);
+  void handle_verify(Session& session, std::uint64_t req_id,
+                     const std::vector<Bytes>& proofs);
   void begin_shutdown();
   std::string metrics_text() const;
 
@@ -140,6 +162,13 @@ class Coordinator {
   /// the newest one per endpoint and summing is order-independent).
   std::vector<std::vector<std::uint64_t>> stripe_hits_;
   std::vector<std::vector<std::uint64_t>> stripe_misses_;
+  /// Proof material of finished instances, by instance id; the proven-value
+  /// store every extracted proof is admitted into (and kVerifyReq verifies
+  /// against); the coordinator-side signature-verification cache bulk
+  /// verification warms (realm-scoped sessions of one striped store).
+  std::map<std::uint64_t, ProvenInstance> proven_;
+  proof::Store proof_store_;
+  crypto::StripedVerifyCache proof_cache_;
   int exit_code_ = 0;
 };
 

@@ -22,6 +22,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
@@ -30,6 +31,7 @@
 #include "crypto/hash_backend.h"
 #include "net/harness.h"
 #include "net/sockets.h"
+#include "proof/transferable.h"
 #include "sim/chaos.h"
 #include "svc/client.h"
 #include "svc/coordinator.h"
@@ -67,6 +69,13 @@ struct Args {
       if (k == key) return &v;
     }
     return nullptr;
+  }
+  std::vector<std::string> get_all(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : kv) {
+      if (k == key) out.push_back(v);
+    }
+    return out;
   }
   bool has_flag(const std::string& key) const {
     for (const auto& f : flags) {
@@ -462,6 +471,8 @@ int cmd_submit(int argc, char** argv) {
     }
   }
   if (resp->watchdog_fired) std::printf("watchdog fired\n");
+  std::printf("instance %llu\n",
+              static_cast<unsigned long long>(resp->instance));
   return resp->watchdog_fired ? 1 : 0;
 }
 
@@ -493,6 +504,311 @@ int cmd_metrics(int argc, char** argv) {
   return 0;
 }
 
+bool write_file(const std::string& path, ByteView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+/// Fetches one holder's proof::Transferable from the daemon and writes the
+/// raw bytes to --out (or prints them as hex). The printed digest is the
+/// proof's content address — what the proven-value store keys on.
+int cmd_prove(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, 2,
+                  {"--connect", "--instance", "--holder", "--out"}, {},
+                  args)) {
+    return 2;
+  }
+  const auto* connect = args.get("--connect");
+  const auto* instance = args.get("--instance");
+  const auto* holder = args.get("--holder");
+  if (connect == nullptr || instance == nullptr || holder == nullptr) {
+    std::fprintf(stderr,
+                 "dr82d: prove needs --connect, --instance and --holder\n");
+    return 2;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_hostport(*connect, host, port)) {
+    std::fprintf(stderr, "dr82d: bad --connect %s\n", connect->c_str());
+    return 2;
+  }
+  const auto instance_v = parse_u64(instance->c_str());
+  const auto holder_v = parse_u64(holder->c_str());
+  if (!instance_v.has_value() || !holder_v.has_value()) {
+    std::fprintf(stderr, "dr82d: bad --instance/--holder\n");
+    return 2;
+  }
+  Client client;
+  if (!client.connect(host, port, std::chrono::seconds(10))) {
+    std::fprintf(stderr, "dr82d: cannot connect %s\n", connect->c_str());
+    return 1;
+  }
+  const auto resp = client.prove(*instance_v,
+                                 static_cast<ProcId>(*holder_v),
+                                 std::chrono::seconds(10));
+  if (!resp.has_value()) {
+    std::fprintf(stderr, "dr82d: no proof response\n");
+    return 1;
+  }
+  if (!resp->ok) {
+    std::fprintf(stderr, "dr82d: prove failed: %s\n", resp->error.c_str());
+    return 1;
+  }
+  const auto decoded = proof::decode_transferable(
+      ByteView{resp->proof.data(), resp->proof.size()});
+  if (!decoded.has_value()) {
+    std::fprintf(stderr, "dr82d: daemon returned an undecodable proof\n");
+    return 1;
+  }
+  std::printf("proof %zu bytes, value %llu, digest %s\n", resp->proof.size(),
+              static_cast<unsigned long long>(decoded->value()),
+              to_hex(ByteView{proof::digest(*decoded).data(),
+                              proof::digest(*decoded).size()})
+                  .c_str());
+  if (const auto* out = args.get("--out")) {
+    if (!write_file(*out, ByteView{resp->proof.data(), resp->proof.size()})) {
+      std::fprintf(stderr, "dr82d: cannot write %s\n", out->c_str());
+      return 1;
+    }
+  } else {
+    std::printf("%s\n",
+                to_hex(ByteView{resp->proof.data(), resp->proof.size()})
+                    .c_str());
+  }
+  return 0;
+}
+
+/// Verifies serialized proofs: against a running daemon's proven-value
+/// store (--connect) or fully offline with the verifier rebuilt from each
+/// proof's own realm (--offline — works with no daemon anywhere).
+int cmd_verify(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, 2, {"--connect", "--proof"}, {"--offline"},
+                  args)) {
+    return 2;
+  }
+  const std::vector<std::string> paths = args.get_all("--proof");
+  const auto* connect = args.get("--connect");
+  const bool offline = args.has_flag("--offline");
+  if (paths.empty() || (connect == nullptr) == !offline) {
+    std::fprintf(
+        stderr,
+        "dr82d: verify needs --proof FILE... and exactly one of"
+        " --connect HOST:PORT or --offline\n");
+    return 2;
+  }
+  std::vector<Bytes> proofs;
+  for (const std::string& path : paths) {
+    auto bytes = read_file(path);
+    if (!bytes.has_value()) {
+      std::fprintf(stderr, "dr82d: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    proofs.push_back(*std::move(bytes));
+  }
+
+  std::size_t rejected = 0;
+  if (offline) {
+    for (std::size_t i = 0; i < proofs.size(); ++i) {
+      proof::Verdict verdict = proof::Verdict::kMalformedChain;
+      const auto decoded = proof::decode_transferable(
+          ByteView{proofs[i].data(), proofs[i].size()});
+      if (decoded.has_value()) {
+        const proof::OfflineVerifier verifier(decoded->realm);
+        verdict = proof::verify_offline(*decoded, verifier);
+      }
+      if (verdict != proof::Verdict::kOk) ++rejected;
+      std::printf("%s: %s\n", paths[i].c_str(), proof::to_string(verdict));
+    }
+  } else {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parse_hostport(*connect, host, port)) {
+      std::fprintf(stderr, "dr82d: bad --connect %s\n", connect->c_str());
+      return 2;
+    }
+    Client client;
+    if (!client.connect(host, port, std::chrono::seconds(10))) {
+      std::fprintf(stderr, "dr82d: cannot connect %s\n", connect->c_str());
+      return 1;
+    }
+    const auto verdicts =
+        client.verify_proofs(proofs, std::chrono::seconds(30));
+    if (!verdicts.has_value() || verdicts->size() != proofs.size()) {
+      std::fprintf(stderr, "dr82d: no verification response\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < proofs.size(); ++i) {
+      const auto verdict = static_cast<proof::Verdict>((*verdicts)[i]);
+      if (verdict != proof::Verdict::kOk) ++rejected;
+      std::printf("%s: %s\n", paths[i].c_str(), proof::to_string(verdict));
+    }
+  }
+  return rejected == 0 ? 0 : 1;
+}
+
+/// CI's proof acceptance drill: bring up a full daemon, run an instance,
+/// extract every holder's proof over the wire, shut the daemon down, then
+/// verify every proof offline — the coordinator that produced them no
+/// longer exists, which is the whole point of a transferable proof. A
+/// tampered copy must fail the same offline check.
+int cmd_proof_smoke(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, 2, {"--endpoints"}, {}, args)) return 2;
+  std::size_t endpoints = 5;
+  if (const auto* e = args.get("--endpoints")) {
+    const auto v = parse_u64(e->c_str());
+    if (!v.has_value() || *v < 2) {
+      std::fprintf(stderr, "dr82d: bad --endpoints\n");
+      return 2;
+    }
+    endpoints = static_cast<std::size_t>(*v);
+  }
+  const std::string binary = self_binary();
+  if (binary.empty()) {
+    std::fprintf(stderr, "dr82d: cannot resolve own binary\n");
+    return 1;
+  }
+
+  Coordinator::Options coptions;
+  coptions.endpoints = endpoints;
+  Coordinator coordinator(coptions);
+  if (!coordinator.bind()) {
+    std::fprintf(stderr, "dr82d: proof-smoke bind failed\n");
+    return 1;
+  }
+  std::thread serve_thread([&coordinator] { (void)coordinator.serve(); });
+
+  Supervisor supervisor;
+  const std::string coord_addr =
+      "127.0.0.1:" + std::to_string(coordinator.port());
+  bool spawned = true;
+  for (std::size_t p = 0; p < endpoints; ++p) {
+    if (supervisor.spawn(endpoint_argv(binary, coord_addr, p, endpoints)) <
+        0) {
+      spawned = false;
+      break;
+    }
+  }
+
+  std::size_t failures = spawned ? 0 : 1;
+  std::vector<Bytes> proofs;
+  Client client;
+  if (spawned && client.connect("127.0.0.1", coordinator.port(),
+                                std::chrono::seconds(10))) {
+    SubmitRequest req;
+    req.protocol = "dolev-strong";
+    req.config = {endpoints, (endpoints - 1) / 2, 0, 1};
+    req.seed = 17;
+    const auto resp = client.run(req, std::chrono::seconds(60));
+    if (!resp.has_value() || !resp->ok || resp->watchdog_fired) {
+      std::fprintf(stderr, "dr82d proof-smoke: instance failed\n");
+      ++failures;
+    } else {
+      for (std::size_t p = 0; p < endpoints; ++p) {
+        const auto proof = client.prove(resp->instance,
+                                        static_cast<ProcId>(p),
+                                        std::chrono::seconds(10));
+        if (!proof.has_value() || !proof->ok) {
+          std::fprintf(stderr, "dr82d proof-smoke: no proof for %zu\n", p);
+          ++failures;
+          continue;
+        }
+        proofs.push_back(proof->proof);
+      }
+      // The daemon's own bulk path must accept what it extracted (these
+      // digests are already in its store: the light path answers).
+      const auto verdicts =
+          client.verify_proofs(proofs, std::chrono::seconds(30));
+      if (!verdicts.has_value() || verdicts->size() != proofs.size()) {
+        std::fprintf(stderr, "dr82d proof-smoke: bulk verify failed\n");
+        ++failures;
+      } else {
+        for (const std::uint8_t v : *verdicts) {
+          if (static_cast<proof::Verdict>(v) != proof::Verdict::kOk) {
+            std::fprintf(stderr,
+                         "dr82d proof-smoke: daemon rejected own proof\n");
+            ++failures;
+          }
+        }
+      }
+    }
+    (void)client.shutdown_server();
+  } else if (spawned) {
+    std::fprintf(stderr, "dr82d proof-smoke: client connect failed\n");
+    ++failures;
+  } else {
+    std::fprintf(stderr, "dr82d proof-smoke: endpoint spawn failed\n");
+  }
+
+  coordinator.stop();
+  serve_thread.join();
+  failures += supervisor.wait_all();
+
+  // The daemon is gone. Every proof must still verify from its bytes
+  // alone; a flipped byte must not.
+  if (proofs.size() != endpoints) {
+    std::fprintf(stderr, "dr82d proof-smoke: %zu/%zu proofs extracted\n",
+                 proofs.size(), endpoints);
+    ++failures;
+  }
+  for (const Bytes& bytes : proofs) {
+    const auto decoded =
+        proof::decode_transferable(ByteView{bytes.data(), bytes.size()});
+    if (!decoded.has_value()) {
+      std::fprintf(stderr, "dr82d proof-smoke: undecodable proof\n");
+      ++failures;
+      continue;
+    }
+    const proof::OfflineVerifier verifier(decoded->realm);
+    if (proof::verify_offline(*decoded, verifier) != proof::Verdict::kOk) {
+      std::fprintf(stderr,
+                   "dr82d proof-smoke: offline verification rejected an"
+                   " honest proof\n");
+      ++failures;
+    }
+  }
+  if (!proofs.empty()) {
+    Bytes tampered = proofs.front();
+    tampered[tampered.size() / 2] ^= 0x01;
+    const auto decoded = proof::decode_transferable(
+        ByteView{tampered.data(), tampered.size()});
+    bool rejected = !decoded.has_value();
+    if (!rejected) {
+      const proof::OfflineVerifier verifier(decoded->realm);
+      rejected =
+          proof::verify_offline(*decoded, verifier) != proof::Verdict::kOk;
+    }
+    if (!rejected) {
+      std::fprintf(stderr,
+                   "dr82d proof-smoke: tampered proof accepted offline\n");
+      ++failures;
+    }
+  }
+
+  if (failures == 0) {
+    std::printf(
+        "dr82d proof-smoke: OK (%zu proofs verified offline after daemon"
+        " shutdown)\n",
+        proofs.size());
+    return 0;
+  }
+  std::fprintf(stderr, "dr82d proof-smoke: FAILED (%zu problem(s))\n",
+               failures);
+  return 1;
+}
+
 // Capability probe: which SHA-256 backends this build + CPU can run and
 // which one dispatch resolved to (after DR82_HASH_BACKEND). CI prints
 // this before the crypto suites so a skipped SIMD equivalence test is
@@ -512,14 +828,19 @@ int cmd_backends(int, char**) {
 
 void usage() {
   std::fputs(
-      "usage: dr82d <coord|endpoint|submit|metrics|smoke|backends>"
-      " [options]\n"
-      "  coord    --listen HOST:PORT --endpoints E [--spawn]\n"
-      "  endpoint --coord HOST:PORT --id P --endpoints E\n"
-      "  submit   --connect HOST:PORT --protocol NAME --n N --t T\n"
-      "           [--transmitter P] [--value V] [--seed S] [--timeout MS]\n"
-      "  metrics  --connect HOST:PORT\n"
-      "  smoke    [--endpoints E]\n"
+      "usage: dr82d <coord|endpoint|submit|metrics|prove|verify|smoke|"
+      "proof-smoke|backends> [options]\n"
+      "  coord       --listen HOST:PORT --endpoints E [--spawn]\n"
+      "  endpoint    --coord HOST:PORT --id P --endpoints E\n"
+      "  submit      --connect HOST:PORT --protocol NAME --n N --t T\n"
+      "              [--transmitter P] [--value V] [--seed S]"
+      " [--timeout MS]\n"
+      "  metrics     --connect HOST:PORT\n"
+      "  prove       --connect HOST:PORT --instance I --holder P"
+      " [--out FILE]\n"
+      "  verify      --proof FILE... (--connect HOST:PORT | --offline)\n"
+      "  smoke       [--endpoints E]\n"
+      "  proof-smoke [--endpoints E]\n"
       "  backends\n",
       stderr);
 }
@@ -536,7 +857,10 @@ int main(int argc, char** argv) {
   if (cmd == "endpoint") return cmd_endpoint(argc, argv);
   if (cmd == "submit") return cmd_submit(argc, argv);
   if (cmd == "metrics") return cmd_metrics(argc, argv);
+  if (cmd == "prove") return cmd_prove(argc, argv);
+  if (cmd == "verify") return cmd_verify(argc, argv);
   if (cmd == "smoke") return cmd_smoke(argc, argv);
+  if (cmd == "proof-smoke") return cmd_proof_smoke(argc, argv);
   if (cmd == "backends") return cmd_backends(argc, argv);
   usage();
   return 2;

@@ -371,6 +371,7 @@ void EndpointNode::worker_main(std::uint64_t id, SubmitRequest req,
     const std::optional<Value> decision = process->decision();
     done.decided = decision.has_value();
     done.decision = decision.value_or(0);
+    done.evidence = process->evidence().value_or(Bytes{});
     done.unfinished = channel->abort.load(std::memory_order_relaxed);
     done.metrics = std::move(metrics);
     done.sync = sync;

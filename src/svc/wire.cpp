@@ -129,7 +129,7 @@ std::optional<MsgHeader> read_header(Reader& r) {
   const std::uint8_t type = r.u8();
   const std::uint64_t id = r.u64();
   if (!r.ok() || version != kSvcVersion ||
-      type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+      type > static_cast<std::uint8_t>(MsgType::kVerifyResp)) {
     return std::nullopt;
   }
   return MsgHeader{static_cast<MsgType>(type), id};
@@ -250,6 +250,7 @@ Bytes encode_done(std::uint64_t instance, const EndpointDone& done) {
   for (const std::uint64_t h : done.verify_stripe_hits) w.u64(h);
   w.seq(done.verify_stripe_misses.size());
   for (const std::uint64_t m : done.verify_stripe_misses) w.u64(m);
+  w.bytes(ByteView{done.evidence.data(), done.evidence.size()});
   return seal_body(w.out());
 }
 
@@ -272,6 +273,7 @@ std::optional<EndpointDone> decode_done(Reader& r) {
   for (std::size_t i = 0; r.ok() && i < misses; ++i) {
     done.verify_stripe_misses.push_back(r.u64());
   }
+  done.evidence = r.bytes();
   if (!r.done()) return std::nullopt;
   return done;
 }
@@ -293,6 +295,7 @@ Bytes encode_decision(std::uint64_t req_id, const DecisionResponse& resp) {
   encode_proc_list(w, resp.perturbed);
   w.u8(resp.watchdog_fired ? 1 : 0);
   encode_proc_list(w, resp.unfinished);
+  w.u64(resp.instance);
   return seal_body(w.out());
 }
 
@@ -317,6 +320,7 @@ std::optional<DecisionResponse> decode_decision(Reader& r) {
   resp.perturbed = decode_proc_list(r);
   resp.watchdog_fired = r.u8() != 0;
   resp.unfinished = decode_proc_list(r);
+  resp.instance = r.u64();
   if (!r.done()) return std::nullopt;
   return resp;
 }
@@ -345,6 +349,78 @@ Bytes encode_shutdown() {
   Writer w;
   write_header(w, MsgType::kShutdown, 0);
   return seal_body(w.out());
+}
+
+Bytes encode_prove_req(std::uint64_t req_id, const ProveRequest& req) {
+  Writer w;
+  write_header(w, MsgType::kProveReq, req_id);
+  w.u64(req.instance);
+  w.u32(req.holder);
+  return seal_body(w.out());
+}
+
+std::optional<ProveRequest> decode_prove_req(Reader& r) {
+  ProveRequest req;
+  req.instance = r.u64();
+  req.holder = r.u32();
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+Bytes encode_proof(std::uint64_t req_id, const ProofResponse& resp) {
+  Writer w;
+  write_header(w, MsgType::kProof, req_id);
+  w.u8(resp.ok ? 1 : 0);
+  w.str(resp.error);
+  w.bytes(ByteView{resp.proof.data(), resp.proof.size()});
+  return seal_body(w.out());
+}
+
+std::optional<ProofResponse> decode_proof(Reader& r) {
+  ProofResponse resp;
+  resp.ok = r.u8() != 0;
+  resp.error = r.str();
+  resp.proof = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return resp;
+}
+
+Bytes encode_verify_req(std::uint64_t req_id,
+                        const std::vector<Bytes>& proofs) {
+  Writer w;
+  write_header(w, MsgType::kVerifyReq, req_id);
+  w.seq(proofs.size());
+  for (const Bytes& p : proofs) w.bytes(ByteView{p.data(), p.size()});
+  return seal_body(w.out());
+}
+
+std::optional<std::vector<Bytes>> decode_verify_req(Reader& r) {
+  const std::size_t count = r.seq();
+  std::vector<Bytes> proofs;
+  if (!r.ok()) return std::nullopt;
+  proofs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) proofs.push_back(r.bytes());
+  if (!r.done()) return std::nullopt;
+  return proofs;
+}
+
+Bytes encode_verify_resp(std::uint64_t req_id,
+                         const std::vector<std::uint8_t>& verdicts) {
+  Writer w;
+  write_header(w, MsgType::kVerifyResp, req_id);
+  w.seq(verdicts.size());
+  for (const std::uint8_t v : verdicts) w.u8(v);
+  return seal_body(w.out());
+}
+
+std::optional<std::vector<std::uint8_t>> decode_verify_resp(Reader& r) {
+  const std::size_t count = r.seq();
+  std::vector<std::uint8_t> verdicts;
+  if (!r.ok()) return std::nullopt;
+  verdicts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) verdicts.push_back(r.u8());
+  if (!r.done()) return std::nullopt;
+  return verdicts;
 }
 
 net::WireParts seal_mesh_parts(std::uint64_t instance,

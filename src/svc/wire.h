@@ -55,6 +55,10 @@ enum class MsgType : std::uint8_t {
   kMetricsResp = 9,  // coordinator -> client
   kError = 10,       // coordinator -> client: request-level failure
   kShutdown = 11,    // client -> coordinator -> endpoints: clean stop
+  kProveReq = 12,    // client -> coordinator: proof of (instance, holder)
+  kProof = 13,       // coordinator -> client: the serialized proof
+  kVerifyReq = 14,   // client -> coordinator: bulk proof verification
+  kVerifyResp = 15,  // coordinator -> client: one verdict per proof
 };
 
 enum class Role : std::uint8_t {
@@ -123,6 +127,10 @@ struct EndpointDone {
   /// per-instance Metrics stay stripe-free so parity holds.
   std::vector<std::uint64_t> verify_stripe_hits;
   std::vector<std::uint64_t> verify_stripe_misses;
+  /// This processor's decision-time evidence blob (sim::Process::evidence;
+  /// empty = none). The coordinator wraps it into a proof::Transferable
+  /// under the instance's realm and serves it through kProveReq.
+  Bytes evidence;
 };
 
 struct DecisionResponse {
@@ -135,6 +143,9 @@ struct DecisionResponse {
   std::vector<ProcId> perturbed;  // union, ascending
   bool watchdog_fired = false;
   std::vector<ProcId> unfinished;
+  /// The coordinator-assigned instance id — the key kProveReq takes to
+  /// fetch this run's proofs after the fact.
+  std::uint64_t instance = 0;
 };
 
 struct Peers {
@@ -163,6 +174,34 @@ Bytes encode_error(std::uint64_t req_id, std::string_view what);
 
 Bytes encode_metrics_req(std::uint64_t req_id);
 Bytes encode_metrics_resp(std::uint64_t req_id, std::string_view text);
+
+/// Proof extraction: which run, whose proof.
+struct ProveRequest {
+  std::uint64_t instance = 0;
+  ProcId holder = 0;
+};
+
+struct ProofResponse {
+  bool ok = false;
+  std::string error;
+  Bytes proof;  // encode_transferable bytes when ok
+};
+
+Bytes encode_prove_req(std::uint64_t req_id, const ProveRequest& req);
+std::optional<ProveRequest> decode_prove_req(Reader& r);
+
+Bytes encode_proof(std::uint64_t req_id, const ProofResponse& resp);
+std::optional<ProofResponse> decode_proof(Reader& r);
+
+/// Bulk third-party verification: opaque serialized proofs in, one
+/// verdict byte (proof::Verdict) per proof out, same order.
+Bytes encode_verify_req(std::uint64_t req_id,
+                        const std::vector<Bytes>& proofs);
+std::optional<std::vector<Bytes>> decode_verify_req(Reader& r);
+
+Bytes encode_verify_resp(std::uint64_t req_id,
+                         const std::vector<std::uint8_t>& verdicts);
+std::optional<std::vector<std::uint8_t>> decode_verify_resp(Reader& r);
 
 Bytes encode_shutdown();
 

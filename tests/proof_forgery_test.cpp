@@ -1,0 +1,361 @@
+// Adversarial battery for proof::Transferable offline verification: every
+// honest-run proof must verify with zero protocol context, and every
+// tampering — forged signature bytes, spliced chains, reattributed
+// signers, truncation below threshold, cross-realm replay, arbitrary bit
+// flips — must be rejected. The verdicts are asserted exactly, so a
+// structural rejection can never silently degrade into (or mask) a
+// cryptographic one.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ba/registry.h"
+#include "ba/tree.h"
+#include "proof/transferable.h"
+#include "test_util.h"
+
+namespace dr::proof {
+namespace {
+
+using ba::BAConfig;
+using ba::Protocol;
+
+Realm make_realm(const BAConfig& config, std::uint64_t seed) {
+  return Realm{.scheme = sim::SchemeKind::kHmac,
+               .n = config.n,
+               .t = config.t,
+               .transmitter = config.transmitter,
+               .seed = seed,
+               .merkle_height = 6};
+}
+
+ByteView view(const Bytes& b) { return ByteView{b.data(), b.size()}; }
+
+/// Runs `protocol` failure-free in the simulator and wraps every
+/// processor's evidence into a Transferable. Fails the test if any correct
+/// processor emitted no evidence — the decision-time hook must fire for
+/// every relaying protocol.
+std::vector<Transferable> honest_proofs(const Protocol& protocol,
+                                        const BAConfig& config,
+                                        std::uint64_t seed) {
+  const sim::RunResult result = ba::run_scenario(protocol, config, seed);
+  EXPECT_EQ(result.evidence.size(), config.n) << protocol.name;
+  std::vector<Transferable> proofs;
+  const Realm realm = make_realm(config, seed);
+  for (ProcId p = 0; p < result.evidence.size(); ++p) {
+    EXPECT_FALSE(result.evidence[p].empty())
+        << protocol.name << ": processor " << p << " emitted no evidence";
+    if (result.evidence[p].empty()) continue;
+    const auto proof = from_evidence(realm, p, view(result.evidence[p]));
+    EXPECT_TRUE(proof.has_value()) << protocol.name << ": p=" << p;
+    if (proof.has_value()) proofs.push_back(*proof);
+  }
+  return proofs;
+}
+
+/// Offline verdict with the verifier rebuilt from the proof's own realm.
+Verdict offline(const Transferable& p) {
+  const OfflineVerifier verifier(p.realm);
+  return verify_offline(p, verifier);
+}
+
+// --- Positive control: one honest run per protocol family, every --------
+// --- evidence kind, every proof accepted offline. ------------------------
+
+TEST(ProofPositive, DolevStrongExtractionProofsVerify) {
+  const auto proofs =
+      honest_proofs(*ba::find_protocol("dolev-strong"), {5, 2, 0, 1}, 7);
+  ASSERT_EQ(proofs.size(), 5u);
+  for (const Transferable& p : proofs) {
+    EXPECT_EQ(p.evidence.kind, ba::EvidenceKind::kExtraction);
+    EXPECT_EQ(p.value(), Value{1});
+    EXPECT_EQ(offline(p), Verdict::kOk);
+  }
+}
+
+TEST(ProofPositive, DolevStrongRelayProofsVerify) {
+  const auto proofs = honest_proofs(
+      *ba::find_protocol("dolev-strong-relay"), {5, 2, 0, 1}, 7);
+  ASSERT_EQ(proofs.size(), 5u);
+  for (const Transferable& p : proofs) {
+    EXPECT_EQ(p.evidence.kind, ba::EvidenceKind::kExtraction);
+    EXPECT_EQ(offline(p), Verdict::kOk);
+  }
+}
+
+TEST(ProofPositive, Algorithm2PossessionProofsVerify) {
+  const auto proofs =
+      honest_proofs(*ba::find_protocol("alg2"), {5, 2, 0, 1}, 11);
+  ASSERT_EQ(proofs.size(), 5u);
+  for (const Transferable& p : proofs) {
+    EXPECT_EQ(p.evidence.kind, ba::EvidenceKind::kPossession);
+    EXPECT_EQ(offline(p), Verdict::kOk);
+  }
+}
+
+TEST(ProofPositive, Algorithm5ValidMessageProofsVerify) {
+  // n >= alpha_for(t): the full active/passive layout. Actives prove the
+  // valid message they relayed; passives the one they decided on.
+  const std::size_t n = 20, t = 1;
+  ASSERT_GE(n, ba::alpha_for(t));
+  const auto proofs =
+      honest_proofs(ba::make_alg5_protocol(3), {n, t, 0, 1}, 13);
+  ASSERT_EQ(proofs.size(), n);
+  std::size_t valid_message = 0;
+  for (const Transferable& p : proofs) {
+    if (p.evidence.kind == ba::EvidenceKind::kValidMessage) ++valid_message;
+    EXPECT_EQ(offline(p), Verdict::kOk);
+  }
+  EXPECT_GT(valid_message, 0u);
+}
+
+TEST(ProofPositive, Algorithm5FallbackProofsVerify) {
+  // n < alpha_for(t): make_algorithm5 degrades to the Algorithm2Ext
+  // fallback; evidence must still flow through and verify.
+  const std::size_t n = 5, t = 2;
+  ASSERT_LT(n, ba::alpha_for(t));
+  const auto proofs =
+      honest_proofs(ba::make_alg5_protocol(3), {n, t, 0, 1}, 17);
+  ASSERT_EQ(proofs.size(), n);
+  for (const Transferable& p : proofs) {
+    EXPECT_EQ(offline(p), Verdict::kOk);
+  }
+}
+
+TEST(ProofPositive, RoundTripPreservesBytesAndDigest) {
+  const auto proofs =
+      honest_proofs(*ba::find_protocol("alg2"), {5, 2, 0, 1}, 11);
+  for (const Transferable& p : proofs) {
+    const Bytes encoded = encode_transferable(p);
+    const auto decoded = decode_transferable(view(encoded));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, p);
+    EXPECT_EQ(encode_transferable(*decoded), encoded);
+    EXPECT_EQ(digest(*decoded), digest(p));
+  }
+}
+
+// --- Forgeries. ----------------------------------------------------------
+
+class ProofForgery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    possession_ =
+        honest_proofs(*ba::find_protocol("alg2"), {5, 2, 0, 1}, 11);
+    extraction_ =
+        honest_proofs(*ba::find_protocol("dolev-strong"), {5, 2, 0, 1}, 7);
+    ASSERT_EQ(possession_.size(), 5u);
+    ASSERT_EQ(extraction_.size(), 5u);
+  }
+
+  std::vector<Transferable> possession_;
+  std::vector<Transferable> extraction_;
+};
+
+TEST_F(ProofForgery, ForgedSignatureBytesRejected) {
+  for (const Transferable& honest : {possession_[1], extraction_[2]}) {
+    Transferable forged = honest;
+    ASSERT_FALSE(forged.evidence.sv.chain.empty());
+    ASSERT_FALSE(forged.evidence.sv.chain.back().sig.empty());
+    forged.evidence.sv.chain.back().sig.back() ^= 0x01;
+    EXPECT_EQ(offline(forged), Verdict::kBadSignature);
+  }
+}
+
+TEST_F(ProofForgery, ClaimedValueSwapRejected) {
+  // The chain signs the value: swapping the value under an honest chain
+  // breaks every MAC.
+  Transferable forged = possession_[1];
+  forged.evidence.sv.value ^= 1;
+  EXPECT_EQ(offline(forged), Verdict::kBadSignature);
+}
+
+TEST_F(ProofForgery, SplicedChainsRejected) {
+  // Graft the tail of one honest chain onto the head of another (two
+  // different runs of the same realm shape, different seeds => different
+  // keys; and within one run, different holders => different prefixes).
+  const auto other =
+      honest_proofs(*ba::find_protocol("dolev-strong"), {5, 2, 0, 1}, 8);
+  ASSERT_EQ(other.size(), 5u);
+  Transferable spliced = extraction_[3];
+  ASSERT_FALSE(spliced.evidence.sv.chain.empty());
+  ASSERT_FALSE(other[3].evidence.sv.chain.empty());
+  spliced.evidence.sv.chain.back() = other[3].evidence.sv.chain.back();
+  EXPECT_EQ(offline(spliced), Verdict::kBadSignature);
+
+  // Cross-holder splice within the run: holder 4 presenting holder 3's
+  // terminal signature as its own chain. The chain no longer ends with the
+  // claimed holder — caught structurally before any MAC runs.
+  Transferable cross = extraction_[4];
+  const auto& donor = extraction_[3].evidence.sv.chain;
+  ASSERT_FALSE(donor.empty());
+  ASSERT_FALSE(cross.evidence.sv.chain.empty());
+  ASSERT_NE(donor.back().signer, cross.holder);
+  cross.evidence.sv.chain.back() = donor.back();
+  EXPECT_EQ(offline(cross), Verdict::kMalformedChain);
+}
+
+TEST_F(ProofForgery, ReattributedSignerRejected) {
+  // Keep the signature bytes, claim a different author: each MAC is keyed
+  // by its signer, so the link fails verification. Reattribute one
+  // non-holder link of a possession chain to an id that is neither the
+  // holder nor another signer — the others-count and distinctness are
+  // unchanged, so the rejection must come from the crypto, not the
+  // structure.
+  Transferable forged = possession_[2];
+  std::vector<ProcId> taken = ba::chain_signers(forged.evidence.sv);
+  taken.push_back(forged.holder);
+  ProcId unused = 0;
+  while (std::find(taken.begin(), taken.end(), unused) != taken.end()) {
+    ++unused;
+  }
+  ASSERT_LT(unused, forged.realm.n);
+  bool reattributed = false;
+  for (crypto::Signature& link : forged.evidence.sv.chain) {
+    if (link.signer != forged.holder) {
+      link.signer = unused;
+      reattributed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(reattributed);
+  EXPECT_EQ(offline(forged), Verdict::kBadSignature);
+}
+
+TEST_F(ProofForgery, ReattributionToHolderFallsBelowThreshold) {
+  // Reattributing every non-holder signature to the holder never reaches
+  // the crypto: Theorem 4 counts processors *other* than the holder.
+  Transferable forged = possession_[1];
+  for (crypto::Signature& link : forged.evidence.sv.chain) {
+    link.signer = forged.holder;
+  }
+  EXPECT_EQ(offline(forged), Verdict::kBelowThreshold);
+}
+
+TEST_F(ProofForgery, TruncatedExtractionChainRejected) {
+  // Dropping the terminal signature leaves a chain that no longer ends
+  // with the holder — structurally malformed before any MAC is checked.
+  Transferable forged = extraction_[2];
+  ASSERT_GE(forged.evidence.sv.chain.size(), 2u);
+  forged.evidence.sv.chain.pop_back();
+  EXPECT_EQ(offline(forged), Verdict::kMalformedChain);
+}
+
+TEST_F(ProofForgery, BelowThresholdPossessionRejected) {
+  // Strip non-holder signatures until fewer than t remain.
+  Transferable forged = possession_[1];
+  std::vector<crypto::Signature> kept;
+  std::size_t others = 0;
+  for (const crypto::Signature& link : forged.evidence.sv.chain) {
+    if (link.signer != forged.holder) {
+      if (others + 1 >= forged.realm.t) continue;  // cap at t-1 others
+      ++others;
+    }
+    kept.push_back(link);
+  }
+  forged.evidence.sv.chain = std::move(kept);
+  EXPECT_EQ(offline(forged), Verdict::kBelowThreshold);
+}
+
+TEST_F(ProofForgery, EmptyExtractionChainRejected) {
+  Transferable forged = extraction_[0];
+  forged.evidence.sv.chain.clear();
+  EXPECT_EQ(offline(forged), Verdict::kMalformedChain);
+}
+
+TEST_F(ProofForgery, OutOfRangeIdsRejected) {
+  Transferable holder_oor = possession_[1];
+  holder_oor.holder = static_cast<ProcId>(holder_oor.realm.n);
+  EXPECT_EQ(offline(holder_oor), Verdict::kMalformedChain);
+
+  Transferable signer_oor = possession_[1];
+  ASSERT_FALSE(signer_oor.evidence.sv.chain.empty());
+  signer_oor.evidence.sv.chain.front().signer =
+      static_cast<ProcId>(signer_oor.realm.n + 3);
+  EXPECT_EQ(offline(signer_oor), Verdict::kMalformedChain);
+}
+
+TEST_F(ProofForgery, CrossRealmReplayRejected) {
+  // The same honest bytes presented to a verifier expecting a different
+  // realm: rejected on realm comparison alone.
+  const Transferable& honest = possession_[1];
+  Realm expected = honest.realm;
+  expected.seed ^= 1;
+  const OfflineVerifier verifier(expected);
+  EXPECT_EQ(verify(honest, expected, verifier.verifier()),
+            Verdict::kWrongRealm);
+
+  // Re-embedding the foreign realm inside the proof instead: the realm
+  // comparison passes, but the rebuilt keys are the wrong ones and every
+  // MAC fails. Replay across realms loses either way.
+  Transferable reseeded = honest;
+  reseeded.realm.seed ^= 1;
+  EXPECT_EQ(offline(reseeded), Verdict::kBadSignature);
+
+  Transferable retransmitted = extraction_[2];
+  retransmitted.realm.transmitter = 1;
+  EXPECT_EQ(offline(retransmitted), Verdict::kMalformedChain);
+}
+
+TEST_F(ProofForgery, WarmCacheDoesNotLaunderForgeries) {
+  // Verify the honest proof through a cache, then present a forgery whose
+  // links overlap the cached prefix: the cache answers only exact
+  // (signer, prefix, signature-bytes) triples, so the forged link misses
+  // and full verification rejects it.
+  const Transferable& honest = possession_[1];
+  const OfflineVerifier verifier(honest.realm);
+  crypto::VerifyCache cache;
+  ASSERT_EQ(verify_offline(honest, verifier, &cache), Verdict::kOk);
+  const std::size_t warm_hits = cache.hits();
+  ASSERT_EQ(verify_offline(honest, verifier, &cache), Verdict::kOk);
+  EXPECT_GT(cache.hits(), warm_hits) << "second pass should run warm";
+
+  Transferable forged = honest;
+  forged.evidence.sv.chain.back().sig.front() ^= 0x80;
+  EXPECT_EQ(verify_offline(forged, verifier, &cache),
+            Verdict::kBadSignature);
+  // And the failed verification must not have poisoned the cache.
+  EXPECT_EQ(verify_offline(honest, verifier, &cache), Verdict::kOk);
+}
+
+TEST_F(ProofForgery, BitFlipFuzz) {
+  // Flip every bit of the canonical encoding, one at a time. Each mutant
+  // must either fail to decode or fail verification — except mutants that
+  // only touch unauthenticated envelope fields (holder, realm.n), which
+  // may legitimately verify; those must still carry the identical value,
+  // kind and signature chain, i.e. a bit flip can never alter what is
+  // being proven.
+  for (const Transferable& honest : {possession_[1], extraction_[2]}) {
+    const Bytes encoded = encode_transferable(honest);
+    std::size_t accepted = 0;
+    for (std::size_t bit = 0; bit < encoded.size() * 8; ++bit) {
+      Bytes mutated = encoded;
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      const auto decoded = decode_transferable(view(mutated));
+      if (!decoded.has_value()) continue;
+      if (offline(*decoded) != Verdict::kOk) continue;
+      ++accepted;
+      EXPECT_EQ(decoded->value(), honest.value()) << "bit " << bit;
+      EXPECT_EQ(decoded->evidence.kind, honest.evidence.kind)
+          << "bit " << bit;
+      EXPECT_EQ(decoded->evidence.sv.chain, honest.evidence.sv.chain)
+          << "bit " << bit;
+    }
+    // Accepted mutants can only differ in the unauthenticated envelope
+    // fields (holder, realm.n/t, merkle_height — about four varint bytes);
+    // every flip touching the value, the kind or a signature must reject.
+    EXPECT_LE(accepted, 4u * 8u);
+  }
+}
+
+TEST_F(ProofForgery, VersionByteGated) {
+  Bytes encoded = encode_transferable(possession_[0]);
+  ASSERT_EQ(encoded[0], kProofVersion);
+  encoded[0] = kProofVersion + 1;
+  EXPECT_FALSE(decode_transferable(view(encoded)).has_value());
+}
+
+}  // namespace
+}  // namespace dr::proof

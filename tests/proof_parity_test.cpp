@@ -1,0 +1,165 @@
+// Differential proof parity: the same (protocol, config, seed) run on the
+// in-memory simulator, the in-process transport, the TCP loopback
+// transport and the multi-process daemon must yield byte-identical
+// serialized proofs — same canonical encoding, same content digest — for
+// every holder. Proof identity is content-addressed, so this is the
+// strongest form of the repo's parity bar: not just equal decisions and
+// metrics, but equal *evidence* down to the last signature byte.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ba/registry.h"
+#include "net/harness.h"
+#include "proof/transferable.h"
+#include "svc_test_util.h"
+
+namespace dr::proof {
+namespace {
+
+using ba::BAConfig;
+using ba::Protocol;
+
+ByteView view(const Bytes& b) { return ByteView{b.data(), b.size()}; }
+
+Realm make_realm(const BAConfig& config, std::uint64_t seed) {
+  return Realm{.scheme = sim::SchemeKind::kHmac,
+               .n = config.n,
+               .t = config.t,
+               .transmitter = config.transmitter,
+               .seed = seed,
+               .merkle_height = 6};
+}
+
+/// Wraps per-processor evidence blobs into encoded Transferables (empty
+/// where the processor emitted none).
+std::vector<Bytes> encode_all(const Realm& realm,
+                              const std::vector<Bytes>& evidence) {
+  std::vector<Bytes> out(evidence.size());
+  for (ProcId p = 0; p < evidence.size(); ++p) {
+    if (evidence[p].empty()) continue;
+    const auto proof = from_evidence(realm, p, view(evidence[p]));
+    EXPECT_TRUE(proof.has_value()) << "holder " << p;
+    if (proof.has_value()) out[p] = encode_transferable(*proof);
+  }
+  return out;
+}
+
+void expect_same_proofs(const char* label, const std::vector<Bytes>& want,
+                        const std::vector<Bytes>& got) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t p = 0; p < want.size(); ++p) {
+    EXPECT_EQ(want[p], got[p])
+        << label << ": holder " << p << " proof bytes differ";
+    if (want[p].empty() || got[p].empty()) continue;
+    const auto a = decode_transferable(view(want[p]));
+    const auto b = decode_transferable(view(got[p]));
+    ASSERT_TRUE(a.has_value() && b.has_value()) << label;
+    EXPECT_EQ(digest(*a), digest(*b)) << label << ": holder " << p;
+  }
+}
+
+class ProofParity : public ::testing::TestWithParam<
+                        std::tuple<const char*, std::uint64_t>> {};
+
+TEST_P(ProofParity, SimInProcessAndTcpProofsAreByteIdentical) {
+  const auto& [name, seed] = GetParam();
+  const Protocol* protocol = ba::find_protocol(name);
+  ASSERT_NE(protocol, nullptr);
+  const BAConfig config{5, 2, 0, 1};
+  const Realm realm = make_realm(config, seed);
+
+  const sim::RunResult sim_run = ba::run_scenario(*protocol, config, seed);
+  const std::vector<Bytes> sim_proofs =
+      encode_all(realm, sim_run.evidence);
+  std::size_t nonempty = 0;
+  for (const Bytes& p : sim_proofs) {
+    if (!p.empty()) ++nonempty;
+  }
+  ASSERT_GT(nonempty, 0u) << "sim run produced no proofs";
+
+  net::NetScenarioOptions options;
+  options.seed = seed;
+  const net::NetRunResult inprocess = net::run_scenario(
+      *protocol, config, net::Backend::kInProcess, options);
+  ASSERT_FALSE(inprocess.watchdog_fired);
+  expect_same_proofs("inprocess", sim_proofs,
+                     encode_all(realm, inprocess.run.evidence));
+
+  const net::NetRunResult tcp = net::run_scenario(
+      *protocol, config, net::Backend::kTcpLoopback, options);
+  ASSERT_FALSE(tcp.watchdog_fired);
+  expect_same_proofs("tcp", sim_proofs,
+                     encode_all(realm, tcp.run.evidence));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, ProofParity,
+    ::testing::Values(std::tuple{"dolev-strong", std::uint64_t{7}},
+                      std::tuple{"dolev-strong-relay", std::uint64_t{7}},
+                      std::tuple{"alg2", std::uint64_t{11}}));
+
+TEST(ProofParityDaemon, DaemonProofsMatchSimByteForByte) {
+  // The deployed daemon: real endpoint OS processes, proofs fetched over
+  // the wire with kProveReq — and still the same bytes the simulator's
+  // evidence wraps to.
+  const BAConfig config{5, 2, 0, 1};
+  const std::uint64_t seed = 7;
+  const Realm realm = make_realm(config, seed);
+
+  test::SvcDaemon daemon(5);
+  ASSERT_TRUE(daemon.up());
+
+  svc::SubmitRequest req;
+  req.protocol = "dolev-strong";
+  req.config = config;
+  req.seed = seed;
+  const auto resp = daemon.client().run(req, std::chrono::seconds(60));
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->ok) << resp->error;
+  ASSERT_FALSE(resp->watchdog_fired);
+  ASSERT_NE(resp->instance, 0u);
+
+  const sim::RunResult sim_run = ba::run_scenario(
+      *ba::find_protocol("dolev-strong"), config, seed);
+  const std::vector<Bytes> sim_proofs =
+      encode_all(realm, sim_run.evidence);
+
+  std::vector<Bytes> daemon_proofs(config.n);
+  for (ProcId p = 0; p < config.n; ++p) {
+    const auto proof =
+        daemon.client().prove(resp->instance, p, std::chrono::seconds(10));
+    ASSERT_TRUE(proof.has_value()) << "holder " << p;
+    ASSERT_TRUE(proof->ok) << "holder " << p << ": " << proof->error;
+    daemon_proofs[p] = proof->proof;
+  }
+  expect_same_proofs("daemon", sim_proofs, daemon_proofs);
+
+  // Round-trip the daemon's own proofs through its bulk verifier: every
+  // digest is already in the store, so every verdict is kOk.
+  const auto verdicts = daemon.client().verify_proofs(
+      daemon_proofs, std::chrono::seconds(30));
+  ASSERT_TRUE(verdicts.has_value());
+  ASSERT_EQ(verdicts->size(), daemon_proofs.size());
+  for (const std::uint8_t v : *verdicts) {
+    EXPECT_EQ(static_cast<Verdict>(v), Verdict::kOk);
+  }
+
+  // Unknown instances and tampered proofs are turned away at the API.
+  const auto missing = daemon.client().prove(resp->instance + 999, 0,
+                                             std::chrono::seconds(10));
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_FALSE(missing->ok);
+
+  Bytes tampered = daemon_proofs[1];
+  tampered.back() ^= 0x01;
+  const auto bad = daemon.client().verify_proofs(
+      {tampered}, std::chrono::seconds(10));
+  ASSERT_TRUE(bad.has_value());
+  ASSERT_EQ(bad->size(), 1u);
+  EXPECT_NE(static_cast<Verdict>(bad->front()), Verdict::kOk);
+}
+
+}  // namespace
+}  // namespace dr::proof

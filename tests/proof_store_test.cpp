@@ -1,0 +1,261 @@
+// proof::Store semantics: the heavy admit path is the only door in, the
+// light path is a pure digest lookup (no hashing, no signature checks —
+// asserted through the verification-cache counters), expiry evicts at the
+// exact tick, realms are isolated, the table survives a save/load round
+// trip, and the whole object is clean under concurrent hammering (this
+// suite runs under ThreadSanitizer in CI via the `proof` ctest label).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ba/registry.h"
+#include "proof/store.h"
+#include "proof/transferable.h"
+
+namespace dr::proof {
+namespace {
+
+using ba::BAConfig;
+
+ByteView view(const Bytes& b) { return ByteView{b.data(), b.size()}; }
+
+Realm make_realm(const BAConfig& config, std::uint64_t seed) {
+  return Realm{.scheme = sim::SchemeKind::kHmac,
+               .n = config.n,
+               .t = config.t,
+               .transmitter = config.transmitter,
+               .seed = seed,
+               .merkle_height = 6};
+}
+
+/// One honest run's proofs, encoded, plus their digests.
+struct Corpus {
+  Realm realm;
+  std::vector<Bytes> encoded;
+  std::vector<crypto::Digest> digests;
+};
+
+Corpus make_corpus(std::uint64_t seed) {
+  const BAConfig config{5, 2, 0, 1};
+  Corpus corpus;
+  corpus.realm = make_realm(config, seed);
+  const sim::RunResult run = ba::run_scenario(
+      *ba::find_protocol("dolev-strong"), config, seed);
+  for (ProcId p = 0; p < run.evidence.size(); ++p) {
+    const auto proof =
+        from_evidence(corpus.realm, p, view(run.evidence[p]));
+    if (!proof.has_value()) continue;
+    corpus.encoded.push_back(encode_transferable(*proof));
+    corpus.digests.push_back(digest(*proof));
+  }
+  EXPECT_EQ(corpus.encoded.size(), config.n);
+  return corpus;
+}
+
+TEST(ProofStore, AdmitThenLightPathNeverReverifies) {
+  const Corpus corpus = make_corpus(7);
+  Store store;
+  crypto::VerifyCache cache;
+  for (const Bytes& p : corpus.encoded) {
+    EXPECT_EQ(store.admit(view(p), 1000, &cache), Verdict::kOk);
+  }
+  const std::size_t heavy_hits = cache.hits();
+  const std::size_t heavy_misses = cache.misses();
+  EXPECT_GT(heavy_misses, 0u) << "cold admits must verify for real";
+
+  // Light path: contains/get/proven answer from the digest table alone.
+  // The shared cache sees zero traffic — nothing is hashed or verified.
+  for (const crypto::Digest& d : corpus.digests) {
+    EXPECT_TRUE(store.contains(d));
+    EXPECT_TRUE(store.get(d).has_value());
+  }
+  EXPECT_TRUE(store.proven(corpus.realm, Value{1}));
+  EXPECT_FALSE(store.proven(corpus.realm, Value{2}));
+  EXPECT_EQ(cache.hits(), heavy_hits);
+  EXPECT_EQ(cache.misses(), heavy_misses);
+
+  const Store::Stats stats = store.stats();
+  EXPECT_EQ(stats.entries, corpus.encoded.size());
+  EXPECT_EQ(stats.admitted, corpus.encoded.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GT(stats.light_hits, 0u);
+}
+
+TEST(ProofStore, DuplicateAdmitSkipsVerification) {
+  const Corpus corpus = make_corpus(7);
+  Store store;
+  crypto::VerifyCache cache;
+  ASSERT_EQ(store.admit(view(corpus.encoded[1]), 0, &cache), Verdict::kOk);
+  const std::size_t hits = cache.hits();
+  const std::size_t misses = cache.misses();
+  // Re-admitting a live digest is the light path in disguise: kOk with no
+  // cache traffic at all.
+  EXPECT_EQ(store.admit(view(corpus.encoded[1]), 5, &cache), Verdict::kOk);
+  EXPECT_EQ(cache.hits(), hits);
+  EXPECT_EQ(cache.misses(), misses);
+  const Store::Stats stats = store.stats();
+  EXPECT_EQ(stats.duplicate, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ProofStore, ForgeriesNeverEnterTheTable) {
+  const Corpus corpus = make_corpus(7);
+  Store store;
+  Bytes tampered = corpus.encoded[2];
+  tampered.back() ^= 0x01;  // inside the terminal signature's bytes
+  EXPECT_NE(store.admit(view(tampered), 0), Verdict::kOk);
+  Bytes garbage = {0x01, 0x02, 0x03};
+  EXPECT_EQ(store.admit(view(garbage), 0), Verdict::kMalformedChain);
+  const Store::Stats stats = store.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_FALSE(store.proven(corpus.realm, Value{1}));
+}
+
+TEST(ProofStore, SweepEvictsAtTheExactTick) {
+  const Corpus corpus = make_corpus(7);
+  Store store(Store::Options{.ttl_ms = 100});
+  ASSERT_EQ(store.admit(view(corpus.encoded[0]), 1000), Verdict::kOk);
+  ASSERT_EQ(store.admit(view(corpus.encoded[1]), 1050), Verdict::kOk);
+
+  EXPECT_EQ(store.sweep(1099), 0u);  // one tick early: nothing goes
+  EXPECT_EQ(store.sweep(1100), 1u);  // admitted_ms + ttl == now: evicted
+  EXPECT_FALSE(store.contains(corpus.digests[0]));
+  EXPECT_TRUE(store.contains(corpus.digests[1]));
+  EXPECT_EQ(store.sweep(1150), 1u);
+
+  const Store::Stats stats = store.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.sweeps, 3u);
+  EXPECT_EQ(stats.tombstones, 2u);
+
+  // ttl 0: entries are immortal, sweeps are counted no-ops.
+  Store immortal;
+  ASSERT_EQ(immortal.admit(view(corpus.encoded[0]), 0), Verdict::kOk);
+  EXPECT_EQ(immortal.sweep(std::uint64_t{1} << 62), 0u);
+  EXPECT_TRUE(immortal.contains(corpus.digests[0]));
+}
+
+TEST(ProofStore, RealmsAreIsolated) {
+  const Corpus a = make_corpus(7);
+  const Corpus b = make_corpus(8);  // same shape, different key universe
+  ASSERT_NE(realm_key(a.realm), realm_key(b.realm));
+  Store store;
+  for (const Bytes& p : a.encoded) {
+    ASSERT_EQ(store.admit(view(p), 0), Verdict::kOk);
+  }
+  // Realm A's value is proven in realm A — and invisible from realm B,
+  // even though both realms committed the same value through the same
+  // protocol. A replayed proof convinces nobody outside its realm.
+  EXPECT_TRUE(store.proven(a.realm, Value{1}));
+  EXPECT_FALSE(store.proven(b.realm, Value{1}));
+  EXPECT_EQ(store.digests_in(a.realm).size(), a.encoded.size());
+  EXPECT_TRUE(store.digests_in(b.realm).empty());
+
+  for (const Bytes& p : b.encoded) {
+    ASSERT_EQ(store.admit(view(p), 0), Verdict::kOk);
+  }
+  EXPECT_TRUE(store.proven(b.realm, Value{1}));
+  EXPECT_EQ(store.digests_in(a.realm), a.digests)
+      << "insertion order within a realm must be preserved";
+  EXPECT_EQ(store.digests_in(b.realm), b.digests);
+}
+
+TEST(ProofStore, SaveLoadRoundTrip) {
+  const Corpus corpus = make_corpus(7);
+  const std::string path = ::testing::TempDir() + "proof_store_rt.bin";
+  {
+    Store store;
+    for (const Bytes& p : corpus.encoded) {
+      ASSERT_EQ(store.admit(view(p), 42), Verdict::kOk);
+    }
+    ASSERT_TRUE(store.save(path));
+  }
+  Store loaded;
+  EXPECT_EQ(loaded.load(path), corpus.encoded.size());
+  for (const crypto::Digest& d : corpus.digests) {
+    EXPECT_TRUE(loaded.contains(d));
+  }
+  EXPECT_EQ(loaded.digests_in(corpus.realm), corpus.digests);
+  std::remove(path.c_str());
+}
+
+TEST(ProofStore, TamperedStoreFileIsHarmless) {
+  const Corpus corpus = make_corpus(7);
+  const std::string path = ::testing::TempDir() + "proof_store_tampered.bin";
+  {
+    Store store;
+    for (const Bytes& p : corpus.encoded) {
+      ASSERT_EQ(store.admit(view(p), 42), Verdict::kOk);
+    }
+    ASSERT_TRUE(store.save(path));
+  }
+  // Flip one byte near the end of the file (inside a serialized proof's
+  // signature bytes): that record is re-verified at load and dropped.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, -2, SEEK_END), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+  Store loaded;
+  EXPECT_EQ(loaded.load(path), corpus.encoded.size() - 1);
+  const Store::Stats stats = loaded.stats();
+  EXPECT_EQ(stats.entries, corpus.encoded.size() - 1);
+  EXPECT_EQ(stats.rejected, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ProofStore, ConcurrentAdmitQuerySweepIsClean) {
+  // The daemon shares one store between its verify path and its GC timer.
+  // Hammer all paths from several threads; ThreadSanitizer (CI runs this
+  // suite under -L proof in the tsan job) certifies the locking, and the
+  // final stats certify that nothing was lost or double-counted.
+  const Corpus a = make_corpus(7);
+  const Corpus b = make_corpus(8);
+  Store store(Store::Options{.ttl_ms = 1000});
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      const Corpus& mine = (id % 2 == 0) ? a : b;
+      for (int round = 0; round < kRounds; ++round) {
+        for (const Bytes& p : mine.encoded) {
+          EXPECT_EQ(store.admit(view(p), 0), Verdict::kOk);
+        }
+        for (const crypto::Digest& d : mine.digests) {
+          EXPECT_TRUE(store.contains(d));
+        }
+        EXPECT_TRUE(store.proven(mine.realm, Value{1}));
+        if (round % 10 == 9) (void)store.sweep(500);  // before any expiry
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const Store::Stats stats = store.stats();
+  EXPECT_EQ(stats.entries, a.encoded.size() + b.encoded.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.tombstones, 0u);
+  // Every admit beyond the first of each digest was a duplicate.
+  EXPECT_EQ(stats.admitted + stats.duplicate,
+            static_cast<std::uint64_t>(kThreads) * kRounds *
+                a.encoded.size());
+  // Everything is still there and still proven after the storm.
+  (void)store.sweep(999);
+  EXPECT_TRUE(store.proven(a.realm, Value{1}));
+  EXPECT_TRUE(store.proven(b.realm, Value{1}));
+}
+
+}  // namespace
+}  // namespace dr::proof

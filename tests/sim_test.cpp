@@ -159,6 +159,7 @@ class DecideValue final : public Process {
 RunResult make_result(std::vector<std::optional<Value>> decisions,
                       std::vector<bool> faulty) {
   RunResult r{.decisions = std::move(decisions),
+              .evidence = {},
               .faulty = std::move(faulty),
               .metrics = Metrics(2),
               .history = {},
