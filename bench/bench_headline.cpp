@@ -14,6 +14,27 @@ namespace {
 std::string g_json_path;
 JsonReport g_report;
 
+/// Allocation-plane probe: broadcasts `payload_size` bytes every phase,
+/// staged through the thread's scratch pool exactly like the codec Writer.
+/// Payloads exceed Payload::kInlineCapacity so the shared-buffer (arena)
+/// path is what gets measured.
+class EchoBroadcaster final : public sim::Process {
+ public:
+  explicit EchoBroadcaster(std::size_t payload_size)
+      : payload_size_(payload_size) {}
+
+  void on_phase(sim::Context& ctx) override {
+    Bytes buf = acquire_scratch();
+    buf.assign(payload_size_, static_cast<std::uint8_t>(ctx.phase()));
+    ctx.send_all(std::move(buf), 0);
+  }
+
+  std::optional<Value> decision() const override { return 0; }
+
+ private:
+  std::size_t payload_size_;
+};
+
 std::vector<ScenarioFault> silent_high(std::size_t n, std::size_t t) {
   std::vector<ScenarioFault> faults;
   for (std::size_t i = 0; i < t; ++i) {
@@ -179,6 +200,104 @@ void print_tables() {
       g_report.set("threads4_ms_" + job.key, t4);
       g_report.set("parallel_speedup_" + job.key, t1 / t4);
     }
+  }
+
+  print_header(
+      "Allocation plane: arena-backed message plane (E16)",
+      "a warmed-up run's steady phases perform zero heap allocations; "
+      "arena-backed alg5 beats the heap path on ns/message");
+  {
+    // Microbench: every process broadcasts an over-inline payload every
+    // phase through the scratch pool + payload arenas. With a warmed
+    // RunArenas, phases 2..end must not touch the heap at all — the
+    // headline allocs_per_broadcast_steady metric, gated at 0 in CI.
+    const std::size_t bn = 64;
+    const sim::PhaseNum bphases = 8;
+    ba::Protocol bcast;
+    bcast.name = "alloc-probe";
+    bcast.authenticated = false;
+    bcast.supports = [](const BAConfig&) { return true; };
+    bcast.steps = [bphases](const BAConfig&) { return bphases; };
+    bcast.make = [](ProcId, const BAConfig&) {
+      return std::make_unique<EchoBroadcaster>(96);
+    };
+    sim::RunArenas bcast_arenas;
+    ba::ScenarioOptions bcast_options;
+    bcast_options.arenas = &bcast_arenas;
+    const BAConfig bcast_config{bn, 1, 0, 1};
+    (void)ba::run_scenario(bcast, bcast_config, bcast_options);  // warm-up
+    const auto bcast_run =
+        ba::run_scenario(bcast, bcast_config, bcast_options);
+    const std::size_t steady_broadcasts = bn * (bphases - 1);
+    const double allocs_per_broadcast =
+        static_cast<double>(bcast_run.allocs.steady_blocks) /
+        static_cast<double>(steady_broadcasts);
+    std::printf("broadcast microbench: n=%zu, %zu steady broadcasts, "
+                "%llu steady heap allocs -> %.3f allocs/broadcast\n",
+                bn, steady_broadcasts,
+                static_cast<unsigned long long>(
+                    bcast_run.allocs.steady_blocks),
+                allocs_per_broadcast);
+    g_report.set("allocs_per_broadcast_steady", allocs_per_broadcast);
+
+    // alg5 at the headline size, heap-backed vs arena-backed. Same seed,
+    // same faults, bit-identical results — only the allocation source
+    // differs, so the ratio is the price of malloc on the hot path.
+    const BAConfig config{800, t, 0, 1};
+    const Protocol alg5 = ba::make_alg5_protocol(7);
+    struct Timed {
+      double ms = 0;
+      std::size_t messages = 0;
+      sim::AllocReport allocs;
+    };
+    const auto time_alg5 = [&](sim::RunArenas* arenas) {
+      ba::ScenarioOptions options;
+      options.arenas = arenas;
+      Timed best;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto begin = std::chrono::steady_clock::now();
+        const auto result = ba::run_scenario(alg5, config, options);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - begin)
+                              .count();
+        benchmark::DoNotOptimize(result.metrics.messages_by_correct());
+        if (rep == 0 || ms < best.ms) {
+          best = Timed{ms, result.metrics.messages_total(), result.allocs};
+        }
+      }
+      return best;
+    };
+    sim::RunArenas arenas;
+    const Timed heap = time_alg5(nullptr);
+    const Timed arena = time_alg5(&arenas);
+    const double heap_ns = heap.ms * 1e6 / static_cast<double>(heap.messages);
+    const double arena_ns =
+        arena.ms * 1e6 / static_cast<double>(arena.messages);
+    std::printf("%-10s | %9s %12s %14s %14s\n", "alg5 n=800", "ms",
+                "messages", "ns/message", "allocs/message");
+    std::printf("%-10s | %9.1f %12zu %14.0f %14.2f\n", "heap", heap.ms,
+                heap.messages, heap_ns,
+                static_cast<double>(heap.allocs.total_blocks) /
+                    static_cast<double>(heap.messages));
+    std::printf("%-10s | %9.1f %12zu %14.0f %14.2f\n", "arena", arena.ms,
+                arena.messages, arena_ns,
+                static_cast<double>(arena.allocs.total_blocks) /
+                    static_cast<double>(arena.messages));
+    std::printf("arena speedup: %.2fx; payload arena high water %zu KiB, "
+                "scratch %zu KiB\n",
+                heap_ns / arena_ns,
+                arena.allocs.arena_payload_high_water / 1024,
+                arena.allocs.arena_scratch_high_water / 1024);
+    g_report.set("ns_per_message_alg5_n800", arena_ns);
+    g_report.set("ns_per_message_heap_alg5_n800", heap_ns);
+    g_report.set("arena_speedup_alg5_n800", heap_ns / arena_ns);
+    g_report.set("allocs_per_message_alg5_n800",
+                 static_cast<double>(arena.allocs.total_blocks) /
+                     static_cast<double>(arena.messages));
+    g_report.set_count("arena_payload_high_water_bytes",
+                       arena.allocs.arena_payload_high_water);
+    g_report.set_count("arena_scratch_high_water_bytes",
+                       arena.allocs.arena_scratch_high_water);
   }
 
   g_report.set_count("headline_t", t);

@@ -3,6 +3,7 @@
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.20]
                         [--strict] [--floor PATTERN=VALUE ...]
+                        [--ceiling PATTERN=VALUE ...]
 
 The bench binaries (bench_crypto, bench_headline, bench_parallel) write
 reports of the form {"meta": {...}, "metrics": {...}}. Two kinds of metric
@@ -17,7 +18,15 @@ keys exist by convention:
 
 --floor adds absolute lower bounds on current-report speedups, independent
 of the baseline: --floor 'parallel_speedup_*=1.2' fails the run if any
-matching metric in CURRENT is below 1.2 (fnmatch patterns).
+matching metric in CURRENT is below 1.2 (fnmatch patterns). --ceiling is
+the mirror image for smaller-is-better metrics:
+--ceiling 'allocs_per_broadcast_steady=0' fails the run if the metric
+exceeds the bound.
+
+A gateable metric present only in CURRENT is reported as "new" with a
+visible warning and never gated: there is nothing to compare it against
+until the baseline is regenerated, and silently ignoring it would hide a
+typo'd metric name forever.
 
 Parallel speedup keys (name contains "parallel") are only meaningful on
 multi-core machines; relative gates and floors are both skipped — with a
@@ -111,6 +120,14 @@ def main():
         help="absolute lower bound on current speedups matching PATTERN "
         "(fnmatch), e.g. 'parallel_speedup_*=1.2'; repeatable",
     )
+    parser.add_argument(
+        "--ceiling",
+        action="append",
+        default=[],
+        metavar="PATTERN=VALUE",
+        help="absolute upper bound on current metrics matching PATTERN "
+        "(fnmatch), e.g. 'allocs_per_broadcast_steady=0'; repeatable",
+    )
     args = parser.parse_args()
 
     base_meta, base = load(args.baseline)
@@ -199,6 +216,16 @@ def main():
         if not ok:
             regressions.append(key)
 
+    # Metrics only the CURRENT report has are new: nothing to gate them
+    # against yet, but say so loudly — regenerating the baseline starts
+    # gating them, and silence here would hide a typo'd key forever.
+    for key, cur_value in cur.items():
+        if key in base:
+            continue
+        if "_speedup" in key or key.endswith("_ns") or key.endswith("_ms"):
+            print(f"{'NEW':10s} {key}: cur {cur_value:.4g} (not in "
+                  f"baseline; no gate until the baseline is regenerated)")
+
     # Absolute floors run against the current report only: the bar is the
     # paper-level expectation (e.g. parallel_speedup_* >= 1.2 on a real
     # multi-core runner), not a drifting baseline.
@@ -231,6 +258,28 @@ def main():
                 regressions.append(key)
         if not matched:
             skipped.append((pattern, "floor pattern matched no metric"))
+
+    # Absolute ceilings: smaller-is-better metrics with a hard bound (the
+    # zero-allocation gate). No machine-capability skips apply — an
+    # allocation count is not a timing.
+    for spec in args.ceiling:
+        pattern, sep, raw = spec.partition("=")
+        if not sep:
+            parser.error(f"--ceiling needs PATTERN=VALUE, got {spec!r}")
+        ceiling_value = float(raw)
+        matched = False
+        for key, cur_value in cur.items():
+            if not fnmatch.fnmatch(key, pattern):
+                continue
+            matched = True
+            ok = cur_value <= ceiling_value
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {key}: cur {cur_value:.4g} "
+                  f"(ceiling {ceiling_value:g})")
+            if not ok:
+                regressions.append(key)
+        if not matched:
+            skipped.append((pattern, "ceiling pattern matched no metric"))
 
     for key, why in skipped:
         print(f"{'skipped':10s} {key}: {why}")

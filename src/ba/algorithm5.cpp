@@ -37,7 +37,10 @@ Bytes encode_alg5(const SignedValue& sv, const std::vector<Attested>& proof) {
 std::optional<std::pair<SignedValue, std::vector<Attested>>> decode_alg5(
     ByteView data) {
   Reader r(data);
-  const Bytes sv_bytes = r.bytes();
+  // Zero-copy: the chain image is decoded in place inside `data` (the
+  // SignedValue it produces owns its own bytes, so nothing outlives the
+  // view).
+  const ByteView sv_bytes = r.view();
   if (!r.ok()) return std::nullopt;
   const auto sv = decode_signed_value(sv_bytes);
   if (!sv) return std::nullopt;

@@ -23,7 +23,7 @@ Bytes encode_evidence(const Evidence& ev) {
 std::optional<Evidence> decode_evidence(ByteView data) {
   Reader r(data);
   const std::uint8_t raw = r.u8();
-  const Bytes sv_bytes = r.bytes();
+  const ByteView sv_bytes = r.view();  // decoded in place, nothing escapes
   if (!r.done() || !evidence_kind_ok(raw)) return std::nullopt;
   auto sv = decode_signed_value(sv_bytes);
   if (!sv) return std::nullopt;

@@ -157,7 +157,8 @@ sim::RunResult run_scenario(const Protocol& protocol, const BAConfig& config,
                             .merkle_height = options.merkle_height,
                             .rushing = options.rushing,
                             .threads = options.threads,
-                            .fault_plan = options.fault_plan};
+                            .fault_plan = options.fault_plan,
+                            .arenas = options.arenas};
   sim::Runner runner(run_config);
   for (const ScenarioFault& fault : faults) {
     runner.mark_faulty(fault.id);

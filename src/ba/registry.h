@@ -61,6 +61,10 @@ struct ScenarioOptions {
   /// run, plan->perturbed() reports the processors it made
   /// Byzantine-in-effect; see sim/faults.h for the accounting rule.
   sim::FaultPlan* fault_plan = nullptr;
+  /// Reusable allocation state (not owned; see sim::RunConfig::arenas).
+  /// Callers that loop over scenarios pass one RunArenas to make the
+  /// steady-state message plane allocation-free across runs.
+  sim::RunArenas* arenas = nullptr;
 };
 
 /// Builds a runner, installs correct processes everywhere except the listed

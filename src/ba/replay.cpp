@@ -10,9 +10,10 @@ namespace dr::ba {
 
 namespace {
 
-/// Canonical multiset of (to, payload) for comparison.
-std::vector<std::pair<ProcId, Bytes>> canonical_sends(
-    std::vector<std::pair<ProcId, Bytes>> sends) {
+/// Canonical multiset of (to, payload) for comparison. Payloads sort and
+/// compare by content, so handle identity never affects the verdict.
+std::vector<std::pair<ProcId, sim::Payload>> canonical_sends(
+    std::vector<std::pair<ProcId, sim::Payload>> sends) {
   std::sort(sends.begin(), sends.end());
   return sends;
 }
@@ -55,11 +56,11 @@ ReplayReport validate_correctness(const hist::History& history,
       sim::Context ctx(p, k, config.n, config.t, &inbox, &signer, &verifier);
       process->on_phase(ctx);
 
-      std::vector<std::pair<ProcId, Bytes>> expected;
+      std::vector<std::pair<ProcId, sim::Payload>> expected;
       for (const hist::Edge& e : history.phase(k).out_edges(p)) {
         expected.emplace_back(e.to, e.label);
       }
-      std::vector<std::pair<ProcId, Bytes>> actual;
+      std::vector<std::pair<ProcId, sim::Payload>> actual;
       for (const auto& out : ctx.outgoing()) {
         if (out.broadcast) {
           for (ProcId q = 0; q < config.n; ++q) {

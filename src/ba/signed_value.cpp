@@ -157,7 +157,7 @@ void absorb_signature_raw(crypto::Sha256& h, ProcId signer, ByteView sig) {
 }  // namespace detail
 
 hist::LabelPrinter chain_label_printer() {
-  return [](const Bytes& label) {
+  return [](ByteView label) {
     const auto sv = decode_signed_value(label);
     if (!sv.has_value()) return hist::default_label_printer()(label);
     std::string out = "v=" + std::to_string(sv->value) + " sig[";

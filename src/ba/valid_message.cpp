@@ -172,12 +172,19 @@ void prewarm_inbox(sim::Context& ctx) {
 
   // Phase scratch: the request array and per-message signature views bump-
   // allocate out of one arena that is recycled every phase, so a steady-
-  // state inbox batch performs no heap allocation here at all.
-  thread_local Arena arena;
-  arena.reset();
+  // state inbox batch performs no heap allocation here at all. The
+  // runner's lane scratch is used when bound (recycled at the phase flip
+  // by the runner — not here, since the Context's outgoing queue shares
+  // it); harnesses without one get a thread-local arena reset per call.
+  Arena* arena = ctx.scratch_arena();
+  if (arena == nullptr) {
+    thread_local Arena fallback;
+    fallback.reset();
+    arena = &fallback;
+  }
   ArenaVec<crypto::VerifyRequest> requests{
-      ArenaAllocator<crypto::VerifyRequest>(&arena)};
-  ArenaVec<ParsedSig> sigs{ArenaAllocator<ParsedSig>(&arena)};
+      ArenaAllocator<crypto::VerifyRequest>(arena)};
+  ArenaVec<ParsedSig> sigs{ArenaAllocator<ParsedSig>(arena)};
 
   for (const sim::Envelope& env : ctx.inbox()) {
     const ByteView payload = env.payload.view();

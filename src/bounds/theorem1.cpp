@@ -15,7 +15,7 @@ namespace {
 
 /// Signers visible in a payload: a chain's signers, an attested blob's
 /// signer, or (fallback) just the transport-level sender.
-std::vector<ProcId> visible_signers(const Bytes& payload, ProcId sender) {
+std::vector<ProcId> visible_signers(ByteView payload, ProcId sender) {
   if (const auto sv = ba::decode_signed_value(payload); sv.has_value()) {
     return ba::chain_signers(*sv);
   }

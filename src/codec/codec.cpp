@@ -74,8 +74,20 @@ Bytes Reader::bytes() {
     fail();
     return {};
   }
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  Bytes out = acquire_scratch();
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+ByteView Reader::view() {
+  const std::uint64_t len = varint();
+  if (!ok_ || len > remaining()) {
+    fail();
+    return {};
+  }
+  const ByteView out = data_.subspan(pos_, static_cast<std::size_t>(len));
   pos_ += len;
   return out;
 }

@@ -23,7 +23,11 @@ namespace dr {
 
 class Writer {
  public:
-  Writer() = default;
+  /// Starts from a recycled staging buffer when the calling thread has one
+  /// (util/bytes.h): encode-then-wrap message paths reuse capacity instead
+  /// of paying a malloc per message. Behavior is otherwise identical — the
+  /// buffer starts empty either way.
+  Writer() : out_(acquire_scratch()) {}
 
   void u8(std::uint8_t v);
   void u32(std::uint32_t v);
@@ -52,6 +56,9 @@ class Reader {
   std::uint32_t u32();
   std::uint64_t u64();
   Bytes bytes();
+  /// Zero-copy variant of bytes(): a view into the underlying input, valid
+  /// only while that input lives. Same length/failure rules as bytes().
+  ByteView view();
   std::string str();
   /// Reads a sequence length; additionally fails if the claimed count
   /// exceeds the number of remaining input bytes (cheap DoS guard — every

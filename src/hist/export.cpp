@@ -7,7 +7,7 @@
 namespace dr::hist {
 
 LabelPrinter default_label_printer() {
-  return [](const Bytes& label) {
+  return [](ByteView label) {
     std::ostringstream out;
     out << "<" << label.size() << " bytes>";
     return out.str();

@@ -14,7 +14,7 @@ namespace dr::hist {
 
 /// Summarises an edge label for display. The default prints "<k bytes>";
 /// ba::chain_label_printer() decodes signature chains ("v=1 sig[0,2]").
-using LabelPrinter = std::function<std::string(const Bytes&)>;
+using LabelPrinter = std::function<std::string(ByteView)>;
 
 LabelPrinter default_label_printer();
 

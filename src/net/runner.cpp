@@ -117,8 +117,12 @@ void run_endpoint_phases(const EndpointRun& run, sim::Metrics& metrics,
         run.abort->load(std::memory_order_relaxed)) {
       break;
     }
+    // Recycle the phase scratch here, at the flip: the Context's outgoing
+    // queue and the prewarm pass both carve from it during the phase, and
+    // neither outlives it (payloads moved into frames own their bytes).
+    if (run.scratch != nullptr) run.scratch->reset();
     sim::Context ctx(p, phase, run.n, run.t, &inbox, run.signer,
-                     run.verifier, cache);
+                     run.verifier, cache, run.scratch);
     run.process->on_phase(ctx);
     for (auto& out : ctx.outgoing()) {
       // Broadcasts fan out here as per-link submissions sharing one payload
@@ -199,6 +203,7 @@ NetRunResult NetRunner::run(PhaseNum phases) {
       config_.fault_plan != nullptr ? &fault_mu : nullptr;
 
   std::vector<sim::Metrics> metrics(config_.n, sim::Metrics(config_.n));
+  for (sim::Metrics& m : metrics) m.reserve_phases(phases);
   std::vector<SyncStats> sync(config_.n);
   // Watchdog plumbing: endpoint threads check `abort` at phase boundaries
   // (and inside barrier waits and hangs); the main thread waits on the

@@ -116,6 +116,12 @@ struct EndpointRun {
   /// keeps the session's hit/miss sequence identical to the private cache's
   /// (crypto/verify_cache.h), so the parity gate is unaffected.
   crypto::VerifyCache* chain_cache = nullptr;
+  /// Phase scratch for the Context's outgoing queue and the prewarm pass
+  /// (not owned; may be null = plain heap). The loop resets it at the top
+  /// of every phase, so nothing allocated from it may survive a phase flip;
+  /// the svc daemon passes its pool worker's reusable arena here so one
+  /// footprint serves every instance the worker ever runs.
+  Arena* scratch = nullptr;
 };
 
 /// Runs phases 1..run.phases for one endpoint: step the process, route

@@ -1,0 +1,44 @@
+#include "sim/arenas.h"
+
+namespace dr::sim {
+
+void RunArenas::begin_run(std::size_t lanes) {
+  if (lanes == 0) lanes = 1;
+  // Drop leftover envelopes first: their payload handles would otherwise
+  // pin the payload arenas and force a skipped reset. clear() keeps the
+  // vectors' capacity — that is the whole point of the storage.
+  for (std::vector<Envelope>& inbox : network_.inboxes) inbox.clear();
+  for (std::vector<Envelope>& shard : network_.outbox) shard.clear();
+  while (lanes_.size() < lanes) lanes_.emplace_back();
+  for (WorkerArenas& lane : lanes_) {
+    lane.payload.reset();  // tolerant: skips if handles are still live
+    lane.scratch.reset();
+    // Eager first blocks: a pool-worker lane may see its first allocation
+    // at any phase (work stealing), and a lazily created block there would
+    // show up as a steady-state heap allocation.
+    lane.payload.prewarm();
+    lane.scratch.prewarm();
+  }
+}
+
+std::size_t RunArenas::payload_high_water() const {
+  std::size_t total = 0;
+  for (const WorkerArenas& lane : lanes_) total += lane.payload.high_water();
+  return total;
+}
+
+std::size_t RunArenas::scratch_high_water() const {
+  std::size_t total = 0;
+  for (const WorkerArenas& lane : lanes_) total += lane.scratch.high_water();
+  return total;
+}
+
+std::size_t RunArenas::skipped_resets() const {
+  std::size_t total = 0;
+  for (const WorkerArenas& lane : lanes_) {
+    total += lane.payload.skipped_resets();
+  }
+  return total;
+}
+
+}  // namespace dr::sim

@@ -1,0 +1,85 @@
+// Reusable allocation state for the simulator's message plane.
+//
+// A RunArenas bundles everything the runner needs to execute runs without
+// steady-state heap traffic, and is designed to be owned by the caller and
+// reused across many runs (a benchmark loop, an InstancePool worker, a
+// conformance sweep):
+//
+//  * per-lane WorkerArenas — one PayloadArena (shared message buffers) and
+//    one scratch Arena (Context outgoing queues, verification prepass
+//    arrays) per worker lane. Lane 0 is the serial/faulty lane; parallel
+//    runs use lanes 1..threads for the pool workers so no two threads ever
+//    touch one arena;
+//  * recycled NetworkStorage — the per-receiver inbox vectors and
+//    per-sender outbox shards keep their capacity from run to run instead
+//    of reallocating their way back up every time.
+//
+// begin_run() recycles all of it. The payload arenas reset tolerantly: if a
+// Payload handle from a previous run is still alive (a caller kept one, or
+// history recording is on), that arena skips its reset and keeps growing
+// rather than invalidating live memory — visible via skipped_resets().
+//
+// Thread discipline: begin_run() and lane() are called by the run
+// orchestration thread; each lane's arenas are then used exclusively by the
+// thread stepping that lane. A RunArenas must outlive every Payload
+// allocated from its payload arenas (PayloadArena enforces this).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sim/envelope.h"
+#include "sim/payload.h"
+#include "util/arena.h"
+
+namespace dr::sim {
+
+/// One worker lane's allocation state.
+struct WorkerArenas {
+  PayloadArena payload;  // shared message buffers (run-scoped)
+  Arena scratch;         // phase-scoped scratch (outgoing queues, prepass)
+};
+
+/// Recycled envelope storage borrowed by Network: inbox and outbox vectors
+/// keep their capacity across runs. Opaque to everything but Network and
+/// RunArenas.
+class NetworkStorage {
+ private:
+  friend class Network;
+  friend class RunArenas;
+
+  std::vector<std::vector<Envelope>> inboxes;
+  std::vector<std::vector<Envelope>> outbox;
+};
+
+class RunArenas {
+ public:
+  RunArenas() = default;
+  RunArenas(const RunArenas&) = delete;
+  RunArenas& operator=(const RunArenas&) = delete;
+
+  /// Prepares for a run using `lanes` worker lanes (>= 1): grows the lane
+  /// list if needed, recycles every scratch arena, resets every payload
+  /// arena that has no live handles, and drops any envelopes left in the
+  /// network storage (their handles pin payload arenas otherwise).
+  void begin_run(std::size_t lanes);
+
+  /// Lane `i`'s arenas; stable addresses for the lifetime of the RunArenas.
+  WorkerArenas& lane(std::size_t i) { return lanes_.at(i); }
+  std::size_t lanes() const { return lanes_.size(); }
+
+  NetworkStorage* network_storage() { return &network_; }
+
+  /// Aggregate high-water marks across lanes (bytes), and how many payload
+  /// arenas ever declined a reset because handles were still live.
+  std::size_t payload_high_water() const;
+  std::size_t scratch_high_water() const;
+  std::size_t skipped_resets() const;
+
+ private:
+  std::deque<WorkerArenas> lanes_;  // deque: lane addresses never move
+  NetworkStorage network_;
+};
+
+}  // namespace dr::sim

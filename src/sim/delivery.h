@@ -24,8 +24,9 @@
 // maps to identical accounting and identical surviving payloads.
 #pragma once
 
-#include <functional>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "sim/envelope.h"
 #include "sim/faults.h"
@@ -38,10 +39,32 @@ namespace dr::sim {
 /// (whose perturbed-set accounting is not thread-safe) — both runners pass
 /// one mutex per run when a plan is installed; the no-fault hot path never
 /// takes a lock.
+///
+/// `deliver` is a template parameter, not a std::function: this seam runs
+/// once per (sender, receiver) pair per phase, and wrapping the backend's
+/// capturing lambda in a std::function would heap-allocate on every call —
+/// the allocation plane's steady-state zero depends on this staying
+/// allocation-free.
+template <typename Deliver>
 void route_submission(Metrics& metrics, FaultPlan* faults,
                       std::mutex* fault_mu, ProcId from, ProcId to,
                       PhaseNum phase, Payload payload, bool sender_correct,
-                      std::size_t signatures,
-                      const std::function<void(Payload)>& deliver);
+                      std::size_t signatures, Deliver&& deliver) {
+  metrics.on_send(from, to, phase, sender_correct, signatures,
+                  payload.size());
+  if (faults == nullptr) {
+    deliver(std::move(payload));
+    return;
+  }
+  std::vector<Payload> surviving;
+  {
+    std::unique_lock<std::mutex> lock;
+    if (fault_mu != nullptr) lock = std::unique_lock<std::mutex>(*fault_mu);
+    surviving = faults->apply(from, to, phase, std::move(payload));
+  }
+  for (Payload& delivered : surviving) {
+    deliver(std::move(delivered));
+  }
+}
 
 }  // namespace dr::sim

@@ -78,6 +78,14 @@ class Metrics {
     return verify_stripe_misses_;
   }
 
+  /// Pre-reserves the per-phase counter vector so steady-state sends never
+  /// grow it (the lazy resize in on_send is one heap allocation per new
+  /// phase otherwise — visible in the allocation plane's steady-state
+  /// zero). Purely a capacity hint: the vector's *size* still tracks the
+  /// last phase a correct processor actually sent in, so comparisons and
+  /// the wire form are unchanged.
+  void reserve_phases(PhaseNum phases) { per_phase_.reserve(phases); }
+
   /// Element-wise accumulation of another run fragment's counters (sums;
   /// maxima for the max/last fields). The net runner gives each endpoint
   /// thread its own Metrics and merges after the join, which keeps the hot

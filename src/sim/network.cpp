@@ -7,8 +7,22 @@
 
 namespace dr::sim {
 
-Network::Network(std::size_t n, bool record_history)
-    : record_history_(record_history), inboxes_(n), outbox_(n) {}
+Network::Network(std::size_t n, bool record_history, NetworkStorage* storage)
+    : record_history_(record_history),
+      store_(storage != nullptr ? storage : &own_) {
+  store_->inboxes.resize(n);
+  store_->outbox.resize(n);
+  for (std::vector<Envelope>& inbox : store_->inboxes) inbox.clear();
+  for (std::vector<Envelope>& shard : store_->outbox) shard.clear();
+}
+
+Network::~Network() {
+  if (store_ == &own_) return;
+  // Hand borrowed storage back without live payload handles (they would
+  // pin the payload arenas) but with vector capacity intact.
+  for (std::vector<Envelope>& inbox : store_->inboxes) inbox.clear();
+  for (std::vector<Envelope>& shard : store_->outbox) shard.clear();
+}
 
 void Network::submit(ProcId from, ProcId to, PhaseNum phase, Payload payload,
                      bool sender_correct, std::size_t signatures,
@@ -17,7 +31,7 @@ void Network::submit(ProcId from, ProcId to, PhaseNum phase, Payload payload,
   route_submission(metrics, faults_, faults_ != nullptr ? &fault_mu_ : nullptr,
                    from, to, phase, std::move(payload), sender_correct,
                    signatures, [&](Payload delivered) {
-                     outbox_[from].push_back(
+                     store_->outbox[from].push_back(
                          Envelope{from, to, phase, std::move(delivered)});
                    });
 }
@@ -32,17 +46,17 @@ void Network::submit_fanout(ProcId from, PhaseNum phase,
 }
 
 void Network::deliver_next_phase() {
-  for (std::vector<Envelope>& inbox : inboxes_) inbox.clear();
+  for (std::vector<Envelope>& inbox : store_->inboxes) inbox.clear();
   // Sender-major merge: shard s is in submission order, so visiting shards
   // in sender order yields, at every receiver, "by sender, then submission
   // order" — the exact delivery order the per-phase stable_sort used to
   // produce, with no comparisons and no extra allocation.
-  for (std::vector<Envelope>& shard : outbox_) {
+  for (std::vector<Envelope>& shard : store_->outbox) {
     for (Envelope& e : shard) {
       if (record_history_) {
         history_.record(e.sent_phase, hist::Edge{e.from, e.to, e.payload});
       }
-      inboxes_[e.to].push_back(std::move(e));
+      store_->inboxes[e.to].push_back(std::move(e));
     }
     shard.clear();
   }
@@ -50,7 +64,7 @@ void Network::deliver_next_phase() {
 
 void Network::record_pending_history() {
   if (!record_history_) return;
-  for (const std::vector<Envelope>& shard : outbox_) {
+  for (const std::vector<Envelope>& shard : store_->outbox) {
     for (const Envelope& e : shard) {
       history_.record(e.sent_phase, hist::Edge{e.from, e.to, e.payload});
     }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "hist/history.h"
+#include "sim/arenas.h"
 #include "sim/envelope.h"
 #include "sim/faults.h"
 #include "sim/metrics.h"
@@ -24,7 +25,16 @@ namespace dr::sim {
 
 class Network {
  public:
-  Network(std::size_t n, bool record_history);
+  /// With `storage` (not owned; may be null), the inbox/outbox vectors are
+  /// borrowed from it instead of freshly allocated, so their capacity —
+  /// warmed up by earlier runs — is reused. The destructor hands them back
+  /// emptied of envelopes but with capacity intact.
+  Network(std::size_t n, bool record_history,
+          NetworkStorage* storage = nullptr);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   /// Installs a transport fault plan. Every subsequent submit() is routed
   /// through it; the plan accumulates the perturbed-processor set. The
@@ -60,18 +70,21 @@ class Network {
   void record_pending_history();
 
   /// Inbox for processor `p` in the current phase.
-  const std::vector<Envelope>& inbox(ProcId p) const { return inboxes_[p]; }
+  const std::vector<Envelope>& inbox(ProcId p) const {
+    return store_->inboxes[p];
+  }
 
   const hist::History& history() const { return history_; }
   hist::History& mutable_history() { return history_; }
   bool recording() const { return record_history_; }
 
-  std::size_t n() const { return inboxes_.size(); }
+  std::size_t n() const { return store_->inboxes.size(); }
 
  private:
   bool record_history_;
-  std::vector<std::vector<Envelope>> inboxes_;  // delivered this phase
-  std::vector<std::vector<Envelope>> outbox_;   // per-SENDER in-flight shards
+  NetworkStorage own_;      // used when no external storage was borrowed
+  NetworkStorage* store_;   // inboxes (delivered this phase) + per-SENDER
+                            // in-flight outbox shards
   hist::History history_;
   FaultPlan* faults_ = nullptr;  // not owned; nullptr = reliable transport
   std::mutex fault_mu_;  // serializes plan accounting under parallel submit

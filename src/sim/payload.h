@@ -3,81 +3,220 @@
 // A broadcast used to copy its bytes once per recipient; a Payload is a
 // shared handle over one immutable byte buffer, so fan-out to n-1 receivers,
 // history recording, rushing observation and adversary buffering are all
-// pointer copies. The buffer is never mutated after construction: the only
+// handle copies. The buffer is never mutated after construction: the only
 // writer is FaultPlan::apply, which performs an explicit copy-on-write via
 // to_bytes() when (and only when) a corrupt rule actually fires.
+//
+// Storage classes (chosen automatically per message):
+//
+//  * empty    — no storage at all;
+//  * inline   — payloads up to kInlineCapacity bytes live directly in the
+//               handle. The common short-chain case (a value plus a few
+//               signatures) never touches an allocator: copying the handle
+//               copies the bytes, which at this size is cheaper than an
+//               atomic refcount round trip;
+//  * shared   — larger payloads get one flat ref-counted buffer (header and
+//               bytes in a single allocation). The buffer comes from the
+//               heap, or from the thread's bound PayloadArena when a
+//               PayloadArenaScope is active — the runner binds one per
+//               worker lane so steady-state runs allocate nothing.
 //
 // Header-only on purpose: hist (a layer below sim) stores Payloads as edge
 // labels and must not link against the sim library.
 //
 // Comparisons are by content, not by handle, so histories, replay traces
 // and tests behave exactly as they did with plain Bytes. `allocations()`
-// counts every distinct buffer ever wrapped (relaxed atomic; reset from
-// tests) — the zero-copy test asserts a size-n broadcast costs O(1) of
-// these.
+// counts every distinct *shared* buffer ever created (relaxed atomic; reset
+// from tests) — the zero-copy test asserts a size-n broadcast costs O(1) of
+// these; inline payloads never count because they never allocate.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <compare>
 #include <cstddef>
-#include <memory>
+#include <cstdint>
+#include <cstring>
+#include <new>
 #include <ostream>
 #include <utility>
 
+#include "util/arena.h"
 #include "util/bytes.h"
+#include "util/contracts.h"
 
 namespace dr::sim {
 
+/// Run-scoped source of shared payload buffers. Wraps an Arena with a live
+/// handle count so reuse is safe: reset() recycles the blocks only when no
+/// handle still points into them, and otherwise declines (counted in
+/// skipped_resets) rather than invalidating live memory. The arena must
+/// outlive every Payload allocated from it — the destructor enforces this.
+///
+/// Thread discipline matches Arena: allocation happens only on the thread
+/// the arena is bound to (via PayloadArenaScope), but handles may be copied
+/// and destroyed on any thread; the live count is atomic for that reason.
+class PayloadArena {
+ public:
+  explicit PayloadArena(std::size_t block_size = Arena::kDefaultBlockSize)
+      : arena_(block_size) {}
+
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+
+  ~PayloadArena() { DR_EXPECTS(live() == 0); }
+
+  /// Recycles the arena blocks if no live handle remains; returns whether
+  /// it did. A skipped reset is safe (the arena just keeps its current
+  /// cursor) and visible through skipped_resets().
+  bool reset() {
+    if (live_.load(std::memory_order_acquire) != 0) {
+      ++skipped_resets_;
+      return false;
+    }
+    arena_.reset();
+    return true;
+  }
+
+  /// Ensures a block exists so the first buffer carved after this cannot
+  /// hit the heap (see Arena::prewarm).
+  void prewarm() { arena_.prewarm(); }
+
+  /// Payload handles currently backed by this arena.
+  std::size_t live() const { return live_.load(std::memory_order_acquire); }
+  std::size_t bytes_reserved() const { return arena_.bytes_reserved(); }
+  std::size_t high_water() const { return arena_.high_water(); }
+  std::size_t cycles() const { return arena_.cycles(); }
+  std::size_t skipped_resets() const { return skipped_resets_; }
+
+ private:
+  friend class Payload;
+
+  void* allocate(std::size_t size, std::size_t align) {
+    live_.fetch_add(1, std::memory_order_relaxed);
+    return arena_.allocate(size, align);
+  }
+  void release_one() { live_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  Arena arena_;
+  std::atomic<std::size_t> live_{0};
+  std::size_t skipped_resets_ = 0;
+};
+
 class Payload {
  public:
+  /// Largest payload stored inline in the handle itself. Sized so the
+  /// handle fills one cache line (64 bytes with the discriminator), which
+  /// covers a signed value with a short signature chain — the dominant
+  /// message shape in the authenticated protocols.
+  static constexpr std::size_t kInlineCapacity = 56;
+
   Payload() = default;
 
-  /// Wraps `bytes` in a fresh shared buffer (the one allocation a logical
-  /// message ever costs). Implicit so existing `ctx.send(to, encode(...))`
-  /// call sites keep working unchanged. Empty payloads share no buffer.
-  Payload(Bytes bytes)  // NOLINT(google-explicit-constructor)
-      : data_(bytes.empty()
-                  ? nullptr
-                  : std::make_shared<const Bytes>(std::move(bytes))) {
-    if (data_ != nullptr) {
-      allocations_.fetch_add(1, std::memory_order_relaxed);
+  /// Wraps `bytes` (the one buffer creation a logical message ever costs)
+  /// and recycles the argument's capacity into the thread's scratch pool.
+  /// Implicit so existing `ctx.send(to, encode(...))` call sites keep
+  /// working unchanged. Empty payloads own no storage.
+  Payload(Bytes bytes) {  // NOLINT(google-explicit-constructor)
+    assign(ByteView{bytes});
+    recycle_scratch(std::move(bytes));
+  }
+
+  Payload(const Payload& other) : size_(other.size_) {
+    if (size_ == kSharedTag) {
+      shared_ = other.shared_;
+      shared_->refs.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::memcpy(inline_, other.inline_, size_);
     }
   }
 
-  const Bytes& bytes() const {
-    return data_ != nullptr ? *data_ : empty_bytes();
+  Payload(Payload&& other) noexcept : size_(other.size_) {
+    if (size_ == kSharedTag) {
+      shared_ = other.shared_;
+      other.size_ = 0;
+    } else {
+      std::memcpy(inline_, other.inline_, size_);
+    }
   }
-  /// Implicit view of the underlying buffer, so decoders, hashers and
-  /// printers written against Bytes/ByteView accept a Payload directly.
-  operator const Bytes&() const { return bytes(); }  // NOLINT
-  operator ByteView() const { return bytes(); }      // NOLINT
-  ByteView view() const { return bytes(); }
 
-  std::size_t size() const { return data_ != nullptr ? data_->size() : 0; }
+  Payload& operator=(const Payload& other) {
+    if (this != &other) {
+      Payload copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      release();
+      size_ = other.size_;
+      if (size_ == kSharedTag) {
+        shared_ = other.shared_;
+        other.size_ = 0;
+      } else {
+        std::memcpy(inline_, other.inline_, size_);
+      }
+    }
+    return *this;
+  }
+
+  ~Payload() { release(); }
+
+  /// Implicit view of the underlying bytes, so decoders, hashers and
+  /// printers written against ByteView accept a Payload directly. Valid
+  /// while this handle (or, for shared storage, any handle) lives.
+  operator ByteView() const { return view(); }  // NOLINT
+  ByteView view() const {
+    if (size_ == kSharedTag) return {shared_->data(), shared_->size};
+    return {inline_, size_};
+  }
+
+  std::size_t size() const {
+    return size_ == kSharedTag ? shared_->size : size_;
+  }
   bool empty() const { return size() == 0; }
 
   /// Explicit deep copy — the copy-on-write entry point for mutation.
-  Bytes to_bytes() const { return bytes(); }
+  /// Reuses recycled vector capacity when the thread has some.
+  Bytes to_bytes() const {
+    Bytes out = acquire_scratch();
+    const ByteView v = view();
+    out.assign(v.begin(), v.end());
+    return out;
+  }
 
-  /// Handle identity (not content): true when both share one buffer. The
-  /// zero-copy tests use this to prove a fan-out didn't duplicate bytes.
+  /// Buffer identity (not content): true when both handles point at one
+  /// shared buffer. The zero-copy tests use this to prove a fan-out didn't
+  /// duplicate bytes. Inline payloads have no buffer to share, so this is
+  /// false for them even when the contents match — use == for content.
   bool shares_buffer_with(const Payload& other) const {
-    return data_ == other.data_;
+    return size_ == kSharedTag && other.size_ == kSharedTag &&
+           shared_ == other.shared_;
   }
 
   friend bool operator==(const Payload& a, const Payload& b) {
-    return a.data_ == b.data_ || a.bytes() == b.bytes();
+    if (a.shares_buffer_with(b)) return true;
+    const ByteView av = a.view();
+    const ByteView bv = b.view();
+    return av.size() == bv.size() &&
+           (av.empty() ||
+            std::memcmp(av.data(), bv.data(), av.size()) == 0);
   }
   friend std::strong_ordering operator<=>(const Payload& a,
                                           const Payload& b) {
-    return a.bytes() <=> b.bytes();
+    const ByteView av = a.view();
+    const ByteView bv = b.view();
+    return std::lexicographical_compare_three_way(av.begin(), av.end(),
+                                                  bv.begin(), bv.end());
   }
 
   friend std::ostream& operator<<(std::ostream& os, const Payload& p) {
-    return os << "payload<" << to_hex(p.bytes()) << ">";
+    return os << "payload<" << to_hex(p.view()) << ">";
   }
 
-  /// Distinct buffers allocated since the last reset (process-wide).
+  /// Distinct shared buffers created since the last reset (process-wide).
   static std::size_t allocations() {
     return allocations_.load(std::memory_order_relaxed);
   }
@@ -85,15 +224,91 @@ class Payload {
     allocations_.store(0, std::memory_order_relaxed);
   }
 
+  /// The PayloadArena new shared buffers on this thread are carved from
+  /// (null = heap). Bound via PayloadArenaScope.
+  static PayloadArena* bound_arena() { return t_arena_; }
+
  private:
-  static const Bytes& empty_bytes() {
-    static const Bytes kEmpty;
-    return kEmpty;
+  friend class PayloadArenaScope;
+
+  /// Header of a shared buffer; the payload bytes follow contiguously in
+  /// the same allocation (one malloc or one arena bump per buffer).
+  struct Buf {
+    std::atomic<std::uint32_t> refs;
+    PayloadArena* owner;  // null = heap-backed
+    std::size_t size;
+
+    std::uint8_t* data() {
+      return reinterpret_cast<std::uint8_t*>(this) + sizeof(Buf);
+    }
+    const std::uint8_t* data() const {
+      return reinterpret_cast<const std::uint8_t*>(this) + sizeof(Buf);
+    }
+
+    static Buf* make(ByteView src, PayloadArena* arena) {
+      void* raw = arena != nullptr
+                      ? arena->allocate(sizeof(Buf) + src.size(),
+                                        alignof(Buf))
+                      : ::operator new(sizeof(Buf) + src.size());
+      Buf* buf = new (raw) Buf{std::uint32_t{1}, arena, src.size()};
+      std::memcpy(buf->data(), src.data(), src.size());
+      return buf;
+    }
+  };
+
+  static constexpr std::uint32_t kSharedTag = 0xffffffff;
+
+  void assign(ByteView src) {
+    if (src.size() <= kInlineCapacity) {
+      if (!src.empty()) std::memcpy(inline_, src.data(), src.size());
+      size_ = static_cast<std::uint32_t>(src.size());
+      return;
+    }
+    shared_ = Buf::make(src, t_arena_);
+    size_ = kSharedTag;
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void release() {
+    if (size_ != kSharedTag) return;
+    if (shared_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      PayloadArena* owner = shared_->owner;
+      if (owner == nullptr) {
+        ::operator delete(shared_);
+      } else {
+        owner->release_one();  // bytes reclaimed at the arena's next reset
+      }
+    }
+    size_ = 0;
   }
 
   inline static std::atomic<std::size_t> allocations_{0};
+  inline static thread_local PayloadArena* t_arena_ = nullptr;
 
-  std::shared_ptr<const Bytes> data_;
+  union {
+    Buf* shared_;
+    std::uint8_t inline_[kInlineCapacity];
+  };
+  std::uint32_t size_ = 0;  // kSharedTag => shared_, else inline length
+};
+
+static_assert(sizeof(Payload) == 64, "Payload should fill one cache line");
+
+/// Binds `arena` as the calling thread's source of shared payload buffers
+/// for the scope's lifetime (restores the previous binding on exit, so
+/// scopes nest). Pass null to force heap buffers within a bound region.
+class PayloadArenaScope {
+ public:
+  explicit PayloadArenaScope(PayloadArena* arena)
+      : prev_(Payload::t_arena_) {
+    Payload::t_arena_ = arena;
+  }
+  PayloadArenaScope(const PayloadArenaScope&) = delete;
+  PayloadArenaScope& operator=(const PayloadArenaScope&) = delete;
+  ~PayloadArenaScope() { Payload::t_arena_ = prev_; }
+
+ private:
+  PayloadArena* prev_;
 };
 
 }  // namespace dr::sim

@@ -10,6 +10,7 @@
 
 #include "crypto/signature.h"
 #include "sim/envelope.h"
+#include "util/arena.h"
 
 namespace dr::crypto {
 class VerifyCache;
@@ -26,7 +27,8 @@ class Context {
   Context(ProcId self, PhaseNum phase, std::size_t n, std::size_t t,
           const std::vector<Envelope>* inbox, const crypto::Signer* signer,
           const crypto::Verifier* verifier,
-          crypto::VerifyCache* chain_cache = nullptr);
+          crypto::VerifyCache* chain_cache = nullptr,
+          Arena* scratch = nullptr);
 
   ProcId self() const { return self_; }
   PhaseNum phase() const { return phase_; }
@@ -62,6 +64,12 @@ class Context {
   /// crypto/verify_cache.h.
   crypto::VerifyCache* chain_cache() const { return chain_cache_; }
 
+  /// Phase-scoped scratch arena for this lane (null when the runner didn't
+  /// provide one). Reset at every phase boundary; use it for per-phase
+  /// working sets only — anything that must survive the phase belongs on
+  /// the heap. ba::prewarm_inbox builds its verification batch here.
+  Arena* scratch_arena() const { return scratch_; }
+
   /// One-shot latch for ba::prewarm_inbox: true exactly once per Context
   /// (i.e. once per phase). Nested protocols share one Context — Algorithm 5
   /// drives an inner Algorithm 2 with the same ctx — so the outermost
@@ -74,8 +82,11 @@ class Context {
     std::size_t signatures = 0;
     bool broadcast = false;  // fan out to every q != self (send_all)
   };
+  /// The outgoing queue grows in the scratch arena when one is bound (its
+  /// memory returns at the phase flip), and on the heap otherwise.
+  using OutgoingVec = std::vector<Outgoing, ArenaAllocator<Outgoing>>;
   /// Drained by the runner after on_phase returns.
-  std::vector<Outgoing>& outgoing() { return outgoing_; }
+  OutgoingVec& outgoing() { return outgoing_; }
 
  private:
   ProcId self_;
@@ -86,8 +97,9 @@ class Context {
   const crypto::Signer* signer_;
   const crypto::Verifier* verifier_;
   crypto::VerifyCache* chain_cache_;
+  Arena* scratch_;
   bool prewarmed_ = false;
-  std::vector<Outgoing> outgoing_;
+  OutgoingVec outgoing_;
 };
 
 /// A participant. One instance per processor per run. The runner calls
@@ -119,9 +131,11 @@ inline Context::Context(ProcId self, PhaseNum phase, std::size_t n,
                         std::size_t t, const std::vector<Envelope>* inbox,
                         const crypto::Signer* signer,
                         const crypto::Verifier* verifier,
-                        crypto::VerifyCache* chain_cache)
+                        crypto::VerifyCache* chain_cache, Arena* scratch)
     : self_(self), phase_(phase), n_(n), t_(t), inbox_(inbox),
-      signer_(signer), verifier_(verifier), chain_cache_(chain_cache) {}
+      signer_(signer), verifier_(verifier), chain_cache_(chain_cache),
+      scratch_(scratch),
+      outgoing_(ArenaAllocator<Outgoing>(scratch)) {}
 
 inline void Context::send(ProcId to, Payload payload,
                           std::size_t signatures) {

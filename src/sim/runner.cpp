@@ -6,6 +6,7 @@
 #include "codec/codec.h"
 #include "crypto/verify_cache.h"
 #include "sim/pool.h"
+#include "util/alloc_stats.h"
 #include "util/contracts.h"
 
 namespace dr::sim {
@@ -121,18 +122,34 @@ RunResult Runner::run(PhaseNum phases) {
   }
   build_signers();
 
-  Network network(config_.n, config_.record_history);
+  const bool parallel = config_.threads > 1 && !config_.rushing;
+  const std::size_t pool_workers =
+      parallel ? std::min<std::size_t>(config_.threads, config_.n) : 0;
+
+  // Lane 0 serves the orchestration thread (serial phases, faulty
+  // processors, rushing); lanes 1..pool_workers serve the pool workers.
+  // Payload arenas are skipped under history recording: history edges hold
+  // payload handles that outlive the run, which would pin the arenas and
+  // defeat every subsequent reset.
+  RunArenas* arenas = config_.arenas;
+  if (arenas != nullptr) arenas->begin_run(1 + pool_workers);
+  const bool payload_arenas = arenas != nullptr && !config_.record_history;
+  const auto lane_scratch = [&](std::size_t lane) -> Arena* {
+    return arenas != nullptr ? &arenas->lane(lane).scratch : nullptr;
+  };
+
+  Network network(config_.n, config_.record_history,
+                  arenas != nullptr ? arenas->network_storage() : nullptr);
   if (config_.fault_plan != nullptr) {
     config_.fault_plan->reset();
     network.set_fault_plan(config_.fault_plan);
   }
   Metrics metrics(config_.n);
+  metrics.reserve_phases(phases);
   if (config_.record_history) {
     network.mutable_history().set_initial(config_.transmitter,
                                           encode_u64(config_.value));
   }
-
-  const bool parallel = config_.threads > 1 && !config_.rushing;
 
   // One verification memo per process, persisted across phases so chains
   // relayed in later phases hit on their already-verified prefixes. Owned
@@ -173,20 +190,72 @@ RunResult Runner::run(PhaseNum phases) {
   std::vector<ProcId> pooled_ids;  // correct: stepped by the workers
   std::vector<ProcId> serial_ids;  // faulty: stepped in id order
   if (parallel) {
-    pool.emplace(std::min<std::size_t>(config_.threads, config_.n));
+    pool.emplace(pool_workers);
     worker_metrics.assign(pool->workers(), Metrics(config_.n));
+    for (Metrics& shard : worker_metrics) shard.reserve_phases(phases);
     for (ProcId p = 0; p < config_.n; ++p) {
       (faulty_[p] ? serial_ids : pooled_ids).push_back(p);
     }
   }
+  // One callable for the whole run: PhasePool::run takes a std::function
+  // by reference, and this lambda's captures exceed the small-object
+  // buffer, so rebuilding it per phase would heap-allocate in the steady
+  // state. `pooled_phase` carries the loop variable in.
+  PhaseNum pooled_phase = 0;
+  std::function<void(std::size_t, std::size_t)> pooled_step;
+  if (parallel) {
+    pooled_step = [this, &pooled_phase, &commit, &pooled_ids,
+                   &worker_metrics, &network, &caches, arenas,
+                   payload_arenas,
+                   &lane_scratch](std::size_t worker, std::size_t i) {
+      const ProcId p = pooled_ids[i];
+      PayloadArenaScope scope(
+          payload_arenas ? &arenas->lane(worker + 1).payload : nullptr);
+      Context ctx(p, pooled_phase, config_.n, config_.t, &network.inbox(p),
+                  &signer_for(p), &verifier_, &caches[p],
+                  lane_scratch(worker + 1));
+      processes_[p]->on_phase(ctx);
+      for (auto& out : ctx.outgoing()) {
+        commit(p, pooled_phase, out, /*sender_correct=*/true,
+               worker_metrics[worker]);
+      }
+    };
+  }
+
+  // Every payload buffer the orchestration thread creates (serial phases,
+  // faulty processors, fault-plan copy-on-write at commit) carves from
+  // lane 0. Workers bind their own lane inside the pool callback.
+  PayloadArenaScope payload_scope(
+      payload_arenas ? &arenas->lane(0).payload : nullptr);
+
+  // Heap-allocation accounting for the whole phase loop; the snapshot
+  // after the warm-up boundary makes `steady` cover phases 2..end
+  // (including their deliveries, excluding the delivery of phase 1's
+  // traffic, which grows cold vectors).
+  util::AllocProbe probe;
+  const std::size_t payload_buffers_start = Payload::allocations();
+  util::AllocCounters warmup{};
+  bool warmup_snapped = false;
 
   for (PhaseNum phase = 1; phase <= phases; ++phase) {
+    if (arenas != nullptr) {
+      // Phase flip: all Contexts are gone, so every lane's phase-scoped
+      // scratch recycles. Payload arenas persist for the whole run.
+      for (std::size_t lane = 0; lane <= pool_workers; ++lane) {
+        arenas->lane(lane).scratch.reset();
+      }
+    }
     network.deliver_next_phase();
+    if (phase == 2 && !warmup_snapped) {
+      warmup = probe.delta();
+      warmup_snapped = true;
+    }
     if (!config_.rushing) {
       if (!parallel) {
         for (ProcId p = 0; p < config_.n; ++p) {
           Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
-                      &signer_for(p), &verifier_, &caches[p]);
+                      &signer_for(p), &verifier_, &caches[p],
+                      lane_scratch(0));
           processes_[p]->on_phase(ctx);
           for (auto& out : ctx.outgoing()) {
             commit(p, phase, out, !faulty_[p], metrics);
@@ -194,22 +263,11 @@ RunResult Runner::run(PhaseNum phases) {
         }
         continue;
       }
-      pool->run(pooled_ids.size(),
-                [this, phase, &commit, &pooled_ids, &worker_metrics,
-                 &network, &caches](std::size_t worker, std::size_t i) {
-                  const ProcId p = pooled_ids[i];
-                  Context ctx(p, phase, config_.n, config_.t,
-                              &network.inbox(p), &signer_for(p), &verifier_,
-                              &caches[p]);
-                  processes_[p]->on_phase(ctx);
-                  for (auto& out : ctx.outgoing()) {
-                    commit(p, phase, out, /*sender_correct=*/true,
-                           worker_metrics[worker]);
-                  }
-                });
+      pooled_phase = phase;
+      pool->run(pooled_ids.size(), pooled_step);
       for (const ProcId p : serial_ids) {
         Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
-                    &signer_for(p), &verifier_, &caches[p]);
+                    &signer_for(p), &verifier_, &caches[p], lane_scratch(0));
         processes_[p]->on_phase(ctx);
         for (auto& out : ctx.outgoing()) {
           commit(p, phase, out, /*sender_correct=*/false, metrics);
@@ -222,12 +280,12 @@ RunResult Runner::run(PhaseNum phases) {
     // this phase's correct traffic addressed to them before sending. The
     // observation channel and the augmented inboxes are handle copies of
     // the shared payload buffers — no bytes move.
-    std::vector<std::vector<Context::Outgoing>> pending(config_.n);
+    std::vector<Context::OutgoingVec> pending(config_.n);
     std::vector<std::vector<Envelope>> rushed(config_.n);
     for (ProcId p = 0; p < config_.n; ++p) {
       if (faulty_[p]) continue;
       Context ctx(p, phase, config_.n, config_.t, &network.inbox(p),
-                  &signer_for(p), &verifier_, &caches[p]);
+                  &signer_for(p), &verifier_, &caches[p], lane_scratch(0));
       processes_[p]->on_phase(ctx);
       for (const auto& out : ctx.outgoing()) {
         if (out.broadcast) {
@@ -249,7 +307,7 @@ RunResult Runner::run(PhaseNum phases) {
                        std::make_move_iterator(rushed[p].begin()),
                        std::make_move_iterator(rushed[p].end()));
       Context ctx(p, phase, config_.n, config_.t, &augmented,
-                  &signer_for(p), &verifier_, &caches[p]);
+                  &signer_for(p), &verifier_, &caches[p], lane_scratch(0));
       processes_[p]->on_phase(ctx);
       for (auto& out : ctx.outgoing()) {
         commit(p, phase, out, /*sender_correct=*/false, metrics);
@@ -266,16 +324,32 @@ RunResult Runner::run(PhaseNum phases) {
   // still-pending sender shards.
   network.record_pending_history();
 
+  const util::AllocCounters total = probe.delta();
+  AllocReport allocs;
+  allocs.total_blocks = total.blocks;
+  allocs.total_bytes = total.bytes;
+  if (warmup_snapped) {
+    allocs.steady_blocks = total.blocks - warmup.blocks;
+    allocs.steady_bytes = total.bytes - warmup.bytes;
+  }
+  allocs.payload_buffers = Payload::allocations() - payload_buffers_start;
+  if (arenas != nullptr) {
+    allocs.arena_payload_high_water = arenas->payload_high_water();
+    allocs.arena_scratch_high_water = arenas->scratch_high_water();
+  }
+
   for (const Metrics& shard : worker_metrics) metrics.merge(shard);
   for (ProcId p = 0; p < config_.n; ++p) {
     metrics.on_chain_cache(caches[p].hits(), caches[p].misses());
   }
 
   RunResult result{.decisions = {},
+                   .evidence = {},
                    .faulty = faulty_,
                    .metrics = std::move(metrics),
                    .history = network.history(),
-                   .phases_run = phases};
+                   .phases_run = phases,
+                   .allocs = allocs};
   result.decisions.reserve(config_.n);
   result.evidence.reserve(config_.n);
   for (ProcId p = 0; p < config_.n; ++p) {

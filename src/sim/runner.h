@@ -14,6 +14,7 @@
 #include "crypto/wots.h"
 #include "crypto/signature.h"
 #include "hist/history.h"
+#include "sim/arenas.h"
 #include "sim/faults.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -56,6 +57,32 @@ struct RunConfig {
   /// observation channel (faulty processors peeking at this phase's
   /// correct traffic) is not filtered.
   FaultPlan* fault_plan = nullptr;
+  /// Reusable allocation state (not owned; must outlive the run AND every
+  /// Payload the run hands out). When set, payload buffers come from
+  /// per-lane arenas, Context outgoing queues from per-lane scratch arenas
+  /// (reset at each phase flip), and the network's envelope vectors from
+  /// recycled storage — a warmed-up RunArenas makes the steady-state
+  /// message plane allocation-free. Results are bit-identical with or
+  /// without arenas: only the allocation source changes, never content.
+  /// Payload arenas are not used when record_history is set (history edges
+  /// hold payload handles that outlive the run); scratch arenas and
+  /// network storage still are. One run at a time per RunArenas.
+  RunArenas* arenas = nullptr;
+};
+
+/// Heap-allocation accounting for one run (util/alloc_stats.h deltas over
+/// the phase loop). Process-wide counters: exact for single-threaded runs;
+/// pooled runs' workers belong to the run, so the numbers stay meaningful
+/// unless the embedding process allocates concurrently. Deliberately kept
+/// out of Metrics so backend parity comparisons stay allocation-blind.
+struct AllocReport {
+  std::uint64_t total_blocks = 0;   // operator-new calls, phases 1..end
+  std::uint64_t total_bytes = 0;
+  std::uint64_t steady_blocks = 0;  // phases 2..end (after warm-up)
+  std::uint64_t steady_bytes = 0;
+  std::uint64_t payload_buffers = 0;  // fresh shared payload buffers
+  std::size_t arena_payload_high_water = 0;  // bytes, summed over lanes
+  std::size_t arena_scratch_high_water = 0;  // bytes, summed over lanes
 };
 
 struct RunResult {
@@ -68,6 +95,7 @@ struct RunResult {
   Metrics metrics;
   hist::History history;  // empty unless record_history was set
   PhaseNum phases_run = 0;
+  AllocReport allocs;
 };
 
 /// Agreement verdict per the paper's two conditions.

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "sim/chaos.h"
+#include "util/arena.h"
 #include "util/contracts.h"
 #include "util/log.h"
 
@@ -473,6 +474,9 @@ std::string Coordinator::metrics_text() const {
         ready_);
   gauge("dr82_instances_inflight", "instances running right now",
         instances_.size());
+  gauge("dr82_arena_bytes_high_water",
+        "peak bytes reserved across all arenas in this process",
+        Arena::global_high_water());
   counter("dr82_instances_submitted_total", "instances accepted",
           totals_.submitted);
   counter("dr82_instances_completed_total", "instances finished",

@@ -363,6 +363,11 @@ void EndpointNode::worker_main(std::uint64_t id, SubmitRequest req,
     run.fault_mu = nullptr;
     run.abort = &channel->abort;
     run.chain_cache = &session;
+    // This function runs on a pool worker, so the worker's per-thread
+    // arena (reset by the pool before each job) backs this instance's
+    // per-phase outgoing/prewarm scratch. Null outside a pool (tests
+    // calling run_instance directly) just means plain heap.
+    run.scratch = InstancePool::current_scratch();
 
     sim::Metrics metrics(n);
     net::SyncStats sync;

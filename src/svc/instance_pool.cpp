@@ -45,17 +45,25 @@ std::size_t InstancePool::queued() const {
 }
 
 void InstancePool::worker_main() {
+  // One arena per worker, reused for every instance this worker runs:
+  // reset() recycles the block list, so once the first few jobs have sized
+  // it, later instances' phase scratch bump-allocates without touching the
+  // heap at all (the endpoint loop threads it via EndpointRun::scratch).
+  Arena scratch;
+  t_scratch_ = &scratch;
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_, nothing left to drain
+      if (queue_.empty()) break;  // stopping_, nothing left to drain
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    scratch.reset();
     job();
   }
+  t_scratch_ = nullptr;
 }
 
 }  // namespace dr::svc

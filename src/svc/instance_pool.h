@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/arena.h"
+
 namespace dr::svc {
 
 class InstancePool {
@@ -55,8 +57,18 @@ class InstancePool {
   /// Jobs waiting for a worker (diagnostics/tests; racy by nature).
   std::size_t queued() const;
 
+  /// The calling pool worker's reusable scratch arena, or nullptr when the
+  /// caller is not a pool worker thread. The pool resets it before each
+  /// job, so every instance starts from a recycled-but-empty arena and a
+  /// worker's steady-state message plane reuses one block list across all
+  /// the instances it ever runs. Nothing carved from it may outlive the
+  /// job that carved it.
+  static Arena* current_scratch() { return t_scratch_; }
+
  private:
   void worker_main();
+
+  inline static thread_local Arena* t_scratch_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,143 @@
+// Global operator new/delete replacements backing util::AllocStats.
+//
+// Linking rule: any object file in the final binary that calls operator new
+// leaves the symbol undefined, the linker searches libdr82 before the C++
+// runtime, and this TU defines it — so every allocation in every binary of
+// this repo (tests, benches, the daemon) is counted. The replacements
+// forward to std::malloc/std::free, which keeps them compatible with
+// ASan/LSan/TSan (those intercept at the malloc layer, below us).
+//
+// The counters deliberately measure *requested* sizes, not malloc's rounded
+// block sizes: the question the message plane asks is "how many allocations
+// did this phase perform", and for that the request count is the signal.
+#include "util/alloc_stats.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace dr::util {
+namespace {
+
+std::atomic<std::uint64_t> g_blocks{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+// Plain (non-atomic) per-thread tallies: only this thread writes them.
+struct ThreadTally {
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t frees = 0;
+};
+thread_local ThreadTally t_tally;
+
+}  // namespace
+
+AllocCounters AllocStats::process() {
+  return {g_blocks.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed),
+          g_frees.load(std::memory_order_relaxed)};
+}
+
+AllocCounters AllocStats::thread() {
+  return {t_tally.blocks, t_tally.bytes, t_tally.frees};
+}
+
+void AllocStats::note_alloc(std::size_t bytes) noexcept {
+  g_blocks.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  t_tally.blocks += 1;
+  t_tally.bytes += bytes;
+}
+
+void AllocStats::note_free() noexcept {
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  t_tally.frees += 1;
+}
+
+}  // namespace dr::util
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  // malloc(0) may return null legally; operator new must not.
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p != nullptr) dr::util::AllocStats::note_alloc(size);
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded);
+  if (p != nullptr) dr::util::AllocStats::note_alloc(size);
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  dr::util::AllocStats::note_free();
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p =
+      counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

@@ -1,0 +1,79 @@
+// Process-wide heap-allocation accounting — the measurement half of the
+// arena-backed message plane.
+//
+// alloc_stats.cpp replaces the global operator new/delete family with thin
+// wrappers over malloc/free that bump two relaxed atomic counters (blocks,
+// bytes) plus a per-thread tally. The cost is a handful of nanoseconds per
+// allocation and exactly zero per allocation-free region, so it is compiled
+// in always — there is no "instrumented build": the numbers the benches
+// report and the zero-allocation assertions the tests make are facts about
+// the production binary.
+//
+// What a counter means: `process()` counts every operator-new block from
+// any thread since process start; `thread()` counts only the calling
+// thread's. Deltas over a region (AllocProbe) are the useful quantity —
+// "this phase performed N heap allocations". Process-wide deltas include
+// whatever other threads did in the window, so single-threaded tests get
+// exact numbers and multi-threaded ones get an upper bound on their own
+// traffic (still exact when all running threads belong to the measured
+// region, as in the runner's worker pool).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dr::util {
+
+struct AllocCounters {
+  std::uint64_t blocks = 0;  // operator-new calls
+  std::uint64_t bytes = 0;   // sum of requested sizes
+  std::uint64_t frees = 0;   // operator-delete calls (null deletes excluded)
+
+  friend AllocCounters operator-(const AllocCounters& a,
+                                 const AllocCounters& b) {
+    return {a.blocks - b.blocks, a.bytes - b.bytes, a.frees - b.frees};
+  }
+  friend bool operator==(const AllocCounters&, const AllocCounters&) =
+      default;
+};
+
+class AllocStats {
+ public:
+  /// Totals across all threads since process start.
+  static AllocCounters process();
+  /// Totals for the calling thread since it first allocated.
+  static AllocCounters thread();
+
+  // Called by the operator new/delete replacements only.
+  static void note_alloc(std::size_t bytes) noexcept;
+  static void note_free() noexcept;
+};
+
+/// Delta probe: counts heap traffic between construction (or the last
+/// reset()) and the query. `process` scope by default; thread scope counts
+/// only the constructing thread.
+class AllocProbe {
+ public:
+  enum class Scope { kProcess, kThread };
+
+  explicit AllocProbe(Scope scope = Scope::kProcess) : scope_(scope) {
+    reset();
+  }
+
+  void reset() { start_ = read(); }
+
+  AllocCounters delta() const { return read() - start_; }
+  std::uint64_t blocks() const { return delta().blocks; }
+  std::uint64_t bytes() const { return delta().bytes; }
+
+ private:
+  AllocCounters read() const {
+    return scope_ == Scope::kProcess ? AllocStats::process()
+                                     : AllocStats::thread();
+  }
+
+  Scope scope_;
+  AllocCounters start_;
+};
+
+}  // namespace dr::util

@@ -1,18 +1,22 @@
-// A monotonic bump allocator for phase-scoped scratch.
+// A monotonic bump allocator for phase- and run-scoped scratch.
 //
-// The batch-verification prepass (ba::prewarm_inbox) builds digest and
-// request arrays sized by the whole inbox, every phase, for every process.
-// Growing std::vectors from the heap each time costs a malloc/free pair
-// per array per phase; an Arena turns that into pointer bumps against
-// blocks that are recycled with reset() — O(1) allocator traffic per
-// inbox batch once the block list has warmed up.
+// The message plane routes its per-phase traffic through arenas: the
+// batch-verification prepass (ba::prewarm_inbox) builds digest and request
+// arrays sized by the whole inbox, the Context stages its outgoing queue,
+// and sim::Payload carves run-scoped message buffers. Growing std::vectors
+// from the heap each time costs a malloc/free pair per array per phase; an
+// Arena turns that into pointer bumps against blocks that are recycled with
+// reset() — zero allocator traffic per phase once the block list has warmed
+// up, which the counting allocator (util/alloc_stats.h) verifies.
 //
-// Not thread-safe; the intended shape is one thread_local arena per
-// worker, reset at the top of each batch. Destructors of arena-allocated
-// objects are NOT run by reset() — only use it for trivially-destructible
-// payloads or via containers that don't own non-arena resources.
+// Not thread-safe; the intended shape is one arena per worker lane, reset
+// at the top of each phase (scratch) or each run (payload buffers).
+// Destructors of arena-allocated objects are NOT run by reset() — only use
+// it for trivially-destructible payloads or via containers that don't own
+// non-arena resources.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -32,6 +36,10 @@ class Arena {
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
+  ~Arena() {
+    global_reserved_.fetch_sub(bytes_reserved(), std::memory_order_relaxed);
+  }
+
   /// Bump-allocates `size` bytes aligned to `align` (a power of two).
   /// Oversized requests get a dedicated block; everything stays owned by
   /// the arena until destruction.
@@ -47,7 +55,17 @@ class Arena {
     }
     cursor_ = reinterpret_cast<std::uint8_t*>(aligned) + size;
     remaining_ -= padding + size;
+    used_ += padding + size;
+    if (used_ > high_water_) high_water_ = used_;
     return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Ensures a current block exists, so the consumer's first bump cannot
+  /// hit the heap. Lets a run set up its lanes eagerly and keep lazy
+  /// first-touch block creation out of its measured steady state (worker
+  /// lanes may see their first allocation at an arbitrary phase).
+  void prewarm() {
+    if (current_ == nullptr) grow(0);
   }
 
   /// Recycles every block for reuse without releasing memory: subsequent
@@ -58,6 +76,8 @@ class Arena {
     current_ = nullptr;
     cursor_ = nullptr;
     remaining_ = 0;
+    used_ = 0;
+    ++cycles_;
     advance();
   }
 
@@ -65,6 +85,24 @@ class Arena {
     std::size_t total = 0;
     for (const auto& block : blocks_) total += block.size;
     return total;
+  }
+
+  /// Bytes handed out since the last reset (including alignment padding).
+  std::size_t bytes_used() const { return used_; }
+  /// Largest bytes_used() any cycle reached — sizes the steady-state
+  /// footprint a consumer of this arena needs.
+  std::size_t high_water() const { return high_water_; }
+  /// reset() calls so far.
+  std::size_t cycles() const { return cycles_; }
+
+  /// Sum of every live Arena's reserved block bytes, process-wide, and the
+  /// maximum that sum ever reached. The daemon exports the high water as
+  /// the dr82_arena_bytes_high_water gauge.
+  static std::size_t global_reserved() {
+    return global_reserved_.load(std::memory_order_relaxed);
+  }
+  static std::size_t global_high_water() {
+    return global_high_water_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -84,6 +122,13 @@ class Arena {
     }
     const std::size_t size = need > block_size_ ? need : block_size_;
     blocks_.push_back(Block{std::make_unique<std::uint8_t[]>(size), size});
+    const std::size_t reserved =
+        global_reserved_.fetch_add(size, std::memory_order_relaxed) + size;
+    std::size_t seen = global_high_water_.load(std::memory_order_relaxed);
+    while (seen < reserved &&
+           !global_high_water_.compare_exchange_weak(
+               seen, reserved, std::memory_order_relaxed)) {
+    }
     advance();
   }
 
@@ -95,30 +140,58 @@ class Arena {
     remaining_ = block.size;
   }
 
+  inline static std::atomic<std::size_t> global_reserved_{0};
+  inline static std::atomic<std::size_t> global_high_water_{0};
+
   std::size_t block_size_;
   std::vector<Block> blocks_;
   std::size_t next_block_ = 0;  // first block not yet handed out this cycle
   Block* current_ = nullptr;
   std::uint8_t* cursor_ = nullptr;
   std::size_t remaining_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t cycles_ = 0;
 };
 
-/// Minimal std-allocator adapter over Arena so standard containers can use
-/// phase scratch: std::vector<T, ArenaAllocator<T>> v{ArenaAllocator<T>(&a)}.
-/// deallocate is a no-op (memory returns on arena reset).
+/// Std-allocator adapter over Arena so standard containers can use phase
+/// scratch: std::vector<T, ArenaAllocator<T>> v{ArenaAllocator<T>(&a)}.
+/// deallocate is a no-op for arena memory (it returns on arena reset).
+///
+/// A null arena is a valid state meaning "plain heap": allocate/deallocate
+/// forward to operator new/delete, so container types can be parameterized
+/// on ArenaAllocator once and run arena-backed or heap-backed depending on
+/// what the constructor received (sim::Context does this for its outgoing
+/// queue). Moves propagate the allocator (the moved-to container adopts the
+/// buffer and the arena that owns it); copies deliberately fall back to the
+/// heap, so copying a container out of an arena never silently extends the
+/// arena's lifetime obligations.
 template <typename T>
 class ArenaAllocator {
  public:
   using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using propagate_on_container_copy_assignment = std::false_type;
 
+  ArenaAllocator() : arena_(nullptr) {}
   explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
   template <typename U>
   ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
 
+  ArenaAllocator select_on_container_copy_construction() const {
+    return ArenaAllocator(nullptr);
+  }
+
   T* allocate(std::size_t n) {
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
     return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
   }
-  void deallocate(T*, std::size_t) {}
+  void deallocate(T* p, std::size_t) {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
 
   Arena* arena() const { return arena_; }
 

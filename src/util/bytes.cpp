@@ -77,4 +77,38 @@ Bytes to_bytes(std::string_view s) {
   return out;
 }
 
+namespace {
+
+// Depth × capacity caps bound the worst-case retained memory per thread at
+// kPoolDepth * kMaxRecycledCapacity (2 MiB). Buffers bigger than the cap
+// (Merkle signature bundles, oversized adversarial payloads) are freed
+// rather than hoarded.
+constexpr std::size_t kPoolDepth = 16;
+constexpr std::size_t kMaxRecycledCapacity = 128 * 1024;
+
+struct ScratchPool {
+  Bytes slots[kPoolDepth];
+  std::size_t count = 0;
+};
+thread_local ScratchPool t_scratch;
+
+}  // namespace
+
+Bytes acquire_scratch() {
+  ScratchPool& pool = t_scratch;
+  if (pool.count == 0) return {};
+  return std::move(pool.slots[--pool.count]);
+}
+
+void recycle_scratch(Bytes&& buf) {
+  ScratchPool& pool = t_scratch;
+  if (buf.capacity() == 0 || buf.capacity() > kMaxRecycledCapacity ||
+      pool.count == kPoolDepth) {
+    Bytes dropped(std::move(buf));  // freed here
+    return;
+  }
+  buf.clear();
+  pool.slots[pool.count++] = std::move(buf);
+}
+
 }  // namespace dr

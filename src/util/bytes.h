@@ -38,4 +38,24 @@ ByteView as_bytes(std::string_view s);
 /// Bytes from a string.
 Bytes to_bytes(std::string_view s);
 
+// ---------------------------------------------------------------------------
+// Per-thread staging-buffer recycling.
+//
+// Every message the simulator moves is first staged in a Bytes (the codec
+// Writer's output, a Reader's length-prefixed copy) and then either kept or
+// immediately folded into a sim::Payload. Fresh vectors cost a malloc each;
+// these two functions close the loop instead: acquire_scratch() hands out an
+// empty Bytes with recycled capacity when one is available, and
+// recycle_scratch() takes a dead buffer's capacity back. The pool is
+// thread-local (no locks, deterministic behavior), bounded in depth and
+// per-buffer capacity so nothing hoards memory, and entirely transparent:
+// callers see ordinary empty/full vectors either way.
+
+/// An empty Bytes, reusing recycled capacity when available.
+Bytes acquire_scratch();
+
+/// Returns `buf`'s capacity to the calling thread's pool (contents are
+/// discarded). Buffers over the retention cap are simply freed.
+void recycle_scratch(Bytes&& buf);
+
 }  // namespace dr

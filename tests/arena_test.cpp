@@ -1,0 +1,338 @@
+// The arena-backed message plane: bump-allocator mechanics, payload-arena
+// lifetime discipline, and the headline claim — a warmed-up run's steady
+// phases (2..end) perform zero heap allocations, with results bit-identical
+// to the heap-backed path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ba/registry.h"
+#include "sim/payload.h"
+#include "sim/process.h"
+#include "sim/runner.h"
+#include "util/alloc_stats.h"
+#include "util/arena.h"
+#include "util/bytes.h"
+
+namespace dr {
+namespace {
+
+using ba::BAConfig;
+using ba::ProcId;
+using sim::Payload;
+using sim::PayloadArena;
+using sim::PayloadArenaScope;
+using util::AllocProbe;
+
+TEST(Arena, ResetRecyclesBlocks) {
+  Arena arena(1024);
+  void* first = arena.allocate(100, 8);
+  ASSERT_NE(first, nullptr);
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GE(reserved, 1024u);
+
+  arena.reset();
+  AllocProbe probe(AllocProbe::Scope::kThread);
+  void* again = arena.allocate(100, 8);
+  const std::uint64_t blocks = probe.blocks();
+  EXPECT_EQ(again, first);  // same block, same cursor
+  EXPECT_EQ(blocks, 0u);    // recycled, not reallocated
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, AlignmentIsRespected) {
+  Arena arena;
+  (void)arena.allocate(1, 1);  // misalign the cursor
+  for (const std::size_t align : {2u, 8u, 16u, 64u}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+  }
+}
+
+TEST(Arena, OversizedRequestsGetDedicatedBlocks) {
+  Arena arena(256);
+  void* big = arena.allocate(10000, 8);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 10000u);
+  // The small block list still serves small requests after the spill.
+  void* small = arena.allocate(16, 8);
+  ASSERT_NE(small, nullptr);
+
+  // Both sizes recycle across a reset.
+  arena.reset();
+  AllocProbe probe(AllocProbe::Scope::kThread);
+  (void)arena.allocate(10000, 8);
+  (void)arena.allocate(16, 8);
+  EXPECT_EQ(probe.blocks(), 0u);
+}
+
+TEST(Arena, HighWaterTracksTheLargestCycle) {
+  Arena arena;
+  (void)arena.allocate(100, 1);
+  (void)arena.allocate(100, 1);
+  EXPECT_EQ(arena.bytes_used(), 200u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  (void)arena.allocate(50, 1);
+  EXPECT_EQ(arena.high_water(), 200u);  // the first cycle still holds it
+  EXPECT_EQ(arena.cycles(), 1u);
+}
+
+TEST(Arena, PrewarmMakesTheFirstAllocationHeapFree) {
+  Arena arena;
+  arena.prewarm();
+  AllocProbe probe(AllocProbe::Scope::kThread);
+  (void)arena.allocate(64, 8);
+  EXPECT_EQ(probe.blocks(), 0u);
+  arena.prewarm();  // idempotent on a warmed arena
+  EXPECT_EQ(probe.blocks(), 0u);
+}
+
+TEST(ArenaAllocator, VectorGrowsInTheArena) {
+  Arena arena;
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v[99], 99);
+  EXPECT_GT(arena.bytes_used(), 100 * sizeof(int) - 1);
+
+  // A null-arena allocator is plain heap — same container type either way.
+  std::vector<int, ArenaAllocator<int>> heap_backed{ArenaAllocator<int>()};
+  heap_backed.assign(v.begin(), v.end());
+  EXPECT_EQ(heap_backed[99], 99);
+
+  // Copy construction deliberately drops to the heap, so copies never
+  // extend the arena's lifetime obligations.
+  auto copy = v;
+  EXPECT_EQ(copy.get_allocator().arena(), nullptr);
+  EXPECT_EQ(copy[99], 99);
+}
+
+TEST(AllocProbe, CountsThisThreadsTraffic) {
+  AllocProbe probe(AllocProbe::Scope::kThread);
+  {
+    auto p = std::make_unique<std::uint64_t>(7);
+    EXPECT_EQ(*p, 7u);
+  }
+  const util::AllocCounters delta = probe.delta();
+  EXPECT_GE(delta.blocks, 1u);
+  EXPECT_GE(delta.bytes, sizeof(std::uint64_t));
+  EXPECT_GE(delta.frees, 1u);
+}
+
+TEST(PayloadArena, ResetIsRefusedWhileHandlesLive) {
+  PayloadArena arena;
+  {
+    PayloadArenaScope scope(&arena);
+    const Payload big{Bytes(Payload::kInlineCapacity + 10, 1)};
+    EXPECT_EQ(arena.live(), 1u);
+    EXPECT_FALSE(arena.reset());  // refused, not invalidated
+    EXPECT_EQ(arena.skipped_resets(), 1u);
+
+    const Payload copy = big;  // refcount, not a second live buffer
+    EXPECT_EQ(arena.live(), 1u);
+  }
+  EXPECT_EQ(arena.live(), 0u);
+  EXPECT_TRUE(arena.reset());
+  EXPECT_EQ(arena.skipped_resets(), 1u);
+}
+
+TEST(PayloadArena, WarmedArenaServesBuffersWithoutTheHeap) {
+  PayloadArena arena;
+  arena.prewarm();
+  PayloadArenaScope scope(&arena);
+  Payload::reset_allocation_count();
+  Bytes src(Payload::kInlineCapacity + 20, 0x7e);
+  AllocProbe probe(AllocProbe::Scope::kThread);
+  {
+    const Payload p{std::move(src)};
+    EXPECT_EQ(probe.blocks(), 0u);  // buffer came from arena
+    EXPECT_EQ(Payload::allocations(), 1u);  // still counts as a buffer
+    EXPECT_EQ(arena.live(), 1u);
+    EXPECT_EQ(p.view()[0], 0x7e);
+  }
+  EXPECT_EQ(arena.live(), 0u);
+
+  // Scopes nest and restore: inside a null rebind, buffers are heap again.
+  {
+    PayloadArenaScope heap_scope(nullptr);
+    EXPECT_EQ(Payload::bound_arena(), nullptr);
+  }
+  EXPECT_EQ(Payload::bound_arena(), &arena);
+}
+
+TEST(ScratchPool, RecycledCapacityComesBack) {
+  // Warm the pool, then check an acquire/recycle round trip reuses the
+  // buffer instead of allocating.
+  Bytes warm = acquire_scratch();
+  warm.resize(512);
+  recycle_scratch(std::move(warm));
+
+  AllocProbe probe(AllocProbe::Scope::kThread);
+  Bytes buf = acquire_scratch();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_GE(buf.capacity(), 512u);
+  buf.assign(256, 0xCD);
+  recycle_scratch(std::move(buf));
+  EXPECT_EQ(probe.blocks(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state zero-allocation runs.
+
+/// Every process broadcasts `payload_size` bytes every phase, staging the
+/// bytes through the thread's scratch pool — the shape the codec Writer
+/// produces. Payloads exceed the inline capacity so the shared-buffer path
+/// (and thus the payload arenas) is what's under test.
+class EchoBroadcaster final : public sim::Process {
+ public:
+  explicit EchoBroadcaster(std::size_t payload_size)
+      : payload_size_(payload_size) {}
+
+  void on_phase(sim::Context& ctx) override {
+    Bytes buf = acquire_scratch();
+    buf.assign(payload_size_, static_cast<std::uint8_t>(ctx.phase()));
+    ctx.send_all(std::move(buf), 0);
+  }
+
+  std::optional<ba::Value> decision() const override { return 0; }
+
+ private:
+  std::size_t payload_size_;
+};
+
+/// Broadcasts one payload built in phase 1 and re-sent as a handle copy in
+/// every later phase. Pool workers are new threads each run with cold
+/// thread-local scratch pools, so the pooled steady-state test needs sends
+/// that allocate nothing anywhere — handle copies are exactly that.
+class CachedBroadcaster final : public sim::Process {
+ public:
+  explicit CachedBroadcaster(std::size_t payload_size)
+      : payload_size_(payload_size) {}
+
+  void on_phase(sim::Context& ctx) override {
+    if (ctx.phase() == 1) {
+      cached_ = Payload{Bytes(payload_size_, 0xAB)};
+    }
+    ctx.send_all(cached_, 0);
+  }
+
+  std::optional<ba::Value> decision() const override { return 0; }
+
+ private:
+  std::size_t payload_size_;
+  Payload cached_;
+};
+
+template <typename P>
+ba::Protocol probe_protocol(std::size_t payload_size, sim::PhaseNum phases) {
+  ba::Protocol p;
+  p.name = "arena-probe";
+  p.authenticated = false;
+  p.supports = [](const BAConfig&) { return true; };
+  p.steps = [phases](const BAConfig&) { return phases; };
+  p.make = [payload_size](ProcId, const BAConfig&) {
+    return std::make_unique<P>(payload_size);
+  };
+  return p;
+}
+
+TEST(SteadyState, SerialBroadcastRunIsAllocationFree) {
+  const std::size_t n = 8;
+  const sim::PhaseNum phases = 6;
+  const ba::Protocol protocol =
+      probe_protocol<EchoBroadcaster>(Payload::kInlineCapacity + 8, phases);
+  sim::RunArenas arenas;
+  ba::ScenarioOptions options;
+  options.arenas = &arenas;
+
+  // Warm run: sizes every arena block, envelope vector and scratch buffer.
+  (void)ba::run_scenario(protocol, BAConfig{n, 1, 0, 1}, options);
+  const auto result = ba::run_scenario(protocol, BAConfig{n, 1, 0, 1}, options);
+
+  EXPECT_EQ(result.allocs.steady_blocks, 0u)
+      << result.allocs.steady_bytes << " steady bytes leaked to the heap";
+  // Every phase still mints n fresh shared buffers — from the arenas.
+  EXPECT_EQ(result.allocs.payload_buffers, n * phases);
+  EXPECT_GT(result.allocs.arena_payload_high_water, 0u);
+  EXPECT_GT(result.allocs.arena_scratch_high_water, 0u);
+  EXPECT_EQ(arenas.skipped_resets(), 0u);
+  EXPECT_EQ(result.metrics.messages_total(), n * (n - 1) * phases);
+}
+
+TEST(SteadyState, PooledBroadcastRunIsAllocationFree) {
+  const std::size_t n = 16;
+  const sim::PhaseNum phases = 6;
+  const ba::Protocol protocol =
+      probe_protocol<CachedBroadcaster>(Payload::kInlineCapacity + 8, phases);
+  sim::RunArenas arenas;
+  ba::ScenarioOptions options;
+  options.arenas = &arenas;
+  options.threads = 4;
+
+  (void)ba::run_scenario(protocol, BAConfig{n, 1, 0, 1}, options);
+  const auto result = ba::run_scenario(protocol, BAConfig{n, 1, 0, 1}, options);
+
+  EXPECT_EQ(result.allocs.steady_blocks, 0u)
+      << result.allocs.steady_bytes << " steady bytes leaked to the heap";
+  EXPECT_EQ(result.allocs.payload_buffers, n);  // phase 1 only; then handles
+  EXPECT_EQ(arenas.skipped_resets(), 0u);
+  EXPECT_EQ(result.metrics.messages_total(), n * (n - 1) * phases);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: arenas change where bytes live, never what runs compute.
+
+TEST(ArenaRuns, Alg5BitIdenticalWithAndWithoutArenas) {
+  const ba::Protocol protocol = ba::make_alg5_protocol(3);
+  const BAConfig config{20, 1, 0, 1};
+  const ba::ScenarioOptions plain;
+  const auto base = ba::run_scenario(protocol, config, plain);
+
+  sim::RunArenas arenas;
+  ba::ScenarioOptions with_arenas;
+  with_arenas.arenas = &arenas;
+  const auto cold = ba::run_scenario(protocol, config, with_arenas);
+  const auto warm = ba::run_scenario(protocol, config, with_arenas);
+
+  ba::ScenarioOptions pooled = with_arenas;
+  pooled.threads = 4;
+  const auto par = ba::run_scenario(protocol, config, pooled);
+
+  for (const auto* r : {&cold, &warm, &par}) {
+    EXPECT_EQ(r->decisions, base.decisions);
+    EXPECT_EQ(r->evidence, base.evidence);
+    EXPECT_TRUE(r->metrics == base.metrics);
+    EXPECT_EQ(r->phases_run, base.phases_run);
+  }
+  EXPECT_EQ(arenas.skipped_resets(), 0u);
+}
+
+TEST(ArenaRuns, HistoryRunsSkipPayloadArenasButStillWork) {
+  const ba::Protocol protocol = ba::make_alg5_protocol(3);
+  const BAConfig config{12, 1, 0, 1};
+  ba::ScenarioOptions plain;
+  plain.record_history = true;
+  const auto base = ba::run_scenario(protocol, config, plain);
+
+  sim::RunArenas arenas;
+  ba::ScenarioOptions with_arenas = plain;
+  with_arenas.arenas = &arenas;
+  const auto result = ba::run_scenario(protocol, config, with_arenas);
+
+  EXPECT_EQ(result.decisions, base.decisions);
+  EXPECT_TRUE(result.metrics == base.metrics);
+  // History edges hold payload handles that outlive the run, so payload
+  // buffers must have come from the heap, not the arenas.
+  EXPECT_EQ(result.allocs.arena_payload_high_water, 0u);
+  // ...and a second begin_run must not be blocked by lingering handles.
+  const auto again = ba::run_scenario(protocol, config, with_arenas);
+  EXPECT_EQ(again.decisions, base.decisions);
+  EXPECT_EQ(arenas.skipped_resets(), 0u);
+}
+
+}  // namespace
+}  // namespace dr

@@ -58,7 +58,7 @@ TEST(Export, QuotesAreEscapedInDot) {
   History h;
   h.record(1, Edge{0, 1, to_bytes("x")});
   const std::string dot =
-      to_dot(h, [](const Bytes&) { return std::string("say \"hi\""); });
+      to_dot(h, [](ByteView) { return std::string("say \"hi\""); });
   EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
 }
 

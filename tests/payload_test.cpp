@@ -74,20 +74,41 @@ TEST(Payload, HandleSemantics) {
   EXPECT_EQ(Payload::allocations(), 0u);  // empty payloads never allocate
   EXPECT_TRUE(empty == also_empty);
 
-  const Payload a{Bytes{1, 2, 3}};
+  // Above the inline capacity a payload is one shared ref-counted buffer.
+  const Bytes big(Payload::kInlineCapacity + 8, 0x42);
+  const Payload a{big};
   const Payload b = a;  // handle copy, no new buffer
   EXPECT_EQ(Payload::allocations(), 1u);
   EXPECT_TRUE(b.shares_buffer_with(a));
 
-  const Payload c{Bytes{1, 2, 3}};  // same content, distinct buffer
+  const Payload c{big};  // same content, distinct buffer
   EXPECT_EQ(Payload::allocations(), 2u);
   EXPECT_FALSE(c.shares_buffer_with(a));
   EXPECT_TRUE(c == a);  // equality is by content, not handle
 
   Bytes copy = a.to_bytes();
   copy[0] = 9;
-  EXPECT_EQ(a.bytes()[0], 1);  // to_bytes is a deep copy
-  EXPECT_TRUE(a < Payload{Bytes{2}});
+  EXPECT_EQ(a.view()[0], 0x42);  // to_bytes is a deep copy
+  EXPECT_TRUE(a < Payload{Bytes{0x43}});
+}
+
+TEST(Payload, InlineSmallBufferSemantics) {
+  Payload::reset_allocation_count();
+  const Payload small{Bytes{1, 2, 3}};
+  EXPECT_EQ(Payload::allocations(), 0u);  // fits inline: no buffer at all
+  const Payload copy = small;             // copies the bytes, not a handle
+  EXPECT_FALSE(copy.shares_buffer_with(small));  // no buffer to share
+  EXPECT_TRUE(copy == small);  // content equality is storage-blind
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy.view()[2], 3);
+
+  // The boundary is exact: kInlineCapacity bytes stay in the handle, one
+  // byte more becomes the first shared buffer.
+  const Payload at_cap{Bytes(Payload::kInlineCapacity, 7)};
+  EXPECT_EQ(Payload::allocations(), 0u);
+  const Payload over_cap{Bytes(Payload::kInlineCapacity + 1, 7)};
+  EXPECT_EQ(Payload::allocations(), 1u);
+  EXPECT_TRUE(at_cap < over_cap);  // ordering crosses storage classes too
 }
 
 TEST(PayloadAllocations, SimBroadcastAllocatesOneBuffer) {
@@ -136,7 +157,9 @@ TEST(PayloadAllocations, InProcessNetBroadcastSendSideIsO1) {
 
 TEST(PayloadAllocations, FaultPlanCopiesOnWriteExactlyOnce) {
   sim::FaultPlan plan({{sim::FaultKind::kCorrupt, 0, 3, 1}}, 9);
-  const Payload original{Bytes{1, 2, 3, 4}};
+  // Above inline capacity so buffer identity (not byte copies) is what the
+  // shares_buffer_with assertions below observe.
+  const Payload original{Bytes(Payload::kInlineCapacity + 8, 0x5a)};
   Payload::reset_allocation_count();
 
   const auto corrupted = plan.apply(0, 3, 1, original);
@@ -154,7 +177,7 @@ TEST(PayloadAllocations, FaultPlanCopiesOnWriteExactlyOnce) {
 TEST(PayloadAllocations, DuplicateRuleIsAHandleCopy) {
   sim::FaultPlan plan(
       {{sim::FaultKind::kDuplicate, 0, sim::kAnyProc, sim::kAnyPhase}}, 9);
-  const Payload original{Bytes{9, 9}};
+  const Payload original{Bytes(Payload::kInlineCapacity + 8, 9)};
   Payload::reset_allocation_count();
   const auto out = plan.apply(0, 1, 1, original);
   ASSERT_EQ(out.size(), 2u);

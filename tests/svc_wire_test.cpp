@@ -310,7 +310,9 @@ TEST(SvcWire, MeshEnvelopeIsBitIdenticalToFlatEncoding) {
   // Build an inner net frame as scatter/gather parts around a payload
   // handle, seal it into a kMesh envelope, and compare against the flat
   // reference: header + bytes(inner.concat()) sealed the ordinary way.
-  const sim::Payload payload(Bytes{9, 9, 9, 1, 2, 3, 4, 5});
+  // Above the inline capacity so the zero-copy check below observes a
+  // shared buffer rather than an in-handle byte copy.
+  const sim::Payload payload(Bytes(sim::Payload::kInlineCapacity + 8, 0x99));
   const net::Frame inner{net::FrameKind::kPayload, 2, 5, 7, payload};
   const net::WireParts inner_parts = net::encode_frame_parts(inner);
   ASSERT_EQ(inner_parts.concat(), encode_frame(inner));
